@@ -1,0 +1,74 @@
+// Extension ablation: the buffer cache and metadata I/O (neither modeled
+// in the paper's experiments; see DESIGN.md). Two questions:
+//
+//  1. The paper's designs aim at "minimizing the bandwidth dedicated to
+//     the transfer of meta data". How much application throughput does
+//     per-operation descriptor I/O cost, and does descriptor caching
+//     recover it?
+//  2. How does a modest buffer cache shift the TS picture, where the
+//     paper's policies are seek-bound?
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "exp/reporting.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace rofs;
+
+int main() {
+  exp::PrintBanner("Ablation: buffer cache and metadata I/O",
+                   "extensions (DESIGN.md)", bench::PaperDiskConfig());
+
+  struct Setup {
+    const char* label;
+    fs::FsOptions options;
+  };
+  std::vector<Setup> setups;
+  setups.push_back({"paper model (no cache, no metadata)", {}});
+  {
+    fs::FsOptions o;
+    o.model_metadata_io = true;
+    setups.push_back({"metadata I/O, no cache", o});
+  }
+  {
+    fs::FsOptions o;
+    o.model_metadata_io = true;
+    o.cache_bytes = MiB(16);
+    setups.push_back({"metadata I/O + 16M cache", o});
+  }
+  {
+    fs::FsOptions o;
+    o.cache_bytes = MiB(16);
+    setups.push_back({"16M cache", o});
+  }
+  {
+    fs::FsOptions o;
+    o.cache_bytes = MiB(64);
+    setups.push_back({"64M cache", o});
+  }
+
+  for (workload::WorkloadKind kind :
+       {workload::WorkloadKind::kTimeSharing,
+        workload::WorkloadKind::kTransactionProcessing}) {
+    Table table({"Setup", "Application", "Sequential"});
+    for (const Setup& setup : setups) {
+      exp::ExperimentConfig config = bench::BenchExperimentConfig();
+      config.fs_options = setup.options;
+      exp::Experiment experiment(workload::MakeWorkload(kind),
+                                 bench::RestrictedBuddyFactory(5, 1, true),
+                                 bench::PaperDiskConfig(), config);
+      auto perf = experiment.RunPerformancePair();
+      bench::DieOnError(perf.status(), setup.label);
+      table.AddRow({setup.label,
+                    exp::Pct(perf->application.utilization_of_max),
+                    exp::Pct(perf->sequential.utilization_of_max)});
+      std::fflush(stdout);
+    }
+    std::printf("Workload %s (restricted buddy, 5 sizes, clustered)\n%s\n",
+                workload::WorkloadKindToString(kind).c_str(),
+                table.ToString().c_str());
+  }
+  return 0;
+}

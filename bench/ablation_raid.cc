@@ -1,0 +1,66 @@
+// Ablation from the paper's "further investigation" list: "the impact of
+// a RAID in the underlying disk system will reduce the small write
+// performance" (section 6). Runs the TP workload (random 8K writes) and
+// the SC workload (large sequential bursts) over every disk-system
+// configuration of section 2.1 — striped, mirrored, RAID5, and Gray'90
+// parity striping — with the selected restricted-buddy policy.
+//
+// Expected shape: RAID5 hurts TP (read-modify-write on every 8K write)
+// far more than SC (large writes amortize into full-stripe writes);
+// mirroring halves capacity and taxes writes less.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "exp/reporting.h"
+#include "util/table.h"
+
+using namespace rofs;
+
+int main() {
+  exp::PrintBanner("Ablation: disk-system configuration (RAID impact)",
+                   "Section 6 (further investigation)",
+                   bench::PaperDiskConfig());
+
+  for (workload::WorkloadKind kind :
+       {workload::WorkloadKind::kTransactionProcessing,
+        workload::WorkloadKind::kSuperComputer}) {
+    Table table({"Layout", "Capacity", "Application", "Sequential",
+                 "DiskFullEvents"});
+    for (disk::LayoutKind layout :
+         {disk::LayoutKind::kStriped, disk::LayoutKind::kMirrored,
+          disk::LayoutKind::kRaid5, disk::LayoutKind::kParityStriped}) {
+      disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
+      disk_config.layout = layout;
+      // Mirroring halves the logical capacity: the TP/SC populations no
+      // longer fit, so scale the file sizes down proportionally.
+      workload::WorkloadSpec spec = workload::MakeWorkload(kind);
+      if (layout == disk::LayoutKind::kMirrored) {
+        for (auto& type : spec.types) {
+          type.initial_bytes_mean /= 2;
+          type.initial_bytes_dev /= 2;
+        }
+      }
+      exp::Experiment experiment(spec,
+                                 bench::RestrictedBuddyFactory(5, 1, true),
+                                 disk_config,
+                                 bench::BenchExperimentConfig());
+      auto perf = experiment.RunPerformancePair();
+      bench::DieOnError(perf.status(),
+                        "raid ablation " + disk::LayoutKindToString(layout));
+      disk::DiskSystem probe(disk_config);
+      table.AddRow({disk::LayoutKindToString(layout),
+                    FormatBytes(probe.capacity_bytes()),
+                    exp::Pct(perf->application.utilization_of_max),
+                    exp::Pct(perf->sequential.utilization_of_max),
+                    FormatString("%llu", static_cast<unsigned long long>(
+                                             perf->application
+                                                 .disk_full_events))});
+      std::fflush(stdout);
+    }
+    std::printf("Workload %s\n%s\n",
+                workload::WorkloadKindToString(kind).c_str(),
+                table.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation from the paper's "further investigation" list: sensitivity of
+// the policies to the stripe unit parameter ("The different policies may
+// show different sensitivities to the stripe size parameter", section 6).
+//
+// Sweeps the stripe unit for the SC and TP workloads under the selected
+// restricted buddy and extent configurations, reporting application and
+// sequential throughput.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "exp/reporting.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace rofs;
+
+int main() {
+  exp::PrintBanner("Ablation: stripe unit sensitivity",
+                   "Section 6 (further investigation)",
+                   bench::PaperDiskConfig());
+
+  for (workload::WorkloadKind kind :
+       {workload::WorkloadKind::kSuperComputer,
+        workload::WorkloadKind::kTransactionProcessing}) {
+    Table table({"Stripe unit", "Policy", "Application", "Sequential"});
+    for (uint64_t stripe : {KiB(8), KiB(24), KiB(96), KiB(384)}) {
+      disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
+      disk_config.stripe_unit_bytes = stripe;
+      std::vector<std::pair<std::string,
+                            exp::Experiment::AllocatorFactory>>
+          policies = {
+              {"restricted-buddy",
+               bench::RestrictedBuddyFactory(5, 1, true)},
+              {"extent(ff,3)",
+               bench::ExtentFactory(kind, 3, alloc::FitPolicy::kFirstFit)},
+          };
+      for (auto& [name, factory] : policies) {
+        exp::Experiment experiment(workload::MakeWorkload(kind), factory,
+                                   disk_config,
+                                   bench::BenchExperimentConfig());
+        auto perf = experiment.RunPerformancePair();
+        bench::DieOnError(perf.status(), "stripe ablation " + name);
+        table.AddRow({FormatBytes(stripe), name,
+                      exp::Pct(perf->application.utilization_of_max),
+                      exp::Pct(perf->sequential.utilization_of_max)});
+        std::fflush(stdout);
+      }
+    }
+    std::printf("Workload %s\n%s\n",
+                workload::WorkloadKindToString(kind).c_str(),
+                table.ToString().c_str());
+  }
+  return 0;
+}

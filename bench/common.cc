@@ -1,0 +1,84 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "alloc/buddy_allocator.h"
+#include "alloc/fixed_block_allocator.h"
+#include "util/units.h"
+
+namespace rofs::bench {
+
+exp::Experiment::AllocatorFactory BuddyFactory() {
+  return [](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
+    return std::make_unique<alloc::BuddyAllocator>(
+        total_du, /*max_extent_du=*/64 * kMiB / kKiB);
+  };
+}
+
+std::vector<uint64_t> BlockSizeLadderDu(int num_sizes) {
+  // 1K disk units: {1K, 8K, 64K, 1M, 16M}.
+  const std::vector<uint64_t> full = {1, 8, 64, 1024, 16384};
+  return std::vector<uint64_t>(full.begin(), full.begin() + num_sizes);
+}
+
+exp::Experiment::AllocatorFactory RestrictedBuddyFactory(int num_sizes,
+                                                         uint32_t grow_factor,
+                                                         bool clustered) {
+  alloc::RestrictedBuddyConfig cfg;
+  cfg.block_sizes_du = BlockSizeLadderDu(num_sizes);
+  cfg.grow_factor = grow_factor;
+  cfg.clustered = clustered;
+  return [cfg](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
+    return std::make_unique<alloc::RestrictedBuddyAllocator>(total_du, cfg);
+  };
+}
+
+exp::Experiment::AllocatorFactory ExtentFactory(workload::WorkloadKind kind,
+                                                int num_ranges,
+                                                alloc::FitPolicy fit) {
+  alloc::ExtentAllocatorConfig cfg;
+  cfg.range_means_du.clear();
+  for (uint64_t bytes : workload::ExtentRangeMeansBytes(kind, num_ranges)) {
+    cfg.range_means_du.push_back(bytes / kKiB);
+  }
+  cfg.fit = fit;
+  return [cfg](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
+    return std::make_unique<alloc::ExtentAllocator>(total_du, cfg);
+  };
+}
+
+exp::Experiment::AllocatorFactory FixedBlockFactory(
+    workload::WorkloadKind kind) {
+  const uint64_t block_du = workload::FixedBlockBytesFor(kind) / kKiB;
+  return [block_du](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
+    return std::make_unique<alloc::FixedBlockAllocator>(total_du, block_du);
+  };
+}
+
+disk::DiskSystemConfig PaperDiskConfig() {
+  return disk::DiskSystemConfig::Array(8);
+}
+
+exp::ExperimentConfig BenchExperimentConfig() {
+  exp::ExperimentConfig cfg;
+  const char* fast = std::getenv("ROFS_FAST");
+  if (fast != nullptr && fast[0] != '\0') {
+    cfg.warmup_ms = 5'000;
+    cfg.min_measure_ms = 20'000;
+    cfg.max_measure_ms = 60'000;
+    cfg.seq_min_measure_ms = 40'000;
+    cfg.seq_max_measure_ms = 200'000;
+    cfg.stable_tolerance_pp = 1.0;
+  }
+  return cfg;
+}
+
+void DieOnError(const Status& status, const std::string& context) {
+  if (status.ok()) return;
+  std::fprintf(stderr, "FATAL: %s: %s\n", context.c_str(),
+               status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace rofs::bench

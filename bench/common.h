@@ -1,0 +1,51 @@
+#ifndef ROFS_BENCH_COMMON_H_
+#define ROFS_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "alloc/allocator.h"
+#include "alloc/extent_allocator.h"
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "exp/experiment.h"
+#include "workload/workloads.h"
+
+namespace rofs::bench {
+
+/// Allocator factories for the policies of paper section 4, parameterized
+/// the way the paper sweeps them.
+exp::Experiment::AllocatorFactory BuddyFactory();
+
+/// `num_sizes` in 2..5 selects a prefix-with-largest subset of the ladder
+/// {1K, 8K, 64K, 1M, 16M} exactly as the paper's table in section 4.2.
+exp::Experiment::AllocatorFactory RestrictedBuddyFactory(int num_sizes,
+                                                         uint32_t grow_factor,
+                                                         bool clustered);
+
+exp::Experiment::AllocatorFactory ExtentFactory(workload::WorkloadKind kind,
+                                                int num_ranges,
+                                                alloc::FitPolicy fit);
+
+exp::Experiment::AllocatorFactory FixedBlockFactory(
+    workload::WorkloadKind kind);
+
+/// The restricted-buddy block-size ladder for a size count (disk units).
+std::vector<uint64_t> BlockSizeLadderDu(int num_sizes);
+
+/// The paper's default disk system: 8 striped CDC Wren IV drives.
+disk::DiskSystemConfig PaperDiskConfig();
+
+/// Standard experiment settings for the reproduction benches. Honors the
+/// ROFS_FAST environment variable (any non-empty value): shorter
+/// measurement windows for smoke runs.
+exp::ExperimentConfig BenchExperimentConfig();
+
+/// Fails loudly: prints the status and exits non-zero. Benches prefer a
+/// visible crash over silently missing table rows.
+void DieOnError(const Status& status, const std::string& context);
+
+}  // namespace rofs::bench
+
+#endif  // ROFS_BENCH_COMMON_H_

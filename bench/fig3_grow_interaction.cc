@@ -1,0 +1,86 @@
+// Reproduces the Figure 3 analysis: how contiguous allocation and the
+// grow factor interact. When the grow factor is 1, a file moves to 64K
+// blocks at 72K of length; 72K is not a multiple of 64K, so the new block
+// cannot be contiguous and the file pays a seek. With grow factor 2 the
+// 64K block is not required until the file is already 144K — most
+// time-sharing files never get there.
+//
+// For each grow factor the bench grows a fresh file to a range of sizes
+// (on the paper's {1K,8K,64K} ladder), counts physical discontinuities,
+// and measures the whole-file sequential read time on the 8-disk array.
+
+#include <cstdio>
+#include <memory>
+
+#include "alloc/restricted_buddy.h"
+#include "bench/common.h"
+#include "disk/disk_system.h"
+#include "exp/reporting.h"
+#include "fs/read_optimized_fs.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace rofs;
+
+namespace {
+
+struct Probe {
+  size_t extents;
+  uint64_t discontinuities;
+  double read_ms;
+};
+
+Probe GrowAndRead(uint32_t grow_factor, uint64_t file_bytes) {
+  disk::DiskSystem disk(bench::PaperDiskConfig());
+  alloc::RestrictedBuddyConfig cfg;
+  cfg.block_sizes_du = {1, 8, 64};  // The ladder of Figure 3.
+  cfg.grow_factor = grow_factor;
+  alloc::RestrictedBuddyAllocator allocator(disk.capacity_du(), cfg);
+  fs::ReadOptimizedFs fs(&allocator, &disk);
+  const fs::FileId id = fs.Create(KiB(8));
+  // Grow in 8K appends, like a time-sharing file being written out.
+  sim::TimeMs done = 0;
+  for (uint64_t size = 0; size < file_bytes; size += KiB(8)) {
+    bench::DieOnError(fs.Extend(id, KiB(8), done, &done), "extend");
+  }
+  const fs::File& f = fs.file(id);
+  Probe p{f.alloc.extents.size(), 0, 0.0};
+  for (size_t i = 1; i < f.alloc.extents.size(); ++i) {
+    p.discontinuities +=
+        f.alloc.extents[i].start_du != f.alloc.extents[i - 1].end_du();
+  }
+  const sim::TimeMs start = done + 1000.0;
+  p.read_ms = fs.Read(id, 0, file_bytes, start) - start;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  exp::PrintBanner("Figure 3: Grow factor vs contiguous allocation",
+                   "Figure 3", bench::PaperDiskConfig());
+
+  Table table({"File size", "g=1 extents", "g=1 jumps", "g=1 read",
+               "g=2 extents", "g=2 jumps", "g=2 read"});
+  for (uint64_t kb : {8, 16, 32, 64, 72, 96, 128, 144, 192, 256}) {
+    const Probe g1 = GrowAndRead(1, KiB(kb));
+    const Probe g2 = GrowAndRead(2, KiB(kb));
+    table.AddRow({FormatString("%lluK", static_cast<unsigned long long>(kb)),
+                  FormatString("%zu", g1.extents),
+                  FormatString("%llu",
+                               static_cast<unsigned long long>(
+                                   g1.discontinuities)),
+                  FormatString("%.1fms", g1.read_ms),
+                  FormatString("%zu", g2.extents),
+                  FormatString("%llu",
+                               static_cast<unsigned long long>(
+                                   g2.discontinuities)),
+                  FormatString("%.1fms", g2.read_ms)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Paper claim: with g=1 any file over 72K pays a seek for its first\n"
+      "64K block; with g=2 the 64K block is deferred until 144K, so the\n"
+      "typical 96K time-sharing file stays fully contiguous.\n");
+  return 0;
+}

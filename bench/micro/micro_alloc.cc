@@ -1,0 +1,154 @@
+// Microbenchmarks of the allocator hot paths: cost of extend/truncate/
+// delete for each policy, and of the free-space index operations.
+// These are operation-cost ablations, not paper experiments: the paper's
+// tables/figures are produced by the sibling drivers in bench/.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "alloc/buddy_allocator.h"
+#include "alloc/extent_allocator.h"
+#include "alloc/fixed_block_allocator.h"
+#include "alloc/free_extent_map.h"
+#include "alloc/restricted_buddy.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs::alloc {
+namespace {
+
+constexpr uint64_t kSpaceDu = 2'764'800;  // The paper's 2.8 GB array.
+
+std::unique_ptr<Allocator> MakeAllocator(int kind) {
+  switch (kind) {
+    case 0:
+      return std::make_unique<BuddyAllocator>(kSpaceDu);
+    case 1: {
+      RestrictedBuddyConfig cfg;
+      cfg.clustered = true;
+      return std::make_unique<RestrictedBuddyAllocator>(kSpaceDu, cfg);
+    }
+    case 2: {
+      RestrictedBuddyConfig cfg;
+      cfg.clustered = false;
+      return std::make_unique<RestrictedBuddyAllocator>(kSpaceDu, cfg);
+    }
+    case 3: {
+      ExtentAllocatorConfig cfg;
+      cfg.range_means_du = {512, 1024, 16384};
+      return std::make_unique<ExtentAllocator>(kSpaceDu, cfg);
+    }
+    default:
+      return std::make_unique<FixedBlockAllocator>(kSpaceDu, 4);
+  }
+}
+
+const char* AllocatorName(int kind) {
+  switch (kind) {
+    case 0:
+      return "buddy";
+    case 1:
+      return "restricted-clustered";
+    case 2:
+      return "restricted-unclustered";
+    case 3:
+      return "extent-first-fit";
+    default:
+      return "fixed-4K";
+  }
+}
+
+// Steady-state churn: extend/truncate/delete on a ~70% full system.
+void BM_AllocatorChurn(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  auto allocator = MakeAllocator(kind);
+  Rng rng(7);
+  std::vector<FileAllocState> files(512);
+  for (auto& f : files) {
+    allocator->OnCreateFile(&f);
+    (void)allocator->Extend(&f, rng.UniformInt(8, 4096));
+  }
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    FileAllocState& f = files[rng.UniformInt(0, files.size() - 1)];
+    const double u = rng.NextDouble();
+    if (u < 0.5) {
+      benchmark::DoNotOptimize(allocator->Extend(&f, rng.UniformInt(1, 64)));
+    } else if (u < 0.8) {
+      benchmark::DoNotOptimize(
+          allocator->TruncateTail(&f, rng.UniformInt(1, 64)));
+    } else {
+      allocator->DeleteFile(&f);
+      allocator->OnCreateFile(&f);
+    }
+    ++ops;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(ops));
+  state.SetLabel(AllocatorName(kind));
+}
+BENCHMARK(BM_AllocatorChurn)->DenseRange(0, 4)->Unit(benchmark::kNanosecond);
+
+// Cost of allocating one full large file, policy by policy.
+void BM_AllocateLargeFile(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto allocator = MakeAllocator(kind);
+    FileAllocState f;
+    f.pref_extent_du = 16384;
+    allocator->OnCreateFile(&f);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(allocator->Extend(&f, 200'000));  // ~200 MB.
+  }
+  state.SetLabel(AllocatorName(kind));
+}
+BENCHMARK(BM_AllocateLargeFile)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_FreeExtentMapFirstFit(benchmark::State& state) {
+  FreeExtentMap map;
+  map.Free(0, kSpaceDu);
+  Rng rng(3);
+  // Fragment the map.
+  std::vector<std::pair<uint64_t, uint64_t>> held;
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t n = rng.UniformInt(1, 256);
+    if (auto a = map.AllocateFirstFit(n)) held.push_back({*a, n});
+  }
+  for (size_t i = 0; i < held.size(); i += 2) {
+    map.Free(held[i].first, held[i].second);
+  }
+  for (auto _ : state) {
+    const uint64_t n = rng.UniformInt(1, 256);
+    auto a = map.AllocateFirstFit(n);
+    benchmark::DoNotOptimize(a);
+    if (a) map.Free(*a, n);
+  }
+}
+BENCHMARK(BM_FreeExtentMapFirstFit)->Unit(benchmark::kNanosecond);
+
+void BM_FreeExtentMapBestFit(benchmark::State& state) {
+  FreeExtentMap map;
+  map.Free(0, kSpaceDu);
+  Rng rng(3);
+  std::vector<std::pair<uint64_t, uint64_t>> held;
+  for (int i = 0; i < 10'000; ++i) {
+    const uint64_t n = rng.UniformInt(1, 256);
+    if (auto a = map.AllocateBestFit(n)) held.push_back({*a, n});
+  }
+  for (size_t i = 0; i < held.size(); i += 2) {
+    map.Free(held[i].first, held[i].second);
+  }
+  for (auto _ : state) {
+    const uint64_t n = rng.UniformInt(1, 256);
+    auto a = map.AllocateBestFit(n);
+    benchmark::DoNotOptimize(a);
+    if (a) map.Free(*a, n);
+  }
+}
+BENCHMARK(BM_FreeExtentMapBestFit)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace rofs::alloc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Microbenchmarks of the disk subsystem model: single-access timing cost,
+// striping map decomposition, and event-queue throughput. These measure
+// simulator speed (events/second), which bounds how much simulated time
+// the paper experiments can cover.
+
+#include <benchmark/benchmark.h>
+
+#include "disk/disk_system.h"
+#include "sim/event_queue.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs {
+namespace {
+
+void BM_DiskAccess(benchmark::State& state) {
+  disk::Disk d(disk::CdcWrenIV());
+  Rng rng(1);
+  const uint64_t cap = d.geometry().capacity_bytes();
+  sim::TimeMs t = 0;
+  for (auto _ : state) {
+    const uint64_t offset = rng.UniformInt(0, cap - KiB(64) - 1);
+    t = d.Access(t, offset, KiB(8));
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DiskAccess)->Unit(benchmark::kNanosecond);
+
+void BM_StripedRead(benchmark::State& state) {
+  const uint64_t n_du = static_cast<uint64_t>(state.range(0));
+  disk::DiskSystem sys(disk::DiskSystemConfig::Array(8));
+  Rng rng(2);
+  sim::TimeMs t = 0;
+  for (auto _ : state) {
+    const uint64_t start = rng.UniformInt(0, sys.capacity_du() - n_du - 1);
+    t = sys.Read(t, start, n_du);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StripedRead)->Arg(8)->Arg(64)->Arg(1024)->Arg(16384)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_Raid5SmallWrite(benchmark::State& state) {
+  disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(8);
+  cfg.layout = disk::LayoutKind::kRaid5;
+  disk::DiskSystem sys(cfg);
+  Rng rng(3);
+  sim::TimeMs t = 0;
+  for (auto _ : state) {
+    const uint64_t start = rng.UniformInt(0, sys.capacity_du() - 16);
+    t = sys.Write(t, start, 8);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Raid5SmallWrite)->Unit(benchmark::kNanosecond);
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  sim::EventQueue q;
+  Rng rng(4);
+  // Keep a steady population of 1000 pending events.
+  int pending = 0;
+  for (auto _ : state) {
+    while (pending < 1000) {
+      q.Schedule(q.now() + rng.Uniform(0.0, 100.0), [&pending] { --pending; });
+      ++pending;
+    }
+    q.RunNext();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace rofs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// Microbenchmarks of the file-system layer: logical-to-physical mapping
+// cost as extent counts grow, cached vs uncached operation cost, and the
+// buffer-cache data structure itself.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "alloc/fixed_block_allocator.h"
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "fs/buffer_cache.h"
+#include "fs/read_optimized_fs.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs::fs {
+namespace {
+
+// Mapping cost for a random 8K read in a file with many extents (the
+// fixed-block TP relation case: tens of thousands of blocks).
+void BM_MapRangeManyExtents(benchmark::State& state) {
+  const int64_t extents = state.range(0);
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(8));
+  alloc::FixedBlockAllocator allocator(disk.capacity_du(), 8);
+  ReadOptimizedFs fs(&allocator, &disk);
+  fs.set_io_enabled(false);
+  const FileId id = fs.Create(KiB(8));
+  sim::TimeMs done = 0;
+  // 8K blocks -> `extents` extents.
+  if (!fs.Extend(id, static_cast<uint64_t>(extents) * KiB(8), 0.0, &done)
+           .ok()) {
+    state.SkipWithError("allocation failed");
+    return;
+  }
+  fs.set_io_enabled(true);
+  Rng rng(1);
+  const uint64_t logical = fs.file(id).logical_bytes;
+  sim::TimeMs t = 0;
+  for (auto _ : state) {
+    const uint64_t offset =
+        RoundDown(rng.UniformInt(0, logical - KiB(8) - 1), KiB(8));
+    t = fs.Read(id, offset, KiB(8), t);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MapRangeManyExtents)->Arg(16)->Arg(1024)->Arg(65536)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_CachedRead(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(8));
+  alloc::RestrictedBuddyAllocator allocator(disk.capacity_du(),
+                                            alloc::RestrictedBuddyConfig{});
+  FsOptions options;
+  if (cached) options.cache_bytes = MiB(64);
+  ReadOptimizedFs fs(&allocator, &disk, options);
+  const FileId id = fs.Create(KiB(8));
+  sim::TimeMs done = 0;
+  if (!fs.Extend(id, MiB(32), 0.0, &done).ok()) {
+    state.SkipWithError("allocation failed");
+    return;
+  }
+  Rng rng(2);
+  sim::TimeMs t = done;
+  for (auto _ : state) {
+    const uint64_t offset =
+        RoundDown(rng.UniformInt(0, MiB(32) - KiB(8) - 1), KiB(8));
+    t = fs.Read(id, offset, KiB(8), t);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(cached ? "64M-cache" : "uncached");
+}
+BENCHMARK(BM_CachedRead)->Arg(0)->Arg(1)->Unit(benchmark::kNanosecond);
+
+void BM_BufferCacheTouch(benchmark::State& state) {
+  BufferCache cache(8192, 8);
+  Rng rng(3);
+  for (int i = 0; i < 8192; ++i) cache.Insert(rng.UniformInt(0, 1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Touch(rng.UniformInt(0, 1 << 20)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BufferCacheTouch)->Unit(benchmark::kNanosecond);
+
+void BM_ExtendTruncateChurn(benchmark::State& state) {
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(8));
+  alloc::RestrictedBuddyAllocator allocator(disk.capacity_du(),
+                                            alloc::RestrictedBuddyConfig{});
+  ReadOptimizedFs fs(&allocator, &disk);
+  fs.set_io_enabled(false);
+  std::vector<FileId> ids;
+  sim::TimeMs done = 0;
+  for (int i = 0; i < 256; ++i) {
+    ids.push_back(fs.Create(KiB(8)));
+    (void)fs.Extend(ids.back(), KiB(64), 0.0, &done);
+  }
+  Rng rng(4);
+  for (auto _ : state) {
+    const FileId id = ids[rng.UniformInt(0, ids.size() - 1)];
+    if (rng.Bernoulli(0.5)) {
+      (void)fs.Extend(id, KiB(8), 0.0, &done);
+    } else {
+      fs.Truncate(id, KiB(8));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExtendTruncateChurn)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace rofs::fs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Reproduces Table 3 of the paper: the Koch buddy allocation policy's
+// internal/external fragmentation (allocation test) and application /
+// sequential throughput for the SC, TP and TS workloads.
+//
+// Paper values for comparison:
+//   SC: int 43.1%  ext 13.4%  app 88.0%  seq 94.4%
+//   TP: int 15.2%  ext  9.0%  app 27.7%  seq 93.9%
+//   TS: int 18.4%  ext  2.3%  app  8.4%  seq 12.0%
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "exp/reporting.h"
+#include "util/table.h"
+
+using namespace rofs;
+
+int main() {
+  const disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
+  exp::PrintBanner("Table 3: Results for Buddy Allocation", "Table 3",
+                   disk_config);
+
+  Table table({"Workload", "Internal Frag", "External Frag",
+               "Application", "Sequential", "(paper: int/ext/app/seq)"});
+  const char* paper[] = {"43.1% 13.4% 88.0% 94.4%",
+                         "15.2%  9.0% 27.7% 93.9%",
+                         "18.4%  2.3%  8.4% 12.0%"};
+
+  int row = 0;
+  for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
+    exp::Experiment experiment(workload::MakeWorkload(kind),
+                               bench::BuddyFactory(), disk_config,
+                               bench::BenchExperimentConfig());
+    auto alloc_result = experiment.RunAllocationTest();
+    bench::DieOnError(alloc_result.status(), "buddy allocation test");
+    auto perf = experiment.RunPerformancePair();
+    bench::DieOnError(perf.status(), "buddy performance tests");
+
+    table.AddRow({workload::WorkloadKindToString(kind),
+                  exp::Pct(alloc_result->internal_fragmentation),
+                  exp::Pct(alloc_result->external_fragmentation),
+                  exp::Pct(perf->application.utilization_of_max),
+                  exp::Pct(perf->sequential.utilization_of_max),
+                  paper[row++]});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Example: using the disk subsystem directly — no file system — to
+// explore how striping, transfer size, and redundancy shape throughput on
+// the paper's 8-drive array. Useful for understanding the timing model
+// underneath every experiment.
+//
+// Run:  ./build/examples/disk_array_explorer
+
+#include <cstdio>
+
+#include "disk/disk_system.h"
+#include "util/random.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace rofs;
+
+namespace {
+
+/// Issues `count` random reads of `bytes` each and returns achieved MB/s.
+double RandomReadRate(disk::DiskSystem& sys, uint64_t bytes, int count,
+                      uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t n_du = bytes / sys.disk_unit_bytes();
+  sim::TimeMs done = 0;
+  for (int i = 0; i < count; ++i) {
+    const uint64_t start = rng.UniformInt(0, sys.capacity_du() - n_du - 1);
+    done = sys.Read(done, start, n_du);  // Closed loop: one at a time.
+  }
+  return static_cast<double>(bytes) * count / done * 1000.0 / (1e6);
+}
+
+/// One long sequential scan.
+double SequentialRate(disk::DiskSystem& sys, uint64_t bytes) {
+  const sim::TimeMs done = sys.Read(0, 0, bytes / sys.disk_unit_bytes());
+  return static_cast<double>(bytes) / done * 1000.0 / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+
+  std::printf("1) Transfer size vs random-read throughput (striped)\n");
+  Table t1({"Transfer", "MB/s", "% of max"});
+  {
+    disk::DiskSystem probe(disk::DiskSystemConfig::Array(8));
+    const double max_mb =
+        probe.MaxSequentialBandwidthBytesPerMs() * 1000.0 / 1e6;
+    for (uint64_t kb : {1, 8, 64, 512, 4096, 16384}) {
+      disk::DiskSystem sys(disk::DiskSystemConfig::Array(8));
+      const double rate = RandomReadRate(sys, KiB(kb), 500, kb);
+      t1.AddRow({FormatBytes(KiB(kb)), FormatString("%.2f", rate),
+                 FormatString("%.1f%%", rate / max_mb * 100)});
+    }
+  }
+  std::printf("%s\n", t1.ToString().c_str());
+
+  std::printf("2) Stripe unit vs a 1MB random read\n");
+  Table t2({"Stripe unit", "MB/s"});
+  for (uint64_t kb : {4, 24, 96, 384, 1024}) {
+    disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(8);
+    cfg.stripe_unit_bytes = KiB(kb);
+    disk::DiskSystem sys(cfg);
+    t2.AddRow({FormatBytes(KiB(kb)),
+               FormatString("%.2f", RandomReadRate(sys, MiB(1), 300, kb))});
+  }
+  std::printf("%s\n", t2.ToString().c_str());
+
+  std::printf("3) Redundancy vs sequential scan and small random writes\n");
+  Table t3({"Layout", "Seq MB/s", "8K-write ops/s"});
+  for (disk::LayoutKind layout :
+       {disk::LayoutKind::kStriped, disk::LayoutKind::kMirrored,
+        disk::LayoutKind::kRaid5, disk::LayoutKind::kParityStriped}) {
+    disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(8);
+    cfg.layout = layout;
+    disk::DiskSystem seq_sys(cfg);
+    const double seq = SequentialRate(seq_sys, MiB(512));
+    disk::DiskSystem wr_sys(cfg);
+    Rng rng(9);
+    sim::TimeMs done = 0;
+    const int kWrites = 500;
+    for (int i = 0; i < kWrites; ++i) {
+      const uint64_t start = rng.UniformInt(0, wr_sys.capacity_du() - 9);
+      done = wr_sys.Write(done, start, 8);
+    }
+    t3.AddRow({disk::LayoutKindToString(layout), FormatString("%.2f", seq),
+               FormatString("%.0f", kWrites / done * 1000.0)});
+  }
+  std::printf("%s\n", t3.ToString().c_str());
+  std::printf(
+      "Note the RAID5 small-write penalty vs striped — the paper's\n"
+      "section 6 prediction, quantified.\n");
+  return 0;
+}

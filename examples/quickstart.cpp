@@ -1,0 +1,87 @@
+// Quickstart: build the paper's default 8-disk striped array, put the
+// restricted buddy policy on it, create some files, do a little I/O, and
+// run one full experiment (allocation + performance tests) for the
+// supercomputer workload.
+//
+// Run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "exp/experiment.h"
+#include "exp/reporting.h"
+#include "fs/read_optimized_fs.h"
+#include "util/units.h"
+#include "workload/workloads.h"
+
+using namespace rofs;
+
+int main() {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);
+  // --- 1. The disk system: 8 CDC Wren IV drives, striped (Table 1). ---
+  disk::DiskSystemConfig disk_config = disk::DiskSystemConfig::Array(8);
+  disk::DiskSystem disk(disk_config);
+  std::printf("Disk system: %s\n\n", disk.DescribeConfig().c_str());
+
+  // --- 2. An allocation policy: restricted buddy, 5 block sizes. ---
+  alloc::RestrictedBuddyConfig rb_config;
+  rb_config.block_sizes_du = {1, 8, 64, 1024, 16384};  // 1K..16M (1K DU)
+  rb_config.grow_factor = 1;
+  rb_config.clustered = true;
+  alloc::RestrictedBuddyAllocator allocator(disk.capacity_du(), rb_config);
+
+  // --- 3. The file system facade. ---
+  fs::ReadOptimizedFs rofs(&allocator, &disk);
+
+  const fs::FileId file = rofs.Create(/*pref_extent_bytes=*/MiB(1));
+  sim::TimeMs done = 0;
+  Status status = rofs.Extend(file, MiB(4), /*arrival=*/0.0, &done);
+  if (!status.ok()) {
+    std::printf("extend failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Created a 4 MB file: %zu extents, %s allocated, "
+              "initial write finished at t=%.1f ms\n",
+              rofs.file(file).alloc.extents.size(),
+              FormatBytes(rofs.total_allocated_bytes()).c_str(), done);
+
+  const sim::TimeMs read_done = rofs.Read(file, 0, MiB(4), done);
+  std::printf("Whole-file read: %.1f ms -> %.1f MB/s (max %.1f MB/s)\n\n",
+              read_done - done,
+              static_cast<double>(MiB(4)) / (read_done - done) * 1000.0 /
+                  (1024 * 1024),
+              disk.MaxSequentialBandwidthBytesPerMs() * 1000.0 /
+                  (1024 * 1024));
+
+  // --- 4. A full experiment: SC workload on this policy. ---
+  exp::ExperimentConfig config;
+  config.max_measure_ms = 120'000;  // Quick demo settings.
+  exp::Experiment experiment(
+      workload::MakeSuperComputer(),
+      [&](uint64_t total_du) {
+        return std::make_unique<alloc::RestrictedBuddyAllocator>(total_du,
+                                                                 rb_config);
+      },
+      disk_config, config);
+
+  auto alloc_result = experiment.RunAllocationTest();
+  if (!alloc_result.ok()) {
+    std::printf("allocation test: %s\n", alloc_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SC allocation test:  %s\n",
+              exp::Summarize(*alloc_result).c_str());
+
+  auto perf = experiment.RunPerformancePair();
+  if (!perf.ok()) {
+    std::printf("performance test: %s\n", perf.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SC application test: %s\n",
+              exp::Summarize(perf->application).c_str());
+  std::printf("SC sequential test:  %s\n",
+              exp::Summarize(perf->sequential).c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "alloc/allocator.h"
+
+#include <algorithm>
+
+namespace rofs::alloc {
+
+uint64_t Allocator::TruncateTail(FileAllocState* f, uint64_t n_du) {
+  uint64_t remaining = std::min(n_du, f->allocated_du);
+  uint64_t freed = 0;
+  while (remaining > 0 && !f->extents.empty()) {
+    Extent& tail = f->extents.back();
+    if (tail.length_du <= remaining) {
+      FreeRun(tail.start_du, tail.length_du);
+      ++stats_.blocks_freed;
+      remaining -= tail.length_du;
+      freed += tail.length_du;
+      f->extents.pop_back();
+      f->cum_du.pop_back();
+      continue;
+    }
+    // Partial tail block: free what the policy's granularity allows.
+    const uint64_t gran = PartialFreeGranularity();
+    const uint64_t part = remaining / gran * gran;
+    if (part == 0) break;
+    tail.length_du -= part;
+    FreeRun(tail.start_du + tail.length_du, part);
+    ++stats_.blocks_freed;
+    freed += part;
+    remaining -= part;
+    f->RebuildCumFrom(f->extents.size() - 1);
+  }
+  f->allocated_du = f->extents.empty() ? 0 : f->cum_du.back();
+  return freed;
+}
+
+void Allocator::DeleteFile(FileAllocState* f) {
+  for (const Extent& e : f->extents) {
+    FreeRun(e.start_du, e.length_du);
+    ++stats_.blocks_freed;
+  }
+  f->extents.clear();
+  f->cum_du.clear();
+  f->allocated_du = 0;
+}
+
+}  // namespace rofs::alloc

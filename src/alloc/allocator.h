@@ -1,0 +1,142 @@
+#ifndef ROFS_ALLOC_ALLOCATOR_H_
+#define ROFS_ALLOC_ALLOCATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rofs::alloc {
+
+/// A contiguous run of disk units assigned to a file. Extents are recorded
+/// one per allocated block/extent (never merged), so the owning policy can
+/// free each with its original granularity; the file-system layer merges
+/// physically adjacent extents when building disk transfers.
+struct Extent {
+  uint64_t start_du = 0;
+  uint64_t length_du = 0;
+
+  uint64_t end_du() const { return start_du + length_du; }
+  friend bool operator==(const Extent& a, const Extent& b) {
+    return a.start_du == b.start_du && a.length_du == b.length_du;
+  }
+};
+
+/// Per-file allocation state, owned by the file-system layer and mutated
+/// only by the allocation policy.
+struct FileAllocState {
+  /// Extents in logical order. `cum_du[i]` is the total allocation through
+  /// extent i, maintained for O(log n) offset lookup.
+  std::vector<Extent> extents;
+  std::vector<uint64_t> cum_du;
+  uint64_t allocated_du = 0;
+
+  /// Preferred extent size in DU (Table 2 "Allocation Size"); used by the
+  /// extent-based policy to choose an extent-size range.
+  uint64_t pref_extent_du = 0;
+  /// Bookkeeping region holding this file's descriptor (clustered
+  /// restricted-buddy policy).
+  uint64_t fd_region = 0;
+  /// Extent-size range chosen for this file (extent-based policy).
+  int32_t range_index = -1;
+
+  void AppendExtent(Extent e) {
+    extents.push_back(e);
+    allocated_du += e.length_du;
+    cum_du.push_back(allocated_du);
+  }
+
+  /// Recomputes cum_du from extent index `from` onward (after tail edits).
+  void RebuildCumFrom(size_t from) {
+    cum_du.resize(extents.size());
+    uint64_t acc = from == 0 ? 0 : cum_du[from - 1];
+    for (size_t i = from; i < extents.size(); ++i) {
+      acc += extents[i].length_du;
+      cum_du[i] = acc;
+    }
+    allocated_du = extents.empty() ? 0 : cum_du.back();
+  }
+};
+
+/// Counters shared by all policies; exposed for tests and microbenchmarks.
+struct AllocatorStats {
+  uint64_t alloc_calls = 0;
+  uint64_t blocks_allocated = 0;
+  uint64_t blocks_freed = 0;
+  uint64_t splits = 0;
+  uint64_t coalesces = 0;
+  uint64_t failed_allocs = 0;
+};
+
+/// Interface implemented by the four allocation policies under study
+/// (paper section 4): Koch buddy, restricted buddy, extent-based, and the
+/// fixed-block baseline.
+///
+/// All sizes are in disk units (DU). The allocator manages the linear
+/// logical address space [0, total_du); the disk layout beneath it turns
+/// contiguous logical runs into striped physical transfers.
+class Allocator {
+ public:
+  explicit Allocator(uint64_t total_du) : total_du_(total_du) {}
+  virtual ~Allocator() = default;
+
+  Allocator(const Allocator&) = delete;
+  Allocator& operator=(const Allocator&) = delete;
+
+  virtual std::string name() const = 0;
+
+  uint64_t total_du() const { return total_du_; }
+  virtual uint64_t free_du() const = 0;
+  uint64_t used_du() const { return total_du_ - free_du(); }
+
+  /// Fraction of the disk system in use.
+  double Utilization() const {
+    return total_du_ == 0
+               ? 0.0
+               : static_cast<double>(used_du()) / static_cast<double>(total_du_);
+  }
+
+  /// Hook called when a file is created (e.g. to place its descriptor in a
+  /// bookkeeping region). Default: nothing.
+  virtual void OnCreateFile(FileAllocState* f) { (void)f; }
+
+  /// Grows `f` by at least `want_du` units (policies round up to their own
+  /// block/extent granularity). Appends the new extents to `f` and returns
+  /// OK, or ResourceExhausted when the disk system cannot satisfy the
+  /// request — the paper's "disk full condition". On failure the file
+  /// keeps whatever extents were appended before the failing block.
+  virtual Status Extend(FileAllocState* f, uint64_t want_du) = 0;
+
+  /// Frees up to `n_du` units from the file's tail, whole blocks at a time
+  /// (the boundary block is split when the policy supports it). Returns the
+  /// number of units actually freed.
+  virtual uint64_t TruncateTail(FileAllocState* f, uint64_t n_du);
+
+  /// Frees the entire allocation of `f`.
+  virtual void DeleteFile(FileAllocState* f);
+
+  const AllocatorStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = AllocatorStats{}; }
+
+  /// Validates internal free-space bookkeeping; used by tests. Returns the
+  /// recomputed free unit count.
+  virtual uint64_t CheckConsistency() const = 0;
+
+ protected:
+  /// Returns the units of [start, start+len) to the policy's free store.
+  /// `len` endpoints are always aligned to the policy's smallest unit.
+  virtual void FreeRun(uint64_t start_du, uint64_t len_du) = 0;
+
+  /// Largest prefix of `want_du` that may be freed from a partial tail
+  /// block (policies that only free whole blocks round down). Default:
+  /// everything.
+  virtual uint64_t PartialFreeGranularity() const { return 1; }
+
+  uint64_t total_du_;
+  AllocatorStats stats_;
+};
+
+}  // namespace rofs::alloc
+
+#endif  // ROFS_ALLOC_ALLOCATOR_H_

@@ -1,0 +1,133 @@
+#include "alloc/buddy_allocator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace rofs::alloc {
+
+namespace {
+
+uint32_t OrderOf(uint64_t size_du) {
+  assert(IsPowerOfTwo(size_du));
+  return static_cast<uint32_t>(std::countr_zero(size_du));
+}
+
+}  // namespace
+
+BuddyAllocator::BuddyAllocator(uint64_t total_du, uint64_t max_extent_du)
+    : Allocator(total_du), max_extent_du_(max_extent_du) {
+  assert(total_du > 0);
+  assert(IsPowerOfTwo(max_extent_du_));
+  num_orders_ = static_cast<uint32_t>(std::bit_width(total_du));
+  assert(num_orders_ < kMaxOrders);
+  free_lists_.resize(num_orders_);
+  // Tile the (possibly non-power-of-two) space with maximal aligned blocks.
+  uint64_t addr = 0;
+  while (addr < total_du) {
+    uint64_t size = uint64_t{1} << (num_orders_ - 1);
+    while (addr % size != 0 || addr + size > total_du) size >>= 1;
+    free_lists_[OrderOf(size)].insert(addr);
+    free_du_ += size;
+    addr += size;
+  }
+  assert(free_du_ == total_du);
+}
+
+bool BuddyAllocator::AllocateBlock(uint32_t order, uint64_t* addr) {
+  uint32_t o = order;
+  while (o < num_orders_ && free_lists_[o].empty()) ++o;
+  if (o >= num_orders_) return false;
+  // Lowest-addressed block, to mimic the natural low-address clustering of
+  // a fresh system; splits cascade down to the requested order.
+  uint64_t block = *free_lists_[o].begin();
+  free_lists_[o].erase(free_lists_[o].begin());
+  while (o > order) {
+    --o;
+    const uint64_t half = uint64_t{1} << o;
+    free_lists_[o].insert(block + half);
+    ++stats_.splits;
+  }
+  free_du_ -= uint64_t{1} << order;
+  ++stats_.blocks_allocated;
+  *addr = block;
+  return true;
+}
+
+void BuddyAllocator::FreeBlock(uint64_t addr, uint32_t order) {
+  // The freed block contributes its own size; coalescing merges buddies
+  // that are already counted in free_du_.
+  free_du_ += uint64_t{1} << order;
+  while (order + 1 < num_orders_) {
+    const uint64_t size = uint64_t{1} << order;
+    const uint64_t buddy = addr ^ size;
+    if (buddy + size > total_du_) break;
+    auto it = free_lists_[order].find(buddy);
+    if (it == free_lists_[order].end()) break;
+    free_lists_[order].erase(it);
+    addr = std::min(addr, buddy);
+    ++order;
+    ++stats_.coalesces;
+  }
+  free_lists_[order].insert(addr);
+}
+
+void BuddyAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
+  // Greedy decomposition into maximal aligned power-of-two blocks; freeing
+  // them individually is equivalent to freeing the original extents, since
+  // coalescing reconstructs larger blocks.
+  uint64_t addr = start_du;
+  uint64_t remaining = len_du;
+  while (remaining > 0) {
+    uint64_t size = uint64_t{1} << (num_orders_ - 1);
+    while (addr % size != 0 || size > remaining) size >>= 1;
+    FreeBlock(addr, OrderOf(size));
+    addr += size;
+    remaining -= size;
+  }
+}
+
+Status BuddyAllocator::Extend(FileAllocState* f, uint64_t want_du) {
+  ++stats_.alloc_calls;
+  if (want_du == 0) return Status::OK();
+  const uint64_t target = f->allocated_du + want_du;
+  while (f->allocated_du < target) {
+    // "Each time a new extent is required, the extent size is chosen to
+    // double the current size of the file."
+    uint64_t ext = f->allocated_du == 0
+                       ? NextPowerOfTwo(std::min(want_du, max_extent_du_))
+                       : NextPowerOfTwo(f->allocated_du);
+    ext = std::min(ext, max_extent_du_);
+    uint64_t addr = 0;
+    if (!AllocateBlock(OrderOf(ext), &addr)) {
+      ++stats_.failed_allocs;
+      return Status::ResourceExhausted("buddy: no free block of " +
+                                       std::to_string(ext) + " du");
+    }
+    f->AppendExtent(Extent{addr, ext});
+  }
+  return Status::OK();
+}
+
+uint64_t BuddyAllocator::CheckConsistency() const {
+  uint64_t total = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> blocks;  // (addr, size)
+  for (uint32_t o = 0; o < num_orders_; ++o) {
+    const uint64_t size = uint64_t{1} << o;
+    for (uint64_t addr : free_lists_[o]) {
+      assert(addr % size == 0);
+      assert(addr + size <= total_du_);
+      blocks.emplace_back(addr, size);
+      total += size;
+    }
+  }
+  std::sort(blocks.begin(), blocks.end());
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    assert(blocks[i - 1].first + blocks[i - 1].second <= blocks[i].first &&
+           "free blocks overlap");
+  }
+  assert(total == free_du_);
+  return total;
+}
+
+}  // namespace rofs::alloc

@@ -1,0 +1,67 @@
+#ifndef ROFS_ALLOC_BUDDY_ALLOCATOR_H_
+#define ROFS_ALLOC_BUDDY_ALLOCATOR_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "util/units.h"
+
+namespace rofs::alloc {
+
+/// Koch's buddy-system file allocation (paper section 4.1, [KOCH87]).
+///
+/// A file is composed of extents whose sizes are powers of two (in disk
+/// units). Each time a new extent is required, its size is chosen to double
+/// the current size of the file, capped at `max_extent_du` (Koch's DTSS
+/// system bounds extent size; the paper notes 64M blocks for the 100M+
+/// files of the SC workload). The nightly reallocation process of KOCH87 is
+/// deliberately not simulated, exactly as in the paper.
+///
+/// Free space is kept in classic binary-buddy free lists, one ordered set
+/// of addresses per power-of-two order, with XOR-buddy coalescing.
+class BuddyAllocator : public Allocator {
+ public:
+  /// `total_du` need not be a power of two; the space is seeded with the
+  /// maximal aligned power-of-two blocks that tile it.
+  explicit BuddyAllocator(uint64_t total_du,
+                          uint64_t max_extent_du = 64 * kMiB / kKiB);
+
+  std::string name() const override { return "buddy"; }
+  uint64_t free_du() const override { return free_du_; }
+
+  Status Extend(FileAllocState* f, uint64_t want_du) override;
+
+  uint64_t CheckConsistency() const override;
+
+  /// Number of free blocks of the given order (testing).
+  size_t FreeBlocksOfOrder(uint32_t order) const {
+    return free_lists_[order].size();
+  }
+
+ protected:
+  void FreeRun(uint64_t start_du, uint64_t len_du) override;
+
+ private:
+  static constexpr uint32_t kMaxOrders = 40;
+
+  /// Removes and returns a free block of exactly `order`, splitting larger
+  /// blocks as needed. Returns false when no block of order >= `order` is
+  /// free anywhere (external fragmentation / disk full).
+  bool AllocateBlock(uint32_t order, uint64_t* addr);
+
+  /// Returns a block to the free lists, coalescing with its buddy while
+  /// possible.
+  void FreeBlock(uint64_t addr, uint32_t order);
+
+  uint64_t max_extent_du_;
+  uint32_t num_orders_;  // Orders 0 .. num_orders_-1 are usable.
+  std::vector<std::set<uint64_t>> free_lists_;
+  uint64_t free_du_ = 0;
+};
+
+}  // namespace rofs::alloc
+
+#endif  // ROFS_ALLOC_BUDDY_ALLOCATOR_H_

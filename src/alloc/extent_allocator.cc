@@ -1,0 +1,88 @@
+#include "alloc/extent_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/table.h"
+
+namespace rofs::alloc {
+
+std::string FitPolicyToString(FitPolicy p) {
+  return p == FitPolicy::kFirstFit ? "first-fit" : "best-fit";
+}
+
+std::string ExtentAllocatorConfig::Label() const {
+  std::string out = FormatString("%zu-range/%s", range_means_du.size(),
+                                 FitPolicyToString(fit).c_str());
+  return out;
+}
+
+ExtentAllocator::ExtentAllocator(uint64_t total_du,
+                                 ExtentAllocatorConfig config)
+    : Allocator(total_du), config_(std::move(config)), rng_(config_.seed) {
+  assert(!config_.range_means_du.empty());
+  assert(std::is_sorted(config_.range_means_du.begin(),
+                        config_.range_means_du.end()));
+  free_map_.Free(0, total_du);
+}
+
+int32_t ExtentAllocator::RangeFor(uint64_t pref_du) const {
+  // Nearest range mean in log space.
+  const double want = std::log2(static_cast<double>(std::max<uint64_t>(
+      pref_du, 1)));
+  int32_t best = 0;
+  double best_dist = 1e300;
+  for (size_t i = 0; i < config_.range_means_du.size(); ++i) {
+    const double dist = std::abs(
+        std::log2(static_cast<double>(config_.range_means_du[i])) - want);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = static_cast<int32_t>(i);
+    }
+  }
+  return best;
+}
+
+void ExtentAllocator::OnCreateFile(FileAllocState* f) {
+  f->range_index = RangeFor(f->pref_extent_du);
+}
+
+uint64_t ExtentAllocator::DrawExtentSize(int32_t r) {
+  const double mean =
+      static_cast<double>(config_.range_means_du[static_cast<size_t>(r)]);
+  const double drawn = rng_.Normal(mean, 0.1 * mean);
+  const long long rounded = std::llround(drawn);
+  return rounded < 1 ? 1 : static_cast<uint64_t>(rounded);
+}
+
+Status ExtentAllocator::Extend(FileAllocState* f, uint64_t want_du) {
+  ++stats_.alloc_calls;
+  if (f->range_index < 0) OnCreateFile(f);
+  const uint64_t target = f->allocated_du + want_du;
+  while (f->allocated_du < target) {
+    const uint64_t len = DrawExtentSize(f->range_index);
+    const auto addr = config_.fit == FitPolicy::kFirstFit
+                          ? free_map_.AllocateFirstFit(len)
+                          : free_map_.AllocateBestFit(len);
+    if (!addr) {
+      ++stats_.failed_allocs;
+      return Status::ResourceExhausted(
+          FormatString("extent: no free extent of %llu du",
+                       static_cast<unsigned long long>(len)));
+    }
+    ++stats_.blocks_allocated;
+    f->AppendExtent(Extent{*addr, len});
+  }
+  return Status::OK();
+}
+
+void ExtentAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
+  free_map_.Free(start_du, len_du);
+}
+
+uint64_t ExtentAllocator::CheckConsistency() const {
+  return free_map_.CheckConsistency();
+}
+
+}  // namespace rofs::alloc

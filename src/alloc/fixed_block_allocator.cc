@@ -1,0 +1,57 @@
+#include "alloc/fixed_block_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "util/units.h"
+
+namespace rofs::alloc {
+
+FixedBlockAllocator::FixedBlockAllocator(uint64_t total_du, uint64_t block_du)
+    : Allocator(total_du), block_du_(block_du) {
+  assert(block_du > 0);
+  const uint64_t blocks = total_du / block_du;
+  for (uint64_t b = 0; b < blocks; ++b) free_list_.push_back(b * block_du);
+  // Any trailing partial block is unusable; exclude it from the space.
+  total_du_ = blocks * block_du;
+}
+
+Status FixedBlockAllocator::Extend(FileAllocState* f, uint64_t want_du) {
+  ++stats_.alloc_calls;
+  const uint64_t blocks = CeilDiv(want_du, block_du_);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    if (free_list_.empty()) {
+      ++stats_.failed_allocs;
+      return Status::ResourceExhausted("fixed-block: free list empty");
+    }
+    // "Free blocks are maintained on a free list and allocated off the
+    // head of this list."
+    const uint64_t addr = free_list_.front();
+    free_list_.pop_front();
+    ++stats_.blocks_allocated;
+    f->AppendExtent(Extent{addr, block_du_});
+  }
+  return Status::OK();
+}
+
+void FixedBlockAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
+  assert(start_du % block_du_ == 0);
+  assert(len_du % block_du_ == 0);
+  for (uint64_t a = start_du; a < start_du + len_du; a += block_du_) {
+    free_list_.push_back(a);
+  }
+}
+
+uint64_t FixedBlockAllocator::CheckConsistency() const {
+  std::vector<uint64_t> addrs(free_list_.begin(), free_list_.end());
+  std::sort(addrs.begin(), addrs.end());
+  for (size_t i = 0; i < addrs.size(); ++i) {
+    assert(addrs[i] % block_du_ == 0);
+    assert(addrs[i] + block_du_ <= total_du_);
+    if (i > 0) assert(addrs[i] != addrs[i - 1] && "duplicate free block");
+  }
+  return static_cast<uint64_t>(addrs.size()) * block_du_;
+}
+
+}  // namespace rofs::alloc

@@ -1,0 +1,42 @@
+#ifndef ROFS_ALLOC_FIXED_BLOCK_ALLOCATOR_H_
+#define ROFS_ALLOC_FIXED_BLOCK_ALLOCATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "alloc/allocator.h"
+
+namespace rofs::alloc {
+
+/// The fixed-block baseline of the paper's section 5 comparison: a single
+/// block size (4K for the time-sharing workload, 16K for TP/SC), blocks
+/// allocated off the head of a free list and returned to its tail, with no
+/// bias toward striping or contiguous layout — the UNIX V7 style system
+/// whose logically sequential blocks scatter across the disk as it ages.
+class FixedBlockAllocator : public Allocator {
+ public:
+  FixedBlockAllocator(uint64_t total_du, uint64_t block_du);
+
+  std::string name() const override { return "fixed-block"; }
+  uint64_t block_du() const { return block_du_; }
+  uint64_t free_du() const override {
+    return static_cast<uint64_t>(free_list_.size()) * block_du_;
+  }
+
+  Status Extend(FileAllocState* f, uint64_t want_du) override;
+
+  uint64_t CheckConsistency() const override;
+
+ protected:
+  void FreeRun(uint64_t start_du, uint64_t len_du) override;
+  uint64_t PartialFreeGranularity() const override { return block_du_; }
+
+ private:
+  uint64_t block_du_;
+  std::deque<uint64_t> free_list_;  // Block start addresses, FIFO.
+};
+
+}  // namespace rofs::alloc
+
+#endif  // ROFS_ALLOC_FIXED_BLOCK_ALLOCATOR_H_

@@ -1,0 +1,251 @@
+#include "alloc/free_extent_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rofs::alloc {
+
+FreeExtentMap::~FreeExtentMap() { DeleteTree(root_); }
+
+void FreeExtentMap::DeleteTree(Node* t) {
+  if (t == nullptr) return;
+  DeleteTree(t->left);
+  DeleteTree(t->right);
+  delete t;
+}
+
+void FreeExtentMap::Pull(Node* t) {
+  t->max_len = std::max({t->len, MaxLen(t->left), MaxLen(t->right)});
+}
+
+void FreeExtentMap::SplitByAddr(Node* t, uint64_t addr, Node** lo,
+                                Node** hi) {
+  if (t == nullptr) {
+    *lo = *hi = nullptr;
+    return;
+  }
+  if (t->addr < addr) {
+    SplitByAddr(t->right, addr, &t->right, hi);
+    *lo = t;
+  } else {
+    SplitByAddr(t->left, addr, lo, &t->left);
+    *hi = t;
+  }
+  Pull(t);
+}
+
+FreeExtentMap::Node* FreeExtentMap::MergeTrees(Node* lo, Node* hi) {
+  if (lo == nullptr) return hi;
+  if (hi == nullptr) return lo;
+  if (lo->priority > hi->priority) {
+    lo->right = MergeTrees(lo->right, hi);
+    Pull(lo);
+    return lo;
+  }
+  hi->left = MergeTrees(lo, hi->left);
+  Pull(hi);
+  return hi;
+}
+
+uint32_t FreeExtentMap::NextPriority() {
+  // xorshift64*: deterministic treap shapes for reproducible runs.
+  prio_state_ ^= prio_state_ >> 12;
+  prio_state_ ^= prio_state_ << 25;
+  prio_state_ ^= prio_state_ >> 27;
+  return static_cast<uint32_t>((prio_state_ * 0x2545F4914F6CDD1Dull) >> 32);
+}
+
+FreeExtentMap::Node* FreeExtentMap::InsertNode(Node* t, Node* n) {
+  if (t == nullptr) return n;
+  if (n->priority > t->priority) {
+    SplitByAddr(t, n->addr, &n->left, &n->right);
+    Pull(n);
+    return n;
+  }
+  if (n->addr < t->addr) {
+    t->left = InsertNode(t->left, n);
+  } else {
+    t->right = InsertNode(t->right, n);
+  }
+  Pull(t);
+  return t;
+}
+
+FreeExtentMap::Node* FreeExtentMap::EraseNode(Node* t, uint64_t addr) {
+  assert(t != nullptr && "erasing a missing extent");
+  if (t->addr == addr) {
+    Node* merged = MergeTrees(t->left, t->right);
+    delete t;
+    return merged;
+  }
+  if (addr < t->addr) {
+    t->left = EraseNode(t->left, addr);
+  } else {
+    t->right = EraseNode(t->right, addr);
+  }
+  Pull(t);
+  return t;
+}
+
+void FreeExtentMap::Insert(uint64_t addr, uint64_t len) {
+  assert(len > 0);
+  Node* n = new Node{addr, len, len, NextPriority()};
+  root_ = InsertNode(root_, n);
+  by_size_.emplace(len, addr);
+  free_du_ += len;
+}
+
+void FreeExtentMap::Erase(uint64_t addr, uint64_t len) {
+  root_ = EraseNode(root_, addr);
+  by_size_.erase({len, addr});
+  free_du_ -= len;
+}
+
+FreeExtentMap::Node* FreeExtentMap::FindFloor(uint64_t addr) const {
+  Node* best = nullptr;
+  Node* t = root_;
+  while (t != nullptr) {
+    if (t->addr <= addr) {
+      best = t;
+      t = t->right;
+    } else {
+      t = t->left;
+    }
+  }
+  return best;
+}
+
+FreeExtentMap::Node* FreeExtentMap::FindCeil(uint64_t addr) const {
+  Node* best = nullptr;
+  Node* t = root_;
+  while (t != nullptr) {
+    if (t->addr >= addr) {
+      best = t;
+      t = t->left;
+    } else {
+      t = t->right;
+    }
+  }
+  return best;
+}
+
+FreeExtentMap::Node* FreeExtentMap::FindFirstFit(uint64_t n) const {
+  Node* t = root_;
+  while (t != nullptr) {
+    if (MaxLen(t->left) >= n) {
+      t = t->left;
+    } else if (t->len >= n) {
+      return t;
+    } else {
+      t = t->right;
+    }
+  }
+  return nullptr;
+}
+
+uint64_t FreeExtentMap::LargestFragment() const { return MaxLen(root_); }
+
+std::optional<uint64_t> FreeExtentMap::AllocateFirstFit(uint64_t n) {
+  assert(n > 0);
+  if (MaxLen(root_) < n) return std::nullopt;
+  Node* hit = FindFirstFit(n);
+  assert(hit != nullptr);
+  const uint64_t addr = hit->addr;
+  const uint64_t len = hit->len;
+  Erase(addr, len);
+  if (len > n) Insert(addr + n, len - n);
+  return addr;
+}
+
+std::optional<uint64_t> FreeExtentMap::AllocateBestFit(uint64_t n) {
+  assert(n > 0);
+  auto it = by_size_.lower_bound({n, 0});
+  if (it == by_size_.end()) return std::nullopt;
+  const uint64_t len = it->first;
+  const uint64_t addr = it->second;
+  Erase(addr, len);
+  if (len > n) Insert(addr + n, len - n);
+  return addr;
+}
+
+bool FreeExtentMap::IsFree(uint64_t addr, uint64_t n) const {
+  const Node* floor = FindFloor(addr);
+  return floor != nullptr && addr >= floor->addr &&
+         addr + n <= floor->addr + floor->len;
+}
+
+bool FreeExtentMap::AllocateAt(uint64_t addr, uint64_t n) {
+  assert(n > 0);
+  Node* floor = FindFloor(addr);
+  if (floor == nullptr || addr + n > floor->addr + floor->len) return false;
+  const uint64_t ext_addr = floor->addr;
+  const uint64_t ext_len = floor->len;
+  Erase(ext_addr, ext_len);
+  if (addr > ext_addr) Insert(ext_addr, addr - ext_addr);
+  if (addr + n < ext_addr + ext_len) {
+    Insert(addr + n, ext_addr + ext_len - (addr + n));
+  }
+  return true;
+}
+
+void FreeExtentMap::Free(uint64_t addr, uint64_t n) {
+  assert(n > 0);
+  assert(!IsFree(addr, 1) && "double free");
+  uint64_t new_addr = addr;
+  uint64_t new_len = n;
+  // Coalesce with the predecessor if it ends exactly at `addr`.
+  if (Node* floor = FindFloor(addr)) {
+    assert(floor->addr + floor->len <= addr && "free overlaps predecessor");
+    if (floor->addr + floor->len == addr) {
+      new_addr = floor->addr;
+      new_len += floor->len;
+      Erase(floor->addr, floor->len);
+    }
+  }
+  // Coalesce with the successor if it starts exactly at addr + n.
+  if (Node* ceil = FindCeil(addr + n)) {
+    assert(ceil->addr >= addr + n && "free overlaps successor");
+    if (ceil->addr == addr + n) {
+      new_len += ceil->len;
+      Erase(ceil->addr, ceil->len);
+    }
+  }
+  Insert(new_addr, new_len);
+}
+
+uint64_t FreeExtentMap::CheckSubtree(const Node* t, uint64_t /*lo_bound*/,
+                                     uint64_t* prev_end,
+                                     bool* have_prev) const {
+  if (t == nullptr) return 0;
+  uint64_t total = CheckSubtree(t->left, 0, prev_end, have_prev);
+  assert(t->len > 0);
+  if (*have_prev) {
+    // Strictly separated: adjacent extents must have coalesced.
+    assert(t->addr > *prev_end && "uncoalesced or overlapping extents");
+  }
+  *prev_end = t->addr + t->len;
+  *have_prev = true;
+  assert(by_size_.count({t->len, t->addr}) == 1);
+  assert(t->max_len ==
+         std::max({t->len, MaxLen(t->left), MaxLen(t->right)}));
+  total += t->len;
+  total += CheckSubtree(t->right, 0, prev_end, have_prev);
+  return total;
+}
+
+uint64_t FreeExtentMap::CheckConsistency() const {
+  uint64_t prev_end = 0;
+  bool have_prev = false;
+  const uint64_t total = CheckSubtree(root_, 0, &prev_end, &have_prev);
+  assert(total == free_du_);
+  assert(by_size_.size() >= (root_ == nullptr ? 0u : 1u));
+  uint64_t size_total = 0;
+  for (const auto& [len, addr] : by_size_) {
+    (void)addr;
+    size_total += len;
+  }
+  assert(size_total == free_du_);
+  return total;
+}
+
+}  // namespace rofs::alloc

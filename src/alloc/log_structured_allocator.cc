@@ -1,0 +1,134 @@
+#include "alloc/log_structured_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rofs::alloc {
+
+LogStructuredAllocator::LogStructuredAllocator(uint64_t total_du,
+                                               LogStructuredConfig config)
+    : Allocator(total_du), config_(config) {
+  assert(config_.segment_du > 0);
+  const size_t segments =
+      static_cast<size_t>(CeilDiv(total_du, config_.segment_du));
+  live_du_.assign(segments, 0);
+  for (size_t s = 0; s < segments; ++s) clean_.insert(s);
+  dead_space_.Free(0, total_du);
+}
+
+uint64_t LogStructuredAllocator::SegmentLen(size_t s) const {
+  const uint64_t start = SegmentStart(s);
+  return std::min(config_.segment_du, total_du_ - start);
+}
+
+void LogStructuredAllocator::AddLive(uint64_t addr, uint64_t len) {
+  const size_t s = SegmentOf(addr);
+  assert(SegmentOf(addr + len - 1) == s && "extent crosses segment");
+  live_du_[s] += len;
+  assert(live_du_[s] <= SegmentLen(s));
+  clean_.erase(s);
+}
+
+bool LogStructuredAllocator::ActivateCleanSegment() {
+  if (clean_.empty()) return false;
+  // Prefer the segment following the current head: consecutive segments of
+  // the log stay physically sequential on a fresh disk.
+  auto it = clean_.lower_bound(has_active_ ? active_segment_ + 1 : 0);
+  if (it == clean_.end()) it = clean_.begin();
+  active_segment_ = *it;
+  clean_.erase(it);
+  active_offset_ = 0;
+  has_active_ = true;
+  return true;
+}
+
+Status LogStructuredAllocator::Extend(FileAllocState* f, uint64_t want_du) {
+  ++stats_.alloc_calls;
+  const uint64_t target = f->allocated_du + want_du;
+  while (f->allocated_du < target) {
+    const uint64_t remaining = target - f->allocated_du;
+    // 1. Append at the log head.
+    if (has_active_) {
+      const uint64_t seg_len = SegmentLen(active_segment_);
+      if (active_offset_ < seg_len) {
+        const uint64_t addr = SegmentStart(active_segment_) + active_offset_;
+        const uint64_t len = std::min(remaining, seg_len - active_offset_);
+        if (dead_space_.AllocateAt(addr, len)) {
+          active_offset_ += len;
+          AddLive(addr, len);
+          ++stats_.blocks_allocated;
+          f->AppendExtent(Extent{addr, len});
+          continue;
+        }
+        // The head's tail was consumed by hole-plugging: abandon it.
+      }
+      has_active_ = false;
+    }
+    // 2. Start a new segment from the clean pool.
+    if (ActivateCleanSegment()) continue;
+    // 3. No clean segment: hole-plug the dead space of dirty segments.
+    const uint64_t largest = dead_space_.LargestFragment();
+    if (largest == 0) {
+      ++stats_.failed_allocs;
+      return Status::ResourceExhausted("log-structured: no dead space left");
+    }
+    const uint64_t len = std::min(remaining, largest);
+    const auto addr = dead_space_.AllocateBestFit(len);
+    assert(addr.has_value());
+    ++stats_.splits;  // Count plugs as splits for diagnostics.
+    // The hole may span segment boundaries; chop for live accounting and
+    // to keep the extent-per-segment invariant.
+    uint64_t pos = *addr;
+    uint64_t left = len;
+    while (left > 0) {
+      const size_t s = SegmentOf(pos);
+      const uint64_t in_seg =
+          std::min(left, SegmentStart(s) + SegmentLen(s) - pos);
+      AddLive(pos, in_seg);
+      ++stats_.blocks_allocated;
+      f->AppendExtent(Extent{pos, in_seg});
+      pos += in_seg;
+      left -= in_seg;
+    }
+  }
+  return Status::OK();
+}
+
+void LogStructuredAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
+  dead_space_.Free(start_du, len_du);
+  uint64_t pos = start_du;
+  uint64_t left = len_du;
+  while (left > 0) {
+    const size_t s = SegmentOf(pos);
+    const uint64_t in_seg =
+        std::min(left, SegmentStart(s) + SegmentLen(s) - pos);
+    assert(live_du_[s] >= in_seg);
+    live_du_[s] -= in_seg;
+    if (live_du_[s] == 0) {
+      // Fully dead: the segment is clean and reusable in full.
+      if (has_active_ && s == active_segment_) has_active_ = false;
+      clean_.insert(s);
+    }
+    pos += in_seg;
+    left -= in_seg;
+  }
+}
+
+uint64_t LogStructuredAllocator::CheckConsistency() const {
+  const uint64_t free = dead_space_.CheckConsistency();
+  uint64_t live = 0;
+  for (size_t s = 0; s < live_du_.size(); ++s) {
+    live += live_du_[s];
+    if (clean_.count(s) != 0) {
+      assert(live_du_[s] == 0 && "clean segment with live data");
+    }
+    // A segment with zero live data is clean unless it is the active head.
+    if (live_du_[s] == 0 && !(has_active_ && s == active_segment_)) {
+      assert(clean_.count(s) == 1 && "dead segment missing from clean set");
+    }
+  }
+  assert(live + free == total_du_);
+  return free;
+}
+
+}  // namespace rofs::alloc

@@ -1,0 +1,84 @@
+#ifndef ROFS_ALLOC_LOG_STRUCTURED_ALLOCATOR_H_
+#define ROFS_ALLOC_LOG_STRUCTURED_ALLOCATOR_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "alloc/free_extent_map.h"
+#include "util/units.h"
+
+namespace rofs::alloc {
+
+/// Configuration of the log-structured policy.
+struct LogStructuredConfig {
+  /// Segment size in disk units (LFS: 512K-1M segments).
+  uint64_t segment_du = 1024;
+};
+
+/// A log-structured allocation policy — the paper's section 6 future-work
+/// item ("In the small file environment we might want to incorporate
+/// policies from a log structured file system to allocate blocks
+/// [ROSE90]").
+///
+/// The disk is divided into fixed segments. All allocation appends
+/// sequentially to the active segment, so data written together lands
+/// together (ideal small-file write locality and good read locality for
+/// data with temporal affinity); extents never cross a segment boundary.
+/// Freed space is accounted per segment; a segment whose live count drops
+/// to zero becomes clean and is reused in full. When no clean segment
+/// remains the allocator *hole-plugs*: it fills the dead holes of dirty
+/// segments first-fit. (A copying cleaner that relocates live data — the
+/// full LFS design — is out of scope; hole-plugging is the classic
+/// non-copying alternative and keeps the simulation honest about
+/// fragmentation.)
+class LogStructuredAllocator : public Allocator {
+ public:
+  LogStructuredAllocator(uint64_t total_du, LogStructuredConfig config = {});
+
+  std::string name() const override { return "log-structured"; }
+  const LogStructuredConfig& config() const { return config_; }
+  uint64_t free_du() const override { return dead_space_.free_du(); }
+
+  Status Extend(FileAllocState* f, uint64_t want_du) override;
+
+  uint64_t CheckConsistency() const override;
+
+  /// Number of clean (fully reusable) segments.
+  size_t clean_segments() const { return clean_.size(); }
+  size_t num_segments() const { return live_du_.size(); }
+  /// Live units within segment `s` (testing/diagnostics).
+  uint64_t SegmentLiveDu(size_t s) const { return live_du_[s]; }
+
+ protected:
+  void FreeRun(uint64_t start_du, uint64_t len_du) override;
+
+ private:
+  size_t SegmentOf(uint64_t addr) const { return addr / config_.segment_du; }
+  uint64_t SegmentStart(size_t s) const { return s * config_.segment_du; }
+  uint64_t SegmentLen(size_t s) const;
+
+  /// Makes a clean segment active (preferring the one after the current
+  /// head, for sequential layout). False when no clean segment exists.
+  bool ActivateCleanSegment();
+
+  /// Adds `len` to the live count of the segment containing [addr,
+  /// addr+len) (the range never crosses a boundary).
+  void AddLive(uint64_t addr, uint64_t len);
+
+  LogStructuredConfig config_;
+  FreeExtentMap dead_space_;
+  std::vector<uint64_t> live_du_;  // Live units per segment.
+  std::set<size_t> clean_;         // Segments with zero live units.
+  // Append head: the active segment and the next offset within it; the
+  // active segment is excluded from clean_ while it is being filled.
+  bool has_active_ = false;
+  size_t active_segment_ = 0;
+  uint64_t active_offset_ = 0;
+};
+
+}  // namespace rofs::alloc
+
+#endif  // ROFS_ALLOC_LOG_STRUCTURED_ALLOCATOR_H_

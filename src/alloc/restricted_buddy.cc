@@ -1,0 +1,331 @@
+#include "alloc/restricted_buddy.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/table.h"
+
+namespace rofs::alloc {
+
+std::string RestrictedBuddyConfig::Label() const {
+  return FormatString("%zusz/g%u/%s", block_sizes_du.size(), grow_factor,
+                      clustered ? "clustered" : "unclustered");
+}
+
+RestrictedBuddyAllocator::RestrictedBuddyAllocator(
+    uint64_t total_du, RestrictedBuddyConfig config)
+    : Allocator(total_du), config_(std::move(config)) {
+  assert(!config_.block_sizes_du.empty());
+  assert(config_.grow_factor >= 1);
+  num_levels_ = static_cast<uint32_t>(config_.block_sizes_du.size());
+  for (uint32_t i = 0; i + 1 < num_levels_; ++i) {
+    assert(config_.block_sizes_du[i] < config_.block_sizes_du[i + 1]);
+    assert(config_.block_sizes_du[i + 1] % config_.block_sizes_du[i] == 0 &&
+           "each block size must be a multiple of all smaller sizes");
+  }
+  if (!config_.clustered) {
+    // Unclustered: a single bookkeeping region spans the whole disk.
+    config_.region_du = total_du;
+  }
+  assert(config_.region_du >= config_.block_sizes_du.back());
+  assert(config_.clustered
+             ? config_.region_du % config_.block_sizes_du.back() == 0
+             : true);
+  const uint64_t region_du = config_.region_du;
+  const size_t num_regions =
+      static_cast<size_t>(CeilDiv(total_du, region_du));
+  regions_.resize(num_regions);
+  for (size_t r = 0; r < num_regions; ++r) {
+    regions_[r].start_du = r * region_du;
+    regions_[r].end_du = std::min(total_du, (r + 1) * region_du);
+    regions_[r].free_by_level.resize(num_levels_);
+  }
+  SeedRange(0, total_du, /*coalesce=*/false);
+  assert(free_du_ == total_du);
+}
+
+void RestrictedBuddyAllocator::InsertFreeBlock(uint64_t addr, uint32_t level) {
+  Region& region = regions_[RegionOf(addr)];
+  const uint64_t size = config_.block_sizes_du[level];
+  const bool inserted = region.free_by_level[level].insert(addr).second;
+  assert(inserted && "double free of a block");
+  (void)inserted;
+  region.free_du += size;
+  free_du_ += size;
+}
+
+void RestrictedBuddyAllocator::RemoveFreeBlock(uint64_t addr, uint32_t level) {
+  Region& region = regions_[RegionOf(addr)];
+  const uint64_t size = config_.block_sizes_du[level];
+  const size_t erased = region.free_by_level[level].erase(addr);
+  assert(erased == 1 && "removing a block that is not free");
+  (void)erased;
+  region.free_du -= size;
+  free_du_ -= size;
+}
+
+void RestrictedBuddyAllocator::SeedRange(uint64_t start, uint64_t end,
+                                         bool coalesce) {
+  uint64_t addr = start;
+  while (addr < end) {
+    uint32_t level = num_levels_;
+    while (level > 0) {
+      const uint64_t s = config_.block_sizes_du[level - 1];
+      if (addr % s == 0 && addr + s <= end) break;
+      --level;
+    }
+    assert(level > 0 && "range endpoints must be aligned to smallest block");
+    const uint64_t s = config_.block_sizes_du[level - 1];
+    if (coalesce) {
+      FreeBlock(addr, level - 1);
+    } else {
+      InsertFreeBlock(addr, level - 1);
+    }
+    addr += s;
+  }
+}
+
+void RestrictedBuddyAllocator::FreeBlock(uint64_t addr, uint32_t level) {
+  InsertFreeBlock(addr, level);
+  // Coalesce complete sibling sets into the parent block, recursively.
+  while (level + 1 < num_levels_) {
+    const uint64_t size = config_.block_sizes_du[level];
+    const uint64_t parent_size = config_.block_sizes_du[level + 1];
+    const uint64_t parent_addr = RoundDown(addr, parent_size);
+    if (parent_addr + parent_size > total_du_) break;
+    const uint64_t siblings = parent_size / size;
+    const auto& free_set =
+        regions_[RegionOf(parent_addr)].free_by_level[level];
+    bool all_free = true;
+    for (uint64_t j = 0; j < siblings; ++j) {
+      if (free_set.find(parent_addr + j * size) == free_set.end()) {
+        all_free = false;
+        break;
+      }
+    }
+    if (!all_free) break;
+    for (uint64_t j = 0; j < siblings; ++j) {
+      RemoveFreeBlock(parent_addr + j * size, level);
+    }
+    ++level;
+    InsertFreeBlock(parent_addr, level);
+    ++stats_.coalesces;
+    addr = parent_addr;
+  }
+}
+
+void RestrictedBuddyAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
+  assert(start_du % config_.block_sizes_du.front() == 0);
+  assert(len_du % config_.block_sizes_du.front() == 0);
+  SeedRange(start_du, start_du + len_du, /*coalesce=*/true);
+}
+
+uint64_t RestrictedBuddyAllocator::CarveFromBlock(uint32_t level,
+                                                  uint64_t addr,
+                                                  uint32_t src_level,
+                                                  uint64_t src_addr) {
+  const uint64_t size = config_.block_sizes_du[level];
+  const uint64_t src_size = config_.block_sizes_du[src_level];
+  assert(addr >= src_addr && addr + size <= src_addr + src_size);
+  RemoveFreeBlock(src_addr, src_level);
+  if (src_level != level) ++stats_.splits;
+  // Return the remainder before and after the carved block as maximal
+  // aligned blocks. They cannot coalesce (their sibling is the carved,
+  // now-allocated block), so plain insertion suffices.
+  if (addr > src_addr) SeedRange(src_addr, addr, /*coalesce=*/false);
+  if (addr + size < src_addr + src_size) {
+    SeedRange(addr + size, src_addr + src_size, /*coalesce=*/false);
+  }
+  ++stats_.blocks_allocated;
+  return addr;
+}
+
+std::optional<uint64_t> RestrictedBuddyAllocator::TakeInRegion(size_t r,
+                                                               uint32_t level,
+                                                               uint64_t from) {
+  const auto& free_set = regions_[r].free_by_level[level];
+  if (free_set.empty()) return std::nullopt;
+  auto it = free_set.lower_bound(from);
+  if (it == free_set.end()) it = free_set.begin();  // Wrap within region.
+  const uint64_t addr = *it;
+  RemoveFreeBlock(addr, level);
+  ++stats_.blocks_allocated;
+  return addr;
+}
+
+std::optional<uint64_t> RestrictedBuddyAllocator::SplitInRegion(size_t r,
+                                                                uint32_t level,
+                                                                uint64_t from) {
+  // Prefer the smallest sufficient source block, keeping the largest
+  // blocks intact for large allocations; among equals prefer the next
+  // sequential block after `from`.
+  for (uint32_t j = level + 1; j < num_levels_; ++j) {
+    const auto& free_set = regions_[r].free_by_level[j];
+    if (free_set.empty()) continue;
+    auto it = free_set.lower_bound(from);
+    if (it == free_set.end()) it = free_set.begin();
+    const uint64_t src = *it;
+    return CarveFromBlock(level, src, j, src);
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> RestrictedBuddyAllocator::TryExactCarve(
+    uint32_t level, uint64_t addr) {
+  const uint64_t size = config_.block_sizes_du[level];
+  if (addr % size != 0 || addr + size > total_du_) return std::nullopt;
+  for (uint32_t j = level; j < num_levels_; ++j) {
+    const uint64_t src_size = config_.block_sizes_du[j];
+    const uint64_t src = RoundDown(addr, src_size);
+    if (src + src_size > total_du_) break;
+    const auto& free_set = regions_[RegionOf(src)].free_by_level[j];
+    if (free_set.find(src) != free_set.end()) {
+      return CarveFromBlock(level, addr, j, src);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> RestrictedBuddyAllocator::AllocateBlock(
+    uint32_t level, std::optional<uint64_t> want_addr, size_t want_region) {
+  // 1. Exact physical contiguity with the file's previous block: carve at
+  // want_addr out of whatever free block covers it. In the clustered
+  // configuration contiguity is only attempted within the optimal region
+  // (a forced region change places the next block without regard to the
+  // previous allocation; paper section 4.2).
+  if (want_addr &&
+      (!config_.clustered || RegionOf(*want_addr) == want_region)) {
+    if (auto addr = TryExactCarve(level, *want_addr)) return addr;
+  }
+  const uint64_t from =
+      want_addr.value_or(regions_[want_region].start_du);
+  // 2. A block of the correct size in the optimal region.
+  if (auto addr = TakeInRegion(want_region, level, from)) return addr;
+  // 3. Adequate contiguous space in the optimal region: split a larger
+  // block, preferably the next sequential one.
+  if (auto addr = SplitInRegion(want_region, level, from)) return addr;
+  // 4. A block of the correct size in any region.
+  const size_t n = regions_.size();
+  for (size_t k = 1; k < n; ++k) {
+    const size_t r = (want_region + k) % n;
+    if (auto addr =
+            TakeInRegion(r, level, regions_[r].start_du)) {
+      return addr;
+    }
+  }
+  // 5. The next region with available contiguous space: split anywhere.
+  for (size_t k = 1; k < n; ++k) {
+    const size_t r = (want_region + k) % n;
+    if (auto addr = SplitInRegion(r, level, regions_[r].start_du)) {
+      return addr;
+    }
+  }
+  return std::nullopt;
+}
+
+uint32_t RestrictedBuddyAllocator::LevelFor(uint64_t allocated_du) const {
+  uint64_t x = allocated_du;
+  for (uint32_t i = 0; i + 1 < num_levels_; ++i) {
+    const uint64_t quota =
+        static_cast<uint64_t>(config_.grow_factor) *
+        config_.block_sizes_du[i + 1];
+    if (x < quota) return i;
+    x -= quota;
+  }
+  return num_levels_ - 1;
+}
+
+void RestrictedBuddyAllocator::OnCreateFile(FileAllocState* f) {
+  if (config_.clustered) {
+    // "If the allocation request is for a file descriptor, the optimal
+    // region is the region after the region in which the last request was
+    // satisfied."
+    last_fd_region_ = (last_fd_region_ + 1) % regions_.size();
+    f->fd_region = last_fd_region_;
+  } else {
+    f->fd_region = 0;
+  }
+}
+
+Status RestrictedBuddyAllocator::Extend(FileAllocState* f, uint64_t want_du) {
+  ++stats_.alloc_calls;
+  const uint64_t target = f->allocated_du + want_du;
+  while (f->allocated_du < target) {
+    const uint32_t level = LevelFor(f->allocated_du);
+    std::optional<uint64_t> want_addr;
+    size_t want_region = config_.clustered ? f->fd_region : 0;
+    if (!f->extents.empty()) {
+      const Extent& last = f->extents.back();
+      if (last.end_du() < total_du_) want_addr = last.end_du();
+      if (config_.clustered) want_region = RegionOf(last.start_du);
+    }
+    // Allocate at the grow policy's preferred level, falling back to
+    // smaller block sizes when no block of the preferred size can be found
+    // or split anywhere. Without the fallback a nearly full system wastes
+    // all sub-maximum free space for large files (see DESIGN.md). Note
+    // that a file whose length is not a multiple of the new block size
+    // pays a seek when its block size grows — the Figure 3 interaction —
+    // because exact-address carving requires alignment.
+    std::optional<uint64_t> addr;
+    uint32_t chosen = level;
+    for (int32_t l = static_cast<int32_t>(level); !addr && l >= 0; --l) {
+      addr = AllocateBlock(static_cast<uint32_t>(l), want_addr, want_region);
+      if (addr) chosen = static_cast<uint32_t>(l);
+    }
+    if (!addr) {
+      ++stats_.failed_allocs;
+      return Status::ResourceExhausted(
+          FormatString("restricted-buddy: no block of %llu du or smaller",
+                       static_cast<unsigned long long>(
+                           config_.block_sizes_du[level])));
+    }
+    f->AppendExtent(Extent{*addr, config_.block_sizes_du[chosen]});
+  }
+  return Status::OK();
+}
+
+uint64_t RestrictedBuddyAllocator::CheckConsistency() const {
+  uint64_t total = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> blocks;
+  for (const Region& region : regions_) {
+    uint64_t region_total = 0;
+    for (uint32_t level = 0; level < num_levels_; ++level) {
+      const uint64_t size = config_.block_sizes_du[level];
+      for (uint64_t addr : region.free_by_level[level]) {
+        assert(addr % size == 0);
+        assert(addr >= region.start_du && addr + size <= region.end_du);
+        blocks.emplace_back(addr, size);
+        region_total += size;
+        // Coalescing invariant: a free non-top block must have at least
+        // one non-free sibling.
+        if (level + 1 < num_levels_) {
+          const uint64_t parent_size = config_.block_sizes_du[level + 1];
+          const uint64_t parent = RoundDown(addr, parent_size);
+          if (parent + parent_size <= total_du_) {
+            bool all_free = true;
+            for (uint64_t a = parent; a < parent + parent_size; a += size) {
+              if (region.free_by_level[level].find(a) ==
+                  region.free_by_level[level].end()) {
+                all_free = false;
+                break;
+              }
+            }
+            assert(!all_free && "uncoalesced complete sibling set");
+            (void)all_free;
+          }
+        }
+      }
+    }
+    assert(region_total == region.free_du);
+    total += region_total;
+  }
+  std::sort(blocks.begin(), blocks.end());
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    assert(blocks[i - 1].first + blocks[i - 1].second <= blocks[i].first &&
+           "free blocks overlap");
+  }
+  assert(total == free_du_);
+  return total;
+}
+
+}  // namespace rofs::alloc

@@ -1,0 +1,137 @@
+#ifndef ROFS_ALLOC_RESTRICTED_BUDDY_H_
+#define ROFS_ALLOC_RESTRICTED_BUDDY_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "util/units.h"
+
+namespace rofs::alloc {
+
+/// Configuration of the restricted buddy policy (paper section 4.2).
+struct RestrictedBuddyConfig {
+  /// Supported block sizes in disk units, ascending. Each size must be an
+  /// integral multiple of every smaller size. The paper's configurations:
+  /// {1K,8K}, {1K,8K,64K}, {1K,8K,64K,1M}, {1K,8K,64K,1M,16M} (with 1K DU).
+  std::vector<uint64_t> block_sizes_du = {1, 8, 64, 1024, 16384};
+
+  /// The grow-policy multiplier g: the allocation unit advances from a_i to
+  /// a_{i+1} once the file holds g * a_{i+1} units in size-a_i blocks.
+  uint32_t grow_factor = 1;
+
+  /// Whether the disk is divided into bookkeeping regions with per-region
+  /// free lists and the paper's region-selection algorithm.
+  bool clustered = true;
+
+  /// Bookkeeping region size in disk units (paper: 32 MB).
+  uint64_t region_du = 32 * kMiB / kKiB;
+
+  /// Human-readable tag like "5sz/g1/clustered".
+  std::string Label() const;
+};
+
+/// The restricted buddy allocation policy: a small set of block sizes,
+/// blocks of size N aligned to N, buddy coalescing on free, sequential
+/// (contiguous) placement of logically sequential blocks whenever possible,
+/// and optional clustering into 32 MB bookkeeping regions.
+///
+/// Free space is tracked per region with one address-ordered set per block
+/// size (the paper stores the top level as a bitmap over maximum-size
+/// blocks and smaller levels as sorted free lists; an ordered set per level
+/// is behaviour-identical and is used uniformly here).
+class RestrictedBuddyAllocator : public Allocator {
+ public:
+  RestrictedBuddyAllocator(uint64_t total_du, RestrictedBuddyConfig config);
+
+  std::string name() const override { return "restricted-buddy"; }
+  const RestrictedBuddyConfig& config() const { return config_; }
+  uint64_t free_du() const override { return free_du_; }
+
+  void OnCreateFile(FileAllocState* f) override;
+  Status Extend(FileAllocState* f, uint64_t want_du) override;
+
+  /// The block-size level (index into block_sizes_du) the grow policy
+  /// prescribes for a file whose current allocation is `allocated_du`.
+  /// Exposed for tests and the Figure 3 analysis bench.
+  uint32_t LevelFor(uint64_t allocated_du) const;
+
+  uint64_t CheckConsistency() const override;
+
+  size_t num_regions() const { return regions_.size(); }
+  /// Free units within one region (testing / diagnostics).
+  uint64_t RegionFreeDu(size_t r) const { return regions_[r].free_du; }
+
+ protected:
+  void FreeRun(uint64_t start_du, uint64_t len_du) override;
+  uint64_t PartialFreeGranularity() const override {
+    return config_.block_sizes_du.front();
+  }
+
+ private:
+  struct Region {
+    uint64_t start_du;
+    uint64_t end_du;
+    /// free_by_level[i] holds start addresses of free blocks of size
+    /// block_sizes_du[i], ordered by address.
+    std::vector<std::set<uint64_t>> free_by_level;
+    uint64_t free_du = 0;
+  };
+
+  size_t RegionOf(uint64_t addr) const { return addr / config_.region_du; }
+
+  /// Allocates one block of level `level`, preferring the address
+  /// `want_addr` (physical contiguity with the file's previous block) and
+  /// the region `want_region` (clustering), falling back per the paper's
+  /// region-selection algorithm. Returns the block address or nullopt when
+  /// no block can be found anywhere (disk full for this size).
+  std::optional<uint64_t> AllocateBlock(uint32_t level,
+                                        std::optional<uint64_t> want_addr,
+                                        size_t want_region);
+
+  /// Carves a block of `level` at exactly `addr` out of the enclosing free
+  /// block of level `src_level` starting at `src_addr`; the remainder is
+  /// linked back into the free lists. Caller guarantees containment.
+  uint64_t CarveFromBlock(uint32_t level, uint64_t addr, uint32_t src_level,
+                          uint64_t src_addr);
+
+  /// Attempts to claim a block of exactly `level` at exactly `addr` by
+  /// carving it out of whatever free block covers it. nullopt when the
+  /// address is not inside any free block.
+  std::optional<uint64_t> TryExactCarve(uint32_t level, uint64_t addr);
+
+  /// Finds a free block of exactly `level` inside region `r` at the lowest
+  /// address >= `from`, wrapping to the region start. nullopt if none.
+  std::optional<uint64_t> TakeInRegion(size_t r, uint32_t level,
+                                       uint64_t from);
+
+  /// Finds a larger free block in region `r` to split for a `level` block,
+  /// preferring the next-sequential larger block after `from`.
+  std::optional<uint64_t> SplitInRegion(size_t r, uint32_t level,
+                                        uint64_t from);
+
+  /// Returns a free block of `level` at `addr` to its region's lists,
+  /// coalescing complete sibling sets into parent blocks recursively.
+  void FreeBlock(uint64_t addr, uint32_t level);
+
+  void RemoveFreeBlock(uint64_t addr, uint32_t level);
+  void InsertFreeBlock(uint64_t addr, uint32_t level);
+
+  /// Inserts the range [start, end) into the free lists as maximal aligned
+  /// blocks, without coalescing checks (used for split remainders and
+  /// initial seeding).
+  void SeedRange(uint64_t start, uint64_t end, bool coalesce);
+
+  RestrictedBuddyConfig config_;
+  std::vector<Region> regions_;
+  uint64_t free_du_ = 0;
+  size_t last_fd_region_ = 0;
+  uint32_t num_levels_;
+};
+
+}  // namespace rofs::alloc
+
+#endif  // ROFS_ALLOC_RESTRICTED_BUDDY_H_

@@ -1,0 +1,290 @@
+#include "config/config_parser.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.h"
+#include "util/units.h"
+
+namespace rofs::config {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Non-throwing numeric parsing; returns false unless the whole string
+/// (after trimming) up to `*end_pos` is consumed by the number.
+bool ParseDoublePrefix(const std::string& text, double* value,
+                       size_t* end_pos) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || errno == ERANGE) return false;
+  *value = v;
+  *end_pos = static_cast<size_t>(end - begin);
+  return true;
+}
+
+Status MissingKey(const Section& section, const std::string& key) {
+  return Status::NotFound(FormatString("section [%s%s%s] has no key '%s'",
+                                       section.name.c_str(),
+                                       section.argument.empty() ? "" : " ",
+                                       section.argument.c_str(),
+                                       key.c_str()));
+}
+
+}  // namespace
+
+StatusOr<uint64_t> ParseSize(const std::string& text) {
+  const std::string t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty size");
+  double value = 0;
+  size_t pos = 0;
+  if (!ParseDoublePrefix(t, &value, &pos) || value < 0) {
+    return Status::InvalidArgument("malformed size '" + t + "'");
+  }
+  const std::string suffix = Lower(Trim(t.substr(pos)));
+  double multiplier = 1;
+  if (suffix.empty() || suffix == "b") {
+    multiplier = 1;
+  } else if (suffix == "k") {
+    multiplier = 1024;
+  } else if (suffix == "m") {
+    multiplier = 1024.0 * 1024;
+  } else if (suffix == "g") {
+    multiplier = 1024.0 * 1024 * 1024;
+  } else if (suffix == "kb") {
+    multiplier = 1e3;
+  } else if (suffix == "mb") {
+    multiplier = 1e6;
+  } else if (suffix == "gb") {
+    multiplier = 1e9;
+  } else {
+    return Status::InvalidArgument("unknown size suffix '" + suffix + "'");
+  }
+  return static_cast<uint64_t>(value * multiplier + 0.5);
+}
+
+StatusOr<double> ParseDurationMs(const std::string& text) {
+  const std::string t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty duration");
+  double value = 0;
+  size_t pos = 0;
+  if (!ParseDoublePrefix(t, &value, &pos)) {
+    return Status::InvalidArgument("malformed duration '" + t + "'");
+  }
+  const std::string suffix = Lower(Trim(t.substr(pos)));
+  if (suffix.empty() || suffix == "ms") return value;
+  if (suffix == "s") return value * 1000.0;
+  if (suffix == "m" || suffix == "min") return value * 60'000.0;
+  return Status::InvalidArgument("unknown duration suffix '" + suffix + "'");
+}
+
+StatusOr<std::string> Section::GetString(const std::string& key) const {
+  auto it = values.find(key);
+  if (it == values.end()) return MissingKey(*this, key);
+  return it->second;
+}
+
+StatusOr<int64_t> Section::GetInt(const std::string& key) const {
+  ROFS_ASSIGN_OR_RETURN(const std::string text, GetString(key));
+  int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("key '" + key + "': malformed integer '" +
+                                   text + "'");
+  }
+  return v;
+}
+
+StatusOr<double> Section::GetDouble(const std::string& key) const {
+  ROFS_ASSIGN_OR_RETURN(const std::string text, GetString(key));
+  double v = 0;
+  size_t pos = 0;
+  if (!ParseDoublePrefix(text, &v, &pos) || pos != text.size()) {
+    return Status::InvalidArgument("key '" + key + "': malformed number '" +
+                                   text + "'");
+  }
+  return v;
+}
+
+StatusOr<bool> Section::GetBool(const std::string& key) const {
+  ROFS_ASSIGN_OR_RETURN(const std::string raw, GetString(key));
+  const std::string text = Lower(raw);
+  if (text == "true" || text == "yes" || text == "1" || text == "on") {
+    return true;
+  }
+  if (text == "false" || text == "no" || text == "0" || text == "off") {
+    return false;
+  }
+  return Status::InvalidArgument("key '" + key + "': malformed bool '" +
+                                 raw + "'");
+}
+
+StatusOr<uint64_t> Section::GetSize(const std::string& key) const {
+  ROFS_ASSIGN_OR_RETURN(const std::string text, GetString(key));
+  auto size = ParseSize(text);
+  if (!size.ok()) {
+    return Status::InvalidArgument("key '" + key +
+                                   "': " + size.status().message());
+  }
+  return *size;
+}
+
+StatusOr<double> Section::GetDurationMs(const std::string& key) const {
+  ROFS_ASSIGN_OR_RETURN(const std::string text, GetString(key));
+  auto ms = ParseDurationMs(text);
+  if (!ms.ok()) {
+    return Status::InvalidArgument("key '" + key +
+                                   "': " + ms.status().message());
+  }
+  return *ms;
+}
+
+StatusOr<std::vector<uint64_t>> Section::GetSizeList(
+    const std::string& key) const {
+  ROFS_ASSIGN_OR_RETURN(const std::string text, GetString(key));
+  std::vector<uint64_t> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    auto size = ParseSize(item);
+    if (!size.ok()) {
+      return Status::InvalidArgument("key '" + key +
+                                     "': " + size.status().message());
+    }
+    out.push_back(*size);
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("key '" + key + "': empty list");
+  }
+  return out;
+}
+
+StatusOr<int64_t> Section::GetIntOr(const std::string& key,
+                                    int64_t fallback) const {
+  return Has(key) ? GetInt(key) : StatusOr<int64_t>(fallback);
+}
+StatusOr<double> Section::GetDoubleOr(const std::string& key,
+                                      double fallback) const {
+  return Has(key) ? GetDouble(key) : StatusOr<double>(fallback);
+}
+StatusOr<bool> Section::GetBoolOr(const std::string& key,
+                                  bool fallback) const {
+  return Has(key) ? GetBool(key) : StatusOr<bool>(fallback);
+}
+StatusOr<uint64_t> Section::GetSizeOr(const std::string& key,
+                                      uint64_t fallback) const {
+  return Has(key) ? GetSize(key) : StatusOr<uint64_t>(fallback);
+}
+StatusOr<double> Section::GetDurationMsOr(const std::string& key,
+                                          double fallback) const {
+  return Has(key) ? GetDurationMs(key) : StatusOr<double>(fallback);
+}
+StatusOr<std::string> Section::GetStringOr(const std::string& key,
+                                           const std::string& fallback) const {
+  return Has(key) ? GetString(key) : StatusOr<std::string>(fallback);
+}
+
+const Section* ConfigFile::Find(const std::string& name) const {
+  for (const Section& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Section*> ConfigFile::FindAll(
+    const std::string& name) const {
+  std::vector<const Section*> out;
+  for (const Section& s : sections) {
+    if (s.name == name) out.push_back(&s);
+  }
+  return out;
+}
+
+StatusOr<ConfigFile> ParseConfig(const std::string& text) {
+  ConfigFile file;
+  std::stringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    // Strip comments (# and ;) and whitespace.
+    const size_t hash = raw.find_first_of("#;");
+    std::string line = Trim(hash == std::string::npos ? raw
+                                                      : raw.substr(0, hash));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::InvalidArgument(
+            FormatString("line %d: unterminated section header", line_no));
+      }
+      const std::string inner = Trim(line.substr(1, line.size() - 2));
+      if (inner.empty()) {
+        return Status::InvalidArgument(
+            FormatString("line %d: empty section name", line_no));
+      }
+      Section section;
+      const size_t space = inner.find_first_of(" \t");
+      if (space == std::string::npos) {
+        section.name = Lower(inner);
+      } else {
+        section.name = Lower(inner.substr(0, space));
+        section.argument = Trim(inner.substr(space + 1));
+      }
+      file.sections.push_back(std::move(section));
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          FormatString("line %d: expected 'key = value'", line_no));
+    }
+    if (file.sections.empty()) {
+      return Status::InvalidArgument(
+          FormatString("line %d: key outside any [section]", line_no));
+    }
+    const std::string key = Lower(Trim(line.substr(0, eq)));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument(
+          FormatString("line %d: empty key", line_no));
+    }
+    file.sections.back().values[key] = value;
+  }
+  return file;
+}
+
+StatusOr<ConfigFile> ParseConfigFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open config file '" + path + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return ParseConfig(buffer.str());
+}
+
+}  // namespace rofs::config

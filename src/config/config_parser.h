@@ -1,0 +1,79 @@
+#ifndef ROFS_CONFIG_CONFIG_PARSER_H_
+#define ROFS_CONFIG_CONFIG_PARSER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace rofs::config {
+
+/// One `[section]` or `[section argument]` block of a simulator config
+/// file, with its key = value pairs.
+struct Section {
+  std::string name;        ///< e.g. "disk", "policy", "filetype".
+  std::string argument;    ///< e.g. the file-type name; may be empty.
+  std::map<std::string, std::string> values;
+
+  bool Has(const std::string& key) const { return values.count(key) != 0; }
+
+  /// Typed getters; every parse failure carries the section/key context.
+  StatusOr<std::string> GetString(const std::string& key) const;
+  StatusOr<int64_t> GetInt(const std::string& key) const;
+  StatusOr<double> GetDouble(const std::string& key) const;
+  StatusOr<bool> GetBool(const std::string& key) const;
+  /// Size with optional binary suffix: "8K", "1M", "2G", "512"; or
+  /// decimal suffix: "8KB", "210MB".
+  StatusOr<uint64_t> GetSize(const std::string& key) const;
+  /// Duration in milliseconds: "250ms", "10s", "5m", or a bare number
+  /// (milliseconds).
+  StatusOr<double> GetDurationMs(const std::string& key) const;
+  /// Comma-separated sizes: "1K,8K,64K".
+  StatusOr<std::vector<uint64_t>> GetSizeList(const std::string& key) const;
+
+  /// Getters with defaults (missing key -> fallback; malformed -> error).
+  StatusOr<int64_t> GetIntOr(const std::string& key, int64_t fallback) const;
+  StatusOr<double> GetDoubleOr(const std::string& key,
+                               double fallback) const;
+  StatusOr<bool> GetBoolOr(const std::string& key, bool fallback) const;
+  StatusOr<uint64_t> GetSizeOr(const std::string& key,
+                               uint64_t fallback) const;
+  StatusOr<double> GetDurationMsOr(const std::string& key,
+                                   double fallback) const;
+  StatusOr<std::string> GetStringOr(const std::string& key,
+                                    const std::string& fallback) const;
+};
+
+/// A parsed config file: ordered sections.
+struct ConfigFile {
+  std::vector<Section> sections;
+
+  /// First section with the given name, or nullptr.
+  const Section* Find(const std::string& name) const;
+  /// All sections with the given name (e.g. every [filetype ...]).
+  std::vector<const Section*> FindAll(const std::string& name) const;
+};
+
+/// Parses INI-style text:
+///   # comment
+///   [section optional-argument]
+///   key = value
+/// Keys before any section header are an error; unknown content reports
+/// line numbers.
+StatusOr<ConfigFile> ParseConfig(const std::string& text);
+
+/// Reads and parses a file from disk.
+StatusOr<ConfigFile> ParseConfigFile(const std::string& path);
+
+/// Size literal parser exposed for reuse: "8K" -> 8192, "8KB" -> 8000,
+/// "512" -> 512. Suffixes K/M/G are binary; KB/MB/GB decimal.
+StatusOr<uint64_t> ParseSize(const std::string& text);
+
+/// Duration parser: "250ms" / "10s" / "2m" / bare ms.
+StatusOr<double> ParseDurationMs(const std::string& text);
+
+}  // namespace rofs::config
+
+#endif  // ROFS_CONFIG_CONFIG_PARSER_H_

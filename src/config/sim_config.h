@@ -1,0 +1,57 @@
+#ifndef ROFS_CONFIG_SIM_CONFIG_H_
+#define ROFS_CONFIG_SIM_CONFIG_H_
+
+#include <string>
+
+#include "config/config_parser.h"
+#include "disk/disk_system.h"
+#include "exp/experiment.h"
+#include "workload/file_type.h"
+
+namespace rofs::config {
+
+/// Which tests a config asks for.
+struct TestSelection {
+  bool allocation = true;
+  bool application = true;
+  bool sequential = true;
+};
+
+/// A fully materialized simulation described by a config file: the disk
+/// system, the allocation policy, the workload, and the experiment
+/// parameters — the same knobs the paper's own simulator exposed.
+struct SimConfig {
+  disk::DiskSystemConfig disk;
+  exp::Experiment::AllocatorFactory allocator_factory;
+  std::string policy_label;
+  workload::WorkloadSpec workload;
+  exp::ExperimentConfig experiment;
+  TestSelection tests;
+};
+
+/// Builds a SimConfig from a parsed config file.
+///
+/// Sections:
+///   [disk]      disks, cylinders, platters, track_bytes, rotation_ms,
+///               seek_ms, seek_incremental_ms, layout, stripe_unit,
+///               disk_unit
+///   [policy]    kind = buddy | restricted-buddy | extent | fixed | log
+///               (plus kind-specific keys: block_sizes/grow_factor/
+///               clustered; ranges/fit; block; segment; max_extent)
+///   [test]      run = alloc,app,seq | all; seed, sample_interval,
+///               tolerance_pp, warmup, min_measure, max_measure,
+///               fill_lower, fill_upper
+///   [workload]  builtin = TS | TP | SC   (optional shortcut)
+///   [filetype NAME]  every Table 2 parameter (files, users,
+///               process_time, hit_frequency, rw_bytes, rw_dev,
+///               alloc_size, extend_bytes, extend_dev, truncate_bytes,
+///               initial, initial_dev, read, write, extend, delete_ratio,
+///               access = seq|random)
+StatusOr<SimConfig> BuildSimConfig(const ConfigFile& file);
+
+/// Convenience: parse + build from a file path.
+StatusOr<SimConfig> LoadSimConfig(const std::string& path);
+
+}  // namespace rofs::config
+
+#endif  // ROFS_CONFIG_SIM_CONFIG_H_

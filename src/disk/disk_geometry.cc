@@ -1,0 +1,16 @@
+#include "disk/disk_geometry.h"
+
+#include "util/table.h"
+
+namespace rofs::disk {
+
+std::string DiskGeometry::ToString() const {
+  return FormatString(
+      "DiskGeometry{platters=%u cylinders=%u track=%s capacity=%s "
+      "seek=%.2f+N*%.4fms rotation=%.2fms seq_bw=%.1fKB/ms}",
+      platters, cylinders, FormatBytes(track_bytes).c_str(),
+      FormatBytes(capacity_bytes()).c_str(), single_track_seek_ms,
+      seek_incremental_ms, rotation_ms, SequentialBandwidth() / 1024.0);
+}
+
+}  // namespace rofs::disk

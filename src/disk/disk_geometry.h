@@ -1,0 +1,66 @@
+#ifndef ROFS_DISK_DISK_GEOMETRY_H_
+#define ROFS_DISK_DISK_GEOMETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+
+namespace rofs::disk {
+
+/// Physical layout and performance characteristics of one disk drive
+/// (paper Table 1). Seek time for an N-track seek is
+/// `single_track_seek_ms + N * seek_incremental_ms` (paper section 2.1).
+struct DiskGeometry {
+  /// Number of platters == tracks per cylinder (one head per surface).
+  uint32_t platters = 9;
+  uint32_t cylinders = 1600;
+  uint64_t track_bytes = 24 * kKiB;
+  double single_track_seek_ms = 5.5;
+  double seek_incremental_ms = 0.0320;
+  double rotation_ms = 16.67;
+
+  /// Bytes in one cylinder (all tracks under the heads).
+  uint64_t cylinder_bytes() const { return track_bytes * platters; }
+
+  /// Total drive capacity in bytes.
+  uint64_t capacity_bytes() const {
+    return cylinder_bytes() * cylinders;
+  }
+
+  /// Time to seek across `distance` cylinders (0 => no seek).
+  /// Paper: "an N track seek takes ST + N*SI ms".
+  double SeekTime(uint64_t distance) const {
+    if (distance == 0) return 0.0;
+    return single_track_seek_ms +
+           static_cast<double>(distance) * seek_incremental_ms;
+  }
+
+  /// Mean rotational latency (half a rotation).
+  double AvgRotationalLatency() const { return rotation_ms / 2.0; }
+
+  /// Media transfer time for `bytes` at full rotation speed.
+  double TransferTime(uint64_t bytes) const {
+    return static_cast<double>(bytes) /
+           static_cast<double>(track_bytes) * rotation_ms;
+  }
+
+  /// Sustained sequential bandwidth of one drive in bytes/ms: reading whole
+  /// cylinders back to back, paying one single-track seek per cylinder
+  /// switch.
+  double SequentialBandwidth() const {
+    const double cyl_time =
+        static_cast<double>(platters) * rotation_ms + single_track_seek_ms;
+    return static_cast<double>(cylinder_bytes()) / cyl_time;
+  }
+
+  std::string ToString() const;
+};
+
+/// The CDC 5 1/4" Wren IV (94171-344) drive the paper simulates, with the
+/// simulator's rounding of cylinder count (1549 actual -> 1600 simulated).
+inline DiskGeometry CdcWrenIV() { return DiskGeometry{}; }
+
+}  // namespace rofs::disk
+
+#endif  // ROFS_DISK_DISK_GEOMETRY_H_

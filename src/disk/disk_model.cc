@@ -1,0 +1,99 @@
+#include "disk/disk_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rofs::disk {
+
+Disk::Disk(const DiskGeometry& geometry, RotationModel rotation)
+    : geometry_(geometry), rotation_model_(rotation) {}
+
+double Disk::TrackedLatency(sim::TimeMs now, uint64_t offset_bytes) const {
+  // The platter rotates continuously: at time t the head is over the
+  // in-track byte (t mod R) / R * track_bytes (all surfaces aligned,
+  // index mark at t = 0).
+  const double rotation = geometry_.rotation_ms;
+  const double target =
+      static_cast<double>(offset_bytes % geometry_.track_bytes) /
+      static_cast<double>(geometry_.track_bytes);
+  const double current = std::fmod(now, rotation) / rotation;
+  double wait = target - current;
+  if (wait < 0) wait += 1.0;
+  return wait * rotation;
+}
+
+sim::TimeMs Disk::Access(sim::TimeMs arrival, uint64_t offset_bytes,
+                         uint64_t length_bytes) {
+  assert(length_bytes > 0);
+  assert(offset_bytes + length_bytes <= geometry_.capacity_bytes());
+
+  const uint64_t first_cyl = CylinderOf(offset_bytes);
+  const uint64_t last_cyl = CylinderOf(offset_bytes + length_bytes - 1);
+
+  const sim::TimeMs start = std::max(arrival, busy_until_);
+  double service = 0.0;
+  const bool sequential = has_last_access_ &&
+                          offset_bytes == last_end_offset_;
+  if (sequential) {
+    // Continuing the previous transfer: no positioning cost beyond a
+    // track-to-track seek if the previous access ended at a cylinder edge.
+    if (first_cyl != head_cylinder_) {
+      service += geometry_.SeekTime(1);
+      ++seeks_;
+    }
+    if (rotation_model_ == RotationModel::kTracked && start > busy_until_) {
+      // The disk idled since the previous access: the platter kept
+      // spinning and we must wait for the sector to come around again.
+      service += TrackedLatency(start + service, offset_bytes);
+    }
+  } else {
+    const uint64_t distance = first_cyl > head_cylinder_
+                                  ? first_cyl - head_cylinder_
+                                  : head_cylinder_ - first_cyl;
+    if (distance != 0) {
+      service += geometry_.SeekTime(distance);
+      ++seeks_;
+    }
+    if (rotation_model_ == RotationModel::kMeanLatency) {
+      service += geometry_.AvgRotationalLatency();
+    } else {
+      service += TrackedLatency(start + service, offset_bytes);
+    }
+  }
+
+  service += geometry_.TransferTime(length_bytes);
+  // Track-to-track repositioning at each cylinder boundary inside the run;
+  // with tracked rotation the platter also has to realign after each
+  // boundary seek.
+  if (last_cyl > first_cyl) {
+    const double boundary_cost =
+        rotation_model_ == RotationModel::kMeanLatency
+            ? geometry_.SeekTime(1)
+            : geometry_.SeekTime(1) +
+                  (geometry_.rotation_ms -
+                   std::fmod(geometry_.SeekTime(1), geometry_.rotation_ms));
+    service += static_cast<double>(last_cyl - first_cyl) * boundary_cost;
+  }
+
+  const sim::TimeMs completion = start + service;
+
+  busy_until_ = completion;
+  head_cylinder_ = last_cyl;
+  last_end_offset_ = offset_bytes + length_bytes;
+  has_last_access_ = true;
+
+  bytes_transferred_ += length_bytes;
+  ++accesses_;
+  busy_time_ms_ += service;
+  return completion;
+}
+
+void Disk::ResetStats() {
+  bytes_transferred_ = 0;
+  accesses_ = 0;
+  seeks_ = 0;
+  busy_time_ms_ = 0.0;
+}
+
+}  // namespace rofs::disk

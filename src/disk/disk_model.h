@@ -1,0 +1,92 @@
+#ifndef ROFS_DISK_DISK_MODEL_H_
+#define ROFS_DISK_DISK_MODEL_H_
+
+#include <cstdint>
+
+#include "disk/disk_geometry.h"
+#include "sim/event_queue.h"
+
+namespace rofs::disk {
+
+/// How rotational delay is charged.
+enum class RotationModel {
+  /// Mean latency: half a rotation per non-sequential access, zero when
+  /// an access exactly continues the previous one. This is the paper's
+  /// model (its policies do no rotational optimization).
+  kMeanLatency,
+  /// Tracked angular position: the platter rotates continuously with
+  /// simulated time; each access waits until its first sector passes
+  /// under the head. Sequential continuation costs zero naturally, and
+  /// latency after a seek depends on when the seek lands.
+  kTracked,
+};
+
+/// One disk drive modeled as a FCFS server with head-position state.
+///
+/// Service time for an access at byte `offset` of `length` bytes:
+///  * a seek of ST + d*SI when the target cylinder is d != 0 cylinders away,
+///  * mean rotational latency (half a rotation) unless the access exactly
+///    continues the previous one (offset == previous end, same cylinder),
+///  * media transfer at full rotation speed, plus one single-track seek per
+///    cylinder boundary crossed inside the transfer (head switches within a
+///    cylinder are free, rotational position is assumed preserved).
+///
+/// Rotational position is not tracked sector-by-sector; the policies under
+/// study do no rotational optimization, so mean latency is the right model
+/// (see DESIGN.md).
+class Disk {
+ public:
+  explicit Disk(const DiskGeometry& geometry,
+                RotationModel rotation = RotationModel::kMeanLatency);
+
+  const DiskGeometry& geometry() const { return geometry_; }
+
+  /// Queues an access arriving at `arrival`; returns its completion time.
+  /// The caller addresses the disk by byte offset within this drive.
+  sim::TimeMs Access(sim::TimeMs arrival, uint64_t offset_bytes,
+                     uint64_t length_bytes);
+
+  /// Earliest time a new request could begin service.
+  sim::TimeMs busy_until() const { return busy_until_; }
+
+  /// Statistics.
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
+  uint64_t accesses() const { return accesses_; }
+  uint64_t seeks() const { return seeks_; }
+  double busy_time_ms() const { return busy_time_ms_; }
+
+  /// Fraction of [0, now] this disk spent servicing requests.
+  double Utilization(sim::TimeMs now) const {
+    return now > 0 ? busy_time_ms_ / now : 0.0;
+  }
+
+  /// Resets statistics (not head/queue state); used when a measurement
+  /// phase starts after a warm-up phase.
+  void ResetStats();
+
+ private:
+  uint64_t CylinderOf(uint64_t offset_bytes) const {
+    return offset_bytes / geometry_.cylinder_bytes();
+  }
+
+  /// Angular wait (ms) until the sector at in-track byte `offset` passes
+  /// under the head, given the current time (kTracked only).
+  double TrackedLatency(sim::TimeMs now, uint64_t offset_bytes) const;
+
+  DiskGeometry geometry_;
+  RotationModel rotation_model_;
+  sim::TimeMs busy_until_ = 0.0;
+  uint64_t head_cylinder_ = 0;
+  // One past the last byte accessed, for sequential-continuation detection.
+  uint64_t last_end_offset_ = 0;
+  bool has_last_access_ = false;
+
+  uint64_t bytes_transferred_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t seeks_ = 0;
+  double busy_time_ms_ = 0.0;
+};
+
+}  // namespace rofs::disk
+
+#endif  // ROFS_DISK_DISK_MODEL_H_

@@ -1,0 +1,115 @@
+#include "disk/disk_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/table.h"
+
+namespace rofs::disk {
+
+namespace {
+
+uint64_t MinCapacityDu(const std::vector<DiskGeometry>& disks,
+                       uint64_t du_bytes) {
+  assert(!disks.empty());
+  uint64_t min_cap = UINT64_MAX;
+  for (const DiskGeometry& g : disks) {
+    min_cap = std::min(min_cap, g.capacity_bytes() / du_bytes);
+  }
+  return min_cap;
+}
+
+}  // namespace
+
+DiskSystem::DiskSystem(const DiskSystemConfig& config) : config_(config) {
+  assert(!config_.disks.empty());
+  assert(config_.disk_unit_bytes > 0);
+  assert(config_.stripe_unit_bytes >= config_.disk_unit_bytes);
+  assert(config_.stripe_unit_bytes % config_.disk_unit_bytes == 0);
+  const uint64_t per_disk_du =
+      MinCapacityDu(config_.disks, config_.disk_unit_bytes);
+  layout_ = MakeLayout(config_.layout,
+                       static_cast<uint32_t>(config_.disks.size()),
+                       per_disk_du,
+                       config_.stripe_unit_bytes / config_.disk_unit_bytes);
+  disks_.reserve(config_.disks.size());
+  for (const DiskGeometry& g : config_.disks) {
+    disks_.emplace_back(g, config_.rotation_model);
+  }
+}
+
+sim::TimeMs DiskSystem::Read(sim::TimeMs arrival, uint64_t start_du,
+                             uint64_t n_du) {
+  scratch_.clear();
+  layout_->MapRead(start_du, n_du, &scratch_);
+  logical_bytes_read_ += n_du * config_.disk_unit_bytes;
+  return Submit(arrival, scratch_);
+}
+
+sim::TimeMs DiskSystem::Write(sim::TimeMs arrival, uint64_t start_du,
+                              uint64_t n_du) {
+  scratch_.clear();
+  layout_->MapWrite(start_du, n_du, &scratch_);
+  logical_bytes_written_ += n_du * config_.disk_unit_bytes;
+  return Submit(arrival, scratch_);
+}
+
+sim::TimeMs DiskSystem::Submit(sim::TimeMs arrival,
+                               const std::vector<DiskAccess>& accesses) {
+  sim::TimeMs completion = arrival;
+  const uint64_t du = config_.disk_unit_bytes;
+  for (const DiskAccess& a : accesses) {
+    uint32_t target = a.disk;
+    if (a.alt_disk >= 0 && !a.is_write) {
+      // Mirrored read: serve from the less busy replica.
+      const uint32_t alt = static_cast<uint32_t>(a.alt_disk);
+      if (disks_[alt].busy_until() < disks_[target].busy_until()) {
+        target = alt;
+      }
+    }
+    const sim::TimeMs done =
+        disks_[target].Access(arrival, a.offset_du * du, a.length_du * du);
+    completion = std::max(completion, done);
+  }
+  return completion;
+}
+
+double DiskSystem::MaxSequentialBandwidthBytesPerMs() const {
+  // All data disks streaming whole cylinders in parallel.
+  double bw = 0.0;
+  const uint32_t nd = layout_->data_disks();
+  for (uint32_t i = 0; i < nd && i < disks_.size(); ++i) {
+    bw += disks_[i].geometry().SequentialBandwidth();
+  }
+  return bw;
+}
+
+uint64_t DiskSystem::physical_bytes() const {
+  uint64_t total = 0;
+  for (const Disk& d : disks_) total += d.bytes_transferred();
+  return total;
+}
+
+uint64_t DiskSystem::total_seeks() const {
+  uint64_t total = 0;
+  for (const Disk& d : disks_) total += d.seeks();
+  return total;
+}
+
+void DiskSystem::ResetStats() {
+  logical_bytes_read_ = 0;
+  logical_bytes_written_ = 0;
+  for (Disk& d : disks_) d.ResetStats();
+}
+
+std::string DiskSystem::DescribeConfig() const {
+  return FormatString(
+      "%zu disks, %s layout, capacity=%s, stripe=%s, du=%s, max_bw=%.2fMB/s",
+      disks_.size(), LayoutKindToString(config_.layout).c_str(),
+      FormatBytes(capacity_bytes()).c_str(),
+      FormatBytes(config_.stripe_unit_bytes).c_str(),
+      FormatBytes(config_.disk_unit_bytes).c_str(),
+      MaxSequentialBandwidthBytesPerMs() * 1000.0 / (1024.0 * 1024.0));
+}
+
+}  // namespace rofs::disk

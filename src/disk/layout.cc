@@ -1,0 +1,329 @@
+#include "disk/layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace rofs::disk {
+
+std::string LayoutKindToString(LayoutKind kind) {
+  switch (kind) {
+    case LayoutKind::kStriped:
+      return "striped";
+    case LayoutKind::kMirrored:
+      return "mirrored";
+    case LayoutKind::kRaid5:
+      return "raid5";
+    case LayoutKind::kParityStriped:
+      return "parity-striped";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// RAID0. Logical chunk k (of `stripe_du` units) maps to disk k % N at
+/// per-disk offset (k / N) * stripe_du. A contiguous logical run maps to at
+/// most one contiguous run per disk, which is what lets large blocks use
+/// the full parallelism of the array (paper section 1).
+class StripedLayout : public Layout {
+ public:
+  StripedLayout(uint32_t num_disks, uint64_t per_disk_du, uint64_t stripe_du)
+      : n_(num_disks), stripe_du_(stripe_du),
+        rows_(per_disk_du / stripe_du) {
+    assert(num_disks > 0 && stripe_du > 0);
+  }
+
+  LayoutKind kind() const override { return LayoutKind::kStriped; }
+  uint64_t logical_capacity_du() const override {
+    return rows_ * stripe_du_ * n_;
+  }
+  uint32_t data_disks() const override { return n_; }
+
+  void MapRead(uint64_t start_du, uint64_t n_du,
+               std::vector<DiskAccess>* out) const override {
+    Map(start_du, n_du, /*is_write=*/false, out);
+  }
+  void MapWrite(uint64_t start_du, uint64_t n_du,
+                std::vector<DiskAccess>* out) const override {
+    Map(start_du, n_du, /*is_write=*/true, out);
+  }
+
+ private:
+  void Map(uint64_t start_du, uint64_t n_du, bool is_write,
+           std::vector<DiskAccess>* out) const {
+    assert(n_du > 0);
+    assert(start_du + n_du <= logical_capacity_du());
+    const uint64_t s = stripe_du_;
+    const uint64_t k0 = start_du / s;
+    const uint64_t k1 = (start_du + n_du - 1) / s;
+    for (uint32_t d = 0; d < n_; ++d) {
+      // First and last stripe chunks in [k0, k1] living on disk d.
+      const uint64_t k_first = k0 + (d + n_ - k0 % n_) % n_;
+      if (k_first > k1) continue;
+      const uint64_t k_last = k1 - (k1 % n_ + n_ - d) % n_;
+      if (k_last < k_first) continue;
+      const uint64_t chunk_count = (k_last - k_first) / n_ + 1;
+      uint64_t len = chunk_count * s;
+      uint64_t head_trunc = 0;
+      if (k_first == k0) head_trunc = start_du - k0 * s;
+      uint64_t tail_trunc = 0;
+      if (k_last == k1) tail_trunc = (k1 + 1) * s - (start_du + n_du);
+      len -= head_trunc + tail_trunc;
+      if (len == 0) continue;
+      const uint64_t offset = (k_first / n_) * s + head_trunc;
+      out->push_back(DiskAccess{d, offset, len, is_write});
+    }
+  }
+
+  uint32_t n_;
+  uint64_t stripe_du_;
+  uint64_t rows_;
+};
+
+/// Mirrored pairs: data is striped across N/2 pairs; each write goes to
+/// both members, each read may be served by either member.
+class MirroredLayout : public Layout {
+ public:
+  MirroredLayout(uint32_t num_disks, uint64_t per_disk_du, uint64_t stripe_du)
+      : inner_(num_disks / 2, per_disk_du, stripe_du) {
+    assert(num_disks % 2 == 0 && num_disks >= 2);
+  }
+
+  LayoutKind kind() const override { return LayoutKind::kMirrored; }
+  uint64_t logical_capacity_du() const override {
+    return inner_.logical_capacity_du();
+  }
+  // Reads may be served by either replica, so a sequential read stream
+  // can keep every spindle busy; normalize throughput to all drives.
+  uint32_t data_disks() const override { return inner_.data_disks() * 2; }
+
+  void MapRead(uint64_t start_du, uint64_t n_du,
+               std::vector<DiskAccess>* out) const override {
+    std::vector<DiskAccess> inner;
+    inner_.MapRead(start_du, n_du, &inner);
+    for (DiskAccess& a : inner) {
+      const uint32_t primary = a.disk * 2;
+      a.alt_disk = static_cast<int32_t>(primary + 1);
+      a.disk = primary;
+      out->push_back(a);
+    }
+  }
+
+  void MapWrite(uint64_t start_du, uint64_t n_du,
+                std::vector<DiskAccess>* out) const override {
+    std::vector<DiskAccess> inner;
+    inner_.MapWrite(start_du, n_du, &inner);
+    for (const DiskAccess& a : inner) {
+      out->push_back(DiskAccess{a.disk * 2, a.offset_du, a.length_du, true});
+      out->push_back(
+          DiskAccess{a.disk * 2 + 1, a.offset_du, a.length_du, true});
+    }
+  }
+
+ private:
+  StripedLayout inner_;
+};
+
+/// RAID5 with left-symmetric rotating parity. Row r keeps its parity chunk
+/// on disk (N-1) - (r % N); the N-1 data chunks of the row fill the other
+/// disks in order. Partial-row writes pay the small-write penalty: read old
+/// data + old parity, write new data + new parity. Full-row writes compute
+/// parity in memory and just write N chunks.
+class Raid5Layout : public Layout {
+ public:
+  Raid5Layout(uint32_t num_disks, uint64_t per_disk_du, uint64_t stripe_du)
+      : n_(num_disks), stripe_du_(stripe_du),
+        rows_(per_disk_du / stripe_du) {
+    assert(num_disks >= 3);
+  }
+
+  LayoutKind kind() const override { return LayoutKind::kRaid5; }
+  uint64_t logical_capacity_du() const override {
+    return rows_ * stripe_du_ * (n_ - 1);
+  }
+  // Parity rotates, so a long sequential read keeps every spindle busy
+  // with data; normalize read bandwidth to all drives.
+  uint32_t data_disks() const override { return n_; }
+
+  void MapRead(uint64_t start_du, uint64_t n_du,
+               std::vector<DiskAccess>* out) const override {
+    ForEachChunk(start_du, n_du,
+                 [&](uint64_t row, uint32_t disk, uint64_t off, uint64_t len) {
+                   (void)row;
+                   MergeOrPush(out, DiskAccess{disk, off, len, false});
+                 });
+  }
+
+  void MapWrite(uint64_t start_du, uint64_t n_du,
+                std::vector<DiskAccess>* out) const override {
+    // Group touched chunks by stripe row to decide full-row vs RMW.
+    struct RowInfo {
+      uint64_t touched_du = 0;
+      uint64_t max_chunk_len = 0;
+      std::vector<DiskAccess> data;  // Data writes for this row.
+    };
+    std::map<uint64_t, RowInfo> rows;
+    ForEachChunk(start_du, n_du,
+                 [&](uint64_t row, uint32_t disk, uint64_t off, uint64_t len) {
+                   RowInfo& info = rows[row];
+                   info.touched_du += len;
+                   info.max_chunk_len = std::max(info.max_chunk_len, len);
+                   info.data.push_back(DiskAccess{disk, off, len, true});
+                 });
+    for (auto& [row, info] : rows) {
+      const uint32_t parity_disk = ParityDisk(row);
+      const uint64_t parity_off = row * stripe_du_;
+      const bool full_row = info.touched_du == stripe_du_ * (n_ - 1);
+      if (full_row) {
+        for (const DiskAccess& a : info.data) out->push_back(a);
+        out->push_back(
+            DiskAccess{parity_disk, parity_off, stripe_du_, true});
+      } else {
+        // Read-modify-write: old data + old parity first (FCFS per disk
+        // serializes read before write automatically).
+        for (const DiskAccess& a : info.data) {
+          out->push_back(DiskAccess{a.disk, a.offset_du, a.length_du, false});
+        }
+        out->push_back(DiskAccess{parity_disk, parity_off,
+                                  info.max_chunk_len, false});
+        for (const DiskAccess& a : info.data) out->push_back(a);
+        out->push_back(
+            DiskAccess{parity_disk, parity_off, info.max_chunk_len, true});
+      }
+    }
+  }
+
+ private:
+  uint32_t ParityDisk(uint64_t row) const {
+    return (n_ - 1) - static_cast<uint32_t>(row % n_);
+  }
+
+  /// Calls fn(row, disk, per_disk_offset, len) for each touched data chunk.
+  template <typename Fn>
+  void ForEachChunk(uint64_t start_du, uint64_t n_du, Fn fn) const {
+    assert(n_du > 0);
+    assert(start_du + n_du <= logical_capacity_du());
+    uint64_t pos = start_du;
+    const uint64_t end = start_du + n_du;
+    while (pos < end) {
+      const uint64_t k = pos / stripe_du_;       // Logical data chunk.
+      const uint64_t intra = pos % stripe_du_;
+      const uint64_t len =
+          std::min(stripe_du_ - intra, end - pos);
+      const uint64_t row = k / (n_ - 1);
+      const uint32_t j = static_cast<uint32_t>(k % (n_ - 1));
+      const uint32_t parity = ParityDisk(row);
+      const uint32_t disk = j < parity ? j : j + 1;
+      fn(row, disk, row * stripe_du_ + intra, len);
+      pos += len;
+    }
+  }
+
+  /// Extends the previous access when physically contiguous on same disk.
+  static void MergeOrPush(std::vector<DiskAccess>* out, DiskAccess a) {
+    if (!out->empty()) {
+      DiskAccess& b = out->back();
+      if (b.disk == a.disk && b.is_write == a.is_write &&
+          b.offset_du + b.length_du == a.offset_du) {
+        b.length_du += a.length_du;
+        return;
+      }
+    }
+    out->push_back(a);
+  }
+
+  uint32_t n_;
+  uint64_t stripe_du_;
+  uint64_t rows_;
+};
+
+/// Gray'90 parity striping: the logical space is the concatenation of
+/// per-disk data regions (no data striping); each disk dedicates 1/N of its
+/// capacity to parity for regions of the other disks. A write pays a
+/// read-modify-write of data plus a parity region update on the partner
+/// disk (d + 1 + region) % N.
+class ParityStripedLayout : public Layout {
+ public:
+  ParityStripedLayout(uint32_t num_disks, uint64_t per_disk_du)
+      : n_(num_disks), per_disk_du_(per_disk_du),
+        data_du_(per_disk_du - per_disk_du / num_disks),
+        parity_base_(data_du_) {
+    assert(num_disks >= 2);
+  }
+
+  LayoutKind kind() const override { return LayoutKind::kParityStriped; }
+  uint64_t logical_capacity_du() const override { return data_du_ * n_; }
+  uint32_t data_disks() const override { return n_; }
+
+  void MapRead(uint64_t start_du, uint64_t n_du,
+               std::vector<DiskAccess>* out) const override {
+    ForEachRun(start_du, n_du, [&](uint32_t disk, uint64_t off, uint64_t len) {
+      out->push_back(DiskAccess{disk, off, len, false});
+    });
+  }
+
+  void MapWrite(uint64_t start_du, uint64_t n_du,
+                std::vector<DiskAccess>* out) const override {
+    ForEachRun(start_du, n_du, [&](uint32_t disk, uint64_t off, uint64_t len) {
+      // RMW of the data, then RMW of the parity region on the partner.
+      // Parity traffic is capped at the parity region size: a write larger
+      // than the region rewrites the region once.
+      const uint32_t partner =
+          (disk + 1 + static_cast<uint32_t>(off / (data_du_ / n_ + 1)) %
+                          (n_ - 1)) % n_;
+      const uint64_t parity_space = per_disk_du_ - parity_base_;
+      const uint64_t parity_len = std::min(len, parity_space);
+      const uint64_t parity_off =
+          parity_base_ +
+          (parity_len < parity_space ? off % (parity_space - parity_len + 1)
+                                     : 0);
+      out->push_back(DiskAccess{disk, off, len, false});
+      out->push_back(DiskAccess{partner, parity_off, parity_len, false});
+      out->push_back(DiskAccess{disk, off, len, true});
+      out->push_back(DiskAccess{partner, parity_off, parity_len, true});
+    });
+  }
+
+ private:
+  template <typename Fn>
+  void ForEachRun(uint64_t start_du, uint64_t n_du, Fn fn) const {
+    assert(n_du > 0);
+    assert(start_du + n_du <= logical_capacity_du());
+    uint64_t pos = start_du;
+    const uint64_t end = start_du + n_du;
+    while (pos < end) {
+      const uint32_t disk = static_cast<uint32_t>(pos / data_du_);
+      const uint64_t off = pos % data_du_;
+      const uint64_t len = std::min(data_du_ - off, end - pos);
+      fn(disk, off, len);
+      pos += len;
+    }
+  }
+
+  uint32_t n_;
+  uint64_t per_disk_du_;
+  uint64_t data_du_;
+  uint64_t parity_base_;
+};
+
+}  // namespace
+
+std::unique_ptr<Layout> MakeLayout(LayoutKind kind, uint32_t num_disks,
+                                   uint64_t per_disk_du, uint64_t stripe_du) {
+  switch (kind) {
+    case LayoutKind::kStriped:
+      return std::make_unique<StripedLayout>(num_disks, per_disk_du,
+                                             stripe_du);
+    case LayoutKind::kMirrored:
+      return std::make_unique<MirroredLayout>(num_disks, per_disk_du,
+                                              stripe_du);
+    case LayoutKind::kRaid5:
+      return std::make_unique<Raid5Layout>(num_disks, per_disk_du, stripe_du);
+    case LayoutKind::kParityStriped:
+      return std::make_unique<ParityStripedLayout>(num_disks, per_disk_du);
+  }
+  return nullptr;
+}
+
+}  // namespace rofs::disk

@@ -1,0 +1,76 @@
+#ifndef ROFS_DISK_LAYOUT_H_
+#define ROFS_DISK_LAYOUT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rofs::disk {
+
+/// Disk system configurations supported by the simulator (paper section
+/// 2.1). All paper results use kStriped ("merely stripe the data across an
+/// array of disks"); the other configurations are provided as described and
+/// exercised by tests and ablation benches.
+enum class LayoutKind {
+  /// RAID0: data striped across all disks, no redundancy.
+  kStriped,
+  /// Mirrored pairs: all data stored on two identical disks.
+  kMirrored,
+  /// RAID5: rotating parity; one chunk of parity per N-1 data chunks.
+  kRaid5,
+  /// Gray'90 parity striping: files live on single disks, parity regions
+  /// are distributed across the other disks.
+  kParityStriped,
+};
+
+std::string LayoutKindToString(LayoutKind kind);
+
+/// One physical access produced by mapping a logical run.
+struct DiskAccess {
+  uint32_t disk;
+  uint64_t offset_du;  ///< Offset within the disk, in disk units.
+  uint64_t length_du;
+  bool is_write;
+  /// When >= 0, the access may be served by this replica instead
+  /// (mirrored reads); the disk system picks the less busy drive.
+  int32_t alt_disk = -1;
+};
+
+/// Maps the linear logical disk-unit address space onto physical disks.
+/// Subclasses implement the configurations above.
+class Layout {
+ public:
+  virtual ~Layout() = default;
+
+  virtual LayoutKind kind() const = 0;
+
+  /// Number of addressable logical (data) disk units.
+  virtual uint64_t logical_capacity_du() const = 0;
+
+  /// Decomposes a logical read into per-disk accesses.
+  virtual void MapRead(uint64_t start_du, uint64_t n_du,
+                       std::vector<DiskAccess>* out) const = 0;
+
+  /// Decomposes a logical write into per-disk accesses, including any
+  /// replica or parity traffic (reads for read-modify-write included).
+  virtual void MapWrite(uint64_t start_du, uint64_t n_du,
+                        std::vector<DiskAccess>* out) const = 0;
+
+  /// Number of disks that contribute data bandwidth (used to compute the
+  /// maximum sequential throughput of the configuration).
+  virtual uint32_t data_disks() const = 0;
+};
+
+/// Creates a layout.
+///
+/// `num_disks`: physical drives; `per_disk_du`: capacity of each drive in
+/// disk units (heterogeneous arrays are leveled to the smallest drive by
+/// the caller); `stripe_du`: stripe unit in disk units (ignored by
+/// kParityStriped).
+std::unique_ptr<Layout> MakeLayout(LayoutKind kind, uint32_t num_disks,
+                                   uint64_t per_disk_du, uint64_t stripe_du);
+
+}  // namespace rofs::disk
+
+#endif  // ROFS_DISK_LAYOUT_H_

@@ -1,0 +1,88 @@
+#include "exp/reporting.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "util/table.h"
+
+namespace rofs::exp {
+
+std::string Pct(double fraction) {
+  return FormatString("%.1f%%", fraction * 100.0);
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_item,
+                 const disk::DiskSystemConfig& disk_config) {
+  disk::DiskSystem disk(disk_config);
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s of Seltzer & Stonebraker, \"Read Optimized File "
+              "System Designs\" (ICDE 1991)\n",
+              paper_item.c_str());
+  std::printf("Disk system: %s\n", disk.DescribeConfig().c_str());
+  std::printf("==============================================================="
+              "=\n\n");
+}
+
+std::string Summarize(const AllocationResult& r) {
+  return FormatString(
+      "internal=%s external=%s util=%s extents/file=%.1f ops=%llu",
+      Pct(r.internal_fragmentation).c_str(),
+      Pct(r.external_fragmentation).c_str(), Pct(r.utilization).c_str(),
+      r.avg_extents_per_file, static_cast<unsigned long long>(r.ops_executed));
+}
+
+std::string Summarize(const PerfResult& r) {
+  return FormatString(
+      "throughput=%s%s measured=%.0fs ops=%llu lat=%.1fms extents/file=%.1f",
+      Pct(r.utilization_of_max).c_str(), r.stabilized ? "" : " (cap)",
+      r.measured_ms / 1000.0, static_cast<unsigned long long>(r.ops_executed),
+      r.mean_op_latency_ms, r.avg_extents_per_file);
+}
+
+std::string LayoutAsciiMap(const fs::ReadOptimizedFs& fs, size_t width) {
+  if (width == 0) return "";
+  const uint64_t total = fs.allocator().total_du();
+  std::vector<uint64_t> used(width, 0);
+  const double scale = static_cast<double>(width) / static_cast<double>(total);
+  for (size_t i = 0; i < fs.num_files(); ++i) {
+    const fs::File& f = fs.file(i);
+    if (!f.exists) continue;
+    for (const alloc::Extent& e : f.alloc.extents) {
+      // Distribute the extent's units across the buckets it overlaps.
+      uint64_t pos = e.start_du;
+      uint64_t left = e.length_du;
+      while (left > 0) {
+        const size_t bucket = std::min<size_t>(
+            width - 1, static_cast<size_t>(pos * scale));
+        const uint64_t bucket_end = static_cast<uint64_t>(
+            static_cast<double>(bucket + 1) / scale);
+        const uint64_t in_bucket =
+            std::min(left, bucket_end > pos ? bucket_end - pos : 1);
+        used[bucket] += in_bucket;
+        pos += in_bucket;
+        left -= in_bucket;
+      }
+    }
+  }
+  const double bucket_du = static_cast<double>(total) / width;
+  std::string out;
+  out.reserve(width + 2);
+  out += '|';
+  for (size_t b = 0; b < width; ++b) {
+    const double fullness = static_cast<double>(used[b]) / bucket_du;
+    const char* levels = " .:+#";
+    // Any occupancy at all renders as at least '.'.
+    int idx = used[b] == 0 ? 0
+                           : std::max(1, static_cast<int>(fullness * 4.0 +
+                                                          0.5));
+    if (idx > 4) idx = 4;
+    out += levels[idx];
+  }
+  out += '|';
+  return out;
+}
+
+}  // namespace rofs::exp

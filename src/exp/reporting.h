@@ -1,0 +1,32 @@
+#ifndef ROFS_EXP_REPORTING_H_
+#define ROFS_EXP_REPORTING_H_
+
+#include <string>
+
+#include "disk/disk_system.h"
+#include "exp/experiment.h"
+#include "fs/read_optimized_fs.h"
+
+namespace rofs::exp {
+
+/// "88.0%" style formatting of a fraction.
+std::string Pct(double fraction);
+
+/// Prints the standard benchmark banner: experiment title, paper
+/// reference, and the simulated disk configuration (Table 1).
+void PrintBanner(const std::string& title, const std::string& paper_item,
+                 const disk::DiskSystemConfig& disk_config);
+
+/// One-line summaries used by the drivers.
+std::string Summarize(const AllocationResult& r);
+std::string Summarize(const PerfResult& r);
+
+/// ASCII occupancy map of the disk's linear address space: `width`
+/// buckets, each rendered by fullness (' ' empty, '.', ':', '+', '#'
+/// full). Built from the live files' extent lists — a quick visual of how
+/// a policy lays data out.
+std::string LayoutAsciiMap(const fs::ReadOptimizedFs& fs, size_t width);
+
+}  // namespace rofs::exp
+
+#endif  // ROFS_EXP_REPORTING_H_

@@ -1,0 +1,55 @@
+#include "exp/throughput_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rofs::exp {
+
+ThroughputTracker::ThroughputTracker(double max_bandwidth_bytes_per_ms,
+                                     double sample_interval_ms,
+                                     double tolerance_pp,
+                                     int required_stable_samples)
+    : max_bw_(max_bandwidth_bytes_per_ms),
+      sample_interval_(sample_interval_ms),
+      tolerance_(tolerance_pp / 100.0),
+      required_(required_stable_samples) {
+  assert(max_bw_ > 0 && sample_interval_ > 0 && required_ >= 2);
+}
+
+void ThroughputTracker::Start(sim::TimeMs now) {
+  start_ = now;
+  next_sample_ = now + sample_interval_;
+  bytes_ = 0;
+  samples_.clear();
+}
+
+void ThroughputTracker::Record(uint64_t bytes, sim::TimeMs completion) {
+  (void)completion;
+  bytes_ += bytes;
+}
+
+double ThroughputTracker::CumulativeUtilization(sim::TimeMs now) const {
+  const double elapsed = now - start_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(bytes_) / elapsed / max_bw_;
+}
+
+double ThroughputTracker::Sample(sim::TimeMs now) {
+  const double util = CumulativeUtilization(now);
+  samples_.push_back(util);
+  next_sample_ = now + sample_interval_;
+  return util;
+}
+
+bool ThroughputTracker::Stabilized() const {
+  if (static_cast<int>(samples_.size()) < required_) return false;
+  const auto tail = samples_.end() - required_;
+  const double lo = *std::min_element(tail, samples_.end());
+  const double hi = *std::max_element(tail, samples_.end());
+  // The all-zero startup plateau (no operation has completed yet) is not
+  // stability; long whole-file transfers can outlast several samples.
+  if (hi <= 0.0) return false;
+  return hi - lo <= tolerance_;
+}
+
+}  // namespace rofs::exp

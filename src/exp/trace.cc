@@ -1,0 +1,70 @@
+#include "exp/trace.h"
+
+#include <fstream>
+
+#include "util/table.h"
+
+namespace rofs::exp {
+
+OpTrace::OpTrace(size_t capacity) : capacity_(capacity) {
+  records_.reserve(std::min<size_t>(capacity, 4096));
+}
+
+void OpTrace::Attach(workload::OpGenerator* generator) {
+  generator->on_op = [this](const workload::OpRecord& record) {
+    Record(record);
+  };
+}
+
+void OpTrace::Record(const workload::OpRecord& record) {
+  ++total_recorded_;
+  if (records_.size() < capacity_) {
+    records_.push_back(record);
+    return;
+  }
+  // Ring: overwrite the oldest.
+  records_[head_] = record;
+  head_ = (head_ + 1) % capacity_;
+  wrapped_ = true;
+}
+
+void OpTrace::Clear() {
+  records_.clear();
+  head_ = 0;
+  wrapped_ = false;
+  total_recorded_ = 0;
+}
+
+std::string OpTrace::ToCsv(const workload::WorkloadSpec& workload) const {
+  std::string out = "issued_ms,completed_ms,latency_ms,type,op,file,bytes\n";
+  auto append = [&](const workload::OpRecord& r) {
+    out += FormatString(
+        "%.3f,%.3f,%.3f,%s,%s,%llu,%llu\n", r.issued, r.completed,
+        r.completed - r.issued,
+        r.type_index < workload.types.size()
+            ? workload.types[r.type_index].name.c_str()
+            : "?",
+        workload::OpKindToString(r.op).c_str(),
+        static_cast<unsigned long long>(r.file),
+        static_cast<unsigned long long>(r.bytes));
+  };
+  // Oldest first.
+  if (wrapped_) {
+    for (size_t i = head_; i < records_.size(); ++i) append(records_[i]);
+    for (size_t i = 0; i < head_; ++i) append(records_[i]);
+  } else {
+    for (const auto& r : records_) append(r);
+  }
+  return out;
+}
+
+Status OpTrace::WriteCsv(const std::string& path,
+                         const workload::WorkloadSpec& workload) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  out << ToCsv(workload);
+  return out.good() ? Status::OK()
+                    : Status::Internal("short write to '" + path + "'");
+}
+
+}  // namespace rofs::exp

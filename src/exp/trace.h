@@ -1,0 +1,50 @@
+#ifndef ROFS_EXP_TRACE_H_
+#define ROFS_EXP_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "workload/op_generator.h"
+
+namespace rofs::exp {
+
+/// Bounded collector of executed operations, for debugging simulations and
+/// exporting timelines. Attach with Attach(); the newest `capacity`
+/// records are kept (older ones are dropped FIFO).
+class OpTrace {
+ public:
+  explicit OpTrace(size_t capacity = 1'000'000);
+
+  /// Installs this trace as the generator's on_op sink (replacing any
+  /// previous sink).
+  void Attach(workload::OpGenerator* generator);
+
+  void Record(const workload::OpRecord& record);
+
+  size_t size() const { return records_.size(); }
+  uint64_t total_recorded() const { return total_recorded_; }
+  uint64_t dropped() const { return total_recorded_ - records_.size(); }
+  const std::vector<workload::OpRecord>& records() const { return records_; }
+  void Clear();
+
+  /// CSV with a header row:
+  /// issued_ms,completed_ms,latency_ms,type,op,file,bytes
+  std::string ToCsv(const workload::WorkloadSpec& workload) const;
+
+  /// Writes ToCsv() to a file.
+  Status WriteCsv(const std::string& path,
+                  const workload::WorkloadSpec& workload) const;
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  // Index of the oldest record once wrapped.
+  bool wrapped_ = false;
+  uint64_t total_recorded_ = 0;
+  std::vector<workload::OpRecord> records_;
+};
+
+}  // namespace rofs::exp
+
+#endif  // ROFS_EXP_TRACE_H_

@@ -1,0 +1,97 @@
+#include "fs/buffer_cache.h"
+
+#include <cassert>
+
+namespace rofs::fs {
+
+BufferCache::BufferCache(uint64_t capacity_pages, uint64_t page_du)
+    : capacity_pages_(capacity_pages), page_du_(page_du) {
+  assert(capacity_pages_ > 0 && page_du_ > 0);
+}
+
+bool BufferCache::TouchPage(uint64_t page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+bool BufferCache::Touch(uint64_t du) {
+  if (TouchPage(PageOf(du))) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+void BufferCache::InsertPage(uint64_t page) {
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_pages_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+}
+
+void BufferCache::Insert(uint64_t du) { InsertPage(PageOf(du)); }
+
+bool BufferCache::CoversRange(uint64_t start_du, uint64_t n_du) {
+  assert(n_du > 0);
+  const uint64_t first = PageOf(start_du);
+  const uint64_t last = PageOf(start_du + n_du - 1);
+  bool all = true;
+  for (uint64_t p = first; p <= last; ++p) {
+    if (TouchPage(p)) {
+      ++hits_;
+    } else {
+      ++misses_;
+      all = false;
+    }
+  }
+  return all;
+}
+
+void BufferCache::InsertRange(uint64_t start_du, uint64_t n_du) {
+  assert(n_du > 0);
+  const uint64_t first = PageOf(start_du);
+  const uint64_t last = PageOf(start_du + n_du - 1);
+  for (uint64_t p = first; p <= last; ++p) InsertPage(p);
+}
+
+void BufferCache::InvalidateRange(uint64_t start_du, uint64_t n_du) {
+  if (n_du == 0) return;
+  const uint64_t first = PageOf(start_du);
+  const uint64_t last = PageOf(start_du + n_du - 1);
+  if (last - first + 1 < map_.size()) {
+    for (uint64_t p = first; p <= last; ++p) {
+      auto it = map_.find(p);
+      if (it == map_.end()) continue;
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+    return;
+  }
+  // Huge range: sweep the (smaller) cache instead.
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (*it >= first && *it <= last) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace rofs::fs

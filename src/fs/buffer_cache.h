@@ -1,0 +1,73 @@
+#ifndef ROFS_FS_BUFFER_CACHE_H_
+#define ROFS_FS_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace rofs::fs {
+
+/// An LRU buffer cache over the disk-unit address space, used by the file
+/// system to absorb repeated small reads (and file-descriptor reads when
+/// metadata I/O is modeled). The paper's experiments run cache-less — the
+/// cache is an extension, off by default — but the simulator supports it
+/// because "high bandwidth between disks and main memory" (paper §1) in a
+/// real deployment is always mediated by one.
+///
+/// Granularity is a fixed page of `page_du` disk units; lookups and
+/// inserts address pages by their page index (address / page_du).
+class BufferCache {
+ public:
+  /// `capacity_pages` > 0; `page_du` > 0.
+  BufferCache(uint64_t capacity_pages, uint64_t page_du);
+
+  uint64_t page_du() const { return page_du_; }
+  uint64_t capacity_pages() const { return capacity_pages_; }
+  uint64_t size_pages() const { return map_.size(); }
+
+  /// True when the page holding disk unit range [du, du+1) is resident;
+  /// touches it (moves to the MRU position).
+  bool Touch(uint64_t du);
+
+  /// Inserts the page holding `du`, evicting the LRU page if full.
+  void Insert(uint64_t du);
+
+  /// True when every page covering [start_du, start_du+n_du) is resident
+  /// (touching them all). n_du > 0.
+  bool CoversRange(uint64_t start_du, uint64_t n_du);
+
+  /// Inserts every page covering the range.
+  void InsertRange(uint64_t start_du, uint64_t n_du);
+
+  /// Drops any resident pages overlapping [start_du, start_du+n_du) —
+  /// called when disk space is freed so a later owner never false-hits.
+  void InvalidateRange(uint64_t start_du, uint64_t n_du);
+
+  void Clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+
+ private:
+  uint64_t PageOf(uint64_t du) const { return du / page_du_; }
+  void InsertPage(uint64_t page);
+  bool TouchPage(uint64_t page);
+
+  uint64_t capacity_pages_;
+  uint64_t page_du_;
+  // MRU at front.
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace rofs::fs
+
+#endif  // ROFS_FS_BUFFER_CACHE_H_

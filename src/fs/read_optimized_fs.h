@@ -1,0 +1,177 @@
+#ifndef ROFS_FS_READ_OPTIMIZED_FS_H_
+#define ROFS_FS_READ_OPTIMIZED_FS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <memory>
+
+#include "alloc/allocator.h"
+#include "disk/disk_system.h"
+#include "fs/buffer_cache.h"
+#include "sim/event_queue.h"
+#include "util/statusor.h"
+#include "util/units.h"
+
+namespace rofs::fs {
+
+using FileId = uint64_t;
+
+/// Optional file-system features beyond the paper's baseline model.
+struct FsOptions {
+  /// Buffer cache capacity in bytes; 0 disables caching (the paper's
+  /// setup: every transfer goes to the disk system).
+  uint64_t cache_bytes = 0;
+  /// Cache page size.
+  uint64_t cache_page_bytes = 8 * kKiB;
+  /// Reads/writes larger than this bypass the cache so large sequential
+  /// scans do not flush it.
+  uint64_t cache_bypass_bytes = 256 * kKiB;
+  /// Model metadata I/O: each operation first reads the file's descriptor
+  /// block (one disk unit, allocated at create time) unless it is cached.
+  /// Gives teeth to the paper's goal of "minimizing the bandwidth
+  /// dedicated to the transfer of meta data".
+  bool model_metadata_io = false;
+};
+
+/// A simulated file: logical size, a sequential-burst cursor, and the
+/// allocation state owned by the policy.
+struct File {
+  FileId id = 0;
+  bool exists = false;
+  uint64_t logical_bytes = 0;
+  /// Next offset for sequential-burst access patterns.
+  uint64_t cursor_bytes = 0;
+  alloc::FileAllocState alloc;
+  /// Descriptor block (one disk unit) when metadata I/O is modeled; the
+  /// descriptor survives delete/recreate of the slot.
+  alloc::FileAllocState fd_alloc;
+};
+
+/// The read-optimized file system facade: the paper's file-level
+/// operations (create, read, write, extend, truncate, delete) implemented
+/// on top of a pluggable allocation policy and the simulated disk system.
+///
+/// Logical file offsets map through the file's extent list onto the linear
+/// disk-unit address space; physically adjacent extents are merged into
+/// single transfers, so contiguous allocation directly buys large
+/// sequential transfers (the point of the paper's policies). All
+/// operations return the simulated completion time of their disk I/O.
+///
+/// `disk` may be null: allocation tests (paper section 3) exercise only
+/// the allocation machinery, and every operation then completes at its
+/// arrival time.
+class ReadOptimizedFs {
+ public:
+  ReadOptimizedFs(alloc::Allocator* allocator, disk::DiskSystem* disk,
+                  FsOptions options = {});
+
+  ReadOptimizedFs(const ReadOptimizedFs&) = delete;
+  ReadOptimizedFs& operator=(const ReadOptimizedFs&) = delete;
+
+  /// Disables/enables disk I/O timing. Initialization and fill phases run
+  /// with I/O disabled (instantaneous), matching the paper's separation of
+  /// setup from measurement.
+  void set_io_enabled(bool enabled) { io_enabled_ = enabled; }
+  bool io_enabled() const { return io_enabled_; }
+
+  alloc::Allocator& allocator() { return *allocator_; }
+  const alloc::Allocator& allocator() const { return *allocator_; }
+  disk::DiskSystem* disk() { return disk_; }
+  uint64_t disk_unit_bytes() const { return du_bytes_; }
+
+  /// Registers an empty file. `pref_extent_bytes` is the Table 2
+  /// "Allocation Size" hint used by the extent-based policy.
+  FileId Create(uint64_t pref_extent_bytes);
+
+  /// Re-initializes a deleted file slot (the workload's delete/recreate
+  /// churn reuses slots so event streams keep a stable file set).
+  void Recreate(FileId id);
+
+  const File& file(FileId id) const { return files_[id]; }
+  /// Mutable access for the workload driver (e.g. the sequential-burst
+  /// cursor).
+  File& mutable_file(FileId id) { return files_[id]; }
+  size_t num_files() const { return files_.size(); }
+
+  /// Grows the file by `bytes` (allocating per policy) and writes the new
+  /// bytes. On ResourceExhausted (disk full) the file keeps whatever was
+  /// allocated, and *done is the completion of any partial write.
+  Status Extend(FileId id, uint64_t bytes, sim::TimeMs arrival,
+                sim::TimeMs* done);
+
+  /// Reads/writes `bytes` at `offset`, clipped to the logical size.
+  /// Returns the completion time (== arrival when nothing to transfer).
+  sim::TimeMs Read(FileId id, uint64_t offset, uint64_t bytes,
+                   sim::TimeMs arrival);
+  sim::TimeMs Write(FileId id, uint64_t offset, uint64_t bytes,
+                    sim::TimeMs arrival);
+
+  /// Removes up to `bytes` from the end of the file, freeing now-unused
+  /// blocks per the policy. Returns the logical bytes removed.
+  uint64_t Truncate(FileId id, uint64_t bytes);
+
+  /// Frees the whole file. The slot remains and may be Recreate()d.
+  void Delete(FileId id);
+
+  /// --- Metrics (paper section 3) ---
+
+  /// Space allocated to files but not used by them, as a fraction of the
+  /// total allocated space.
+  double InternalFragmentation() const;
+
+  /// Space still available in the disk system, as a fraction of the total
+  /// space. Meaningful when the first allocation failure occurs.
+  double ExternalFragmentation() const;
+
+  /// Mean number of extents across existing, non-empty files (Table 4).
+  double AverageExtentsPerFile() const;
+
+  /// The buffer cache, when enabled (nullptr otherwise).
+  const BufferCache* cache() const { return cache_.get(); }
+  const FsOptions& options() const { return options_; }
+
+  uint64_t total_logical_bytes() const { return total_logical_bytes_; }
+  uint64_t total_allocated_bytes() const {
+    return allocator_->used_du() * du_bytes_;
+  }
+  /// Disk-system utilization (allocated fraction of total space).
+  double SpaceUtilization() const { return allocator_->Utilization(); }
+
+ private:
+  struct Run {
+    uint64_t start_du;
+    uint64_t n_du;
+  };
+
+  /// Maps a logical byte range of a file onto merged physically
+  /// contiguous disk-unit runs.
+  void MapRange(const File& f, uint64_t offset, uint64_t bytes,
+                std::vector<Run>* out) const;
+
+  sim::TimeMs DoIo(FileId id, uint64_t offset, uint64_t bytes,
+                   sim::TimeMs arrival, bool is_write);
+
+  /// Reads the file descriptor block (metadata modeling); returns the
+  /// completion time, == arrival on a cache hit or when not modeled.
+  sim::TimeMs MetadataRead(File& f, sim::TimeMs arrival);
+
+  /// Drops cached pages for extents removed by a truncate (diff of the
+  /// extent list before/after).
+  void InvalidateRemovedTail(const std::vector<alloc::Extent>& before,
+                             const std::vector<alloc::Extent>& after);
+
+  alloc::Allocator* allocator_;
+  disk::DiskSystem* disk_;
+  bool io_enabled_ = true;
+  uint64_t du_bytes_;
+  FsOptions options_;
+  std::unique_ptr<BufferCache> cache_;
+  std::vector<File> files_;
+  uint64_t total_logical_bytes_ = 0;
+  mutable std::vector<Run> run_scratch_;
+};
+
+}  // namespace rofs::fs
+
+#endif  // ROFS_FS_READ_OPTIMIZED_FS_H_

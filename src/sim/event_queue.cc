@@ -1,0 +1,39 @@
+#include "sim/event_queue.h"
+
+#include <limits>
+#include <utility>
+
+namespace rofs::sim {
+
+void EventQueue::Schedule(TimeMs when, Callback cb) {
+  if (when < now_) when = now_;
+  heap_.push(Entry{when, next_seq_++, std::move(cb)});
+}
+
+bool EventQueue::RunNext() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately and never touch the moved-from entry.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.time;
+  ++dispatched_;
+  entry.cb();
+  return true;
+}
+
+uint64_t EventQueue::RunUntil(TimeMs until) {
+  uint64_t n = 0;
+  stopped_ = false;
+  while (!heap_.empty() && !stopped_ && heap_.top().time <= until) {
+    RunNext();
+    ++n;
+  }
+  return n;
+}
+
+uint64_t EventQueue::Run() {
+  return RunUntil(std::numeric_limits<TimeMs>::infinity());
+}
+
+}  // namespace rofs::sim

@@ -1,0 +1,82 @@
+#ifndef ROFS_SIM_EVENT_QUEUE_H_
+#define ROFS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace rofs::sim {
+
+/// Simulation time in milliseconds (the paper expresses all timing
+/// parameters — seek, rotation, process time, hit frequency — in ms).
+using TimeMs = double;
+
+/// Event-driven simulation core: a binary heap of (time, callback) pairs
+/// with FIFO tie-breaking and a monotonically advancing clock.
+///
+/// The paper (section 2.2): "The events are maintained in a heap, sorted by
+/// their scheduled time."
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current simulated time. Advances as events are dispatched.
+  TimeMs now() const { return now_; }
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Schedules `cb` at absolute time `when`. Events scheduled in the past
+  /// are clamped to `now()` (they run next, in scheduling order).
+  void Schedule(TimeMs when, Callback cb);
+
+  /// Schedules `cb` at now() + delay.
+  void ScheduleAfter(TimeMs delay, Callback cb) {
+    Schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Pops and dispatches the earliest event. Returns false when empty.
+  bool RunNext();
+
+  /// Dispatches events until the queue empties, `until` is reached, or
+  /// Stop() is called. Returns the number of events dispatched.
+  uint64_t RunUntil(TimeMs until);
+
+  /// Runs to queue exhaustion (or Stop()).
+  uint64_t Run();
+
+  /// Requests that Run()/RunUntil() return after the current event.
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// Total events dispatched over the queue's lifetime.
+  uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Entry {
+    TimeMs time;
+    uint64_t seq;  // Tie-breaker: FIFO among equal times.
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  TimeMs now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t dispatched_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace rofs::sim
+
+#endif  // ROFS_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,71 @@
+#include "util/bitmap.h"
+
+#include <bit>
+#include <cassert>
+
+namespace rofs {
+
+Bitmap::Bitmap(size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+
+bool Bitmap::Test(size_t i) const {
+  assert(i < size_);
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void Bitmap::Set(size_t i) {
+  assert(i < size_);
+  words_[i / 64] |= uint64_t{1} << (i % 64);
+}
+
+void Bitmap::Clear(size_t i) {
+  assert(i < size_);
+  words_[i / 64] &= ~(uint64_t{1} << (i % 64));
+}
+
+size_t Bitmap::CountSet() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+std::optional<size_t> Bitmap::FindFirstClear(size_t from) const {
+  if (from >= size_) return std::nullopt;
+  size_t word = from / 64;
+  // Mask off bits below `from` in the first word by pretending they are set.
+  uint64_t masked = words_[word] | ((uint64_t{1} << (from % 64)) - 1);
+  while (true) {
+    if (masked != UINT64_MAX) {
+      const size_t bit = word * 64 +
+                         static_cast<size_t>(std::countr_one(masked));
+      if (bit < size_) return bit;
+      return std::nullopt;
+    }
+    if (++word >= words_.size()) return std::nullopt;
+    masked = words_[word];
+  }
+}
+
+std::optional<size_t> Bitmap::FindFirstSet(size_t from) const {
+  if (from >= size_) return std::nullopt;
+  size_t word = from / 64;
+  uint64_t masked = words_[word] & ~((uint64_t{1} << (from % 64)) - 1);
+  while (true) {
+    if (masked != 0) {
+      const size_t bit = word * 64 +
+                         static_cast<size_t>(std::countr_zero(masked));
+      if (bit < size_) return bit;
+      return std::nullopt;
+    }
+    if (++word >= words_.size()) return std::nullopt;
+    masked = words_[word];
+  }
+}
+
+std::optional<size_t> Bitmap::FindFirstClearCircular(size_t from) const {
+  if (size_ == 0) return std::nullopt;
+  from %= size_;
+  if (auto hit = FindFirstClear(from)) return hit;
+  return FindFirstClear(0);
+}
+
+}  // namespace rofs

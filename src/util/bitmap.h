@@ -1,0 +1,46 @@
+#ifndef ROFS_UTIL_BITMAP_H_
+#define ROFS_UTIL_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rofs {
+
+/// Fixed-size bitmap. The restricted-buddy allocator uses one bit per
+/// maximum-size block (paper section 4.2: "A bit map is used to record the
+/// state (free or used) of every maximum sized block in the system").
+class Bitmap {
+ public:
+  /// Creates a bitmap of `size` bits, all clear (0 = free).
+  explicit Bitmap(size_t size = 0);
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const;
+  void Set(size_t i);
+  void Clear(size_t i);
+
+  /// Number of set bits.
+  size_t CountSet() const;
+
+  /// Index of the first clear bit at or after `from`, or nullopt.
+  std::optional<size_t> FindFirstClear(size_t from = 0) const;
+
+  /// Index of the first set bit at or after `from`, or nullopt.
+  std::optional<size_t> FindFirstSet(size_t from = 0) const;
+
+  /// Index of the first clear bit at or after `from`, wrapping around to the
+  /// start of the map if none is found above `from`. nullopt when the map is
+  /// fully set.
+  std::optional<size_t> FindFirstClearCircular(size_t from) const;
+
+ private:
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace rofs
+
+#endif  // ROFS_UTIL_BITMAP_H_

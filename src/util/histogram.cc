@@ -1,0 +1,89 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace rofs {
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) { Reset(); }
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  sum_squares_ = 0.0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+int Histogram::BucketFor(double value) {
+  if (value <= 1.0) return 0;
+  // Each bucket covers a factor of 2^(1/4): ~4 buckets per octave.
+  const int b = static_cast<int>(std::log2(value) * 4.0) + 1;
+  return std::min(b, kNumBuckets - 1);
+}
+
+double Histogram::BucketLimit(int bucket) {
+  if (bucket <= 0) return 1.0;
+  return std::exp2(static_cast<double>(bucket) / 4.0);
+}
+
+void Histogram::Add(double value) {
+  ++count_;
+  sum_ += value;
+  sum_squares_ += value * value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::StdDev() const {
+  if (count_ == 0) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double variance = sum_squares_ / n - (sum_ / n) * (sum_ / n);
+  return variance > 0.0 ? std::sqrt(variance) : 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  const double threshold = static_cast<double>(count_) * (p / 100.0);
+  double cumulative = 0.0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += static_cast<double>(buckets_[i]);
+    if (cumulative >= threshold) {
+      // Clamp the bucket's upper limit into the observed range.
+      return std::min(std::max(BucketLimit(i), min()), max());
+    }
+  }
+  return max();
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.3f stddev=%.3f min=%.3f max=%.3f "
+                "p50=%.3f p99=%.3f",
+                static_cast<unsigned long long>(count_), Mean(), StdDev(),
+                min(), max(), Percentile(50), Percentile(99));
+  return buf;
+}
+
+}  // namespace rofs

@@ -1,0 +1,50 @@
+#ifndef ROFS_UTIL_HISTOGRAM_H_
+#define ROFS_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rofs {
+
+/// Streaming summary statistics plus a log-scaled histogram. Used for
+/// per-operation latency, extents-per-file counts, and transfer sizes.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  double Mean() const;
+  /// Population standard deviation.
+  double StdDev() const;
+  /// Approximate percentile (0 < p <= 100) from the log-scaled buckets.
+  double Percentile(double p) const;
+
+  /// Multi-line human-readable summary.
+  std::string ToString() const;
+
+ private:
+  static constexpr int kNumBuckets = 128;
+  // Bucket index for a value (log2-scaled above 1.0, bucket 0 for <= 1).
+  static int BucketFor(double value);
+  // Upper bound of a bucket.
+  static double BucketLimit(int bucket);
+
+  uint64_t count_;
+  double sum_;
+  double sum_squares_;
+  double min_;
+  double max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace rofs
+
+#endif  // ROFS_UTIL_HISTOGRAM_H_

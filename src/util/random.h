@@ -1,0 +1,48 @@
+#ifndef ROFS_UTIL_RANDOM_H_
+#define ROFS_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace rofs {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every simulation object takes an explicit seed so experiments are exactly
+/// reproducible run to run. Not thread-safe; each simulation owns its own
+/// generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Normal deviate with the given mean and standard deviation
+  /// (Box-Muller). Used for extent-size ranges: N(mean, 0.1 * mean).
+  double Normal(double mean, double stddev);
+
+  /// Exponential deviate with the given mean (inter-arrival think times).
+  double Exponential(double mean);
+
+  /// Returns true with probability p (0 <= p <= 1).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t s_[4];
+  // Cached second Box-Muller deviate.
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace rofs
+
+#endif  // ROFS_UTIL_RANDOM_H_

@@ -1,0 +1,100 @@
+#ifndef ROFS_UTIL_STATUS_H_
+#define ROFS_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rofs {
+
+/// Error categories used across the library. Modeled after the
+/// Status idiom used by RocksDB/Arrow: no exceptions cross API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  /// The disk system cannot satisfy an allocation request (disk full).
+  kResourceExhausted,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("OK", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+///
+/// Typical use:
+///   Status s = allocator.Extend(file, bytes);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when the error indicates the disk system is full. Experiment
+  /// drivers use this to detect the end of an allocation test.
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates a non-OK status to the caller.
+#define ROFS_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::rofs::Status _rofs_status = (expr);           \
+    if (!_rofs_status.ok()) return _rofs_status;    \
+  } while (false)
+
+}  // namespace rofs
+
+#endif  // ROFS_UTIL_STATUS_H_

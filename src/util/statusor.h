@@ -1,0 +1,69 @@
+#ifndef ROFS_UTIL_STATUSOR_H_
+#define ROFS_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rofs {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of a failed StatusOr is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status,
+/// otherwise assigns the value to `lhs`.
+#define ROFS_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  auto ROFS_CONCAT_(_statusor_, __LINE__) = (rexpr); \
+  if (!ROFS_CONCAT_(_statusor_, __LINE__).ok())      \
+    return ROFS_CONCAT_(_statusor_, __LINE__).status(); \
+  lhs = std::move(ROFS_CONCAT_(_statusor_, __LINE__)).value()
+
+#define ROFS_CONCAT_INNER_(a, b) a##b
+#define ROFS_CONCAT_(a, b) ROFS_CONCAT_INNER_(a, b)
+
+}  // namespace rofs
+
+#endif  // ROFS_UTIL_STATUSOR_H_

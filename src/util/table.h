@@ -1,0 +1,37 @@
+#ifndef ROFS_UTIL_TABLE_H_
+#define ROFS_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rofs {
+
+/// Minimal fixed-column text table used by the benchmark drivers to print
+/// the paper's tables and figure series in aligned, copy-pastable form.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same number of cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline and right-padded columns.
+  std::string ToString() const;
+
+  /// Renders as CSV (for downstream plotting).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// snprintf-style convenience: FormatString("%5.1f%%", x).
+std::string FormatString(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace rofs
+
+#endif  // ROFS_UTIL_TABLE_H_

@@ -1,0 +1,48 @@
+#include "util/units.h"
+
+#include <cstdio>
+
+namespace rofs {
+
+namespace {
+
+std::string FormatWithSuffix(double value, const char* suffix) {
+  char buf[32];
+  if (value == static_cast<uint64_t>(value)) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(value), suffix);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f%s", value, suffix);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(uint64_t bytes) {
+  if (bytes >= kGiB && bytes % (kGiB / 100) == 0) {
+    return FormatWithSuffix(static_cast<double>(bytes) / kGiB, "G");
+  }
+  if (bytes >= kGiB) {
+    return FormatWithSuffix(static_cast<double>(bytes) / kGiB, "G");
+  }
+  if (bytes >= kMiB) {
+    return FormatWithSuffix(static_cast<double>(bytes) / kMiB, "M");
+  }
+  if (bytes >= kKiB) {
+    return FormatWithSuffix(static_cast<double>(bytes) / kKiB, "K");
+  }
+  return FormatWithSuffix(static_cast<double>(bytes), "B");
+}
+
+std::string FormatMillis(double ms) {
+  char buf[32];
+  if (ms >= 1000.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", ms / 1000.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ms);
+  }
+  return buf;
+}
+
+}  // namespace rofs

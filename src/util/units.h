@@ -1,0 +1,54 @@
+#ifndef ROFS_UTIL_UNITS_H_
+#define ROFS_UTIL_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rofs {
+
+/// Byte-size literals used throughout the simulator. The paper's block and
+/// extent sizes (1K, 8K, 64K, 1M, 16M, ...) are binary units.
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
+constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
+constexpr uint64_t GiB(uint64_t n) { return n * kGiB; }
+
+/// Decimal units. The paper quotes capacities and file sizes in decimal
+/// ("2.8 G" for the 8-drive array, "210M" relations); block and transfer
+/// sizes are binary.
+constexpr uint64_t KB(uint64_t n) { return n * 1000; }
+constexpr uint64_t MB(uint64_t n) { return n * 1000 * 1000; }
+
+/// True when `x` is a (nonzero) power of two.
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x must be nonzero and representable).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Rounds `x` up to the nearest multiple of `m` (m > 0).
+constexpr uint64_t RoundUp(uint64_t x, uint64_t m) {
+  return (x + m - 1) / m * m;
+}
+
+/// Rounds `x` down to the nearest multiple of `m` (m > 0).
+constexpr uint64_t RoundDown(uint64_t x, uint64_t m) { return x / m * m; }
+
+/// Integer ceiling division.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Formats a byte count compactly ("8K", "1.5M", "2.64G", "123B").
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats milliseconds as "12.3s" / "456ms".
+std::string FormatMillis(double ms);
+
+}  // namespace rofs
+
+#endif  // ROFS_UTIL_UNITS_H_

@@ -1,0 +1,121 @@
+#include "workload/file_type.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rofs::workload {
+
+std::string OpKindToString(OpKind op) {
+  switch (op) {
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kExtend:
+      return "extend";
+    case OpKind::kTruncate:
+      return "truncate";
+    case OpKind::kDelete:
+      return "delete";
+  }
+  return "unknown";
+}
+
+Status FileTypeSpec::Validate() const {
+  if (num_files == 0) {
+    return Status::InvalidArgument(name + ": num_files must be > 0");
+  }
+  if (num_users == 0) {
+    return Status::InvalidArgument(name + ": num_users must be > 0");
+  }
+  if (process_time_ms <= 0 || hit_frequency_ms <= 0) {
+    return Status::InvalidArgument(name + ": times must be positive");
+  }
+  if (read_ratio < 0 || write_ratio < 0 || extend_ratio < 0 ||
+      read_ratio + write_ratio + extend_ratio > 1.0 + 1e-9) {
+    return Status::InvalidArgument(name + ": op ratios must be fractions "
+                                          "summing to at most 1");
+  }
+  if (delete_ratio < 0 || delete_ratio > 1.0) {
+    return Status::InvalidArgument(name + ": delete_ratio must be in [0,1]");
+  }
+  if (rw_bytes_mean == 0) {
+    return Status::InvalidArgument(name + ": rw_bytes_mean must be > 0");
+  }
+  if (initial_bytes_dev > initial_bytes_mean) {
+    return Status::InvalidArgument(
+        name + ": initial deviation exceeds the mean");
+  }
+  return Status::OK();
+}
+
+uint64_t FileTypeSpec::DrawInitialBytes(Rng& rng) const {
+  const uint64_t lo = initial_bytes_mean - initial_bytes_dev;
+  const uint64_t hi = initial_bytes_mean + initial_bytes_dev;
+  return std::max<uint64_t>(1, rng.UniformInt(lo, hi));
+}
+
+uint64_t FileTypeSpec::DrawRwBytes(Rng& rng) const {
+  if (rw_bytes_dev == 0) return rw_bytes_mean;
+  const double v = rng.Normal(static_cast<double>(rw_bytes_mean),
+                              static_cast<double>(rw_bytes_dev));
+  const long long rounded = std::llround(v);
+  return rounded < 1 ? 1 : static_cast<uint64_t>(rounded);
+}
+
+uint64_t FileTypeSpec::DrawExtendBytes(Rng& rng) const {
+  if (extend_bytes_mean == 0) return DrawRwBytes(rng);
+  if (extend_bytes_dev == 0) return extend_bytes_mean;
+  const double v = rng.Normal(static_cast<double>(extend_bytes_mean),
+                              static_cast<double>(extend_bytes_dev));
+  const long long rounded = std::llround(v);
+  return rounded < 1 ? 1 : static_cast<uint64_t>(rounded);
+}
+
+OpKind FileTypeSpec::DrawDeallocate(Rng& rng) const {
+  return rng.Bernoulli(delete_ratio) ? OpKind::kDelete : OpKind::kTruncate;
+}
+
+OpKind FileTypeSpec::DrawOp(Rng& rng) const {
+  const double u = rng.NextDouble();
+  if (u < read_ratio) return OpKind::kRead;
+  if (u < read_ratio + write_ratio) return OpKind::kWrite;
+  if (u < read_ratio + write_ratio + extend_ratio) return OpKind::kExtend;
+  return DrawDeallocate(rng);
+}
+
+OpKind FileTypeSpec::DrawAllocOp(Rng& rng) const {
+  const double dealloc = deallocate_ratio();
+  const double total = extend_ratio + dealloc;
+  if (total <= 0.0) return OpKind::kExtend;  // Degenerate type: only grow.
+  const double u = rng.NextDouble() * total;
+  if (u < extend_ratio) return OpKind::kExtend;
+  return DrawDeallocate(rng);
+}
+
+OpKind FileTypeSpec::DrawSequentialOp(Rng& rng) const {
+  const double total = read_ratio + write_ratio;
+  if (total <= 0.0) return OpKind::kRead;
+  return rng.NextDouble() * total < read_ratio ? OpKind::kRead
+                                               : OpKind::kWrite;
+}
+
+Status WorkloadSpec::Validate() const {
+  if (types.empty()) {
+    return Status::InvalidArgument(name + ": workload has no file types");
+  }
+  for (const FileTypeSpec& t : types) {
+    ROFS_RETURN_IF_ERROR(t.Validate());
+  }
+  return Status::OK();
+}
+
+uint64_t WorkloadSpec::TotalInitialBytes() const {
+  uint64_t total = 0;
+  for (const FileTypeSpec& t : types) {
+    total += static_cast<uint64_t>(t.num_files) * t.initial_bytes_mean;
+  }
+  return total;
+}
+
+}  // namespace rofs::workload

@@ -1,0 +1,116 @@
+#ifndef ROFS_WORKLOAD_FILE_TYPE_H_
+#define ROFS_WORKLOAD_FILE_TYPE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace rofs::workload {
+
+/// How a file type addresses its files.
+enum class AccessPattern {
+  /// Reads/writes advance a per-file cursor in rw-sized bursts, wrapping at
+  /// the end of the file (the SC "large contiguous bursts", TS activity).
+  kSequentialBurst,
+  /// Each read/write picks a uniformly random rw-aligned offset (the TP
+  /// relations' random page traffic).
+  kRandom,
+};
+
+/// Operations a user event may perform. Deallocation splits into truncate
+/// and delete by the file type's delete ratio (Table 2).
+enum class OpKind { kRead, kWrite, kExtend, kTruncate, kDelete };
+
+std::string OpKindToString(OpKind op);
+
+/// One file type of a simulated workload: every parameter of the paper's
+/// Table 2, plus the access pattern. Ratios are fractions in [0,1];
+/// read + write + extend <= 1 and the remainder is the deallocate ratio.
+struct FileTypeSpec {
+  std::string name;
+
+  /// How many files of this type should be created.
+  uint32_t num_files = 1;
+  /// How many parallel events (user streams) access this file type.
+  uint32_t num_users = 1;
+  /// Mean milliseconds between successive requests from a single user
+  /// (exponentially distributed think time added after completion).
+  double process_time_ms = 100.0;
+  /// Milliseconds between requests from different users; initial start
+  /// times are uniform in [0, num_users * hit_frequency_ms].
+  double hit_frequency_ms = 100.0;
+
+  /// Mean / standard deviation of bytes per read or write operation.
+  uint64_t rw_bytes_mean = 8 * 1024;
+  uint64_t rw_bytes_dev = 0;
+  /// For extent based systems, the preferred (mean) extent size.
+  uint64_t alloc_size_bytes = 8 * 1024;
+  /// Mean / deviation of bytes added by an extend operation. A mean of 0
+  /// means "use the read/write size" (an extend is a write past EOF).
+  uint64_t extend_bytes_mean = 0;
+  uint64_t extend_bytes_dev = 0;
+  /// Bytes deallocated by a truncate request.
+  uint64_t truncate_bytes = 8 * 1024;
+  /// Mean / deviation of the file size at initialization time (uniform in
+  /// [mean - dev, mean + dev]).
+  uint64_t initial_bytes_mean = 8 * 1024;
+  uint64_t initial_bytes_dev = 0;
+
+  double read_ratio = 0.6;
+  double write_ratio = 0.2;
+  double extend_ratio = 0.1;
+  /// Of the deallocate operations, the fraction that delete the whole file
+  /// (the rest truncate by truncate_bytes).
+  double delete_ratio = 0.0;
+
+  AccessPattern access = AccessPattern::kSequentialBurst;
+
+  double deallocate_ratio() const {
+    return 1.0 - read_ratio - write_ratio - extend_ratio;
+  }
+
+  Status Validate() const;
+
+  /// Initial file size: uniform in [mean - dev, mean + dev].
+  uint64_t DrawInitialBytes(Rng& rng) const;
+
+  /// Transfer size: normal(mean, dev) clamped to at least one byte.
+  uint64_t DrawRwBytes(Rng& rng) const;
+
+  /// Extend size: normal(extend mean, dev), falling back to the rw size
+  /// when no extend size is configured.
+  uint64_t DrawExtendBytes(Rng& rng) const;
+
+  /// Draws an operation from the full mix.
+  OpKind DrawOp(Rng& rng) const;
+
+  /// Draws from the allocation-test mix: only extend / truncate / delete
+  /// (create happens implicitly when a deleted file is re-created), with
+  /// the ratios renormalized (paper section 3).
+  OpKind DrawAllocOp(Rng& rng) const;
+
+  /// Draws from the sequential-test mix: whole-file reads and writes only,
+  /// renormalized (paper section 3).
+  OpKind DrawSequentialOp(Rng& rng) const;
+
+  /// Splits a deallocate into delete vs truncate.
+  OpKind DrawDeallocate(Rng& rng) const;
+};
+
+/// A named set of file types (the TS / TP / SC workloads of section 2.2).
+struct WorkloadSpec {
+  std::string name;
+  std::vector<FileTypeSpec> types;
+
+  Status Validate() const;
+
+  /// Expected bytes of all files at initialization.
+  uint64_t TotalInitialBytes() const;
+};
+
+}  // namespace rofs::workload
+
+#endif  // ROFS_WORKLOAD_FILE_TYPE_H_

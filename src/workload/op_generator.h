@@ -1,0 +1,140 @@
+#ifndef ROFS_WORKLOAD_OP_GENERATOR_H_
+#define ROFS_WORKLOAD_OP_GENERATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fs/read_optimized_fs.h"
+#include "sim/event_queue.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "workload/file_type.h"
+
+namespace rofs::workload {
+
+/// Which operation mix the generator draws from (paper section 3).
+enum class OpMode {
+  /// The full Table 2 mix: the application performance test.
+  kApplication,
+  /// Only extend / truncate / delete / create, renormalized: the
+  /// allocation test.
+  kAllocation,
+  /// Allocation mix with deallocations partly converted to extends, used
+  /// to drive utilization up to the measurement band while still aging the
+  /// layout with churn.
+  kFill,
+  /// Whole-file reads and writes only: the sequential performance test.
+  kSequential,
+};
+
+/// One executed operation, reported through OpGenerator::on_op for
+/// tracing and per-type statistics.
+struct OpRecord {
+  sim::TimeMs issued;
+  sim::TimeMs completed;
+  size_t type_index;
+  OpKind op;
+  fs::FileId file;
+  uint64_t bytes;
+};
+
+/// Per-(file type, op kind) accumulators.
+struct OpStats {
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+  Histogram latency_ms;
+};
+
+struct OpGeneratorOptions {
+  OpMode mode = OpMode::kApplication;
+  /// Extends issued above this space utilization are converted into
+  /// truncates (paper section 2.2, the upper bound M).
+  double upper_bound_util = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Drives a workload against a file system inside an event queue: creates
+/// the initial files, schedules one event stream per user, and executes
+/// operations drawn from the active mix, rescheduling each stream at
+/// completion + Exp(process_time).
+class OpGenerator {
+ public:
+  OpGenerator(const WorkloadSpec* workload, fs::ReadOptimizedFs* fs,
+              sim::EventQueue* queue, OpGeneratorOptions options);
+
+  /// Phase 2 of initialization: creates every file with a size drawn from
+  /// its type's initial distribution. Returns the first allocation
+  /// failure, if any (the disk filled during initialization).
+  Status CreateInitialFiles();
+
+  /// Phase 1: schedules the user event streams with start times uniform in
+  /// [0, num_users * hit_frequency].
+  void ScheduleUserStreams();
+
+  void set_mode(OpMode mode) { options_.mode = mode; }
+  OpMode mode() const { return options_.mode; }
+  void set_upper_bound_util(double u) { options_.upper_bound_util = u; }
+
+  uint64_t ops_executed() const { return ops_executed_; }
+  uint64_t disk_full_count() const { return disk_full_count_; }
+  bool hit_disk_full() const { return disk_full_count_ > 0; }
+  const Histogram& op_latency_ms() const { return op_latency_ms_; }
+
+  /// Accumulated per-(type, op) statistics since the last ResetStats().
+  const OpStats& stats_for(size_t type_index, OpKind op) const {
+    return op_stats_[type_index][static_cast<size_t>(op)];
+  }
+
+  /// Formatted per-type, per-op table (count, bytes, latency mean/p99).
+  std::string StatsReport() const;
+
+  void ResetStats();
+
+  const std::vector<fs::FileId>& files_of_type(size_t t) const {
+    return files_by_type_[t];
+  }
+
+  /// Invoked on the first allocation failure of each operation (allocation
+  /// tests use this to stop the simulation).
+  std::function<void()> on_disk_full;
+
+  /// Invoked with the logical bytes a completed operation moved and its
+  /// completion time (throughput accounting).
+  std::function<void(uint64_t bytes, sim::TimeMs completion)> on_bytes_moved;
+
+  /// Invoked once per executed operation, at issue time (tracing).
+  std::function<void(const OpRecord&)> on_op;
+
+ private:
+  void RunUserEvent(size_t type_index);
+
+  /// Executes one operation; returns its completion time and reports moved
+  /// bytes through *bytes_moved.
+  sim::TimeMs ExecuteOp(size_t type_index, fs::FileId id, OpKind op,
+                        sim::TimeMs now, uint64_t* bytes_moved);
+
+  sim::TimeMs DoExtend(const FileTypeSpec& type, fs::FileId id,
+                       uint64_t bytes, sim::TimeMs now,
+                       uint64_t* bytes_moved);
+
+  OpKind DrawOpForMode(const FileTypeSpec& type);
+
+  const WorkloadSpec* workload_;
+  fs::ReadOptimizedFs* fs_;
+  sim::EventQueue* queue_;
+  OpGeneratorOptions options_;
+  Rng rng_;
+  std::vector<std::vector<fs::FileId>> files_by_type_;
+  uint64_t ops_executed_ = 0;
+  uint64_t disk_full_count_ = 0;
+  Histogram op_latency_ms_;
+  // op_stats_[type][op kind].
+  std::vector<std::array<OpStats, 5>> op_stats_;
+};
+
+}  // namespace rofs::workload
+
+#endif  // ROFS_WORKLOAD_OP_GENERATOR_H_

@@ -1,0 +1,200 @@
+#include "workload/trace_replay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace rofs::workload {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool KnownOp(const std::string& op) {
+  return op == "read" || op == "write" || op == "extend" ||
+         op == "truncate" || op == "delete" || op == "create";
+}
+
+}  // namespace
+
+StatusOr<std::vector<TraceOp>> TraceReplayer::Parse(const std::string& text) {
+  std::vector<TraceOp> ops;
+  std::stringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    const size_t hash = raw.find('#');
+    const std::string line =
+        Trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::stringstream fs_stream(line);
+    std::string field;
+    while (std::getline(fs_stream, field, ',')) {
+      fields.push_back(Trim(field));
+    }
+    if (fields.size() < 4 || fields.size() > 5) {
+      return Status::InvalidArgument(FormatString(
+          "trace line %d: expected time,op,file,bytes[,offset]", line_no));
+    }
+    TraceOp op;
+    if (!ParseDouble(fields[0], &op.time_ms) || op.time_ms < 0) {
+      return Status::InvalidArgument(
+          FormatString("trace line %d: bad time '%s'", line_no,
+                       fields[0].c_str()));
+    }
+    op.op = fields[1];
+    if (!KnownOp(op.op)) {
+      return Status::InvalidArgument(FormatString(
+          "trace line %d: unknown op '%s'", line_no, op.op.c_str()));
+    }
+    op.file_key = fields[2];
+    if (op.file_key.empty()) {
+      return Status::InvalidArgument(
+          FormatString("trace line %d: empty file key", line_no));
+    }
+    if (!ParseU64(fields[3], &op.bytes)) {
+      return Status::InvalidArgument(
+          FormatString("trace line %d: bad byte count '%s'", line_no,
+                       fields[3].c_str()));
+    }
+    if (fields.size() == 5 && !ParseU64(fields[4], &op.offset)) {
+      return Status::InvalidArgument(
+          FormatString("trace line %d: bad offset '%s'", line_no,
+                       fields[4].c_str()));
+    }
+    ops.push_back(std::move(op));
+  }
+  // Replay requires non-decreasing issue times.
+  if (!std::is_sorted(ops.begin(), ops.end(),
+                      [](const TraceOp& a, const TraceOp& b) {
+                        return a.time_ms < b.time_ms;
+                      })) {
+    return Status::InvalidArgument("trace times must be non-decreasing");
+  }
+  return ops;
+}
+
+StatusOr<std::vector<TraceOp>> TraceReplayer::ParseFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open trace '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+TraceReplayer::TraceReplayer(std::vector<TraceOp> trace,
+                             fs::ReadOptimizedFs* fs)
+    : trace_(std::move(trace)), fs_(fs) {
+  assert(fs_ != nullptr);
+}
+
+fs::FileId TraceReplayer::FileFor(const std::string& key,
+                                  uint64_t size_hint) {
+  auto it = files_.find(key);
+  if (it != files_.end()) {
+    // Recreate dropped slots on re-touch.
+    if (!fs_->file(it->second).exists) fs_->Recreate(it->second);
+    return it->second;
+  }
+  const fs::FileId id = fs_->Create(std::max<uint64_t>(size_hint, 1));
+  files_[key] = id;
+  return id;
+}
+
+sim::TimeMs TraceReplayer::Execute(const TraceOp& op, sim::TimeMs now,
+                                   TraceReplayStats* stats) {
+  const fs::FileId id = FileFor(op.file_key, op.bytes);
+  sim::TimeMs done = now;
+  if (op.op == "create" || op.op == "extend") {
+    const uint64_t before = fs_->file(id).logical_bytes;
+    const Status status = fs_->Extend(id, op.bytes, now, &done);
+    stats->bytes_written += fs_->file(id).logical_bytes - before;
+    if (status.IsResourceExhausted()) ++stats->failed_allocations;
+  } else if (op.op == "read" || op.op == "write") {
+    const uint64_t logical = fs_->file(id).logical_bytes;
+    uint64_t offset = op.offset;
+    if (offset == UINT64_MAX) {
+      uint64_t& cursor = cursors_[id];
+      if (cursor >= logical) cursor = 0;
+      offset = cursor;
+      cursor += op.bytes;
+    }
+    if (logical > offset) {
+      const uint64_t moved = std::min(op.bytes, logical - offset);
+      if (op.op == "read") {
+        done = fs_->Read(id, offset, op.bytes, now);
+        stats->bytes_read += moved;
+      } else {
+        done = fs_->Write(id, offset, op.bytes, now);
+        stats->bytes_written += moved;
+      }
+    }
+  } else if (op.op == "truncate") {
+    fs_->Truncate(id, op.bytes);
+  } else if (op.op == "delete") {
+    fs_->Delete(id);
+  }
+  ++stats->ops;
+  stats->total_latency_ms += done - now;
+  stats->makespan_ms = std::max(stats->makespan_ms, done);
+  return done;
+}
+
+TraceReplayStats TraceReplayer::ReplayOpenLoop(sim::EventQueue* queue) {
+  TraceReplayStats stats;
+  for (const TraceOp& op : trace_) {
+    queue->Schedule(op.time_ms, [this, &op, &stats, queue] {
+      Execute(op, queue->now(), &stats);
+    });
+  }
+  queue->Run();
+  return stats;
+}
+
+TraceReplayStats TraceReplayer::ReplayClosedLoop(sim::EventQueue* queue) {
+  TraceReplayStats stats;
+  sim::TimeMs prev_completion = 0;
+  sim::TimeMs prev_recorded = trace_.empty() ? 0 : trace_.front().time_ms;
+  for (const TraceOp& op : trace_) {
+    const double think = op.time_ms - prev_recorded;
+    prev_recorded = op.time_ms;
+    const sim::TimeMs issue = std::max(prev_completion + think, 0.0);
+    // Drive the clock forward so completion-time accounting is coherent.
+    queue->Schedule(issue, [] {});
+    queue->Run();
+    prev_completion = Execute(op, issue, &stats);
+  }
+  return stats;
+}
+
+}  // namespace rofs::workload

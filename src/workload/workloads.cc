@@ -1,0 +1,274 @@
+#include "workload/workloads.h"
+
+#include <cassert>
+
+#include "util/units.h"
+
+namespace rofs::workload {
+
+std::string WorkloadKindToString(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTimeSharing:
+      return "TS";
+    case WorkloadKind::kTransactionProcessing:
+      return "TP";
+    case WorkloadKind::kSuperComputer:
+      return "SC";
+  }
+  return "unknown";
+}
+
+WorkloadSpec MakeTimeSharing() {
+  WorkloadSpec w;
+  w.name = "TS";
+
+  FileTypeSpec small;
+  small.name = "ts-small";
+  // "An abundance of small files": they dominate both the request stream
+  // and the occupied space.
+  small.num_files = 190'000;  // ~1.5 GB of 8K files at initialization.
+  small.num_users = 20;
+  small.process_time_ms = 50;
+  small.hit_frequency_ms = 50;
+  small.rw_bytes_mean = KiB(8);
+  small.rw_bytes_dev = KiB(2);
+  small.alloc_size_bytes = KiB(1);
+  small.extend_bytes_mean = KiB(4);
+  small.extend_bytes_dev = KiB(1);
+  small.truncate_bytes = KiB(4);
+  small.initial_bytes_mean = KB(8);
+  small.initial_bytes_dev = 0;
+  // Created, read, and deleted: most deallocations remove the whole file.
+  small.read_ratio = 0.60;
+  small.write_ratio = 0.10;
+  small.extend_ratio = 0.15;
+  small.delete_ratio = 0.90;
+  small.access = AccessPattern::kSequentialBurst;
+  w.types.push_back(small);
+
+  FileTypeSpec large;
+  large.name = "ts-large";
+  large.num_files = 4'500;  // ~0.43 GB of 96K files at initialization
+                          // (sized so the buddy policy's power-of-two
+                          // overshoot still fits the array).
+  // Small files get two thirds of all requests: 20 users at 50 ms vs
+  // 20 users at 100 ms gives a 2:1 request rate.
+  large.num_users = 20;
+  large.process_time_ms = 100;
+  large.hit_frequency_ms = 100;
+  large.rw_bytes_mean = KiB(8);
+  large.rw_bytes_dev = KiB(2);
+  large.alloc_size_bytes = KiB(8);
+  large.extend_bytes_mean = KiB(8);
+  large.extend_bytes_dev = KiB(2);
+  large.truncate_bytes = KiB(16);
+  large.initial_bytes_mean = KB(96);
+  large.initial_bytes_dev = KB(32);
+  // 60% reads, 15% writes, 15% extends, 5% deletes, 5% truncates.
+  large.read_ratio = 0.60;
+  large.write_ratio = 0.15;
+  large.extend_ratio = 0.15;
+  large.delete_ratio = 0.50;
+  large.access = AccessPattern::kSequentialBurst;
+  w.types.push_back(large);
+  return w;
+}
+
+WorkloadSpec MakeTransactionProcessing() {
+  WorkloadSpec w;
+  w.name = "TP";
+
+  FileTypeSpec rel;
+  rel.name = "tp-relation";
+  rel.num_files = 10;
+  rel.num_users = 50;
+  rel.process_time_ms = 20;
+  rel.hit_frequency_ms = 20;
+  rel.rw_bytes_mean = KiB(8);
+  rel.rw_bytes_dev = 0;
+  rel.alloc_size_bytes = MiB(16);
+  rel.extend_bytes_mean = MiB(1);
+  rel.extend_bytes_dev = KiB(100);
+  rel.truncate_bytes = KiB(256);
+  rel.initial_bytes_mean = MB(210);
+  rel.initial_bytes_dev = 0;
+  // Randomly read 60%, written 30%, extended 7%, truncated 3%.
+  rel.read_ratio = 0.60;
+  rel.write_ratio = 0.30;
+  rel.extend_ratio = 0.07;
+  rel.delete_ratio = 0.0;
+  rel.access = AccessPattern::kRandom;
+  w.types.push_back(rel);
+
+  FileTypeSpec applog;
+  applog.name = "tp-applog";
+  applog.num_files = 5;
+  applog.num_users = 5;
+  applog.process_time_ms = 50;
+  applog.hit_frequency_ms = 50;
+  applog.rw_bytes_mean = KiB(4);
+  applog.rw_bytes_dev = KiB(1);
+  applog.alloc_size_bytes = KiB(512);
+  applog.extend_bytes_mean = KiB(4);
+  applog.extend_bytes_dev = KiB(1);
+  applog.truncate_bytes = KiB(512);
+  applog.initial_bytes_mean = MB(5);
+  applog.initial_bytes_dev = MB(1);
+  // Mostly extends (93%) with periodic reads (2%) and rare truncates (5%).
+  applog.read_ratio = 0.02;
+  applog.write_ratio = 0.0;
+  applog.extend_ratio = 0.93;
+  applog.delete_ratio = 0.0;
+  applog.access = AccessPattern::kSequentialBurst;
+  w.types.push_back(applog);
+
+  FileTypeSpec syslog;
+  syslog.name = "tp-syslog";
+  syslog.num_files = 1;
+  syslog.num_users = 4;
+  syslog.process_time_ms = 10;
+  syslog.hit_frequency_ms = 10;
+  syslog.rw_bytes_mean = KiB(4);
+  syslog.rw_bytes_dev = KiB(1);
+  syslog.alloc_size_bytes = KiB(512);
+  syslog.extend_bytes_mean = KiB(4);
+  syslog.extend_bytes_dev = KiB(1);
+  syslog.truncate_bytes = MiB(1);
+  syslog.initial_bytes_mean = MB(10);
+  syslog.initial_bytes_dev = 0;
+  // 94% extends, 5% reads (periodic aborts), 1% truncates.
+  syslog.read_ratio = 0.05;
+  syslog.write_ratio = 0.0;
+  syslog.extend_ratio = 0.94;
+  syslog.delete_ratio = 0.0;
+  syslog.access = AccessPattern::kSequentialBurst;
+  w.types.push_back(syslog);
+  return w;
+}
+
+WorkloadSpec MakeSuperComputer() {
+  WorkloadSpec w;
+  w.name = "SC";
+
+  FileTypeSpec large;
+  large.name = "sc-large";
+  large.num_files = 1;
+  large.num_users = 4;
+  large.process_time_ms = 100;
+  large.hit_frequency_ms = 100;
+  large.rw_bytes_mean = KiB(512);
+  large.rw_bytes_dev = KiB(64);
+  large.alloc_size_bytes = MiB(16);
+  large.extend_bytes_mean = MiB(8);
+  large.extend_bytes_dev = MiB(1);
+  large.truncate_bytes = MiB(2);
+  large.initial_bytes_mean = MB(500);
+  large.initial_bytes_dev = 0;
+  // 60% reads, 30% writes, 8% extends, 2% truncates.
+  large.read_ratio = 0.60;
+  large.write_ratio = 0.30;
+  large.extend_ratio = 0.08;
+  large.delete_ratio = 0.0;
+  large.access = AccessPattern::kSequentialBurst;
+  w.types.push_back(large);
+
+  FileTypeSpec medium;
+  medium.name = "sc-medium";
+  medium.num_files = 15;
+  medium.num_users = 8;
+  medium.process_time_ms = 100;
+  medium.hit_frequency_ms = 100;
+  medium.rw_bytes_mean = KiB(512);
+  medium.rw_bytes_dev = KiB(64);
+  medium.alloc_size_bytes = MiB(1);
+  medium.extend_bytes_mean = MiB(4);
+  medium.extend_bytes_dev = KiB(512);
+  medium.truncate_bytes = MiB(1);
+  medium.initial_bytes_mean = MB(100);
+  medium.initial_bytes_dev = MB(10);
+  medium.read_ratio = 0.60;
+  medium.write_ratio = 0.30;
+  medium.extend_ratio = 0.08;
+  medium.delete_ratio = 0.0;
+  medium.access = AccessPattern::kSequentialBurst;
+  w.types.push_back(medium);
+
+  FileTypeSpec small;
+  small.name = "sc-small";
+  small.num_files = 10;
+  small.num_users = 4;
+  small.process_time_ms = 50;
+  small.hit_frequency_ms = 50;
+  small.rw_bytes_mean = KiB(32);
+  small.rw_bytes_dev = KiB(8);
+  small.alloc_size_bytes = KiB(512);
+  small.extend_bytes_mean = KiB(512);
+  small.extend_bytes_dev = KiB(64);
+  small.truncate_bytes = KiB(512);
+  small.initial_bytes_mean = MB(10);
+  small.initial_bytes_dev = MB(2);
+  // Periodically deleted and recreated as well as read and written.
+  small.read_ratio = 0.60;
+  small.write_ratio = 0.30;
+  small.extend_ratio = 0.05;
+  small.delete_ratio = 1.0;
+  small.access = AccessPattern::kSequentialBurst;
+  w.types.push_back(small);
+  return w;
+}
+
+WorkloadSpec MakeWorkload(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTimeSharing:
+      return MakeTimeSharing();
+    case WorkloadKind::kTransactionProcessing:
+      return MakeTransactionProcessing();
+    case WorkloadKind::kSuperComputer:
+      return MakeSuperComputer();
+  }
+  assert(false);
+  return {};
+}
+
+std::vector<WorkloadKind> AllWorkloadKinds() {
+  return {WorkloadKind::kSuperComputer,
+          WorkloadKind::kTransactionProcessing,
+          WorkloadKind::kTimeSharing};
+}
+
+std::vector<uint64_t> ExtentRangeMeansBytes(WorkloadKind kind,
+                                            int num_ranges) {
+  assert(num_ranges >= 1 && num_ranges <= 5);
+  if (kind == WorkloadKind::kTimeSharing) {
+    switch (num_ranges) {
+      case 1:
+        return {KiB(4)};
+      case 2:
+        return {KiB(1), KiB(8)};
+      case 3:
+        return {KiB(1), KiB(8), MiB(1)};
+      case 4:
+        return {KiB(1), KiB(4), KiB(8), MiB(1)};
+      default:
+        return {KiB(1), KiB(4), KiB(8), KiB(16), MiB(1)};
+    }
+  }
+  switch (num_ranges) {
+    case 1:
+      return {KiB(512)};
+    case 2:
+      return {KiB(512), MiB(16)};
+    case 3:
+      return {KiB(512), MiB(1), MiB(16)};
+    case 4:
+      return {KiB(512), MiB(1), MiB(10), MiB(16)};
+    default:
+      return {KiB(10), KiB(512), MiB(1), MiB(10), MiB(16)};
+  }
+}
+
+uint64_t FixedBlockBytesFor(WorkloadKind kind) {
+  return kind == WorkloadKind::kTimeSharing ? KiB(4) : KiB(16);
+}
+
+}  // namespace rofs::workload

@@ -1,0 +1,49 @@
+#ifndef ROFS_WORKLOAD_WORKLOADS_H_
+#define ROFS_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/file_type.h"
+
+namespace rofs::workload {
+
+/// The three canonical workloads of paper section 2.2. Parameters the
+/// paper states are used verbatim; unstated constants (user counts, think
+/// times, transfer sizes for some types) are the documented choices of
+/// DESIGN.md section 4, scaled to the default 2.8 GB eight-disk array.
+enum class WorkloadKind { kTimeSharing, kTransactionProcessing, kSuperComputer };
+
+std::string WorkloadKindToString(WorkloadKind kind);
+
+/// Time sharing / software development (TS): an abundance of small files
+/// (mean 8K) receiving two thirds of all requests, plus larger files (mean
+/// 96K); files are created, read, and deleted.
+WorkloadSpec MakeTimeSharing();
+
+/// Transaction processing (TP): 10 large relations (210M) with random 8K
+/// reads/writes, 5 application logs (5M) and one transaction log (10M)
+/// receiving mostly extends.
+WorkloadSpec MakeTransactionProcessing();
+
+/// Supercomputer / complex query processing (SC): one 500M file, fifteen
+/// 100M files and ten 10M files, read and written in large contiguous
+/// bursts (512K / 32K).
+WorkloadSpec MakeSuperComputer();
+
+WorkloadSpec MakeWorkload(WorkloadKind kind);
+std::vector<WorkloadKind> AllWorkloadKinds();
+
+/// The extent-size range means (bytes) the paper lists for each workload
+/// and range count (1..5), section 4.3. TS uses the small-file ladder
+/// (4K ... 1M); TP and SC share the large ladder (512K ... 16M).
+std::vector<uint64_t> ExtentRangeMeansBytes(WorkloadKind kind,
+                                            int num_ranges);
+
+/// The fixed-block baseline block size the paper compares against each
+/// workload: 4K for TS, 16K for TP and SC (section 5).
+uint64_t FixedBlockBytesFor(WorkloadKind kind);
+
+}  // namespace rofs::workload
+
+#endif  // ROFS_WORKLOAD_WORKLOADS_H_

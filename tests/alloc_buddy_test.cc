@@ -1,0 +1,196 @@
+#include "alloc/buddy_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs::alloc {
+namespace {
+
+constexpr uint64_t kSpace = 1 << 20;  // 1M units, power of two.
+
+TEST(BuddyAllocatorTest, StartsFullyFree) {
+  BuddyAllocator a(kSpace);
+  EXPECT_EQ(a.free_du(), kSpace);
+  EXPECT_EQ(a.used_du(), 0u);
+  EXPECT_EQ(a.CheckConsistency(), kSpace);
+}
+
+TEST(BuddyAllocatorTest, NonPowerOfTwoSpaceIsFullyUsable) {
+  BuddyAllocator a(1000);
+  EXPECT_EQ(a.free_du(), 1000u);
+  EXPECT_EQ(a.CheckConsistency(), 1000u);
+  // 1000 = 512 + 256 + 128 + 64 + 32 + 8: all allocatable by fresh files.
+  FileAllocState f, g;
+  EXPECT_TRUE(a.Extend(&f, 512).ok());
+  EXPECT_TRUE(a.Extend(&g, 256).ok());
+  // Doubling the 512 file would need another 512 units; only 232 remain:
+  // Koch's policy fails even though space is free.
+  EXPECT_TRUE(a.Extend(&f, 1).IsResourceExhausted());
+  EXPECT_EQ(a.free_du(), 232u);
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+TEST(BuddyAllocatorTest, FirstExtentRoundsUpToPowerOfTwo) {
+  BuddyAllocator a(kSpace);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 5).ok());
+  ASSERT_EQ(f.extents.size(), 1u);
+  EXPECT_EQ(f.extents[0].length_du, 8u);
+  EXPECT_EQ(f.allocated_du, 8u);
+}
+
+// Koch's policy: "the extent size is chosen to double the current size of
+// the file."
+TEST(BuddyAllocatorTest, ExtentSizesDoubleTheFile) {
+  BuddyAllocator a(kSpace);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 1).ok());  // 1
+  ASSERT_TRUE(a.Extend(&f, 1).ok());  // +1 -> 2
+  ASSERT_TRUE(a.Extend(&f, 1).ok());  // +2 -> 4
+  ASSERT_TRUE(a.Extend(&f, 1).ok());  // +4 -> 8
+  std::vector<uint64_t> sizes;
+  for (const Extent& e : f.extents) sizes.push_back(e.length_du);
+  EXPECT_EQ(sizes, (std::vector<uint64_t>{1, 1, 2, 4}));
+  EXPECT_EQ(f.allocated_du, 8u);
+}
+
+TEST(BuddyAllocatorTest, LargeRequestUsesFewExtents) {
+  BuddyAllocator a(kSpace);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 1000).ok());
+  // 1024 in one extent.
+  EXPECT_EQ(f.extents.size(), 1u);
+  EXPECT_EQ(f.allocated_du, 1024u);
+}
+
+TEST(BuddyAllocatorTest, ExtentSizeCapBoundsGrowth) {
+  BuddyAllocator a(kSpace, /*max_extent_du=*/64);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 1024).ok());
+  for (const Extent& e : f.extents) EXPECT_LE(e.length_du, 64u);
+  EXPECT_EQ(f.allocated_du, 1024u);
+}
+
+TEST(BuddyAllocatorTest, BlocksAlignedToTheirSize) {
+  BuddyAllocator a(kSpace);
+  Rng rng(4);
+  std::vector<FileAllocState> files(50);
+  for (auto& f : files) {
+    ASSERT_TRUE(a.Extend(&f, rng.UniformInt(1, 5000)).ok());
+    for (const Extent& e : f.extents) {
+      EXPECT_TRUE(IsPowerOfTwo(e.length_du));
+      EXPECT_EQ(e.start_du % e.length_du, 0u);
+    }
+  }
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+TEST(BuddyAllocatorTest, DeleteRestoresAllSpaceAndCoalesces) {
+  BuddyAllocator a(kSpace);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 100'000).ok());
+  EXPECT_LT(a.free_du(), kSpace);
+  a.DeleteFile(&f);
+  EXPECT_EQ(a.free_du(), kSpace);
+  EXPECT_TRUE(f.extents.empty());
+  EXPECT_EQ(f.allocated_du, 0u);
+  // Everything coalesced back into the single top-level block.
+  EXPECT_EQ(a.FreeBlocksOfOrder(20), 1u);
+  EXPECT_EQ(a.CheckConsistency(), kSpace);
+}
+
+TEST(BuddyAllocatorTest, InterleavedFilesDontOverlap) {
+  BuddyAllocator a(kSpace);
+  std::vector<FileAllocState> files(20);
+  Rng rng(9);
+  for (int round = 0; round < 10; ++round) {
+    for (auto& f : files) {
+      // Doubling growth may exhaust the space; partial allocations are
+      // fine — the property under test is disjointness.
+      (void)a.Extend(&f, rng.UniformInt(1, 2000));
+    }
+  }
+  // Verify global disjointness of all extents.
+  std::vector<std::pair<uint64_t, uint64_t>> all;
+  for (const auto& f : files) {
+    for (const Extent& e : f.extents) all.push_back({e.start_du, e.length_du});
+  }
+  std::sort(all.begin(), all.end());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(all[i - 1].first + all[i - 1].second, all[i].first);
+  }
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+TEST(BuddyAllocatorTest, TruncateFreesTailBlocks) {
+  BuddyAllocator a(kSpace);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 16).ok());  // Extents 16.
+  ASSERT_TRUE(a.Extend(&f, 16).ok());  // +16 = 32 total.
+  const uint64_t freed = a.TruncateTail(&f, 16);
+  EXPECT_EQ(freed, 16u);
+  EXPECT_EQ(f.allocated_du, 16u);
+  EXPECT_EQ(a.used_du(), 16u);
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+TEST(BuddyAllocatorTest, PartialTruncateSplitsTailExtent) {
+  BuddyAllocator a(kSpace);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 64).ok());  // One 64-unit extent.
+  const uint64_t freed = a.TruncateTail(&f, 10);
+  EXPECT_EQ(freed, 10u);
+  EXPECT_EQ(f.allocated_du, 54u);
+  EXPECT_EQ(a.used_du(), 54u);
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+  // The file can grow again into the freed space.
+  ASSERT_TRUE(a.Extend(&f, 10).ok());
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+TEST(BuddyAllocatorTest, ExhaustionReportsResourceExhausted) {
+  BuddyAllocator a(256, /*max_extent_du=*/256);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 256).ok());
+  FileAllocState g;
+  const Status s = a.Extend(&g, 1);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(a.stats().failed_allocs, 1u);
+  a.DeleteFile(&f);
+  EXPECT_TRUE(a.Extend(&g, 1).ok());
+}
+
+// Koch-style external fragmentation: doubling extents can fail while much
+// smaller free space remains.
+TEST(BuddyAllocatorTest, DoublingFailsBeforeSpaceExhausts) {
+  BuddyAllocator a(1024, /*max_extent_du=*/1024);
+  // Fill with sixteen 64-unit files -> no block larger than 64 exists
+  // once some are freed in a checkerboard.
+  std::vector<FileAllocState> files(16);
+  for (auto& f : files) ASSERT_TRUE(a.Extend(&f, 64).ok());
+  for (size_t i = 0; i < files.size(); i += 2) a.DeleteFile(&files[i]);
+  EXPECT_EQ(a.free_du(), 512u);
+  // A file that has doubled to 128 cannot allocate its next extent even
+  // though half the disk is free: external fragmentation.
+  FileAllocState big;
+  big.allocated_du = 128;  // Pretend it grew elsewhere (state-only).
+  const Status s = a.Extend(&big, 1);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_EQ(a.free_du(), 512u);
+}
+
+TEST(BuddyAllocatorTest, StatsCountSplitsAndCoalesces) {
+  BuddyAllocator a(kSpace);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 1).ok());
+  EXPECT_GT(a.stats().splits, 0u);
+  a.DeleteFile(&f);
+  EXPECT_GT(a.stats().coalesces, 0u);
+  EXPECT_EQ(a.stats().blocks_allocated, 1u);
+  EXPECT_EQ(a.stats().blocks_freed, 1u);
+}
+
+}  // namespace
+}  // namespace rofs::alloc

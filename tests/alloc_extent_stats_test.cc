@@ -1,0 +1,111 @@
+// Additional extent-policy behaviour tests: range statistics, the
+// N(mean, 0.1*mean) draw envelope, and stats counters across policies.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "alloc/extent_allocator.h"
+#include "alloc/restricted_buddy.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs::alloc {
+namespace {
+
+TEST(ExtentDrawTest, SizesFollowTheConfiguredNormal) {
+  ExtentAllocatorConfig cfg;
+  cfg.range_means_du = {1024};  // 1M at 1K DU.
+  cfg.seed = 99;
+  ExtentAllocator a(1 << 22, cfg);
+  FileAllocState f;
+  f.pref_extent_du = 1024;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 2'000'000).ok());
+  double sum = 0, sum_sq = 0;
+  for (const Extent& e : f.extents) {
+    sum += static_cast<double>(e.length_du);
+    sum_sq += static_cast<double>(e.length_du) * e.length_du;
+  }
+  const double n = static_cast<double>(f.extents.size());
+  ASSERT_GT(n, 1000);
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sum_sq / n - mean * mean);
+  // "an extent range around 1M with 1K disk units would produce a normal
+  // distribution of extent sizes with mean 1M and standard deviation of
+  // 102K" (paper section 4.3).
+  EXPECT_NEAR(mean, 1024.0, 15.0);
+  EXPECT_NEAR(stddev, 102.4, 15.0);
+  // "most extents would fall in the range 716K to 1.3M".
+  int inside = 0;
+  for (const Extent& e : f.extents) {
+    inside += e.length_du >= 716 && e.length_du <= 1331;
+  }
+  EXPECT_GT(inside / n, 0.98);
+}
+
+TEST(ExtentDrawTest, DrawsAreDeterministicPerSeed) {
+  ExtentAllocatorConfig cfg;
+  cfg.range_means_du = {64};
+  cfg.seed = 5;
+  ExtentAllocator a1(1 << 18, cfg);
+  ExtentAllocator a2(1 << 18, cfg);
+  FileAllocState f1, f2;
+  f1.pref_extent_du = f2.pref_extent_du = 64;
+  a1.OnCreateFile(&f1);
+  a2.OnCreateFile(&f2);
+  ASSERT_TRUE(a1.Extend(&f1, 10'000).ok());
+  ASSERT_TRUE(a2.Extend(&f2, 10'000).ok());
+  ASSERT_EQ(f1.extents.size(), f2.extents.size());
+  for (size_t i = 0; i < f1.extents.size(); ++i) {
+    EXPECT_EQ(f1.extents[i], f2.extents[i]);
+  }
+}
+
+TEST(AllocatorStatsTest, CountersTrackOperations) {
+  ExtentAllocatorConfig cfg;
+  cfg.range_means_du = {16};
+  ExtentAllocator a(1 << 14, cfg);
+  FileAllocState f;
+  f.pref_extent_du = 16;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 160).ok());
+  EXPECT_EQ(a.stats().alloc_calls, 1u);
+  EXPECT_GE(a.stats().blocks_allocated, 10u);
+  a.DeleteFile(&f);
+  EXPECT_EQ(a.stats().blocks_freed, a.stats().blocks_allocated);
+  a.ResetStats();
+  EXPECT_EQ(a.stats().alloc_calls, 0u);
+}
+
+TEST(AllocatorStatsTest, RestrictedBuddySplitAndCoalesceCounters) {
+  RestrictedBuddyConfig cfg;
+  cfg.block_sizes_du = {1, 8, 64};
+  cfg.clustered = false;
+  RestrictedBuddyAllocator a(1 << 12, cfg);
+  FileAllocState f;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 4).ok());  // Carves 1K blocks from a 64.
+  EXPECT_GT(a.stats().splits, 0u);
+  const uint64_t splits_before = a.stats().splits;
+  a.DeleteFile(&f);
+  EXPECT_GT(a.stats().coalesces, 0u);
+  EXPECT_EQ(a.stats().splits, splits_before);
+}
+
+TEST(ExtentDrawTest, RangeIndexPersistsAcrossExtends) {
+  ExtentAllocatorConfig cfg;
+  cfg.range_means_du = {8, 512};
+  ExtentAllocator a(1 << 20, cfg);
+  FileAllocState f;
+  f.pref_extent_du = 512;
+  a.OnCreateFile(&f);
+  EXPECT_EQ(f.range_index, 1);
+  ASSERT_TRUE(a.Extend(&f, 100).ok());
+  ASSERT_TRUE(a.Extend(&f, 100).ok());
+  // Every extent came from the large range.
+  for (const Extent& e : f.extents) EXPECT_GT(e.length_du, 256u);
+}
+
+}  // namespace
+}  // namespace rofs::alloc

@@ -1,0 +1,175 @@
+#include "alloc/extent_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace rofs::alloc {
+namespace {
+
+constexpr uint64_t kSpace = 1 << 20;
+
+ExtentAllocatorConfig Config3(FitPolicy fit = FitPolicy::kFirstFit) {
+  ExtentAllocatorConfig cfg;
+  cfg.range_means_du = {512, 1024, 16384};  // 512K, 1M, 16M at 1K DU.
+  cfg.fit = fit;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(ExtentAllocatorTest, StartsFullyFree) {
+  ExtentAllocator a(kSpace, Config3());
+  EXPECT_EQ(a.free_du(), kSpace);
+  EXPECT_EQ(a.num_fragments(), 1u);
+  EXPECT_EQ(a.CheckConsistency(), kSpace);
+}
+
+// Table 4's mechanism: a file uses the range nearest its preferred
+// allocation size in log space, so TP relations move from 512K to 16M
+// extents as soon as a 16M range exists.
+TEST(ExtentAllocatorTest, RangeSelectionNearestInLogSpace) {
+  ExtentAllocator a(kSpace, Config3());
+  EXPECT_EQ(a.RangeFor(16384), 2);   // 16M -> the 16M range.
+  EXPECT_EQ(a.RangeFor(512), 0);     // 512K -> the 512K range.
+  EXPECT_EQ(a.RangeFor(1024), 1);    // 1M -> the 1M range.
+  EXPECT_EQ(a.RangeFor(3000), 1);    // Log-nearest to 1M... 3000 vs 1024
+                                     // vs 16384: log distance favors 1M.
+  EXPECT_EQ(a.RangeFor(1), 0);       // Tiny preference -> smallest range.
+}
+
+TEST(ExtentAllocatorTest, SingleRangeServesEveryFile) {
+  ExtentAllocatorConfig cfg;
+  cfg.range_means_du = {512};
+  ExtentAllocator a(kSpace, cfg);
+  EXPECT_EQ(a.RangeFor(1), 0);
+  EXPECT_EQ(a.RangeFor(1u << 30), 0);
+}
+
+TEST(ExtentAllocatorTest, ExtentSizesFollowChosenRange) {
+  ExtentAllocator a(kSpace, Config3());
+  FileAllocState f;
+  f.pref_extent_du = 512;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 4096).ok());
+  for (const Extent& e : f.extents) {
+    // N(512, 51.2): virtually everything within 5 sigma.
+    EXPECT_GT(e.length_du, 512u - 256u);
+    EXPECT_LT(e.length_du, 512u + 256u);
+  }
+  EXPECT_GE(f.extents.size(), 7u);
+}
+
+TEST(ExtentAllocatorTest, AllocatedCoversRequest) {
+  ExtentAllocator a(kSpace, Config3());
+  FileAllocState f;
+  f.pref_extent_du = 1024;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 10'000).ok());
+  EXPECT_GE(f.allocated_du, 10'000u);
+  // Overshoot bounded by one extent.
+  EXPECT_LT(f.allocated_du, 10'000u + 2048u);
+}
+
+TEST(ExtentAllocatorTest, FirstFitAllocatesTowardDiskStart) {
+  ExtentAllocator a(kSpace, Config3(FitPolicy::kFirstFit));
+  FileAllocState f1, f2;
+  f1.pref_extent_du = f2.pref_extent_du = 512;
+  a.OnCreateFile(&f1);
+  a.OnCreateFile(&f2);
+  ASSERT_TRUE(a.Extend(&f1, 512).ok());
+  ASSERT_TRUE(a.Extend(&f2, 512).ok());
+  // "slight clustering that results from tendency to allocate blocks
+  // toward the 'beginning' of the disk system."
+  EXPECT_LT(f1.extents[0].start_du, 2048u);
+  EXPECT_EQ(f2.extents[0].start_du, f1.extents[0].end_du());
+}
+
+TEST(ExtentAllocatorTest, BestFitFillsTightHoles) {
+  ExtentAllocatorConfig cfg;
+  cfg.range_means_du = {100};
+  cfg.fit = FitPolicy::kBestFit;
+  cfg.seed = 3;
+  ExtentAllocator a(10'000, cfg);
+  // Carve a landscape: a tight hole of ~110 and a huge one.
+  FileAllocState big;
+  big.pref_extent_du = 100;
+  a.OnCreateFile(&big);
+  ASSERT_TRUE(a.Extend(&big, 5000).ok());
+  // Free a ~110-unit hole in the middle.
+  const Extent mid = big.extents[big.extents.size() / 2];
+  a.TruncateTail(&big, 0);  // No-op; keep interface exercised.
+  // Delete nothing; instead make a dedicated tight hole via a small file.
+  FileAllocState tiny;
+  tiny.pref_extent_du = 100;
+  a.OnCreateFile(&tiny);
+  ASSERT_TRUE(a.Extend(&tiny, 100).ok());
+  const Extent tiny_ext = tiny.extents[0];
+  a.DeleteFile(&tiny);
+  FileAllocState probe;
+  probe.pref_extent_du = 100;
+  a.OnCreateFile(&probe);
+  ASSERT_TRUE(a.Extend(&probe, 50).ok());
+  // Best fit reuses the freed tight hole rather than the big tail.
+  EXPECT_EQ(probe.extents[0].start_du, tiny_ext.start_du);
+  (void)mid;
+}
+
+TEST(ExtentAllocatorTest, FreeCoalescesAcrossFiles) {
+  ExtentAllocatorConfig cfg;
+  cfg.range_means_du = {100};
+  ExtentAllocator a(10'000, cfg);
+  std::vector<FileAllocState> files(10);
+  for (auto& f : files) {
+    f.pref_extent_du = 100;
+    a.OnCreateFile(&f);
+    ASSERT_TRUE(a.Extend(&f, 100).ok());
+  }
+  for (auto& f : files) a.DeleteFile(&f);
+  EXPECT_EQ(a.free_du(), 10'000u);
+  EXPECT_EQ(a.num_fragments(), 1u);
+}
+
+TEST(ExtentAllocatorTest, ExternalFragmentationFailsLargeRequest) {
+  ExtentAllocatorConfig cfg;
+  cfg.range_means_du = {100, 1000};
+  cfg.seed = 11;
+  ExtentAllocator a(3000, cfg);
+  std::vector<FileAllocState> files(28);
+  for (auto& f : files) {
+    f.pref_extent_du = 100;
+    a.OnCreateFile(&f);
+    if (!a.Extend(&f, 90).ok()) break;
+  }
+  // Free every other small file: plenty of space, no 1000-unit hole.
+  for (size_t i = 0; i < files.size(); i += 2) a.DeleteFile(&files[i]);
+  FileAllocState big;
+  big.pref_extent_du = 1000;
+  a.OnCreateFile(&big);
+  const Status s = a.Extend(&big, 900);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  EXPECT_GT(a.free_du(), 1000u);  // Space exists, just fragmented.
+}
+
+TEST(ExtentAllocatorTest, TruncatePartialExtentExactBytes) {
+  ExtentAllocator a(kSpace, Config3());
+  FileAllocState f;
+  f.pref_extent_du = 512;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 512).ok());
+  const uint64_t before = f.allocated_du;
+  const uint64_t freed = a.TruncateTail(&f, 100);
+  EXPECT_EQ(freed, 100u);  // Extents may be trimmed at any address.
+  EXPECT_EQ(f.allocated_du, before - 100);
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+TEST(ExtentAllocatorTest, NamesIncludeFitPolicy) {
+  ExtentAllocator first(kSpace, Config3(FitPolicy::kFirstFit));
+  ExtentAllocator best(kSpace, Config3(FitPolicy::kBestFit));
+  EXPECT_EQ(first.name(), "extent-first-fit");
+  EXPECT_EQ(best.name(), "extent-best-fit");
+  EXPECT_EQ(Config3().Label(), "3-range/first-fit");
+}
+
+}  // namespace
+}  // namespace rofs::alloc

@@ -1,0 +1,128 @@
+#include "alloc/fixed_block_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rofs::alloc {
+namespace {
+
+TEST(FixedBlockTest, TrailingPartialBlockExcluded) {
+  FixedBlockAllocator a(1003, 4);
+  EXPECT_EQ(a.total_du(), 1000u);
+  EXPECT_EQ(a.free_du(), 1000u);
+}
+
+TEST(FixedBlockTest, AllocationIsWholeBlocks) {
+  FixedBlockAllocator a(1000, 4);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 5).ok());
+  EXPECT_EQ(f.allocated_du, 8u);  // Two 4-unit blocks.
+  EXPECT_EQ(f.extents.size(), 2u);
+  for (const Extent& e : f.extents) EXPECT_EQ(e.length_du, 4u);
+}
+
+TEST(FixedBlockTest, FreshDiskAllocatesSequentially) {
+  FixedBlockAllocator a(1000, 4);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 40).ok());
+  for (size_t i = 0; i < f.extents.size(); ++i) {
+    EXPECT_EQ(f.extents[i].start_du, i * 4);
+  }
+}
+
+// The V7 aging behaviour: with no contiguity bias, interleaved growth of
+// several files immediately scatters each file's logically sequential
+// blocks across the disk.
+TEST(FixedBlockTest, InterleavedGrowthScattersBlocks) {
+  FixedBlockAllocator a(4000, 4);
+  std::vector<FileAllocState> files(10);
+  for (int round = 0; round < 20; ++round) {
+    for (auto& f : files) ASSERT_TRUE(a.Extend(&f, 4).ok());
+  }
+  for (const auto& f : files) {
+    int contiguous = 0;
+    for (size_t i = 1; i < f.extents.size(); ++i) {
+      contiguous += f.extents[i].start_du == f.extents[i - 1].end_du();
+    }
+    // Blocks of the same file are 10 blocks apart: never contiguous.
+    EXPECT_EQ(contiguous, 0);
+  }
+}
+
+// And once the free list has been churned, even a single file allocated
+// alone gets non-sequential blocks.
+TEST(FixedBlockTest, ChurnedFreeListYieldsNonSequentialBlocks) {
+  FixedBlockAllocator a(400, 4);
+  std::vector<FileAllocState> files(10);
+  // Exhaust the disk with interleaved growth.
+  for (int round = 0; round < 10; ++round) {
+    for (auto& f : files) ASSERT_TRUE(a.Extend(&f, 4).ok());
+  }
+  EXPECT_EQ(a.free_du(), 0u);
+  // Free every other file: the free list now interleaves their blocks.
+  for (size_t i = 0; i < files.size(); i += 2) a.DeleteFile(&files[i]);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 100).ok());
+  int contiguous = 0;
+  for (size_t i = 1; i < f.extents.size(); ++i) {
+    contiguous += f.extents[i].start_du == f.extents[i - 1].end_du();
+  }
+  EXPECT_LT(contiguous, static_cast<int>(f.extents.size()) / 2);
+}
+
+TEST(FixedBlockTest, FreeListFifoReusesOldestFreedBlock) {
+  FixedBlockAllocator a(100, 4);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 100).ok());
+  EXPECT_EQ(a.free_du(), 0u);
+  // Free one block; the next allocation must reuse it (FIFO free list).
+  a.TruncateTail(&f, 4);  // Frees the *last* block (at 96).
+  FileAllocState g;
+  ASSERT_TRUE(a.Extend(&g, 4).ok());
+  EXPECT_EQ(g.extents[0].start_du, 96u);  // The block just freed.
+}
+
+TEST(FixedBlockTest, TruncateRoundsToWholeBlocks) {
+  FixedBlockAllocator a(1000, 4);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 40).ok());
+  const uint64_t freed = a.TruncateTail(&f, 6);
+  EXPECT_EQ(freed, 4u);  // Only whole blocks can be freed.
+  EXPECT_EQ(f.allocated_du, 36u);
+}
+
+TEST(FixedBlockTest, ExhaustionAndRecovery) {
+  FixedBlockAllocator a(40, 4);
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 40).ok());
+  FileAllocState g;
+  EXPECT_TRUE(a.Extend(&g, 4).IsResourceExhausted());
+  a.DeleteFile(&f);
+  EXPECT_TRUE(a.Extend(&g, 4).ok());
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+TEST(FixedBlockTest, ConsistencyUnderChurn) {
+  FixedBlockAllocator a(2000, 4);
+  Rng rng(29);
+  std::vector<FileAllocState> files(20);
+  for (int step = 0; step < 2000; ++step) {
+    FileAllocState& f = files[rng.UniformInt(0, files.size() - 1)];
+    const double u = rng.NextDouble();
+    if (u < 0.5) {
+      (void)a.Extend(&f, rng.UniformInt(1, 50));
+    } else if (u < 0.8) {
+      a.TruncateTail(&f, rng.UniformInt(1, 40));
+    } else {
+      a.DeleteFile(&f);
+    }
+  }
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+  uint64_t used = 0;
+  for (const auto& f : files) used += f.allocated_du;
+  EXPECT_EQ(used + a.free_du(), a.total_du());
+}
+
+}  // namespace
+}  // namespace rofs::alloc

@@ -1,0 +1,166 @@
+#include "alloc/free_extent_map.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rofs::alloc {
+namespace {
+
+TEST(FreeExtentMapTest, StartsEmpty) {
+  FreeExtentMap m;
+  EXPECT_EQ(m.free_du(), 0u);
+  EXPECT_EQ(m.num_fragments(), 0u);
+  EXPECT_EQ(m.LargestFragment(), 0u);
+  EXPECT_FALSE(m.AllocateFirstFit(1).has_value());
+}
+
+TEST(FreeExtentMapTest, FirstFitTakesLowestAddress) {
+  FreeExtentMap m;
+  m.Free(100, 50);
+  m.Free(300, 50);
+  auto a = m.AllocateFirstFit(10);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 100u);
+  EXPECT_EQ(m.free_du(), 90u);
+  // Remainder split from the front.
+  EXPECT_TRUE(m.IsFree(110, 40));
+}
+
+TEST(FreeExtentMapTest, FirstFitSkipsTooSmallExtents) {
+  FreeExtentMap m;
+  m.Free(0, 5);
+  m.Free(100, 50);
+  auto a = m.AllocateFirstFit(10);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 100u);
+  EXPECT_TRUE(m.IsFree(0, 5));
+}
+
+TEST(FreeExtentMapTest, BestFitPrefersTightestHole) {
+  FreeExtentMap m;
+  m.Free(0, 100);
+  m.Free(200, 12);
+  m.Free(400, 50);
+  auto a = m.AllocateBestFit(10);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 200u);  // The 12-unit hole fits tightest.
+  EXPECT_TRUE(m.IsFree(210, 2));
+}
+
+TEST(FreeExtentMapTest, BestFitExactSizeLeavesNoRemainder) {
+  FreeExtentMap m;
+  m.Free(0, 100);
+  m.Free(200, 10);
+  auto a = m.AllocateBestFit(10);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 200u);
+  EXPECT_EQ(m.num_fragments(), 1u);
+}
+
+TEST(FreeExtentMapTest, BestFitTieBreaksTowardLowAddress) {
+  FreeExtentMap m;
+  m.Free(500, 10);
+  m.Free(100, 10);
+  auto a = m.AllocateBestFit(10);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 100u);
+}
+
+TEST(FreeExtentMapTest, FreeCoalescesWithBothNeighbors) {
+  FreeExtentMap m;
+  m.Free(0, 10);
+  m.Free(20, 10);
+  EXPECT_EQ(m.num_fragments(), 2u);
+  m.Free(10, 10);  // Bridges the two.
+  EXPECT_EQ(m.num_fragments(), 1u);
+  EXPECT_EQ(m.LargestFragment(), 30u);
+  EXPECT_TRUE(m.IsFree(0, 30));
+}
+
+TEST(FreeExtentMapTest, FreeCoalescesLeftOnly) {
+  FreeExtentMap m;
+  m.Free(0, 10);
+  m.Free(10, 5);
+  EXPECT_EQ(m.num_fragments(), 1u);
+  EXPECT_EQ(m.LargestFragment(), 15u);
+}
+
+TEST(FreeExtentMapTest, AllocateAtCarvesInterior) {
+  FreeExtentMap m;
+  m.Free(0, 100);
+  EXPECT_TRUE(m.AllocateAt(40, 20));
+  EXPECT_EQ(m.free_du(), 80u);
+  EXPECT_EQ(m.num_fragments(), 2u);
+  EXPECT_TRUE(m.IsFree(0, 40));
+  EXPECT_TRUE(m.IsFree(60, 40));
+  EXPECT_FALSE(m.IsFree(40, 1));
+}
+
+TEST(FreeExtentMapTest, AllocateAtFailsWhenNotFullyFree) {
+  FreeExtentMap m;
+  m.Free(0, 50);
+  EXPECT_FALSE(m.AllocateAt(40, 20));  // Tail extends past the extent.
+  EXPECT_FALSE(m.AllocateAt(60, 5));   // Entirely outside.
+  EXPECT_EQ(m.free_du(), 50u);
+}
+
+TEST(FreeExtentMapTest, ConsistencyAfterMixedOps) {
+  FreeExtentMap m;
+  m.Free(0, 1000);
+  m.AllocateFirstFit(100);
+  m.AllocateBestFit(50);
+  m.AllocateAt(500, 100);
+  m.Free(0, 60);
+  EXPECT_EQ(m.CheckConsistency(), m.free_du());
+}
+
+// Property test: random alloc/free against a reference bool-vector model.
+TEST(FreeExtentMapTest, RandomizedAgainstReferenceModel) {
+  constexpr uint64_t kSpace = 2000;
+  FreeExtentMap m;
+  m.Free(0, kSpace);
+  std::vector<bool> used(kSpace, false);
+  std::vector<std::pair<uint64_t, uint64_t>> allocated;
+  Rng rng(77);
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.Bernoulli(0.55) || allocated.empty()) {
+      const uint64_t n = rng.UniformInt(1, 64);
+      const bool best = rng.Bernoulli(0.5);
+      auto a = best ? m.AllocateBestFit(n) : m.AllocateFirstFit(n);
+      if (a.has_value()) {
+        for (uint64_t i = *a; i < *a + n; ++i) {
+          ASSERT_FALSE(used[i]) << "double allocation at " << i;
+          used[i] = true;
+        }
+        allocated.push_back({*a, n});
+      } else {
+        // No free extent of length n may exist.
+        uint64_t run = 0, longest = 0;
+        for (uint64_t i = 0; i < kSpace; ++i) {
+          run = used[i] ? 0 : run + 1;
+          longest = std::max(longest, run);
+        }
+        EXPECT_LT(longest, n);
+      }
+    } else {
+      const size_t idx = rng.UniformInt(0, allocated.size() - 1);
+      const auto [addr, n] = allocated[idx];
+      m.Free(addr, n);
+      for (uint64_t i = addr; i < addr + n; ++i) used[i] = false;
+      allocated[idx] = allocated.back();
+      allocated.pop_back();
+    }
+    if (step % 250 == 0) {
+      uint64_t free_count = 0;
+      for (bool u : used) free_count += !u;
+      EXPECT_EQ(m.free_du(), free_count);
+      EXPECT_EQ(m.CheckConsistency(), free_count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rofs::alloc

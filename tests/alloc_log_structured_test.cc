@@ -1,0 +1,147 @@
+#include "alloc/log_structured_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rofs::alloc {
+namespace {
+
+LogStructuredConfig SmallSegments() {
+  LogStructuredConfig cfg;
+  cfg.segment_du = 64;
+  return cfg;
+}
+
+TEST(LogStructuredTest, StartsAllClean) {
+  LogStructuredAllocator a(1024, SmallSegments());
+  EXPECT_EQ(a.free_du(), 1024u);
+  EXPECT_EQ(a.num_segments(), 16u);
+  EXPECT_EQ(a.clean_segments(), 16u);
+  EXPECT_EQ(a.CheckConsistency(), 1024u);
+}
+
+TEST(LogStructuredTest, AppendsSequentially) {
+  LogStructuredAllocator a(1024, SmallSegments());
+  FileAllocState f1, f2;
+  ASSERT_TRUE(a.Extend(&f1, 10).ok());
+  ASSERT_TRUE(a.Extend(&f2, 10).ok());
+  ASSERT_TRUE(a.Extend(&f1, 10).ok());
+  // The log head advances: three consecutive allocations are adjacent
+  // regardless of which file made them.
+  EXPECT_EQ(f1.extents[0].start_du, 0u);
+  EXPECT_EQ(f2.extents[0].start_du, 10u);
+  EXPECT_EQ(f1.extents[1].start_du, 20u);
+}
+
+TEST(LogStructuredTest, ExtentsNeverCrossSegmentBoundary) {
+  LogStructuredAllocator a(1024, SmallSegments());
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 500).ok());
+  for (const Extent& e : f.extents) {
+    EXPECT_EQ(e.start_du / 64, (e.end_du() - 1) / 64)
+        << "extent crosses a segment boundary";
+  }
+  // A 500-unit file spans ceil(500/64)=8 segments => at least 8 extents.
+  EXPECT_GE(f.extents.size(), 8u);
+}
+
+TEST(LogStructuredTest, FreshLogIsFullyContiguous) {
+  LogStructuredAllocator a(1024, SmallSegments());
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 300).ok());
+  for (size_t i = 1; i < f.extents.size(); ++i) {
+    EXPECT_EQ(f.extents[i].start_du, f.extents[i - 1].end_du());
+  }
+}
+
+TEST(LogStructuredTest, FullyDeadSegmentBecomesClean) {
+  LogStructuredAllocator a(1024, SmallSegments());
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 64).ok());  // Exactly one segment.
+  EXPECT_EQ(a.clean_segments(), 15u);
+  a.DeleteFile(&f);
+  EXPECT_EQ(a.clean_segments(), 16u);
+  EXPECT_EQ(a.free_du(), 1024u);
+  EXPECT_EQ(a.CheckConsistency(), 1024u);
+}
+
+TEST(LogStructuredTest, PartiallyDeadSegmentStaysDirty) {
+  LogStructuredAllocator a(1024, SmallSegments());
+  FileAllocState f1, f2;
+  ASSERT_TRUE(a.Extend(&f1, 32).ok());
+  ASSERT_TRUE(a.Extend(&f2, 32).ok());  // Shares segment 0.
+  a.DeleteFile(&f1);
+  EXPECT_EQ(a.SegmentLiveDu(0), 32u);
+  EXPECT_EQ(a.clean_segments(), 15u);  // Segment 0 still dirty.
+  a.DeleteFile(&f2);
+  EXPECT_EQ(a.clean_segments(), 16u);
+}
+
+TEST(LogStructuredTest, HolePluggingWhenNoCleanSegment) {
+  LogStructuredAllocator a(256, SmallSegments());  // 4 segments.
+  std::vector<FileAllocState> files(8);
+  for (auto& f : files) ASSERT_TRUE(a.Extend(&f, 32).ok());
+  EXPECT_EQ(a.clean_segments(), 0u);
+  EXPECT_EQ(a.free_du(), 0u);
+  // Free half of each segment (every other file).
+  for (size_t i = 0; i < files.size(); i += 2) a.DeleteFile(&files[i]);
+  EXPECT_EQ(a.free_du(), 128u);
+  EXPECT_EQ(a.clean_segments(), 0u);  // All segments half-live.
+  // A new allocation must hole-plug.
+  FileAllocState g;
+  ASSERT_TRUE(a.Extend(&g, 100).ok());
+  EXPECT_GE(g.allocated_du, 100u);
+  EXPECT_GT(a.stats().splits, 0u);  // Plugs counted as splits.
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+TEST(LogStructuredTest, ExhaustionReportsResourceExhausted) {
+  LogStructuredAllocator a(256, SmallSegments());
+  FileAllocState f;
+  ASSERT_TRUE(a.Extend(&f, 256).ok());
+  FileAllocState g;
+  EXPECT_TRUE(a.Extend(&g, 1).IsResourceExhausted());
+  a.TruncateTail(&f, 10);
+  EXPECT_TRUE(a.Extend(&g, 10).ok());
+}
+
+TEST(LogStructuredTest, RandomChurnKeepsInvariants) {
+  LogStructuredAllocator a(4096, SmallSegments());
+  Rng rng(33);
+  std::vector<FileAllocState> files(16);
+  for (int step = 0; step < 4000; ++step) {
+    FileAllocState& f = files[rng.UniformInt(0, files.size() - 1)];
+    const double u = rng.NextDouble();
+    if (u < 0.55) {
+      (void)a.Extend(&f, rng.UniformInt(1, 100));
+    } else if (u < 0.8) {
+      a.TruncateTail(&f, rng.UniformInt(1, 80));
+    } else {
+      a.DeleteFile(&f);
+    }
+    if (step % 500 == 0) {
+      EXPECT_EQ(a.CheckConsistency(), a.free_du());
+      uint64_t used = 0;
+      for (const auto& file : files) used += file.allocated_du;
+      EXPECT_EQ(used + a.free_du(), a.total_du());
+    }
+  }
+}
+
+// Write locality: files created together in a batch land in a small
+// number of segments (the LFS small-file benefit).
+TEST(LogStructuredTest, BatchedSmallFilesShareSegments) {
+  LogStructuredAllocator a(4096, SmallSegments());
+  std::vector<FileAllocState> files(16);
+  for (auto& f : files) ASSERT_TRUE(a.Extend(&f, 4).ok());
+  std::set<uint64_t> segments;
+  for (const auto& f : files) {
+    for (const Extent& e : f.extents) segments.insert(e.start_du / 64);
+  }
+  // 16 files x 4 units = 64 units = exactly one segment.
+  EXPECT_EQ(segments.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rofs::alloc

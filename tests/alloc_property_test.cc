@@ -1,0 +1,217 @@
+// Cross-policy property suite: every allocation policy must uphold the
+// same structural invariants under arbitrary extend/truncate/delete
+// traffic. Parameterized over all policy configurations the paper sweeps.
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc/buddy_allocator.h"
+#include "alloc/extent_allocator.h"
+#include "alloc/fixed_block_allocator.h"
+#include "alloc/log_structured_allocator.h"
+#include "alloc/restricted_buddy.h"
+#include "util/random.h"
+
+namespace rofs::alloc {
+namespace {
+
+constexpr uint64_t kSpace = 96 * 1024;  // 96 MB at 1K disk units.
+
+struct PolicyParam {
+  std::string name;
+  std::function<std::unique_ptr<Allocator>(uint64_t)> make;
+};
+
+std::vector<PolicyParam> AllPolicies() {
+  std::vector<PolicyParam> out;
+  out.push_back({"buddy", [](uint64_t du) {
+                   return std::make_unique<BuddyAllocator>(du);
+                 }});
+  const std::vector<uint64_t> ladder = {1, 8, 64, 1024, 16384};
+  for (int sizes = 2; sizes <= 5; ++sizes) {
+    for (uint32_t g : {1u, 2u}) {
+      for (bool clustered : {true, false}) {
+        RestrictedBuddyConfig cfg;
+        cfg.block_sizes_du.assign(ladder.begin(), ladder.begin() + sizes);
+        cfg.grow_factor = g;
+        cfg.clustered = clustered;
+        std::string name = "rbuddy-" + std::to_string(sizes) + "sz-g" +
+                           std::to_string(g) +
+                           (clustered ? "-clu" : "-unc");
+        out.push_back({name, [cfg](uint64_t du) {
+                         return std::make_unique<RestrictedBuddyAllocator>(
+                             du, cfg);
+                       }});
+      }
+    }
+  }
+  for (FitPolicy fit : {FitPolicy::kFirstFit, FitPolicy::kBestFit}) {
+    ExtentAllocatorConfig cfg;
+    cfg.range_means_du = {4, 64, 1024};
+    cfg.fit = fit;
+    out.push_back({std::string("extent-") + FitPolicyToString(fit),
+                   [cfg](uint64_t du) {
+                     return std::make_unique<ExtentAllocator>(du, cfg);
+                   }});
+  }
+  for (uint64_t seg : {64, 1024}) {
+    LogStructuredConfig cfg;
+    cfg.segment_du = seg;
+    out.push_back({"lfs-" + std::to_string(seg), [cfg](uint64_t du) {
+                     return std::make_unique<LogStructuredAllocator>(du, cfg);
+                   }});
+  }
+  for (uint64_t block : {4, 16}) {
+    out.push_back({"fixed-" + std::to_string(block), [block](uint64_t du) {
+                     return std::make_unique<FixedBlockAllocator>(du, block);
+                   }});
+  }
+  return out;
+}
+
+class PolicyPropertyTest : public ::testing::TestWithParam<PolicyParam> {};
+
+// Conservation + disjointness + bounds under random traffic.
+TEST_P(PolicyPropertyTest, InvariantsUnderRandomChurn) {
+  auto allocator = GetParam().make(kSpace);
+  const uint64_t total = allocator->total_du();
+  Rng rng(0xC0FFEE);
+  std::vector<FileAllocState> files(24);
+  for (auto& f : files) {
+    f.pref_extent_du = 64;
+    allocator->OnCreateFile(&f);
+  }
+  for (int step = 0; step < 4000; ++step) {
+    FileAllocState& f = files[rng.UniformInt(0, files.size() - 1)];
+    const double u = rng.NextDouble();
+    if (u < 0.5) {
+      (void)allocator->Extend(&f, rng.UniformInt(1, 700));
+    } else if (u < 0.8) {
+      allocator->TruncateTail(&f, rng.UniformInt(1, 500));
+    } else {
+      allocator->DeleteFile(&f);
+      allocator->OnCreateFile(&f);
+    }
+    if (step % 800 != 0) continue;
+    // (1) Free-space bookkeeping agrees with the structures.
+    EXPECT_EQ(allocator->CheckConsistency(), allocator->free_du());
+    // (2) Conservation: file allocations + free space == total.
+    uint64_t used = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> all;
+    for (const auto& file : files) {
+      EXPECT_EQ(file.cum_du.size(), file.extents.size());
+      uint64_t cum = 0;
+      for (size_t i = 0; i < file.extents.size(); ++i) {
+        const Extent& e = file.extents[i];
+        EXPECT_GT(e.length_du, 0u);
+        EXPECT_LE(e.end_du(), total);  // (3) In bounds.
+        cum += e.length_du;
+        EXPECT_EQ(file.cum_du[i], cum);  // (4) Cumulative index correct.
+        all.push_back({e.start_du, e.length_du});
+        used += e.length_du;
+      }
+      EXPECT_EQ(file.allocated_du, cum);
+    }
+    EXPECT_EQ(used + allocator->free_du(), total);
+    // (5) No two extents overlap, across all files.
+    std::sort(all.begin(), all.end());
+    for (size_t i = 1; i < all.size(); ++i) {
+      ASSERT_LE(all[i - 1].first + all[i - 1].second, all[i].first);
+    }
+  }
+}
+
+// Extend must deliver at least the requested units (when it succeeds).
+TEST_P(PolicyPropertyTest, ExtendCoversRequest) {
+  auto allocator = GetParam().make(kSpace);
+  Rng rng(1234);
+  for (int i = 0; i < 40; ++i) {
+    FileAllocState f;
+    f.pref_extent_du = 64;
+    allocator->OnCreateFile(&f);
+    const uint64_t want = rng.UniformInt(1, 2000);
+    const uint64_t before = f.allocated_du;
+    if (allocator->Extend(&f, want).ok()) {
+      EXPECT_GE(f.allocated_du, before + want);
+    }
+    allocator->DeleteFile(&f);
+  }
+  EXPECT_EQ(allocator->free_du(), allocator->total_du());
+}
+
+// Full-delete of everything restores a pristine allocator.
+TEST_P(PolicyPropertyTest, DeleteEverythingRestoresAllSpace) {
+  auto allocator = GetParam().make(kSpace);
+  Rng rng(77);
+  std::vector<FileAllocState> files(16);
+  for (auto& f : files) {
+    f.pref_extent_du = 64;
+    allocator->OnCreateFile(&f);
+    (void)allocator->Extend(&f, rng.UniformInt(1, 4000));
+    allocator->TruncateTail(&f, rng.UniformInt(0, 1000));
+  }
+  for (auto& f : files) allocator->DeleteFile(&f);
+  EXPECT_EQ(allocator->free_du(), allocator->total_du());
+  EXPECT_EQ(allocator->CheckConsistency(), allocator->total_du());
+  // And the allocator is fully usable again.
+  FileAllocState f;
+  f.pref_extent_du = 64;
+  allocator->OnCreateFile(&f);
+  EXPECT_TRUE(allocator->Extend(&f, kSpace / 2).ok());
+}
+
+// Exhaustion must be reported, never an overlap or a crash.
+TEST_P(PolicyPropertyTest, DriveToExhaustion) {
+  auto allocator = GetParam().make(kSpace);
+  Rng rng(5);
+  std::vector<FileAllocState> files;
+  Status status;
+  int guard = 0;
+  while (status.ok() && guard++ < 100'000) {
+    files.emplace_back();
+    files.back().pref_extent_du = 64;
+    allocator->OnCreateFile(&files.back());
+    status = allocator->Extend(&files.back(), rng.UniformInt(1, 512));
+  }
+  EXPECT_TRUE(status.IsResourceExhausted());
+  EXPECT_EQ(allocator->CheckConsistency(), allocator->free_du());
+  // Even "full", accounting must balance.
+  uint64_t used = 0;
+  for (const auto& f : files) used += f.allocated_du;
+  EXPECT_EQ(used + allocator->free_du(), allocator->total_du());
+}
+
+// Truncate never frees more than asked (rounded to policy granularity)
+// and never corrupts later extends.
+TEST_P(PolicyPropertyTest, TruncateThenExtendRoundTrips) {
+  auto allocator = GetParam().make(kSpace);
+  FileAllocState f;
+  f.pref_extent_du = 64;
+  allocator->OnCreateFile(&f);
+  ASSERT_TRUE(allocator->Extend(&f, 3000).ok());
+  const uint64_t allocated = f.allocated_du;
+  const uint64_t freed = allocator->TruncateTail(&f, 1000);
+  EXPECT_LE(freed, 1000u);
+  EXPECT_EQ(f.allocated_du, allocated - freed);
+  ASSERT_TRUE(allocator->Extend(&f, 1500).ok());
+  EXPECT_GE(f.allocated_du, allocated - freed + 1500);
+  EXPECT_EQ(allocator->CheckConsistency(), allocator->free_du());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyPropertyTest, ::testing::ValuesIn(AllPolicies()),
+    [](const ::testing::TestParamInfo<PolicyParam>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace rofs::alloc

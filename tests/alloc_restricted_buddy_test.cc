@@ -1,0 +1,307 @@
+#include "alloc/restricted_buddy.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs::alloc {
+namespace {
+
+// 64M units with the paper's 5-size ladder (1K DU): 1K/8K/64K/1M/16M.
+constexpr uint64_t kSpace = 64 * 1024;
+
+RestrictedBuddyConfig SmallConfig() {
+  RestrictedBuddyConfig cfg;
+  cfg.block_sizes_du = {1, 8, 64, 1024, 16384};
+  cfg.grow_factor = 1;
+  cfg.clustered = true;
+  cfg.region_du = 32 * 1024;
+  return cfg;
+}
+
+TEST(RestrictedBuddyTest, StartsFullyFree) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  EXPECT_EQ(a.free_du(), kSpace);
+  EXPECT_EQ(a.num_regions(), 2u);
+  EXPECT_EQ(a.CheckConsistency(), kSpace);
+}
+
+TEST(RestrictedBuddyTest, UnclusteredHasSingleRegion) {
+  RestrictedBuddyConfig cfg = SmallConfig();
+  cfg.clustered = false;
+  RestrictedBuddyAllocator a(kSpace, cfg);
+  EXPECT_EQ(a.num_regions(), 1u);
+  EXPECT_EQ(a.RegionFreeDu(0), kSpace);
+}
+
+// The grow policy of section 4.2: with g=1 and sizes {1K,8K}, eight 1K
+// blocks are allocated before any 8K block.
+TEST(RestrictedBuddyTest, GrowPolicyLevelSchedule) {
+  RestrictedBuddyConfig cfg = SmallConfig();
+  RestrictedBuddyAllocator a(kSpace, cfg);
+  EXPECT_EQ(a.LevelFor(0), 0u);
+  EXPECT_EQ(a.LevelFor(7), 0u);
+  EXPECT_EQ(a.LevelFor(8), 1u);        // 8 units of 1K -> move to 8K.
+  EXPECT_EQ(a.LevelFor(8 + 63), 1u);
+  EXPECT_EQ(a.LevelFor(8 + 64), 2u);   // +64K of 8K blocks -> 64K.
+  EXPECT_EQ(a.LevelFor(8 + 64 + 1024), 3u);
+  EXPECT_EQ(a.LevelFor(8 + 64 + 1024 + 16384), 4u);
+  EXPECT_EQ(a.LevelFor(1u << 30), 4u);  // Top level is unbounded.
+}
+
+// Figure 3's arithmetic: with g=2 the 64K block is not required until the
+// file is already 144K (16K of 1K blocks + 128K of 8K blocks).
+TEST(RestrictedBuddyTest, GrowFactorTwoDelaysLargerBlocks) {
+  RestrictedBuddyConfig cfg = SmallConfig();
+  cfg.block_sizes_du = {1, 8, 64};
+  cfg.grow_factor = 2;
+  RestrictedBuddyAllocator a(kSpace, cfg);
+  EXPECT_EQ(a.LevelFor(15), 0u);
+  EXPECT_EQ(a.LevelFor(16), 1u);
+  EXPECT_EQ(a.LevelFor(143), 1u);
+  EXPECT_EQ(a.LevelFor(144), 2u);
+}
+
+TEST(RestrictedBuddyTest, ExtendFollowsGrowSchedule) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  FileAllocState f;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 8 + 64).ok());
+  std::vector<uint64_t> sizes;
+  for (const Extent& e : f.extents) sizes.push_back(e.length_du);
+  // Eight 1K blocks then eight 8K blocks.
+  ASSERT_EQ(sizes.size(), 16u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(sizes[i], 1u);
+  for (int i = 8; i < 16; ++i) EXPECT_EQ(sizes[i], 8u);
+}
+
+TEST(RestrictedBuddyTest, BlocksAlignedToTheirSize) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  std::vector<FileAllocState> files(30);
+  Rng rng(5);
+  for (auto& f : files) {
+    a.OnCreateFile(&f);
+    ASSERT_TRUE(a.Extend(&f, rng.UniformInt(1, 2000)).ok());
+    for (const Extent& e : f.extents) {
+      EXPECT_EQ(e.start_du % e.length_du, 0u)
+          << "block of size N must start at a multiple of N";
+    }
+  }
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+// "Logically sequential disk blocks within a file are allocated
+// contiguously in the disk system whenever possible."
+TEST(RestrictedBuddyTest, SequentialBlocksAllocatedContiguously) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  FileAllocState f;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 8).ok());
+  ASSERT_EQ(f.extents.size(), 8u);
+  for (size_t i = 1; i < f.extents.size(); ++i) {
+    EXPECT_EQ(f.extents[i].start_du, f.extents[i - 1].end_du())
+        << "fresh-disk allocation should be contiguous";
+  }
+}
+
+TEST(RestrictedBuddyTest, ContiguityAcrossSeparateExtendCalls) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  FileAllocState f;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 4).ok());
+  ASSERT_TRUE(a.Extend(&f, 4).ok());
+  for (size_t i = 1; i < f.extents.size(); ++i) {
+    EXPECT_EQ(f.extents[i].start_du, f.extents[i - 1].end_du());
+  }
+}
+
+TEST(RestrictedBuddyTest, TruncatedTailIsReusableBySmallFiles) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  FileAllocState f;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 100).ok());
+  const uint64_t freed_start = f.extents.back().end_du() - 20;
+  a.TruncateTail(&f, 20);
+  // A small file can be placed into the freed tail space.
+  FileAllocState g;
+  a.OnCreateFile(&g);
+  g.fd_region = freed_start / (32 * 1024);  // Aim at the same region.
+  ASSERT_TRUE(a.Extend(&g, 4).ok());
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+  // Regrowing f also succeeds (possibly elsewhere).
+  ASSERT_TRUE(a.Extend(&f, 20).ok());
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+// The Figure 3 interaction: with grow factor 1 a file crossing into the
+// 64K level has length 72K — not a multiple of 64K — so the new block
+// cannot be contiguous and a seek is paid.
+TEST(RestrictedBuddyTest, Figure3SeekPaidWhenBlockSizeGrows) {
+  RestrictedBuddyConfig cfg = SmallConfig();
+  cfg.block_sizes_du = {1, 8, 64};
+  cfg.clustered = false;
+  RestrictedBuddyAllocator a(kSpace, cfg);
+  FileAllocState f;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 72 + 64).ok());  // Through the 64K boundary.
+  // Blocks are contiguous up to 72 units, then jump.
+  uint64_t discontinuities = 0;
+  for (size_t i = 1; i < f.extents.size(); ++i) {
+    discontinuities += f.extents[i].start_du != f.extents[i - 1].end_du();
+  }
+  EXPECT_EQ(discontinuities, 1u);
+  EXPECT_EQ(f.extents.back().length_du, 64u);
+  EXPECT_EQ(f.extents.back().start_du % 64, 0u);
+  EXPECT_NE(f.extents.back().start_du, 72u);
+}
+
+TEST(RestrictedBuddyTest, CoalescingRebuildsLargeBlocks) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  std::vector<FileAllocState> files(64);
+  for (auto& f : files) {
+    a.OnCreateFile(&f);
+    ASSERT_TRUE(a.Extend(&f, 8).ok());  // Eight 1K blocks each.
+  }
+  for (auto& f : files) a.DeleteFile(&f);
+  EXPECT_EQ(a.free_du(), kSpace);
+  EXPECT_EQ(a.CheckConsistency(), kSpace);
+  // A maximum-size allocation must succeed: everything re-coalesced.
+  FileAllocState big;
+  big.allocated_du = 0;
+  a.OnCreateFile(&big);
+  // Force a 16M-level request by growing through the schedule.
+  ASSERT_TRUE(a.Extend(&big, 8 + 64 + 1024 + 16384 + 16384).ok());
+  bool saw_max_block = false;
+  for (const Extent& e : big.extents) saw_max_block |= e.length_du == 16384;
+  EXPECT_TRUE(saw_max_block);
+}
+
+TEST(RestrictedBuddyTest, FallbackUsesSmallerBlocksWhenLargeExhausted) {
+  RestrictedBuddyConfig cfg = SmallConfig();
+  cfg.block_sizes_du = {1, 8, 64};
+  RestrictedBuddyAllocator a(256, cfg);
+  // Consume the space so no 64-block exists, then grow a file whose level
+  // prescribes 64-unit blocks.
+  FileAllocState filler;
+  a.OnCreateFile(&filler);
+  ASSERT_TRUE(a.Extend(&filler, 200).ok());
+  a.TruncateTail(&filler, 30);  // Frees a sub-64 tail.
+  FileAllocState f;
+  f.allocated_du = 8 + 64;  // Level 2 (64-unit blocks) prescribed.
+  const Status s = a.Extend(&f, 20);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  for (const Extent& e : f.extents) EXPECT_LT(e.length_du, 64u);
+  EXPECT_EQ(a.CheckConsistency(), a.free_du());
+}
+
+TEST(RestrictedBuddyTest, ExhaustionReturnsResourceExhausted) {
+  RestrictedBuddyConfig cfg = SmallConfig();
+  cfg.block_sizes_du = {1, 8};
+  cfg.clustered = false;
+  RestrictedBuddyAllocator a(64, cfg);
+  FileAllocState f;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 64).ok());
+  FileAllocState g;
+  a.OnCreateFile(&g);
+  EXPECT_TRUE(a.Extend(&g, 1).IsResourceExhausted());
+  EXPECT_EQ(a.free_du(), 0u);
+}
+
+TEST(RestrictedBuddyTest, DeleteRestoresAllSpace) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  Rng rng(21);
+  std::vector<FileAllocState> files(40);
+  for (auto& f : files) {
+    a.OnCreateFile(&f);
+    // The disk may legitimately fill; partial allocations still must be
+    // fully reclaimed by the deletes below.
+    (void)a.Extend(&f, rng.UniformInt(1, 3000));
+  }
+  for (auto& f : files) a.DeleteFile(&f);
+  EXPECT_EQ(a.free_du(), kSpace);
+  EXPECT_EQ(a.CheckConsistency(), kSpace);
+}
+
+TEST(RestrictedBuddyTest, ClusteredFdRegionsRoundRobin) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  FileAllocState f1, f2, f3;
+  a.OnCreateFile(&f1);
+  a.OnCreateFile(&f2);
+  a.OnCreateFile(&f3);
+  // Two regions: descriptors alternate.
+  EXPECT_NE(f1.fd_region, f2.fd_region);
+  EXPECT_EQ(f1.fd_region, f3.fd_region);
+}
+
+TEST(RestrictedBuddyTest, ClusteredKeepsFileWithinItsRegionWhenPossible) {
+  RestrictedBuddyAllocator a(kSpace, SmallConfig());
+  FileAllocState f;
+  a.OnCreateFile(&f);
+  ASSERT_TRUE(a.Extend(&f, 100).ok());
+  const uint64_t region = f.extents[0].start_du / (32 * 1024);
+  for (const Extent& e : f.extents) {
+    EXPECT_EQ(e.start_du / (32 * 1024), region);
+  }
+}
+
+// Property test: random extend/truncate/delete traffic, validated against
+// a global extent-disjointness check and the allocator's own consistency.
+TEST(RestrictedBuddyTest, RandomizedStress) {
+  for (bool clustered : {true, false}) {
+    for (uint32_t g : {1u, 2u}) {
+      RestrictedBuddyConfig cfg = SmallConfig();
+      cfg.clustered = clustered;
+      cfg.grow_factor = g;
+      RestrictedBuddyAllocator a(kSpace, cfg);
+      Rng rng(1000 + g + (clustered ? 10 : 0));
+      std::vector<FileAllocState> files(30);
+      for (auto& f : files) a.OnCreateFile(&f);
+      for (int step = 0; step < 3000; ++step) {
+        FileAllocState& f = files[rng.UniformInt(0, files.size() - 1)];
+        const double u = rng.NextDouble();
+        if (u < 0.55) {
+          (void)a.Extend(&f, rng.UniformInt(1, 300));
+        } else if (u < 0.85) {
+          a.TruncateTail(&f, rng.UniformInt(1, 200));
+        } else {
+          a.DeleteFile(&f);
+        }
+        if (step % 500 == 0) {
+          EXPECT_EQ(a.CheckConsistency(), a.free_du());
+          // All file extents disjoint.
+          std::vector<std::pair<uint64_t, uint64_t>> all;
+          uint64_t used = 0;
+          for (const auto& file : files) {
+            for (const Extent& e : file.extents) {
+              all.push_back({e.start_du, e.length_du});
+              used += e.length_du;
+            }
+          }
+          std::sort(all.begin(), all.end());
+          for (size_t i = 1; i < all.size(); ++i) {
+            ASSERT_LE(all[i - 1].first + all[i - 1].second, all[i].first)
+                << "overlapping extents (clustered=" << clustered
+                << ", g=" << g << ")";
+          }
+          EXPECT_EQ(used + a.free_du(), kSpace);
+        }
+      }
+    }
+  }
+}
+
+TEST(RestrictedBuddyTest, LabelDescribesConfig) {
+  RestrictedBuddyConfig cfg = SmallConfig();
+  EXPECT_EQ(cfg.Label(), "5sz/g1/clustered");
+  cfg.grow_factor = 2;
+  cfg.clustered = false;
+  EXPECT_EQ(cfg.Label(), "5sz/g2/unclustered");
+}
+
+}  // namespace
+}  // namespace rofs::alloc

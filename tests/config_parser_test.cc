@@ -1,0 +1,129 @@
+#include "config/config_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace rofs::config {
+namespace {
+
+TEST(ParseSizeTest, BinarySuffixes) {
+  EXPECT_EQ(*ParseSize("512"), 512u);
+  EXPECT_EQ(*ParseSize("8K"), 8192u);
+  EXPECT_EQ(*ParseSize("8k"), 8192u);
+  EXPECT_EQ(*ParseSize("1M"), 1048576u);
+  EXPECT_EQ(*ParseSize("2G"), 2147483648u);
+  EXPECT_EQ(*ParseSize("1.5K"), 1536u);
+  EXPECT_EQ(*ParseSize(" 24K "), 24576u);
+}
+
+TEST(ParseSizeTest, DecimalSuffixes) {
+  EXPECT_EQ(*ParseSize("8KB"), 8000u);
+  EXPECT_EQ(*ParseSize("210MB"), 210000000u);
+  EXPECT_EQ(*ParseSize("1GB"), 1000000000u);
+}
+
+TEST(ParseSizeTest, Malformed) {
+  EXPECT_FALSE(ParseSize("").ok());
+  EXPECT_FALSE(ParseSize("8X").ok());
+  EXPECT_FALSE(ParseSize("-5K").ok());
+}
+
+TEST(ParseDurationTest, Suffixes) {
+  EXPECT_DOUBLE_EQ(*ParseDurationMs("250"), 250.0);
+  EXPECT_DOUBLE_EQ(*ParseDurationMs("250ms"), 250.0);
+  EXPECT_DOUBLE_EQ(*ParseDurationMs("10s"), 10000.0);
+  EXPECT_DOUBLE_EQ(*ParseDurationMs("2m"), 120000.0);
+  EXPECT_FALSE(ParseDurationMs("10h").ok());
+}
+
+TEST(ParseConfigTest, SectionsAndValues) {
+  auto file = ParseConfig(R"(
+# a comment
+[disk]
+disks = 8
+layout = striped   ; trailing comment
+
+[filetype mail]
+files = 1000
+read = 0.6
+)");
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_EQ(file->sections.size(), 2u);
+  const Section* disk = file->Find("disk");
+  ASSERT_NE(disk, nullptr);
+  EXPECT_EQ(*disk->GetInt("disks"), 8);
+  EXPECT_EQ(*disk->GetString("layout"), "striped");
+  const Section& ft = file->sections[1];
+  EXPECT_EQ(ft.name, "filetype");
+  EXPECT_EQ(ft.argument, "mail");
+  EXPECT_EQ(*ft.GetInt("files"), 1000);
+  EXPECT_DOUBLE_EQ(*ft.GetDouble("read"), 0.6);
+}
+
+TEST(ParseConfigTest, KeysAreCaseInsensitiveValuesNot) {
+  auto file = ParseConfig("[Disk]\nDisks = 8\nName = MiXeD\n");
+  ASSERT_TRUE(file.ok());
+  const Section* disk = file->Find("disk");
+  ASSERT_NE(disk, nullptr);
+  EXPECT_EQ(*disk->GetInt("disks"), 8);
+  EXPECT_EQ(*disk->GetString("name"), "MiXeD");
+}
+
+TEST(ParseConfigTest, ErrorsCarryLineNumbers) {
+  auto bad1 = ParseConfig("[disk\ndisks = 8\n");
+  ASSERT_FALSE(bad1.ok());
+  EXPECT_NE(bad1.status().message().find("line 1"), std::string::npos);
+
+  auto bad2 = ParseConfig("key = 1\n");
+  ASSERT_FALSE(bad2.ok());
+  EXPECT_NE(bad2.status().message().find("outside"), std::string::npos);
+
+  auto bad3 = ParseConfig("[disk]\nnot a pair\n");
+  ASSERT_FALSE(bad3.ok());
+  EXPECT_NE(bad3.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParseConfigTest, FindAllReturnsEverySection) {
+  auto file = ParseConfig(
+      "[filetype a]\nfiles = 1\n[filetype b]\nfiles = 2\n[disk]\n");
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->FindAll("filetype").size(), 2u);
+  EXPECT_EQ(file->FindAll("missing").size(), 0u);
+}
+
+TEST(SectionTest, TypedGettersReportContext) {
+  auto file = ParseConfig("[policy]\nkind = extent\ngrow = fast\n");
+  ASSERT_TRUE(file.ok());
+  const Section* policy = file->Find("policy");
+  auto missing = policy->GetString("absent");
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_NE(missing.status().message().find("[policy]"), std::string::npos);
+  EXPECT_FALSE(policy->GetInt("grow").ok());
+}
+
+TEST(SectionTest, DefaultsOnlyApplyWhenMissing) {
+  auto file = ParseConfig("[test]\nseed = 42\nbadbool = maybe\n");
+  ASSERT_TRUE(file.ok());
+  const Section* test = file->Find("test");
+  EXPECT_EQ(*test->GetIntOr("seed", 7), 42);
+  EXPECT_EQ(*test->GetIntOr("missing", 7), 7);
+  EXPECT_TRUE(*test->GetBoolOr("missing", true));
+  EXPECT_FALSE(test->GetBoolOr("badbool", true).ok());
+}
+
+TEST(SectionTest, SizeLists) {
+  auto file = ParseConfig("[policy]\nblock_sizes = 1K, 8K,64K\nempty = \n");
+  ASSERT_TRUE(file.ok());
+  const Section* policy = file->Find("policy");
+  auto sizes = policy->GetSizeList("block_sizes");
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ(*sizes, (std::vector<uint64_t>{1024, 8192, 65536}));
+  EXPECT_FALSE(policy->GetSizeList("empty").ok());
+}
+
+TEST(ParseConfigFileTest, MissingFileReportsNotFound) {
+  auto file = ParseConfigFile("/nonexistent/rofs.ini");
+  EXPECT_TRUE(file.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace rofs::config

@@ -1,0 +1,65 @@
+#include "disk/disk_geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace rofs::disk {
+namespace {
+
+// Table 1 of the paper: the simulated CDC Wren IV.
+TEST(DiskGeometryTest, WrenIVMatchesTable1) {
+  const DiskGeometry g = CdcWrenIV();
+  EXPECT_EQ(g.platters, 9u);
+  EXPECT_EQ(g.cylinders, 1600u);
+  EXPECT_EQ(g.track_bytes, 24u * 1024);
+  EXPECT_DOUBLE_EQ(g.single_track_seek_ms, 5.5);
+  EXPECT_DOUBLE_EQ(g.seek_incremental_ms, 0.0320);
+  EXPECT_DOUBLE_EQ(g.rotation_ms, 16.67);
+}
+
+TEST(DiskGeometryTest, CapacityMatchesPaperArray) {
+  const DiskGeometry g = CdcWrenIV();
+  EXPECT_EQ(g.cylinder_bytes(), 9u * 24 * 1024);
+  // 8 drives ~ 2.8 GB total (paper Table 1: "Total Capacity 2.8 G").
+  const double total_gb =
+      8.0 * static_cast<double>(g.capacity_bytes()) / 1e9;
+  EXPECT_NEAR(total_gb, 2.8, 0.1);
+}
+
+TEST(DiskGeometryTest, SeekTimeFormula) {
+  const DiskGeometry g = CdcWrenIV();
+  EXPECT_DOUBLE_EQ(g.SeekTime(0), 0.0);
+  // Paper: "an N track seek takes ST + N*SI ms".
+  EXPECT_DOUBLE_EQ(g.SeekTime(1), 5.5 + 0.032);
+  EXPECT_DOUBLE_EQ(g.SeekTime(100), 5.5 + 100 * 0.032);
+  EXPECT_DOUBLE_EQ(g.SeekTime(1599), 5.5 + 1599 * 0.032);
+}
+
+TEST(DiskGeometryTest, RotationalLatencyIsHalfRotation) {
+  const DiskGeometry g = CdcWrenIV();
+  EXPECT_DOUBLE_EQ(g.AvgRotationalLatency(), 16.67 / 2.0);
+}
+
+TEST(DiskGeometryTest, TransferTimeScalesWithBytes) {
+  const DiskGeometry g = CdcWrenIV();
+  EXPECT_DOUBLE_EQ(g.TransferTime(24 * 1024), 16.67);
+  EXPECT_DOUBLE_EQ(g.TransferTime(12 * 1024), 16.67 / 2);
+  EXPECT_DOUBLE_EQ(g.TransferTime(0), 0.0);
+}
+
+TEST(DiskGeometryTest, SequentialBandwidthNearPaperMaximum) {
+  const DiskGeometry g = CdcWrenIV();
+  // One drive: a cylinder per (9 rotations + track seek). Eight drives
+  // should land near the paper's 10.8 MB/s quoted maximum.
+  const double mb_per_s = 8.0 * g.SequentialBandwidth() * 1000.0 / 1e6;
+  EXPECT_GT(mb_per_s, 10.0);
+  EXPECT_LT(mb_per_s, 12.5);
+}
+
+TEST(DiskGeometryTest, ToStringMentionsGeometry) {
+  const std::string s = CdcWrenIV().ToString();
+  EXPECT_NE(s.find("cylinders=1600"), std::string::npos);
+  EXPECT_NE(s.find("24K"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rofs::disk

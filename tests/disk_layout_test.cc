@@ -1,0 +1,225 @@
+#include "disk/layout.h"
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rofs::disk {
+namespace {
+
+// Sums mapped lengths and checks disk bounds.
+uint64_t TotalLength(const std::vector<DiskAccess>& accesses) {
+  uint64_t total = 0;
+  for (const DiskAccess& a : accesses) total += a.length_du;
+  return total;
+}
+
+TEST(StripedLayoutTest, CapacityIsWholeStripeRows) {
+  auto layout = MakeLayout(LayoutKind::kStriped, 8, 1000, 24);
+  // 1000 / 24 = 41 rows per disk -> 41 * 24 * 8.
+  EXPECT_EQ(layout->logical_capacity_du(), 41u * 24 * 8);
+  EXPECT_EQ(layout->data_disks(), 8u);
+}
+
+TEST(StripedLayoutTest, FirstChunksRotateAcrossDisks) {
+  auto layout = MakeLayout(LayoutKind::kStriped, 4, 1000, 10);
+  for (uint32_t k = 0; k < 8; ++k) {
+    std::vector<DiskAccess> accesses;
+    layout->MapRead(k * 10, 10, &accesses);
+    ASSERT_EQ(accesses.size(), 1u);
+    EXPECT_EQ(accesses[0].disk, k % 4);
+    EXPECT_EQ(accesses[0].offset_du, (k / 4) * 10u);
+    EXPECT_EQ(accesses[0].length_du, 10u);
+  }
+}
+
+TEST(StripedLayoutTest, SubChunkAccessStaysOnOneDisk) {
+  auto layout = MakeLayout(LayoutKind::kStriped, 8, 10000, 24);
+  std::vector<DiskAccess> accesses;
+  layout->MapRead(26, 5, &accesses);  // Inside chunk 1 -> disk 1.
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_EQ(accesses[0].disk, 1u);
+  EXPECT_EQ(accesses[0].offset_du, 2u);
+  EXPECT_EQ(accesses[0].length_du, 5u);
+}
+
+TEST(StripedLayoutTest, LargeRunProducesOneContiguousRunPerDisk) {
+  auto layout = MakeLayout(LayoutKind::kStriped, 8, 100000, 24);
+  std::vector<DiskAccess> accesses;
+  const uint64_t n = 24 * 8 * 10 + 13;  // Ten full rows plus a partial.
+  layout->MapRead(5, n, &accesses);
+  EXPECT_LE(accesses.size(), 8u);
+  EXPECT_EQ(TotalLength(accesses), n);
+  std::map<uint32_t, int> per_disk;
+  for (const DiskAccess& a : accesses) ++per_disk[a.disk];
+  for (const auto& [disk, count] : per_disk) EXPECT_EQ(count, 1);
+}
+
+// Property: the striped mapping is a bijection between logical units and
+// (disk, offset) pairs.
+TEST(StripedLayoutTest, MappingIsBijective) {
+  const uint32_t kDisks = 5;  // Odd count exercises rotation.
+  const uint64_t kPerDisk = 97;
+  const uint64_t kStripe = 7;
+  auto layout = MakeLayout(LayoutKind::kStriped, kDisks, kPerDisk, kStripe);
+  const uint64_t cap = layout->logical_capacity_du();
+  std::map<std::pair<uint32_t, uint64_t>, uint64_t> seen;
+  for (uint64_t l = 0; l < cap; ++l) {
+    std::vector<DiskAccess> accesses;
+    layout->MapRead(l, 1, &accesses);
+    ASSERT_EQ(accesses.size(), 1u);
+    const auto key = std::make_pair(accesses[0].disk,
+                                    accesses[0].offset_du);
+    EXPECT_EQ(seen.count(key), 0u) << "physical unit mapped twice";
+    seen[key] = l;
+    EXPECT_LT(accesses[0].offset_du, kPerDisk);
+  }
+  EXPECT_EQ(seen.size(), cap);
+}
+
+// Property: mapping a run equals the union of mapping its units.
+TEST(StripedLayoutTest, RunDecomposesToUnits) {
+  auto layout = MakeLayout(LayoutKind::kStriped, 8, 3000, 24);
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t cap = layout->logical_capacity_du();
+    const uint64_t start = rng.UniformInt(0, cap - 2);
+    const uint64_t len = rng.UniformInt(1, std::min<uint64_t>(cap - start,
+                                                              600));
+    std::vector<DiskAccess> run;
+    layout->MapRead(start, len, &run);
+    EXPECT_EQ(TotalLength(run), len);
+    // Each logical unit of the range must be covered exactly once.
+    std::map<uint32_t, std::vector<std::pair<uint64_t, uint64_t>>> per_disk;
+    for (const DiskAccess& a : run) {
+      per_disk[a.disk].push_back({a.offset_du, a.length_du});
+    }
+    for (uint64_t l = start; l < start + len; ++l) {
+      std::vector<DiskAccess> unit;
+      layout->MapRead(l, 1, &unit);
+      bool covered = false;
+      for (const auto& [off, n] : per_disk[unit[0].disk]) {
+        if (unit[0].offset_du >= off && unit[0].offset_du < off + n) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(covered) << "logical unit " << l << " not covered";
+    }
+  }
+}
+
+TEST(MirroredLayoutTest, WritesGoToBothReplicas) {
+  auto layout = MakeLayout(LayoutKind::kMirrored, 8, 1000, 24);
+  // Reads can be served by either replica, so all 8 spindles contribute
+  // read bandwidth even though only 4 pairs hold distinct data.
+  EXPECT_EQ(layout->data_disks(), 8u);
+  std::vector<DiskAccess> accesses;
+  layout->MapWrite(0, 24, &accesses);
+  ASSERT_EQ(accesses.size(), 2u);
+  EXPECT_EQ(accesses[0].disk, 0u);
+  EXPECT_EQ(accesses[1].disk, 1u);
+  EXPECT_EQ(accesses[0].offset_du, accesses[1].offset_du);
+  EXPECT_TRUE(accesses[0].is_write && accesses[1].is_write);
+}
+
+TEST(MirroredLayoutTest, ReadsOfferAlternateReplica) {
+  auto layout = MakeLayout(LayoutKind::kMirrored, 8, 1000, 24);
+  std::vector<DiskAccess> accesses;
+  layout->MapRead(24, 24, &accesses);  // Chunk 1 -> pair 1 -> disks 2,3.
+  ASSERT_EQ(accesses.size(), 1u);
+  EXPECT_EQ(accesses[0].disk, 2u);
+  EXPECT_EQ(accesses[0].alt_disk, 3);
+}
+
+TEST(Raid5LayoutTest, CapacityExcludesParity) {
+  auto layout = MakeLayout(LayoutKind::kRaid5, 8, 2400, 24);
+  EXPECT_EQ(layout->logical_capacity_du(), 2400u / 24 * 24 * 7);
+  // Rotating parity lets sequential reads use all spindles.
+  EXPECT_EQ(layout->data_disks(), 8u);
+}
+
+TEST(Raid5LayoutTest, ReadTouchesOnlyDataDisks) {
+  const uint32_t n = 5;
+  auto layout = MakeLayout(LayoutKind::kRaid5, n, 1000, 10);
+  // Row 0 parity lives on disk n-1 = 4; data chunks 0..3 on disks 0..3.
+  std::vector<DiskAccess> accesses;
+  layout->MapRead(0, 40, &accesses);
+  uint64_t total = 0;
+  for (const DiskAccess& a : accesses) {
+    EXPECT_NE(a.disk, 4u);
+    EXPECT_FALSE(a.is_write);
+    total += a.length_du;
+  }
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(Raid5LayoutTest, ParityRotatesAcrossRows) {
+  const uint32_t n = 5;
+  auto layout = MakeLayout(LayoutKind::kRaid5, n, 1000, 10);
+  // Row r holds data in logical [r*40, (r+1)*40); its parity disk must
+  // differ across consecutive rows.
+  std::vector<uint32_t> parity_disks;
+  for (uint64_t row = 0; row < n; ++row) {
+    std::vector<DiskAccess> accesses;
+    layout->MapRead(row * 40, 40, &accesses);
+    // The untouched disk of this row is the parity disk.
+    std::vector<bool> touched(n, false);
+    for (const DiskAccess& a : accesses) touched[a.disk] = true;
+    int parity = -1;
+    for (uint32_t d = 0; d < n; ++d) {
+      if (!touched[d]) parity = static_cast<int>(d);
+    }
+    ASSERT_GE(parity, 0);
+    parity_disks.push_back(static_cast<uint32_t>(parity));
+  }
+  for (size_t i = 1; i < parity_disks.size(); ++i) {
+    EXPECT_NE(parity_disks[i - 1], parity_disks[i]);
+  }
+}
+
+TEST(Raid5LayoutTest, SmallWritePaysReadModifyWrite) {
+  auto layout = MakeLayout(LayoutKind::kRaid5, 5, 1000, 10);
+  std::vector<DiskAccess> accesses;
+  layout->MapWrite(0, 10, &accesses);  // One chunk of row 0.
+  // Read old data, read old parity, write data, write parity.
+  ASSERT_EQ(accesses.size(), 4u);
+  int reads = 0, writes = 0;
+  for (const DiskAccess& a : accesses) (a.is_write ? writes : reads)++;
+  EXPECT_EQ(reads, 2);
+  EXPECT_EQ(writes, 2);
+}
+
+TEST(Raid5LayoutTest, FullRowWriteAvoidsRmw) {
+  auto layout = MakeLayout(LayoutKind::kRaid5, 5, 1000, 10);
+  std::vector<DiskAccess> accesses;
+  layout->MapWrite(0, 40, &accesses);  // Entire row 0.
+  // 4 data writes + 1 parity write, no reads.
+  ASSERT_EQ(accesses.size(), 5u);
+  for (const DiskAccess& a : accesses) EXPECT_TRUE(a.is_write);
+}
+
+TEST(ParityStripedLayoutTest, FilesLiveOnSingleDisks) {
+  auto layout = MakeLayout(LayoutKind::kParityStriped, 4, 1000, 24);
+  const uint64_t data_per_disk = 1000 - 1000 / 4;
+  EXPECT_EQ(layout->logical_capacity_du(), data_per_disk * 4);
+  std::vector<DiskAccess> accesses;
+  layout->MapRead(10, 200, &accesses);
+  ASSERT_EQ(accesses.size(), 1u);  // No striping: one disk.
+  EXPECT_EQ(accesses[0].disk, 0u);
+}
+
+TEST(ParityStripedLayoutTest, WriteUpdatesParityOnPartnerDisk) {
+  auto layout = MakeLayout(LayoutKind::kParityStriped, 4, 1000, 24);
+  std::vector<DiskAccess> accesses;
+  layout->MapWrite(10, 50, &accesses);
+  ASSERT_EQ(accesses.size(), 4u);  // Data RMW + parity RMW.
+  EXPECT_EQ(accesses[0].disk, 0u);
+  EXPECT_NE(accesses[1].disk, 0u);  // Parity on another disk.
+}
+
+}  // namespace
+}  // namespace rofs::disk

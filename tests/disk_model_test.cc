@@ -1,0 +1,119 @@
+#include "disk/disk_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace rofs::disk {
+namespace {
+
+class DiskModelTest : public ::testing::Test {
+ protected:
+  DiskGeometry g_ = CdcWrenIV();
+};
+
+TEST_F(DiskModelTest, FirstAccessPaysLatencyAndTransferOnly) {
+  Disk d(g_);
+  // Head starts at cylinder 0; access within cylinder 0: no seek, mean
+  // rotational latency plus transfer.
+  const sim::TimeMs done = d.Access(0.0, 0, KiB(24));
+  EXPECT_DOUBLE_EQ(done, g_.AvgRotationalLatency() + g_.rotation_ms);
+  EXPECT_EQ(d.seeks(), 0u);
+  EXPECT_EQ(d.bytes_transferred(), KiB(24));
+}
+
+TEST_F(DiskModelTest, SeekDistanceScalesCost) {
+  Disk near(g_);
+  Disk far(g_);
+  const uint64_t cyl = g_.cylinder_bytes();
+  const sim::TimeMs t_near = near.Access(0.0, cyl * 10, KiB(8));
+  const sim::TimeMs t_far = far.Access(0.0, cyl * 1000, KiB(8));
+  EXPECT_DOUBLE_EQ(t_far - t_near, (1000 - 10) * g_.seek_incremental_ms);
+  EXPECT_EQ(near.seeks(), 1u);
+}
+
+TEST_F(DiskModelTest, SequentialContinuationIsFree) {
+  Disk d(g_);
+  const sim::TimeMs first = d.Access(0.0, 0, KiB(8));
+  // Continues exactly where the last access ended, same cylinder: only
+  // media transfer.
+  const sim::TimeMs second = d.Access(first, KiB(8), KiB(8));
+  EXPECT_DOUBLE_EQ(second - first, g_.TransferTime(KiB(8)));
+}
+
+TEST_F(DiskModelTest, NonSequentialSameCylinderPaysRotationalLatency) {
+  Disk d(g_);
+  const sim::TimeMs first = d.Access(0.0, 0, KiB(8));
+  const sim::TimeMs second = d.Access(first, KiB(100), KiB(8));
+  EXPECT_DOUBLE_EQ(second - first,
+                   g_.AvgRotationalLatency() + g_.TransferTime(KiB(8)));
+}
+
+TEST_F(DiskModelTest, TransferAcrossCylinderBoundaryPaysTrackSeek) {
+  Disk d(g_);
+  const uint64_t cyl = g_.cylinder_bytes();
+  // Read 48K starting 24K before a cylinder boundary.
+  const sim::TimeMs done = d.Access(0.0, cyl - KiB(24), KiB(48));
+  const double expected = g_.SeekTime(1) /* seek to cylinder 0->0? */;
+  (void)expected;
+  // Position: cylinder 0 (head already there) -> latency + transfer +
+  // one single-track seek inside the transfer.
+  EXPECT_DOUBLE_EQ(done, g_.AvgRotationalLatency() + g_.TransferTime(KiB(48)) +
+                             g_.SeekTime(1));
+  EXPECT_EQ(d.bytes_transferred(), KiB(48));
+}
+
+TEST_F(DiskModelTest, FcfsQueueingSerializesRequests) {
+  Disk d(g_);
+  const sim::TimeMs t1 = d.Access(0.0, 0, KiB(8));
+  // Arrives while the first is in service: starts when the disk frees.
+  const sim::TimeMs t2 = d.Access(0.1, KiB(512), KiB(8));
+  EXPECT_GT(t2, t1);
+  // An idle-arrival baseline for the same movement costs less wall time
+  // from arrival.
+  EXPECT_GT(t2 - 0.1, t1 - 0.0);
+}
+
+TEST_F(DiskModelTest, IdleGapDoesNotAccumulateBusyTime) {
+  Disk d(g_);
+  const sim::TimeMs t1 = d.Access(0.0, 0, KiB(8));
+  const sim::TimeMs t2 = d.Access(t1 + 1000.0, KiB(8), KiB(8));
+  EXPECT_NEAR(t2 - (t1 + 1000.0), g_.TransferTime(KiB(8)), 1e-9);
+  EXPECT_LT(d.busy_time_ms(), t2);
+  EXPECT_NEAR(d.busy_time_ms(),
+              (t1 - 0.0) + g_.TransferTime(KiB(8)), 1e-9);
+}
+
+TEST_F(DiskModelTest, UtilizationFractionOfWallClock) {
+  Disk d(g_);
+  const sim::TimeMs t1 = d.Access(0.0, 0, KiB(24));
+  const double util_busy = d.Utilization(t1);
+  EXPECT_NEAR(util_busy, 1.0, 1e-9);
+  EXPECT_NEAR(d.Utilization(t1 * 2), 0.5, 1e-9);
+}
+
+TEST_F(DiskModelTest, ResetStatsPreservesHeadState) {
+  Disk d(g_);
+  const uint64_t cyl = g_.cylinder_bytes();
+  const sim::TimeMs t1 = d.Access(0.0, cyl * 100, KiB(8));
+  d.ResetStats();
+  EXPECT_EQ(d.bytes_transferred(), 0u);
+  EXPECT_EQ(d.seeks(), 0u);
+  // Head is still at cylinder 100: accessing cylinder 100 again needs no
+  // seek.
+  const sim::TimeMs t2 = d.Access(t1, cyl * 100 + KiB(48), KiB(8));
+  EXPECT_DOUBLE_EQ(t2 - t1,
+                   g_.AvgRotationalLatency() + g_.TransferTime(KiB(8)));
+  EXPECT_EQ(d.seeks(), 0u);
+}
+
+TEST_F(DiskModelTest, LargeTransferApproachesFullBandwidth) {
+  Disk d(g_);
+  const uint64_t bytes = g_.cylinder_bytes() * 100;
+  const sim::TimeMs done = d.Access(0.0, 0, bytes);
+  const double achieved = static_cast<double>(bytes) / done;
+  EXPECT_GT(achieved / g_.SequentialBandwidth(), 0.95);
+}
+
+}  // namespace
+}  // namespace rofs::disk

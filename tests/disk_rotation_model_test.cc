@@ -1,0 +1,102 @@
+// Tests for the tracked rotational-position model (the optional
+// refinement over the paper's mean-latency model).
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_model.h"
+#include "disk/disk_system.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs::disk {
+namespace {
+
+TEST(RotationModelTest, TrackedLatencyDependsOnArrivalPhase) {
+  const DiskGeometry g = CdcWrenIV();
+  // Two identical accesses issued at different platter phases must see
+  // different waits.
+  Disk d1(g, RotationModel::kTracked);
+  Disk d2(g, RotationModel::kTracked);
+  const double s1 = d1.Access(0.0, KiB(12), KiB(1)) - 0.0;
+  const double s2 = d2.Access(g.rotation_ms / 3.0, KiB(12), KiB(1)) -
+                    g.rotation_ms / 3.0;
+  EXPECT_NE(s1, s2);
+}
+
+TEST(RotationModelTest, TrackedSequentialBackToBackHasNoLatency) {
+  const DiskGeometry g = CdcWrenIV();
+  Disk d(g, RotationModel::kTracked);
+  const sim::TimeMs t1 = d.Access(0.0, 0, KiB(8));
+  // Issued before t1 completes: serviced back to back, platter aligned.
+  const sim::TimeMs t2 = d.Access(t1 - 1.0, KiB(8), KiB(8));
+  EXPECT_NEAR(t2 - t1, g.TransferTime(KiB(8)), 1e-9);
+}
+
+TEST(RotationModelTest, TrackedIdleSequentialWaitsForSectorAgain) {
+  const DiskGeometry g = CdcWrenIV();
+  Disk d(g, RotationModel::kTracked);
+  const sim::TimeMs t1 = d.Access(0.0, 0, KiB(8));
+  // Arrive 1/4 rotation after completion: the sector at 8K comes around
+  // after the remaining 3/4 rotation.
+  const sim::TimeMs arrival = t1 + g.rotation_ms / 4.0;
+  const sim::TimeMs t2 = d.Access(arrival, KiB(8), KiB(8));
+  const double latency = (t2 - arrival) - g.TransferTime(KiB(8));
+  EXPECT_NEAR(latency, 3.0 / 4.0 * g.rotation_ms, 1e-6);
+}
+
+TEST(RotationModelTest, TrackedLatencyAveragesHalfRotation) {
+  const DiskGeometry g = CdcWrenIV();
+  Disk d(g, RotationModel::kTracked);
+  Rng rng(4);
+  double latency_sum = 0;
+  int n = 0;
+  sim::TimeMs t = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    // Random arrival phase and random target offset within one cylinder
+    // (no seek): service = latency + transfer.
+    const sim::TimeMs arrival = t + rng.Uniform(0.1, 50.0);
+    const uint64_t offset =
+        RoundDown(rng.UniformInt(0, g.cylinder_bytes() - KiB(2)), 512);
+    t = d.Access(arrival, offset, KiB(1));
+    latency_sum += (t - arrival) - g.TransferTime(KiB(1));
+    ++n;
+  }
+  EXPECT_NEAR(latency_sum / n, g.AvgRotationalLatency(),
+              g.rotation_ms * 0.02);
+}
+
+TEST(RotationModelTest, MeanModelIsDefaultAndDeterministicHalfRotation) {
+  const DiskGeometry g = CdcWrenIV();
+  Disk d(g);  // Default: mean latency.
+  const sim::TimeMs t1 = d.Access(0.0, KiB(100), KiB(1));
+  EXPECT_NEAR(t1, g.AvgRotationalLatency() + g.TransferTime(KiB(1)), 1e-9);
+}
+
+TEST(RotationModelTest, SystemConfigPlumbsTrackedModel) {
+  DiskSystemConfig cfg = DiskSystemConfig::Array(2);
+  cfg.rotation_model = RotationModel::kTracked;
+  DiskSystem tracked(cfg);
+  DiskSystem mean(DiskSystemConfig::Array(2));
+  // The same single-unit read at time 0: tracked waits for sector 0
+  // (zero latency at phase 0), the mean model charges half a rotation.
+  const sim::TimeMs t_tracked = tracked.Read(0.0, 0, 1);
+  const sim::TimeMs t_mean = mean.Read(0.0, 0, 1);
+  EXPECT_LT(t_tracked, t_mean);
+}
+
+// Whole-disk sequential bandwidth should be nearly identical under both
+// models (no positioning in steady state).
+TEST(RotationModelTest, SequentialScanAgreesAcrossModels) {
+  DiskSystemConfig cfg = DiskSystemConfig::Array(4);
+  cfg.rotation_model = RotationModel::kTracked;
+  DiskSystem tracked(cfg);
+  DiskSystem mean(DiskSystemConfig::Array(4));
+  const uint64_t n = tracked.capacity_du() / 8;
+  const double rate_tracked = static_cast<double>(n) /
+                              tracked.Read(0.0, 0, n);
+  const double rate_mean = static_cast<double>(n) / mean.Read(0.0, 0, n);
+  EXPECT_NEAR(rate_tracked / rate_mean, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace rofs::disk

@@ -1,0 +1,125 @@
+#include "disk/disk_system.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace rofs::disk {
+namespace {
+
+DiskSystemConfig DefaultConfig(LayoutKind layout = LayoutKind::kStriped) {
+  DiskSystemConfig cfg = DiskSystemConfig::Array(8);
+  cfg.layout = layout;
+  return cfg;
+}
+
+TEST(DiskSystemTest, PaperCapacityAndBandwidth) {
+  DiskSystem sys(DefaultConfig());
+  // 8 * 1600 * 9 * 24K = 2.64 GiB (~2.8 GB decimal, paper Table 1).
+  EXPECT_EQ(sys.capacity_bytes(), 8ull * 1600 * 9 * 24 * 1024);
+  EXPECT_EQ(sys.capacity_du(), sys.capacity_bytes() / KiB(1));
+  const double mb_per_s =
+      sys.MaxSequentialBandwidthBytesPerMs() * 1000.0 / 1e6;
+  EXPECT_NEAR(mb_per_s, 10.8, 0.7);  // Paper: 10.8 MB/sec.
+}
+
+TEST(DiskSystemTest, StripedReadUsesParallelism) {
+  DiskSystem sys(DefaultConfig());
+  // 192K spanning all 8 disks (24K stripe unit) should take roughly the
+  // time of one 24K access, not eight.
+  const sim::TimeMs wide = sys.Read(0.0, 0, 192);
+  DiskSystem sys2(DefaultConfig());
+  const sim::TimeMs narrow = sys2.Read(0.0, 0, 24);
+  EXPECT_LT(wide, narrow * 2.5);
+  EXPECT_EQ(sys.logical_bytes_read(), 192 * KiB(1));
+}
+
+TEST(DiskSystemTest, SameDiskRequestsSerialize) {
+  DiskSystem sys(DefaultConfig());
+  // Two requests inside the same stripe chunk (disk 0).
+  const sim::TimeMs t1 = sys.Read(0.0, 0, 8);
+  const sim::TimeMs t2 = sys.Read(0.0, 8, 8);
+  EXPECT_GT(t2, t1);
+}
+
+TEST(DiskSystemTest, DifferentDiskRequestsOverlap) {
+  DiskSystem sys(DefaultConfig());
+  const sim::TimeMs t1 = sys.Read(0.0, 0, 8);    // Disk 0.
+  const sim::TimeMs t2 = sys.Read(0.0, 24, 8);   // Disk 1.
+  // Both start immediately; completion times are near-identical.
+  EXPECT_NEAR(t1, t2, 1.0);
+}
+
+TEST(DiskSystemTest, WholeDiskScanApproachesMaxBandwidth) {
+  DiskSystem sys(DefaultConfig());
+  const uint64_t n = sys.capacity_du() / 4;
+  const sim::TimeMs done = sys.Read(0.0, 0, n);
+  const double rate = static_cast<double>(n * KiB(1)) / done;
+  EXPECT_GT(rate / sys.MaxSequentialBandwidthBytesPerMs(), 0.9);
+}
+
+TEST(DiskSystemTest, MirroredWriteCostsMoreThanRead) {
+  DiskSystemConfig cfg = DefaultConfig(LayoutKind::kMirrored);
+  DiskSystem sys(cfg);
+  const sim::TimeMs r = sys.Read(0.0, 0, 24);
+  DiskSystem sys2(cfg);
+  const sim::TimeMs w = sys2.Write(0.0, 0, 24);
+  EXPECT_GE(w, r);
+  // Mirrored write moves twice the physical bytes.
+  EXPECT_EQ(sys2.physical_bytes(), 2 * 24 * KiB(1));
+}
+
+TEST(DiskSystemTest, MirroredReadPicksIdleReplica) {
+  DiskSystemConfig cfg = DefaultConfig(LayoutKind::kMirrored);
+  DiskSystem sys(cfg);
+  // Two concurrent reads of the same chunk: the second should be served by
+  // the mirror, so both finish at about the same time.
+  const sim::TimeMs t1 = sys.Read(0.0, 0, 24);
+  const sim::TimeMs t2 = sys.Read(0.0, 0, 24);
+  EXPECT_NEAR(t1, t2, 1e-9);
+}
+
+TEST(DiskSystemTest, Raid5SmallWritePenalty) {
+  DiskSystemConfig cfg = DefaultConfig(LayoutKind::kRaid5);
+  DiskSystem striped_cfg_sys(DefaultConfig());
+  const sim::TimeMs striped_write = striped_cfg_sys.Write(0.0, 0, 8);
+  DiskSystem raid5(cfg);
+  const sim::TimeMs raid5_write = raid5.Write(0.0, 0, 8);
+  // Read-modify-write makes the small write strictly slower than RAID0.
+  EXPECT_GT(raid5_write, striped_write);
+}
+
+TEST(DiskSystemTest, StatsResetClearsCounters) {
+  DiskSystem sys(DefaultConfig());
+  sys.Read(0.0, 0, 100);
+  sys.Write(0.0, 200, 50);
+  EXPECT_GT(sys.logical_bytes_read(), 0u);
+  EXPECT_GT(sys.logical_bytes_written(), 0u);
+  EXPECT_GT(sys.physical_bytes(), 0u);
+  sys.ResetStats();
+  EXPECT_EQ(sys.logical_bytes_read(), 0u);
+  EXPECT_EQ(sys.logical_bytes_written(), 0u);
+  EXPECT_EQ(sys.physical_bytes(), 0u);
+}
+
+TEST(DiskSystemTest, HeterogeneousArrayLevelsToSmallestDrive) {
+  DiskSystemConfig cfg;
+  DiskGeometry big = CdcWrenIV();
+  DiskGeometry small = CdcWrenIV();
+  small.cylinders = 800;
+  cfg.disks = {big, small, big, small};
+  DiskSystem sys(cfg);
+  // Each drive contributes the smallest drive's capacity.
+  const uint64_t small_du = small.capacity_bytes() / KiB(1);
+  EXPECT_EQ(sys.capacity_du(), small_du / 24 * 24 * 4);
+}
+
+TEST(DiskSystemTest, DescribeMentionsLayoutAndCapacity) {
+  DiskSystem sys(DefaultConfig());
+  const std::string desc = sys.DescribeConfig();
+  EXPECT_NE(desc.find("striped"), std::string::npos);
+  EXPECT_NE(desc.find("8 disks"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rofs::disk

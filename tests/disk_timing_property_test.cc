@@ -1,0 +1,136 @@
+// Property tests for the disk timing model: bounds, monotonicity, FCFS
+// ordering, and busy-time accounting under random request streams.
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_model.h"
+#include "disk/disk_system.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs::disk {
+namespace {
+
+TEST(DiskTimingPropertyTest, ServiceTimeBounds) {
+  const DiskGeometry g = CdcWrenIV();
+  Disk d(g);
+  Rng rng(1);
+  sim::TimeMs prev_completion = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t len = rng.UniformInt(1, 64) * KiB(1);
+    const uint64_t offset =
+        rng.UniformInt(0, (g.capacity_bytes() - len) / 512) * 512;
+    const sim::TimeMs arrival = prev_completion;  // Closed loop.
+    const sim::TimeMs done = d.Access(arrival, offset, len);
+    const double service = done - arrival;
+    // Lower bound: the media transfer itself.
+    ASSERT_GE(service, g.TransferTime(len) - 1e-9);
+    // Upper bound: worst seek + full rotation + transfer + per-cylinder
+    // track re-seeks.
+    const double crossings =
+        static_cast<double>(len / g.cylinder_bytes() + 2);
+    ASSERT_LE(service, g.SeekTime(g.cylinders) + g.rotation_ms +
+                           g.TransferTime(len) +
+                           crossings * g.SeekTime(1) + 1e-9);
+    ASSERT_GE(done, prev_completion);
+    prev_completion = done;
+  }
+}
+
+TEST(DiskTimingPropertyTest, CompletionsMonotoneUnderFcfs) {
+  Disk d(CdcWrenIV());
+  Rng rng(2);
+  sim::TimeMs arrival = 0.0;
+  sim::TimeMs last_done = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    arrival += rng.Exponential(3.0);
+    const uint64_t offset = rng.UniformInt(0, 100'000) * KiB(1);
+    const sim::TimeMs done = d.Access(arrival, offset, KiB(8));
+    // FCFS: a later-arriving request can never complete before an
+    // earlier one.
+    ASSERT_GE(done, last_done);
+    ASSERT_GE(done, arrival);
+    last_done = done;
+  }
+}
+
+TEST(DiskTimingPropertyTest, BusyTimeNeverExceedsWallClock) {
+  Disk d(CdcWrenIV());
+  Rng rng(3);
+  sim::TimeMs arrival = 0.0;
+  sim::TimeMs done = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    arrival += rng.Exponential(10.0);
+    const uint64_t offset = rng.UniformInt(0, 300'000) * KiB(1);
+    done = d.Access(arrival, offset, KiB(rng.UniformInt(1, 48)));
+  }
+  EXPECT_LE(d.busy_time_ms(), done + 1e-6);
+  EXPECT_GT(d.Utilization(done), 0.0);
+  EXPECT_LE(d.Utilization(done), 1.0 + 1e-9);
+}
+
+TEST(DiskTimingPropertyTest, CloserRequestsAreNeverSlowerOnAverage) {
+  // Seek affinity: many short-distance accesses must cost less in total
+  // than the same accesses spread across the whole disk.
+  const DiskGeometry g = CdcWrenIV();
+  Disk near(g);
+  Disk far(g);
+  Rng rng_near(4), rng_far(4);
+  sim::TimeMs t_near = 0, t_far = 0;
+  const uint64_t cyl = g.cylinder_bytes();
+  for (int i = 0; i < 500; ++i) {
+    t_near = near.Access(t_near, (rng_near.UniformInt(0, 9)) * cyl, KiB(8));
+    t_far = far.Access(t_far, (rng_far.UniformInt(0, 1500)) * cyl, KiB(8));
+  }
+  EXPECT_LT(t_near, t_far);
+}
+
+TEST(DiskTimingPropertyTest, SystemCompletionIsMaxOfSubRequests) {
+  DiskSystem sys(DiskSystemConfig::Array(8));
+  Rng rng(5);
+  sim::TimeMs arrival = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    arrival += rng.Exponential(20.0);
+    const uint64_t n = rng.UniformInt(1, 2048);
+    const uint64_t start = rng.UniformInt(0, sys.capacity_du() - n - 1);
+    const sim::TimeMs done = sys.Read(arrival, start, n);
+    sim::TimeMs max_busy = 0;
+    for (uint32_t d = 0; d < sys.num_disks(); ++d) {
+      max_busy = std::max(max_busy, sys.disk(d).busy_until());
+    }
+    // The request completes exactly when its slowest sub-request does,
+    // which is bounded by the busiest disk.
+    ASSERT_LE(done, max_busy + 1e-9);
+    ASSERT_GE(done, arrival);
+  }
+}
+
+TEST(DiskTimingPropertyTest, ThroughputScalesWithArraySize) {
+  double prev_rate = 0.0;
+  for (uint32_t disks : {1u, 2u, 4u, 8u}) {
+    DiskSystem sys(DiskSystemConfig::Array(disks));
+    const uint64_t n = sys.capacity_du() / 2;
+    const sim::TimeMs done = sys.Read(0.0, 0, n);
+    const double rate = static_cast<double>(n) / done;
+    EXPECT_GT(rate, prev_rate * 1.8) << disks << " disks";
+    prev_rate = rate;
+  }
+}
+
+TEST(DiskTimingPropertyTest, WriteAndReadCostTheSameOnStriped) {
+  // No write-back caching is modeled: a raw write equals a raw read.
+  DiskSystem a(DiskSystemConfig::Array(8));
+  DiskSystem b(DiskSystemConfig::Array(8));
+  Rng rng(6);
+  sim::TimeMs ta = 0, tb = 0;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t n = rng.UniformInt(1, 512);
+    const uint64_t start = rng.UniformInt(0, a.capacity_du() - n - 1);
+    ta = a.Read(ta, start, n);
+    tb = b.Write(tb, start, n);
+  }
+  EXPECT_DOUBLE_EQ(ta, tb);
+}
+
+}  // namespace
+}  // namespace rofs::disk

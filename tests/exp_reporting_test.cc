@@ -1,0 +1,83 @@
+#include <algorithm>
+#include "exp/reporting.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/fixed_block_allocator.h"
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace rofs::exp {
+namespace {
+
+TEST(LayoutMapTest, EmptyDiskAllBlank) {
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(2));
+  alloc::FixedBlockAllocator allocator(disk.capacity_du(), 4);
+  fs::ReadOptimizedFs fs(&allocator, &disk);
+  const std::string map = LayoutAsciiMap(fs, 20);
+  EXPECT_EQ(map, "|                    |");
+}
+
+TEST(LayoutMapTest, FrontPackedAllocationFillsLeftBuckets) {
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(2));
+  alloc::FixedBlockAllocator allocator(disk.capacity_du(), 4);
+  fs::ReadOptimizedFs fs(&allocator, &disk);
+  fs.set_io_enabled(false);
+  const fs::FileId id = fs.Create(KiB(4));
+  sim::TimeMs done = 0;
+  // Fill the first half of the disk.
+  ASSERT_TRUE(
+      fs.Extend(id, disk.capacity_du() / 2 * KiB(1), 0.0, &done).ok());
+  const std::string map = LayoutAsciiMap(fs, 10);
+  ASSERT_EQ(map.size(), 12u);
+  for (int i = 1; i <= 5; ++i) EXPECT_EQ(map[i], '#') << map;
+  for (int i = 7; i <= 10; ++i) EXPECT_EQ(map[i], ' ') << map;
+}
+
+TEST(LayoutMapTest, ClusteredPolicySpreadsDescriptorsAcrossRegions) {
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(8));
+  alloc::RestrictedBuddyAllocator allocator(disk.capacity_du(),
+                                            alloc::RestrictedBuddyConfig{});
+  fs::ReadOptimizedFs fs(&allocator, &disk);
+  fs.set_io_enabled(false);
+  sim::TimeMs done = 0;
+  // Many small files: the round-robin fd regions spread them out.
+  for (int i = 0; i < 400; ++i) {
+    const fs::FileId id = fs.Create(KiB(1));
+    ASSERT_TRUE(fs.Extend(id, KiB(64), 0.0, &done).ok());
+  }
+  const std::string map = LayoutAsciiMap(fs, 40);
+  // Occupancy is scattered: more than half of the buckets are non-empty.
+  int nonempty = 0;
+  for (char c : map) nonempty += c != ' ' && c != '|';
+  EXPECT_GT(nonempty, 20) << map;
+}
+
+TEST(LayoutMapTest, ZeroWidthIsEmpty) {
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(2));
+  alloc::FixedBlockAllocator allocator(disk.capacity_du(), 4);
+  fs::ReadOptimizedFs fs(&allocator, &disk);
+  EXPECT_EQ(LayoutAsciiMap(fs, 0), "");
+}
+
+TEST(TableTest, CsvRendering) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "x"});
+  table.AddRow({"2", "y"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,x\n2,y\n");
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, AlignedTextRendering) {
+  Table table({"name", "v"});
+  table.AddRow({"long-name-here", "1"});
+  const std::string out = table.ToString();
+  // Header, underline, one row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("long-name-here"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rofs::exp

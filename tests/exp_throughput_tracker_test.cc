@@ -1,0 +1,80 @@
+#include "exp/throughput_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace rofs::exp {
+namespace {
+
+TEST(ThroughputTrackerTest, CumulativeUtilization) {
+  // 10 bytes/ms max bandwidth, 10 ms samples.
+  ThroughputTracker t(10.0, 10.0, 0.1, 3);
+  t.Start(100.0);
+  t.Record(50, 105.0);
+  // 50 bytes over 5 ms of a 10 B/ms system: 100%... over 10ms: 50%.
+  EXPECT_DOUBLE_EQ(t.CumulativeUtilization(110.0), 0.5);
+  EXPECT_DOUBLE_EQ(t.CumulativeUtilization(120.0), 0.25);
+}
+
+TEST(ThroughputTrackerTest, StartResetsBytes) {
+  ThroughputTracker t(10.0, 10.0, 0.1, 3);
+  t.Record(1000, 5.0);
+  t.Start(100.0);
+  EXPECT_EQ(t.bytes_moved(), 0u);
+  EXPECT_DOUBLE_EQ(t.CumulativeUtilization(110.0), 0.0);
+}
+
+TEST(ThroughputTrackerTest, SampleScheduleAdvances) {
+  ThroughputTracker t(10.0, 10.0, 0.1, 3);
+  t.Start(0.0);
+  EXPECT_DOUBLE_EQ(t.NextSampleTime(), 10.0);
+  t.Sample(10.0);
+  EXPECT_DOUBLE_EQ(t.NextSampleTime(), 20.0);
+  EXPECT_EQ(t.samples().size(), 1u);
+}
+
+TEST(ThroughputTrackerTest, StabilizesWhenSamplesAgree) {
+  ThroughputTracker t(10.0, 10.0, /*tolerance_pp=*/1.0, 3);
+  t.Start(0.0);
+  // Constant 50% utilization.
+  for (int i = 1; i <= 2; ++i) {
+    t.Record(50, i * 10.0);
+    t.Sample(i * 10.0);
+    EXPECT_FALSE(t.Stabilized()) << "needs 3 samples";
+  }
+  t.Record(50, 30.0);
+  t.Sample(30.0);
+  EXPECT_TRUE(t.Stabilized());
+}
+
+TEST(ThroughputTrackerTest, DoesNotStabilizeWhileMoving) {
+  ThroughputTracker t(10.0, 10.0, 0.5, 3);
+  t.Start(0.0);
+  // Ramp: each interval doubles the cumulative byte count.
+  uint64_t batch = 100;
+  for (int i = 1; i <= 5; ++i) {
+    t.Record(batch, i * 10.0);
+    t.Sample(i * 10.0);
+    batch *= 2;
+  }
+  EXPECT_FALSE(t.Stabilized());
+}
+
+TEST(ThroughputTrackerTest, ToleranceIsAbsolutePercentagePoints) {
+  // 0.1 pp tolerance: samples 50.00%, 50.05%, 50.09% stabilize; adding
+  // 51% breaks it.
+  ThroughputTracker t(100.0, 10.0, 0.1, 3);
+  t.Start(0.0);
+  t.Record(500, 10.0);
+  t.Sample(10.0);  // 500/1000 = 50.00%
+  t.Record(501, 20.0);
+  t.Sample(20.0);  // 1001/2000 = 50.05%
+  t.Record(500, 30.0);
+  t.Sample(30.0);  // 1501/3000 = 50.03%
+  EXPECT_TRUE(t.Stabilized());
+  t.Record(2000, 40.0);
+  t.Sample(40.0);  // 3502/4000 = 87.6%
+  EXPECT_FALSE(t.Stabilized());
+}
+
+}  // namespace
+}  // namespace rofs::exp

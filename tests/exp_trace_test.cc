@@ -1,0 +1,143 @@
+#include "exp/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "fs/read_optimized_fs.h"
+#include "util/units.h"
+#include "workload/workloads.h"
+
+namespace rofs::exp {
+namespace {
+
+workload::OpRecord MakeRecord(double issued, double completed, size_t type,
+                              workload::OpKind op, uint64_t bytes) {
+  return workload::OpRecord{issued, completed, type, op, 0, bytes};
+}
+
+TEST(OpTraceTest, RecordsInOrder) {
+  OpTrace trace(100);
+  trace.Record(MakeRecord(1, 2, 0, workload::OpKind::kRead, 10));
+  trace.Record(MakeRecord(3, 4, 0, workload::OpKind::kWrite, 20));
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.total_recorded(), 2u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(OpTraceTest, RingDropsOldest) {
+  OpTrace trace(3);
+  for (int i = 0; i < 5; ++i) {
+    trace.Record(MakeRecord(i, i + 1, 0, workload::OpKind::kRead, i));
+  }
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.total_recorded(), 5u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  workload::WorkloadSpec w;
+  workload::FileTypeSpec t;
+  t.name = "t";
+  w.types.push_back(t);
+  const std::string csv = trace.ToCsv(w);
+  // Oldest surviving record is issued at 2 (0 and 1 dropped), and order
+  // is preserved.
+  const size_t first_row = csv.find('\n') + 1;
+  EXPECT_EQ(csv.substr(first_row, 6), "2.000,");
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3.
+}
+
+TEST(OpTraceTest, CsvColumns) {
+  OpTrace trace(10);
+  trace.Record(MakeRecord(1.5, 3.25, 0, workload::OpKind::kExtend, 4096));
+  workload::WorkloadSpec w = workload::MakeTimeSharing();
+  const std::string csv = trace.ToCsv(w);
+  EXPECT_NE(csv.find("issued_ms,completed_ms,latency_ms,type,op,file,bytes"),
+            std::string::npos);
+  EXPECT_NE(csv.find("1.500,3.250,1.750,ts-small,extend,0,4096"),
+            std::string::npos);
+}
+
+TEST(OpTraceTest, AttachCapturesLiveOperations) {
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(2));
+  alloc::RestrictedBuddyAllocator allocator(disk.capacity_du(),
+                                            alloc::RestrictedBuddyConfig{});
+  fs::ReadOptimizedFs fs(&allocator, &disk);
+  sim::EventQueue queue;
+  workload::WorkloadSpec w;
+  workload::FileTypeSpec t;
+  t.name = "t";
+  t.num_files = 10;
+  t.num_users = 2;
+  t.process_time_ms = 10;
+  t.initial_bytes_mean = KiB(64);
+  w.types.push_back(t);
+  workload::OpGeneratorOptions opts;
+  workload::OpGenerator gen(&w, &fs, &queue, opts);
+  ASSERT_TRUE(gen.CreateInitialFiles().ok());
+  OpTrace trace(1000);
+  trace.Attach(&gen);
+  gen.ScheduleUserStreams();
+  queue.RunUntil(2000);
+  EXPECT_GT(trace.size(), 10u);
+  EXPECT_EQ(trace.total_recorded(), gen.ops_executed());
+  for (const auto& r : trace.records()) {
+    EXPECT_GE(r.completed, r.issued);
+    EXPECT_EQ(r.type_index, 0u);
+  }
+}
+
+TEST(OpTraceTest, WriteCsvRoundTrip) {
+  OpTrace trace(10);
+  trace.Record(MakeRecord(1, 2, 0, workload::OpKind::kRead, 8));
+  workload::WorkloadSpec w;
+  workload::FileTypeSpec t;
+  t.name = "x";
+  w.types.push_back(t);
+  const std::string path = ::testing::TempDir() + "/rofs_trace_test.csv";
+  ASSERT_TRUE(trace.WriteCsv(path, w).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, trace.ToCsv(w));
+}
+
+TEST(OpStatsTest, PerTypePerOpAccounting) {
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(2));
+  alloc::RestrictedBuddyAllocator allocator(disk.capacity_du(),
+                                            alloc::RestrictedBuddyConfig{});
+  fs::ReadOptimizedFs fs(&allocator, &disk);
+  sim::EventQueue queue;
+  workload::WorkloadSpec w;
+  workload::FileTypeSpec t;
+  t.name = "t";
+  t.num_files = 5;
+  t.num_users = 2;
+  t.process_time_ms = 10;
+  t.initial_bytes_mean = KiB(64);
+  t.read_ratio = 1.0;  // Only reads.
+  t.write_ratio = 0.0;
+  t.extend_ratio = 0.0;
+  w.types.push_back(t);
+  workload::OpGeneratorOptions opts;
+  workload::OpGenerator gen(&w, &fs, &queue, opts);
+  ASSERT_TRUE(gen.CreateInitialFiles().ok());
+  gen.ScheduleUserStreams();
+  queue.RunUntil(2000);
+  const workload::OpStats& reads =
+      gen.stats_for(0, workload::OpKind::kRead);
+  EXPECT_EQ(reads.count, gen.ops_executed());
+  EXPECT_GT(reads.bytes, 0u);
+  EXPECT_GT(reads.latency_ms.Mean(), 0.0);
+  EXPECT_EQ(gen.stats_for(0, workload::OpKind::kWrite).count, 0u);
+  // The report mentions the type and op.
+  const std::string report = gen.StatsReport();
+  EXPECT_NE(report.find("read"), std::string::npos);
+  EXPECT_EQ(report.find("write"), std::string::npos);
+  gen.ResetStats();
+  EXPECT_EQ(gen.stats_for(0, workload::OpKind::kRead).count, 0u);
+}
+
+}  // namespace
+}  // namespace rofs::exp

@@ -1,0 +1,188 @@
+#include "fs/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "fs/read_optimized_fs.h"
+#include "util/units.h"
+
+namespace rofs::fs {
+namespace {
+
+TEST(BufferCacheTest, MissThenHit) {
+  BufferCache cache(4, 8);
+  EXPECT_FALSE(cache.Touch(10));
+  cache.Insert(10);
+  EXPECT_TRUE(cache.Touch(10));
+  EXPECT_TRUE(cache.Touch(15));  // Same 8-unit page as 10.
+  EXPECT_FALSE(cache.Touch(16));  // Next page.
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(BufferCacheTest, LruEviction) {
+  BufferCache cache(2, 1);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Insert(3);  // Evicts 1.
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Touch(1));
+  EXPECT_TRUE(cache.Touch(2));
+  EXPECT_TRUE(cache.Touch(3));
+  // Touch 2 -> MRU; inserting 4 evicts 3.
+  cache.Touch(2);
+  cache.Insert(4);
+  EXPECT_FALSE(cache.Touch(3));
+  EXPECT_TRUE(cache.Touch(2));
+}
+
+TEST(BufferCacheTest, RangeOperations) {
+  BufferCache cache(16, 8);
+  EXPECT_FALSE(cache.CoversRange(0, 64));
+  cache.InsertRange(0, 64);  // Pages 0..7.
+  EXPECT_TRUE(cache.CoversRange(0, 64));
+  EXPECT_TRUE(cache.CoversRange(5, 20));
+  EXPECT_FALSE(cache.CoversRange(60, 10));  // Page 8 not resident.
+  cache.InvalidateRange(16, 8);  // Page 2.
+  EXPECT_FALSE(cache.CoversRange(16, 1));
+  EXPECT_TRUE(cache.CoversRange(0, 16));
+  EXPECT_TRUE(cache.CoversRange(24, 40));
+}
+
+TEST(BufferCacheTest, HugeInvalidationSweepsCache) {
+  BufferCache cache(8, 1);
+  for (uint64_t i = 0; i < 8; ++i) cache.Insert(i * 100);
+  cache.InvalidateRange(0, 1'000'000);
+  EXPECT_EQ(cache.size_pages(), 0u);
+}
+
+class CachedFsTest : public ::testing::Test {
+ protected:
+  CachedFsTest()
+      : disk_(disk::DiskSystemConfig::Array(4)),
+        allocator_(disk_.capacity_du(), alloc::RestrictedBuddyConfig{}) {}
+
+  ReadOptimizedFs MakeFs(FsOptions options) {
+    return ReadOptimizedFs(&allocator_, &disk_, options);
+  }
+
+  disk::DiskSystem disk_;
+  alloc::RestrictedBuddyAllocator allocator_;
+};
+
+TEST_F(CachedFsTest, RepeatedReadHitsInMemory) {
+  FsOptions options;
+  options.cache_bytes = MiB(4);
+  // The 64K initial write bypasses the cache, so the first read is cold.
+  options.cache_bypass_bytes = KiB(16);
+  ReadOptimizedFs fs = MakeFs(options);
+  sim::TimeMs done = 0;
+  const FileId id = fs.Create(KiB(8));
+  ASSERT_TRUE(fs.Extend(id, KiB(64), 0.0, &done).ok());
+  const sim::TimeMs first = fs.Read(id, 0, KiB(8), done);
+  EXPECT_GT(first, done);
+  // Second read: fully cached, completes at arrival.
+  const sim::TimeMs second = fs.Read(id, 0, KiB(8), first);
+  EXPECT_EQ(second, first);
+  EXPECT_GT(fs.cache()->hits(), 0u);
+}
+
+TEST_F(CachedFsTest, WritesWithinBypassThresholdWarmTheCache) {
+  FsOptions options;
+  options.cache_bytes = MiB(4);
+  ReadOptimizedFs fs = MakeFs(options);
+  sim::TimeMs done = 0;
+  const FileId id = fs.Create(KiB(8));
+  // 64K <= default bypass (256K): the write itself caches the data, so
+  // the very first read is already served from memory.
+  ASSERT_TRUE(fs.Extend(id, KiB(64), 0.0, &done).ok());
+  EXPECT_EQ(fs.Read(id, 0, KiB(64), done), done);
+}
+
+TEST_F(CachedFsTest, LargeTransfersBypassTheCache) {
+  FsOptions options;
+  options.cache_bytes = MiB(64);
+  options.cache_bypass_bytes = KiB(256);
+  ReadOptimizedFs fs = MakeFs(options);
+  sim::TimeMs done = 0;
+  const FileId id = fs.Create(MiB(1));
+  ASSERT_TRUE(fs.Extend(id, MiB(8), 0.0, &done).ok());
+  const sim::TimeMs t1 = fs.Read(id, 0, MiB(8), done);
+  EXPECT_GT(t1, done);
+  // Still uncached: the scan did not pollute the cache.
+  EXPECT_EQ(fs.cache()->size_pages(), 0u);
+  const sim::TimeMs t2 = fs.Read(id, 0, MiB(8), t1);
+  EXPECT_GT(t2, t1);
+}
+
+TEST_F(CachedFsTest, DeleteInvalidatesSoNewOwnerMisses) {
+  FsOptions options;
+  options.cache_bytes = MiB(4);
+  // Writes bypass, so only explicit reads populate the cache.
+  options.cache_bypass_bytes = KiB(16);
+  ReadOptimizedFs fs = MakeFs(options);
+  sim::TimeMs done = 0;
+  const FileId a = fs.Create(KiB(8));
+  ASSERT_TRUE(fs.Extend(a, KiB(32), 0.0, &done).ok());
+  fs.Read(a, 0, KiB(8), done);      // Populate.
+  EXPECT_GT(fs.cache()->size_pages(), 0u);
+  fs.Delete(a);                     // Must invalidate.
+  EXPECT_EQ(fs.cache()->size_pages(), 0u);
+  const FileId b = fs.Create(KiB(8));
+  ASSERT_TRUE(fs.Extend(b, KiB(32), 0.0, &done).ok());
+  // b reuses a's space (restricted buddy reallocates the freed blocks);
+  // its first read must go to disk.
+  const sim::TimeMs t = fs.Read(b, 0, KiB(8), 1e9);
+  EXPECT_GT(t, 1e9);
+}
+
+TEST_F(CachedFsTest, TruncateInvalidatesFreedTail) {
+  FsOptions options;
+  options.cache_bytes = MiB(4);
+  ReadOptimizedFs fs = MakeFs(options);
+  sim::TimeMs done = 0;
+  const FileId a = fs.Create(KiB(1));
+  ASSERT_TRUE(fs.Extend(a, KiB(64), 0.0, &done).ok());
+  fs.Read(a, 0, KiB(64), done);
+  const size_t resident_before = fs.cache()->size_pages();
+  fs.Truncate(a, KiB(32));
+  EXPECT_LT(fs.cache()->size_pages(), resident_before);
+}
+
+TEST_F(CachedFsTest, MetadataReadCostsOneUnitThenCaches) {
+  FsOptions options;
+  options.cache_bytes = MiB(1);
+  options.model_metadata_io = true;
+  ReadOptimizedFs fs = MakeFs(options);
+  sim::TimeMs done = 0;
+  const FileId id = fs.Create(KiB(8));
+  EXPECT_EQ(fs.file(id).fd_alloc.allocated_du, 1u);
+  const uint64_t before_extend = disk_.logical_bytes_read();
+  ASSERT_TRUE(fs.Extend(id, KiB(8), 0.0, &done).ok());
+  // The extend paid one descriptor unit (a read) before its data write.
+  EXPECT_EQ(disk_.logical_bytes_read() - before_extend, KiB(1));
+  // Descriptor and data now hot: repeated reads are free.
+  const uint64_t again_before = disk_.logical_bytes_read();
+  fs.Read(id, 0, KiB(8), 1e9);
+  fs.Read(id, 0, KiB(8), 2e9);
+  EXPECT_EQ(disk_.logical_bytes_read() - again_before, 0u)
+      << "descriptor and data should both be cached";
+}
+
+TEST_F(CachedFsTest, MetadataWithoutCachePaysEveryTime) {
+  FsOptions options;
+  options.model_metadata_io = true;  // No cache.
+  ReadOptimizedFs fs = MakeFs(options);
+  sim::TimeMs done = 0;
+  const FileId id = fs.Create(KiB(8));
+  ASSERT_TRUE(fs.Extend(id, KiB(8), 0.0, &done).ok());
+  const uint64_t before = disk_.logical_bytes_read();
+  fs.Read(id, 0, KiB(8), 1e9);
+  fs.Read(id, 0, KiB(8), 2e9);
+  // Two descriptor units + two 8K data reads.
+  EXPECT_EQ(disk_.logical_bytes_read() - before, 2 * KiB(8) + 2 * KiB(1));
+}
+
+}  // namespace
+}  // namespace rofs::fs

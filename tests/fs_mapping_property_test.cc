@@ -1,0 +1,179 @@
+// Property tests for the logical-to-physical mapping of ReadOptimizedFs:
+// every byte of a file must map to exactly one disk unit, reads must touch
+// exactly the units that contain the requested range, and physically
+// adjacent extents must merge into single transfers.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc/extent_allocator.h"
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "fs/read_optimized_fs.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs::fs {
+namespace {
+
+class MappingPropertyTest : public ::testing::Test {
+ protected:
+  MappingPropertyTest()
+      : disk_(disk::DiskSystemConfig::Array(4)),
+        allocator_(disk_.capacity_du(),
+                   [] {
+                     alloc::ExtentAllocatorConfig cfg;
+                     cfg.range_means_du = {8, 64};
+                     cfg.seed = 3;
+                     return cfg;
+                   }()),
+        fs_(&allocator_, &disk_) {}
+
+  disk::DiskSystem disk_;
+  alloc::ExtentAllocator allocator_;
+  ReadOptimizedFs fs_;
+};
+
+// After arbitrary growth/truncation, the extent list must cover exactly
+// allocated_du units and the cumulative index must match.
+TEST_F(MappingPropertyTest, ExtentListCoversAllocation) {
+  Rng rng(8);
+  sim::TimeMs done = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const FileId id = fs_.Create(KiB(64));
+    for (int step = 0; step < 50; ++step) {
+      if (rng.Bernoulli(0.7)) {
+        ASSERT_TRUE(
+            fs_.Extend(id, rng.UniformInt(1, KiB(64)), 0.0, &done).ok());
+      } else {
+        fs_.Truncate(id, rng.UniformInt(1, KiB(32)));
+      }
+      const File& f = fs_.file(id);
+      uint64_t sum = 0;
+      for (const auto& e : f.alloc.extents) sum += e.length_du;
+      ASSERT_EQ(sum, f.alloc.allocated_du);
+      ASSERT_GE(f.alloc.allocated_du * fs_.disk_unit_bytes(),
+                f.logical_bytes);
+    }
+    fs_.Delete(id);
+  }
+}
+
+// Reads of random ranges transfer exactly the disk units covering the
+// byte range (verified against the per-disk byte counters).
+TEST_F(MappingPropertyTest, ReadTransfersExactlyCoveringUnits) {
+  Rng rng(9);
+  sim::TimeMs done = 0;
+  const FileId id = fs_.Create(KiB(64));
+  ASSERT_TRUE(fs_.Extend(id, MiB(2), 0.0, &done).ok());
+  const uint64_t du = fs_.disk_unit_bytes();
+  for (int trial = 0; trial < 200; ++trial) {
+    const uint64_t logical = fs_.file(id).logical_bytes;
+    const uint64_t offset = rng.UniformInt(0, logical - 1);
+    const uint64_t len = rng.UniformInt(1, logical - offset);
+    const uint64_t before = disk_.logical_bytes_read();
+    fs_.Read(id, offset, len, 1e9);
+    const uint64_t moved = disk_.logical_bytes_read() - before;
+    const uint64_t first_du = offset / du;
+    const uint64_t last_du = (offset + len - 1) / du;
+    ASSERT_EQ(moved, (last_du - first_du + 1) * du)
+        << "offset=" << offset << " len=" << len;
+  }
+}
+
+// A file allocated contiguously must read as one merged transfer with at
+// most one positioning per disk, no matter how many extents it has.
+TEST_F(MappingPropertyTest, ContiguousExtentsMergeIntoOneRun) {
+  // Restricted buddy on a fresh disk allocates contiguously.
+  disk::DiskSystem disk(disk::DiskSystemConfig::Array(4));
+  alloc::RestrictedBuddyAllocator rb(disk.capacity_du(),
+                                     alloc::RestrictedBuddyConfig{});
+  ReadOptimizedFs fs(&rb, &disk);
+  sim::TimeMs done = 0;
+  const FileId id = fs.Create(KiB(8));
+  // 72K stays within the contiguous growth prefix (8 x 1K + 8 x 8K); the
+  // first discontinuity only appears at the 64K level transition
+  // (Figure 3).
+  ASSERT_TRUE(fs.Extend(id, KiB(72), 0.0, &done).ok());
+  const File& f = fs.file(id);
+  ASSERT_EQ(f.alloc.extents.size(), 16u);
+  for (size_t i = 1; i < f.alloc.extents.size(); ++i) {
+    ASSERT_EQ(f.alloc.extents[i].start_du,
+              f.alloc.extents[i - 1].end_du());
+  }
+  disk.ResetStats();
+  fs.Read(id, 0, KiB(72), 1e9);
+  uint64_t accesses = 0;
+  for (uint32_t d = 0; d < disk.num_disks(); ++d) {
+    accesses += disk.disk(d).accesses();
+  }
+  // One merged 72-unit run covers at most four 24K stripe chunks (the
+  // run need not start stripe-aligned): one access per touched disk —
+  // far fewer than the 16 extents.
+  EXPECT_LE(accesses, 4u);
+  EXPECT_GE(accesses, 3u);
+}
+
+// Reading the whole file in one call and in many small calls transfers
+// the same total bytes.
+TEST_F(MappingPropertyTest, WholeVsPiecewiseReadsAgree) {
+  Rng rng(10);
+  sim::TimeMs done = 0;
+  const FileId id = fs_.Create(KiB(8));
+  ASSERT_TRUE(fs_.Extend(id, KB(777), 0.0, &done).ok());
+  const uint64_t logical = fs_.file(id).logical_bytes;
+
+  const uint64_t before_whole = disk_.logical_bytes_read();
+  fs_.Read(id, 0, logical, 1e9);
+  const uint64_t whole = disk_.logical_bytes_read() - before_whole;
+
+  const uint64_t du = fs_.disk_unit_bytes();
+  const uint64_t before_piecewise = disk_.logical_bytes_read();
+  for (uint64_t off = 0; off < logical; off += du) {
+    fs_.Read(id, off, std::min(du, logical - off), 1e9);
+  }
+  const uint64_t piecewise = disk_.logical_bytes_read() - before_piecewise;
+  EXPECT_EQ(whole, piecewise);
+}
+
+// Writes to a range never touch units outside the file's allocation.
+TEST_F(MappingPropertyTest, WritesStayInsideAllocation) {
+  sim::TimeMs done = 0;
+  const FileId a = fs_.Create(KiB(8));
+  const FileId b = fs_.Create(KiB(8));
+  ASSERT_TRUE(fs_.Extend(a, KiB(100), 0.0, &done).ok());
+  ASSERT_TRUE(fs_.Extend(b, KiB(100), 0.0, &done).ok());
+  // Build the set of units owned by b.
+  std::map<uint64_t, bool> owned_by_b;
+  for (const auto& e : fs_.file(b).alloc.extents) {
+    for (uint64_t u = e.start_du; u < e.end_du(); ++u) owned_by_b[u] = true;
+  }
+  // Verify disjointness with a (the allocator guarantees it; the mapping
+  // must preserve it).
+  for (const auto& e : fs_.file(a).alloc.extents) {
+    for (uint64_t u = e.start_du; u < e.end_du(); ++u) {
+      ASSERT_EQ(owned_by_b.count(u), 0u);
+    }
+  }
+}
+
+// Cursor-free sanity: reads at the tail clip correctly at every boundary
+// alignment.
+TEST_F(MappingPropertyTest, TailClippingBoundaryCases) {
+  sim::TimeMs done = 0;
+  const FileId id = fs_.Create(KiB(8));
+  ASSERT_TRUE(fs_.Extend(id, KiB(10), 0.0, &done).ok());
+  const uint64_t logical = fs_.file(id).logical_bytes;
+  // At exactly EOF, one before, one after.
+  EXPECT_EQ(fs_.Read(id, logical, 1, 5.0), 5.0);
+  EXPECT_GT(fs_.Read(id, logical - 1, 10, 5.0), 5.0);
+  EXPECT_EQ(fs_.Read(id, logical + 1, 10, 5.0), 5.0);
+  // Zero-length read is a no-op.
+  EXPECT_EQ(fs_.Read(id, 0, 0, 5.0), 5.0);
+}
+
+}  // namespace
+}  // namespace rofs::fs

@@ -1,0 +1,207 @@
+#include "fs/read_optimized_fs.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "alloc/extent_allocator.h"
+#include "alloc/fixed_block_allocator.h"
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "util/units.h"
+
+namespace rofs::fs {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  FsTest()
+      : disk_(disk::DiskSystemConfig::Array(8)),
+        allocator_(disk_.capacity_du(), alloc::RestrictedBuddyConfig{}),
+        fs_(&allocator_, &disk_) {}
+
+  disk::DiskSystem disk_;
+  alloc::RestrictedBuddyAllocator allocator_;
+  ReadOptimizedFs fs_;
+};
+
+TEST_F(FsTest, CreateRegistersEmptyFile) {
+  const FileId id = fs_.Create(MiB(1));
+  const File& f = fs_.file(id);
+  EXPECT_TRUE(f.exists);
+  EXPECT_EQ(f.logical_bytes, 0u);
+  EXPECT_EQ(f.alloc.allocated_du, 0u);
+  EXPECT_EQ(f.alloc.pref_extent_du, 1024u);
+}
+
+TEST_F(FsTest, ExtendGrowsLogicalAndAllocated) {
+  const FileId id = fs_.Create(KiB(8));
+  sim::TimeMs done = 0;
+  ASSERT_TRUE(fs_.Extend(id, KiB(10), 0.0, &done).ok());
+  const File& f = fs_.file(id);
+  EXPECT_EQ(f.logical_bytes, KiB(10));
+  EXPECT_GE(f.alloc.allocated_du * fs_.disk_unit_bytes(), KiB(10));
+  EXPECT_GT(done, 0.0);  // The new bytes were written to disk.
+  EXPECT_EQ(fs_.total_logical_bytes(), KiB(10));
+}
+
+TEST_F(FsTest, ReadsClipToLogicalSize) {
+  const FileId id = fs_.Create(KiB(8));
+  sim::TimeMs done = 0;
+  ASSERT_TRUE(fs_.Extend(id, KiB(8), 0.0, &done).ok());
+  // Read starting beyond EOF: no I/O, completes at arrival.
+  EXPECT_EQ(fs_.Read(id, KiB(16), KiB(4), 100.0), 100.0);
+  // Read overlapping EOF: transfers the valid prefix only.
+  const uint64_t before = disk_.logical_bytes_read();
+  fs_.Read(id, KiB(4), KiB(64), 100.0);
+  EXPECT_EQ(disk_.logical_bytes_read() - before, KiB(4));
+}
+
+TEST_F(FsTest, WholeFileReadMergesContiguousExtents) {
+  const FileId id = fs_.Create(KiB(1));
+  sim::TimeMs done = 0;
+  ASSERT_TRUE(fs_.Extend(id, KiB(8), 0.0, &done).ok());
+  // Eight 1K blocks allocated contiguously -> one merged physical run ->
+  // a read costs one positioning, not eight.
+  const File& f = fs_.file(id);
+  ASSERT_EQ(f.alloc.extents.size(), 8u);
+  const uint64_t seeks_before = disk_.total_seeks();
+  fs_.Read(id, 0, KiB(8), 10'000.0);
+  const uint64_t seeks = disk_.total_seeks() - seeks_before;
+  EXPECT_LE(seeks, 1u);
+}
+
+TEST_F(FsTest, TruncateShrinksAndFreesBlocks) {
+  const FileId id = fs_.Create(KiB(1));
+  sim::TimeMs done = 0;
+  ASSERT_TRUE(fs_.Extend(id, KiB(64), 0.0, &done).ok());
+  const uint64_t allocated_before = fs_.file(id).alloc.allocated_du;
+  const uint64_t removed = fs_.Truncate(id, KiB(16));
+  EXPECT_EQ(removed, KiB(16));
+  EXPECT_EQ(fs_.file(id).logical_bytes, KiB(48));
+  EXPECT_LT(fs_.file(id).alloc.allocated_du, allocated_before);
+  EXPECT_GE(fs_.file(id).alloc.allocated_du * fs_.disk_unit_bytes(),
+            KiB(48));
+}
+
+TEST_F(FsTest, TruncateBeyondSizeEmptiesFile) {
+  const FileId id = fs_.Create(KiB(1));
+  sim::TimeMs done = 0;
+  ASSERT_TRUE(fs_.Extend(id, KiB(4), 0.0, &done).ok());
+  const uint64_t removed = fs_.Truncate(id, KiB(100));
+  EXPECT_EQ(removed, KiB(4));
+  EXPECT_EQ(fs_.file(id).logical_bytes, 0u);
+  EXPECT_EQ(fs_.file(id).alloc.allocated_du, 0u);
+}
+
+TEST_F(FsTest, DeleteAndRecreateReusesSlot) {
+  const FileId id = fs_.Create(KiB(8));
+  sim::TimeMs done = 0;
+  ASSERT_TRUE(fs_.Extend(id, KiB(24), 0.0, &done).ok());
+  const uint64_t free_before = allocator_.free_du();
+  fs_.Delete(id);
+  EXPECT_FALSE(fs_.file(id).exists);
+  EXPECT_GT(allocator_.free_du(), free_before);
+  EXPECT_EQ(fs_.total_logical_bytes(), 0u);
+  fs_.Recreate(id);
+  EXPECT_TRUE(fs_.file(id).exists);
+  EXPECT_EQ(fs_.file(id).logical_bytes, 0u);
+}
+
+TEST_F(FsTest, InternalFragmentationReflectsBlockWaste) {
+  const FileId id = fs_.Create(KiB(1));
+  sim::TimeMs done = 0;
+  // 1 KB logical in a 1K block: no waste at the DU granularity.
+  ASSERT_TRUE(fs_.Extend(id, KiB(1), 0.0, &done).ok());
+  EXPECT_DOUBLE_EQ(fs_.InternalFragmentation(), 0.0);
+  // 512 bytes more: rounds to a whole disk unit.
+  ASSERT_TRUE(fs_.Extend(id, 512, 0.0, &done).ok());
+  EXPECT_GT(fs_.InternalFragmentation(), 0.0);
+  EXPECT_LT(fs_.InternalFragmentation(), 0.5);
+}
+
+TEST_F(FsTest, ExternalFragmentationIsFreeFraction) {
+  EXPECT_DOUBLE_EQ(fs_.ExternalFragmentation(), 1.0);
+  const FileId id = fs_.Create(KiB(1));
+  sim::TimeMs done = 0;
+  ASSERT_TRUE(
+      fs_.Extend(id, fs_.total_allocated_bytes() + MiB(100), 0.0, &done)
+          .ok());
+  EXPECT_LT(fs_.ExternalFragmentation(), 1.0);
+  EXPECT_NEAR(fs_.ExternalFragmentation(), 1.0 - fs_.SpaceUtilization(),
+              1e-12);
+}
+
+TEST_F(FsTest, AverageExtentsPerFileCountsNonEmptyFiles) {
+  EXPECT_DOUBLE_EQ(fs_.AverageExtentsPerFile(), 0.0);
+  const FileId a = fs_.Create(KiB(1));
+  const FileId b = fs_.Create(KiB(1));
+  fs_.Create(KiB(1));  // Stays empty; not counted.
+  sim::TimeMs done = 0;
+  ASSERT_TRUE(fs_.Extend(a, KiB(2), 0.0, &done).ok());  // 2 extents.
+  ASSERT_TRUE(fs_.Extend(b, KiB(4), 0.0, &done).ok());  // 4 extents.
+  EXPECT_DOUBLE_EQ(fs_.AverageExtentsPerFile(), 3.0);
+}
+
+TEST_F(FsTest, IoDisabledCompletesInstantly) {
+  fs_.set_io_enabled(false);
+  const FileId id = fs_.Create(KiB(8));
+  sim::TimeMs done = 0;
+  ASSERT_TRUE(fs_.Extend(id, MiB(1), 0.0, &done).ok());
+  EXPECT_EQ(done, 0.0);
+  EXPECT_EQ(fs_.Read(id, 0, MiB(1), 55.0), 55.0);
+  fs_.set_io_enabled(true);
+  EXPECT_GT(fs_.Read(id, 0, MiB(1), 55.0), 55.0);
+}
+
+TEST_F(FsTest, PartialExtendOnDiskFullKeepsAccounting) {
+  // A tiny dedicated system that will fill.
+  disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(1);
+  disk::DiskSystem small_disk(cfg);
+  alloc::FixedBlockAllocator small_alloc(1000, 4);
+  ReadOptimizedFs small_fs(&small_alloc, &small_disk);
+  const FileId id = small_fs.Create(KiB(4));
+  sim::TimeMs done = 0;
+  const Status s = small_fs.Extend(id, MiB(400), 0.0, &done);
+  EXPECT_TRUE(s.IsResourceExhausted());
+  // The file keeps the partial allocation; logical tracks what fit.
+  EXPECT_EQ(small_fs.file(id).alloc.allocated_du, 1000u);
+  EXPECT_EQ(small_fs.file(id).logical_bytes, 1000u * KiB(1));
+  EXPECT_EQ(small_alloc.free_du(), 0u);
+}
+
+// Sequential whole-file read through a *scattered* fixed-block file must
+// produce many runs (one per block) rather than one.
+TEST(FsScatterTest, ScatteredFileCostsManySeeks) {
+  disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(8);
+  disk::DiskSystem disk(cfg);
+  alloc::FixedBlockAllocator allocator(disk.capacity_du(), 4);
+  ReadOptimizedFs fs(&allocator, &disk);
+
+  // Interleaved growth scatters each file's blocks (V7 aging): grow the
+  // probe file 4K at a time while 15 other files also grow.
+  sim::TimeMs done = 0;
+  const FileId f = fs.Create(KiB(4));
+  std::vector<FileId> others;
+  for (int i = 0; i < 15; ++i) others.push_back(fs.Create(KiB(4)));
+  for (int round = 0; round < 64; ++round) {
+    ASSERT_TRUE(fs.Extend(f, KiB(4), 0.0, &done).ok());
+    for (FileId o : others) ASSERT_TRUE(fs.Extend(o, KiB(4), 0.0, &done).ok());
+  }
+  disk.ResetStats();
+  const sim::TimeMs scattered = fs.Read(f, 0, KiB(256), 1e9) - 1e9;
+
+  // Baseline: the same read from a contiguous file on a fresh system.
+  disk::DiskSystem disk2(cfg);
+  alloc::FixedBlockAllocator allocator2(disk2.capacity_du(), 4);
+  ReadOptimizedFs fs2(&allocator2, &disk2);
+  const FileId c = fs2.Create(KiB(4));
+  ASSERT_TRUE(fs2.Extend(c, KiB(256), 0.0, &done).ok());
+  const sim::TimeMs contiguous = fs2.Read(c, 0, KiB(256), 1e9) - 1e9;
+
+  // Every scattered block pays its own positioning: much slower.
+  EXPECT_GT(scattered, 3.0 * contiguous);
+}
+
+}  // namespace
+}  // namespace rofs::fs

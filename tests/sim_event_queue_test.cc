@@ -1,0 +1,124 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rofs::sim {
+namespace {
+
+TEST(EventQueueTest, DispatchesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  q.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30.0);
+  EXPECT_EQ(q.dispatched(), 3u);
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ClockAdvancesMonotonically) {
+  EventQueue q;
+  double last = -1.0;
+  for (double t : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    q.Schedule(t, [&q, &last] {
+      EXPECT_GE(q.now(), last);
+      last = q.now();
+    });
+  }
+  q.Run();
+}
+
+TEST(EventQueueTest, PastEventsClampToNow) {
+  EventQueue q;
+  double seen = -1.0;
+  q.Schedule(10, [&] {
+    // Scheduling in the past runs at the current time, not before it.
+    q.Schedule(5, [&] { seen = q.now(); });
+  });
+  q.Run();
+  EXPECT_EQ(seen, 10.0);
+}
+
+TEST(EventQueueTest, EventsScheduledDuringDispatchRun) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) q.ScheduleAfter(1.0, chain);
+  };
+  q.Schedule(0, chain);
+  q.Run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(q.now(), 99.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.Schedule(i * 10.0, [&] { ++count; });
+  }
+  const uint64_t n = q.RunUntil(50.0);
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.size(), 5u);
+  q.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueueTest, StopBreaksRun) {
+  EventQueue q;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    q.Schedule(i, [&] {
+      if (++count == 3) q.Stop();
+    });
+  }
+  q.Run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(q.size(), 7u);
+  // A subsequent Run resumes.
+  q.Run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueueTest, RunNextOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunNext());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, HeapStressOrdering) {
+  EventQueue q;
+  // A deterministic pseudo-random insertion order must still dispatch
+  // sorted.
+  uint64_t x = 88172645463325252ull;
+  std::vector<double> dispatched;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const double t = static_cast<double>(x % 100000);
+    q.Schedule(t, [&dispatched, &q] { dispatched.push_back(q.now()); });
+  }
+  q.Run();
+  ASSERT_EQ(dispatched.size(), 5000u);
+  for (size_t i = 1; i < dispatched.size(); ++i) {
+    EXPECT_LE(dispatched[i - 1], dispatched[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rofs::sim

@@ -1,0 +1,122 @@
+#include "util/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rofs {
+namespace {
+
+TEST(BitmapTest, StartsClear) {
+  Bitmap bm(100);
+  EXPECT_EQ(bm.size(), 100u);
+  EXPECT_EQ(bm.CountSet(), 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(bm.Test(i));
+}
+
+TEST(BitmapTest, SetClearTest) {
+  Bitmap bm(130);
+  bm.Set(0);
+  bm.Set(63);
+  bm.Set(64);
+  bm.Set(129);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(63));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(129));
+  EXPECT_EQ(bm.CountSet(), 4u);
+  bm.Clear(63);
+  EXPECT_FALSE(bm.Test(63));
+  EXPECT_EQ(bm.CountSet(), 3u);
+}
+
+TEST(BitmapTest, FindFirstClearSkipsSetPrefix) {
+  Bitmap bm(200);
+  for (size_t i = 0; i < 70; ++i) bm.Set(i);
+  auto hit = bm.FindFirstClear();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 70u);
+  hit = bm.FindFirstClear(100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 100u);
+}
+
+TEST(BitmapTest, FindFirstClearFullMap) {
+  Bitmap bm(65);
+  for (size_t i = 0; i < 65; ++i) bm.Set(i);
+  EXPECT_FALSE(bm.FindFirstClear().has_value());
+}
+
+TEST(BitmapTest, FindFirstClearIgnoresPaddingBits) {
+  // Bits beyond size() live in the last word but must never be reported.
+  Bitmap bm(3);
+  bm.Set(0);
+  bm.Set(1);
+  bm.Set(2);
+  EXPECT_FALSE(bm.FindFirstClear().has_value());
+}
+
+TEST(BitmapTest, FindFirstSet) {
+  Bitmap bm(200);
+  bm.Set(77);
+  bm.Set(150);
+  auto hit = bm.FindFirstSet();
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 77u);
+  hit = bm.FindFirstSet(78);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 150u);
+  EXPECT_FALSE(bm.FindFirstSet(151).has_value());
+}
+
+TEST(BitmapTest, FindFirstClearCircularWraps) {
+  Bitmap bm(10);
+  for (size_t i = 3; i < 10; ++i) bm.Set(i);
+  auto hit = bm.FindFirstClearCircular(5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0u);
+  bm.Set(0);
+  bm.Set(1);
+  bm.Set(2);
+  EXPECT_FALSE(bm.FindFirstClearCircular(5).has_value());
+}
+
+TEST(BitmapTest, RandomizedAgainstReferenceModel) {
+  Rng rng(11);
+  constexpr size_t kBits = 517;
+  Bitmap bm(kBits);
+  std::vector<bool> model(kBits, false);
+  for (int step = 0; step < 20'000; ++step) {
+    const size_t i = rng.UniformInt(0, kBits - 1);
+    if (rng.Bernoulli(0.5)) {
+      bm.Set(i);
+      model[i] = true;
+    } else {
+      bm.Clear(i);
+      model[i] = false;
+    }
+    if (step % 500 == 0) {
+      size_t expected_set = 0;
+      for (bool b : model) expected_set += b;
+      EXPECT_EQ(bm.CountSet(), expected_set);
+      const size_t from = rng.UniformInt(0, kBits - 1);
+      auto clear_hit = bm.FindFirstClear(from);
+      size_t expect = kBits;
+      for (size_t j = from; j < kBits; ++j) {
+        if (!model[j]) {
+          expect = j;
+          break;
+        }
+      }
+      if (expect == kBits) {
+        EXPECT_FALSE(clear_hit.has_value());
+      } else {
+        ASSERT_TRUE(clear_hit.has_value());
+        EXPECT_EQ(*clear_hit, expect);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rofs

@@ -1,0 +1,76 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace rofs {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.StdDev(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 5.0);
+  EXPECT_NEAR(h.StdDev(), 2.0, 1e-9);
+  EXPECT_EQ(h.min(), 2.0);
+  EXPECT_EQ(h.max(), 9.0);
+}
+
+TEST(HistogramTest, PercentilesMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(static_cast<double>(i));
+  const double p10 = h.Percentile(10);
+  const double p50 = h.Percentile(50);
+  const double p99 = h.Percentile(99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  // Log-bucketed estimates: generous bounds.
+  EXPECT_NEAR(p50, 500, 150);
+  EXPECT_GT(p99, 800);
+}
+
+TEST(HistogramTest, MergeEqualsCombined) {
+  Histogram a, b, combined;
+  for (int i = 0; i < 100; ++i) {
+    const double v = i * 0.5;
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.Mean(), combined.Mean());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(3.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ToStringMentionsCount) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(2.0);
+  EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rofs

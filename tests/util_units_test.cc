@@ -1,0 +1,59 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace rofs {
+namespace {
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(KiB(8), 8192u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(GiB(2), 2147483648u);
+}
+
+TEST(UnitsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ull << 40));
+  EXPECT_FALSE(IsPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(UnitsTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(UnitsTest, Rounding) {
+  EXPECT_EQ(RoundUp(0, 8), 0u);
+  EXPECT_EQ(RoundUp(1, 8), 8u);
+  EXPECT_EQ(RoundUp(8, 8), 8u);
+  EXPECT_EQ(RoundUp(9, 8), 16u);
+  EXPECT_EQ(RoundDown(9, 8), 8u);
+  EXPECT_EQ(RoundDown(7, 8), 0u);
+  EXPECT_EQ(CeilDiv(9, 8), 2u);
+  EXPECT_EQ(CeilDiv(8, 8), 1u);
+  EXPECT_EQ(CeilDiv(0, 8), 0u);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(KiB(8)), "8K");
+  EXPECT_EQ(FormatBytes(MiB(16)), "16M");
+  EXPECT_EQ(FormatBytes(MiB(1) + KiB(512)), "1.50M");
+  EXPECT_EQ(FormatBytes(GiB(2)), "2G");
+}
+
+TEST(UnitsTest, FormatMillis) {
+  EXPECT_EQ(FormatMillis(5.5), "5.50ms");
+  EXPECT_EQ(FormatMillis(12'000.0), "12.0s");
+}
+
+}  // namespace
+}  // namespace rofs

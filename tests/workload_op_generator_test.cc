@@ -1,0 +1,226 @@
+#include "workload/op_generator.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "fs/read_optimized_fs.h"
+#include "util/units.h"
+#include "workload/workloads.h"
+
+namespace rofs::workload {
+namespace {
+
+// A small two-type workload that exercises every op cheaply.
+WorkloadSpec TinyWorkload() {
+  WorkloadSpec w;
+  w.name = "tiny";
+  FileTypeSpec a;
+  a.name = "a";
+  a.num_files = 50;
+  a.num_users = 4;
+  a.process_time_ms = 10;
+  a.hit_frequency_ms = 10;
+  a.rw_bytes_mean = KiB(8);
+  a.initial_bytes_mean = KiB(32);
+  a.initial_bytes_dev = KiB(8);
+  a.read_ratio = 0.5;
+  a.write_ratio = 0.2;
+  a.extend_ratio = 0.2;
+  a.delete_ratio = 0.5;
+  w.types.push_back(a);
+  FileTypeSpec b = a;
+  b.name = "b";
+  b.num_files = 5;
+  b.initial_bytes_mean = MiB(1);
+  b.initial_bytes_dev = 0;
+  b.access = AccessPattern::kRandom;
+  w.types.push_back(b);
+  return w;
+}
+
+class OpGeneratorTest : public ::testing::Test {
+ protected:
+  OpGeneratorTest()
+      : disk_(disk::DiskSystemConfig::Array(2)),
+        allocator_(disk_.capacity_du(), alloc::RestrictedBuddyConfig{}),
+        fs_(&allocator_, &disk_),
+        workload_(TinyWorkload()) {}
+
+  std::unique_ptr<OpGenerator> MakeGen(OpMode mode) {
+    OpGeneratorOptions opts;
+    opts.mode = mode;
+    opts.seed = 99;
+    return std::make_unique<OpGenerator>(&workload_, &fs_, &queue_, opts);
+  }
+
+  disk::DiskSystem disk_;
+  alloc::RestrictedBuddyAllocator allocator_;
+  fs::ReadOptimizedFs fs_;
+  sim::EventQueue queue_;
+  WorkloadSpec workload_;
+};
+
+TEST_F(OpGeneratorTest, CreateInitialFilesMakesAllFiles) {
+  auto gen = MakeGen(OpMode::kApplication);
+  ASSERT_TRUE(gen->CreateInitialFiles().ok());
+  EXPECT_EQ(fs_.num_files(), 55u);
+  EXPECT_EQ(gen->files_of_type(0).size(), 50u);
+  EXPECT_EQ(gen->files_of_type(1).size(), 5u);
+  // Sizes within the initial distributions.
+  for (fs::FileId id : gen->files_of_type(0)) {
+    EXPECT_GE(fs_.file(id).logical_bytes, KiB(24));
+    EXPECT_LE(fs_.file(id).logical_bytes, KiB(40));
+  }
+  for (fs::FileId id : gen->files_of_type(1)) {
+    EXPECT_EQ(fs_.file(id).logical_bytes, MiB(1));
+  }
+}
+
+TEST_F(OpGeneratorTest, SchedulesOneEventPerUser) {
+  auto gen = MakeGen(OpMode::kApplication);
+  ASSERT_TRUE(gen->CreateInitialFiles().ok());
+  gen->ScheduleUserStreams();
+  EXPECT_EQ(queue_.size(), 8u);  // 4 + 4 users.
+}
+
+TEST_F(OpGeneratorTest, EventsPerpetuateAndExecuteOps) {
+  auto gen = MakeGen(OpMode::kApplication);
+  ASSERT_TRUE(gen->CreateInitialFiles().ok());
+  gen->ScheduleUserStreams();
+  queue_.RunUntil(5'000);
+  EXPECT_GT(gen->ops_executed(), 20u);
+  EXPECT_FALSE(queue_.empty());
+  EXPECT_GT(gen->op_latency_ms().count(), 0u);
+}
+
+TEST_F(OpGeneratorTest, DeterministicAcrossRuns) {
+  uint64_t ops1, ops2;
+  {
+    disk::DiskSystem disk(disk::DiskSystemConfig::Array(2));
+    alloc::RestrictedBuddyAllocator alloc2(disk.capacity_du(),
+                                           alloc::RestrictedBuddyConfig{});
+    fs::ReadOptimizedFs f(&alloc2, &disk);
+    sim::EventQueue q;
+    OpGeneratorOptions opts;
+    opts.seed = 5;
+    OpGenerator gen(&workload_, &f, &q, opts);
+    ASSERT_TRUE(gen.CreateInitialFiles().ok());
+    gen.ScheduleUserStreams();
+    q.RunUntil(3000);
+    ops1 = gen.ops_executed();
+  }
+  {
+    disk::DiskSystem disk(disk::DiskSystemConfig::Array(2));
+    alloc::RestrictedBuddyAllocator alloc2(disk.capacity_du(),
+                                           alloc::RestrictedBuddyConfig{});
+    fs::ReadOptimizedFs f(&alloc2, &disk);
+    sim::EventQueue q;
+    OpGeneratorOptions opts;
+    opts.seed = 5;
+    OpGenerator gen(&workload_, &f, &q, opts);
+    ASSERT_TRUE(gen.CreateInitialFiles().ok());
+    gen.ScheduleUserStreams();
+    q.RunUntil(3000);
+    ops2 = gen.ops_executed();
+  }
+  EXPECT_EQ(ops1, ops2);
+}
+
+TEST_F(OpGeneratorTest, AllocationModeDoesNoIo) {
+  auto gen = MakeGen(OpMode::kAllocation);
+  ASSERT_TRUE(gen->CreateInitialFiles().ok());
+  fs_.set_io_enabled(false);
+  gen->ScheduleUserStreams();
+  disk_.ResetStats();
+  queue_.RunUntil(5'000);
+  EXPECT_EQ(disk_.physical_bytes(), 0u);
+  EXPECT_GT(gen->ops_executed(), 0u);
+}
+
+TEST_F(OpGeneratorTest, UpperBoundConvertsExtendsToTruncates) {
+  auto gen = MakeGen(OpMode::kFill);
+  ASSERT_TRUE(gen->CreateInitialFiles().ok());
+  fs_.set_io_enabled(false);
+  // Force the bound below current utilization: every extend becomes a
+  // truncate, so utilization must fall monotonically.
+  gen->set_upper_bound_util(0.0);
+  gen->ScheduleUserStreams();
+  const double before = fs_.SpaceUtilization();
+  queue_.RunUntil(20'000);
+  EXPECT_LT(fs_.SpaceUtilization(), before);
+  EXPECT_EQ(gen->disk_full_count(), 0u);
+}
+
+TEST_F(OpGeneratorTest, FillModeRaisesUtilization) {
+  auto gen = MakeGen(OpMode::kFill);
+  ASSERT_TRUE(gen->CreateInitialFiles().ok());
+  fs_.set_io_enabled(false);
+  gen->set_upper_bound_util(0.95);
+  gen->ScheduleUserStreams();
+  const double before = fs_.SpaceUtilization();
+  queue_.RunUntil(200'000);
+  EXPECT_GT(fs_.SpaceUtilization(), before);
+}
+
+TEST_F(OpGeneratorTest, BytesMovedCallbackFiresAtCompletion) {
+  auto gen = MakeGen(OpMode::kApplication);
+  ASSERT_TRUE(gen->CreateInitialFiles().ok());
+  gen->ScheduleUserStreams();
+  uint64_t total_bytes = 0;
+  double last_time = 0;
+  gen->on_bytes_moved = [&](uint64_t bytes, sim::TimeMs done) {
+    total_bytes += bytes;
+    EXPECT_LE(done, queue_.now() + 1e-9)
+        << "bytes credited before completion";
+    last_time = done;
+  };
+  queue_.RunUntil(10'000);
+  EXPECT_GT(total_bytes, 0u);
+  EXPECT_GT(last_time, 0.0);
+}
+
+TEST_F(OpGeneratorTest, SequentialModeMovesWholeFiles) {
+  auto gen = MakeGen(OpMode::kSequential);
+  ASSERT_TRUE(gen->CreateInitialFiles().ok());
+  gen->ScheduleUserStreams();
+  uint64_t max_op_bytes = 0;
+  gen->on_bytes_moved = [&](uint64_t bytes, sim::TimeMs) {
+    max_op_bytes = std::max(max_op_bytes, bytes);
+  };
+  queue_.RunUntil(30'000);
+  // Whole-file transfers of the 1M type must appear.
+  EXPECT_EQ(max_op_bytes, MiB(1));
+}
+
+TEST_F(OpGeneratorTest, DiskFullCallbackStopsAllocationTest) {
+  // A small disk that the tiny workload can fill quickly.
+  disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(1);
+  cfg.disks[0].cylinders = 40;  // ~8.4 MB.
+  disk::DiskSystem disk(cfg);
+  alloc::RestrictedBuddyConfig rb;
+  rb.block_sizes_du = {1, 8, 64};
+  rb.clustered = false;
+  alloc::RestrictedBuddyAllocator allocator(disk.capacity_du(), rb);
+  fs::ReadOptimizedFs f(&allocator, &disk);
+  f.set_io_enabled(false);
+  sim::EventQueue q;
+  OpGeneratorOptions opts;
+  opts.mode = OpMode::kAllocation;
+  opts.upper_bound_util = 2.0;
+  OpGenerator gen(&workload_, &f, &q, opts);
+  // Initialization itself may fill this tiny disk.
+  const Status init = gen.CreateInitialFiles();
+  if (init.ok()) {
+    gen.on_disk_full = [&q] { q.Stop(); };
+    gen.ScheduleUserStreams();
+    q.RunUntil(1e12);
+  }
+  EXPECT_TRUE(gen.hit_disk_full());
+  EXPECT_GT(f.SpaceUtilization(), 0.9);
+}
+
+}  // namespace
+}  // namespace rofs::workload

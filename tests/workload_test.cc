@@ -1,0 +1,218 @@
+#include "workload/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace rofs::workload {
+namespace {
+
+TEST(FileTypeSpecTest, ValidateAcceptsDefaults) {
+  FileTypeSpec t;
+  t.name = "t";
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(FileTypeSpecTest, ValidateRejectsBadRatios) {
+  FileTypeSpec t;
+  t.name = "t";
+  t.read_ratio = 0.9;
+  t.write_ratio = 0.3;
+  EXPECT_FALSE(t.Validate().ok());
+  t.write_ratio = 0.05;
+  t.extend_ratio = -0.1;
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(FileTypeSpecTest, ValidateRejectsZeroCounts) {
+  FileTypeSpec t;
+  t.name = "t";
+  t.num_files = 0;
+  EXPECT_FALSE(t.Validate().ok());
+  t.num_files = 1;
+  t.num_users = 0;
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(FileTypeSpecTest, DeallocateRatioIsRemainder) {
+  FileTypeSpec t;
+  t.read_ratio = 0.6;
+  t.write_ratio = 0.15;
+  t.extend_ratio = 0.15;
+  EXPECT_NEAR(t.deallocate_ratio(), 0.10, 1e-12);
+}
+
+TEST(FileTypeSpecTest, InitialSizeUniformWithinDeviation) {
+  FileTypeSpec t;
+  t.initial_bytes_mean = KiB(8);
+  t.initial_bytes_dev = KiB(4);
+  Rng rng(1);
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const uint64_t v = t.DrawInitialBytes(rng);
+    EXPECT_GE(v, KiB(4));
+    EXPECT_LE(v, KiB(12));
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / 20'000, static_cast<double>(KiB(8)), KiB(8) * 0.02);
+}
+
+TEST(FileTypeSpecTest, OpMixMatchesRatios) {
+  FileTypeSpec t;
+  t.read_ratio = 0.60;
+  t.write_ratio = 0.15;
+  t.extend_ratio = 0.15;
+  t.delete_ratio = 0.50;
+  Rng rng(2);
+  int counts[5] = {0, 0, 0, 0, 0};
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<int>(t.DrawOp(rng))];
+  }
+  EXPECT_NEAR(counts[0] / double(kDraws), 0.60, 0.01);   // read
+  EXPECT_NEAR(counts[1] / double(kDraws), 0.15, 0.01);   // write
+  EXPECT_NEAR(counts[2] / double(kDraws), 0.15, 0.01);   // extend
+  EXPECT_NEAR(counts[3] / double(kDraws), 0.05, 0.005);  // truncate
+  EXPECT_NEAR(counts[4] / double(kDraws), 0.05, 0.005);  // delete
+}
+
+TEST(FileTypeSpecTest, AllocationMixExcludesReadsAndWrites) {
+  FileTypeSpec t;
+  t.read_ratio = 0.60;
+  t.write_ratio = 0.15;
+  t.extend_ratio = 0.15;
+  t.delete_ratio = 0.0;
+  Rng rng(3);
+  int counts[5] = {0, 0, 0, 0, 0};
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<int>(t.DrawAllocOp(rng))];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 0);
+  // extend : deallocate = 15 : 10 renormalized.
+  EXPECT_NEAR(counts[2] / double(kDraws), 0.6, 0.01);
+  EXPECT_NEAR(counts[3] / double(kDraws), 0.4, 0.01);
+}
+
+TEST(FileTypeSpecTest, SequentialMixOnlyReadsAndWrites) {
+  FileTypeSpec t;
+  t.read_ratio = 0.6;
+  t.write_ratio = 0.3;
+  t.extend_ratio = 0.05;
+  Rng rng(4);
+  int reads = 0, writes = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const OpKind op = t.DrawSequentialOp(rng);
+    ASSERT_TRUE(op == OpKind::kRead || op == OpKind::kWrite);
+    (op == OpKind::kRead ? reads : writes)++;
+  }
+  EXPECT_NEAR(reads / double(kDraws), 2.0 / 3.0, 0.01);
+  (void)writes;
+}
+
+TEST(WorkloadsTest, AllThreeValidate) {
+  for (WorkloadKind kind : AllWorkloadKinds()) {
+    const WorkloadSpec w = MakeWorkload(kind);
+    EXPECT_TRUE(w.Validate().ok()) << w.name;
+  }
+}
+
+TEST(WorkloadsTest, PaperFileSizes) {
+  const WorkloadSpec tp = MakeTransactionProcessing();
+  ASSERT_EQ(tp.types.size(), 3u);
+  EXPECT_EQ(tp.types[0].num_files, 10u);               // 10 relations
+  EXPECT_EQ(tp.types[0].initial_bytes_mean, MB(210));  // 210M (decimal)
+  EXPECT_EQ(tp.types[1].num_files, 5u);                // 5 app logs, 5M
+  EXPECT_EQ(tp.types[1].initial_bytes_mean, MB(5));
+  EXPECT_EQ(tp.types[2].num_files, 1u);                // 1 txn log, 10M
+  EXPECT_EQ(tp.types[2].initial_bytes_mean, MB(10));
+
+  const WorkloadSpec sc = MakeSuperComputer();
+  ASSERT_EQ(sc.types.size(), 3u);
+  EXPECT_EQ(sc.types[0].num_files, 1u);
+  EXPECT_EQ(sc.types[0].initial_bytes_mean, MB(500));
+  EXPECT_EQ(sc.types[1].num_files, 15u);
+  EXPECT_EQ(sc.types[1].initial_bytes_mean, MB(100));
+  EXPECT_EQ(sc.types[2].num_files, 10u);
+  EXPECT_EQ(sc.types[2].initial_bytes_mean, MB(10));
+}
+
+TEST(WorkloadsTest, PaperOpRatios) {
+  const WorkloadSpec tp = MakeTransactionProcessing();
+  // Relations: read 60%, write 30%, extend 7%, truncate 3%.
+  EXPECT_DOUBLE_EQ(tp.types[0].read_ratio, 0.60);
+  EXPECT_DOUBLE_EQ(tp.types[0].write_ratio, 0.30);
+  EXPECT_DOUBLE_EQ(tp.types[0].extend_ratio, 0.07);
+  EXPECT_NEAR(tp.types[0].deallocate_ratio(), 0.03, 1e-12);
+  // Logs: 93% / 94% extends.
+  EXPECT_DOUBLE_EQ(tp.types[1].extend_ratio, 0.93);
+  EXPECT_DOUBLE_EQ(tp.types[2].extend_ratio, 0.94);
+
+  const WorkloadSpec sc = MakeSuperComputer();
+  EXPECT_DOUBLE_EQ(sc.types[0].read_ratio, 0.60);
+  EXPECT_DOUBLE_EQ(sc.types[0].write_ratio, 0.30);
+  EXPECT_DOUBLE_EQ(sc.types[0].extend_ratio, 0.08);
+}
+
+TEST(WorkloadsTest, TsSmallFilesGetTwoThirdsOfRequests) {
+  const WorkloadSpec ts = MakeTimeSharing();
+  ASSERT_EQ(ts.types.size(), 2u);
+  const double small_rate =
+      ts.types[0].num_users / ts.types[0].process_time_ms;
+  const double large_rate =
+      ts.types[1].num_users / ts.types[1].process_time_ms;
+  EXPECT_NEAR(small_rate / (small_rate + large_rate), 2.0 / 3.0, 0.02);
+  EXPECT_EQ(ts.types[0].initial_bytes_mean, KB(8));
+  EXPECT_EQ(ts.types[1].initial_bytes_mean, KB(96));
+}
+
+TEST(WorkloadsTest, TsRandomAccessOnlyInTp) {
+  EXPECT_EQ(MakeTransactionProcessing().types[0].access,
+            AccessPattern::kRandom);
+  for (const auto& t : MakeTimeSharing().types) {
+    EXPECT_EQ(t.access, AccessPattern::kSequentialBurst);
+  }
+}
+
+TEST(WorkloadsTest, InitialBytesFitTheArrayWithHeadroom) {
+  const uint64_t capacity = 8ull * 1600 * 9 * 24 * 1024;
+  for (WorkloadKind kind : AllWorkloadKinds()) {
+    const WorkloadSpec w = MakeWorkload(kind);
+    const double frac =
+        static_cast<double>(w.TotalInitialBytes()) / capacity;
+    EXPECT_GT(frac, 0.55) << w.name;
+    EXPECT_LT(frac, 0.92) << w.name;  // Room for the fill phase.
+  }
+}
+
+TEST(ExtentRangesTest, PaperLadders) {
+  EXPECT_EQ(ExtentRangeMeansBytes(WorkloadKind::kTimeSharing, 1),
+            (std::vector<uint64_t>{KiB(4)}));
+  EXPECT_EQ(ExtentRangeMeansBytes(WorkloadKind::kTimeSharing, 5),
+            (std::vector<uint64_t>{KiB(1), KiB(4), KiB(8), KiB(16), MiB(1)}));
+  EXPECT_EQ(ExtentRangeMeansBytes(WorkloadKind::kSuperComputer, 2),
+            (std::vector<uint64_t>{KiB(512), MiB(16)}));
+  EXPECT_EQ(ExtentRangeMeansBytes(WorkloadKind::kTransactionProcessing, 5),
+            (std::vector<uint64_t>{KiB(10), KiB(512), MiB(1), MiB(10),
+                                   MiB(16)}));
+  // All ladders sorted ascending (required by the allocator).
+  for (auto kind : AllWorkloadKinds()) {
+    for (int n = 1; n <= 5; ++n) {
+      const auto v = ExtentRangeMeansBytes(kind, n);
+      EXPECT_EQ(v.size(), static_cast<size_t>(n));
+      EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    }
+  }
+}
+
+TEST(ExtentRangesTest, FixedBlockBaselineSizes) {
+  EXPECT_EQ(FixedBlockBytesFor(WorkloadKind::kTimeSharing), KiB(4));
+  EXPECT_EQ(FixedBlockBytesFor(WorkloadKind::kTransactionProcessing),
+            KiB(16));
+  EXPECT_EQ(FixedBlockBytesFor(WorkloadKind::kSuperComputer), KiB(16));
+}
+
+}  // namespace
+}  // namespace rofs::workload

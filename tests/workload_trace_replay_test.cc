@@ -1,0 +1,169 @@
+#include "workload/trace_replay.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/extent_allocator.h"
+#include "alloc/fixed_block_allocator.h"
+#include "alloc/restricted_buddy.h"
+#include "disk/disk_system.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace rofs::workload {
+namespace {
+
+TEST(TraceParseTest, ParsesWellFormedTrace) {
+  auto ops = TraceReplayer::Parse(R"(
+# a comment
+0,create,db,1048576
+5.5,read,db,8192,0
+9,extend,db,65536
+12,write,db,4096
+20,truncate,db,1024
+25,delete,db,0
+)");
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 6u);
+  EXPECT_DOUBLE_EQ((*ops)[1].time_ms, 5.5);
+  EXPECT_EQ((*ops)[1].op, "read");
+  EXPECT_EQ((*ops)[1].offset, 0u);
+  EXPECT_EQ((*ops)[3].offset, UINT64_MAX);  // Sequential cursor.
+}
+
+TEST(TraceParseTest, RejectsMalformedLines) {
+  EXPECT_FALSE(TraceReplayer::Parse("0,read,db\n").ok());  // Too few.
+  EXPECT_FALSE(TraceReplayer::Parse("0,munge,db,8\n").ok());
+  EXPECT_FALSE(TraceReplayer::Parse("x,read,db,8\n").ok());
+  EXPECT_FALSE(TraceReplayer::Parse("0,read,db,xyz\n").ok());
+  EXPECT_FALSE(TraceReplayer::Parse("0,read,,8\n").ok());
+  // Decreasing times.
+  EXPECT_FALSE(TraceReplayer::Parse("5,read,a,8\n1,read,a,8\n").ok());
+  const auto err = TraceReplayer::Parse("0,read,db,8\nbroken\n");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("line 2"), std::string::npos);
+}
+
+class TraceReplayTest : public ::testing::Test {
+ protected:
+  TraceReplayTest()
+      : disk_(disk::DiskSystemConfig::Array(4)),
+        allocator_(disk_.capacity_du(), alloc::RestrictedBuddyConfig{}),
+        fs_(&allocator_, &disk_) {}
+
+  disk::DiskSystem disk_;
+  alloc::RestrictedBuddyAllocator allocator_;
+  fs::ReadOptimizedFs fs_;
+};
+
+TEST_F(TraceReplayTest, FilesCreatedOnFirstTouch) {
+  auto ops = TraceReplayer::Parse("0,create,a,8192\n1,extend,b,4096\n");
+  ASSERT_TRUE(ops.ok());
+  TraceReplayer replayer(std::move(*ops), &fs_);
+  sim::EventQueue queue;
+  const TraceReplayStats stats = replayer.ReplayOpenLoop(&queue);
+  EXPECT_EQ(stats.ops, 2u);
+  EXPECT_EQ(replayer.file_bindings().size(), 2u);
+  const fs::FileId a = replayer.file_bindings().at("a");
+  const fs::FileId b = replayer.file_bindings().at("b");
+  EXPECT_EQ(fs_.file(a).logical_bytes, 8192u);
+  EXPECT_EQ(fs_.file(b).logical_bytes, 4096u);
+}
+
+TEST_F(TraceReplayTest, OpenLoopAccountsBytesAndMakespan) {
+  auto ops = TraceReplayer::Parse(
+      "0,create,f,1048576\n"
+      "100,read,f,65536,0\n"
+      "100,read,f,65536,524288\n"
+      "200,write,f,8192,0\n");
+  ASSERT_TRUE(ops.ok());
+  TraceReplayer replayer(std::move(*ops), &fs_);
+  sim::EventQueue queue;
+  const TraceReplayStats stats = replayer.ReplayOpenLoop(&queue);
+  EXPECT_EQ(stats.ops, 4u);
+  EXPECT_EQ(stats.bytes_read, 2u * 65536);
+  EXPECT_EQ(stats.bytes_written, 1048576u + 8192u);
+  EXPECT_GT(stats.makespan_ms, 200.0);
+  EXPECT_GT(stats.MeanLatencyMs(), 0.0);
+  EXPECT_EQ(stats.failed_allocations, 0u);
+}
+
+TEST_F(TraceReplayTest, SequentialCursorAdvancesAndWraps) {
+  auto ops = TraceReplayer::Parse(
+      "0,create,f,16384\n"
+      "1,read,f,8192\n"
+      "2,read,f,8192\n"
+      "3,read,f,8192\n");  // Third read wraps to offset 0.
+  ASSERT_TRUE(ops.ok());
+  TraceReplayer replayer(std::move(*ops), &fs_);
+  sim::EventQueue queue;
+  const TraceReplayStats stats = replayer.ReplayOpenLoop(&queue);
+  EXPECT_EQ(stats.bytes_read, 3u * 8192);
+}
+
+TEST_F(TraceReplayTest, DeleteThenTouchRecreates) {
+  auto ops = TraceReplayer::Parse(
+      "0,create,f,8192\n"
+      "1,delete,f,0\n"
+      "2,extend,f,4096\n");
+  ASSERT_TRUE(ops.ok());
+  TraceReplayer replayer(std::move(*ops), &fs_);
+  sim::EventQueue queue;
+  replayer.ReplayOpenLoop(&queue);
+  const fs::FileId f = replayer.file_bindings().at("f");
+  EXPECT_TRUE(fs_.file(f).exists);
+  EXPECT_EQ(fs_.file(f).logical_bytes, 4096u);
+}
+
+TEST_F(TraceReplayTest, ClosedLoopPreservesThinkTime) {
+  auto ops = TraceReplayer::Parse(
+      "0,create,f,1048576\n"
+      "1000,read,f,8192,0\n"   // 1s of think time after the create.
+      "1001,read,f,8192,0\n");
+  ASSERT_TRUE(ops.ok());
+  TraceReplayer replayer(std::move(*ops), &fs_);
+  sim::EventQueue queue;
+  const TraceReplayStats stats = replayer.ReplayClosedLoop(&queue);
+  EXPECT_EQ(stats.ops, 3u);
+  // Makespan >= create completion + 1000ms think + read service.
+  EXPECT_GT(stats.makespan_ms, 1000.0);
+}
+
+// The point of the facility: the same trace distinguishes policies. After
+// interleaved growth of two files, a whole-file sequential read is slow on
+// the scattered fixed-block layout and fast on the contiguous restricted
+// buddy layout. (The growth phase itself can favor fixed block — the
+// interleaved appends land adjacently in free-list order — which is
+// exactly the read-vs-write trade the paper's title is about.)
+TEST_F(TraceReplayTest, PoliciesDifferOnTheSameTrace) {
+  // Interleave growth of two files.
+  std::string text;
+  text += "0,create,a,4096\n0,create,b,4096\n";
+  double t = 1;
+  for (int i = 0; i < 60; ++i) {
+    text += FormatString("%.0f,extend,a,4096\n", t++);
+    text += FormatString("%.0f,extend,b,4096\n", t++);
+  }
+  auto ops = TraceReplayer::Parse(text);
+  ASSERT_TRUE(ops.ok());
+
+  // Replays the aging trace, then times a whole-file read of `a`.
+  auto read_time_after_replay = [&](alloc::Allocator* allocator) {
+    disk::DiskSystem disk(disk::DiskSystemConfig::Array(4));
+    fs::ReadOptimizedFs fs(allocator, &disk);
+    TraceReplayer replayer(*ops, &fs);
+    sim::EventQueue queue;
+    const TraceReplayStats stats = replayer.ReplayClosedLoop(&queue);
+    const fs::FileId a = replayer.file_bindings().at("a");
+    const sim::TimeMs start = stats.makespan_ms + 1000.0;
+    return fs.Read(a, 0, fs.file(a).logical_bytes, start) - start;
+  };
+  alloc::FixedBlockAllocator fixed(disk_.capacity_du(), 4);
+  alloc::RestrictedBuddyAllocator rbuddy(disk_.capacity_du(),
+                                         alloc::RestrictedBuddyConfig{});
+  const double fixed_read = read_time_after_replay(&fixed);
+  const double rbuddy_read = read_time_after_replay(&rbuddy);
+  EXPECT_GT(fixed_read, 2.0 * rbuddy_read);
+}
+
+}  // namespace
+}  // namespace rofs::workload
