@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cache_metadata.dir/ablation_cache_metadata.cc.o"
+  "CMakeFiles/ablation_cache_metadata.dir/ablation_cache_metadata.cc.o.d"
+  "ablation_cache_metadata"
+  "ablation_cache_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cache_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

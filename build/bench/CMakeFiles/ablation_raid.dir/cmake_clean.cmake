@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_raid.dir/ablation_raid.cc.o"
+  "CMakeFiles/ablation_raid.dir/ablation_raid.cc.o.d"
+  "ablation_raid"
+  "ablation_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

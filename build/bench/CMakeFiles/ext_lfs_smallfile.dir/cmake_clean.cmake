@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lfs_smallfile.dir/ext_lfs_smallfile.cc.o"
+  "CMakeFiles/ext_lfs_smallfile.dir/ext_lfs_smallfile.cc.o.d"
+  "ext_lfs_smallfile"
+  "ext_lfs_smallfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lfs_smallfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

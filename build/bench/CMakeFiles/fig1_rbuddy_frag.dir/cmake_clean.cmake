@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_rbuddy_frag.dir/fig1_rbuddy_frag.cc.o"
+  "CMakeFiles/fig1_rbuddy_frag.dir/fig1_rbuddy_frag.cc.o.d"
+  "fig1_rbuddy_frag"
+  "fig1_rbuddy_frag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_rbuddy_frag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_rbuddy_perf.dir/fig2_rbuddy_perf.cc.o"
+  "CMakeFiles/fig2_rbuddy_perf.dir/fig2_rbuddy_perf.cc.o.d"
+  "fig2_rbuddy_perf"
+  "fig2_rbuddy_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_rbuddy_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_grow_interaction.dir/fig3_grow_interaction.cc.o"
+  "CMakeFiles/fig3_grow_interaction.dir/fig3_grow_interaction.cc.o.d"
+  "fig3_grow_interaction"
+  "fig3_grow_interaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_grow_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

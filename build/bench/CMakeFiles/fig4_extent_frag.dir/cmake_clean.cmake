@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_extent_frag.dir/fig4_extent_frag.cc.o"
+  "CMakeFiles/fig4_extent_frag.dir/fig4_extent_frag.cc.o.d"
+  "fig4_extent_frag"
+  "fig4_extent_frag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_extent_frag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_extent_perf.dir/fig5_extent_perf.cc.o"
+  "CMakeFiles/fig5_extent_perf.dir/fig5_extent_perf.cc.o.d"
+  "fig5_extent_perf"
+  "fig5_extent_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_extent_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

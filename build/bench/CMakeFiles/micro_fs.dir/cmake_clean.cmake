@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fs.dir/micro/micro_fs.cc.o"
+  "CMakeFiles/micro_fs.dir/micro/micro_fs.cc.o.d"
+  "micro_fs"
+  "micro_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

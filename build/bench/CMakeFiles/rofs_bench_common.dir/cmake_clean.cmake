@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rofs_bench_common.dir/common.cc.o"
+  "CMakeFiles/rofs_bench_common.dir/common.cc.o.d"
+  "librofs_bench_common.a"
+  "librofs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rofs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librofs_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_buddy.dir/table3_buddy.cc.o"
+  "CMakeFiles/table3_buddy.dir/table3_buddy.cc.o.d"
+  "table3_buddy"
+  "table3_buddy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_buddy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_extents_per_file.dir/table4_extents_per_file.cc.o"
+  "CMakeFiles/table4_extents_per_file.dir/table4_extents_per_file.cc.o.d"
+  "table4_extents_per_file"
+  "table4_extents_per_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_extents_per_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

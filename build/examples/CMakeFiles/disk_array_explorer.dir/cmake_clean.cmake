@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_array_explorer.dir/disk_array_explorer.cpp.o"
+  "CMakeFiles/disk_array_explorer.dir/disk_array_explorer.cpp.o.d"
+  "disk_array_explorer"
+  "disk_array_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_array_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

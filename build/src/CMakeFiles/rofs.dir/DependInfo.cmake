@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/allocator.cc" "src/CMakeFiles/rofs.dir/alloc/allocator.cc.o" "gcc" "src/CMakeFiles/rofs.dir/alloc/allocator.cc.o.d"
+  "/root/repo/src/alloc/buddy_allocator.cc" "src/CMakeFiles/rofs.dir/alloc/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/rofs.dir/alloc/buddy_allocator.cc.o.d"
+  "/root/repo/src/alloc/extent_allocator.cc" "src/CMakeFiles/rofs.dir/alloc/extent_allocator.cc.o" "gcc" "src/CMakeFiles/rofs.dir/alloc/extent_allocator.cc.o.d"
+  "/root/repo/src/alloc/fixed_block_allocator.cc" "src/CMakeFiles/rofs.dir/alloc/fixed_block_allocator.cc.o" "gcc" "src/CMakeFiles/rofs.dir/alloc/fixed_block_allocator.cc.o.d"
+  "/root/repo/src/alloc/free_extent_map.cc" "src/CMakeFiles/rofs.dir/alloc/free_extent_map.cc.o" "gcc" "src/CMakeFiles/rofs.dir/alloc/free_extent_map.cc.o.d"
+  "/root/repo/src/alloc/log_structured_allocator.cc" "src/CMakeFiles/rofs.dir/alloc/log_structured_allocator.cc.o" "gcc" "src/CMakeFiles/rofs.dir/alloc/log_structured_allocator.cc.o.d"
+  "/root/repo/src/alloc/restricted_buddy.cc" "src/CMakeFiles/rofs.dir/alloc/restricted_buddy.cc.o" "gcc" "src/CMakeFiles/rofs.dir/alloc/restricted_buddy.cc.o.d"
+  "/root/repo/src/config/config_parser.cc" "src/CMakeFiles/rofs.dir/config/config_parser.cc.o" "gcc" "src/CMakeFiles/rofs.dir/config/config_parser.cc.o.d"
+  "/root/repo/src/config/sim_config.cc" "src/CMakeFiles/rofs.dir/config/sim_config.cc.o" "gcc" "src/CMakeFiles/rofs.dir/config/sim_config.cc.o.d"
+  "/root/repo/src/disk/disk_geometry.cc" "src/CMakeFiles/rofs.dir/disk/disk_geometry.cc.o" "gcc" "src/CMakeFiles/rofs.dir/disk/disk_geometry.cc.o.d"
+  "/root/repo/src/disk/disk_model.cc" "src/CMakeFiles/rofs.dir/disk/disk_model.cc.o" "gcc" "src/CMakeFiles/rofs.dir/disk/disk_model.cc.o.d"
+  "/root/repo/src/disk/disk_system.cc" "src/CMakeFiles/rofs.dir/disk/disk_system.cc.o" "gcc" "src/CMakeFiles/rofs.dir/disk/disk_system.cc.o.d"
+  "/root/repo/src/disk/layout.cc" "src/CMakeFiles/rofs.dir/disk/layout.cc.o" "gcc" "src/CMakeFiles/rofs.dir/disk/layout.cc.o.d"
+  "/root/repo/src/exp/experiment.cc" "src/CMakeFiles/rofs.dir/exp/experiment.cc.o" "gcc" "src/CMakeFiles/rofs.dir/exp/experiment.cc.o.d"
+  "/root/repo/src/exp/reporting.cc" "src/CMakeFiles/rofs.dir/exp/reporting.cc.o" "gcc" "src/CMakeFiles/rofs.dir/exp/reporting.cc.o.d"
+  "/root/repo/src/exp/throughput_tracker.cc" "src/CMakeFiles/rofs.dir/exp/throughput_tracker.cc.o" "gcc" "src/CMakeFiles/rofs.dir/exp/throughput_tracker.cc.o.d"
+  "/root/repo/src/exp/trace.cc" "src/CMakeFiles/rofs.dir/exp/trace.cc.o" "gcc" "src/CMakeFiles/rofs.dir/exp/trace.cc.o.d"
+  "/root/repo/src/fs/buffer_cache.cc" "src/CMakeFiles/rofs.dir/fs/buffer_cache.cc.o" "gcc" "src/CMakeFiles/rofs.dir/fs/buffer_cache.cc.o.d"
+  "/root/repo/src/fs/read_optimized_fs.cc" "src/CMakeFiles/rofs.dir/fs/read_optimized_fs.cc.o" "gcc" "src/CMakeFiles/rofs.dir/fs/read_optimized_fs.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/rofs.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/rofs.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/util/bitmap.cc" "src/CMakeFiles/rofs.dir/util/bitmap.cc.o" "gcc" "src/CMakeFiles/rofs.dir/util/bitmap.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/rofs.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/rofs.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/rofs.dir/util/random.cc.o" "gcc" "src/CMakeFiles/rofs.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/rofs.dir/util/status.cc.o" "gcc" "src/CMakeFiles/rofs.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/rofs.dir/util/table.cc.o" "gcc" "src/CMakeFiles/rofs.dir/util/table.cc.o.d"
+  "/root/repo/src/util/units.cc" "src/CMakeFiles/rofs.dir/util/units.cc.o" "gcc" "src/CMakeFiles/rofs.dir/util/units.cc.o.d"
+  "/root/repo/src/workload/file_type.cc" "src/CMakeFiles/rofs.dir/workload/file_type.cc.o" "gcc" "src/CMakeFiles/rofs.dir/workload/file_type.cc.o.d"
+  "/root/repo/src/workload/op_generator.cc" "src/CMakeFiles/rofs.dir/workload/op_generator.cc.o" "gcc" "src/CMakeFiles/rofs.dir/workload/op_generator.cc.o.d"
+  "/root/repo/src/workload/trace_replay.cc" "src/CMakeFiles/rofs.dir/workload/trace_replay.cc.o" "gcc" "src/CMakeFiles/rofs.dir/workload/trace_replay.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/rofs.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/rofs.dir/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

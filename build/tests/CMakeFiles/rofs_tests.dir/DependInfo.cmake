@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc_buddy_test.cc" "tests/CMakeFiles/rofs_tests.dir/alloc_buddy_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/alloc_buddy_test.cc.o.d"
+  "/root/repo/tests/alloc_extent_stats_test.cc" "tests/CMakeFiles/rofs_tests.dir/alloc_extent_stats_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/alloc_extent_stats_test.cc.o.d"
+  "/root/repo/tests/alloc_extent_test.cc" "tests/CMakeFiles/rofs_tests.dir/alloc_extent_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/alloc_extent_test.cc.o.d"
+  "/root/repo/tests/alloc_fixed_block_test.cc" "tests/CMakeFiles/rofs_tests.dir/alloc_fixed_block_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/alloc_fixed_block_test.cc.o.d"
+  "/root/repo/tests/alloc_free_extent_map_test.cc" "tests/CMakeFiles/rofs_tests.dir/alloc_free_extent_map_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/alloc_free_extent_map_test.cc.o.d"
+  "/root/repo/tests/alloc_log_structured_test.cc" "tests/CMakeFiles/rofs_tests.dir/alloc_log_structured_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/alloc_log_structured_test.cc.o.d"
+  "/root/repo/tests/alloc_property_test.cc" "tests/CMakeFiles/rofs_tests.dir/alloc_property_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/alloc_property_test.cc.o.d"
+  "/root/repo/tests/alloc_restricted_buddy_test.cc" "tests/CMakeFiles/rofs_tests.dir/alloc_restricted_buddy_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/alloc_restricted_buddy_test.cc.o.d"
+  "/root/repo/tests/config_parser_test.cc" "tests/CMakeFiles/rofs_tests.dir/config_parser_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/config_parser_test.cc.o.d"
+  "/root/repo/tests/config_sim_test.cc" "tests/CMakeFiles/rofs_tests.dir/config_sim_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/config_sim_test.cc.o.d"
+  "/root/repo/tests/disk_geometry_test.cc" "tests/CMakeFiles/rofs_tests.dir/disk_geometry_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/disk_geometry_test.cc.o.d"
+  "/root/repo/tests/disk_layout_test.cc" "tests/CMakeFiles/rofs_tests.dir/disk_layout_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/disk_layout_test.cc.o.d"
+  "/root/repo/tests/disk_model_test.cc" "tests/CMakeFiles/rofs_tests.dir/disk_model_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/disk_model_test.cc.o.d"
+  "/root/repo/tests/disk_rotation_model_test.cc" "tests/CMakeFiles/rofs_tests.dir/disk_rotation_model_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/disk_rotation_model_test.cc.o.d"
+  "/root/repo/tests/disk_system_test.cc" "tests/CMakeFiles/rofs_tests.dir/disk_system_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/disk_system_test.cc.o.d"
+  "/root/repo/tests/disk_timing_property_test.cc" "tests/CMakeFiles/rofs_tests.dir/disk_timing_property_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/disk_timing_property_test.cc.o.d"
+  "/root/repo/tests/exp_experiment_test.cc" "tests/CMakeFiles/rofs_tests.dir/exp_experiment_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/exp_experiment_test.cc.o.d"
+  "/root/repo/tests/exp_paper_claims_test.cc" "tests/CMakeFiles/rofs_tests.dir/exp_paper_claims_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/exp_paper_claims_test.cc.o.d"
+  "/root/repo/tests/exp_reporting_test.cc" "tests/CMakeFiles/rofs_tests.dir/exp_reporting_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/exp_reporting_test.cc.o.d"
+  "/root/repo/tests/exp_throughput_tracker_test.cc" "tests/CMakeFiles/rofs_tests.dir/exp_throughput_tracker_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/exp_throughput_tracker_test.cc.o.d"
+  "/root/repo/tests/exp_trace_test.cc" "tests/CMakeFiles/rofs_tests.dir/exp_trace_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/exp_trace_test.cc.o.d"
+  "/root/repo/tests/fs_buffer_cache_test.cc" "tests/CMakeFiles/rofs_tests.dir/fs_buffer_cache_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/fs_buffer_cache_test.cc.o.d"
+  "/root/repo/tests/fs_mapping_property_test.cc" "tests/CMakeFiles/rofs_tests.dir/fs_mapping_property_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/fs_mapping_property_test.cc.o.d"
+  "/root/repo/tests/fs_read_optimized_fs_test.cc" "tests/CMakeFiles/rofs_tests.dir/fs_read_optimized_fs_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/fs_read_optimized_fs_test.cc.o.d"
+  "/root/repo/tests/sim_event_queue_test.cc" "tests/CMakeFiles/rofs_tests.dir/sim_event_queue_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/sim_event_queue_test.cc.o.d"
+  "/root/repo/tests/util_bitmap_test.cc" "tests/CMakeFiles/rofs_tests.dir/util_bitmap_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/util_bitmap_test.cc.o.d"
+  "/root/repo/tests/util_histogram_test.cc" "tests/CMakeFiles/rofs_tests.dir/util_histogram_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/util_histogram_test.cc.o.d"
+  "/root/repo/tests/util_random_test.cc" "tests/CMakeFiles/rofs_tests.dir/util_random_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/util_random_test.cc.o.d"
+  "/root/repo/tests/util_status_test.cc" "tests/CMakeFiles/rofs_tests.dir/util_status_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/util_status_test.cc.o.d"
+  "/root/repo/tests/util_units_test.cc" "tests/CMakeFiles/rofs_tests.dir/util_units_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/util_units_test.cc.o.d"
+  "/root/repo/tests/workload_op_generator_test.cc" "tests/CMakeFiles/rofs_tests.dir/workload_op_generator_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/workload_op_generator_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/rofs_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/workload_test.cc.o.d"
+  "/root/repo/tests/workload_trace_replay_test.cc" "tests/CMakeFiles/rofs_tests.dir/workload_trace_replay_test.cc.o" "gcc" "tests/CMakeFiles/rofs_tests.dir/workload_trace_replay_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rofs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

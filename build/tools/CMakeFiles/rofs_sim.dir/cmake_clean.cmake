@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rofs_sim.dir/rofs_sim.cc.o"
+  "CMakeFiles/rofs_sim.dir/rofs_sim.cc.o.d"
+  "rofs_sim"
+  "rofs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rofs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
