@@ -17,7 +17,7 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   exp::PrintBanner("Ablation: buffer cache and metadata I/O",
                    "extensions (DESIGN.md)", bench::PaperDiskConfig());
 
@@ -49,22 +49,42 @@ int main() {
     setups.push_back({"64M cache", o});
   }
 
+  bench::Sweep sweep(argc, argv);
+  for (workload::WorkloadKind kind :
+       {workload::WorkloadKind::kTimeSharing,
+        workload::WorkloadKind::kTransactionProcessing}) {
+    for (const Setup& setup : setups) {
+      sweep.Add(
+          FormatString("cache/metadata ablation %s %s",
+                       workload::WorkloadKindToString(kind).c_str(),
+                       setup.label),
+          [kind, setup](const runner::RunContext& ctx)
+              -> StatusOr<std::vector<std::string>> {
+            exp::ExperimentConfig config = bench::BenchExperimentConfig();
+            config.fs_options = setup.options;
+            config.seed = ctx.seed;
+            exp::Experiment experiment(
+                workload::MakeWorkload(kind),
+                bench::RestrictedBuddyFactory(5, 1, true),
+                bench::PaperDiskConfig(), config);
+            auto perf = experiment.RunPerformancePair();
+            if (!perf.ok()) return perf.status();
+            return std::vector<std::string>{
+                setup.label,
+                exp::Pct(perf->application.utilization_of_max),
+                exp::Pct(perf->sequential.utilization_of_max)};
+          });
+    }
+  }
+
+  const auto rows = sweep.Run();
+  size_t next_row = 0;
   for (workload::WorkloadKind kind :
        {workload::WorkloadKind::kTimeSharing,
         workload::WorkloadKind::kTransactionProcessing}) {
     Table table({"Setup", "Application", "Sequential"});
-    for (const Setup& setup : setups) {
-      exp::ExperimentConfig config = bench::BenchExperimentConfig();
-      config.fs_options = setup.options;
-      exp::Experiment experiment(workload::MakeWorkload(kind),
-                                 bench::RestrictedBuddyFactory(5, 1, true),
-                                 bench::PaperDiskConfig(), config);
-      auto perf = experiment.RunPerformancePair();
-      bench::DieOnError(perf.status(), setup.label);
-      table.AddRow({setup.label,
-                    exp::Pct(perf->application.utilization_of_max),
-                    exp::Pct(perf->sequential.utilization_of_max)});
-      std::fflush(stdout);
+    for (size_t i = 0; i < setups.size(); ++i) {
+      table.AddRow(rows[next_row++]);
     }
     std::printf("Workload %s (restricted buddy, 5 sizes, clustered)\n%s\n",
                 workload::WorkloadKindToString(kind).c_str(),

@@ -17,47 +17,63 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   exp::PrintBanner("Ablation: disk-system configuration (RAID impact)",
                    "Section 6 (further investigation)",
                    bench::PaperDiskConfig());
 
+  bench::Sweep sweep(argc, argv);
+  for (workload::WorkloadKind kind :
+       {workload::WorkloadKind::kTransactionProcessing,
+        workload::WorkloadKind::kSuperComputer}) {
+    for (disk::LayoutKind layout :
+         {disk::LayoutKind::kStriped, disk::LayoutKind::kMirrored,
+          disk::LayoutKind::kRaid5, disk::LayoutKind::kParityStriped}) {
+      sweep.Add(
+          FormatString("raid ablation %s %s",
+                       workload::WorkloadKindToString(kind).c_str(),
+                       disk::LayoutKindToString(layout).c_str()),
+          [=](const runner::RunContext& ctx)
+              -> StatusOr<std::vector<std::string>> {
+            disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
+            disk_config.layout = layout;
+            // Mirroring halves the logical capacity: the TP/SC populations
+            // no longer fit, so scale the file sizes down proportionally.
+            workload::WorkloadSpec spec = workload::MakeWorkload(kind);
+            if (layout == disk::LayoutKind::kMirrored) {
+              for (auto& type : spec.types) {
+                type.initial_bytes_mean /= 2;
+                type.initial_bytes_dev /= 2;
+              }
+            }
+            exp::ExperimentConfig config = bench::BenchExperimentConfig();
+            config.seed = ctx.seed;
+            exp::Experiment experiment(
+                spec, bench::RestrictedBuddyFactory(5, 1, true),
+                disk_config, config);
+            auto perf = experiment.RunPerformancePair();
+            if (!perf.ok()) return perf.status();
+            disk::DiskSystem probe(disk_config);
+            return std::vector<std::string>{
+                disk::LayoutKindToString(layout),
+                FormatBytes(probe.capacity_bytes()),
+                exp::Pct(perf->application.utilization_of_max),
+                exp::Pct(perf->sequential.utilization_of_max),
+                FormatString("%llu", static_cast<unsigned long long>(
+                                         perf->application
+                                             .disk_full_events))};
+          });
+    }
+  }
+
+  const auto rows = sweep.Run();
+  size_t next_row = 0;
   for (workload::WorkloadKind kind :
        {workload::WorkloadKind::kTransactionProcessing,
         workload::WorkloadKind::kSuperComputer}) {
     Table table({"Layout", "Capacity", "Application", "Sequential",
                  "DiskFullEvents"});
-    for (disk::LayoutKind layout :
-         {disk::LayoutKind::kStriped, disk::LayoutKind::kMirrored,
-          disk::LayoutKind::kRaid5, disk::LayoutKind::kParityStriped}) {
-      disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
-      disk_config.layout = layout;
-      // Mirroring halves the logical capacity: the TP/SC populations no
-      // longer fit, so scale the file sizes down proportionally.
-      workload::WorkloadSpec spec = workload::MakeWorkload(kind);
-      if (layout == disk::LayoutKind::kMirrored) {
-        for (auto& type : spec.types) {
-          type.initial_bytes_mean /= 2;
-          type.initial_bytes_dev /= 2;
-        }
-      }
-      exp::Experiment experiment(spec,
-                                 bench::RestrictedBuddyFactory(5, 1, true),
-                                 disk_config,
-                                 bench::BenchExperimentConfig());
-      auto perf = experiment.RunPerformancePair();
-      bench::DieOnError(perf.status(),
-                        "raid ablation " + disk::LayoutKindToString(layout));
-      disk::DiskSystem probe(disk_config);
-      table.AddRow({disk::LayoutKindToString(layout),
-                    FormatBytes(probe.capacity_bytes()),
-                    exp::Pct(perf->application.utilization_of_max),
-                    exp::Pct(perf->sequential.utilization_of_max),
-                    FormatString("%llu", static_cast<unsigned long long>(
-                                             perf->application
-                                                 .disk_full_events))});
-      std::fflush(stdout);
-    }
+    for (int i = 0; i < 4; ++i) table.AddRow(rows[next_row++]);
     std::printf("Workload %s\n%s\n",
                 workload::WorkloadKindToString(kind).c_str(),
                 table.ToString().c_str());

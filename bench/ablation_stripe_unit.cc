@@ -15,38 +15,56 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   exp::PrintBanner("Ablation: stripe unit sensitivity",
                    "Section 6 (further investigation)",
                    bench::PaperDiskConfig());
 
+  bench::Sweep sweep(argc, argv);
   for (workload::WorkloadKind kind :
        {workload::WorkloadKind::kSuperComputer,
         workload::WorkloadKind::kTransactionProcessing}) {
-    Table table({"Stripe unit", "Policy", "Application", "Sequential"});
     for (uint64_t stripe : {KiB(8), KiB(24), KiB(96), KiB(384)}) {
-      disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
-      disk_config.stripe_unit_bytes = stripe;
-      std::vector<std::pair<std::string,
-                            exp::Experiment::AllocatorFactory>>
+      const std::vector<
+          std::pair<std::string, exp::Experiment::AllocatorFactory>>
           policies = {
               {"restricted-buddy",
                bench::RestrictedBuddyFactory(5, 1, true)},
               {"extent(ff,3)",
                bench::ExtentFactory(kind, 3, alloc::FitPolicy::kFirstFit)},
           };
-      for (auto& [name, factory] : policies) {
-        exp::Experiment experiment(workload::MakeWorkload(kind), factory,
-                                   disk_config,
-                                   bench::BenchExperimentConfig());
-        auto perf = experiment.RunPerformancePair();
-        bench::DieOnError(perf.status(), "stripe ablation " + name);
-        table.AddRow({FormatBytes(stripe), name,
-                      exp::Pct(perf->application.utilization_of_max),
-                      exp::Pct(perf->sequential.utilization_of_max)});
-        std::fflush(stdout);
+      for (const auto& [name, factory] : policies) {
+        sweep.Add(
+            FormatString("stripe ablation %s %s %s",
+                         workload::WorkloadKindToString(kind).c_str(),
+                         FormatBytes(stripe).c_str(), name.c_str()),
+            [kind, stripe, name = name, factory = factory](
+                const runner::RunContext& ctx)
+                -> StatusOr<std::vector<std::string>> {
+              disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
+              disk_config.stripe_unit_bytes = stripe;
+              exp::ExperimentConfig config = bench::BenchExperimentConfig();
+              config.seed = ctx.seed;
+              exp::Experiment experiment(workload::MakeWorkload(kind),
+                                         factory, disk_config, config);
+              auto perf = experiment.RunPerformancePair();
+              if (!perf.ok()) return perf.status();
+              return std::vector<std::string>{
+                  FormatBytes(stripe), name,
+                  exp::Pct(perf->application.utilization_of_max),
+                  exp::Pct(perf->sequential.utilization_of_max)};
+            });
       }
     }
+  }
+
+  const auto rows = sweep.Run();
+  size_t next_row = 0;
+  for (workload::WorkloadKind kind :
+       {workload::WorkloadKind::kSuperComputer,
+        workload::WorkloadKind::kTransactionProcessing}) {
+    Table table({"Stripe unit", "Policy", "Application", "Sequential"});
+    for (int i = 0; i < 4 * 2; ++i) table.AddRow(rows[next_row++]);
     std::printf("Workload %s\n%s\n",
                 workload::WorkloadKindToString(kind).c_str(),
                 table.ToString().c_str());

@@ -1,7 +1,9 @@
 #include "bench/common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "alloc/buddy_allocator.h"
 #include "alloc/fixed_block_allocator.h"
@@ -79,6 +81,63 @@ void DieOnError(const Status& status, const std::string& context) {
   std::fprintf(stderr, "FATAL: %s: %s\n", context.c_str(),
                status.ToString().c_str());
   std::exit(1);
+}
+
+runner::SweepOptions ParseSweepOptions(int argc, char** argv) {
+  runner::SweepOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if ((std::strcmp(argv[i], "--jobs") == 0 ||
+         std::strcmp(argv[i], "-j") == 0) &&
+        i + 1 < argc) {
+      options.jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      options.jobs = std::atoi(argv[i] + 7);
+    }
+  }
+  return options;
+}
+
+Sweep::Sweep(int argc, char** argv)
+    : options_(ParseSweepOptions(argc, argv)) {
+  options_.jobs = runner::SweepRunner::ResolveJobs(options_.jobs);
+  options_.progress = [](const runner::RunResult& r, size_t done,
+                         size_t total) {
+    std::fprintf(stderr, "[%zu/%zu] %s: %s (%.1fs)\n", done, total,
+                 r.label.c_str(),
+                 r.status.ok() ? "ok" : r.status.ToString().c_str(),
+                 r.wall_ms / 1000.0);
+  };
+}
+
+void Sweep::Add(std::string label, RunFn fn, uint64_t stream) {
+  runner::RunSpec spec;
+  spec.label = std::move(label);
+  spec.stream = stream;
+  spec.run = std::move(fn);
+  specs_.push_back(std::move(spec));
+}
+
+std::vector<std::vector<std::string>> Sweep::Run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  runner::SweepRunner sweep_runner(options_);
+  std::vector<runner::RunResult> results = sweep_runner.Run(specs_);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  double run_s = 0;
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(results.size());
+  for (runner::RunResult& r : results) {
+    DieOnError(r.status, r.label);
+    run_s += r.wall_ms / 1000.0;
+    rows.push_back(std::move(r.cells));
+  }
+  std::fprintf(stderr,
+               "sweep: %zu runs on %d thread(s), wall %.1fs, "
+               "sum-of-runs %.1fs (%.1fx)\n",
+               results.size(), sweep_runner.jobs(), wall_s, run_s,
+               wall_s > 0 ? run_s / wall_s : 0.0);
+  return rows;
 }
 
 }  // namespace rofs::bench

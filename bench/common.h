@@ -2,14 +2,17 @@
 #define ROFS_BENCH_COMMON_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "alloc/allocator.h"
 #include "alloc/extent_allocator.h"
 #include "alloc/restricted_buddy.h"
 #include "disk/disk_system.h"
 #include "exp/experiment.h"
+#include "runner/sweep_runner.h"
 #include "workload/workloads.h"
 
 namespace rofs::bench {
@@ -45,6 +48,41 @@ exp::ExperimentConfig BenchExperimentConfig();
 /// Fails loudly: prints the status and exits non-zero. Benches prefer a
 /// visible crash over silently missing table rows.
 void DieOnError(const Status& status, const std::string& context);
+
+/// Parses the sweep-parallelism knobs shared by every bench driver:
+/// `--jobs N` / `--jobs=N` / `-j N` on the command line, else the
+/// ROFS_JOBS environment variable, else the hardware thread count
+/// (resolution happens inside SweepRunner).
+runner::SweepOptions ParseSweepOptions(int argc, char** argv);
+
+/// The sweep grid of one bench driver. Add() one run per grid cell (the
+/// callback builds its own Experiment and returns the formatted table
+/// cells for its row), then Run() executes every cell on a thread pool
+/// and returns the rows in submission order — byte-identical stdout for
+/// any job count. Dies with the run's label on the first failed run.
+/// Progress and wall-clock timing go to stderr so they never perturb the
+/// comparable output.
+class Sweep {
+ public:
+  using RunFn = std::function<StatusOr<std::vector<std::string>>(
+      const runner::RunContext&)>;
+
+  Sweep(int argc, char** argv);
+
+  /// Adds one grid cell. Cells share RNG stream 0 (common random numbers
+  /// across configurations, as the serial drivers always did); pass a
+  /// non-zero `stream` for replicates that need independent draws.
+  void Add(std::string label, RunFn fn, uint64_t stream = 0);
+
+  /// Runs all cells; returns each cell's row in submission order.
+  std::vector<std::vector<std::string>> Run();
+
+  int jobs() const { return options_.jobs; }
+
+ private:
+  runner::SweepOptions options_;
+  std::vector<runner::RunSpec> specs_;
+};
 
 }  // namespace rofs::bench
 

@@ -42,35 +42,54 @@ exp::Experiment::AllocatorFactory LfsFactory() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   exp::PrintBanner(
       "Extension: log-structured allocation for small files",
       "Section 6 (future work, [ROSE90])", bench::PaperDiskConfig());
 
-  for (const workload::WorkloadSpec& spec :
-       {workload::MakeTimeSharing(), WriteHeavyTs()}) {
-    Table table({"Policy", "IntFrag", "ExtFrag", "Application",
-                 "Sequential"});
-    std::vector<std::pair<std::string, exp::Experiment::AllocatorFactory>>
+  const std::vector<workload::WorkloadSpec> specs = {
+      workload::MakeTimeSharing(), WriteHeavyTs()};
+
+  bench::Sweep sweep(argc, argv);
+  for (const workload::WorkloadSpec& spec : specs) {
+    const std::vector<
+        std::pair<std::string, exp::Experiment::AllocatorFactory>>
         policies = {
             {"log-structured", LfsFactory()},
             {"restricted-buddy", bench::RestrictedBuddyFactory(5, 1, true)},
             {"fixed-block-4K",
              bench::FixedBlockFactory(workload::WorkloadKind::kTimeSharing)},
         };
-    for (auto& [name, factory] : policies) {
-      exp::Experiment experiment(spec, factory, bench::PaperDiskConfig(),
-                                 bench::BenchExperimentConfig());
-      auto frag = experiment.RunAllocationTest();
-      bench::DieOnError(frag.status(), "lfs extension " + name);
-      auto perf = experiment.RunPerformancePair();
-      bench::DieOnError(perf.status(), "lfs extension " + name);
-      table.AddRow({name, exp::Pct(frag->internal_fragmentation),
-                    exp::Pct(frag->external_fragmentation),
-                    exp::Pct(perf->application.utilization_of_max),
-                    exp::Pct(perf->sequential.utilization_of_max)});
-      std::fflush(stdout);
+    for (const auto& [name, factory] : policies) {
+      sweep.Add(
+          FormatString("lfs extension %s %s", spec.name.c_str(),
+                       name.c_str()),
+          [spec, name = name, factory = factory](
+              const runner::RunContext& ctx)
+              -> StatusOr<std::vector<std::string>> {
+            exp::ExperimentConfig config = bench::BenchExperimentConfig();
+            config.seed = ctx.seed;
+            exp::Experiment experiment(spec, factory,
+                                       bench::PaperDiskConfig(), config);
+            auto frag = experiment.RunAllocationTest();
+            if (!frag.ok()) return frag.status();
+            auto perf = experiment.RunPerformancePair();
+            if (!perf.ok()) return perf.status();
+            return std::vector<std::string>{
+                name, exp::Pct(frag->internal_fragmentation),
+                exp::Pct(frag->external_fragmentation),
+                exp::Pct(perf->application.utilization_of_max),
+                exp::Pct(perf->sequential.utilization_of_max)};
+          });
     }
+  }
+
+  const auto rows = sweep.Run();
+  size_t next_row = 0;
+  for (const workload::WorkloadSpec& spec : specs) {
+    Table table({"Policy", "IntFrag", "ExtFrag", "Application",
+                 "Sequential"});
+    for (int i = 0; i < 3; ++i) table.AddRow(rows[next_row++]);
     std::printf("Workload %s\n%s\n", spec.name.c_str(),
                 table.ToString().c_str());
   }

@@ -17,33 +17,53 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   const disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
   exp::PrintBanner(
       "Figure 1: Internal and External Fragmentation, Restricted Buddy",
       "Figure 1 (a-f)", disk_config);
 
+  bench::Sweep sweep(argc, argv);
   for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
-    Table table({"Config", "Grow", "Clustering", "Internal Frag",
-                 "External Frag", "Util@full"});
     for (int num_sizes = 2; num_sizes <= 5; ++num_sizes) {
       for (bool clustered : {true, false}) {
         for (uint32_t grow : {1u, 2u}) {
-          exp::Experiment experiment(
-              workload::MakeWorkload(kind),
-              bench::RestrictedBuddyFactory(num_sizes, grow, clustered),
-              disk_config, bench::BenchExperimentConfig());
-          auto result = experiment.RunAllocationTest();
-          bench::DieOnError(result.status(), "fig1 allocation test");
-          table.AddRow({FormatString("%d sizes", num_sizes),
-                        FormatString("g=%u", grow),
-                        clustered ? "clustered" : "unclustered",
-                        exp::Pct(result->internal_fragmentation),
-                        exp::Pct(result->external_fragmentation),
-                        exp::Pct(result->utilization)});
+          sweep.Add(
+              FormatString("fig1 %s %d-sizes g=%u %s",
+                           workload::WorkloadKindToString(kind).c_str(),
+                           num_sizes, grow,
+                           clustered ? "clustered" : "unclustered"),
+              [=](const runner::RunContext& ctx)
+                  -> StatusOr<std::vector<std::string>> {
+                exp::ExperimentConfig config =
+                    bench::BenchExperimentConfig();
+                config.seed = ctx.seed;
+                exp::Experiment experiment(
+                    workload::MakeWorkload(kind),
+                    bench::RestrictedBuddyFactory(num_sizes, grow,
+                                                  clustered),
+                    disk_config, config);
+                auto result = experiment.RunAllocationTest();
+                if (!result.ok()) return result.status();
+                return std::vector<std::string>{
+                    FormatString("%d sizes", num_sizes),
+                    FormatString("g=%u", grow),
+                    clustered ? "clustered" : "unclustered",
+                    exp::Pct(result->internal_fragmentation),
+                    exp::Pct(result->external_fragmentation),
+                    exp::Pct(result->utilization)};
+              });
         }
       }
     }
+  }
+
+  const auto rows = sweep.Run();
+  size_t next_row = 0;
+  for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
+    Table table({"Config", "Grow", "Clustering", "Internal Frag",
+                 "External Frag", "Util@full"});
+    for (int i = 0; i < 4 * 2 * 2; ++i) table.AddRow(rows[next_row++]);
     std::printf("Workload %s (paper: all bars < 6%%)\n%s\n",
                 workload::WorkloadKindToString(kind).c_str(),
                 table.ToString().c_str());

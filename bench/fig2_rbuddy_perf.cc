@@ -17,35 +17,54 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   const disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
   exp::PrintBanner(
       "Figure 2: Application and Sequential Performance, Restricted Buddy",
       "Figure 2 (a-f)", disk_config);
 
+  bench::Sweep sweep(argc, argv);
   for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
-    Table table({"Config", "Grow", "Clustering", "Application",
-                 "Sequential", "ExtentsPerFile"});
     for (int num_sizes = 2; num_sizes <= 5; ++num_sizes) {
       for (bool clustered : {true, false}) {
         for (uint32_t grow : {1u, 2u}) {
-          exp::Experiment experiment(
-              workload::MakeWorkload(kind),
-              bench::RestrictedBuddyFactory(num_sizes, grow, clustered),
-              disk_config, bench::BenchExperimentConfig());
-          auto perf = experiment.RunPerformancePair();
-          bench::DieOnError(perf.status(), "fig2 performance tests");
-          table.AddRow({FormatString("%d sizes", num_sizes),
-                        FormatString("g=%u", grow),
-                        clustered ? "clustered" : "unclustered",
-                        exp::Pct(perf->application.utilization_of_max),
-                        exp::Pct(perf->sequential.utilization_of_max),
-                        FormatString("%.1f",
-                                     perf->sequential.avg_extents_per_file)});
-          std::fflush(stdout);
+          sweep.Add(
+              FormatString("fig2 %s %d-sizes g=%u %s",
+                           workload::WorkloadKindToString(kind).c_str(),
+                           num_sizes, grow,
+                           clustered ? "clustered" : "unclustered"),
+              [=](const runner::RunContext& ctx)
+                  -> StatusOr<std::vector<std::string>> {
+                exp::ExperimentConfig config =
+                    bench::BenchExperimentConfig();
+                config.seed = ctx.seed;
+                exp::Experiment experiment(
+                    workload::MakeWorkload(kind),
+                    bench::RestrictedBuddyFactory(num_sizes, grow,
+                                                  clustered),
+                    disk_config, config);
+                auto perf = experiment.RunPerformancePair();
+                if (!perf.ok()) return perf.status();
+                return std::vector<std::string>{
+                    FormatString("%d sizes", num_sizes),
+                    FormatString("g=%u", grow),
+                    clustered ? "clustered" : "unclustered",
+                    exp::Pct(perf->application.utilization_of_max),
+                    exp::Pct(perf->sequential.utilization_of_max),
+                    FormatString("%.1f",
+                                 perf->sequential.avg_extents_per_file)};
+              });
         }
       }
     }
+  }
+
+  const auto rows = sweep.Run();
+  size_t next_row = 0;
+  for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
+    Table table({"Config", "Grow", "Clustering", "Application",
+                 "Sequential", "ExtentsPerFile"});
+    for (int i = 0; i < 4 * 2 * 2; ++i) table.AddRow(rows[next_row++]);
     std::printf("Workload %s\n%s\n",
                 workload::WorkloadKindToString(kind).c_str(),
                 table.ToString().c_str());

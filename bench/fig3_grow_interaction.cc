@@ -56,27 +56,34 @@ Probe GrowAndRead(uint32_t grow_factor, uint64_t file_bytes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   exp::PrintBanner("Figure 3: Grow factor vs contiguous allocation",
                    "Figure 3", bench::PaperDiskConfig());
 
+  bench::Sweep sweep(argc, argv);
+  for (uint64_t kb : {8, 16, 32, 64, 72, 96, 128, 144, 192, 256}) {
+    sweep.Add(
+        FormatString("fig3 %lluK", static_cast<unsigned long long>(kb)),
+        [=](const runner::RunContext&)
+            -> StatusOr<std::vector<std::string>> {
+          const Probe g1 = GrowAndRead(1, KiB(kb));
+          const Probe g2 = GrowAndRead(2, KiB(kb));
+          return std::vector<std::string>{
+              FormatString("%lluK", static_cast<unsigned long long>(kb)),
+              FormatString("%zu", g1.extents),
+              FormatString("%llu", static_cast<unsigned long long>(
+                                       g1.discontinuities)),
+              FormatString("%.1fms", g1.read_ms),
+              FormatString("%zu", g2.extents),
+              FormatString("%llu", static_cast<unsigned long long>(
+                                       g2.discontinuities)),
+              FormatString("%.1fms", g2.read_ms)};
+        });
+  }
+
   Table table({"File size", "g=1 extents", "g=1 jumps", "g=1 read",
                "g=2 extents", "g=2 jumps", "g=2 read"});
-  for (uint64_t kb : {8, 16, 32, 64, 72, 96, 128, 144, 192, 256}) {
-    const Probe g1 = GrowAndRead(1, KiB(kb));
-    const Probe g2 = GrowAndRead(2, KiB(kb));
-    table.AddRow({FormatString("%lluK", static_cast<unsigned long long>(kb)),
-                  FormatString("%zu", g1.extents),
-                  FormatString("%llu",
-                               static_cast<unsigned long long>(
-                                   g1.discontinuities)),
-                  FormatString("%.1fms", g1.read_ms),
-                  FormatString("%zu", g2.extents),
-                  FormatString("%llu",
-                               static_cast<unsigned long long>(
-                                   g2.discontinuities)),
-                  FormatString("%.1fms", g2.read_ms)});
-  }
+  for (auto& row : sweep.Run()) table.AddRow(row);
   std::printf("%s\n", table.ToString().c_str());
   std::printf(
       "Paper claim: with g=1 any file over 72K pays a seek for its first\n"

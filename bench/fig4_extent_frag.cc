@@ -14,31 +14,47 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   const disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
   exp::PrintBanner(
       "Figure 4: Internal and External Fragmentation, Extent Based",
       "Figure 4", disk_config);
 
+  bench::Sweep sweep(argc, argv);
   for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
-    Table table({"Ranges", "Fit", "Internal Frag", "External Frag",
-                 "Util@full"});
     for (int ranges = 1; ranges <= 5; ++ranges) {
       for (alloc::FitPolicy fit :
            {alloc::FitPolicy::kFirstFit, alloc::FitPolicy::kBestFit}) {
-        exp::Experiment experiment(
-            workload::MakeWorkload(kind),
-            bench::ExtentFactory(kind, ranges, fit), disk_config,
-            bench::BenchExperimentConfig());
-        auto result = experiment.RunAllocationTest();
-        bench::DieOnError(result.status(), "fig4 allocation test");
-        table.AddRow({FormatString("%d", ranges),
-                      alloc::FitPolicyToString(fit),
-                      exp::Pct(result->internal_fragmentation),
-                      exp::Pct(result->external_fragmentation),
-                      exp::Pct(result->utilization)});
+        sweep.Add(
+            FormatString("fig4 %s %d-ranges %s",
+                         workload::WorkloadKindToString(kind).c_str(),
+                         ranges, alloc::FitPolicyToString(fit).c_str()),
+            [=](const runner::RunContext& ctx)
+                -> StatusOr<std::vector<std::string>> {
+              exp::ExperimentConfig config = bench::BenchExperimentConfig();
+              config.seed = ctx.seed;
+              exp::Experiment experiment(
+                  workload::MakeWorkload(kind),
+                  bench::ExtentFactory(kind, ranges, fit), disk_config,
+                  config);
+              auto result = experiment.RunAllocationTest();
+              if (!result.ok()) return result.status();
+              return std::vector<std::string>{
+                  FormatString("%d", ranges), alloc::FitPolicyToString(fit),
+                  exp::Pct(result->internal_fragmentation),
+                  exp::Pct(result->external_fragmentation),
+                  exp::Pct(result->utilization)};
+            });
       }
     }
+  }
+
+  const auto rows = sweep.Run();
+  size_t next_row = 0;
+  for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
+    Table table({"Ranges", "Fit", "Internal Frag", "External Frag",
+                 "Util@full"});
+    for (int i = 0; i < 5 * 2; ++i) table.AddRow(rows[next_row++]);
     std::printf("Workload %s (paper: all bars < 5%%)\n%s\n",
                 workload::WorkloadKindToString(kind).c_str(),
                 table.ToString().c_str());

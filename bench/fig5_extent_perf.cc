@@ -14,32 +14,48 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   const disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
   exp::PrintBanner(
       "Figure 5: Application and Sequential Performance, Extent Based",
       "Figure 5", disk_config);
 
+  bench::Sweep sweep(argc, argv);
   for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
-    Table table({"Ranges", "Fit", "Application", "Sequential",
-                 "ExtentsPerFile"});
     for (int ranges = 1; ranges <= 5; ++ranges) {
       for (alloc::FitPolicy fit :
            {alloc::FitPolicy::kFirstFit, alloc::FitPolicy::kBestFit}) {
-        exp::Experiment experiment(
-            workload::MakeWorkload(kind),
-            bench::ExtentFactory(kind, ranges, fit), disk_config,
-            bench::BenchExperimentConfig());
-        auto perf = experiment.RunPerformancePair();
-        bench::DieOnError(perf.status(), "fig5 performance tests");
-        table.AddRow(
-            {FormatString("%d", ranges), alloc::FitPolicyToString(fit),
-             exp::Pct(perf->application.utilization_of_max),
-             exp::Pct(perf->sequential.utilization_of_max),
-             FormatString("%.1f", perf->sequential.avg_extents_per_file)});
-        std::fflush(stdout);
+        sweep.Add(
+            FormatString("fig5 %s %d-ranges %s",
+                         workload::WorkloadKindToString(kind).c_str(),
+                         ranges, alloc::FitPolicyToString(fit).c_str()),
+            [=](const runner::RunContext& ctx)
+                -> StatusOr<std::vector<std::string>> {
+              exp::ExperimentConfig config = bench::BenchExperimentConfig();
+              config.seed = ctx.seed;
+              exp::Experiment experiment(
+                  workload::MakeWorkload(kind),
+                  bench::ExtentFactory(kind, ranges, fit), disk_config,
+                  config);
+              auto perf = experiment.RunPerformancePair();
+              if (!perf.ok()) return perf.status();
+              return std::vector<std::string>{
+                  FormatString("%d", ranges), alloc::FitPolicyToString(fit),
+                  exp::Pct(perf->application.utilization_of_max),
+                  exp::Pct(perf->sequential.utilization_of_max),
+                  FormatString("%.1f",
+                               perf->sequential.avg_extents_per_file)};
+            });
       }
     }
+  }
+
+  const auto rows = sweep.Run();
+  size_t next_row = 0;
+  for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
+    Table table({"Ranges", "Fit", "Application", "Sequential",
+                 "ExtentsPerFile"});
+    for (int i = 0; i < 5 * 2; ++i) table.AddRow(rows[next_row++]);
     std::printf("Workload %s\n%s\n",
                 workload::WorkloadKindToString(kind).c_str(),
                 table.ToString().c_str());

@@ -20,18 +20,15 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   const disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
   exp::PrintBanner("Figure 6: Comparative Performance of the Policies",
                    "Figure 6 (a, b)", disk_config);
 
-  Table seq({"Workload", "Buddy", "RestrictedBuddy", "Extent(ff,3)",
-             "FixedBlock"});
-  Table app({"Workload", "Buddy", "RestrictedBuddy", "Extent(ff,3)",
-             "FixedBlock"});
-
+  bench::Sweep sweep(argc, argv);
   for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
-    std::vector<std::pair<std::string, exp::Experiment::AllocatorFactory>>
+    const std::vector<
+        std::pair<std::string, exp::Experiment::AllocatorFactory>>
         policies = {
             {"buddy", bench::BuddyFactory()},
             {"restricted-buddy", bench::RestrictedBuddyFactory(5, 1, true)},
@@ -39,17 +36,39 @@ int main() {
                                             alloc::FitPolicy::kFirstFit)},
             {"fixed", bench::FixedBlockFactory(kind)},
         };
+    for (const auto& [name, factory] : policies) {
+      sweep.Add(
+          FormatString("fig6 %s %s",
+                       workload::WorkloadKindToString(kind).c_str(),
+                       name.c_str()),
+          [kind, factory, disk_config](const runner::RunContext& ctx)
+              -> StatusOr<std::vector<std::string>> {
+            exp::ExperimentConfig config = bench::BenchExperimentConfig();
+            config.seed = ctx.seed;
+            exp::Experiment experiment(workload::MakeWorkload(kind),
+                                       factory, disk_config, config);
+            auto perf = experiment.RunPerformancePair();
+            if (!perf.ok()) return perf.status();
+            return std::vector<std::string>{
+                exp::Pct(perf->sequential.utilization_of_max),
+                exp::Pct(perf->application.utilization_of_max)};
+          });
+    }
+  }
+
+  const auto rows = sweep.Run();
+  Table seq({"Workload", "Buddy", "RestrictedBuddy", "Extent(ff,3)",
+             "FixedBlock"});
+  Table app({"Workload", "Buddy", "RestrictedBuddy", "Extent(ff,3)",
+             "FixedBlock"});
+  size_t next_row = 0;
+  for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
     std::vector<std::string> seq_row = {workload::WorkloadKindToString(kind)};
     std::vector<std::string> app_row = {workload::WorkloadKindToString(kind)};
-    for (auto& [name, factory] : policies) {
-      exp::Experiment experiment(workload::MakeWorkload(kind), factory,
-                                 disk_config,
-                                 bench::BenchExperimentConfig());
-      auto perf = experiment.RunPerformancePair();
-      bench::DieOnError(perf.status(), "fig6 " + name);
-      seq_row.push_back(exp::Pct(perf->sequential.utilization_of_max));
-      app_row.push_back(exp::Pct(perf->application.utilization_of_max));
-      std::fflush(stdout);
+    for (int policy = 0; policy < 4; ++policy) {
+      seq_row.push_back(rows[next_row][0]);
+      app_row.push_back(rows[next_row][1]);
+      ++next_row;
     }
     seq.AddRow(seq_row);
     app.AddRow(app_row);

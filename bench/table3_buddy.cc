@@ -15,34 +15,46 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   const disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
   exp::PrintBanner("Table 3: Results for Buddy Allocation", "Table 3",
                    disk_config);
 
-  Table table({"Workload", "Internal Frag", "External Frag",
-               "Application", "Sequential", "(paper: int/ext/app/seq)"});
   const char* paper[] = {"43.1% 13.4% 88.0% 94.4%",
                          "15.2%  9.0% 27.7% 93.9%",
                          "18.4%  2.3%  8.4% 12.0%"};
 
-  int row = 0;
+  bench::Sweep sweep(argc, argv);
   for (workload::WorkloadKind kind : workload::AllWorkloadKinds()) {
-    exp::Experiment experiment(workload::MakeWorkload(kind),
-                               bench::BuddyFactory(), disk_config,
-                               bench::BenchExperimentConfig());
-    auto alloc_result = experiment.RunAllocationTest();
-    bench::DieOnError(alloc_result.status(), "buddy allocation test");
-    auto perf = experiment.RunPerformancePair();
-    bench::DieOnError(perf.status(), "buddy performance tests");
+    sweep.Add(
+        FormatString("table3 %s",
+                     workload::WorkloadKindToString(kind).c_str()),
+        [=](const runner::RunContext& ctx)
+            -> StatusOr<std::vector<std::string>> {
+          exp::ExperimentConfig config = bench::BenchExperimentConfig();
+          config.seed = ctx.seed;
+          exp::Experiment experiment(workload::MakeWorkload(kind),
+                                     bench::BuddyFactory(), disk_config,
+                                     config);
+          auto alloc_result = experiment.RunAllocationTest();
+          if (!alloc_result.ok()) return alloc_result.status();
+          auto perf = experiment.RunPerformancePair();
+          if (!perf.ok()) return perf.status();
+          return std::vector<std::string>{
+              workload::WorkloadKindToString(kind),
+              exp::Pct(alloc_result->internal_fragmentation),
+              exp::Pct(alloc_result->external_fragmentation),
+              exp::Pct(perf->application.utilization_of_max),
+              exp::Pct(perf->sequential.utilization_of_max)};
+        });
+  }
 
-    table.AddRow({workload::WorkloadKindToString(kind),
-                  exp::Pct(alloc_result->internal_fragmentation),
-                  exp::Pct(alloc_result->external_fragmentation),
-                  exp::Pct(perf->application.utilization_of_max),
-                  exp::Pct(perf->sequential.utilization_of_max),
-                  paper[row++]});
-    std::fflush(stdout);
+  Table table({"Workload", "Internal Frag", "External Frag",
+               "Application", "Sequential", "(paper: int/ext/app/seq)"});
+  int row = 0;
+  for (auto& cells : sweep.Run()) {
+    cells.push_back(paper[row++]);
+    table.AddRow(cells);
   }
   std::printf("%s\n", table.ToString().c_str());
   return 0;

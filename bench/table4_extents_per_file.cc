@@ -23,7 +23,7 @@
 
 using namespace rofs;
 
-int main() {
+int main(int argc, char** argv) {
   const disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
   exp::PrintBanner("Table 4: Average Number of Extents Per File", "Table 4",
                    disk_config);
@@ -34,27 +34,41 @@ int main() {
                              {"151", "14", "7"},
                              {"162", "108", "6"}};
 
-  Table table({"Ranges", "SC", "TP", "TS", "(paper SC/TP/TS)"});
+  bench::Sweep sweep(argc, argv);
   for (int ranges = 1; ranges <= 5; ++ranges) {
-    std::vector<std::string> row = {FormatString("%d", ranges)};
-    int col = 0;
     for (workload::WorkloadKind kind :
          {workload::WorkloadKind::kSuperComputer,
           workload::WorkloadKind::kTransactionProcessing,
           workload::WorkloadKind::kTimeSharing}) {
-      exp::Experiment experiment(
-          workload::MakeWorkload(kind),
-          bench::ExtentFactory(kind, ranges, alloc::FitPolicy::kFirstFit),
-          disk_config, bench::BenchExperimentConfig());
-      auto result = experiment.RunAllocationTest();
-      bench::DieOnError(result.status(), "table4 allocation test");
-      row.push_back(FormatString("%.0f", result->avg_extents_per_file));
-      ++col;
+      sweep.Add(
+          FormatString("table4 %d-ranges %s", ranges,
+                       workload::WorkloadKindToString(kind).c_str()),
+          [=](const runner::RunContext& ctx)
+              -> StatusOr<std::vector<std::string>> {
+            exp::ExperimentConfig config = bench::BenchExperimentConfig();
+            config.seed = ctx.seed;
+            exp::Experiment experiment(
+                workload::MakeWorkload(kind),
+                bench::ExtentFactory(kind, ranges,
+                                     alloc::FitPolicy::kFirstFit),
+                disk_config, config);
+            auto result = experiment.RunAllocationTest();
+            if (!result.ok()) return result.status();
+            return std::vector<std::string>{
+                FormatString("%.0f", result->avg_extents_per_file)};
+          });
     }
+  }
+
+  const auto rows = sweep.Run();
+  Table table({"Ranges", "SC", "TP", "TS", "(paper SC/TP/TS)"});
+  size_t next_row = 0;
+  for (int ranges = 1; ranges <= 5; ++ranges) {
+    std::vector<std::string> row = {FormatString("%d", ranges)};
+    for (int col = 0; col < 3; ++col) row.push_back(rows[next_row++][0]);
     row.push_back(FormatString("%s / %s / %s", paper[ranges - 1][0],
                                paper[ranges - 1][1], paper[ranges - 1][2]));
     table.AddRow(row);
-    std::fflush(stdout);
   }
   std::printf("%s\n", table.ToString().c_str());
   return 0;

@@ -1,0 +1,61 @@
+#ifndef ROFS_RUNNER_RUN_SPEC_H_
+#define ROFS_RUNNER_RUN_SPEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace rofs::runner {
+
+/// Per-run inputs handed to the run function by the SweepRunner: the
+/// derived seed for this run's private RNG stream, the run's position in
+/// the grid, and the (1-based) attempt number when retries are enabled.
+struct RunContext {
+  uint64_t seed = 0;
+  size_t index = 0;
+  int attempt = 1;
+};
+
+/// One cell of a sweep grid.
+///
+/// The run function must be self-contained — build its own simulation
+/// (disk system, allocator, experiment) from its captures and the context
+/// seed — because it executes on an arbitrary pool thread, concurrently
+/// with every other cell. Its return value is an opaque row payload
+/// (benches use formatted table cells), or the Status explaining the
+/// failure.
+struct RunSpec {
+  /// Progress/diagnostic label ("fig1 TS 5-sizes g=2 clustered").
+  std::string label;
+
+  /// The run's RNG seed is derived as SplitSeed(base_seed, stream):
+  /// stream 0 yields base_seed itself (grid cells share common random
+  /// numbers for controlled comparisons), while replicates take distinct
+  /// streams for independent draws.
+  uint64_t base_seed = 1;
+  uint64_t stream = 0;
+
+  std::function<StatusOr<std::vector<std::string>>(const RunContext&)> run;
+};
+
+/// Outcome of one run. SweepRunner returns these indexed exactly like the
+/// submitted specs, so aggregated output is byte-identical regardless of
+/// the number of worker threads.
+struct RunResult {
+  Status status;
+  /// The run function's payload; empty unless status.ok().
+  std::vector<std::string> cells;
+  /// Host wall-clock of the final attempt, milliseconds.
+  double wall_ms = 0;
+  /// Attempts consumed (1 unless retries were configured and needed).
+  int attempts = 0;
+  size_t index = 0;
+  std::string label;
+};
+
+}  // namespace rofs::runner
+
+#endif  // ROFS_RUNNER_RUN_SPEC_H_

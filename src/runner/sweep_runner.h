@@ -1,0 +1,65 @@
+#ifndef ROFS_RUNNER_SWEEP_RUNNER_H_
+#define ROFS_RUNNER_SWEEP_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "runner/run_spec.h"
+
+namespace rofs::runner {
+
+struct SweepOptions {
+  /// Worker threads. Values <= 0 resolve through ResolveJobs(): the
+  /// ROFS_JOBS environment variable if set, else the hardware thread
+  /// count.
+  int jobs = 0;
+
+  /// Per-run wall-clock budget in host milliseconds; 0 disables. A run
+  /// whose attempt exceeds the budget is reported as DeadlineExceeded and
+  /// the sweep moves on; the attempt itself cannot be interrupted (no
+  /// thread killing), so pool shutdown still waits for it to finish and
+  /// its late result is discarded. Timed-out results depend on host
+  /// timing, so sweeps that must be byte-identical across job counts
+  /// should leave this at 0.
+  double timeout_ms = 0;
+
+  /// Total attempts per run (>= 1). Failed attempts (non-OK Status or a
+  /// thrown exception) are retried with the same derived seed.
+  int max_attempts = 1;
+
+  /// Invoked in submission order as results are collected; `done` counts
+  /// collected runs. Called from the collecting thread only.
+  std::function<void(const RunResult&, size_t done, size_t total)> progress;
+};
+
+/// Executes a grid of independent simulation runs on a fixed-size thread
+/// pool, deterministically.
+///
+/// Guarantees:
+///  - each run's RNG stream depends only on its spec (base_seed, stream),
+///    never on scheduling;
+///  - results are returned (and the progress callback fired) in
+///    submission order;
+///  - a run that fails or throws becomes a Status in its RunResult; the
+///    sweep always completes.
+/// Together these make the aggregate output byte-identical for any job
+/// count (absent timeouts, which are inherently timing-dependent).
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  std::vector<RunResult> Run(const std::vector<RunSpec>& specs);
+
+  /// jobs > 0 as given; else ROFS_JOBS if set to a positive integer; else
+  /// std::thread::hardware_concurrency(); always >= 1.
+  static int ResolveJobs(int requested);
+
+  int jobs() const { return options_.jobs; }
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace rofs::runner
+
+#endif  // ROFS_RUNNER_SWEEP_RUNNER_H_

@@ -90,4 +90,11 @@ double Rng::Exponential(double mean) {
 
 bool Rng::Bernoulli(double p) { return NextDouble() < p; }
 
+uint64_t SplitSeed(uint64_t base_seed, uint64_t stream) {
+  if (stream == 0) return base_seed;
+  uint64_t x = base_seed ^ (stream * 0xBF58476D1CE4E5B9ull);
+  SplitMix64(x);  // Advance once so adjacent streams decorrelate.
+  return SplitMix64(x);
+}
+
 }  // namespace rofs

@@ -43,6 +43,15 @@ class Rng {
   double spare_ = 0.0;
 };
 
+/// Derives the seed of an independent RNG stream from a base seed and a
+/// stream index (SplitMix64 double-mixing, the same mixer Rng uses to
+/// expand seeds into xoshiro256** state).
+///
+/// Stream 0 is the base stream: SplitSeed(s, 0) == s, so sweeps that want
+/// common random numbers across grid cells simply share stream 0, while
+/// replicates take streams 1, 2, ... for independent draws.
+uint64_t SplitSeed(uint64_t base_seed, uint64_t stream);
+
 }  // namespace rofs
 
 #endif  // ROFS_UTIL_RANDOM_H_

@@ -20,6 +20,8 @@ enum class StatusCode {
   kResourceExhausted,
   kFailedPrecondition,
   kInternal,
+  /// A run exceeded its wall-clock budget (runner per-run timeouts).
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK", ...).
@@ -59,6 +61,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -70,6 +75,9 @@ class Status {
     return code_ == StatusCode::kResourceExhausted;
   }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }

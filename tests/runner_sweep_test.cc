@@ -1,0 +1,204 @@
+#include "runner/sweep_runner.h"
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/table.h"
+
+namespace rofs::runner {
+namespace {
+
+/// A miniature "simulation": draws from the run's private RNG stream and
+/// sleeps a stream-dependent amount so parallel completion order differs
+/// from submission order.
+RunSpec MakeRngSpec(uint64_t base_seed, uint64_t stream,
+                    const std::string& label) {
+  RunSpec spec;
+  spec.label = label;
+  spec.base_seed = base_seed;
+  spec.stream = stream;
+  spec.run = [](const RunContext& ctx)
+      -> StatusOr<std::vector<std::string>> {
+    Rng rng(ctx.seed);
+    const uint64_t a = rng.Next();
+    std::this_thread::sleep_for(std::chrono::microseconds(a % 2000));
+    const double b = rng.NextDouble();
+    return std::vector<std::string>{FormatString("%llu",
+                                                 static_cast<unsigned long long>(a)),
+                                    FormatString("%.17g", b)};
+  };
+  return spec;
+}
+
+std::vector<RunSpec> MakeGrid(size_t n) {
+  std::vector<RunSpec> specs;
+  for (size_t i = 0; i < n; ++i) {
+    specs.push_back(MakeRngSpec(/*base_seed=*/42, /*stream=*/i,
+                                FormatString("cell-%zu", i)));
+  }
+  return specs;
+}
+
+TEST(SweepRunnerTest, Jobs1AndJobs8ProduceIdenticalResults) {
+  const std::vector<RunSpec> specs = MakeGrid(32);
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  std::vector<RunResult> r1 = SweepRunner(serial).Run(specs);
+
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  std::vector<RunResult> r8 = SweepRunner(parallel).Run(specs);
+
+  ASSERT_EQ(r1.size(), specs.size());
+  ASSERT_EQ(r8.size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_TRUE(r1[i].status.ok());
+    EXPECT_TRUE(r8[i].status.ok());
+    EXPECT_EQ(r1[i].index, i);
+    EXPECT_EQ(r8[i].index, i);
+    EXPECT_EQ(r1[i].label, r8[i].label);
+    // The payload — every formatted digit — must match bit for bit.
+    EXPECT_EQ(r1[i].cells, r8[i].cells) << "row " << i;
+  }
+}
+
+TEST(SweepRunnerTest, ResultsArriveInSubmissionOrder) {
+  SweepOptions options;
+  options.jobs = 8;
+  std::vector<RunResult> results = SweepRunner(options).Run(MakeGrid(16));
+  ASSERT_EQ(results.size(), 16u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].label, FormatString("cell-%zu", i));
+  }
+}
+
+TEST(SweepRunnerTest, StreamsGetDistinctSeeds) {
+  // Stream 0 is the base stream; others must all differ.
+  EXPECT_EQ(SplitSeed(42, 0), 42u);
+  std::vector<uint64_t> seen;
+  for (uint64_t s = 0; s < 100; ++s) {
+    const uint64_t seed = SplitSeed(42, s);
+    for (uint64_t prior : seen) EXPECT_NE(seed, prior) << "stream " << s;
+    seen.push_back(seed);
+  }
+}
+
+TEST(SweepRunnerTest, ExceptionBecomesInternalStatus) {
+  std::vector<RunSpec> specs = MakeGrid(3);
+  specs[1].run = [](const RunContext&)
+      -> StatusOr<std::vector<std::string>> {
+    throw std::runtime_error("boom");
+  };
+  SweepOptions options;
+  options.jobs = 4;
+  std::vector<RunResult> results = SweepRunner(options).Run(specs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kInternal);
+  EXPECT_NE(results[1].status.message().find("boom"), std::string::npos);
+  EXPECT_TRUE(results[2].status.ok());  // The sweep survives the throw.
+}
+
+TEST(SweepRunnerTest, ErrorStatusIsReportedNotFatal) {
+  std::vector<RunSpec> specs = MakeGrid(2);
+  specs[0].run = [](const RunContext&)
+      -> StatusOr<std::vector<std::string>> {
+    return Status::ResourceExhausted("disk full");
+  };
+  std::vector<RunResult> results = SweepRunner().Run(specs);
+  EXPECT_TRUE(results[0].status.IsResourceExhausted());
+  EXPECT_EQ(results[0].attempts, 1);
+  EXPECT_TRUE(results[1].status.ok());
+}
+
+TEST(SweepRunnerTest, RetriesFailedRunsUpToMaxAttempts) {
+  RunSpec spec;
+  spec.label = "flaky";
+  spec.run = [](const RunContext& ctx)
+      -> StatusOr<std::vector<std::string>> {
+    if (ctx.attempt < 3) return Status::Internal("transient");
+    return std::vector<std::string>{"ok on attempt 3"};
+  };
+  SweepOptions options;
+  options.jobs = 2;
+  options.max_attempts = 3;
+  std::vector<RunResult> results = SweepRunner(options).Run({spec});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].status.ok());
+  EXPECT_EQ(results[0].attempts, 3);
+  EXPECT_EQ(results[0].cells,
+            std::vector<std::string>{"ok on attempt 3"});
+}
+
+TEST(SweepRunnerTest, ExhaustedRetriesKeepLastError) {
+  RunSpec spec;
+  spec.label = "always-fails";
+  spec.run = [](const RunContext&)
+      -> StatusOr<std::vector<std::string>> {
+    return Status::Internal("permanent");
+  };
+  SweepOptions options;
+  options.max_attempts = 2;
+  std::vector<RunResult> results = SweepRunner(options).Run({spec});
+  EXPECT_FALSE(results[0].status.ok());
+  EXPECT_EQ(results[0].attempts, 2);
+}
+
+TEST(SweepRunnerTest, SlowRunIsMarkedDeadlineExceeded) {
+  std::vector<RunSpec> specs;
+  {
+    RunSpec slow;
+    slow.label = "slow";
+    slow.run = [](const RunContext&)
+        -> StatusOr<std::vector<std::string>> {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      return std::vector<std::string>{"too late"};
+    };
+    specs.push_back(std::move(slow));
+  }
+  specs.push_back(MakeRngSpec(1, 1, "fast"));
+  SweepOptions options;
+  options.jobs = 2;
+  options.timeout_ms = 50;
+  std::vector<RunResult> results = SweepRunner(options).Run(specs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].status.IsDeadlineExceeded());
+  EXPECT_TRUE(results[0].cells.empty());  // Late payload discarded.
+  EXPECT_TRUE(results[1].status.ok());
+}
+
+TEST(SweepRunnerTest, ProgressFiresOncePerRunInOrder) {
+  std::vector<size_t> done_counts;
+  std::vector<size_t> indices;
+  SweepOptions options;
+  options.jobs = 4;
+  options.progress = [&](const RunResult& r, size_t done, size_t total) {
+    done_counts.push_back(done);
+    indices.push_back(r.index);
+    EXPECT_EQ(total, 10u);
+  };
+  SweepRunner(options).Run(MakeGrid(10));
+  ASSERT_EQ(done_counts.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(done_counts[i], i + 1);
+    EXPECT_EQ(indices[i], i);
+  }
+}
+
+TEST(SweepRunnerTest, ResolveJobsPrefersExplicitRequest) {
+  EXPECT_EQ(SweepRunner::ResolveJobs(3), 3);
+  EXPECT_GE(SweepRunner::ResolveJobs(0), 1);
+  EXPECT_GE(SweepRunner::ResolveJobs(-5), 1);
+}
+
+}  // namespace
+}  // namespace rofs::runner

@@ -1,0 +1,86 @@
+#include "runner/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rofs::runner {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEveryTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // Destructor drains the queue.
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran.store(true); });
+  pool.Shutdown();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsTasksInSubmissionOrder) {
+  std::vector<int> order;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 100; ++i) {
+      // One worker: no concurrent access to `order`.
+      pool.Submit([&order, i] { order.push_back(i); });
+    }
+  }
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotentAndDrainsQueue) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Shutdown();
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+}
+
+TEST(ThreadPoolTest, WorkersRunConcurrently) {
+  // Two tasks that each need the other to make progress can only finish
+  // if two workers really run at once.
+  ThreadPool pool(2);
+  std::promise<void> first_running;
+  std::promise<void> unblock_first;
+  pool.Submit([&first_running, &unblock_first] {
+    first_running.set_value();
+    unblock_first.get_future().wait();
+  });
+  pool.Submit([&first_running, &unblock_first]() mutable {
+    first_running.get_future().wait();
+    unblock_first.set_value();
+  });
+  // Bounded wait so a broken pool fails the test instead of hanging it.
+  std::atomic<bool> done{false};
+  std::promise<void> third_ran;
+  pool.Submit([&third_ran, &done] {
+    done.store(true);
+    third_ran.set_value();
+  });
+  ASSERT_EQ(third_ran.get_future().wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_TRUE(done.load());
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace rofs::runner

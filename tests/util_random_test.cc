@@ -139,5 +139,38 @@ TEST(RngTest, ExtentRangeSpreadMatchesPaper) {
   EXPECT_GT(inside / static_cast<double>(kDraws), 0.99);
 }
 
+TEST(SplitSeedTest, StreamZeroIsIdentity) {
+  EXPECT_EQ(SplitSeed(1, 0), 1u);
+  EXPECT_EQ(SplitSeed(0xDEADBEEF, 0), 0xDEADBEEFull);
+}
+
+TEST(SplitSeedTest, DerivationIsDeterministic) {
+  EXPECT_EQ(SplitSeed(1, 7), SplitSeed(1, 7));
+}
+
+TEST(SplitSeedTest, StreamsAndBasesSeparate) {
+  // Distinct streams of one base, and one stream across distinct bases,
+  // must all land on distinct seeds.
+  std::vector<uint64_t> seeds;
+  for (uint64_t stream = 0; stream < 64; ++stream) {
+    seeds.push_back(SplitSeed(1, stream));
+  }
+  for (uint64_t base = 2; base <= 64; ++base) {
+    seeds.push_back(SplitSeed(base, 1));
+  }
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    for (size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(SplitSeedTest, SplitStreamsAreUncorrelated) {
+  Rng a(SplitSeed(9, 1)), b(SplitSeed(9, 2));
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 3);
+}
+
 }  // namespace
 }  // namespace rofs

@@ -10,16 +10,26 @@
 //   rofs_sim --stats <config.ini>          # add per-type/per-op stats
 //   rofs_sim --trace out.csv <config.ini>  # dump the application-test
 //                                          # operation trace as CSV
+//   rofs_sim --jobs N <config.ini>         # run independent tests on N
+//                                          # threads (also: ROFS_JOBS)
+//
+// The enabled tests (allocation; application+sequential) are independent
+// simulations, so --jobs N > 1 runs them concurrently; the printed output
+// is byte-identical for any job count. --trace forces serial execution
+// (the trace spans every test's operation stream, in order).
 //
 // See configs/ for ready-made files reproducing the paper's setups.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "config/sim_config.h"
 #include "exp/reporting.h"
 #include "exp/trace.h"
+#include "runner/sweep_runner.h"
 #include "util/table.h"
 
 using namespace rofs;
@@ -31,6 +41,7 @@ struct Options {
   bool dump_only = false;
   bool stats = false;
   std::string trace_path;
+  int jobs = 0;  // 0: ROFS_JOBS, else hardware threads.
 };
 
 int Run(const Options& opts) {
@@ -61,53 +72,93 @@ int Run(const Options& opts) {
   std::printf("\n");
   if (dump_only) return 0;
 
-  exp::Experiment experiment(sim->workload, sim->allocator_factory,
-                             sim->disk, sim->experiment);
+  runner::SweepOptions sweep_options;
+  sweep_options.jobs = runner::SweepRunner::ResolveJobs(opts.jobs);
+  if (!opts.trace_path.empty() && sweep_options.jobs > 1) {
+    std::fprintf(stderr,
+                 "rofs_sim: --trace records every test's operation "
+                 "stream in order; forcing --jobs 1\n");
+    sweep_options.jobs = 1;
+  }
+
   exp::OpTrace trace;
-  if (!opts.trace_path.empty()) {
-    experiment.set_instrument(
-        [&trace](workload::OpGenerator* gen) { trace.Attach(gen); });
-  }
+  const bool tracing = !opts.trace_path.empty();
   std::string stats_report;
-  if (opts.stats) experiment.set_stats_sink(&stats_report);
-  if (sim->tests.allocation) {
-    auto result = experiment.RunAllocationTest();
-    if (!result.ok()) {
-      std::fprintf(stderr, "allocation test: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("allocation test:   %s\n", exp::Summarize(*result).c_str());
-    std::fflush(stdout);
+  const config::SimConfig* cfg = &*sim;
+
+  // Each enabled test group is an independent simulation (every Run*
+  // call builds a fresh one), so they parallelize as a tiny sweep.
+  std::vector<runner::RunSpec> specs;
+  if (cfg->tests.allocation) {
+    runner::RunSpec spec;
+    spec.label = "allocation test";
+    spec.run = [cfg, tracing, &trace](const runner::RunContext&)
+        -> StatusOr<std::vector<std::string>> {
+      exp::Experiment experiment(cfg->workload, cfg->allocator_factory,
+                                 cfg->disk, cfg->experiment);
+      if (tracing) {
+        experiment.set_instrument(
+            [&trace](workload::OpGenerator* gen) { trace.Attach(gen); });
+      }
+      auto result = experiment.RunAllocationTest();
+      if (!result.ok()) return result.status();
+      return std::vector<std::string>{"allocation test:   " +
+                                      exp::Summarize(*result)};
+    };
+    specs.push_back(std::move(spec));
   }
-  if (sim->tests.application && sim->tests.sequential) {
-    auto pair = experiment.RunPerformancePair();
-    if (!pair.ok()) {
-      std::fprintf(stderr, "performance tests: %s\n",
-                   pair.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("application test:  %s\n",
-                exp::Summarize(pair->application).c_str());
-    std::printf("sequential test:   %s\n",
-                exp::Summarize(pair->sequential).c_str());
-  } else if (sim->tests.application) {
-    auto result = experiment.RunApplicationTest();
-    if (!result.ok()) {
-      std::fprintf(stderr, "application test: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("application test:  %s\n", exp::Summarize(*result).c_str());
-  } else if (sim->tests.sequential) {
-    auto result = experiment.RunSequentialTest();
-    if (!result.ok()) {
-      std::fprintf(stderr, "sequential test: %s\n",
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("sequential test:   %s\n", exp::Summarize(*result).c_str());
+  if (cfg->tests.application || cfg->tests.sequential) {
+    runner::RunSpec spec;
+    spec.label = cfg->tests.application && cfg->tests.sequential
+                     ? "performance tests"
+                     : (cfg->tests.application ? "application test"
+                                               : "sequential test");
+    const bool want_stats = opts.stats;
+    spec.run = [cfg, tracing, &trace, want_stats, &stats_report](
+                   const runner::RunContext&)
+        -> StatusOr<std::vector<std::string>> {
+      exp::Experiment experiment(cfg->workload, cfg->allocator_factory,
+                                 cfg->disk, cfg->experiment);
+      if (tracing) {
+        experiment.set_instrument(
+            [&trace](workload::OpGenerator* gen) { trace.Attach(gen); });
+      }
+      if (want_stats) experiment.set_stats_sink(&stats_report);
+      if (cfg->tests.application && cfg->tests.sequential) {
+        auto pair = experiment.RunPerformancePair();
+        if (!pair.ok()) return pair.status();
+        return std::vector<std::string>{
+            "application test:  " + exp::Summarize(pair->application),
+            "sequential test:   " + exp::Summarize(pair->sequential)};
+      }
+      if (cfg->tests.application) {
+        auto result = experiment.RunApplicationTest();
+        if (!result.ok()) return result.status();
+        return std::vector<std::string>{"application test:  " +
+                                        exp::Summarize(*result)};
+      }
+      auto result = experiment.RunSequentialTest();
+      if (!result.ok()) return result.status();
+      return std::vector<std::string>{"sequential test:   " +
+                                      exp::Summarize(*result)};
+    };
+    specs.push_back(std::move(spec));
   }
+
+  runner::SweepRunner sweep_runner(sweep_options);
+  std::vector<runner::RunResult> results = sweep_runner.Run(specs);
+  for (const runner::RunResult& result : results) {
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", result.label.c_str(),
+                   result.status.ToString().c_str());
+      return 1;
+    }
+    for (const std::string& line : result.cells) {
+      std::printf("%s\n", line.c_str());
+      std::fflush(stdout);
+    }
+  }
+
   if (opts.stats && !stats_report.empty()) {
     std::printf("\nper-type operation statistics (application phase):\n%s",
                 stats_report.c_str());
@@ -137,6 +188,10 @@ int main(int argc, char** argv) {
       opts.stats = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       opts.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      opts.jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      opts.jobs = std::atoi(argv[i] + 7);
     } else if (opts.path.empty() && argv[i][0] != '-') {
       opts.path = argv[i];
     } else {
@@ -147,7 +202,7 @@ int main(int argc, char** argv) {
   if (bad || opts.path.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--dump] [--stats] [--trace out.csv] "
-                 "<config.ini>\n",
+                 "[--jobs N] <config.ini>\n",
                  argv[0]);
     return 2;
   }
