@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
                        workload::WorkloadKindToString(kind).c_str(),
                        setup.label),
           [kind, setup](const runner::RunContext& ctx)
-              -> StatusOr<std::vector<std::string>> {
+              -> StatusOr<exp::RunRecord> {
             exp::ExperimentConfig config = bench::BenchExperimentConfig();
             config.fs_options = setup.options;
             config.seed = ctx.seed;
@@ -69,10 +69,15 @@ int main(int argc, char** argv) {
                 bench::PaperDiskConfig(), config);
             auto perf = experiment.RunPerformancePair();
             if (!perf.ok()) return perf.status();
+            exp::RunRecord record;
+            record.MergeMetrics(perf->application.ToRecord(), "app.");
+            record.MergeMetrics(perf->sequential.ToRecord(), "seq.");
+            return record;
+          },
+          [label = std::string(setup.label)](const bench::CellStats& cs) {
             return std::vector<std::string>{
-                setup.label,
-                exp::Pct(perf->application.utilization_of_max),
-                exp::Pct(perf->sequential.utilization_of_max)};
+                label, cs.Pct("app.throughput_of_max"),
+                cs.Pct("seq.throughput_of_max")};
           });
     }
   }

@@ -33,8 +33,7 @@ int main(int argc, char** argv) {
           FormatString("raid ablation %s %s",
                        workload::WorkloadKindToString(kind).c_str(),
                        disk::LayoutKindToString(layout).c_str()),
-          [=](const runner::RunContext& ctx)
-              -> StatusOr<std::vector<std::string>> {
+          [=](const runner::RunContext& ctx) -> StatusOr<exp::RunRecord> {
             disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
             disk_config.layout = layout;
             // Mirroring halves the logical capacity: the TP/SC populations
@@ -53,15 +52,21 @@ int main(int argc, char** argv) {
                 disk_config, config);
             auto perf = experiment.RunPerformancePair();
             if (!perf.ok()) return perf.status();
+            exp::RunRecord record;
+            record.MergeMetrics(perf->application.ToRecord(), "app.");
+            record.MergeMetrics(perf->sequential.ToRecord(), "seq.");
+            return record;
+          },
+          [=](const bench::CellStats& cs) {
+            disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
+            disk_config.layout = layout;
             disk::DiskSystem probe(disk_config);
             return std::vector<std::string>{
                 disk::LayoutKindToString(layout),
                 FormatBytes(probe.capacity_bytes()),
-                exp::Pct(perf->application.utilization_of_max),
-                exp::Pct(perf->sequential.utilization_of_max),
-                FormatString("%llu", static_cast<unsigned long long>(
-                                         perf->application
-                                             .disk_full_events))};
+                cs.Pct("app.throughput_of_max"),
+                cs.Pct("seq.throughput_of_max"),
+                cs.Fixed("app.disk_full_events", 0)};
           });
     }
   }

@@ -38,9 +38,8 @@ int main(int argc, char** argv) {
             FormatString("stripe ablation %s %s %s",
                          workload::WorkloadKindToString(kind).c_str(),
                          FormatBytes(stripe).c_str(), name.c_str()),
-            [kind, stripe, name = name, factory = factory](
-                const runner::RunContext& ctx)
-                -> StatusOr<std::vector<std::string>> {
+            [kind, stripe, factory = factory](const runner::RunContext& ctx)
+                -> StatusOr<exp::RunRecord> {
               disk::DiskSystemConfig disk_config = bench::PaperDiskConfig();
               disk_config.stripe_unit_bytes = stripe;
               exp::ExperimentConfig config = bench::BenchExperimentConfig();
@@ -49,10 +48,16 @@ int main(int argc, char** argv) {
                                          factory, disk_config, config);
               auto perf = experiment.RunPerformancePair();
               if (!perf.ok()) return perf.status();
+              exp::RunRecord record;
+              record.MergeMetrics(perf->application.ToRecord(), "app.");
+              record.MergeMetrics(perf->sequential.ToRecord(), "seq.");
+              return record;
+            },
+            [stripe, name = name](const bench::CellStats& cs) {
               return std::vector<std::string>{
                   FormatBytes(stripe), name,
-                  exp::Pct(perf->application.utilization_of_max),
-                  exp::Pct(perf->sequential.utilization_of_max)};
+                  cs.Pct("app.throughput_of_max"),
+                  cs.Pct("seq.throughput_of_max")};
             });
       }
     }

@@ -7,6 +7,8 @@
 
 #include "alloc/buddy_allocator.h"
 #include "alloc/fixed_block_allocator.h"
+#include "exp/reporting.h"
+#include "util/table.h"
 #include "util/units.h"
 
 namespace rofs::bench {
@@ -97,46 +99,172 @@ runner::SweepOptions ParseSweepOptions(int argc, char** argv) {
   return options;
 }
 
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions options;
+  options.sweep = ParseSweepOptions(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if ((std::strcmp(argv[i], "--replicates") == 0 ||
+         std::strcmp(argv[i], "-r") == 0) &&
+        i + 1 < argc) {
+      options.replicates = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--replicates=", 13) == 0) {
+      options.replicates = std::atoi(argv[i] + 13);
+    } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      options.jsonl_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--jsonl=", 8) == 0) {
+      options.jsonl_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      options.csv_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      options.csv_path = argv[i] + 6;
+    }
+  }
+  if (options.jsonl_path.empty()) {
+    if (const char* env = std::getenv("ROFS_JSONL");
+        env != nullptr && env[0] != '\0') {
+      options.jsonl_path = env;
+    }
+  }
+  if (options.csv_path.empty()) {
+    if (const char* env = std::getenv("ROFS_CSV");
+        env != nullptr && env[0] != '\0') {
+      options.csv_path = env;
+    }
+  }
+  return options;
+}
+
+const stats::Summary& CellStats::Of(const std::string& metric) const {
+  const auto it = summaries_.find(metric);
+  if (it == summaries_.end()) {
+    std::fprintf(stderr,
+                 "FATAL: formatter asked for metric '%s' that no replicate "
+                 "recorded\n",
+                 metric.c_str());
+    std::exit(1);
+  }
+  return it->second;
+}
+
+std::string CellStats::Pct(const std::string& metric) const {
+  const stats::Summary& s = Of(metric);
+  if (replicates_ <= 1) return FormatString("%.1f%%", s.mean * 100.0);
+  return FormatString("%.1f±%.1f%%", s.mean * 100.0,
+                      s.ci_half_width * 100.0);
+}
+
+std::string CellStats::Fixed(const std::string& metric, int decimals,
+                             const char* suffix) const {
+  const stats::Summary& s = Of(metric);
+  if (replicates_ <= 1) {
+    return FormatString("%.*f%s", decimals, s.mean, suffix);
+  }
+  return FormatString("%.*f±%.*f%s", decimals, s.mean, decimals,
+                      s.ci_half_width, suffix);
+}
+
 Sweep::Sweep(int argc, char** argv)
-    : options_(ParseSweepOptions(argc, argv)) {
-  options_.jobs = runner::SweepRunner::ResolveJobs(options_.jobs);
-  options_.progress = [](const runner::RunResult& r, size_t done,
-                         size_t total) {
+    : options_(ParseBenchOptions(argc, argv)) {
+  options_.sweep.jobs = runner::SweepRunner::ResolveJobs(options_.sweep.jobs);
+  options_.replicates =
+      runner::SweepRunner::ResolveReplicates(options_.replicates);
+  options_.sweep.progress = [](const runner::RunResult& r, size_t done,
+                               size_t total) {
     std::fprintf(stderr, "[%zu/%zu] %s: %s (%.1fs)\n", done, total,
                  r.label.c_str(),
                  r.status.ok() ? "ok" : r.status.ToString().c_str(),
                  r.wall_ms / 1000.0);
   };
+  experiment_ = "bench";
+  if (argc >= 1 && argv[0] != nullptr && argv[0][0] != '\0') {
+    std::string name = argv[0];
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+    if (!name.empty()) experiment_ = std::move(name);
+  }
 }
 
-void Sweep::Add(std::string label, RunFn fn, uint64_t stream) {
-  runner::RunSpec spec;
-  spec.label = std::move(label);
-  spec.stream = stream;
-  spec.run = std::move(fn);
-  specs_.push_back(std::move(spec));
+void Sweep::Add(std::string label, RecordFn fn, FormatFn format) {
+  Cell cell;
+  cell.label = std::move(label);
+  cell.run = std::move(fn);
+  cell.format = std::move(format);
+  cells_.push_back(std::move(cell));
 }
 
 std::vector<std::vector<std::string>> Sweep::Run() {
+  const int replicates = options_.replicates;
+  const size_t total_runs =
+      cells_.size() * static_cast<size_t>(replicates);
+  records_.assign(total_runs, exp::RunRecord{});
+
+  // One spec per cell; ExpandReplicates fans each out over RNG streams
+  // 0..R-1, cell-major, so cell c's replicate r writes records_[c*R + r]
+  // (its expanded submission index) — a private slot, no locking needed.
+  std::vector<runner::RunSpec> specs;
+  specs.reserve(cells_.size());
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    runner::RunSpec spec;
+    spec.label = cells_[c].label;
+    spec.run = [this, c, replicates](const runner::RunContext& ctx)
+        -> StatusOr<std::vector<std::string>> {
+      StatusOr<exp::RunRecord> record = cells_[c].run(ctx);
+      if (!record.ok()) return record.status();
+      exp::RunRecord r = std::move(record).value();
+      r.experiment = experiment_;
+      r.cell = cells_[c].label;
+      r.replicate = static_cast<int>(ctx.index % replicates);
+      r.seed = ctx.seed;
+      records_[ctx.index] = std::move(r);
+      return std::vector<std::string>{};
+    };
+    specs.push_back(std::move(spec));
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
-  runner::SweepRunner sweep_runner(options_);
-  std::vector<runner::RunResult> results = sweep_runner.Run(specs_);
+  runner::SweepRunner sweep_runner(options_.sweep);
+  std::vector<runner::RunResult> results = sweep_runner.Run(
+      runner::SweepRunner::ExpandReplicates(std::move(specs), replicates));
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   double run_s = 0;
-  std::vector<std::vector<std::string>> rows;
-  rows.reserve(results.size());
-  for (runner::RunResult& r : results) {
+  for (const runner::RunResult& r : results) {
     DieOnError(r.status, r.label);
     run_s += r.wall_ms / 1000.0;
-    rows.push_back(std::move(r.cells));
   }
   std::fprintf(stderr,
                "sweep: %zu runs on %d thread(s), wall %.1fs, "
                "sum-of-runs %.1fs (%.1fx)\n",
                results.size(), sweep_runner.jobs(), wall_s, run_s,
                wall_s > 0 ? run_s / wall_s : 0.0);
+
+  // Aggregate each cell across its replicates and format its row.
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(cells_.size());
+  for (size_t c = 0; c < cells_.size(); ++c) {
+    stats::MetricSet metrics;
+    for (int r = 0; r < replicates; ++r) {
+      metrics.AddAll(records_[c * replicates + r].metrics);
+    }
+    CellStats cell_stats(replicates,
+                         metrics.Summarize(options_.confidence));
+    rows.push_back(cells_[c].format(cell_stats));
+  }
+
+  std::string jsonl = options_.jsonl_path;
+  if (jsonl.empty() && replicates > 1) jsonl = experiment_ + ".jsonl";
+  if (!jsonl.empty()) {
+    DieOnError(exp::WriteJsonl(jsonl, records_), "write " + jsonl);
+    std::fprintf(stderr, "sweep: wrote %zu records -> %s\n",
+                 records_.size(), jsonl.c_str());
+  }
+  if (!options_.csv_path.empty()) {
+    DieOnError(exp::WriteCsv(options_.csv_path, records_),
+               "write " + options_.csv_path);
+    std::fprintf(stderr, "sweep: wrote %zu records -> %s\n",
+                 records_.size(), options_.csv_path.c_str());
+  }
   return rows;
 }
 

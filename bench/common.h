@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,7 +13,9 @@
 #include "alloc/restricted_buddy.h"
 #include "disk/disk_system.h"
 #include "exp/experiment.h"
+#include "exp/run_record.h"
 #include "runner/sweep_runner.h"
+#include "stats/summary.h"
 #include "workload/workloads.h"
 
 namespace rofs::bench {
@@ -55,33 +58,96 @@ void DieOnError(const Status& status, const std::string& context);
 /// (resolution happens inside SweepRunner).
 runner::SweepOptions ParseSweepOptions(int argc, char** argv);
 
-/// The sweep grid of one bench driver. Add() one run per grid cell (the
-/// callback builds its own Experiment and returns the formatted table
-/// cells for its row), then Run() executes every cell on a thread pool
-/// and returns the rows in submission order — byte-identical stdout for
-/// any job count. Dies with the run's label on the first failed run.
-/// Progress and wall-clock timing go to stderr so they never perturb the
-/// comparable output.
+/// Every knob a bench driver accepts: the sweep-parallelism options plus
+/// the replication and artifact flags this layer adds on top.
+struct BenchOptions {
+  runner::SweepOptions sweep;
+  /// Replicates per grid cell: `--replicates N` / `--replicates=N` /
+  /// `-r N`, else ROFS_REPLICATES, else 1 (resolved in the Sweep ctor).
+  int replicates = 0;
+  /// Two-sided confidence level of the reported intervals.
+  double confidence = 0.95;
+  /// `--jsonl PATH` / ROFS_JSONL and `--csv PATH` / ROFS_CSV artifact
+  /// destinations. When replicates > 1 and no JSONL path was given, the
+  /// artifact defaults to "<experiment>.jsonl" in the working directory.
+  std::string jsonl_path;
+  std::string csv_path;
+};
+
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// Aggregated view of one grid cell handed to its formatter after all
+/// replicates have run: per-metric replication summaries, plus helpers
+/// that format a cell exactly like the pre-replication drivers when there
+/// is a single replicate and as `mean ± 95% CI half-width` otherwise.
+class CellStats {
+ public:
+  CellStats(int replicates, std::map<std::string, stats::Summary> summaries)
+      : replicates_(replicates), summaries_(std::move(summaries)) {}
+
+  int replicates() const { return replicates_; }
+  /// Dies if the metric was never recorded (a driver/formatter mismatch
+  /// is a bug, not a runtime condition).
+  const stats::Summary& Of(const std::string& metric) const;
+  double Mean(const std::string& metric) const { return Of(metric).mean; }
+
+  /// Percentage cell: "88.0%" for one replicate, "88.0±1.2%" otherwise.
+  std::string Pct(const std::string& metric) const;
+  /// Fixed-point cell with `decimals` digits and an optional unit suffix:
+  /// "3.5", "120ms"; "3.5±0.2", "120±8ms" with replicates.
+  std::string Fixed(const std::string& metric, int decimals,
+                    const char* suffix = "") const;
+
+ private:
+  int replicates_;
+  std::map<std::string, stats::Summary> summaries_;
+};
+
+/// The sweep grid of one bench driver. Add() one cell per grid point: the
+/// run callback builds its own Experiment from the context seed and
+/// returns the cell's metrics as an exp::RunRecord; the formatter turns
+/// the cell's aggregated CellStats into the printed table cells. Run()
+/// executes cells x replicates runs on a thread pool (replicate r on RNG
+/// stream r, so replicate 0 reproduces the single-run results exactly and
+/// grid cells keep common random numbers), aggregates each cell across
+/// its replicates, writes the JSONL/CSV artifacts, and returns the
+/// formatted rows in submission order — stdout and artifacts are
+/// byte-identical for any job count. Dies with the run's label on the
+/// first failed run. Progress and wall-clock timing go to stderr so they
+/// never perturb the comparable output.
 class Sweep {
  public:
-  using RunFn = std::function<StatusOr<std::vector<std::string>>(
-      const runner::RunContext&)>;
+  using RecordFn =
+      std::function<StatusOr<exp::RunRecord>(const runner::RunContext&)>;
+  using FormatFn = std::function<std::vector<std::string>(const CellStats&)>;
 
   Sweep(int argc, char** argv);
 
-  /// Adds one grid cell. Cells share RNG stream 0 (common random numbers
-  /// across configurations, as the serial drivers always did); pass a
-  /// non-zero `stream` for replicates that need independent draws.
-  void Add(std::string label, RunFn fn, uint64_t stream = 0);
+  /// Adds one grid cell.
+  void Add(std::string label, RecordFn fn, FormatFn format);
 
-  /// Runs all cells; returns each cell's row in submission order.
+  /// Runs all cells (and their replicates); returns each cell's formatted
+  /// row in submission order.
   std::vector<std::vector<std::string>> Run();
 
-  int jobs() const { return options_.jobs; }
+  int jobs() const { return options_.sweep.jobs; }
+  int replicates() const { return options_.replicates; }
+
+  /// All replicate records in cell-major order (cell c, replicate r at
+  /// index c * replicates + r); filled by Run().
+  const std::vector<exp::RunRecord>& records() const { return records_; }
 
  private:
-  runner::SweepOptions options_;
-  std::vector<runner::RunSpec> specs_;
+  struct Cell {
+    std::string label;
+    RecordFn run;
+    FormatFn format;
+  };
+
+  BenchOptions options_;
+  std::string experiment_;
+  std::vector<Cell> cells_;
+  std::vector<exp::RunRecord> records_;
 };
 
 }  // namespace rofs::bench

@@ -64,9 +64,8 @@ int main(int argc, char** argv) {
       sweep.Add(
           FormatString("lfs extension %s %s", spec.name.c_str(),
                        name.c_str()),
-          [spec, name = name, factory = factory](
-              const runner::RunContext& ctx)
-              -> StatusOr<std::vector<std::string>> {
+          [spec, factory = factory](const runner::RunContext& ctx)
+              -> StatusOr<exp::RunRecord> {
             exp::ExperimentConfig config = bench::BenchExperimentConfig();
             config.seed = ctx.seed;
             exp::Experiment experiment(spec, factory,
@@ -75,11 +74,18 @@ int main(int argc, char** argv) {
             if (!frag.ok()) return frag.status();
             auto perf = experiment.RunPerformancePair();
             if (!perf.ok()) return perf.status();
+            exp::RunRecord record;
+            record.MergeMetrics(frag->ToRecord(), "alloc.");
+            record.MergeMetrics(perf->application.ToRecord(), "app.");
+            record.MergeMetrics(perf->sequential.ToRecord(), "seq.");
+            return record;
+          },
+          [name = name](const bench::CellStats& cs) {
             return std::vector<std::string>{
-                name, exp::Pct(frag->internal_fragmentation),
-                exp::Pct(frag->external_fragmentation),
-                exp::Pct(perf->application.utilization_of_max),
-                exp::Pct(perf->sequential.utilization_of_max)};
+                name, cs.Pct("alloc.internal_frag"),
+                cs.Pct("alloc.external_frag"),
+                cs.Pct("app.throughput_of_max"),
+                cs.Pct("seq.throughput_of_max")};
           });
     }
   }

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
                            num_sizes, grow,
                            clustered ? "clustered" : "unclustered"),
               [=](const runner::RunContext& ctx)
-                  -> StatusOr<std::vector<std::string>> {
+                  -> StatusOr<exp::RunRecord> {
                 exp::ExperimentConfig config =
                     bench::BenchExperimentConfig();
                 config.seed = ctx.seed;
@@ -45,13 +45,18 @@ int main(int argc, char** argv) {
                     disk_config, config);
                 auto result = experiment.RunAllocationTest();
                 if (!result.ok()) return result.status();
+                exp::RunRecord record;
+                record.MergeMetrics(result->ToRecord(), "alloc.");
+                return record;
+              },
+              [=](const bench::CellStats& cs) {
                 return std::vector<std::string>{
                     FormatString("%d sizes", num_sizes),
                     FormatString("g=%u", grow),
                     clustered ? "clustered" : "unclustered",
-                    exp::Pct(result->internal_fragmentation),
-                    exp::Pct(result->external_fragmentation),
-                    exp::Pct(result->utilization)};
+                    cs.Pct("alloc.internal_frag"),
+                    cs.Pct("alloc.external_frag"),
+                    cs.Pct("alloc.utilization")};
               });
         }
       }

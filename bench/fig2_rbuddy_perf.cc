@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
                            num_sizes, grow,
                            clustered ? "clustered" : "unclustered"),
               [=](const runner::RunContext& ctx)
-                  -> StatusOr<std::vector<std::string>> {
+                  -> StatusOr<exp::RunRecord> {
                 exp::ExperimentConfig config =
                     bench::BenchExperimentConfig();
                 config.seed = ctx.seed;
@@ -45,14 +45,19 @@ int main(int argc, char** argv) {
                     disk_config, config);
                 auto perf = experiment.RunPerformancePair();
                 if (!perf.ok()) return perf.status();
+                exp::RunRecord record;
+                record.MergeMetrics(perf->application.ToRecord(), "app.");
+                record.MergeMetrics(perf->sequential.ToRecord(), "seq.");
+                return record;
+              },
+              [=](const bench::CellStats& cs) {
                 return std::vector<std::string>{
                     FormatString("%d sizes", num_sizes),
                     FormatString("g=%u", grow),
                     clustered ? "clustered" : "unclustered",
-                    exp::Pct(perf->application.utilization_of_max),
-                    exp::Pct(perf->sequential.utilization_of_max),
-                    FormatString("%.1f",
-                                 perf->sequential.avg_extents_per_file)};
+                    cs.Pct("app.throughput_of_max"),
+                    cs.Pct("seq.throughput_of_max"),
+                    cs.Fixed("seq.extents_per_file", 1)};
               });
         }
       }

@@ -64,20 +64,24 @@ int main(int argc, char** argv) {
   for (uint64_t kb : {8, 16, 32, 64, 72, 96, 128, 144, 192, 256}) {
     sweep.Add(
         FormatString("fig3 %lluK", static_cast<unsigned long long>(kb)),
-        [=](const runner::RunContext&)
-            -> StatusOr<std::vector<std::string>> {
+        [=](const runner::RunContext&) -> StatusOr<exp::RunRecord> {
           const Probe g1 = GrowAndRead(1, KiB(kb));
           const Probe g2 = GrowAndRead(2, KiB(kb));
+          exp::RunRecord record;
+          record.Set("g1.extents", static_cast<double>(g1.extents));
+          record.Set("g1.jumps", static_cast<double>(g1.discontinuities));
+          record.Set("g1.read_ms", g1.read_ms);
+          record.Set("g2.extents", static_cast<double>(g2.extents));
+          record.Set("g2.jumps", static_cast<double>(g2.discontinuities));
+          record.Set("g2.read_ms", g2.read_ms);
+          return record;
+        },
+        [=](const bench::CellStats& cs) {
           return std::vector<std::string>{
               FormatString("%lluK", static_cast<unsigned long long>(kb)),
-              FormatString("%zu", g1.extents),
-              FormatString("%llu", static_cast<unsigned long long>(
-                                       g1.discontinuities)),
-              FormatString("%.1fms", g1.read_ms),
-              FormatString("%zu", g2.extents),
-              FormatString("%llu", static_cast<unsigned long long>(
-                                       g2.discontinuities)),
-              FormatString("%.1fms", g2.read_ms)};
+              cs.Fixed("g1.extents", 0), cs.Fixed("g1.jumps", 0),
+              cs.Fixed("g1.read_ms", 1, "ms"), cs.Fixed("g2.extents", 0),
+              cs.Fixed("g2.jumps", 0), cs.Fixed("g2.read_ms", 1, "ms")};
         });
   }
 

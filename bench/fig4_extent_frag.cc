@@ -29,8 +29,7 @@ int main(int argc, char** argv) {
             FormatString("fig4 %s %d-ranges %s",
                          workload::WorkloadKindToString(kind).c_str(),
                          ranges, alloc::FitPolicyToString(fit).c_str()),
-            [=](const runner::RunContext& ctx)
-                -> StatusOr<std::vector<std::string>> {
+            [=](const runner::RunContext& ctx) -> StatusOr<exp::RunRecord> {
               exp::ExperimentConfig config = bench::BenchExperimentConfig();
               config.seed = ctx.seed;
               exp::Experiment experiment(
@@ -39,11 +38,16 @@ int main(int argc, char** argv) {
                   config);
               auto result = experiment.RunAllocationTest();
               if (!result.ok()) return result.status();
+              exp::RunRecord record;
+              record.MergeMetrics(result->ToRecord(), "alloc.");
+              return record;
+            },
+            [=](const bench::CellStats& cs) {
               return std::vector<std::string>{
                   FormatString("%d", ranges), alloc::FitPolicyToString(fit),
-                  exp::Pct(result->internal_fragmentation),
-                  exp::Pct(result->external_fragmentation),
-                  exp::Pct(result->utilization)};
+                  cs.Pct("alloc.internal_frag"),
+                  cs.Pct("alloc.external_frag"),
+                  cs.Pct("alloc.utilization")};
             });
       }
     }

@@ -29,8 +29,7 @@ int main(int argc, char** argv) {
             FormatString("fig5 %s %d-ranges %s",
                          workload::WorkloadKindToString(kind).c_str(),
                          ranges, alloc::FitPolicyToString(fit).c_str()),
-            [=](const runner::RunContext& ctx)
-                -> StatusOr<std::vector<std::string>> {
+            [=](const runner::RunContext& ctx) -> StatusOr<exp::RunRecord> {
               exp::ExperimentConfig config = bench::BenchExperimentConfig();
               config.seed = ctx.seed;
               exp::Experiment experiment(
@@ -39,12 +38,17 @@ int main(int argc, char** argv) {
                   config);
               auto perf = experiment.RunPerformancePair();
               if (!perf.ok()) return perf.status();
+              exp::RunRecord record;
+              record.MergeMetrics(perf->application.ToRecord(), "app.");
+              record.MergeMetrics(perf->sequential.ToRecord(), "seq.");
+              return record;
+            },
+            [=](const bench::CellStats& cs) {
               return std::vector<std::string>{
                   FormatString("%d", ranges), alloc::FitPolicyToString(fit),
-                  exp::Pct(perf->application.utilization_of_max),
-                  exp::Pct(perf->sequential.utilization_of_max),
-                  FormatString("%.1f",
-                               perf->sequential.avg_extents_per_file)};
+                  cs.Pct("app.throughput_of_max"),
+                  cs.Pct("seq.throughput_of_max"),
+                  cs.Fixed("seq.extents_per_file", 1)};
             });
       }
     }

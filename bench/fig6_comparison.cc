@@ -42,16 +42,22 @@ int main(int argc, char** argv) {
                        workload::WorkloadKindToString(kind).c_str(),
                        name.c_str()),
           [kind, factory, disk_config](const runner::RunContext& ctx)
-              -> StatusOr<std::vector<std::string>> {
+              -> StatusOr<exp::RunRecord> {
             exp::ExperimentConfig config = bench::BenchExperimentConfig();
             config.seed = ctx.seed;
             exp::Experiment experiment(workload::MakeWorkload(kind),
                                        factory, disk_config, config);
             auto perf = experiment.RunPerformancePair();
             if (!perf.ok()) return perf.status();
+            exp::RunRecord record;
+            record.MergeMetrics(perf->application.ToRecord(), "app.");
+            record.MergeMetrics(perf->sequential.ToRecord(), "seq.");
+            return record;
+          },
+          [](const bench::CellStats& cs) {
             return std::vector<std::string>{
-                exp::Pct(perf->sequential.utilization_of_max),
-                exp::Pct(perf->application.utilization_of_max)};
+                cs.Pct("seq.throughput_of_max"),
+                cs.Pct("app.throughput_of_max")};
           });
     }
   }

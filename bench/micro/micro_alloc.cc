@@ -3,9 +3,9 @@
 // These are operation-cost ablations, not paper experiments: the paper's
 // tables/figures are produced by the sibling drivers in bench/.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
+
+#include <benchmark/benchmark.h>
 
 #include "alloc/buddy_allocator.h"
 #include "alloc/extent_allocator.h"

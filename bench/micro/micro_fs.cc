@@ -2,9 +2,9 @@
 // cost as extent counts grow, cached vs uncached operation cost, and the
 // buffer-cache data structure itself.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
+
+#include <benchmark/benchmark.h>
 
 #include "alloc/fixed_block_allocator.h"
 #include "alloc/restricted_buddy.h"

@@ -29,8 +29,7 @@ int main(int argc, char** argv) {
     sweep.Add(
         FormatString("table3 %s",
                      workload::WorkloadKindToString(kind).c_str()),
-        [=](const runner::RunContext& ctx)
-            -> StatusOr<std::vector<std::string>> {
+        [=](const runner::RunContext& ctx) -> StatusOr<exp::RunRecord> {
           exp::ExperimentConfig config = bench::BenchExperimentConfig();
           config.seed = ctx.seed;
           exp::Experiment experiment(workload::MakeWorkload(kind),
@@ -40,12 +39,19 @@ int main(int argc, char** argv) {
           if (!alloc_result.ok()) return alloc_result.status();
           auto perf = experiment.RunPerformancePair();
           if (!perf.ok()) return perf.status();
+          exp::RunRecord record;
+          record.MergeMetrics(alloc_result->ToRecord(), "alloc.");
+          record.MergeMetrics(perf->application.ToRecord(), "app.");
+          record.MergeMetrics(perf->sequential.ToRecord(), "seq.");
+          return record;
+        },
+        [=](const bench::CellStats& cs) {
           return std::vector<std::string>{
               workload::WorkloadKindToString(kind),
-              exp::Pct(alloc_result->internal_fragmentation),
-              exp::Pct(alloc_result->external_fragmentation),
-              exp::Pct(perf->application.utilization_of_max),
-              exp::Pct(perf->sequential.utilization_of_max)};
+              cs.Pct("alloc.internal_frag"),
+              cs.Pct("alloc.external_frag"),
+              cs.Pct("app.throughput_of_max"),
+              cs.Pct("seq.throughput_of_max")};
         });
   }
 

@@ -43,8 +43,7 @@ int main(int argc, char** argv) {
       sweep.Add(
           FormatString("table4 %d-ranges %s", ranges,
                        workload::WorkloadKindToString(kind).c_str()),
-          [=](const runner::RunContext& ctx)
-              -> StatusOr<std::vector<std::string>> {
+          [=](const runner::RunContext& ctx) -> StatusOr<exp::RunRecord> {
             exp::ExperimentConfig config = bench::BenchExperimentConfig();
             config.seed = ctx.seed;
             exp::Experiment experiment(
@@ -54,8 +53,13 @@ int main(int argc, char** argv) {
                 disk_config, config);
             auto result = experiment.RunAllocationTest();
             if (!result.ok()) return result.status();
+            exp::RunRecord record;
+            record.MergeMetrics(result->ToRecord(), "alloc.");
+            return record;
+          },
+          [](const bench::CellStats& cs) {
             return std::vector<std::string>{
-                FormatString("%.0f", result->avg_extents_per_file)};
+                cs.Fixed("alloc.extents_per_file", 0)};
           });
     }
   }

@@ -78,7 +78,8 @@ Status ExtentAllocator::Extend(FileAllocState* f, uint64_t want_du) {
 }
 
 void ExtentAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
-  free_map_.Free(start_du, len_du);
+  stats_.coalesces +=
+      static_cast<uint64_t>(free_map_.Free(start_du, len_du));
 }
 
 uint64_t ExtentAllocator::CheckConsistency() const {

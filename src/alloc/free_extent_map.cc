@@ -188,11 +188,12 @@ bool FreeExtentMap::AllocateAt(uint64_t addr, uint64_t n) {
   return true;
 }
 
-void FreeExtentMap::Free(uint64_t addr, uint64_t n) {
+int FreeExtentMap::Free(uint64_t addr, uint64_t n) {
   assert(n > 0);
   assert(!IsFree(addr, 1) && "double free");
   uint64_t new_addr = addr;
   uint64_t new_len = n;
+  int merges = 0;
   // Coalesce with the predecessor if it ends exactly at `addr`.
   if (Node* floor = FindFloor(addr)) {
     assert(floor->addr + floor->len <= addr && "free overlaps predecessor");
@@ -200,6 +201,7 @@ void FreeExtentMap::Free(uint64_t addr, uint64_t n) {
       new_addr = floor->addr;
       new_len += floor->len;
       Erase(floor->addr, floor->len);
+      ++merges;
     }
   }
   // Coalesce with the successor if it starts exactly at addr + n.
@@ -208,9 +210,11 @@ void FreeExtentMap::Free(uint64_t addr, uint64_t n) {
     if (ceil->addr == addr + n) {
       new_len += ceil->len;
       Erase(ceil->addr, ceil->len);
+      ++merges;
     }
   }
   Insert(new_addr, new_len);
+  return merges;
 }
 
 uint64_t FreeExtentMap::CheckSubtree(const Node* t, uint64_t /*lo_bound*/,

@@ -47,7 +47,9 @@ class FreeExtentMap {
 
   /// Returns [addr, addr+n) to the free store, coalescing with neighbors.
   /// The range must currently be allocated (checked in debug builds).
-  void Free(uint64_t addr, uint64_t n);
+  /// Returns how many adjoining free extents were merged in (0..2), so
+  /// callers can feed AllocatorStats::coalesces.
+  int Free(uint64_t addr, uint64_t n);
 
   /// True when [addr, addr+n) lies entirely within one free extent.
   bool IsFree(uint64_t addr, uint64_t n) const;

@@ -95,7 +95,8 @@ Status LogStructuredAllocator::Extend(FileAllocState* f, uint64_t want_du) {
 }
 
 void LogStructuredAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
-  dead_space_.Free(start_du, len_du);
+  stats_.coalesces +=
+      static_cast<uint64_t>(dead_space_.Free(start_du, len_du));
   uint64_t pos = start_du;
   uint64_t left = len_du;
   while (left > 0) {

@@ -7,6 +7,132 @@
 
 namespace rofs::exp {
 
+namespace {
+
+/// Shared metric names for the counters every allocation policy exposes.
+void AllocatorStatsToRecord(const alloc::AllocatorStats& s, RunRecord* r) {
+  r->Set("allocator.calls", static_cast<double>(s.alloc_calls));
+  r->Set("allocator.blocks_allocated", static_cast<double>(s.blocks_allocated));
+  r->Set("allocator.blocks_freed", static_cast<double>(s.blocks_freed));
+  r->Set("allocator.splits", static_cast<double>(s.splits));
+  r->Set("allocator.coalesces", static_cast<double>(s.coalesces));
+  r->Set("allocator.failed_allocs", static_cast<double>(s.failed_allocs));
+}
+
+alloc::AllocatorStats AllocatorStatsFromRecord(const RunRecord& r) {
+  alloc::AllocatorStats s;
+  s.alloc_calls = static_cast<uint64_t>(r.Get("allocator.calls"));
+  s.blocks_allocated =
+      static_cast<uint64_t>(r.Get("allocator.blocks_allocated"));
+  s.blocks_freed = static_cast<uint64_t>(r.Get("allocator.blocks_freed"));
+  s.splits = static_cast<uint64_t>(r.Get("allocator.splits"));
+  s.coalesces = static_cast<uint64_t>(r.Get("allocator.coalesces"));
+  s.failed_allocs = static_cast<uint64_t>(r.Get("allocator.failed_allocs"));
+  return s;
+}
+
+}  // namespace
+
+Status ExperimentConfig::Validate() const {
+  if (!(fill_lower > 0.0 && fill_lower <= fill_upper && fill_upper <= 1.0)) {
+    return Status::InvalidArgument(
+        "fill band must satisfy 0 < fill_lower <= fill_upper <= 1");
+  }
+  if (sample_interval_ms <= 0.0) {
+    return Status::InvalidArgument("sample_interval_ms must be positive");
+  }
+  if (stable_tolerance_pp < 0.0) {
+    return Status::InvalidArgument(
+        "stable_tolerance_pp must be non-negative");
+  }
+  if (stable_samples < 1) {
+    return Status::InvalidArgument("stable_samples must be >= 1");
+  }
+  if (warmup_ms < 0.0) {
+    return Status::InvalidArgument("warmup_ms must be non-negative");
+  }
+  if (min_measure_ms <= 0.0 || max_measure_ms < min_measure_ms) {
+    return Status::InvalidArgument(
+        "measurement window must satisfy 0 < min_measure_ms <= "
+        "max_measure_ms");
+  }
+  if (seq_min_measure_ms <= 0.0 ||
+      seq_max_measure_ms < seq_min_measure_ms) {
+    return Status::InvalidArgument(
+        "sequential window must satisfy 0 < seq_min_measure_ms <= "
+        "seq_max_measure_ms");
+  }
+  if (!(alloc_full_utilization > 0.0 && alloc_full_utilization <= 1.0)) {
+    return Status::InvalidArgument(
+        "alloc_full_utilization must be in (0, 1]");
+  }
+  if (max_alloc_test_ops == 0) {
+    return Status::InvalidArgument("max_alloc_test_ops must be positive");
+  }
+  if (seed == 0) {
+    return Status::InvalidArgument(
+        "seed must be non-zero (replicate streams derive from it)");
+  }
+  return Status::OK();
+}
+
+RunRecord AllocationResult::ToRecord() const {
+  RunRecord r;
+  r.tags["result_kind"] = "allocation";
+  r.Set("internal_frag", internal_fragmentation);
+  r.Set("external_frag", external_fragmentation);
+  r.Set("utilization", utilization);
+  r.Set("extents_per_file", avg_extents_per_file);
+  r.Set("ops", static_cast<double>(ops_executed));
+  r.Set("simulated_ms", simulated_ms);
+  AllocatorStatsToRecord(alloc_stats, &r);
+  return r;
+}
+
+AllocationResult AllocationResult::FromRecord(const RunRecord& record) {
+  AllocationResult a;
+  a.internal_fragmentation = record.Get("internal_frag");
+  a.external_fragmentation = record.Get("external_frag");
+  a.utilization = record.Get("utilization");
+  a.avg_extents_per_file = record.Get("extents_per_file");
+  a.ops_executed = static_cast<uint64_t>(record.Get("ops"));
+  a.simulated_ms = record.Get("simulated_ms");
+  a.alloc_stats = AllocatorStatsFromRecord(record);
+  return a;
+}
+
+RunRecord PerfResult::ToRecord() const {
+  RunRecord r;
+  r.tags["result_kind"] = "perf";
+  r.Set("throughput_of_max", utilization_of_max);
+  r.Set("stabilized", stabilized ? 1.0 : 0.0);
+  r.Set("measured_ms", measured_ms);
+  r.Set("ops", static_cast<double>(ops_executed));
+  r.Set("bytes_moved", static_cast<double>(bytes_moved));
+  r.Set("disk_full_events", static_cast<double>(disk_full_events));
+  r.Set("extents_per_file", avg_extents_per_file);
+  r.Set("internal_frag", internal_fragmentation);
+  r.Set("mean_op_latency_ms", mean_op_latency_ms);
+  AllocatorStatsToRecord(alloc_stats, &r);
+  return r;
+}
+
+PerfResult PerfResult::FromRecord(const RunRecord& record) {
+  PerfResult p;
+  p.utilization_of_max = record.Get("throughput_of_max");
+  p.stabilized = record.Get("stabilized") != 0.0;
+  p.measured_ms = record.Get("measured_ms");
+  p.ops_executed = static_cast<uint64_t>(record.Get("ops"));
+  p.bytes_moved = static_cast<uint64_t>(record.Get("bytes_moved"));
+  p.disk_full_events =
+      static_cast<uint64_t>(record.Get("disk_full_events"));
+  p.avg_extents_per_file = record.Get("extents_per_file");
+  p.internal_fragmentation = record.Get("internal_frag");
+  p.mean_op_latency_ms = record.Get("mean_op_latency_ms");
+  p.alloc_stats = AllocatorStatsFromRecord(record);
+  return p;
+}
+
 Experiment::Experiment(workload::WorkloadSpec workload,
                        AllocatorFactory factory,
                        disk::DiskSystemConfig disk_config,
@@ -16,6 +142,7 @@ Experiment::Experiment(workload::WorkloadSpec workload,
 
 StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
     workload::OpMode mode, bool fill) {
+  ROFS_RETURN_IF_ERROR(config_.Validate());
   auto sim = std::make_unique<Sim>();
   sim->disk = std::make_unique<disk::DiskSystem>(disk_config_);
   sim->allocator = factory_(sim->disk->capacity_du());
@@ -116,6 +243,7 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   result.avg_extents_per_file = sim->fs->AverageExtentsPerFile();
   result.internal_fragmentation = sim->fs->InternalFragmentation();
   result.mean_op_latency_ms = sim->gen->op_latency_ms().Mean();
+  result.alloc_stats = sim->allocator->stats();
   if (stats_sink_ != nullptr && mode == workload::OpMode::kApplication) {
     *stats_sink_ = sim->gen->StatsReport();
   }
@@ -150,6 +278,7 @@ StatusOr<AllocationResult> Experiment::RunAllocationTest() {
   result.avg_extents_per_file = sim->fs->AverageExtentsPerFile();
   result.ops_executed = sim->gen->ops_executed();
   result.simulated_ms = sim->queue.now();
+  result.alloc_stats = sim->allocator->stats();
   return result;
 }
 

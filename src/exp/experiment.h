@@ -8,6 +8,7 @@
 
 #include "alloc/allocator.h"
 #include "disk/disk_system.h"
+#include "exp/run_record.h"
 #include "fs/read_optimized_fs.h"
 #include "sim/event_queue.h"
 #include "util/statusor.h"
@@ -53,6 +54,14 @@ struct ExperimentConfig {
   /// File-system extensions (buffer cache, metadata I/O). Defaults to the
   /// paper's cache-less, metadata-free model.
   fs::FsOptions fs_options;
+
+  /// Rejects nonsense configurations instead of silently running them:
+  /// the fill band must satisfy 0 < lower <= upper <= 1, every interval
+  /// and cap must be positive and ordered (min <= max measurement
+  /// windows), and the seed must be non-zero (stream derivation reserves
+  /// 0-seeded streams as degenerate). Called by Experiment at the start
+  /// of every Run* entry point.
+  Status Validate() const;
 };
 
 /// Result of an allocation test: fragmentation when the disk system first
@@ -69,6 +78,15 @@ struct AllocationResult {
   uint64_t ops_executed = 0;
   /// Simulated time at which the disk filled.
   double simulated_ms = 0;
+  /// Allocation-policy counters accumulated over the whole test.
+  alloc::AllocatorStats alloc_stats;
+
+  /// Flat RunRecord view of this result ("internal_frag",
+  /// "external_frag", ..., "alloc.splits"); identity fields are left for
+  /// the harness to fill. FromRecord inverts the mapping, so aggregation
+  /// and reporting can consume records while callers keep the typed view.
+  RunRecord ToRecord() const;
+  static AllocationResult FromRecord(const RunRecord& record);
 };
 
 /// Result of an application or sequential performance test.
@@ -84,6 +102,13 @@ struct PerfResult {
   double internal_fragmentation = 0;
   /// Mean operation latency during measurement (ms).
   double mean_op_latency_ms = 0;
+  /// Allocation-policy counters since the simulation was constructed.
+  alloc::AllocatorStats alloc_stats;
+
+  /// Flat RunRecord view ("throughput_of_max", "measured_ms", ...,
+  /// "alloc.splits"); FromRecord inverts it. See AllocationResult.
+  RunRecord ToRecord() const;
+  static PerfResult FromRecord(const RunRecord& record);
 };
 
 /// Builds and runs the paper's three tests for one (workload, allocation

@@ -42,6 +42,45 @@ std::string Summarize(const PerfResult& r) {
       r.mean_op_latency_ms, r.avg_extents_per_file);
 }
 
+namespace {
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_err = std::fclose(f);
+  if (written != content.size() || close_err != 0) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteJsonl(const std::string& path,
+                  const std::vector<RunRecord>& records) {
+  return WriteTextFile(path, RecordsToJsonl(records));
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<RunRecord>& records) {
+  return WriteTextFile(path, RecordsToCsv(records));
+}
+
+std::string SummaryTable(const std::map<std::string, stats::Summary>& m) {
+  Table table({"Metric", "Mean", "±CI", "Min", "Max"});
+  for (const auto& [name, s] : m) {
+    table.AddRow({name, FormatString("%.6g", s.mean),
+                  s.count >= 2 ? FormatString("%.3g", s.ci_half_width)
+                               : std::string("-"),
+                  FormatString("%.6g", s.min),
+                  FormatString("%.6g", s.max)});
+  }
+  return table.ToString();
+}
+
 std::string LayoutAsciiMap(const fs::ReadOptimizedFs& fs, size_t width) {
   if (width == 0) return "";
   const uint64_t total = fs.allocator().total_du();

@@ -1,11 +1,15 @@
 #ifndef ROFS_EXP_REPORTING_H_
 #define ROFS_EXP_REPORTING_H_
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "disk/disk_system.h"
 #include "exp/experiment.h"
+#include "exp/run_record.h"
 #include "fs/read_optimized_fs.h"
+#include "stats/summary.h"
 
 namespace rofs::exp {
 
@@ -26,6 +30,18 @@ std::string Summarize(const PerfResult& r);
 /// full). Built from the live files' extent lists — a quick visual of how
 /// a policy lays data out.
 std::string LayoutAsciiMap(const fs::ReadOptimizedFs& fs, size_t width);
+
+/// Writes the records as JSONL (one JSON object per line) / CSV. The
+/// bytes depend only on the records, never on scheduling or the clock, so
+/// artifacts are comparable across `--jobs` counts. Overwrites `path`.
+Status WriteJsonl(const std::string& path,
+                  const std::vector<RunRecord>& records);
+Status WriteCsv(const std::string& path,
+                const std::vector<RunRecord>& records);
+
+/// Renders per-metric replication summaries as an aligned table (metric,
+/// mean, the ± confidence half-width, min, max).
+std::string SummaryTable(const std::map<std::string, stats::Summary>& m);
 
 }  // namespace rofs::exp
 

@@ -1,0 +1,154 @@
+#include "exp/run_record.h"
+
+#include <charconv>
+#include <cstdio>
+#include <set>
+
+namespace rofs::exp {
+
+namespace {
+
+/// Shortest decimal that round-trips to the same double (std::to_chars),
+/// locale-independent and byte-deterministic.
+std::string DoubleToString(double v) {
+  char buf[64];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, r.ptr);
+}
+
+void AppendJsonEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += hex;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendCsvEscaped(std::string* out, const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    *out += s;
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+double RunRecord::Get(const std::string& name, double fallback) const {
+  const auto it = metrics.find(name);
+  return it == metrics.end() ? fallback : it->second;
+}
+
+bool RunRecord::Has(const std::string& name) const {
+  return metrics.count(name) != 0;
+}
+
+void RunRecord::MergeMetrics(const RunRecord& other,
+                             const std::string& prefix) {
+  for (const auto& [name, value] : other.metrics) {
+    metrics[prefix + name] = value;
+  }
+  for (const auto& [key, value] : other.tags) {
+    tags.emplace(key, value);  // Existing keys win.
+  }
+}
+
+std::string RunRecord::ToJson() const {
+  std::string out;
+  out.reserve(256);
+  out += "{\"experiment\":";
+  AppendJsonEscaped(&out, experiment);
+  out += ",\"cell\":";
+  AppendJsonEscaped(&out, cell);
+  out += ",\"replicate\":" + std::to_string(replicate);
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"tags\":{";
+  bool first = true;
+  for (const auto& [key, value] : tags) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonEscaped(&out, key);
+    out.push_back(':');
+    AppendJsonEscaped(&out, value);
+  }
+  out += "},\"metrics\":{";
+  first = true;
+  for (const auto& [name, value] : metrics) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonEscaped(&out, name);
+    out.push_back(':');
+    out += DoubleToString(value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RecordsToJsonl(const std::vector<RunRecord>& records) {
+  std::string out;
+  for (const RunRecord& r : records) {
+    out += r.ToJson();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string RecordsToCsv(const std::vector<RunRecord>& records) {
+  std::set<std::string> tag_keys;
+  std::set<std::string> metric_keys;
+  for (const RunRecord& r : records) {
+    for (const auto& [key, value] : r.tags) tag_keys.insert(key);
+    for (const auto& [name, value] : r.metrics) metric_keys.insert(name);
+  }
+  std::string out = "experiment,cell,replicate,seed";
+  for (const std::string& key : tag_keys) {
+    out.push_back(',');
+    AppendCsvEscaped(&out, "tag." + key);
+  }
+  for (const std::string& name : metric_keys) {
+    out.push_back(',');
+    AppendCsvEscaped(&out, name);
+  }
+  out.push_back('\n');
+  for (const RunRecord& r : records) {
+    AppendCsvEscaped(&out, r.experiment);
+    out.push_back(',');
+    AppendCsvEscaped(&out, r.cell);
+    out += ',' + std::to_string(r.replicate);
+    out += ',' + std::to_string(r.seed);
+    for (const std::string& key : tag_keys) {
+      out.push_back(',');
+      const auto it = r.tags.find(key);
+      if (it != r.tags.end()) AppendCsvEscaped(&out, it->second);
+    }
+    for (const std::string& name : metric_keys) {
+      out.push_back(',');
+      const auto it = r.metrics.find(name);
+      if (it != r.metrics.end()) out += DoubleToString(it->second);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace rofs::exp

@@ -1,0 +1,64 @@
+#ifndef ROFS_EXP_RUN_RECORD_H_
+#define ROFS_EXP_RUN_RECORD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rofs::exp {
+
+/// The machine-readable result of one simulation run: a flat
+/// string -> double metric map plus string tags identifying the run. All
+/// result kinds (allocation tests, performance tests, whole bench cells)
+/// funnel through this one shape, so replication aggregation, JSONL/CSV
+/// emission, and downstream tooling consume a single schema instead of a
+/// hand-rolled struct per experiment.
+///
+/// Both maps are ordered, and no wall-clock or host-dependent value is
+/// ever recorded, so serialized records are byte-identical for any
+/// `--jobs` count.
+struct RunRecord {
+  /// The producing driver ("fig1_rbuddy_frag", "rofs_sim", ...).
+  std::string experiment;
+  /// The grid-cell label within the experiment.
+  std::string cell;
+  /// Replicate index == the RNG stream the run drew from (0-based).
+  int replicate = 0;
+  /// The derived seed the run actually used (SplitSeed(base, replicate)).
+  uint64_t seed = 0;
+
+  std::map<std::string, std::string> tags;
+  std::map<std::string, double> metrics;
+
+  void Set(const std::string& name, double value) { metrics[name] = value; }
+  /// The metric's value, or `fallback` when absent.
+  double Get(const std::string& name, double fallback = 0.0) const;
+  bool Has(const std::string& name) const;
+
+  /// Copies every metric of `other` into this record with the metric
+  /// names prefixed ("app." + "throughput_of_max" ->
+  /// "app.throughput_of_max"), and merges its tags (un-prefixed; existing
+  /// keys win). Drivers compose one cell record from several test results
+  /// this way, with "alloc." / "app." / "seq." as the conventional
+  /// prefixes.
+  void MergeMetrics(const RunRecord& other, const std::string& prefix = "");
+
+  /// One JSON object, single line, no trailing newline. Key order is
+  /// fixed (identity fields, then tags, then metrics, each sorted), and
+  /// doubles render as shortest round-trip decimals, so equal records
+  /// serialize to equal bytes.
+  std::string ToJson() const;
+};
+
+/// JSONL: one record per line, in order.
+std::string RecordsToJsonl(const std::vector<RunRecord>& records);
+
+/// CSV with a fixed identity prefix (experiment, cell, replicate, seed),
+/// then the sorted union of tag keys (prefixed "tag."), then the sorted
+/// union of metric keys. Absent cells are empty.
+std::string RecordsToCsv(const std::vector<RunRecord>& records);
+
+}  // namespace rofs::exp
+
+#endif  // ROFS_EXP_RUN_RECORD_H_

@@ -2,9 +2,8 @@
 #define ROFS_FS_READ_OPTIMIZED_FS_H_
 
 #include <cstdint>
-#include <vector>
-
 #include <memory>
+#include <vector>
 
 #include "alloc/allocator.h"
 #include "disk/disk_system.h"

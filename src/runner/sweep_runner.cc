@@ -68,6 +68,32 @@ RunResult ExecuteSpec(const RunSpec& spec, size_t index, int max_attempts) {
 
 }  // namespace
 
+std::vector<RunSpec> SweepRunner::ExpandReplicates(
+    std::vector<RunSpec> specs, int replicates) {
+  if (replicates <= 1) return specs;
+  std::vector<RunSpec> expanded;
+  expanded.reserve(specs.size() * static_cast<size_t>(replicates));
+  for (RunSpec& spec : specs) {
+    for (int r = 0; r < replicates; ++r) {
+      RunSpec copy = spec;
+      copy.stream = static_cast<uint64_t>(r);
+      if (r > 0) copy.label += " [r" + std::to_string(r) + "]";
+      expanded.push_back(std::move(copy));
+    }
+  }
+  return expanded;
+}
+
+int SweepRunner::ResolveReplicates(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("ROFS_REPLICATES");
+      env != nullptr && env[0] != '\0') {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 1;
+}
+
 int SweepRunner::ResolveJobs(int requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("ROFS_JOBS");

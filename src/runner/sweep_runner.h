@@ -50,9 +50,24 @@ class SweepRunner {
 
   std::vector<RunResult> Run(const std::vector<RunSpec>& specs);
 
+  /// Expands each spec into `replicates` copies running on RNG streams
+  /// 0 .. replicates-1 (replicate r of cell c uses stream r), cell-major:
+  /// cell c's replicate r lands at index c * replicates + r in both the
+  /// expanded specs and the results of Run(). Stream 0 reproduces the
+  /// unexpanded run exactly (SplitSeed(s, 0) == s), so replicates == 1
+  /// returns the specs unchanged. Labels of replicates r > 0 are suffixed
+  /// " [r<r>]" for progress output; determinism across job counts is
+  /// unaffected because seeds still depend only on (base_seed, stream).
+  static std::vector<RunSpec> ExpandReplicates(std::vector<RunSpec> specs,
+                                               int replicates);
+
   /// jobs > 0 as given; else ROFS_JOBS if set to a positive integer; else
   /// std::thread::hardware_concurrency(); always >= 1.
   static int ResolveJobs(int requested);
+
+  /// replicates > 0 as given; else ROFS_REPLICATES if set to a positive
+  /// integer; else 1.
+  static int ResolveReplicates(int requested);
 
   int jobs() const { return options_.jobs; }
 

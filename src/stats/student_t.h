@@ -1,0 +1,22 @@
+#ifndef ROFS_STATS_STUDENT_T_H_
+#define ROFS_STATS_STUDENT_T_H_
+
+namespace rofs::stats {
+
+/// P(T <= t) for Student's t distribution with `dof` degrees of freedom
+/// (dof >= 1), evaluated through the regularized incomplete beta function.
+double StudentTCdf(double t, int dof);
+
+/// The two-sided critical value t* with P(|T| <= t*) = confidence, i.e.
+/// the quantile at 1 - (1 - confidence) / 2. Used for the half-width of a
+/// mean's confidence interval: t* . s / sqrt(n) with dof = n - 1.
+/// Requires dof >= 1 and 0 < confidence < 1.
+double StudentTCriticalValue(int dof, double confidence);
+
+/// Regularized incomplete beta function I_x(a, b) for x in [0, 1],
+/// a, b > 0 (continued-fraction evaluation). Exposed for tests.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+}  // namespace rofs::stats
+
+#endif  // ROFS_STATS_STUDENT_T_H_

@@ -1,0 +1,69 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/student_t.h"
+
+namespace rofs::stats {
+
+Summary Summarize(const Welford& w, double confidence) {
+  Summary s;
+  s.count = w.count();
+  s.mean = w.mean();
+  s.variance = w.variance();
+  s.stddev = w.stddev();
+  s.min = w.min();
+  s.max = w.max();
+  s.confidence = confidence;
+  if (w.count() >= 2) {
+    const double t = StudentTCriticalValue(
+        static_cast<int>(w.count()) - 1, confidence);
+    s.ci_half_width =
+        t * s.stddev / std::sqrt(static_cast<double>(w.count()));
+  }
+  return s;
+}
+
+Summary Summarize(const std::vector<double>& samples, double confidence) {
+  Welford w;
+  for (double x : samples) w.Add(x);
+  return Summarize(w, confidence);
+}
+
+double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) return samples.front();
+  if (p >= 1.0) return samples.back();
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
+}
+
+void MetricSet::Add(const std::string& name, double value) {
+  samples_[name].push_back(value);
+}
+
+void MetricSet::AddAll(const std::map<std::string, double>& metrics) {
+  for (const auto& [name, value] : metrics) Add(name, value);
+}
+
+const std::vector<double>* MetricSet::Samples(
+    const std::string& name) const {
+  const auto it = samples_.find(name);
+  return it == samples_.end() ? nullptr : &it->second;
+}
+
+std::map<std::string, Summary> MetricSet::Summarize(
+    double confidence) const {
+  std::map<std::string, Summary> out;
+  for (const auto& [name, values] : samples_) {
+    out.emplace(name, stats::Summarize(values, confidence));
+  }
+  return out;
+}
+
+}  // namespace rofs::stats

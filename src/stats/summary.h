@@ -1,0 +1,63 @@
+#ifndef ROFS_STATS_SUMMARY_H_
+#define ROFS_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/welford.h"
+
+namespace rofs::stats {
+
+/// Replication summary of one metric: moments plus the Student-t
+/// confidence interval on the mean. `ci_half_width` is
+/// t*(n-1, confidence) . s / sqrt(n); the interval is
+/// [mean - ci_half_width, mean + ci_half_width]. With fewer than two
+/// samples the half-width is 0 (no variance estimate exists).
+struct Summary {
+  uint64_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double confidence = 0.95;
+  double ci_half_width = 0.0;
+};
+
+/// Summarizes an accumulator at the given two-sided confidence level.
+Summary Summarize(const Welford& w, double confidence = 0.95);
+
+/// Summarizes raw samples.
+Summary Summarize(const std::vector<double>& samples,
+                  double confidence = 0.95);
+
+/// Linear-interpolation percentile (p in [0, 1]) over a copy of the
+/// samples; p = 0.5 is the median. Returns 0 for an empty vector.
+double Percentile(std::vector<double> samples, double p);
+
+/// Named metric samples collected across the replicates of one grid cell
+/// (or any group of runs). Insertion order of samples per metric is
+/// preserved; metric names iterate in sorted order.
+class MetricSet {
+ public:
+  void Add(const std::string& name, double value);
+  /// Adds every entry of a flat metric map (one run's RunRecord metrics).
+  void AddAll(const std::map<std::string, double>& metrics);
+
+  bool empty() const { return samples_.empty(); }
+  size_t num_metrics() const { return samples_.size(); }
+  /// Samples of one metric, or nullptr if the metric was never added.
+  const std::vector<double>* Samples(const std::string& name) const;
+
+  /// Per-metric replication summaries at the given confidence level.
+  std::map<std::string, Summary> Summarize(double confidence = 0.95) const;
+
+ private:
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+}  // namespace rofs::stats
+
+#endif  // ROFS_STATS_SUMMARY_H_

@@ -1,0 +1,42 @@
+#include "stats/welford.h"
+
+#include <cmath>
+
+namespace rofs::stats {
+
+void Welford::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Welford::Merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double Welford::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace rofs::stats

@@ -1,0 +1,41 @@
+#ifndef ROFS_STATS_WELFORD_H_
+#define ROFS_STATS_WELFORD_H_
+
+#include <cstdint>
+
+namespace rofs::stats {
+
+/// Numerically stable streaming moments (Welford's online algorithm) plus
+/// running min/max. Replication aggregation feeds every replicate's metric
+/// value through one of these; variance is the sample variance (n - 1
+/// denominator), the estimator the Student-t confidence interval needs.
+class Welford {
+ public:
+  void Add(double x);
+
+  /// Combines another accumulator into this one (Chan et al. pairwise
+  /// update), as if every sample of `other` had been Add()ed here.
+  void Merge(const Welford& other);
+
+  uint64_t count() const { return n_; }
+  /// 0 when empty.
+  double mean() const { return mean_; }
+  /// Sample variance (n - 1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Min/max of the samples seen; 0 when empty.
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  /// Sum of squared deviations from the running mean.
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rofs::stats
+
+#endif  // ROFS_STATS_WELFORD_H_

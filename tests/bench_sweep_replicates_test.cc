@@ -1,0 +1,119 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/run_record.h"
+#include "util/random.h"
+#include "util/table.h"
+
+namespace rofs::bench {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct SweepOutput {
+  std::vector<std::vector<std::string>> rows;
+  std::string jsonl;
+  std::vector<exp::RunRecord> records;
+};
+
+/// Runs a two-cell sweep whose metrics are a deterministic function of
+/// the per-run seed, under the given command line.
+SweepOutput RunFakeSweep(std::vector<std::string> args,
+                         const std::string& jsonl_path) {
+  args.insert(args.begin(), "bench_sweep_test");
+  args.push_back("--jsonl");
+  args.push_back(jsonl_path);
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+
+  Sweep sweep(static_cast<int>(argv.size()), argv.data());
+  for (int c = 0; c < 2; ++c) {
+    sweep.Add(
+        FormatString("cell%d", c),
+        [c](const runner::RunContext& ctx) -> StatusOr<exp::RunRecord> {
+          Rng rng(ctx.seed);
+          exp::RunRecord record;
+          record.Set("value", static_cast<double>(rng.Next() % 1000) / 10.0 +
+                                  100.0 * c);
+          record.Set("frac", rng.NextDouble());
+          return record;
+        },
+        [](const CellStats& cs) {
+          return std::vector<std::string>{cs.Fixed("value", 1),
+                                          cs.Pct("frac")};
+        });
+  }
+  SweepOutput out;
+  out.rows = sweep.Run();
+  out.jsonl = ReadFile(jsonl_path);
+  out.records = sweep.records();
+  return out;
+}
+
+TEST(BenchSweepReplicates, ByteIdenticalRowsAndJsonlAcrossJobCounts) {
+  const std::string dir = ::testing::TempDir();
+  const auto serial = RunFakeSweep({"--replicates", "4", "--jobs", "1"},
+                                   dir + "/rofs_sweep_j1.jsonl");
+  const auto parallel = RunFakeSweep({"--replicates", "4", "--jobs", "8"},
+                                     dir + "/rofs_sweep_j8.jsonl");
+  EXPECT_EQ(serial.rows, parallel.rows);
+  ASSERT_FALSE(serial.jsonl.empty());
+  EXPECT_EQ(serial.jsonl, parallel.jsonl);
+}
+
+TEST(BenchSweepReplicates, RecordsAreCellMajorWithStreamSeeds) {
+  const std::string dir = ::testing::TempDir();
+  const auto out = RunFakeSweep({"--replicates", "3", "--jobs", "2"},
+                                dir + "/rofs_sweep_records.jsonl");
+  ASSERT_EQ(out.records.size(), 6u);
+  for (int c = 0; c < 2; ++c) {
+    for (int r = 0; r < 3; ++r) {
+      const exp::RunRecord& record = out.records[c * 3 + r];
+      EXPECT_EQ(record.cell, FormatString("cell%d", c));
+      EXPECT_EQ(record.replicate, r);
+      EXPECT_EQ(record.experiment, "bench_sweep_test");
+      EXPECT_TRUE(record.Has("value"));
+    }
+  }
+  // Replicate 0 runs on the base seed itself; others on distinct streams.
+  EXPECT_EQ(out.records[0].seed, 1u);
+  EXPECT_NE(out.records[1].seed, out.records[0].seed);
+  EXPECT_NE(out.records[2].seed, out.records[1].seed);
+  // Grid cells share common random numbers: same streams, same seeds.
+  EXPECT_EQ(out.records[0].seed, out.records[3].seed);
+  EXPECT_EQ(out.records[1].seed, out.records[4].seed);
+}
+
+TEST(BenchSweepReplicates, SingleReplicateFormatsWithoutCi) {
+  const std::string dir = ::testing::TempDir();
+  const auto out = RunFakeSweep({"--replicates", "1", "--jobs", "2"},
+                                dir + "/rofs_sweep_single.jsonl");
+  ASSERT_EQ(out.rows.size(), 2u);
+  for (const auto& row : out.rows) {
+    for (const std::string& cell : row) {
+      EXPECT_EQ(cell.find("±"), std::string::npos) << cell;
+    }
+  }
+  // CI cells appear once replicated.
+  const auto rep = RunFakeSweep({"--replicates", "3", "--jobs", "2"},
+                                dir + "/rofs_sweep_rep.jsonl");
+  ASSERT_EQ(rep.rows.size(), 2u);
+  EXPECT_NE(rep.rows[0][0].find("±"), std::string::npos) << rep.rows[0][0];
+  EXPECT_NE(rep.rows[0][1].find("±"), std::string::npos) << rep.rows[0][1];
+}
+
+}  // namespace
+}  // namespace rofs::bench

@@ -154,6 +154,88 @@ TEST(ExperimentTest, FixedBlockBaselineSlowerSequentialThanRestrictedBuddy) {
             fixed_pair->sequential.utilization_of_max);
 }
 
+TEST(ExperimentConfigTest, DefaultConfigValidates) {
+  EXPECT_TRUE(ExperimentConfig{}.Validate().ok());
+}
+
+TEST(ExperimentConfigTest, ValidateRejectsBadValues) {
+  {
+    ExperimentConfig c;
+    c.fill_lower = 0.0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.fill_lower = 0.9;
+    c.fill_upper = 0.8;  // Band inverted.
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.fill_upper = 1.5;  // Above full.
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.sample_interval_ms = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.stable_tolerance_pp = -0.1;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.stable_samples = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.warmup_ms = -1;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.max_measure_ms = c.min_measure_ms / 2;  // Window inverted.
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.seq_min_measure_ms = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.alloc_full_utilization = 0.0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.max_alloc_test_ops = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+  {
+    ExperimentConfig c;
+    c.seed = 0;
+    EXPECT_FALSE(c.Validate().ok());
+  }
+}
+
+TEST(ExperimentConfigTest, InvalidConfigFailsTheRunWithInvalidArgument) {
+  ExperimentConfig config;
+  config.seed = 0;
+  Experiment experiment(
+      TinyWorkload(),
+      [](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
+        return std::make_unique<alloc::FixedBlockAllocator>(total_du, 4);
+      },
+      TinyDisk(), config);
+  const auto result = experiment.RunAllocationTest();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ReportingTest, PctFormats) {
   EXPECT_EQ(Pct(0.884), "88.4%");
   EXPECT_EQ(Pct(0.0), "0.0%");

@@ -1,0 +1,155 @@
+#include "exp/run_record.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+
+namespace rofs::exp {
+namespace {
+
+TEST(RunRecord, SetGetHas) {
+  RunRecord r;
+  EXPECT_FALSE(r.Has("x"));
+  EXPECT_EQ(r.Get("x"), 0.0);
+  EXPECT_EQ(r.Get("x", -1.0), -1.0);
+  r.Set("x", 2.5);
+  EXPECT_TRUE(r.Has("x"));
+  EXPECT_EQ(r.Get("x"), 2.5);
+}
+
+TEST(RunRecord, MergeMetricsPrefixesNamesAndKeepsExistingTags) {
+  RunRecord a;
+  a.Set("ops", 10);
+  a.tags["result_kind"] = "allocation";
+
+  RunRecord b;
+  b.Set("ops", 20);
+  b.Set("throughput", 0.5);
+  b.tags["result_kind"] = "perf";
+  b.tags["extra"] = "yes";
+
+  RunRecord cell;
+  cell.MergeMetrics(a, "alloc.");
+  cell.MergeMetrics(b, "app.");
+  EXPECT_EQ(cell.Get("alloc.ops"), 10.0);
+  EXPECT_EQ(cell.Get("app.ops"), 20.0);
+  EXPECT_EQ(cell.Get("app.throughput"), 0.5);
+  // First-merged tag wins; new keys are still merged in.
+  EXPECT_EQ(cell.tags.at("result_kind"), "allocation");
+  EXPECT_EQ(cell.tags.at("extra"), "yes");
+}
+
+TEST(RunRecord, ToJsonIsDeterministicAndEscaped) {
+  RunRecord r;
+  r.experiment = "unit";
+  r.cell = "cell \"A\"\n";
+  r.replicate = 2;
+  r.seed = 42;
+  r.tags["kind"] = "x";
+  r.Set("b", 0.1);
+  r.Set("a", 1);
+  const std::string json = r.ToJson();
+  EXPECT_EQ(json,
+            "{\"experiment\":\"unit\",\"cell\":\"cell \\\"A\\\"\\n\","
+            "\"replicate\":2,\"seed\":42,\"tags\":{\"kind\":\"x\"},"
+            "\"metrics\":{\"a\":1,\"b\":0.1}}");
+  // Serialization is a pure function of the record.
+  EXPECT_EQ(json, r.ToJson());
+}
+
+TEST(RunRecord, CsvUnionHeaderAndBlanksForAbsentCells) {
+  RunRecord a;
+  a.experiment = "unit";
+  a.cell = "one";
+  a.Set("m1", 1);
+  RunRecord b;
+  b.experiment = "unit";
+  b.cell = "two, with comma";
+  b.replicate = 1;
+  b.seed = 7;
+  b.tags["k"] = "v";
+  b.Set("m2", 2);
+
+  const std::string csv = RecordsToCsv({a, b});
+  EXPECT_EQ(csv,
+            "experiment,cell,replicate,seed,tag.k,m1,m2\n"
+            "unit,one,0,0,,1,\n"
+            "unit,\"two, with comma\",1,7,v,,2\n");
+}
+
+TEST(RunRecord, JsonlOneLinePerRecord) {
+  RunRecord a;
+  a.experiment = "unit";
+  RunRecord b;
+  b.experiment = "unit";
+  b.replicate = 1;
+  const std::string jsonl = RecordsToJsonl({a, b});
+  EXPECT_EQ(jsonl, a.ToJson() + "\n" + b.ToJson() + "\n");
+}
+
+TEST(ResultRecords, AllocationResultRoundTrips) {
+  AllocationResult a;
+  a.internal_fragmentation = 0.12;
+  a.external_fragmentation = 0.034;
+  a.utilization = 0.9;
+  a.avg_extents_per_file = 3.25;
+  a.ops_executed = 12345;
+  a.simulated_ms = 6789.5;
+  a.alloc_stats.alloc_calls = 11;
+  a.alloc_stats.blocks_allocated = 22;
+  a.alloc_stats.blocks_freed = 33;
+  a.alloc_stats.splits = 44;
+  a.alloc_stats.coalesces = 55;
+  a.alloc_stats.failed_allocs = 66;
+
+  const RunRecord r = a.ToRecord();
+  EXPECT_EQ(r.tags.at("result_kind"), "allocation");
+  const AllocationResult back = AllocationResult::FromRecord(r);
+  EXPECT_EQ(back.internal_fragmentation, a.internal_fragmentation);
+  EXPECT_EQ(back.external_fragmentation, a.external_fragmentation);
+  EXPECT_EQ(back.utilization, a.utilization);
+  EXPECT_EQ(back.avg_extents_per_file, a.avg_extents_per_file);
+  EXPECT_EQ(back.ops_executed, a.ops_executed);
+  EXPECT_EQ(back.simulated_ms, a.simulated_ms);
+  EXPECT_EQ(back.alloc_stats.alloc_calls, a.alloc_stats.alloc_calls);
+  EXPECT_EQ(back.alloc_stats.blocks_allocated,
+            a.alloc_stats.blocks_allocated);
+  EXPECT_EQ(back.alloc_stats.blocks_freed, a.alloc_stats.blocks_freed);
+  EXPECT_EQ(back.alloc_stats.splits, a.alloc_stats.splits);
+  EXPECT_EQ(back.alloc_stats.coalesces, a.alloc_stats.coalesces);
+  EXPECT_EQ(back.alloc_stats.failed_allocs, a.alloc_stats.failed_allocs);
+}
+
+TEST(ResultRecords, PerfResultRoundTrips) {
+  PerfResult p;
+  p.utilization_of_max = 0.88;
+  p.stabilized = true;
+  p.measured_ms = 120000.5;
+  p.ops_executed = 999;
+  p.bytes_moved = 1 << 30;
+  p.disk_full_events = 3;
+  p.avg_extents_per_file = 1.5;
+  p.internal_fragmentation = 0.07;
+  p.mean_op_latency_ms = 42.5;
+  p.alloc_stats.coalesces = 17;
+
+  const RunRecord r = p.ToRecord();
+  EXPECT_EQ(r.tags.at("result_kind"), "perf");
+  const PerfResult back = PerfResult::FromRecord(r);
+  EXPECT_EQ(back.utilization_of_max, p.utilization_of_max);
+  EXPECT_EQ(back.stabilized, p.stabilized);
+  EXPECT_EQ(back.measured_ms, p.measured_ms);
+  EXPECT_EQ(back.ops_executed, p.ops_executed);
+  EXPECT_EQ(back.bytes_moved, p.bytes_moved);
+  EXPECT_EQ(back.disk_full_events, p.disk_full_events);
+  EXPECT_EQ(back.avg_extents_per_file, p.avg_extents_per_file);
+  EXPECT_EQ(back.internal_fragmentation, p.internal_fragmentation);
+  EXPECT_EQ(back.mean_op_latency_ms, p.mean_op_latency_ms);
+  EXPECT_EQ(back.alloc_stats.coalesces, p.alloc_stats.coalesces);
+}
+
+}  // namespace
+}  // namespace rofs::exp

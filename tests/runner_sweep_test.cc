@@ -200,5 +200,76 @@ TEST(SweepRunnerTest, ResolveJobsPrefersExplicitRequest) {
   EXPECT_GE(SweepRunner::ResolveJobs(-5), 1);
 }
 
+TEST(SweepRunnerTest, ResolveReplicatesPrefersExplicitRequest) {
+  EXPECT_EQ(SweepRunner::ResolveReplicates(4), 4);
+  EXPECT_GE(SweepRunner::ResolveReplicates(0), 1);
+  EXPECT_GE(SweepRunner::ResolveReplicates(-2), 1);
+}
+
+TEST(SweepRunnerTest, ExpandReplicatesIsCellMajorOverStreams) {
+  std::vector<RunSpec> specs;
+  for (int c = 0; c < 2; ++c) {
+    RunSpec spec;
+    spec.label = FormatString("cell%d", c);
+    spec.base_seed = 100 + c;
+    spec.run = [](const RunContext&) -> StatusOr<std::vector<std::string>> {
+      return std::vector<std::string>{};
+    };
+    specs.push_back(std::move(spec));
+  }
+
+  const auto expanded = SweepRunner::ExpandReplicates(specs, 3);
+  ASSERT_EQ(expanded.size(), 6u);
+  for (int c = 0; c < 2; ++c) {
+    for (int r = 0; r < 3; ++r) {
+      const RunSpec& e = expanded[c * 3 + r];
+      EXPECT_EQ(e.base_seed, 100u + c);
+      EXPECT_EQ(e.stream, static_cast<uint64_t>(r));
+      if (r == 0) {
+        EXPECT_EQ(e.label, specs[c].label);
+      } else {
+        EXPECT_EQ(e.label, specs[c].label + FormatString(" [r%d]", r));
+      }
+    }
+  }
+}
+
+TEST(SweepRunnerTest, ExpandReplicatesOneIsIdentity) {
+  const std::vector<RunSpec> grid = MakeGrid(3);
+  const auto expanded = SweepRunner::ExpandReplicates(MakeGrid(3), 1);
+  ASSERT_EQ(expanded.size(), grid.size());
+  for (size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(expanded[i].label, grid[i].label);
+    EXPECT_EQ(expanded[i].base_seed, grid[i].base_seed);
+    EXPECT_EQ(expanded[i].stream, grid[i].stream);
+  }
+}
+
+TEST(SweepRunnerTest, ReplicatedSweepIsByteIdenticalAcrossJobCounts) {
+  // Replicates draw distinct seeds; stream 0 reproduces the base seed.
+  auto run_all = [](int jobs) {
+    SweepOptions options;
+    options.jobs = jobs;
+    std::vector<RunSpec> grid = MakeGrid(4);
+    std::string out;
+    for (const RunResult& r :
+         SweepRunner(options).Run(SweepRunner::ExpandReplicates(grid, 3))) {
+      for (const std::string& cell : r.cells) out += cell + "|";
+      out += "\n";
+    }
+    return out;
+  };
+  const std::string serial = run_all(1);
+  EXPECT_EQ(serial, run_all(8));
+
+  // Within one cell, different replicates saw different seeds.
+  SweepOptions options;
+  options.jobs = 2;
+  const auto results =
+      SweepRunner(options).Run(SweepRunner::ExpandReplicates(MakeGrid(1), 2));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].cells, results[1].cells);
+}
+
 }  // namespace
 }  // namespace rofs::runner

@@ -1,0 +1,118 @@
+#include "stats/summary.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/student_t.h"
+#include "stats/welford.h"
+
+namespace rofs::stats {
+namespace {
+
+TEST(Welford, MatchesClosedFormMeanAndSampleVariance) {
+  // Textbook set: mean 5, sample variance 32/7.
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  Welford w;
+  for (double x : xs) w.Add(x);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(w.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(w.min(), 2.0);
+  EXPECT_EQ(w.max(), 9.0);
+}
+
+TEST(Welford, EmptyAndSingleton) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.variance(), 0.0);
+  w.Add(3.5);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.5);
+  EXPECT_EQ(w.variance(), 0.0);  // Sample variance undefined; reported 0.
+}
+
+TEST(Welford, MergeEqualsSequential) {
+  const std::vector<double> xs = {0.1, -2.5, 3.75, 10, 1e6, -7, 0.25, 42};
+  Welford all;
+  for (double x : xs) all.Add(x);
+
+  Welford left, right;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    (i < 3 ? left : right).Add(xs[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9 * std::abs(all.mean()));
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9 * all.variance());
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(StudentT, CdfBasics) {
+  // Symmetric around zero; CDF(0) = 1/2 for any dof.
+  EXPECT_NEAR(StudentTCdf(0.0, 1), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(0.0, 30), 0.5, 1e-12);
+  // dof=1 is the Cauchy distribution: CDF(1) = 3/4.
+  EXPECT_NEAR(StudentTCdf(1.0, 1), 0.75, 1e-9);
+  EXPECT_NEAR(StudentTCdf(-1.0, 1), 0.25, 1e-9);
+}
+
+TEST(StudentT, CriticalValuesMatchTables) {
+  // Standard two-sided 95% critical values.
+  EXPECT_NEAR(StudentTCriticalValue(1, 0.95), 12.706, 5e-3);
+  EXPECT_NEAR(StudentTCriticalValue(2, 0.95), 4.303, 5e-3);
+  EXPECT_NEAR(StudentTCriticalValue(4, 0.95), 2.776, 5e-3);
+  EXPECT_NEAR(StudentTCriticalValue(9, 0.95), 2.262, 5e-3);
+  EXPECT_NEAR(StudentTCriticalValue(29, 0.95), 2.045, 5e-3);
+  // 99% two-sided.
+  EXPECT_NEAR(StudentTCriticalValue(9, 0.99), 3.250, 5e-3);
+  // Large dof converges to the normal quantile 1.96.
+  EXPECT_NEAR(StudentTCriticalValue(1000, 0.95), 1.962, 5e-3);
+}
+
+TEST(Summary, CiHalfWidthFormula) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = Summarize(xs, 0.95);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  const double expected =
+      StudentTCriticalValue(7, 0.95) * std::sqrt(32.0 / 7.0 / 8.0);
+  EXPECT_NEAR(s.ci_half_width, expected, 1e-9);
+  // The interval brackets the mean the data was drawn around.
+  EXPECT_LT(s.mean - s.ci_half_width, 5.0 + 1e-12);
+  EXPECT_GT(s.mean + s.ci_half_width, 5.0 - 1e-12);
+}
+
+TEST(Summary, SingleSampleHasZeroHalfWidth) {
+  const Summary s = Summarize(std::vector<double>{7.25});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.25);
+  EXPECT_EQ(s.ci_half_width, 0.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.25), 17.5);
+}
+
+TEST(MetricSet, AggregatesAcrossReplicates) {
+  MetricSet set;
+  set.AddAll({{"a", 1.0}, {"b", 10.0}});
+  set.AddAll({{"a", 3.0}, {"b", 10.0}});
+  const auto summaries = set.Summarize(0.95);
+  ASSERT_EQ(summaries.count("a"), 1u);
+  ASSERT_EQ(summaries.count("b"), 1u);
+  EXPECT_DOUBLE_EQ(summaries.at("a").mean, 2.0);
+  EXPECT_EQ(summaries.at("a").count, 2u);
+  EXPECT_DOUBLE_EQ(summaries.at("b").mean, 10.0);
+  EXPECT_EQ(summaries.at("b").ci_half_width, 0.0);  // Zero variance.
+}
+
+}  // namespace
+}  // namespace rofs::stats

@@ -12,11 +12,20 @@
 //                                          # operation trace as CSV
 //   rofs_sim --jobs N <config.ini>         # run independent tests on N
 //                                          # threads (also: ROFS_JOBS)
+//   rofs_sim --replicates N <config.ini>   # run every test N times on
+//                                          # independent seed streams and
+//                                          # report mean +- 95% CI (also:
+//                                          # ROFS_REPLICATES)
+//   rofs_sim --jsonl out.jsonl             # write one RunRecord per
+//   rofs_sim --csv out.csv                 # replicate (also: ROFS_JSONL
+//                                          # / ROFS_CSV)
 //
 // The enabled tests (allocation; application+sequential) are independent
 // simulations, so --jobs N > 1 runs them concurrently; the printed output
 // is byte-identical for any job count. --trace forces serial execution
-// (the trace spans every test's operation stream, in order).
+// (the trace spans every test's operation stream, in order). With
+// replicates, the trace and --stats report cover replicate 0 only (the
+// stream that reproduces the single-run results).
 //
 // See configs/ for ready-made files reproducing the paper's setups.
 
@@ -28,8 +37,10 @@
 
 #include "config/sim_config.h"
 #include "exp/reporting.h"
+#include "exp/run_record.h"
 #include "exp/trace.h"
 #include "runner/sweep_runner.h"
+#include "stats/summary.h"
 #include "util/table.h"
 
 using namespace rofs;
@@ -41,7 +52,10 @@ struct Options {
   bool dump_only = false;
   bool stats = false;
   std::string trace_path;
-  int jobs = 0;  // 0: ROFS_JOBS, else hardware threads.
+  int jobs = 0;        // 0: ROFS_JOBS, else hardware threads.
+  int replicates = 0;  // 0: ROFS_REPLICATES, else 1.
+  std::string jsonl_path;
+  std::string csv_path;
 };
 
 int Run(const Options& opts) {
@@ -74,6 +88,8 @@ int Run(const Options& opts) {
 
   runner::SweepOptions sweep_options;
   sweep_options.jobs = runner::SweepRunner::ResolveJobs(opts.jobs);
+  const int replicates =
+      runner::SweepRunner::ResolveReplicates(opts.replicates);
   if (!opts.trace_path.empty() && sweep_options.jobs > 1) {
     std::fprintf(stderr,
                  "rofs_sim: --trace records every test's operation "
@@ -88,23 +104,39 @@ int Run(const Options& opts) {
 
   // Each enabled test group is an independent simulation (every Run*
   // call builds a fresh one), so they parallelize as a tiny sweep.
+  // Replicate r of a group runs on seed stream r (stream 0 is the config
+  // seed itself) and writes its RunRecord into a private slot; the trace
+  // and --stats report attach to replicate 0 only.
+  std::vector<exp::RunRecord> records;
+  std::vector<std::string> group_labels;
   std::vector<runner::RunSpec> specs;
   if (cfg->tests.allocation) {
     runner::RunSpec spec;
     spec.label = "allocation test";
-    spec.run = [cfg, tracing, &trace](const runner::RunContext&)
+    spec.base_seed = cfg->experiment.seed;
+    spec.run = [cfg, tracing, &trace, replicates, &records,
+                label = spec.label](const runner::RunContext& ctx)
         -> StatusOr<std::vector<std::string>> {
+      exp::ExperimentConfig ec = cfg->experiment;
+      ec.seed = ctx.seed;
       exp::Experiment experiment(cfg->workload, cfg->allocator_factory,
-                                 cfg->disk, cfg->experiment);
-      if (tracing) {
+                                 cfg->disk, ec);
+      if (tracing && ctx.index % replicates == 0) {
         experiment.set_instrument(
             [&trace](workload::OpGenerator* gen) { trace.Attach(gen); });
       }
       auto result = experiment.RunAllocationTest();
       if (!result.ok()) return result.status();
+      exp::RunRecord& record = records[ctx.index];
+      record.experiment = "rofs_sim";
+      record.cell = label;
+      record.replicate = static_cast<int>(ctx.index % replicates);
+      record.seed = ctx.seed;
+      record.MergeMetrics(result->ToRecord(), "alloc.");
       return std::vector<std::string>{"allocation test:   " +
                                       exp::Summarize(*result)};
     };
+    group_labels.push_back(spec.label);
     specs.push_back(std::move(spec));
   }
   if (cfg->tests.application || cfg->tests.sequential) {
@@ -113,20 +145,32 @@ int Run(const Options& opts) {
                      ? "performance tests"
                      : (cfg->tests.application ? "application test"
                                                : "sequential test");
+    spec.base_seed = cfg->experiment.seed;
     const bool want_stats = opts.stats;
-    spec.run = [cfg, tracing, &trace, want_stats, &stats_report](
-                   const runner::RunContext&)
+    spec.run = [cfg, tracing, &trace, want_stats, &stats_report,
+                replicates, &records, label = spec.label](
+                   const runner::RunContext& ctx)
         -> StatusOr<std::vector<std::string>> {
+      const bool primary = ctx.index % replicates == 0;
+      exp::ExperimentConfig ec = cfg->experiment;
+      ec.seed = ctx.seed;
       exp::Experiment experiment(cfg->workload, cfg->allocator_factory,
-                                 cfg->disk, cfg->experiment);
-      if (tracing) {
+                                 cfg->disk, ec);
+      if (tracing && primary) {
         experiment.set_instrument(
             [&trace](workload::OpGenerator* gen) { trace.Attach(gen); });
       }
-      if (want_stats) experiment.set_stats_sink(&stats_report);
+      if (want_stats && primary) experiment.set_stats_sink(&stats_report);
+      exp::RunRecord& record = records[ctx.index];
+      record.experiment = "rofs_sim";
+      record.cell = label;
+      record.replicate = static_cast<int>(ctx.index % replicates);
+      record.seed = ctx.seed;
       if (cfg->tests.application && cfg->tests.sequential) {
         auto pair = experiment.RunPerformancePair();
         if (!pair.ok()) return pair.status();
+        record.MergeMetrics(pair->application.ToRecord(), "app.");
+        record.MergeMetrics(pair->sequential.ToRecord(), "seq.");
         return std::vector<std::string>{
             "application test:  " + exp::Summarize(pair->application),
             "sequential test:   " + exp::Summarize(pair->sequential)};
@@ -134,29 +178,74 @@ int Run(const Options& opts) {
       if (cfg->tests.application) {
         auto result = experiment.RunApplicationTest();
         if (!result.ok()) return result.status();
+        record.MergeMetrics(result->ToRecord(), "app.");
         return std::vector<std::string>{"application test:  " +
                                         exp::Summarize(*result)};
       }
       auto result = experiment.RunSequentialTest();
       if (!result.ok()) return result.status();
+      record.MergeMetrics(result->ToRecord(), "seq.");
       return std::vector<std::string>{"sequential test:   " +
                                       exp::Summarize(*result)};
     };
+    group_labels.push_back(spec.label);
     specs.push_back(std::move(spec));
   }
 
+  records.assign(specs.size() * static_cast<size_t>(replicates),
+                 exp::RunRecord{});
   runner::SweepRunner sweep_runner(sweep_options);
-  std::vector<runner::RunResult> results = sweep_runner.Run(specs);
+  std::vector<runner::RunResult> results = sweep_runner.Run(
+      runner::SweepRunner::ExpandReplicates(std::move(specs), replicates));
   for (const runner::RunResult& result : results) {
     if (!result.status.ok()) {
       std::fprintf(stderr, "%s: %s\n", result.label.c_str(),
                    result.status.ToString().c_str());
       return 1;
     }
-    for (const std::string& line : result.cells) {
-      std::printf("%s\n", line.c_str());
+    // One replicate prints exactly like the pre-replication tool; with
+    // more, the per-replicate lines are replaced by summary tables below.
+    if (replicates == 1) {
+      for (const std::string& line : result.cells) {
+        std::printf("%s\n", line.c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+
+  if (replicates > 1) {
+    for (size_t g = 0; g < group_labels.size(); ++g) {
+      stats::MetricSet metrics;
+      for (int r = 0; r < replicates; ++r) {
+        metrics.AddAll(records[g * static_cast<size_t>(replicates) + r]
+                           .metrics);
+      }
+      std::printf("%s (%d replicates, mean +- 95%% CI):\n%s\n",
+                  group_labels[g].c_str(), replicates,
+                  exp::SummaryTable(metrics.Summarize(0.95)).c_str());
       std::fflush(stdout);
     }
+  }
+
+  std::string jsonl = opts.jsonl_path;
+  if (jsonl.empty() && replicates > 1) jsonl = "rofs_sim.jsonl";
+  if (!jsonl.empty()) {
+    const Status ws = exp::WriteJsonl(jsonl, records);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "jsonl: %s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "rofs_sim: wrote %zu records -> %s\n",
+                 records.size(), jsonl.c_str());
+  }
+  if (!opts.csv_path.empty()) {
+    const Status ws = exp::WriteCsv(opts.csv_path, records);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "csv: %s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "rofs_sim: wrote %zu records -> %s\n",
+                 records.size(), opts.csv_path.c_str());
   }
 
   if (opts.stats && !stats_report.empty()) {
@@ -192,6 +281,18 @@ int main(int argc, char** argv) {
       opts.jobs = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       opts.jobs = std::atoi(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--replicates") == 0 && i + 1 < argc) {
+      opts.replicates = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--replicates=", 13) == 0) {
+      opts.replicates = std::atoi(argv[i] + 13);
+    } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      opts.jsonl_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--jsonl=", 8) == 0) {
+      opts.jsonl_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      opts.csv_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
+      opts.csv_path = argv[i] + 6;
     } else if (opts.path.empty() && argv[i][0] != '-') {
       opts.path = argv[i];
     } else {
@@ -199,10 +300,23 @@ int main(int argc, char** argv) {
       break;
     }
   }
+  if (opts.jsonl_path.empty()) {
+    if (const char* env = std::getenv("ROFS_JSONL");
+        env != nullptr && env[0] != '\0') {
+      opts.jsonl_path = env;
+    }
+  }
+  if (opts.csv_path.empty()) {
+    if (const char* env = std::getenv("ROFS_CSV");
+        env != nullptr && env[0] != '\0') {
+      opts.csv_path = env;
+    }
+  }
   if (bad || opts.path.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--dump] [--stats] [--trace out.csv] "
-                 "[--jobs N] <config.ini>\n",
+                 "[--jobs N] [--replicates N] [--jsonl out.jsonl] "
+                 "[--csv out.csv] <config.ini>\n",
                  argv[0]);
     return 2;
   }
