@@ -8,6 +8,7 @@
 #include "alloc/buddy_allocator.h"
 #include "alloc/fixed_block_allocator.h"
 #include "exp/reporting.h"
+#include "sim/event_queue.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -221,6 +222,7 @@ std::vector<std::vector<std::string>> Sweep::Run() {
     specs.push_back(std::move(spec));
   }
 
+  const uint64_t events0 = sim::RetiredDispatchedEvents();
   const auto t0 = std::chrono::steady_clock::now();
   runner::SweepRunner sweep_runner(options_.sweep);
   std::vector<runner::RunResult> results = sweep_runner.Run(
@@ -228,6 +230,9 @@ std::vector<std::vector<std::string>> Sweep::Run() {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  // Every experiment's EventQueue has been destroyed by now, so the
+  // retired-events counter covers the whole sweep (no per-event cost).
+  const uint64_t events = sim::RetiredDispatchedEvents() - events0;
   double run_s = 0;
   for (const runner::RunResult& r : results) {
     DieOnError(r.status, r.label);
@@ -238,6 +243,10 @@ std::vector<std::vector<std::string>> Sweep::Run() {
                "sum-of-runs %.1fs (%.1fx)\n",
                results.size(), sweep_runner.jobs(), wall_s, run_s,
                wall_s > 0 ? run_s / wall_s : 0.0);
+  std::fprintf(stderr,
+               "sweep: %llu events dispatched, %.2fM events/s wall\n",
+               static_cast<unsigned long long>(events),
+               wall_s > 0 ? events / wall_s / 1e6 : 0.0);
 
   // Aggregate each cell across its replicates and format its row.
   std::vector<std::vector<std::string>> rows;

@@ -1,0 +1,338 @@
+// Microbenchmarks of the simulation-core hot paths rewritten in the
+// cache-locality pass: event scheduling/dispatch, buffer-cache LRU
+// touch/insert, and buddy alloc/free churn. Each structure is measured
+// against a self-contained copy of the previous implementation
+// (std::priority_queue + std::function, std::list + std::unordered_map,
+// std::set free lists), so the speedup claims are reproducible on any
+// checkout rather than requiring two builds.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/buddy_allocator.h"
+#include "fs/buffer_cache.h"
+#include "sim/event_queue.h"
+#include "util/random.h"
+
+namespace rofs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference copies of the seed structures.
+// ---------------------------------------------------------------------------
+
+/// The seed event queue: binary std::priority_queue of shared-ptr-free
+/// entries whose callbacks are std::function (heap-allocated past 16
+/// bytes of capture on libstdc++).
+class RefEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  void Schedule(double when, Callback cb) {
+    if (when < now_) when = now_;
+    heap_.push(Entry{when, next_seq_++, std::move(cb)});
+  }
+
+  bool RunNext() {
+    if (heap_.empty()) return false;
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    now_ = e.time;
+    e.cb();
+    return true;
+  }
+
+  double now() const { return now_; }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    double time;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+/// The seed buffer cache: std::list LRU chain + unordered_map index, one
+/// list-node allocation per insertion.
+class RefLruCache {
+ public:
+  explicit RefLruCache(uint64_t capacity) : capacity_(capacity) {}
+
+  bool Touch(uint64_t page) {
+    auto it = index_.find(page);
+    if (it == index_.end()) return false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+
+  void Insert(uint64_t page) {
+    auto it = index_.find(page);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_) {
+      index_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(page);
+    index_[page] = lru_.begin();
+  }
+
+ private:
+  uint64_t capacity_;
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+/// The seed buddy free lists: one ordered set of addresses per order,
+/// lowest-address allocation, buddy coalescing on free.
+class RefBuddy {
+ public:
+  explicit RefBuddy(uint64_t total_du) : total_du_(total_du) {
+    uint32_t orders = 0;
+    while ((uint64_t{1} << orders) <= total_du) ++orders;
+    free_.resize(orders);
+    uint64_t addr = 0;
+    while (addr < total_du) {
+      uint64_t size = uint64_t{1} << (orders - 1);
+      while (addr % size != 0 || addr + size > total_du) size >>= 1;
+      free_[OrderOf(size)].insert(addr);
+      addr += size;
+    }
+  }
+
+  bool Allocate(uint32_t order, uint64_t* addr) {
+    uint32_t o = order;
+    while (o < free_.size() && free_[o].empty()) ++o;
+    if (o >= free_.size()) return false;
+    uint64_t block = *free_[o].begin();
+    free_[o].erase(free_[o].begin());
+    while (o > order) {
+      --o;
+      free_[o].insert(block + (uint64_t{1} << o));
+    }
+    *addr = block;
+    return true;
+  }
+
+  void Free(uint64_t addr, uint32_t order) {
+    while (order + 1 < free_.size()) {
+      const uint64_t size = uint64_t{1} << order;
+      const uint64_t buddy = addr ^ size;
+      if (buddy + size > total_du_) break;
+      auto it = free_[order].find(buddy);
+      if (it == free_[order].end()) break;
+      free_[order].erase(it);
+      addr = addr < buddy ? addr : buddy;
+      ++order;
+    }
+    free_[order].insert(addr);
+  }
+
+ private:
+  static uint32_t OrderOf(uint64_t size) {
+    uint32_t o = 0;
+    while ((uint64_t{1} << o) < size) ++o;
+    return o;
+  }
+  uint64_t total_du_;
+  std::vector<std::set<uint64_t>> free_;
+};
+
+// ---------------------------------------------------------------------------
+// Event queue: schedule + dispatch at steady-state population.
+// ---------------------------------------------------------------------------
+
+// A capture the size of the simulator's completion callbacks (two
+// pointers + three words, 40 bytes): inline for util::InlineFunction's
+// 48-byte buffer, heap-allocated by libstdc++'s 16-byte std::function.
+struct CallbackPayload {
+  uint64_t* counter;
+  const uint64_t* salt;
+  uint64_t a, b, c;
+  void operator()() const { *counter += a ^ b ^ c ^ *salt; }
+};
+
+template <typename Queue>
+void RunEventChurn(benchmark::State& state, Queue& queue) {
+  const size_t kPopulation = static_cast<size_t>(state.range(0));
+  // Pre-draw the delays so the measurement compares the queues, not the
+  // random number generator.
+  constexpr size_t kDelays = 16384;
+  static const std::vector<double>& delays = *[] {
+    Rng rng(42);
+    auto* v = new std::vector<double>(kDelays);
+    for (double& d : *v) d = rng.NextDouble() * 100.0;
+    return v;
+  }();
+  uint64_t counter = 0;
+  const uint64_t salt = 0x5eed;
+  auto payload = [&](uint64_t i) {
+    return CallbackPayload{&counter, &salt, i, i * 3, i * 7};
+  };
+  for (size_t i = 0; i < kPopulation; ++i) {
+    queue.Schedule(delays[i % kDelays], payload(i));
+  }
+  uint64_t i = kPopulation;
+  for (auto _ : state) {
+    queue.RunNext();
+    queue.Schedule(queue.now() + delays[i % kDelays], payload(i));
+    ++i;
+  }
+  benchmark::DoNotOptimize(counter);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_EventChurn_QuadHeapInline(benchmark::State& state) {
+  sim::EventQueue queue;
+  queue.Reserve(2 * static_cast<size_t>(state.range(0)));
+  RunEventChurn(state, queue);
+}
+BENCHMARK(BM_EventChurn_QuadHeapInline)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kNanosecond);
+
+void BM_EventChurn_RefPriorityQueueStdFunction(benchmark::State& state) {
+  RefEventQueue queue;
+  RunEventChurn(state, queue);
+}
+BENCHMARK(BM_EventChurn_RefPriorityQueueStdFunction)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Unit(benchmark::kNanosecond);
+
+// ---------------------------------------------------------------------------
+// Buffer cache: mixed touch/insert over a working set larger than the
+// cache (the application test's page-level access pattern).
+// ---------------------------------------------------------------------------
+
+template <typename Cache>
+void RunLruChurn(benchmark::State& state, Cache& cache) {
+  constexpr uint64_t kCapacity = 8192;
+  constexpr uint64_t kWorkingSet = kCapacity * 2;
+  constexpr size_t kTrace = 65536;
+  static const std::vector<uint64_t>& pages = *[] {
+    Rng rng(7);
+    auto* v = new std::vector<uint64_t>(kTrace);
+    for (uint64_t& p : *v) p = rng.UniformInt(0, kWorkingSet - 1);
+    return v;
+  }();
+  for (uint64_t p = 0; p < kCapacity; ++p) cache.Insert(p);
+  size_t i = 0;
+  for (auto _ : state) {
+    const uint64_t page = pages[i];
+    i = (i + 1) % kTrace;
+    if (!cache.Touch(page)) cache.Insert(page);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_LruChurn_FlatSlots(benchmark::State& state) {
+  // page_du = 1: Touch/Insert address pages directly.
+  fs::BufferCache cache(/*capacity_pages=*/8192, /*page_du=*/1);
+  RunLruChurn(state, cache);
+}
+BENCHMARK(BM_LruChurn_FlatSlots)->Unit(benchmark::kNanosecond);
+
+void BM_LruChurn_RefListMap(benchmark::State& state) {
+  RefLruCache cache(8192);
+  RunLruChurn(state, cache);
+}
+BENCHMARK(BM_LruChurn_RefListMap)->Unit(benchmark::kNanosecond);
+
+// ---------------------------------------------------------------------------
+// Buddy free lists: alloc/free churn on a fragmented space.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kSpaceDu = 2'764'800;  // The paper's 2.8 GB array.
+
+template <typename Buddy>
+void RunBuddyChurn(benchmark::State& state, Buddy& buddy) {
+  // Pre-drawn order sequence, identical for both variants.
+  constexpr size_t kOrders = 65536;
+  static const std::vector<uint32_t>& orders = *[] {
+    Rng rng(3);
+    auto* v = new std::vector<uint32_t>(kOrders);
+    for (uint32_t& o : *v) o = static_cast<uint32_t>(rng.UniformInt(0, 6));
+    return v;
+  }();
+  // Fragment to mid-life scale: ~120k mixed-order blocks (~80% of the
+  // 2.7M-unit array), half freed, leaves free lists tens of thousands of
+  // blocks long — the regime where the free-space index is actually hot.
+  std::vector<std::pair<uint64_t, uint32_t>> held;
+  held.reserve(120'000);
+  for (int i = 0; i < 120'000; ++i) {
+    uint64_t addr = 0;
+    if (buddy.Allocate(orders[i % kOrders], &addr)) {
+      held.push_back({addr, orders[i % kOrders]});
+    }
+  }
+  for (size_t i = 0; i < held.size(); i += 2) {
+    buddy.Free(held[i].first, held[i].second);
+    held[i].second = UINT32_MAX;
+  }
+  size_t cursor = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    auto& h = held[cursor];
+    if (h.second == UINT32_MAX) {
+      uint64_t addr = 0;
+      const uint32_t order = orders[i];
+      i = (i + 1) % kOrders;
+      if (buddy.Allocate(order, &addr)) h = {addr, order};
+    } else {
+      buddy.Free(h.first, h.second);
+      h.second = UINT32_MAX;
+    }
+    cursor = (cursor + 1) % held.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+/// Exposes the bitmap allocator's protected block interface to the churn
+/// driver (the churn is block-level; Extend/FreeRun work in extents).
+class BitmapBuddy : public alloc::BuddyAllocator {
+ public:
+  explicit BitmapBuddy(uint64_t total_du) : BuddyAllocator(total_du) {}
+  bool Allocate(uint32_t order, uint64_t* addr) {
+    return AllocateBlock(order, addr);
+  }
+  void Free(uint64_t addr, uint32_t order) { FreeBlock(addr, order); }
+};
+
+void BM_BuddyChurn_Bitmap(benchmark::State& state) {
+  BitmapBuddy buddy(kSpaceDu);
+  RunBuddyChurn(state, buddy);
+}
+BENCHMARK(BM_BuddyChurn_Bitmap)->Unit(benchmark::kNanosecond);
+
+void BM_BuddyChurn_RefOrderedSets(benchmark::State& state) {
+  RefBuddy buddy(kSpaceDu);
+  RunBuddyChurn(state, buddy);
+}
+BENCHMARK(BM_BuddyChurn_RefOrderedSets)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace rofs
+
+BENCHMARK_MAIN();

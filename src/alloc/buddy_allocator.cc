@@ -21,31 +21,51 @@ BuddyAllocator::BuddyAllocator(uint64_t total_du, uint64_t max_extent_du)
   assert(IsPowerOfTwo(max_extent_du_));
   num_orders_ = static_cast<uint32_t>(std::bit_width(total_du));
   assert(num_orders_ < kMaxOrders);
-  free_lists_.resize(num_orders_);
+  free_bits_.reserve(num_orders_);
+  for (uint32_t o = 0; o < num_orders_; ++o) {
+    free_bits_.emplace_back(static_cast<size_t>(total_du >> o));
+  }
+  free_counts_.assign(num_orders_, 0);
   // Tile the (possibly non-power-of-two) space with maximal aligned blocks.
   uint64_t addr = 0;
   while (addr < total_du) {
     uint64_t size = uint64_t{1} << (num_orders_ - 1);
     while (addr % size != 0 || addr + size > total_du) size >>= 1;
-    free_lists_[OrderOf(size)].insert(addr);
+    InsertFree(addr, OrderOf(size));
     free_du_ += size;
     addr += size;
   }
   assert(free_du_ == total_du);
 }
 
+void BuddyAllocator::InsertFree(uint64_t addr, uint32_t order) {
+  const size_t idx = static_cast<size_t>(addr >> order);
+  assert(!free_bits_[order].Test(idx) && "double free of a block");
+  free_bits_[order].Set(idx);
+  ++free_counts_[order];
+}
+
+void BuddyAllocator::RemoveFree(uint64_t addr, uint32_t order) {
+  const size_t idx = static_cast<size_t>(addr >> order);
+  assert(free_bits_[order].Test(idx) && "removing a block that is not free");
+  free_bits_[order].Clear(idx);
+  --free_counts_[order];
+}
+
 bool BuddyAllocator::AllocateBlock(uint32_t order, uint64_t* addr) {
   uint32_t o = order;
-  while (o < num_orders_ && free_lists_[o].empty()) ++o;
+  while (o < num_orders_ && free_counts_[o] == 0) ++o;
   if (o >= num_orders_) return false;
   // Lowest-addressed block, to mimic the natural low-address clustering of
   // a fresh system; splits cascade down to the requested order.
-  uint64_t block = *free_lists_[o].begin();
-  free_lists_[o].erase(free_lists_[o].begin());
+  const auto idx = free_bits_[o].FindFirstSet(0);
+  assert(idx.has_value());
+  uint64_t block = static_cast<uint64_t>(*idx) << o;
+  RemoveFree(block, o);
   while (o > order) {
     --o;
     const uint64_t half = uint64_t{1} << o;
-    free_lists_[o].insert(block + half);
+    InsertFree(block + half, o);
     ++stats_.splits;
   }
   free_du_ -= uint64_t{1} << order;
@@ -62,14 +82,13 @@ void BuddyAllocator::FreeBlock(uint64_t addr, uint32_t order) {
     const uint64_t size = uint64_t{1} << order;
     const uint64_t buddy = addr ^ size;
     if (buddy + size > total_du_) break;
-    auto it = free_lists_[order].find(buddy);
-    if (it == free_lists_[order].end()) break;
-    free_lists_[order].erase(it);
+    if (!free_bits_[order].Test(static_cast<size_t>(buddy >> order))) break;
+    RemoveFree(buddy, order);
     addr = std::min(addr, buddy);
     ++order;
     ++stats_.coalesces;
   }
-  free_lists_[order].insert(addr);
+  InsertFree(addr, order);
 }
 
 void BuddyAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
@@ -114,12 +133,18 @@ uint64_t BuddyAllocator::CheckConsistency() const {
   std::vector<std::pair<uint64_t, uint64_t>> blocks;  // (addr, size)
   for (uint32_t o = 0; o < num_orders_; ++o) {
     const uint64_t size = uint64_t{1} << o;
-    for (uint64_t addr : free_lists_[o]) {
+    uint64_t count = 0;
+    for (auto idx = free_bits_[o].FindFirstSet(0); idx.has_value();
+         idx = free_bits_[o].FindFirstSet(*idx + 1)) {
+      const uint64_t addr = static_cast<uint64_t>(*idx) << o;
       assert(addr % size == 0);
       assert(addr + size <= total_du_);
       blocks.emplace_back(addr, size);
       total += size;
+      ++count;
     }
+    assert(count == free_counts_[o]);
+    (void)count;
   }
   std::sort(blocks.begin(), blocks.end());
   for (size_t i = 1; i < blocks.size(); ++i) {

@@ -2,11 +2,11 @@
 #define ROFS_ALLOC_BUDDY_ALLOCATOR_H_
 
 #include <cstdint>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "util/hier_bitmap.h"
 #include "util/units.h"
 
 namespace rofs::alloc {
@@ -20,8 +20,11 @@ namespace rofs::alloc {
 /// files of the SC workload). The nightly reallocation process of KOCH87 is
 /// deliberately not simulated, exactly as in the paper.
 ///
-/// Free space is kept in classic binary-buddy free lists, one ordered set
-/// of addresses per power-of-two order, with XOR-buddy coalescing.
+/// Free space is kept in classic binary-buddy free lists, one per
+/// power-of-two order — stored as hierarchical bitmaps (bit i of order o =
+/// block at address i<<o is free) rather than ordered sets: the
+/// lowest-address lookup is an O(levels) word scan, buddy checks are O(1)
+/// bit tests, and no allocation happens after construction.
 class BuddyAllocator : public Allocator {
  public:
   /// `total_du` need not be a power of two; the space is seeded with the
@@ -38,27 +41,35 @@ class BuddyAllocator : public Allocator {
 
   /// Number of free blocks of the given order (testing).
   size_t FreeBlocksOfOrder(uint32_t order) const {
-    return free_lists_[order].size();
+    return free_counts_[order];
   }
 
  protected:
   void FreeRun(uint64_t start_du, uint64_t len_du) override;
 
- private:
-  static constexpr uint32_t kMaxOrders = 40;
-
   /// Removes and returns a free block of exactly `order`, splitting larger
   /// blocks as needed. Returns false when no block of order >= `order` is
-  /// free anywhere (external fragmentation / disk full).
+  /// free anywhere (external fragmentation / disk full). Protected so the
+  /// block-level microbenchmark can drive the free lists directly, without
+  /// per-call FileAllocState bookkeeping.
   bool AllocateBlock(uint32_t order, uint64_t* addr);
 
   /// Returns a block to the free lists, coalescing with its buddy while
-  /// possible.
+  /// possible. Note: adjusts free_du_ by the freed size (FreeRun's
+  /// counterpart); callers pairing it with AllocateBlock stay balanced.
   void FreeBlock(uint64_t addr, uint32_t order);
+
+ private:
+  static constexpr uint32_t kMaxOrders = 40;
+
+  void InsertFree(uint64_t addr, uint32_t order);
+  void RemoveFree(uint64_t addr, uint32_t order);
 
   uint64_t max_extent_du_;
   uint32_t num_orders_;  // Orders 0 .. num_orders_-1 are usable.
-  std::vector<std::set<uint64_t>> free_lists_;
+  /// free_bits_[o] bit i: the block at address i << o is free.
+  std::vector<util::HierBitmap> free_bits_;
+  std::vector<uint64_t> free_counts_;
   uint64_t free_du_ = 0;
 };
 

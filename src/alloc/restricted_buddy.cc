@@ -38,7 +38,12 @@ RestrictedBuddyAllocator::RestrictedBuddyAllocator(
   for (size_t r = 0; r < num_regions; ++r) {
     regions_[r].start_du = r * region_du;
     regions_[r].end_du = std::min(total_du, (r + 1) * region_du);
-    regions_[r].free_by_level.resize(num_levels_);
+    regions_[r].free_count.assign(num_levels_, 0);
+  }
+  free_bits_.reserve(num_levels_);
+  for (uint32_t l = 0; l < num_levels_; ++l) {
+    free_bits_.emplace_back(
+        static_cast<size_t>(total_du / config_.block_sizes_du[l]));
   }
   SeedRange(0, total_du, /*coalesce=*/false);
   assert(free_du_ == total_du);
@@ -47,9 +52,11 @@ RestrictedBuddyAllocator::RestrictedBuddyAllocator(
 void RestrictedBuddyAllocator::InsertFreeBlock(uint64_t addr, uint32_t level) {
   Region& region = regions_[RegionOf(addr)];
   const uint64_t size = config_.block_sizes_du[level];
-  const bool inserted = region.free_by_level[level].insert(addr).second;
-  assert(inserted && "double free of a block");
-  (void)inserted;
+  assert(addr >= region.start_du && addr + size <= region.end_du);
+  const size_t idx = static_cast<size_t>(addr / size);
+  assert(!free_bits_[level].Test(idx) && "double free of a block");
+  free_bits_[level].Set(idx);
+  ++region.free_count[level];
   region.free_du += size;
   free_du_ += size;
 }
@@ -57,9 +64,11 @@ void RestrictedBuddyAllocator::InsertFreeBlock(uint64_t addr, uint32_t level) {
 void RestrictedBuddyAllocator::RemoveFreeBlock(uint64_t addr, uint32_t level) {
   Region& region = regions_[RegionOf(addr)];
   const uint64_t size = config_.block_sizes_du[level];
-  const size_t erased = region.free_by_level[level].erase(addr);
-  assert(erased == 1 && "removing a block that is not free");
-  (void)erased;
+  const size_t idx = static_cast<size_t>(addr / size);
+  assert(free_bits_[level].Test(idx) && "removing a block that is not free");
+  free_bits_[level].Clear(idx);
+  assert(region.free_count[level] > 0);
+  --region.free_count[level];
   region.free_du -= size;
   free_du_ -= size;
 }
@@ -88,17 +97,17 @@ void RestrictedBuddyAllocator::SeedRange(uint64_t start, uint64_t end,
 void RestrictedBuddyAllocator::FreeBlock(uint64_t addr, uint32_t level) {
   InsertFreeBlock(addr, level);
   // Coalesce complete sibling sets into the parent block, recursively.
+  // Sibling residency is an O(1) bit test per sibling in the level's
+  // bitmap.
   while (level + 1 < num_levels_) {
     const uint64_t size = config_.block_sizes_du[level];
     const uint64_t parent_size = config_.block_sizes_du[level + 1];
     const uint64_t parent_addr = RoundDown(addr, parent_size);
     if (parent_addr + parent_size > total_du_) break;
     const uint64_t siblings = parent_size / size;
-    const auto& free_set =
-        regions_[RegionOf(parent_addr)].free_by_level[level];
     bool all_free = true;
     for (uint64_t j = 0; j < siblings; ++j) {
-      if (free_set.find(parent_addr + j * size) == free_set.end()) {
+      if (!IsFree(parent_addr + j * size, level)) {
         all_free = false;
         break;
       }
@@ -140,15 +149,35 @@ uint64_t RestrictedBuddyAllocator::CarveFromBlock(uint32_t level,
   return addr;
 }
 
+std::optional<uint64_t> RestrictedBuddyAllocator::FindInRegion(
+    size_t r, uint32_t level, uint64_t from) const {
+  const Region& region = regions_[r];
+  if (region.free_count[level] == 0) return std::nullopt;
+  const uint64_t size = config_.block_sizes_du[level];
+  // Valid block indices within the region: [lo, hi). Region starts are
+  // aligned to every block size; hi rounds the (possibly ragged) region
+  // end down so any in-range block fits entirely.
+  const size_t lo = static_cast<size_t>(region.start_du / size);
+  const size_t hi = static_cast<size_t>(region.end_du / size);
+  size_t from_idx =
+      from <= region.start_du ? lo : static_cast<size_t>(CeilDiv(from, size));
+  from_idx = std::min(from_idx, hi);
+  // Exactly the seed's lower_bound-with-wrap over an address-ordered set:
+  // lowest address >= from, else the lowest address in the region.
+  auto idx = free_bits_[level].FindFirstSetInRange(from_idx, hi);
+  if (!idx.has_value() && from_idx > lo) {
+    idx = free_bits_[level].FindFirstSetInRange(lo, from_idx);
+  }
+  assert(idx.has_value() && "free_count disagrees with the bitmap");
+  return static_cast<uint64_t>(*idx) * size;
+}
+
 std::optional<uint64_t> RestrictedBuddyAllocator::TakeInRegion(size_t r,
                                                                uint32_t level,
                                                                uint64_t from) {
-  const auto& free_set = regions_[r].free_by_level[level];
-  if (free_set.empty()) return std::nullopt;
-  auto it = free_set.lower_bound(from);
-  if (it == free_set.end()) it = free_set.begin();  // Wrap within region.
-  const uint64_t addr = *it;
-  RemoveFreeBlock(addr, level);
+  const auto addr = FindInRegion(r, level, from);
+  if (!addr.has_value()) return std::nullopt;
+  RemoveFreeBlock(*addr, level);
   ++stats_.blocks_allocated;
   return addr;
 }
@@ -160,12 +189,9 @@ std::optional<uint64_t> RestrictedBuddyAllocator::SplitInRegion(size_t r,
   // blocks intact for large allocations; among equals prefer the next
   // sequential block after `from`.
   for (uint32_t j = level + 1; j < num_levels_; ++j) {
-    const auto& free_set = regions_[r].free_by_level[j];
-    if (free_set.empty()) continue;
-    auto it = free_set.lower_bound(from);
-    if (it == free_set.end()) it = free_set.begin();
-    const uint64_t src = *it;
-    return CarveFromBlock(level, src, j, src);
+    const auto src = FindInRegion(r, j, from);
+    if (!src.has_value()) continue;
+    return CarveFromBlock(level, *src, j, *src);
   }
   return std::nullopt;
 }
@@ -178,8 +204,7 @@ std::optional<uint64_t> RestrictedBuddyAllocator::TryExactCarve(
     const uint64_t src_size = config_.block_sizes_du[j];
     const uint64_t src = RoundDown(addr, src_size);
     if (src + src_size > total_du_) break;
-    const auto& free_set = regions_[RegionOf(src)].free_by_level[j];
-    if (free_set.find(src) != free_set.end()) {
+    if (IsFree(src, j)) {
       return CarveFromBlock(level, addr, j, src);
     }
   }
@@ -287,15 +312,23 @@ Status RestrictedBuddyAllocator::Extend(FileAllocState* f, uint64_t want_du) {
 uint64_t RestrictedBuddyAllocator::CheckConsistency() const {
   uint64_t total = 0;
   std::vector<std::pair<uint64_t, uint64_t>> blocks;
-  for (const Region& region : regions_) {
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    const Region& region = regions_[r];
     uint64_t region_total = 0;
     for (uint32_t level = 0; level < num_levels_; ++level) {
       const uint64_t size = config_.block_sizes_du[level];
-      for (uint64_t addr : region.free_by_level[level]) {
+      const size_t lo = static_cast<size_t>(region.start_du / size);
+      const size_t hi = static_cast<size_t>(region.end_du / size);
+      uint64_t count = 0;
+      for (auto idx = free_bits_[level].FindFirstSetInRange(lo, hi);
+           idx.has_value();
+           idx = free_bits_[level].FindFirstSetInRange(*idx + 1, hi)) {
+        const uint64_t addr = static_cast<uint64_t>(*idx) * size;
         assert(addr % size == 0);
         assert(addr >= region.start_du && addr + size <= region.end_du);
         blocks.emplace_back(addr, size);
         region_total += size;
+        ++count;
         // Coalescing invariant: a free non-top block must have at least
         // one non-free sibling.
         if (level + 1 < num_levels_) {
@@ -304,8 +337,7 @@ uint64_t RestrictedBuddyAllocator::CheckConsistency() const {
           if (parent + parent_size <= total_du_) {
             bool all_free = true;
             for (uint64_t a = parent; a < parent + parent_size; a += size) {
-              if (region.free_by_level[level].find(a) ==
-                  region.free_by_level[level].end()) {
+              if (!IsFree(a, level)) {
                 all_free = false;
                 break;
               }
@@ -315,6 +347,8 @@ uint64_t RestrictedBuddyAllocator::CheckConsistency() const {
           }
         }
       }
+      assert(count == region.free_count[level]);
+      (void)count;
     }
     assert(region_total == region.free_du);
     total += region_total;

@@ -4,15 +4,109 @@
 
 namespace rofs::fs {
 
+namespace {
+
+uint64_t NextPowerOfTwoAtLeast(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
 BufferCache::BufferCache(uint64_t capacity_pages, uint64_t page_du)
     : capacity_pages_(capacity_pages), page_du_(page_du) {
   assert(capacity_pages_ > 0 && page_du_ > 0);
+  assert(capacity_pages_ < kNil);
+  slots_.resize(capacity_pages_);
+  // Load factor <= 0.5 keeps linear probe chains short.
+  table_.assign(NextPowerOfTwoAtLeast(2 * capacity_pages_), kNil);
+  table_mask_ = table_.size() - 1;
+  // Chain every slot into the free list.
+  for (uint32_t i = 0; i < capacity_pages_; ++i) {
+    slots_[i].next = i + 1 < capacity_pages_ ? i + 1 : kNil;
+  }
+  free_head_ = 0;
+}
+
+uint64_t BufferCache::Hash(uint64_t page) {
+  // Fibonacci hashing: one multiply spreads the dense, sequential page
+  // indices across the table; folding the high half down matters because
+  // ProbeFor masks off the low bits, which the multiply alone leaves
+  // correlated for adjacent pages.
+  const uint64_t x = page * 0x9e3779b97f4a7c15ull;
+  return x ^ (x >> 32);
+}
+
+size_t BufferCache::ProbeFor(uint64_t page) const {
+  size_t i = Hash(page) & table_mask_;
+  while (table_[i] != kNil && slots_[table_[i]].page != page) {
+    i = (i + 1) & table_mask_;
+  }
+  return i;
+}
+
+uint32_t BufferCache::FindSlot(uint64_t page) const {
+  return table_[ProbeFor(page)];
+}
+
+void BufferCache::LinkFront(uint32_t slot) {
+  slots_[slot].prev = kNil;
+  slots_[slot].next = head_;
+  if (head_ != kNil) slots_[head_].prev = slot;
+  head_ = slot;
+  if (tail_ == kNil) tail_ = slot;
+}
+
+void BufferCache::Unlink(uint32_t slot) {
+  const uint32_t prev = slots_[slot].prev;
+  const uint32_t next = slots_[slot].next;
+  if (prev != kNil) slots_[prev].next = next; else head_ = next;
+  if (next != kNil) slots_[next].prev = prev; else tail_ = prev;
+}
+
+void BufferCache::MoveToFront(uint32_t slot) {
+  if (head_ == slot) return;
+  Unlink(slot);
+  LinkFront(slot);
+}
+
+void BufferCache::EraseKey(uint64_t page) {
+  size_t i = ProbeFor(page);
+  assert(table_[i] != kNil);
+  table_[i] = kNil;
+  // Backward-shift deletion: re-seat every entry of the probe chain that
+  // follows the hole, so lookups never need tombstones.
+  size_t j = i;
+  for (;;) {
+    j = (j + 1) & table_mask_;
+    const uint32_t slot = table_[j];
+    if (slot == kNil) break;
+    const size_t ideal = Hash(slots_[slot].page) & table_mask_;
+    // Move slot j into the hole unless its ideal position lies cyclically
+    // within (i, j] — then the hole does not break its probe chain.
+    const size_t dist_hole = (j - i) & table_mask_;
+    const size_t dist_ideal = (j - ideal) & table_mask_;
+    if (dist_ideal >= dist_hole) {
+      table_[i] = slot;
+      table_[j] = kNil;
+      i = j;
+    }
+  }
+}
+
+void BufferCache::ReleaseSlot(uint32_t slot) {
+  Unlink(slot);
+  EraseKey(slots_[slot].page);
+  slots_[slot].next = free_head_;
+  free_head_ = slot;
+  --size_;
 }
 
 bool BufferCache::TouchPage(uint64_t page) {
-  auto it = map_.find(page);
-  if (it == map_.end()) return false;
-  lru_.splice(lru_.begin(), lru_, it->second);
+  const uint32_t slot = FindSlot(page);
+  if (slot == kNil) return false;
+  MoveToFront(slot);
   return true;
 }
 
@@ -26,18 +120,26 @@ bool BufferCache::Touch(uint64_t du) {
 }
 
 void BufferCache::InsertPage(uint64_t page) {
-  auto it = map_.find(page);
-  if (it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  const size_t pos = ProbeFor(page);
+  if (table_[pos] != kNil) {
+    MoveToFront(table_[pos]);
     return;
   }
-  if (map_.size() >= capacity_pages_) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
+  if (size_ >= capacity_pages_) {
+    // Evict the LRU page; its slot is reused for the insertion, but the
+    // probe position must be recomputed — the eviction's backward shift
+    // may have moved entries.
+    const uint32_t victim = tail_;
+    ReleaseSlot(victim);
     ++evictions_;
   }
-  lru_.push_front(page);
-  map_[page] = lru_.begin();
+  const uint32_t slot = free_head_;
+  assert(slot != kNil);
+  free_head_ = slots_[slot].next;
+  slots_[slot].page = page;
+  LinkFront(slot);
+  table_[ProbeFor(page)] = slot;
+  ++size_;
 }
 
 void BufferCache::Insert(uint64_t du) { InsertPage(PageOf(du)); }
@@ -46,16 +148,19 @@ bool BufferCache::CoversRange(uint64_t start_du, uint64_t n_du) {
   assert(n_du > 0);
   const uint64_t first = PageOf(start_du);
   const uint64_t last = PageOf(start_du + n_du - 1);
-  bool all = true;
+  // Residency probe first, reordering nothing: a miss must not perturb
+  // the LRU order (the caller re-inserts the whole range, which is what
+  // establishes recency). One hit or one miss per request — per-page
+  // accounting would weight one 32-page request like 32 single-page ones.
   for (uint64_t p = first; p <= last; ++p) {
-    if (TouchPage(p)) {
-      ++hits_;
-    } else {
+    if (FindSlot(p) == kNil) {
       ++misses_;
-      all = false;
+      return false;
     }
   }
-  return all;
+  for (uint64_t p = first; p <= last; ++p) TouchPage(p);
+  ++hits_;
+  return true;
 }
 
 void BufferCache::InsertRange(uint64_t start_du, uint64_t n_du) {
@@ -69,29 +174,32 @@ void BufferCache::InvalidateRange(uint64_t start_du, uint64_t n_du) {
   if (n_du == 0) return;
   const uint64_t first = PageOf(start_du);
   const uint64_t last = PageOf(start_du + n_du - 1);
-  if (last - first + 1 < map_.size()) {
+  if (last - first + 1 < size_) {
     for (uint64_t p = first; p <= last; ++p) {
-      auto it = map_.find(p);
-      if (it == map_.end()) continue;
-      lru_.erase(it->second);
-      map_.erase(it);
+      const uint32_t slot = FindSlot(p);
+      if (slot != kNil) ReleaseSlot(slot);
     }
     return;
   }
   // Huge range: sweep the (smaller) cache instead.
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (*it >= first && *it <= last) {
-      map_.erase(*it);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  uint32_t slot = head_;
+  while (slot != kNil) {
+    const uint32_t next = slots_[slot].next;
+    if (slots_[slot].page >= first && slots_[slot].page <= last) {
+      ReleaseSlot(slot);
     }
+    slot = next;
   }
 }
 
 void BufferCache::Clear() {
-  lru_.clear();
-  map_.clear();
+  table_.assign(table_.size(), kNil);
+  for (uint32_t i = 0; i < capacity_pages_; ++i) {
+    slots_[i].next = i + 1 < capacity_pages_ ? i + 1 : kNil;
+  }
+  free_head_ = 0;
+  head_ = tail_ = kNil;
+  size_ = 0;
 }
 
 }  // namespace rofs::fs

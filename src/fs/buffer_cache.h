@@ -1,9 +1,9 @@
 #ifndef ROFS_FS_BUFFER_CACHE_H_
 #define ROFS_FS_BUFFER_CACHE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 namespace rofs::fs {
 
@@ -16,6 +16,13 @@ namespace rofs::fs {
 ///
 /// Granularity is a fixed page of `page_du` disk units; lookups and
 /// inserts address pages by their page index (address / page_du).
+///
+/// Layout: instead of std::list nodes plus an std::unordered_map, the
+/// cache is a flat slot vector with intrusive prev/next indices (the LRU
+/// chain) and an open-addressed page->slot index (linear probing with
+/// backward-shift deletion). Every byte is allocated in the constructor;
+/// Touch/Insert/Invalidate never allocate and never chase list nodes
+/// scattered across the heap (see DESIGN.md "Hot-path architecture").
 class BufferCache {
  public:
   /// `capacity_pages` > 0; `page_du` > 0.
@@ -23,17 +30,26 @@ class BufferCache {
 
   uint64_t page_du() const { return page_du_; }
   uint64_t capacity_pages() const { return capacity_pages_; }
-  uint64_t size_pages() const { return map_.size(); }
+  uint64_t size_pages() const { return size_; }
 
   /// True when the page holding disk unit range [du, du+1) is resident;
   /// touches it (moves to the MRU position).
   bool Touch(uint64_t du);
 
+  /// True when the page holding `du` is resident, without touching it or
+  /// counting a hit/miss.
+  bool Contains(uint64_t du) const { return FindSlot(PageOf(du)) != kNil; }
+
   /// Inserts the page holding `du`, evicting the LRU page if full.
   void Insert(uint64_t du);
 
-  /// True when every page covering [start_du, start_du+n_du) is resident
-  /// (touching them all). n_du > 0.
+  /// True when every page covering [start_du, start_du+n_du) is resident.
+  /// n_du > 0. Hit/miss accounting is per request, not per page: the call
+  /// counts exactly one hit (all pages resident) or one miss. On a hit
+  /// every covered page is touched in ascending page order (so the last
+  /// page ends up MRU, matching InsertRange); on a miss the LRU order is
+  /// left completely untouched — the caller inserts the whole range right
+  /// afterwards, which establishes the range's recency.
   bool CoversRange(uint64_t start_du, uint64_t n_du);
 
   /// Inserts every page covering the range.
@@ -54,15 +70,49 @@ class BufferCache {
   }
 
  private:
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  struct Slot {
+    uint64_t page;
+    uint32_t prev;  // Toward MRU; kNil at the head.
+    uint32_t next;  // Toward LRU; kNil at the tail. Free-list link when
+                    // the slot is unused.
+  };
+
   uint64_t PageOf(uint64_t du) const { return du / page_du_; }
+
+  static uint64_t Hash(uint64_t page);
+
+  /// Probe position of `page` in table_, or the empty position where it
+  /// would be inserted.
+  size_t ProbeFor(uint64_t page) const;
+  /// Slot index of `page`, or kNil.
+  uint32_t FindSlot(uint64_t page) const;
+
+  void LinkFront(uint32_t slot);
+  void Unlink(uint32_t slot);
+  void MoveToFront(uint32_t slot);
+
+  /// Removes `page`'s table entry, backward-shifting the probe chain.
+  void EraseKey(uint64_t page);
+  /// Removes the slot entirely: unlinks it from the LRU chain, erases its
+  /// key, and returns it to the free list.
+  void ReleaseSlot(uint32_t slot);
+
   void InsertPage(uint64_t page);
   bool TouchPage(uint64_t page);
 
   uint64_t capacity_pages_;
   uint64_t page_du_;
-  // MRU at front.
-  std::list<uint64_t> lru_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+
+  std::vector<Slot> slots_;     // capacity_pages_ entries, fixed.
+  std::vector<uint32_t> table_; // Open-addressed page->slot; kNil = empty.
+  uint64_t table_mask_;
+  uint32_t head_ = kNil;        // MRU.
+  uint32_t tail_ = kNil;        // LRU.
+  uint32_t free_head_ = kNil;   // Unused slots, chained via Slot::next.
+  uint64_t size_ = 0;
+
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

@@ -29,18 +29,25 @@ size_t Bitmap::CountSet() const {
 }
 
 std::optional<size_t> Bitmap::FindFirstClear(size_t from) const {
-  if (from >= size_) return std::nullopt;
+  return FindFirstClearInRange(from, size_);
+}
+
+std::optional<size_t> Bitmap::FindFirstClearInRange(size_t from,
+                                                    size_t limit) const {
+  if (limit > size_) limit = size_;
+  if (from >= limit) return std::nullopt;
   size_t word = from / 64;
+  const size_t last_word = (limit - 1) / 64;
   // Mask off bits below `from` in the first word by pretending they are set.
   uint64_t masked = words_[word] | ((uint64_t{1} << (from % 64)) - 1);
   while (true) {
     if (masked != UINT64_MAX) {
       const size_t bit = word * 64 +
                          static_cast<size_t>(std::countr_one(masked));
-      if (bit < size_) return bit;
+      if (bit < limit) return bit;
       return std::nullopt;
     }
-    if (++word >= words_.size()) return std::nullopt;
+    if (++word > last_word) return std::nullopt;
     masked = words_[word];
   }
 }
@@ -65,7 +72,10 @@ std::optional<size_t> Bitmap::FindFirstClearCircular(size_t from) const {
   if (size_ == 0) return std::nullopt;
   from %= size_;
   if (auto hit = FindFirstClear(from)) return hit;
-  return FindFirstClear(0);
+  // Wrapped scan: [from, size) found nothing, so only [0, from) is left —
+  // rescanning the whole map would re-visit every set bit above `from` a
+  // second time on each fully-loaded lookup.
+  return FindFirstClearInRange(0, from);
 }
 
 }  // namespace rofs

@@ -28,6 +28,11 @@ class Bitmap {
   /// Index of the first clear bit at or after `from`, or nullopt.
   std::optional<size_t> FindFirstClear(size_t from = 0) const;
 
+  /// Index of the first clear bit in [from, limit), or nullopt. `limit`
+  /// is clamped to size().
+  std::optional<size_t> FindFirstClearInRange(size_t from,
+                                              size_t limit) const;
+
   /// Index of the first set bit at or after `from`, or nullopt.
   std::optional<size_t> FindFirstSet(size_t from = 0) const;
 

@@ -1,0 +1,108 @@
+#include "util/hier_bitmap.h"
+
+#include <bit>
+#include <cassert>
+
+namespace rofs::util {
+
+namespace {
+
+size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+
+}  // namespace
+
+HierBitmap::HierBitmap(size_t size) : size_(size) {
+  size_t bits = size;
+  do {
+    bits = WordsFor(bits);
+    levels_.emplace_back(bits, uint64_t{0});
+  } while (bits > 64);
+}
+
+void HierBitmap::Set(size_t i) {
+  assert(i < size_);
+  for (auto& level : levels_) {
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    uint64_t& word = level[i >> 6];
+    const bool was_zero = word == 0;
+    word |= mask;
+    if (!was_zero) break;  // Summaries above were already set.
+    i >>= 6;
+  }
+}
+
+void HierBitmap::Clear(size_t i) {
+  assert(i < size_);
+  for (auto& level : levels_) {
+    uint64_t& word = level[i >> 6];
+    word &= ~(uint64_t{1} << (i & 63));
+    if (word != 0) break;  // Summaries above stay set.
+    i >>= 6;
+  }
+}
+
+bool HierBitmap::none() const {
+  for (uint64_t w : levels_.back()) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::optional<size_t> HierBitmap::NextNonZeroWord(size_t word) const {
+  // Ascend through the summaries until one shows a non-zero word at or
+  // after the current position; the top level (<= 64 words) is scanned
+  // linearly when every summary on the way up is exhausted.
+  size_t level = 1;
+  size_t idx = word;  // Candidate word index into levels_[level - 1].
+  for (;;) {
+    const auto& cur = levels_[level - 1];
+    if (idx >= cur.size()) return std::nullopt;
+    if (level == levels_.size()) {
+      while (idx < cur.size() && cur[idx] == 0) ++idx;
+      if (idx == cur.size()) return std::nullopt;
+      break;  // cur[idx] != 0 at the top level.
+    }
+    const uint64_t summary =
+        levels_[level][idx >> 6] & ~((uint64_t{1} << (idx & 63)) - 1);
+    if (summary != 0) {
+      idx = ((idx >> 6) << 6) +
+            static_cast<size_t>(std::countr_zero(summary));
+      break;  // levels_[level - 1][idx] != 0.
+    }
+    idx = (idx >> 6) + 1;  // Next summary word, one level up.
+    ++level;
+  }
+  // `idx` names a non-zero word of levels_[level - 1]; descend taking the
+  // first set bit of each summary word.
+  while (level > 1) {
+    const uint64_t w = levels_[level - 1][idx];
+    assert(w != 0);
+    idx = (idx << 6) + static_cast<size_t>(std::countr_zero(w));
+    --level;
+  }
+  return idx;
+}
+
+std::optional<size_t> HierBitmap::FindFirstSet(size_t from) const {
+  return FindFirstSetInRange(from, size_);
+}
+
+std::optional<size_t> HierBitmap::FindFirstSetInRange(size_t from,
+                                                      size_t limit) const {
+  if (limit > size_) limit = size_;
+  if (from >= limit) return std::nullopt;
+  const auto& words = levels_[0];
+  size_t word = from >> 6;
+  uint64_t masked = words[word] & ~((uint64_t{1} << (from & 63)) - 1);
+  if (masked == 0) {
+    const auto next = NextNonZeroWord(word + 1);
+    if (!next.has_value()) return std::nullopt;
+    word = *next;
+    masked = words[word];
+  }
+  const size_t bit = (word << 6) + static_cast<size_t>(std::countr_zero(masked));
+  if (bit >= limit) return std::nullopt;
+  return bit;
+}
+
+}  // namespace rofs::util

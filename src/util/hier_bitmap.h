@@ -1,0 +1,59 @@
+#ifndef ROFS_UTIL_HIER_BITMAP_H_
+#define ROFS_UTIL_HIER_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rofs::util {
+
+/// A bitmap with a word-level summary hierarchy: level 0 holds the bits,
+/// and bit `i` of a level-k word records whether level-(k-1) word `i` is
+/// non-zero. Set/Clear maintain the summaries in O(levels); FindFirstSet
+/// skips runs of zero words through the hierarchy instead of scanning
+/// them, so lowest-set-bit queries over sparse maps are O(levels) word
+/// operations. The buddy allocators use one of these per block-size level
+/// as their free lists (the paper's own restricted-buddy bookkeeping is a
+/// bitmap over maximum-size blocks; see DESIGN.md "Hot-path
+/// architecture").
+///
+/// All storage is allocated at construction; Set/Clear/Find never
+/// allocate.
+class HierBitmap {
+ public:
+  explicit HierBitmap(size_t size = 0);
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const {
+    return (levels_[0][i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+
+  /// True when no bit is set.
+  bool none() const;
+
+  /// Index of the first set bit at or after `from`, or nullopt.
+  std::optional<size_t> FindFirstSet(size_t from = 0) const;
+
+  /// Index of the first set bit in [from, limit), or nullopt. `limit` is
+  /// clamped to size().
+  std::optional<size_t> FindFirstSetInRange(size_t from, size_t limit) const;
+
+ private:
+  /// Index of the first non-zero level-0 word at or after `word`, found by
+  /// ascending the summary hierarchy, or nullopt.
+  std::optional<size_t> NextNonZeroWord(size_t word) const;
+
+  size_t size_ = 0;
+  /// levels_[0]: the bits; levels_[k>0]: summary of levels_[k-1]. The top
+  /// level always fits in one word.
+  std::vector<std::vector<uint64_t>> levels_;
+};
+
+}  // namespace rofs::util
+
+#endif  // ROFS_UTIL_HIER_BITMAP_H_

@@ -1,0 +1,178 @@
+#ifndef ROFS_UTIL_INLINE_FUNCTION_H_
+#define ROFS_UTIL_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace rofs::util {
+
+/// A move-only type-erased callable with a small-buffer optimization sized
+/// for the simulator's hot path. Every callback captured in the event loop
+/// (op_generator, trace_replay, throughput crediting) fits in the default
+/// 48-byte inline buffer, so scheduling an event performs no heap
+/// allocation — unlike std::function, whose copyability requirement also
+/// forces every capture to be copyable.
+///
+/// Callables larger than `InlineBytes` (or without a noexcept move
+/// constructor) fall back to the heap; `is_inline()` lets tests pin down
+/// that a given capture stays inline. The callable is destroyed on
+/// assignment, on destruction, and when the wrapper is moved from.
+template <typename Signature, size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Emplace(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(&other); }
+
+  /// Destroys the current callable (if any) and constructs `f` directly in
+  /// this wrapper's storage — the hot path for writing into a callback
+  /// slab without routing the capture through a temporary wrapper.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  void Emplace(F&& f) {
+    Reset();
+    using D = std::decay_t<F>;
+    if constexpr (kStoredInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &kVTable<D, true>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &kVTable<D, false>;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when the wrapped callable lives in the inline buffer (empty
+  /// wrappers report false). Used by tests to verify the zero-allocation
+  /// contract of the event loop.
+  bool is_inline() const { return vtable_ != nullptr && vtable_->inline_stored; }
+
+  static constexpr size_t inline_bytes() { return InlineBytes; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs the callable from `src` into `dst` and destroys the
+    /// source (a "relocate"). nullptr when relocation is equivalent to
+    /// copying the raw buffer — trivially-copyable inline callables and all
+    /// heap-stored ones (only the owning pointer moves) — so the common
+    /// case is a branch plus a fixed-size memcpy instead of an indirect
+    /// call.
+    void (*relocate)(void* src, void* dst) noexcept;
+    /// nullptr when destruction is a no-op (trivially-destructible inline
+    /// callables — the overwhelmingly common capture shape), so Reset()
+    /// skips the indirect call on every dispatch and reassignment.
+    void (*destroy)(void*) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static constexpr bool kStoredInline =
+      sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D, bool kInline>
+  static R Invoke(void* s, Args&&... args) {
+    if constexpr (kInline) {
+      return (*std::launder(reinterpret_cast<D*>(s)))(
+          std::forward<Args>(args)...);
+    } else {
+      return (**std::launder(reinterpret_cast<D**>(s)))(
+          std::forward<Args>(args)...);
+    }
+  }
+
+  template <typename D, bool kInline>
+  static void Relocate(void* src, void* dst) noexcept {
+    if constexpr (kInline) {
+      D* from = std::launder(reinterpret_cast<D*>(src));
+      ::new (dst) D(std::move(*from));
+      from->~D();
+    } else {
+      ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+    }
+  }
+
+  template <typename D, bool kInline>
+  static void Destroy(void* s) noexcept {
+    if constexpr (kInline) {
+      std::launder(reinterpret_cast<D*>(s))->~D();
+    } else {
+      delete *std::launder(reinterpret_cast<D**>(s));
+    }
+  }
+
+  template <typename D, bool kInline>
+  static constexpr bool kTrivialRelocate =
+      !kInline || std::is_trivially_copyable_v<D>;
+
+  template <typename D, bool kInline>
+  static constexpr bool kTrivialDestroy =
+      kInline && std::is_trivially_destructible_v<D>;
+
+  template <typename D, bool kInline>
+  static constexpr VTable kVTable = {
+      &Invoke<D, kInline>,
+      kTrivialRelocate<D, kInline> ? nullptr : &Relocate<D, kInline>,
+      kTrivialDestroy<D, kInline> ? nullptr : &Destroy<D, kInline>, kInline};
+
+  void MoveFrom(InlineFunction* other) noexcept {
+    vtable_ = other->vtable_;
+    if (vtable_ != nullptr) {
+      if (vtable_->relocate == nullptr) {
+        __builtin_memcpy(storage_, other->storage_, InlineBytes);
+      } else {
+        vtable_->relocate(other->storage_, storage_);
+      }
+      other->vtable_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      if (vtable_->destroy != nullptr) vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace rofs::util
+
+#endif  // ROFS_UTIL_INLINE_FUNCTION_H_

@@ -81,6 +81,65 @@ TEST(BitmapTest, FindFirstClearCircularWraps) {
   EXPECT_FALSE(bm.FindFirstClearCircular(5).has_value());
 }
 
+TEST(BitmapTest, FindFirstClearCircularWrappedScanIsBounded) {
+  // Regression: the wrapped scan must cover exactly [0, from) — the tail
+  // [from, size) was already searched, so rescanning it would revisit
+  // every set bit twice per lookup on a nearly-full map (and, before the
+  // fix, could report a just-searched index instead of the wrapped one).
+  Bitmap bm(130);
+  for (size_t i = 0; i < 130; ++i) bm.Set(i);
+  // Only clear bit is immediately below `from`: found via the wrap.
+  bm.Clear(99);
+  auto hit = bm.FindFirstClearCircular(100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 99u);
+  // Clear bit exactly at `from`: found by the forward scan, not the wrap.
+  bm.Set(99);
+  bm.Clear(100);
+  hit = bm.FindFirstClearCircular(100);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 100u);
+  // Clear bit at 0 with from at the last index: maximal wrap distance.
+  bm.Set(100);
+  bm.Clear(0);
+  hit = bm.FindFirstClearCircular(129);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0u);
+  // from == 0 never wraps.
+  EXPECT_EQ(*bm.FindFirstClearCircular(0), 0u);
+  // from beyond size() reduces modulo size.
+  EXPECT_EQ(*bm.FindFirstClearCircular(130 + 64), 0u);
+}
+
+TEST(BitmapTest, FindFirstClearCircularMatchesLinearReference) {
+  Rng rng(77);
+  constexpr size_t kBits = 300;
+  Bitmap bm(kBits);
+  std::vector<bool> model(kBits, false);
+  for (int step = 0; step < 5000; ++step) {
+    const size_t i = rng.UniformInt(0, kBits - 1);
+    const bool set = rng.Bernoulli(0.7);  // Mostly-full maps wrap often.
+    set ? bm.Set(i) : bm.Clear(i);
+    model[i] = set;
+    const size_t from = rng.UniformInt(0, kBits - 1);
+    size_t expect = kBits;
+    for (size_t k = 0; k < kBits; ++k) {
+      const size_t j = (from + k) % kBits;
+      if (!model[j]) {
+        expect = j;
+        break;
+      }
+    }
+    auto hit = bm.FindFirstClearCircular(from);
+    if (expect == kBits) {
+      ASSERT_FALSE(hit.has_value()) << "step " << step;
+    } else {
+      ASSERT_TRUE(hit.has_value()) << "step " << step;
+      ASSERT_EQ(*hit, expect) << "step " << step;
+    }
+  }
+}
+
 TEST(BitmapTest, RandomizedAgainstReferenceModel) {
   Rng rng(11);
   constexpr size_t kBits = 517;

@@ -1,0 +1,107 @@
+#include "util/hier_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "util/random.h"
+
+namespace rofs::util {
+namespace {
+
+TEST(HierBitmapTest, EmptyAndSingleBit) {
+  HierBitmap bm(100);
+  EXPECT_TRUE(bm.none());
+  EXPECT_FALSE(bm.FindFirstSet().has_value());
+  bm.Set(37);
+  EXPECT_FALSE(bm.none());
+  EXPECT_TRUE(bm.Test(37));
+  ASSERT_TRUE(bm.FindFirstSet().has_value());
+  EXPECT_EQ(*bm.FindFirstSet(), 37u);
+  EXPECT_EQ(*bm.FindFirstSet(37), 37u);
+  EXPECT_FALSE(bm.FindFirstSet(38).has_value());
+  bm.Clear(37);
+  EXPECT_TRUE(bm.none());
+}
+
+TEST(HierBitmapTest, FindSkipsLongZeroRuns) {
+  // Large enough for three summary levels (> 64^2 words); the only set bit
+  // sits hundreds of thousands of zero words in, where a linear word scan
+  // would be visibly slow and a summary bug would return nullopt.
+  constexpr size_t kBits = 20'000'000;
+  HierBitmap bm(kBits);
+  bm.Set(kBits - 3);
+  ASSERT_TRUE(bm.FindFirstSet().has_value());
+  EXPECT_EQ(*bm.FindFirstSet(), kBits - 3);
+  EXPECT_EQ(*bm.FindFirstSet(12345), kBits - 3);
+  EXPECT_FALSE(bm.FindFirstSetInRange(0, kBits - 3).has_value());
+  EXPECT_EQ(*bm.FindFirstSetInRange(kBits - 64, kBits), kBits - 3);
+}
+
+TEST(HierBitmapTest, FindFirstSetInRangeRespectsBothBounds) {
+  HierBitmap bm(1000);
+  bm.Set(100);
+  bm.Set(500);
+  bm.Set(900);
+  EXPECT_EQ(*bm.FindFirstSetInRange(0, 1000), 100u);
+  EXPECT_EQ(*bm.FindFirstSetInRange(101, 1000), 500u);
+  EXPECT_EQ(*bm.FindFirstSetInRange(100, 101), 100u);
+  EXPECT_FALSE(bm.FindFirstSetInRange(101, 500).has_value());
+  EXPECT_FALSE(bm.FindFirstSetInRange(901, 1000).has_value());
+  // limit past size() is clamped, not UB.
+  EXPECT_EQ(*bm.FindFirstSetInRange(501, 1'000'000), 900u);
+}
+
+TEST(HierBitmapTest, RandomizedAgainstReferenceModel) {
+  Rng rng(321);
+  constexpr size_t kBits = 5000;  // Two summary levels.
+  HierBitmap bm(kBits);
+  std::vector<bool> model(kBits, false);
+  for (int step = 0; step < 30'000; ++step) {
+    const size_t i = rng.UniformInt(0, kBits - 1);
+    if (rng.Bernoulli(0.5)) {
+      bm.Set(i);
+      model[i] = true;
+    } else {
+      bm.Clear(i);
+      model[i] = false;
+    }
+    ASSERT_EQ(bm.Test(i), model[i]);
+    if (step % 250 == 0) {
+      const size_t from = rng.UniformInt(0, kBits - 1);
+      const size_t limit = from + rng.UniformInt(0, kBits);
+      size_t expect = kBits;
+      for (size_t j = from; j < kBits && j < limit; ++j) {
+        if (model[j]) {
+          expect = j;
+          break;
+        }
+      }
+      auto hit = bm.FindFirstSetInRange(from, limit);
+      if (expect == kBits) {
+        ASSERT_FALSE(hit.has_value()) << "step " << step;
+      } else {
+        ASSERT_TRUE(hit.has_value()) << "step " << step;
+        ASSERT_EQ(*hit, expect) << "step " << step;
+      }
+    }
+  }
+}
+
+TEST(HierBitmapTest, SetAndClearAreIdempotent) {
+  // The buddy free lists rely on double-set/double-clear being harmless to
+  // the summary levels (they assert against it at a higher layer).
+  HierBitmap bm(200);
+  bm.Set(5);
+  bm.Set(5);
+  EXPECT_TRUE(bm.Test(5));
+  EXPECT_EQ(*bm.FindFirstSet(), 5u);
+  bm.Clear(5);
+  bm.Clear(5);
+  EXPECT_FALSE(bm.Test(5));
+  EXPECT_TRUE(bm.none());
+}
+
+}  // namespace
+}  // namespace rofs::util

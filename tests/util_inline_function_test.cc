@@ -1,0 +1,134 @@
+#include "util/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace rofs::util {
+namespace {
+
+using Fn = InlineFunction<int(int), 48>;
+
+TEST(InlineFunctionTest, EmptyAndNullptr) {
+  Fn f;
+  EXPECT_FALSE(f);
+  EXPECT_FALSE(f.is_inline());
+  Fn g = nullptr;
+  EXPECT_FALSE(g);
+}
+
+TEST(InlineFunctionTest, SmallCaptureStaysInline) {
+  int base = 40;
+  Fn f = [&base](int x) { return base + x; };
+  ASSERT_TRUE(f);
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(f(2), 42);
+}
+
+TEST(InlineFunctionTest, LargeCaptureFallsBackToHeap) {
+  struct Big {
+    uint64_t words[16];  // 128 bytes > 48-byte buffer.
+  };
+  Big big{};
+  big.words[3] = 7;
+  Fn f = [big](int x) { return static_cast<int>(big.words[3]) + x; };
+  ASSERT_TRUE(f);
+  EXPECT_FALSE(f.is_inline());
+  EXPECT_EQ(f(1), 8);
+}
+
+TEST(InlineFunctionTest, MoveTransfersAndEmptiesSource) {
+  int calls = 0;
+  Fn f = [&calls](int x) {
+    ++calls;
+    return x * 2;
+  };
+  Fn g = std::move(f);
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move) — part of the contract.
+  ASSERT_TRUE(g);
+  EXPECT_EQ(g(21), 42);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCaptureWorks) {
+  // std::function cannot hold this at all (it requires copyability).
+  auto p = std::make_unique<int>(99);
+  Fn f = [p = std::move(p)](int x) { return *p + x; };
+  ASSERT_TRUE(f);
+  Fn g = std::move(f);
+  EXPECT_EQ(g(1), 100);
+}
+
+TEST(InlineFunctionTest, NonTrivialDestructorRunsExactlyOnce) {
+  // The null-destroy fast path must apply only to trivially-destructible
+  // callables; a capture with a real destructor must still be destroyed
+  // exactly once across moves, reassignment, and wrapper destruction.
+  int destroyed = 0;
+  struct Tracker {
+    int* destroyed;
+    bool armed = true;
+    explicit Tracker(int* d) : destroyed(d) {}
+    Tracker(Tracker&& o) noexcept : destroyed(o.destroyed), armed(o.armed) {
+      o.armed = false;
+    }
+    Tracker(const Tracker&) = delete;
+    ~Tracker() {
+      if (armed) ++*destroyed;
+    }
+  };
+  {
+    Fn f = [t = Tracker(&destroyed)](int x) { return x; };
+    EXPECT_TRUE(f.is_inline());
+    Fn g = std::move(f);
+    EXPECT_EQ(destroyed, 0);
+    g = [](int x) { return x + 1; };  // Reassignment destroys the Tracker.
+    EXPECT_EQ(destroyed, 1);
+    EXPECT_EQ(g(0), 1);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFunctionTest, EmplaceReplacesInPlace) {
+  int destroyed = 0;
+  struct Tracker {
+    int* destroyed;
+    bool armed = true;
+    explicit Tracker(int* d) : destroyed(d) {}
+    Tracker(Tracker&& o) noexcept : destroyed(o.destroyed), armed(o.armed) {
+      o.armed = false;
+    }
+    Tracker(const Tracker&) = delete;
+    ~Tracker() {
+      if (armed) ++*destroyed;
+    }
+  };
+  Fn f;
+  f.Emplace([t = Tracker(&destroyed)](int x) { return x * 3; });
+  EXPECT_EQ(f(2), 6);
+  f.Emplace([](int x) { return x * 5; });  // Destroys the first callable.
+  EXPECT_EQ(destroyed, 1);
+  EXPECT_EQ(f(2), 10);
+}
+
+TEST(InlineFunctionTest, MoveAssignOverSelfContentDestroysOld) {
+  int calls_a = 0;
+  int calls_b = 0;
+  Fn a = [&calls_a](int x) {
+    ++calls_a;
+    return x;
+  };
+  Fn b = [&calls_b](int x) {
+    ++calls_b;
+    return -x;
+  };
+  a = std::move(b);
+  EXPECT_EQ(a(5), -5);
+  EXPECT_EQ(calls_a, 0);
+  EXPECT_EQ(calls_b, 1);
+  EXPECT_FALSE(b);  // NOLINT(bugprone-use-after-move)
+}
+
+}  // namespace
+}  // namespace rofs::util

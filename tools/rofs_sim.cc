@@ -29,6 +29,7 @@
 //
 // See configs/ for ready-made files reproducing the paper's setups.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "config/sim_config.h"
+#include "sim/event_queue.h"
 #include "exp/reporting.h"
 #include "exp/run_record.h"
 #include "exp/trace.h"
@@ -194,9 +196,18 @@ int Run(const Options& opts) {
 
   records.assign(specs.size() * static_cast<size_t>(replicates),
                  exp::RunRecord{});
+  const uint64_t events0 = sim::RetiredDispatchedEvents();
+  const auto t0 = std::chrono::steady_clock::now();
   runner::SweepRunner sweep_runner(sweep_options);
   std::vector<runner::RunResult> results = sweep_runner.Run(
       runner::SweepRunner::ExpandReplicates(std::move(specs), replicates));
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const uint64_t events = sim::RetiredDispatchedEvents() - events0;
+  std::fprintf(stderr, "rofs_sim: %llu events dispatched, %.2fM events/s\n",
+               static_cast<unsigned long long>(events),
+               wall_s > 0 ? events / wall_s / 1e6 : 0.0);
   for (const runner::RunResult& result : results) {
     if (!result.status.ok()) {
       std::fprintf(stderr, "%s: %s\n", result.label.c_str(),
