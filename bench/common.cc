@@ -8,11 +8,22 @@
 #include "alloc/buddy_allocator.h"
 #include "alloc/fixed_block_allocator.h"
 #include "exp/reporting.h"
+#include "obs/trace_writer.h"
 #include "sim/event_queue.h"
 #include "util/table.h"
 #include "util/units.h"
 
 namespace rofs::bench {
+
+namespace {
+
+/// Observability options of the Sweep currently driving this process,
+/// folded into every BenchExperimentConfig() so drivers pick them up
+/// without touching their cell lambdas. Set once by the Sweep ctor before
+/// any cell runs; defaults keep observability off.
+obs::Options g_bench_obs;
+
+}  // namespace
 
 exp::Experiment::AllocatorFactory BuddyFactory() {
   return [](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
@@ -76,6 +87,7 @@ exp::ExperimentConfig BenchExperimentConfig() {
     cfg.seq_max_measure_ms = 200'000;
     cfg.stable_tolerance_pp = 1.0;
   }
+  cfg.obs = g_bench_obs;
   return cfg;
 }
 
@@ -118,6 +130,20 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       options.csv_path = argv[++i];
     } else if (std::strncmp(argv[i], "--csv=", 6) == 0) {
       options.csv_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      options.obs.metrics = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      options.trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      options.trace_path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-events") == 0 && i + 1 < argc) {
+      options.obs.trace_events =
+          static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
+      options.obs.trace_events =
+          static_cast<size_t>(std::atoll(argv[i] + 15));
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      options.progress = true;
     }
   }
   if (options.jsonl_path.empty()) {
@@ -130,6 +156,30 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     if (const char* env = std::getenv("ROFS_CSV");
         env != nullptr && env[0] != '\0') {
       options.csv_path = env;
+    }
+  }
+  if (!options.obs.metrics) {
+    if (const char* env = std::getenv("ROFS_METRICS");
+        env != nullptr && env[0] != '\0') {
+      options.obs.metrics = true;
+    }
+  }
+  if (options.trace_path.empty()) {
+    if (const char* env = std::getenv("ROFS_TRACE");
+        env != nullptr && env[0] != '\0') {
+      options.trace_path = env;
+    }
+  }
+  if (const char* env = std::getenv("ROFS_TRACE_EVENTS");
+      env != nullptr && env[0] != '\0' &&
+      options.obs.trace_events == obs::Options{}.trace_events) {
+    options.obs.trace_events = static_cast<size_t>(std::atoll(env));
+  }
+  options.obs.trace = !options.trace_path.empty();
+  if (!options.progress) {
+    if (const char* env = std::getenv("ROFS_PROGRESS");
+        env != nullptr && env[0] != '\0') {
+      options.progress = true;
     }
   }
   return options;
@@ -169,12 +219,41 @@ Sweep::Sweep(int argc, char** argv)
   options_.sweep.jobs = runner::SweepRunner::ResolveJobs(options_.sweep.jobs);
   options_.replicates =
       runner::SweepRunner::ResolveReplicates(options_.replicates);
-  options_.sweep.progress = [](const runner::RunResult& r, size_t done,
-                               size_t total) {
+  g_bench_obs = options_.obs;
+  // Heartbeat state shared with the progress callback below. The callback
+  // runs on the collector thread only, so plain members suffice; the
+  // throttle keeps long sweeps from scrolling one line per run.
+  struct Heartbeat {
+    std::chrono::steady_clock::time_point t0 =
+        std::chrono::steady_clock::now();
+    std::chrono::steady_clock::time_point last{};
+  };
+  auto heartbeat = options_.progress ? std::make_shared<Heartbeat>() : nullptr;
+  options_.sweep.progress = [heartbeat](const runner::RunResult& r,
+                                        size_t done, size_t total) {
     std::fprintf(stderr, "[%zu/%zu] %s: %s (%.1fs)\n", done, total,
                  r.label.c_str(),
                  r.status.ok() ? "ok" : r.status.ToString().c_str(),
                  r.wall_ms / 1000.0);
+    if (heartbeat == nullptr) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (done < total && now - heartbeat->last < std::chrono::seconds(1)) {
+      return;
+    }
+    heartbeat->last = now;
+    const double elapsed =
+        std::chrono::duration<double>(now - heartbeat->t0).count();
+    const double eta =
+        done > 0 ? elapsed * static_cast<double>(total - done) /
+                       static_cast<double>(done)
+                 : 0.0;
+    std::fprintf(stderr,
+                 "progress: %zu/%zu runs (%.0f%%), elapsed %.1fs, "
+                 "eta %.1fs\n",
+                 done, total,
+                 100.0 * static_cast<double>(done) /
+                     static_cast<double>(total),
+                 elapsed, eta);
   };
   experiment_ = "bench";
   if (argc >= 1 && argv[0] != nullptr && argv[0][0] != '\0') {
@@ -209,6 +288,12 @@ std::vector<std::vector<std::string>> Sweep::Run() {
     spec.label = cells_[c].label;
     spec.run = [this, c, replicates](const runner::RunContext& ctx)
         -> StatusOr<std::vector<std::string>> {
+      // Traced runs register their buffers under this ambient label; the
+      // replicate suffix keeps labels unique so the merged trace orders
+      // deterministically for any job count.
+      obs::ScopedRunLabel run_label(
+          cells_[c].label + " r" +
+          std::to_string(ctx.index % static_cast<size_t>(replicates)));
       StatusOr<exp::RunRecord> record = cells_[c].run(ctx);
       if (!record.ok()) return record.status();
       exp::RunRecord r = std::move(record).value();
@@ -273,6 +358,24 @@ std::vector<std::vector<std::string>> Sweep::Run() {
                "write " + options_.csv_path);
     std::fprintf(stderr, "sweep: wrote %zu records -> %s\n",
                  records_.size(), options_.csv_path.c_str());
+  }
+
+  if (options_.obs.trace && !options_.trace_path.empty()) {
+    // Wall-clock lanes (pid 0 in the export): one span per runner job,
+    // on a timeline starting at the sweep's earliest run.
+    double first_start = 0;
+    bool have_start = false;
+    for (const runner::RunResult& r : results) {
+      if (!have_start || r.wall_start_ms < first_start) {
+        first_start = r.wall_start_ms;
+        have_start = true;
+      }
+    }
+    for (const runner::RunResult& r : results) {
+      obs::TraceCollector::Global().AddWallSpan(
+          r.label, r.wall_start_ms - first_start, r.wall_ms);
+    }
+    obs::WriteChromeTrace(options_.trace_path);
   }
   return rows;
 }

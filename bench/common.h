@@ -14,6 +14,7 @@
 #include "disk/disk_system.h"
 #include "exp/experiment.h"
 #include "exp/run_record.h"
+#include "obs/options.h"
 #include "runner/sweep_runner.h"
 #include "stats/summary.h"
 #include "workload/workloads.h"
@@ -45,7 +46,10 @@ disk::DiskSystemConfig PaperDiskConfig();
 
 /// Standard experiment settings for the reproduction benches. Honors the
 /// ROFS_FAST environment variable (any non-empty value): shorter
-/// measurement windows for smoke runs.
+/// measurement windows for smoke runs. Also carries the observability
+/// options the current Sweep was constructed with (see BenchOptions::obs),
+/// so every driver's cell picks up --metrics / --trace-out without
+/// driver-side plumbing.
 exp::ExperimentConfig BenchExperimentConfig();
 
 /// Fails loudly: prints the status and exits non-zero. Benches prefer a
@@ -72,6 +76,18 @@ struct BenchOptions {
   /// artifact defaults to "<experiment>.jsonl" in the working directory.
   std::string jsonl_path;
   std::string csv_path;
+  /// Observability: `--metrics` / ROFS_METRICS adds obs.* metric columns
+  /// to the JSONL/CSV artifacts; `--trace-out PATH` / ROFS_TRACE enables
+  /// sim-time tracing and writes a merged Chrome trace-event JSON
+  /// (Perfetto-loadable) after the sweep; `--trace-events N` /
+  /// ROFS_TRACE_EVENTS caps the per-run trace buffer. Neither flag
+  /// changes stdout or the artifact rows that exist without them.
+  obs::Options obs;
+  std::string trace_path;
+  /// `--progress` / ROFS_PROGRESS: a throttled (~1/s) heartbeat on stderr
+  /// with runs done/total, elapsed wall time, and an ETA. stdout stays
+  /// byte-identical.
+  bool progress = false;
 };
 
 BenchOptions ParseBenchOptions(int argc, char** argv);

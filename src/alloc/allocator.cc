@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
+
 namespace rofs::alloc {
+
+void Allocator::TraceAllocSlow(uint64_t len_du) {
+  tracer_->AllocBlock(len_du);
+}
+
+void Allocator::TraceFreeSlow(uint64_t len_du) {
+  tracer_->FreeBlock(len_du);
+}
+
+void Allocator::TraceCoalesceSlow(uint64_t merges) {
+  tracer_->Coalesce(merges);
+}
+
+void Allocator::TraceAllocFailedSlow() { tracer_->AllocFailed(); }
 
 uint64_t Allocator::TruncateTail(FileAllocState* f, uint64_t n_du) {
   uint64_t remaining = std::min(n_du, f->allocated_du);
@@ -12,6 +28,7 @@ uint64_t Allocator::TruncateTail(FileAllocState* f, uint64_t n_du) {
     if (tail.length_du <= remaining) {
       FreeRun(tail.start_du, tail.length_du);
       ++stats_.blocks_freed;
+      TraceFree(tail.length_du);
       remaining -= tail.length_du;
       freed += tail.length_du;
       f->extents.pop_back();
@@ -25,6 +42,7 @@ uint64_t Allocator::TruncateTail(FileAllocState* f, uint64_t n_du) {
     tail.length_du -= part;
     FreeRun(tail.start_du + tail.length_du, part);
     ++stats_.blocks_freed;
+    TraceFree(part);
     freed += part;
     remaining -= part;
     f->RebuildCumFrom(f->extents.size() - 1);
@@ -37,6 +55,7 @@ void Allocator::DeleteFile(FileAllocState* f) {
   for (const Extent& e : f->extents) {
     FreeRun(e.start_du, e.length_du);
     ++stats_.blocks_freed;
+    TraceFree(e.length_du);
   }
   f->extents.clear();
   f->cum_du.clear();

@@ -7,6 +7,10 @@
 
 #include "util/status.h"
 
+namespace rofs::obs {
+class SimTracer;
+}
+
 namespace rofs::alloc {
 
 /// A contiguous run of disk units assigned to a file. Extents are recorded
@@ -119,6 +123,10 @@ class Allocator {
   const AllocatorStats& stats() const { return stats_; }
   void ResetStats() { stats_ = AllocatorStats{}; }
 
+  /// Attaches an observability tracer (null detaches). Policies report
+  /// alloc/free/coalesce events through the Trace* hooks below.
+  void set_tracer(obs::SimTracer* tracer) { tracer_ = tracer; }
+
   /// Validates internal free-space bookkeeping; used by tests. Returns the
   /// recomputed free unit count.
   virtual uint64_t CheckConsistency() const = 0;
@@ -133,8 +141,33 @@ class Allocator {
   /// everything.
   virtual uint64_t PartialFreeGranularity() const { return 1; }
 
+  /// Tracer hooks, called by policies beside their stats_ increments.
+  /// The null check inlines so the disabled cost is one branch; the
+  /// recording body lives in allocator.cc to keep obs headers out of
+  /// every policy's include graph.
+  void TraceAlloc(uint64_t len_du) {
+    if (tracer_ != nullptr) TraceAllocSlow(len_du);
+  }
+  void TraceFree(uint64_t len_du) {
+    if (tracer_ != nullptr) TraceFreeSlow(len_du);
+  }
+  void TraceCoalesce(uint64_t merges) {
+    if (tracer_ != nullptr) TraceCoalesceSlow(merges);
+  }
+  void TraceAllocFailed() {
+    if (tracer_ != nullptr) TraceAllocFailedSlow();
+  }
+
   uint64_t total_du_;
   AllocatorStats stats_;
+
+ private:
+  void TraceAllocSlow(uint64_t len_du);
+  void TraceFreeSlow(uint64_t len_du);
+  void TraceCoalesceSlow(uint64_t merges);
+  void TraceAllocFailedSlow();
+
+  obs::SimTracer* tracer_ = nullptr;
 };
 
 }  // namespace rofs::alloc

@@ -70,6 +70,7 @@ bool BuddyAllocator::AllocateBlock(uint32_t order, uint64_t* addr) {
   }
   free_du_ -= uint64_t{1} << order;
   ++stats_.blocks_allocated;
+  TraceAlloc(uint64_t{1} << order);
   *addr = block;
   return true;
 }
@@ -87,6 +88,7 @@ void BuddyAllocator::FreeBlock(uint64_t addr, uint32_t order) {
     addr = std::min(addr, buddy);
     ++order;
     ++stats_.coalesces;
+    TraceCoalesce(1);
   }
   InsertFree(addr, order);
 }
@@ -120,6 +122,7 @@ Status BuddyAllocator::Extend(FileAllocState* f, uint64_t want_du) {
     uint64_t addr = 0;
     if (!AllocateBlock(OrderOf(ext), &addr)) {
       ++stats_.failed_allocs;
+      TraceAllocFailed();
       return Status::ResourceExhausted("buddy: no free block of " +
                                        std::to_string(ext) + " du");
     }

@@ -67,19 +67,23 @@ Status ExtentAllocator::Extend(FileAllocState* f, uint64_t want_du) {
                           : free_map_.AllocateBestFit(len);
     if (!addr) {
       ++stats_.failed_allocs;
+      TraceAllocFailed();
       return Status::ResourceExhausted(
           FormatString("extent: no free extent of %llu du",
                        static_cast<unsigned long long>(len)));
     }
     ++stats_.blocks_allocated;
+    TraceAlloc(len);
     f->AppendExtent(Extent{*addr, len});
   }
   return Status::OK();
 }
 
 void ExtentAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
-  stats_.coalesces +=
+  const uint64_t merges =
       static_cast<uint64_t>(free_map_.Free(start_du, len_du));
+  stats_.coalesces += merges;
+  TraceCoalesce(merges);
 }
 
 uint64_t ExtentAllocator::CheckConsistency() const {

@@ -23,6 +23,7 @@ Status FixedBlockAllocator::Extend(FileAllocState* f, uint64_t want_du) {
   for (uint64_t b = 0; b < blocks; ++b) {
     if (free_list_.empty()) {
       ++stats_.failed_allocs;
+      TraceAllocFailed();
       return Status::ResourceExhausted("fixed-block: free list empty");
     }
     // "Free blocks are maintained on a free list and allocated off the
@@ -30,6 +31,7 @@ Status FixedBlockAllocator::Extend(FileAllocState* f, uint64_t want_du) {
     const uint64_t addr = free_list_.front();
     free_list_.pop_front();
     ++stats_.blocks_allocated;
+    TraceAlloc(block_du_);
     f->AppendExtent(Extent{addr, block_du_});
   }
   return Status::OK();

@@ -57,6 +57,7 @@ Status LogStructuredAllocator::Extend(FileAllocState* f, uint64_t want_du) {
           active_offset_ += len;
           AddLive(addr, len);
           ++stats_.blocks_allocated;
+          TraceAlloc(len);
           f->AppendExtent(Extent{addr, len});
           continue;
         }
@@ -70,6 +71,7 @@ Status LogStructuredAllocator::Extend(FileAllocState* f, uint64_t want_du) {
     const uint64_t largest = dead_space_.LargestFragment();
     if (largest == 0) {
       ++stats_.failed_allocs;
+      TraceAllocFailed();
       return Status::ResourceExhausted("log-structured: no dead space left");
     }
     const uint64_t len = std::min(remaining, largest);
@@ -86,6 +88,7 @@ Status LogStructuredAllocator::Extend(FileAllocState* f, uint64_t want_du) {
           std::min(left, SegmentStart(s) + SegmentLen(s) - pos);
       AddLive(pos, in_seg);
       ++stats_.blocks_allocated;
+      TraceAlloc(in_seg);
       f->AppendExtent(Extent{pos, in_seg});
       pos += in_seg;
       left -= in_seg;
@@ -95,8 +98,10 @@ Status LogStructuredAllocator::Extend(FileAllocState* f, uint64_t want_du) {
 }
 
 void LogStructuredAllocator::FreeRun(uint64_t start_du, uint64_t len_du) {
-  stats_.coalesces +=
+  const uint64_t merges =
       static_cast<uint64_t>(dead_space_.Free(start_du, len_du));
+  stats_.coalesces += merges;
+  TraceCoalesce(merges);
   uint64_t pos = start_du;
   uint64_t left = len_du;
   while (left > 0) {

@@ -119,6 +119,7 @@ void RestrictedBuddyAllocator::FreeBlock(uint64_t addr, uint32_t level) {
     ++level;
     InsertFreeBlock(parent_addr, level);
     ++stats_.coalesces;
+    TraceCoalesce(1);
     addr = parent_addr;
   }
 }
@@ -146,6 +147,7 @@ uint64_t RestrictedBuddyAllocator::CarveFromBlock(uint32_t level,
     SeedRange(addr + size, src_addr + src_size, /*coalesce=*/false);
   }
   ++stats_.blocks_allocated;
+  TraceAlloc(size);
   return addr;
 }
 
@@ -179,6 +181,7 @@ std::optional<uint64_t> RestrictedBuddyAllocator::TakeInRegion(size_t r,
   if (!addr.has_value()) return std::nullopt;
   RemoveFreeBlock(*addr, level);
   ++stats_.blocks_allocated;
+  TraceAlloc(config_.block_sizes_du[level]);
   return addr;
 }
 
@@ -299,6 +302,7 @@ Status RestrictedBuddyAllocator::Extend(FileAllocState* f, uint64_t want_du) {
     }
     if (!addr) {
       ++stats_.failed_allocs;
+      TraceAllocFailed();
       return Status::ResourceExhausted(
           FormatString("restricted-buddy: no block of %llu du or smaller",
                        static_cast<unsigned long long>(

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/tracer.h"
+
 namespace rofs::disk {
 
 Disk::Disk(const DiskGeometry& geometry, RotationModel rotation)
@@ -33,6 +35,11 @@ sim::TimeMs Disk::Access(sim::TimeMs arrival, uint64_t offset_bytes,
 
   const sim::TimeMs start = std::max(arrival, busy_until_);
   double service = 0.0;
+  // Phase breakdown of this access. Mirrors the `service` additions
+  // below without reordering them, so the simulated completion time is
+  // bit-identical with or without the breakdown consumers attached.
+  double seek_ms = 0.0;
+  double rotate_ms = 0.0;
   const bool sequential = has_last_access_ &&
                           offset_bytes == last_end_offset_;
   if (sequential) {
@@ -40,12 +47,15 @@ sim::TimeMs Disk::Access(sim::TimeMs arrival, uint64_t offset_bytes,
     // track-to-track seek if the previous access ended at a cylinder edge.
     if (first_cyl != head_cylinder_) {
       service += geometry_.SeekTime(1);
+      seek_ms += geometry_.SeekTime(1);
       ++seeks_;
     }
     if (rotation_model_ == RotationModel::kTracked && start > busy_until_) {
       // The disk idled since the previous access: the platter kept
       // spinning and we must wait for the sector to come around again.
-      service += TrackedLatency(start + service, offset_bytes);
+      const double latency = TrackedLatency(start + service, offset_bytes);
+      service += latency;
+      rotate_ms += latency;
     }
   } else {
     const uint64_t distance = first_cyl > head_cylinder_
@@ -53,16 +63,21 @@ sim::TimeMs Disk::Access(sim::TimeMs arrival, uint64_t offset_bytes,
                                   : head_cylinder_ - first_cyl;
     if (distance != 0) {
       service += geometry_.SeekTime(distance);
+      seek_ms += geometry_.SeekTime(distance);
       ++seeks_;
     }
     if (rotation_model_ == RotationModel::kMeanLatency) {
       service += geometry_.AvgRotationalLatency();
+      rotate_ms += geometry_.AvgRotationalLatency();
     } else {
-      service += TrackedLatency(start + service, offset_bytes);
+      const double latency = TrackedLatency(start + service, offset_bytes);
+      service += latency;
+      rotate_ms += latency;
     }
   }
 
-  service += geometry_.TransferTime(length_bytes);
+  const double transfer_ms = geometry_.TransferTime(length_bytes);
+  service += transfer_ms;
   // Track-to-track repositioning at each cylinder boundary inside the run;
   // with tracked rotation the platter also has to realign after each
   // boundary seek.
@@ -74,6 +89,9 @@ sim::TimeMs Disk::Access(sim::TimeMs arrival, uint64_t offset_bytes,
                   (geometry_.rotation_ms -
                    std::fmod(geometry_.SeekTime(1), geometry_.rotation_ms));
     service += static_cast<double>(last_cyl - first_cyl) * boundary_cost;
+    const double crossings = static_cast<double>(last_cyl - first_cyl);
+    seek_ms += crossings * geometry_.SeekTime(1);
+    rotate_ms += crossings * (boundary_cost - geometry_.SeekTime(1));
   }
 
   const sim::TimeMs completion = start + service;
@@ -86,6 +104,15 @@ sim::TimeMs Disk::Access(sim::TimeMs arrival, uint64_t offset_bytes,
   bytes_transferred_ += length_bytes;
   ++accesses_;
   busy_time_ms_ += service;
+  seek_time_ms_ += seek_ms;
+  rotation_time_ms_ += rotate_ms;
+  transfer_time_ms_ += transfer_ms;
+  queue_wait_ms_ += start - arrival;
+
+  if (tracer_ != nullptr) {
+    tracer_->DiskAccess(tracer_index_, arrival, start, seek_ms, rotate_ms,
+                        transfer_ms, length_bytes);
+  }
   return completion;
 }
 
@@ -94,6 +121,10 @@ void Disk::ResetStats() {
   accesses_ = 0;
   seeks_ = 0;
   busy_time_ms_ = 0.0;
+  seek_time_ms_ = 0.0;
+  rotation_time_ms_ = 0.0;
+  transfer_time_ms_ = 0.0;
+  queue_wait_ms_ = 0.0;
 }
 
 }  // namespace rofs::disk

@@ -6,6 +6,10 @@
 #include "disk/disk_geometry.h"
 #include "sim/event_queue.h"
 
+namespace rofs::obs {
+class SimTracer;
+}
+
 namespace rofs::disk {
 
 /// How rotational delay is charged.
@@ -55,6 +59,23 @@ class Disk {
   uint64_t seeks() const { return seeks_; }
   double busy_time_ms() const { return busy_time_ms_; }
 
+  /// Service-time breakdown by phase. The three phases partition each
+  /// access's service time (cylinder-boundary costs inside a transfer are
+  /// charged to their seek/rotation components), so their sum tracks
+  /// busy_time_ms() to floating-point rounding.
+  double seek_time_ms() const { return seek_time_ms_; }
+  double rotation_time_ms() const { return rotation_time_ms_; }
+  double transfer_time_ms() const { return transfer_time_ms_; }
+  /// Total time requests spent queued behind the busy server.
+  double queue_wait_ms() const { return queue_wait_ms_; }
+
+  /// Attaches an observability tracer (null detaches). `index` names this
+  /// drive's trace track.
+  void set_tracer(obs::SimTracer* tracer, uint32_t index) {
+    tracer_ = tracer;
+    tracer_index_ = index;
+  }
+
   /// Fraction of [0, now] this disk spent servicing requests.
   double Utilization(sim::TimeMs now) const {
     return now > 0 ? busy_time_ms_ / now : 0.0;
@@ -85,6 +106,13 @@ class Disk {
   uint64_t accesses_ = 0;
   uint64_t seeks_ = 0;
   double busy_time_ms_ = 0.0;
+  double seek_time_ms_ = 0.0;
+  double rotation_time_ms_ = 0.0;
+  double transfer_time_ms_ = 0.0;
+  double queue_wait_ms_ = 0.0;
+
+  obs::SimTracer* tracer_ = nullptr;
+  uint32_t tracer_index_ = 0;
 };
 
 }  // namespace rofs::disk

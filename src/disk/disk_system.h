@@ -90,6 +90,14 @@ class DiskSystem {
 
   const Disk& disk(uint32_t i) const { return disks_[i]; }
 
+  /// Attaches an observability tracer (null detaches) to every drive;
+  /// drive `i` records onto trace track `i`.
+  void set_tracer(obs::SimTracer* tracer) {
+    for (uint32_t i = 0; i < num_disks(); ++i) {
+      disks_[i].set_tracer(tracer, i);
+    }
+  }
+
   void ResetStats();
 
   std::string DescribeConfig() const;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "exp/throughput_tracker.h"
+#include "obs/trace_writer.h"
 
 namespace rofs::exp {
 
@@ -73,6 +74,10 @@ Status ExperimentConfig::Validate() const {
     return Status::InvalidArgument(
         "seed must be non-zero (replicate streams derive from it)");
   }
+  if (obs.trace && obs.trace_events == 0) {
+    return Status::InvalidArgument(
+        "obs.trace_events must be positive when tracing is on");
+  }
   return Status::OK();
 }
 
@@ -86,10 +91,13 @@ RunRecord AllocationResult::ToRecord() const {
   r.Set("ops", static_cast<double>(ops_executed));
   r.Set("simulated_ms", simulated_ms);
   AllocatorStatsToRecord(alloc_stats, &r);
+  for (const auto& [name, value] : obs_metrics) r.Set("obs." + name, value);
   return r;
 }
 
 AllocationResult AllocationResult::FromRecord(const RunRecord& record) {
+  // obs.* metrics are intentionally not recovered: they are observability
+  // output, not part of the typed result, and stay in the record.
   AllocationResult a;
   a.internal_fragmentation = record.Get("internal_frag");
   a.external_fragmentation = record.Get("external_frag");
@@ -114,10 +122,12 @@ RunRecord PerfResult::ToRecord() const {
   r.Set("internal_frag", internal_fragmentation);
   r.Set("mean_op_latency_ms", mean_op_latency_ms);
   AllocatorStatsToRecord(alloc_stats, &r);
+  for (const auto& [name, value] : obs_metrics) r.Set("obs." + name, value);
   return r;
 }
 
 PerfResult PerfResult::FromRecord(const RunRecord& record) {
+  // obs.* metrics are intentionally not recovered (see AllocationResult).
   PerfResult p;
   p.utilization_of_max = record.Get("throughput_of_max");
   p.stabilized = record.Get("stabilized") != 0.0;
@@ -160,6 +170,26 @@ StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
   sim->gen = std::make_unique<workload::OpGenerator>(
       &workload_, sim->fs.get(), &sim->queue, options);
   if (instrument_) instrument_(sim->gen.get());
+
+  if (config_.obs.enabled()) {
+    sim->obs =
+        std::make_unique<obs::Session>(config_.obs, sim->queue.now_ptr());
+    obs::SimTracer* tracer = sim->obs->tracer();
+    sim->queue.set_tracer(tracer);
+    sim->disk->set_tracer(tracer);
+    sim->allocator->set_tracer(tracer);
+    sim->fs->set_tracer(tracer);
+    // Chain onto whatever sink instrument_ installed (e.g. an OpTrace),
+    // after it ran, so both observers see every executed op. The tracer
+    // stays disarmed until a test's interesting phase begins.
+    auto prev = std::move(sim->gen->on_op);
+    sim->gen->on_op = [tracer, prev = std::move(prev)](
+                          const workload::OpRecord& r) {
+      if (prev) prev(r);
+      tracer->Op(static_cast<obs::OpEvent>(r.op), r.issued, r.completed,
+                 r.bytes);
+    };
+  }
 
   const Status init = sim->gen->CreateInitialFiles();
   if (!init.ok() && !fill) {
@@ -220,6 +250,9 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   sim->queue.RunUntil(sim->queue.now() + config_.warmup_ms);
   const uint64_t disk_full_before = sim->gen->disk_full_count();
   sim->gen->ResetStats();
+  // Recording starts with the measurement window (stays armed across the
+  // sequential half of a performance pair).
+  if (sim->obs != nullptr) sim->obs->tracer()->Arm();
   tracker->Start(sim->queue.now());
   const sim::TimeMs start = sim->queue.now();
 
@@ -244,11 +277,60 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   result.internal_fragmentation = sim->fs->InternalFragmentation();
   result.mean_op_latency_ms = sim->gen->op_latency_ms().Mean();
   result.alloc_stats = sim->allocator->stats();
+  SnapshotObs(sim, &result.obs_metrics);
   if (stats_sink_ != nullptr && mode == workload::OpMode::kApplication) {
     *stats_sink_ = sim->gen->StatsReport();
   }
   sim->gen->on_bytes_moved = nullptr;
   return result;
+}
+
+void Experiment::SnapshotObs(
+    Sim* sim, std::vector<std::pair<std::string, double>>* out) {
+  if (sim->obs == nullptr || !sim->obs->options().metrics) return;
+  obs::Registry& reg = sim->obs->registry();
+  // End-of-run gauges folded from the components' own counters. Every
+  // value derives from simulation state, never wall clock, so snapshots
+  // are identical however many runner jobs executed the sweep.
+  reg.AddGauge("sim.events_dispatched")
+      ->Set(static_cast<double>(sim->queue.dispatched()));
+  reg.AddGauge("sim.max_heap_depth")
+      ->Set(static_cast<double>(sim->queue.max_heap_depth()));
+  double seek_ms = 0, rotation_ms = 0, transfer_ms = 0, busy_ms = 0;
+  uint64_t seeks = 0, accesses = 0, bytes = 0;
+  for (uint32_t i = 0; i < sim->disk->num_disks(); ++i) {
+    const disk::Disk& d = sim->disk->disk(i);
+    seek_ms += d.seek_time_ms();
+    rotation_ms += d.rotation_time_ms();
+    transfer_ms += d.transfer_time_ms();
+    busy_ms += d.busy_time_ms();
+    seeks += d.seeks();
+    accesses += d.accesses();
+    bytes += d.bytes_transferred();
+  }
+  reg.AddGauge("disk.seek_ms")->Set(seek_ms);
+  reg.AddGauge("disk.rotation_ms")->Set(rotation_ms);
+  reg.AddGauge("disk.transfer_ms")->Set(transfer_ms);
+  reg.AddGauge("disk.busy_ms")->Set(busy_ms);
+  reg.AddGauge("disk.seeks")->Set(static_cast<double>(seeks));
+  reg.AddGauge("disk.accesses")->Set(static_cast<double>(accesses));
+  reg.AddGauge("disk.bytes")->Set(static_cast<double>(bytes));
+  if (const fs::BufferCache* cache = sim->fs->cache()) {
+    reg.AddGauge("cache.hits")->Set(static_cast<double>(cache->hits()));
+    reg.AddGauge("cache.misses")->Set(static_cast<double>(cache->misses()));
+    reg.AddGauge("cache.evictions")
+        ->Set(static_cast<double>(cache->evictions()));
+    reg.AddGauge("cache.requests")
+        ->Set(static_cast<double>(cache->requests()));
+    reg.AddGauge("cache.hit_rate")->Set(cache->HitRate());
+  }
+  out->clear();
+  reg.Snapshot(out);
+}
+
+void Experiment::FinishObs(Sim* sim) {
+  if (sim->obs == nullptr || sim->obs->buffer() == nullptr) return;
+  obs::TraceCollector::Global().AddRun(sim->obs->TakeBuffer());
 }
 
 StatusOr<AllocationResult> Experiment::RunAllocationTest() {
@@ -260,6 +342,7 @@ StatusOr<AllocationResult> Experiment::RunAllocationTest() {
   // reaches the failure point; see DESIGN.md. Policies that can pack the
   // disk almost perfectly (tiny extents) are declared full at the
   // utilization cap instead — their external fragmentation is ~zero.
+  if (sim->obs != nullptr) sim->obs->tracer()->Arm();
   if (!sim->gen->hit_disk_full()) {
     sim->gen->set_mode(workload::OpMode::kFill);
     sim->gen->on_disk_full = [&sim] { sim->queue.Stop(); };
@@ -279,19 +362,25 @@ StatusOr<AllocationResult> Experiment::RunAllocationTest() {
   result.ops_executed = sim->gen->ops_executed();
   result.simulated_ms = sim->queue.now();
   result.alloc_stats = sim->allocator->stats();
+  SnapshotObs(sim.get(), &result.obs_metrics);
+  FinishObs(sim.get());
   return result;
 }
 
 StatusOr<PerfResult> Experiment::RunApplicationTest() {
   ROFS_ASSIGN_OR_RETURN(std::unique_ptr<Sim> sim,
                         Setup(workload::OpMode::kApplication, /*fill=*/true));
-  return Measure(sim.get(), workload::OpMode::kApplication);
+  PerfResult result = Measure(sim.get(), workload::OpMode::kApplication);
+  FinishObs(sim.get());
+  return result;
 }
 
 StatusOr<PerfResult> Experiment::RunSequentialTest() {
   ROFS_ASSIGN_OR_RETURN(std::unique_ptr<Sim> sim,
                         Setup(workload::OpMode::kApplication, /*fill=*/true));
-  return Measure(sim.get(), workload::OpMode::kSequential);
+  PerfResult result = Measure(sim.get(), workload::OpMode::kSequential);
+  FinishObs(sim.get());
+  return result;
 }
 
 StatusOr<Experiment::PerfPair> Experiment::RunPerformancePair() {
@@ -302,6 +391,7 @@ StatusOr<Experiment::PerfPair> Experiment::RunPerformancePair() {
   // recorded and the sequential test begins."
   pair.application = Measure(sim.get(), workload::OpMode::kApplication);
   pair.sequential = Measure(sim.get(), workload::OpMode::kSequential);
+  FinishObs(sim.get());
   return pair;
 }
 

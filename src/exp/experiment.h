@@ -5,11 +5,14 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "alloc/allocator.h"
 #include "disk/disk_system.h"
 #include "exp/run_record.h"
 #include "fs/read_optimized_fs.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 #include "util/statusor.h"
 #include "workload/file_type.h"
@@ -55,6 +58,11 @@ struct ExperimentConfig {
   /// paper's cache-less, metadata-free model.
   fs::FsOptions fs_options;
 
+  /// Observability (metric snapshots, sim-time tracing). Defaults to off:
+  /// no obs objects are constructed and every instrumentation point stays
+  /// a null-pointer check.
+  obs::Options obs;
+
   /// Rejects nonsense configurations instead of silently running them:
   /// the fill band must satisfy 0 < lower <= upper <= 1, every interval
   /// and cap must be positive and ordered (min <= max measurement
@@ -80,6 +88,9 @@ struct AllocationResult {
   double simulated_ms = 0;
   /// Allocation-policy counters accumulated over the whole test.
   alloc::AllocatorStats alloc_stats;
+  /// Metric-registry snapshot ("disk.queue_wait_ms.p50", ...) when the
+  /// run had --metrics on; empty otherwise. Name-sorted.
+  std::vector<std::pair<std::string, double>> obs_metrics;
 
   /// Flat RunRecord view of this result ("internal_frag",
   /// "external_frag", ..., "alloc.splits"); identity fields are left for
@@ -104,6 +115,9 @@ struct PerfResult {
   double mean_op_latency_ms = 0;
   /// Allocation-policy counters since the simulation was constructed.
   alloc::AllocatorStats alloc_stats;
+  /// Metric-registry snapshot when the run had --metrics on; empty
+  /// otherwise. Name-sorted.
+  std::vector<std::pair<std::string, double>> obs_metrics;
 
   /// Flat RunRecord view ("throughput_of_max", "measured_ms", ...,
   /// "alloc.splits"); FromRecord inverts it. See AllocationResult.
@@ -152,9 +166,13 @@ class Experiment {
   StatusOr<PerfPair> RunPerformancePair();
 
  private:
-  /// Live simulation state for one run.
+  /// Live simulation state for one run. Member order is destruction
+  /// order in reverse: components holding tracer pointers (allocator,
+  /// disk, fs, gen) are destroyed before the obs session, and the queue
+  /// — whose clock the session reads — outlives everything.
   struct Sim {
     sim::EventQueue queue;
+    std::unique_ptr<obs::Session> obs;
     std::unique_ptr<alloc::Allocator> allocator;
     std::unique_ptr<disk::DiskSystem> disk;
     std::unique_ptr<fs::ReadOptimizedFs> fs;
@@ -167,6 +185,15 @@ class Experiment {
 
   /// Runs the measurement loop of a performance test in the given mode.
   PerfResult Measure(Sim* sim, workload::OpMode mode);
+
+  /// Folds end-of-run component statistics into the obs registry and
+  /// snapshots it into `out` (no-op unless --metrics).
+  void SnapshotObs(Sim* sim,
+                   std::vector<std::pair<std::string, double>>* out);
+
+  /// Hands the run's trace buffer to the global collector (no-op unless
+  /// tracing).
+  void FinishObs(Sim* sim);
 
   workload::WorkloadSpec workload_;
   AllocatorFactory factory_;

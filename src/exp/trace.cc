@@ -1,5 +1,7 @@
 #include "exp/trace.h"
 
+#include <algorithm>
+#include <cstddef>
 #include <fstream>
 
 #include "util/table.h"
@@ -28,6 +30,19 @@ void OpTrace::Record(const workload::OpRecord& record) {
   wrapped_ = true;
 }
 
+const std::vector<workload::OpRecord>& OpTrace::records() {
+  if (wrapped_ && head_ != 0) {
+    // Rotate the oldest record to index 0. The ring stays valid: the
+    // vector is full, so the next overwrite position is the oldest
+    // element, which is now the front.
+    std::rotate(records_.begin(),
+                records_.begin() + static_cast<ptrdiff_t>(head_),
+                records_.end());
+    head_ = 0;
+  }
+  return records_;
+}
+
 void OpTrace::Clear() {
   records_.clear();
   head_ = 0;
@@ -54,6 +69,10 @@ std::string OpTrace::ToCsv(const workload::WorkloadSpec& workload) const {
     for (size_t i = 0; i < head_; ++i) append(records_[i]);
   } else {
     for (const auto& r : records_) append(r);
+  }
+  if (dropped() > 0) {
+    out += FormatString("# dropped=%llu\n",
+                        static_cast<unsigned long long>(dropped()));
   }
   return out;
 }

@@ -26,11 +26,16 @@ class OpTrace {
   size_t size() const { return records_.size(); }
   uint64_t total_recorded() const { return total_recorded_; }
   uint64_t dropped() const { return total_recorded_ - records_.size(); }
-  const std::vector<workload::OpRecord>& records() const { return records_; }
+  /// Records oldest-first, even after the ring wraps: the first access
+  /// after a wrap rotates the ring in place (O(n), once; recording may
+  /// resume afterwards and the ring stays consistent).
+  const std::vector<workload::OpRecord>& records();
   void Clear();
 
   /// CSV with a header row:
   /// issued_ms,completed_ms,latency_ms,type,op,file,bytes
+  /// Rows are oldest-first. When the ring evicted records, a final
+  /// "# dropped=N" comment line reports how many.
   std::string ToCsv(const workload::WorkloadSpec& workload) const;
 
   /// Writes ToCsv() to a file.

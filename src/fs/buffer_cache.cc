@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/tracer.h"
+
 namespace rofs::fs {
 
 namespace {
@@ -111,11 +113,14 @@ bool BufferCache::TouchPage(uint64_t page) {
 }
 
 bool BufferCache::Touch(uint64_t du) {
+  ++requests_;
   if (TouchPage(PageOf(du))) {
     ++hits_;
+    if (tracer_ != nullptr) tracer_->CacheHit();
     return true;
   }
   ++misses_;
+  if (tracer_ != nullptr) tracer_->CacheMiss();
   return false;
 }
 
@@ -132,6 +137,7 @@ void BufferCache::InsertPage(uint64_t page) {
     const uint32_t victim = tail_;
     ReleaseSlot(victim);
     ++evictions_;
+    if (tracer_ != nullptr) tracer_->CacheEvict();
   }
   const uint32_t slot = free_head_;
   assert(slot != kNil);
@@ -152,14 +158,17 @@ bool BufferCache::CoversRange(uint64_t start_du, uint64_t n_du) {
   // the LRU order (the caller re-inserts the whole range, which is what
   // establishes recency). One hit or one miss per request — per-page
   // accounting would weight one 32-page request like 32 single-page ones.
+  ++requests_;
   for (uint64_t p = first; p <= last; ++p) {
     if (FindSlot(p) == kNil) {
       ++misses_;
+      if (tracer_ != nullptr) tracer_->CacheMiss();
       return false;
     }
   }
   for (uint64_t p = first; p <= last; ++p) TouchPage(p);
   ++hits_;
+  if (tracer_ != nullptr) tracer_->CacheHit();
   return true;
 }
 

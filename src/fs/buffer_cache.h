@@ -5,6 +5,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace rofs::obs {
+class SimTracer;
+}
+
 namespace rofs::fs {
 
 /// An LRU buffer cache over the disk-unit address space, used by the file
@@ -64,10 +68,16 @@ class BufferCache {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
+  /// Lookup requests (Touch / CoversRange calls). Each request counts
+  /// exactly one hit or one miss, so hits() + misses() == requests().
+  uint64_t requests() const { return requests_; }
   double HitRate() const {
     const uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
   }
+
+  /// Attaches an observability tracer (null detaches).
+  void set_tracer(obs::SimTracer* tracer) { tracer_ = tracer; }
 
  private:
   static constexpr uint32_t kNil = UINT32_MAX;
@@ -116,6 +126,9 @@ class BufferCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t requests_ = 0;
+
+  obs::SimTracer* tracer_ = nullptr;
 };
 
 }  // namespace rofs::fs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/tracer.h"
 #include "util/units.h"
 
 namespace rofs::fs {
@@ -35,7 +36,13 @@ sim::TimeMs ReadOptimizedFs::MetadataRead(File& f, sim::TimeMs arrival) {
   if (cache_ != nullptr && cache_->Touch(fd_du)) return arrival;
   const sim::TimeMs done = disk_->Read(arrival, fd_du, 1);
   if (cache_ != nullptr) cache_->Insert(fd_du);
+  if (tracer_ != nullptr) tracer_->MetadataRead(arrival, done);
   return done;
+}
+
+void ReadOptimizedFs::set_tracer(obs::SimTracer* tracer) {
+  tracer_ = tracer;
+  if (cache_ != nullptr) cache_->set_tracer(tracer);
 }
 
 FileId ReadOptimizedFs::Create(uint64_t pref_extent_bytes) {

@@ -12,6 +12,10 @@
 #include "util/statusor.h"
 #include "util/units.h"
 
+namespace rofs::obs {
+class SimTracer;
+}
+
 namespace rofs::fs {
 
 using FileId = uint64_t;
@@ -130,6 +134,11 @@ class ReadOptimizedFs {
   const BufferCache* cache() const { return cache_.get(); }
   const FsOptions& options() const { return options_; }
 
+  /// Attaches an observability tracer (null detaches) to this layer and
+  /// the buffer cache it owns. The caller wires the allocator, disk
+  /// system, and event queue separately — the fs does not own those.
+  void set_tracer(obs::SimTracer* tracer);
+
   uint64_t total_logical_bytes() const { return total_logical_bytes_; }
   uint64_t total_allocated_bytes() const {
     return allocator_->used_du() * du_bytes_;
@@ -169,6 +178,7 @@ class ReadOptimizedFs {
   std::vector<File> files_;
   uint64_t total_logical_bytes_ = 0;
   mutable std::vector<Run> run_scratch_;
+  obs::SimTracer* tracer_ = nullptr;
 };
 
 }  // namespace rofs::fs

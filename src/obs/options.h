@@ -1,0 +1,28 @@
+#ifndef ROFS_OBS_OPTIONS_H_
+#define ROFS_OBS_OPTIONS_H_
+
+#include <cstddef>
+
+namespace rofs::obs {
+
+/// Observability knobs of one simulation run. Everything defaults to off:
+/// with both flags clear no obs objects are constructed, instrumented
+/// components keep null tracer pointers, and output is byte-identical to
+/// a build without the subsystem.
+struct Options {
+  /// Snapshot the metric registry into the run's RunRecord as `obs.*`
+  /// metrics (`--metrics` / ROFS_METRICS).
+  bool metrics = false;
+  /// Record simulated-time trace events for Chrome/Perfetto export
+  /// (`--trace-out FILE` / ROFS_TRACE).
+  bool trace = false;
+  /// Trace event capacity per run; events beyond it are dropped and
+  /// counted (`--trace-events N` / ROFS_TRACE_EVENTS).
+  size_t trace_events = 1 << 16;
+
+  bool enabled() const { return metrics || trace; }
+};
+
+}  // namespace rofs::obs
+
+#endif  // ROFS_OBS_OPTIONS_H_

@@ -1,0 +1,105 @@
+#include "obs/trace_buffer.h"
+
+namespace rofs::obs {
+
+const char* CatName(Cat cat) {
+  switch (cat) {
+    case Cat::kDisk:
+      return "disk";
+    case Cat::kCache:
+      return "cache";
+    case Cat::kAlloc:
+      return "alloc";
+    case Cat::kFs:
+      return "fs";
+    case Cat::kOp:
+      return "op";
+    case Cat::kSim:
+      return "sim";
+  }
+  return "?";
+}
+
+const char* NameString(Name name) {
+  switch (name) {
+    case Name::kQueueWait:
+      return "queue_wait";
+    case Name::kSeek:
+      return "seek";
+    case Name::kRotate:
+      return "rotate";
+    case Name::kTransfer:
+      return "transfer";
+    case Name::kCacheHit:
+      return "hit";
+    case Name::kCacheMiss:
+      return "miss";
+    case Name::kCacheEvict:
+      return "evict";
+    case Name::kAllocBlock:
+      return "alloc";
+    case Name::kFreeBlock:
+      return "free";
+    case Name::kCoalesce:
+      return "coalesce";
+    case Name::kAllocFailed:
+      return "alloc_failed";
+    case Name::kMetadataRead:
+      return "metadata_read";
+    case Name::kOpRead:
+      return "read";
+    case Name::kOpWrite:
+      return "write";
+    case Name::kOpExtend:
+      return "extend";
+    case Name::kOpTruncate:
+      return "truncate";
+    case Name::kOpDelete:
+      return "delete";
+    case Name::kHeapDepth:
+      return "heap_depth";
+  }
+  return "?";
+}
+
+const char* NameArgKey(Name name) {
+  switch (name) {
+    case Name::kTransfer:
+    case Name::kOpRead:
+    case Name::kOpWrite:
+    case Name::kOpExtend:
+    case Name::kOpTruncate:
+    case Name::kOpDelete:
+      return "bytes";
+    case Name::kAllocBlock:
+    case Name::kFreeBlock:
+      return "du";
+    case Name::kCoalesce:
+      return "merges";
+    default:
+      return nullptr;
+  }
+}
+
+const char* TrackName(uint8_t track) {
+  switch (track) {
+    case kTrackOps:
+      return "ops";
+    case kTrackFs:
+      return "fs";
+    case kTrackCache:
+      return "cache";
+    case kTrackAlloc:
+      return "alloc";
+    case kTrackSim:
+      return "sim";
+    default:
+      return nullptr;  // Per-disk tracks are named by the writer.
+  }
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity) {
+  events_.reserve(capacity_);
+}
+
+}  // namespace rofs::obs

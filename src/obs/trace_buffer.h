@@ -1,0 +1,123 @@
+#ifndef ROFS_OBS_TRACE_BUFFER_H_
+#define ROFS_OBS_TRACE_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rofs::obs {
+
+/// Event categories, matching the Chrome trace-event `cat` field. Fixed
+/// at compile time so the hot path stores one byte and the writer owns
+/// the strings.
+enum class Cat : uint8_t {
+  kDisk,
+  kCache,
+  kAlloc,
+  kFs,
+  kOp,
+  kSim,
+};
+
+const char* CatName(Cat cat);
+
+/// Event names, matching the Chrome trace-event `name` field.
+enum class Name : uint8_t {
+  // Disk service phases (spans on the per-disk tracks).
+  kQueueWait,
+  kSeek,
+  kRotate,
+  kTransfer,
+  // Buffer cache (instants).
+  kCacheHit,
+  kCacheMiss,
+  kCacheEvict,
+  // Allocation policy (instants).
+  kAllocBlock,
+  kFreeBlock,
+  kCoalesce,
+  kAllocFailed,
+  // File-system layer (spans).
+  kMetadataRead,
+  // Operation lifecycle (spans, one name per OpKind).
+  kOpRead,
+  kOpWrite,
+  kOpExtend,
+  kOpTruncate,
+  kOpDelete,
+  // Simulation core (counter track).
+  kHeapDepth,
+};
+
+const char* NameString(Name name);
+
+/// The fixed argument key an event's numeric `value` is reported under in
+/// the exported JSON ("bytes", "du", ...); nullptr when the event carries
+/// no argument.
+const char* NameArgKey(Name name);
+
+/// Chrome trace-event phases used by the simulator: complete spans,
+/// instants, and counter samples.
+enum class Phase : uint8_t {
+  kComplete,  // "X": ts + dur.
+  kInstant,   // "i".
+  kCounter,   // "C": value plotted as a counter track.
+};
+
+/// One recorded event: a fixed-size POD so the buffer is a flat vector
+/// with no per-event allocation or pointer chasing.
+struct TraceEvent {
+  double ts_ms = 0;   // Simulated time.
+  double dur_ms = 0;  // kComplete only.
+  double value = 0;   // Numeric argument / counter value.
+  Name name = Name::kQueueWait;
+  Cat cat = Cat::kSim;
+  Phase phase = Phase::kInstant;
+  uint8_t track = 0;  // Exported as the Chrome `tid`.
+};
+
+/// Track (tid) assignment within one run's process. Per-disk tracks
+/// start at kTrackDiskBase + disk index.
+inline constexpr uint8_t kTrackOps = 0;
+inline constexpr uint8_t kTrackFs = 1;
+inline constexpr uint8_t kTrackCache = 2;
+inline constexpr uint8_t kTrackAlloc = 3;
+inline constexpr uint8_t kTrackSim = 4;
+inline constexpr uint8_t kTrackDiskBase = 8;
+
+/// Human-readable name of a track, for the writer's thread_name
+/// metadata.
+const char* TrackName(uint8_t track);
+
+/// A bounded, allocation-free-after-construction event sink. The
+/// capacity is reserved up front; once full, further events are counted
+/// as dropped rather than grown into — a trace must never change the
+/// simulation's allocation behavior or blow up memory on long runs.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity);
+
+  /// Records one event; drops (and counts) when full. Hot path: bounds
+  /// check + push_back into reserved storage.
+  void Add(const TraceEvent& event) {
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      ++dropped_;
+    }
+  }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return events_.size(); }
+  uint64_t dropped() const { return dropped_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  size_t capacity_;
+  uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace rofs::obs
+
+#endif  // ROFS_OBS_TRACE_BUFFER_H_

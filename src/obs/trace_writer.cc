@@ -1,0 +1,286 @@
+#include "obs/trace_writer.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <set>
+
+namespace rofs::obs {
+namespace {
+
+thread_local std::string g_run_label;
+
+struct CollectorState {
+  std::mutex mu;
+  uint64_t next_seq = 0;
+  std::vector<RunTrace> runs;
+  std::vector<WallSpan> wall_spans;
+};
+
+CollectorState& State() {
+  static CollectorState* state = new CollectorState();
+  return *state;
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendMeta(std::string* out, const char* meta_name, int pid, int tid,
+                const std::string& value, bool* first) {
+  if (!*first) *out += ",\n";
+  *first = false;
+  AppendF(out, "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+               "\"args\":{\"name\":\"",
+          meta_name, pid, tid);
+  AppendEscaped(out, value);
+  *out += "\"}}";
+}
+
+}  // namespace
+
+ScopedRunLabel::ScopedRunLabel(std::string label)
+    : previous_(std::move(g_run_label)) {
+  g_run_label = std::move(label);
+}
+
+ScopedRunLabel::~ScopedRunLabel() { g_run_label = std::move(previous_); }
+
+const std::string& ScopedRunLabel::Current() { return g_run_label; }
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::AddRun(std::unique_ptr<TraceBuffer> buffer) {
+  if (buffer == nullptr) return;
+  CollectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  RunTrace run;
+  run.label = g_run_label;
+  run.seq = state.next_seq++;
+  run.buffer = std::move(buffer);
+  state.runs.push_back(std::move(run));
+}
+
+void TraceCollector::AddWallSpan(const std::string& name, double start_ms,
+                                 double dur_ms) {
+  CollectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.wall_spans.push_back(WallSpan{name, start_ms, dur_ms});
+}
+
+bool TraceCollector::empty() const {
+  CollectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.runs.empty() && state.wall_spans.empty();
+}
+
+std::vector<RunTrace> TraceCollector::TakeRuns() {
+  CollectorState& state = State();
+  std::vector<RunTrace> runs;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    runs = std::move(state.runs);
+    state.runs.clear();
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const RunTrace& a, const RunTrace& b) {
+              if (a.label != b.label) return a.label < b.label;
+              return a.seq < b.seq;
+            });
+  return runs;
+}
+
+std::vector<WallSpan> TraceCollector::TakeWallSpans() {
+  CollectorState& state = State();
+  std::vector<WallSpan> spans;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    spans = std::move(state.wall_spans);
+    state.wall_spans.clear();
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const WallSpan& a, const WallSpan& b) {
+              if (a.start_ms != b.start_ms) return a.start_ms < b.start_ms;
+              return a.name < b.name;
+            });
+  return spans;
+}
+
+void TraceCollector::Clear() {
+  CollectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.runs.clear();
+  state.wall_spans.clear();
+  state.next_seq = 0;
+}
+
+std::string ChromeTraceJson(const std::vector<RunTrace>& runs,
+                            const std::vector<WallSpan>& wall_spans) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  // pid 0: the runner's wall-clock timeline. Greedy lane assignment —
+  // each span takes the lowest lane free at its start, so overlapping
+  // jobs render on separate rows.
+  if (!wall_spans.empty()) {
+    AppendMeta(&out, "process_name", 0, 0, "runner (wall clock)", &first);
+    std::vector<double> lane_busy_until;
+    std::vector<int> lanes(wall_spans.size(), 0);
+    for (size_t i = 0; i < wall_spans.size(); ++i) {
+      const WallSpan& span = wall_spans[i];
+      size_t lane = 0;
+      while (lane < lane_busy_until.size() &&
+             lane_busy_until[lane] > span.start_ms) {
+        ++lane;
+      }
+      if (lane == lane_busy_until.size()) lane_busy_until.push_back(0);
+      lane_busy_until[lane] = span.start_ms + span.dur_ms;
+      lanes[i] = static_cast<int>(lane);
+    }
+    for (size_t lane = 0; lane < lane_busy_until.size(); ++lane) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "lane %zu", lane);
+      AppendMeta(&out, "thread_name", 0, static_cast<int>(lane), name,
+                 &first);
+    }
+    for (size_t i = 0; i < wall_spans.size(); ++i) {
+      const WallSpan& span = wall_spans[i];
+      out += ",\n{\"name\":\"";
+      AppendEscaped(&out, span.name);
+      AppendF(&out, "\",\"cat\":\"runner\",\"ph\":\"X\",\"pid\":0,"
+                    "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+              lanes[i], span.start_ms * 1000.0, span.dur_ms * 1000.0);
+    }
+  }
+
+  int pid = 0;
+  for (const RunTrace& run : runs) {
+    ++pid;
+    if (run.buffer == nullptr) continue;
+    std::string process = run.label.empty() ? "run" : run.label;
+    if (run.buffer->dropped() > 0) {
+      char note[48];
+      std::snprintf(note, sizeof(note), " [dropped %" PRIu64 "]",
+                    run.buffer->dropped());
+      process += note;
+    }
+    AppendMeta(&out, "process_name", pid, 0, process, &first);
+    std::set<uint8_t> tracks;
+    for (const TraceEvent& e : run.buffer->events()) tracks.insert(e.track);
+    for (uint8_t track : tracks) {
+      const char* name = TrackName(track);
+      char disk_name[16];
+      if (name == nullptr) {
+        std::snprintf(disk_name, sizeof(disk_name), "disk %d",
+                      track - kTrackDiskBase);
+        name = disk_name;
+      }
+      AppendMeta(&out, "thread_name", pid, track, name, &first);
+    }
+    for (const TraceEvent& e : run.buffer->events()) {
+      AppendF(&out, ",\n{\"name\":\"%s\",\"cat\":\"%s\",",
+              NameString(e.name), CatName(e.cat));
+      switch (e.phase) {
+        case Phase::kComplete:
+          AppendF(&out, "\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+                        "\"ts\":%.3f,\"dur\":%.3f",
+                  pid, e.track, e.ts_ms * 1000.0, e.dur_ms * 1000.0);
+          break;
+        case Phase::kInstant:
+          AppendF(&out, "\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,"
+                        "\"ts\":%.3f",
+                  pid, e.track, e.ts_ms * 1000.0);
+          break;
+        case Phase::kCounter:
+          AppendF(&out, "\"ph\":\"C\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f",
+                  pid, e.track, e.ts_ms * 1000.0);
+          break;
+      }
+      const char* arg_key =
+          e.phase == Phase::kCounter ? "value" : NameArgKey(e.name);
+      if (arg_key != nullptr) {
+        AppendF(&out, ",\"args\":{\"%s\":%.17g}", arg_key, e.value);
+      }
+      out += '}';
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  TraceCollector& collector = TraceCollector::Global();
+  const std::vector<RunTrace> runs = collector.TakeRuns();
+  const std::vector<WallSpan> wall_spans = collector.TakeWallSpans();
+  const std::string json = ChromeTraceJson(runs, wall_spans);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::fprintf(stderr, "trace: short write to %s\n", path.c_str());
+    return false;
+  }
+  size_t events = 0;
+  uint64_t dropped = 0;
+  for (const RunTrace& run : runs) {
+    if (run.buffer != nullptr) {
+      events += run.buffer->size();
+      dropped += run.buffer->dropped();
+    }
+  }
+  std::fprintf(stderr,
+               "trace: wrote %s (%zu runs, %zu events, %" PRIu64
+               " dropped)\n",
+               path.c_str(), runs.size(), events, dropped);
+  return true;
+}
+
+}  // namespace rofs::obs

@@ -1,0 +1,83 @@
+#ifndef ROFS_OBS_TRACE_WRITER_H_
+#define ROFS_OBS_TRACE_WRITER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace_buffer.h"
+
+namespace rofs::obs {
+
+/// One run's finished trace plus the label it registered under. `seq`
+/// breaks ties between identically-labeled runs (registration order).
+struct RunTrace {
+  std::string label;
+  uint64_t seq = 0;
+  std::unique_ptr<TraceBuffer> buffer;
+};
+
+/// A wall-clock span (runner job) on the export's pid-0 timeline.
+/// `start_ms` is relative to the sweep's start.
+struct WallSpan {
+  std::string name;
+  double start_ms = 0;
+  double dur_ms = 0;
+};
+
+/// Sets the ambient run label for the current thread; traces registered
+/// with the collector while it is alive pick the label up. Worker threads
+/// executing runs set this around each run so parallel sweeps label every
+/// trace correctly without threading a label through the simulation.
+class ScopedRunLabel {
+ public:
+  explicit ScopedRunLabel(std::string label);
+  ~ScopedRunLabel();
+  ScopedRunLabel(const ScopedRunLabel&) = delete;
+  ScopedRunLabel& operator=(const ScopedRunLabel&) = delete;
+
+  /// The current thread's label ("" when none is set).
+  static const std::string& Current();
+
+ private:
+  std::string previous_;
+};
+
+/// Process-wide sink the per-run trace buffers drain into. Thread-safe:
+/// worker threads register finished buffers as runs complete; the driver
+/// takes everything at the end and writes one merged file. Export order
+/// is (label, seq) — deterministic for a fixed sweep regardless of how
+/// many jobs executed it.
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  /// Registers one finished run buffer under the calling thread's ambient
+  /// label.
+  void AddRun(std::unique_ptr<TraceBuffer> buffer);
+  void AddWallSpan(const std::string& name, double start_ms, double dur_ms);
+
+  bool empty() const;
+  /// Drains the collector, returning runs sorted by (label, seq).
+  std::vector<RunTrace> TakeRuns();
+  /// Drains wall-clock spans, sorted by (start, name).
+  std::vector<WallSpan> TakeWallSpans();
+  void Clear();
+};
+
+/// Renders runs + wall spans as a Chrome trace-event JSON document
+/// (loadable in Perfetto / chrome://tracing). Each run becomes its own
+/// process; wall-clock spans share pid 0 with greedy lane assignment so
+/// concurrent jobs land on separate rows.
+std::string ChromeTraceJson(const std::vector<RunTrace>& runs,
+                            const std::vector<WallSpan>& wall_spans);
+
+/// Drains the global collector and writes the merged trace to `path`.
+/// Returns false (with a note on stderr) on I/O failure. Prints a one-line
+/// summary to stderr; stdout is never touched.
+bool WriteChromeTrace(const std::string& path);
+
+}  // namespace rofs::obs
+
+#endif  // ROFS_OBS_TRACE_WRITER_H_

@@ -1,0 +1,19 @@
+#include "obs/tracer.h"
+
+namespace rofs::obs {
+
+SimTracer::SimTracer(TraceBuffer* buffer, const double* now,
+                     Registry* registry)
+    : buffer_(buffer),
+      now_(now),
+      disk_queue_wait_ms_(registry->AddHistogram("disk.queue_wait_ms")),
+      op_latency_ms_(registry->AddHistogram("op.latency_ms")) {}
+
+Session::Session(const Options& options, const double* sim_now)
+    : options_(options),
+      buffer_(options.trace
+                  ? std::make_unique<TraceBuffer>(options.trace_events)
+                  : nullptr),
+      tracer_(buffer_.get(), sim_now, &registry_) {}
+
+}  // namespace rofs::obs

@@ -50,6 +50,11 @@ struct RunResult {
   std::vector<std::string> cells;
   /// Host wall-clock of the final attempt, milliseconds.
   double wall_ms = 0;
+  /// Start of the final attempt on the steady clock's arbitrary epoch,
+  /// milliseconds. Meaningful only relative to other results of the same
+  /// sweep (callers subtract the minimum to get a sweep-relative
+  /// timeline, e.g. for trace exports); 0 for timed-out runs.
+  double wall_start_ms = 0;
   /// Attempts consumed (1 unless retries were configured and needed).
   int attempts = 0;
   size_t index = 0;

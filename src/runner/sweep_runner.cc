@@ -42,6 +42,9 @@ RunResult ExecuteSpec(const RunSpec& spec, size_t index, int max_attempts) {
     ctx.attempt = attempt;
     result.attempts = attempt;
     const Clock::time_point t0 = Clock::now();
+    result.wall_start_ms =
+        std::chrono::duration<double, std::milli>(t0.time_since_epoch())
+            .count();
     Status status;
     std::vector<std::string> cells;
     try {

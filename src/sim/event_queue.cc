@@ -6,6 +6,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/tracer.h"
+
 namespace rofs::sim {
 
 namespace {
@@ -92,6 +94,11 @@ bool EventQueue::RunNext() {
   const Entry entry = PopRoot();
   now_ = EntryTime(entry);
   ++dispatched_;
+  // Sampled (not per-event) so tracing stays cheap on multi-million-event
+  // runs; the counter still resolves queue buildups thousands long.
+  if (tracer_ != nullptr && (dispatched_ & 1023u) == 0) {
+    tracer_->HeapDepth(now_, heap_.size());
+  }
   // Invoke in place: the chunked slab guarantees the slot's address stays
   // valid even if the callback schedules new events and grows the slab.
   // The slot is recycled only after the invoke, so a schedule from inside

@@ -12,6 +12,10 @@
 
 #include "util/inline_function.h"
 
+namespace rofs::obs {
+class SimTracer;
+}
+
 namespace rofs::sim {
 
 /// Simulation time in milliseconds (the paper expresses all timing
@@ -47,6 +51,10 @@ class EventQueue {
   /// Current simulated time. Advances as events are dispatched.
   TimeMs now() const { return now_; }
 
+  /// Stable pointer to the clock, for observers that outlive individual
+  /// reads (the obs tracer). Valid for the queue's lifetime.
+  const TimeMs* now_ptr() const { return &now_; }
+
   size_t size() const { return heap_.size(); }
   bool empty() const { return heap_.empty(); }
 
@@ -72,6 +80,7 @@ class EventQueue {
     }
     assert(next_seq_ < (uint64_t{1} << kSeqBits) && "event sequence limit");
     heap_.push_back(MakeEntry(when, next_seq_++, slot));
+    if (heap_.size() > max_heap_depth_) max_heap_depth_ = heap_.size();
     SiftUp(heap_.size() - 1);
   }
 
@@ -97,6 +106,13 @@ class EventQueue {
 
   /// Total events dispatched over the queue's lifetime.
   uint64_t dispatched() const { return dispatched_; }
+
+  /// Largest live event population seen so far.
+  size_t max_heap_depth() const { return max_heap_depth_; }
+
+  /// Attaches an observability tracer (null detaches); the queue samples
+  /// its heap depth onto the tracer's counter track every 1024 dispatches.
+  void set_tracer(obs::SimTracer* tracer) { tracer_ = tracer; }
 
  private:
   /// Heap entry: time, sequence number, and callback slot packed into one
@@ -179,7 +195,9 @@ class EventQueue {
   TimeMs now_ = 0.0;
   uint64_t next_seq_ = 0;
   uint64_t dispatched_ = 0;
+  size_t max_heap_depth_ = 0;
   bool stopped_ = false;
+  obs::SimTracer* tracer_ = nullptr;
 };
 
 /// Process-wide total of events dispatched by EventQueue instances that

@@ -45,7 +45,32 @@ TEST(OpTraceTest, RingDropsOldest) {
   // is preserved.
   const size_t first_row = csv.find('\n') + 1;
   EXPECT_EQ(csv.substr(first_row, 6), "2.000,");
-  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);  // header + 3.
+  // header + 3 rows + the eviction footer.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  EXPECT_NE(csv.find("# dropped=2\n"), std::string::npos);
+  // records() hands back the surviving window chronologically even
+  // though the ring wrapped mid-buffer.
+  const auto& records = trace.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].issued, 2.0);
+  EXPECT_EQ(records[1].issued, 3.0);
+  EXPECT_EQ(records[2].issued, 4.0);
+  // Recording resumes cleanly after the rotation: the oldest (issued=2)
+  // is the next to be overwritten.
+  trace.Record(MakeRecord(5, 6, 0, workload::OpKind::kRead, 5));
+  const auto& after = trace.records();
+  EXPECT_EQ(after[0].issued, 3.0);
+  EXPECT_EQ(after[2].issued, 5.0);
+}
+
+TEST(OpTraceTest, NoFooterWithoutEviction) {
+  OpTrace trace(10);
+  trace.Record(MakeRecord(1, 2, 0, workload::OpKind::kRead, 8));
+  workload::WorkloadSpec w;
+  workload::FileTypeSpec t;
+  t.name = "t";
+  w.types.push_back(t);
+  EXPECT_EQ(trace.ToCsv(w).find("# dropped"), std::string::npos);
 }
 
 TEST(OpTraceTest, CsvColumns) {

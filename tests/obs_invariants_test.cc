@@ -1,0 +1,192 @@
+// Cross-layer observability invariants: the metric snapshots must agree
+// with the simulation's own accounting, and must be identical however
+// many runner threads executed the sweep.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc/restricted_buddy.h"
+#include "exp/experiment.h"
+#include "obs/trace_writer.h"
+#include "runner/sweep_runner.h"
+#include "util/units.h"
+
+namespace rofs::exp {
+namespace {
+
+// The same scaled-down system exp_experiment_test uses: a fig6-style
+// comparison cell (time-sharing-like mix over a striped array) that
+// finishes in milliseconds.
+disk::DiskSystemConfig TinyDisk() {
+  disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(2);
+  for (auto& g : cfg.disks) g.cylinders = 200;
+  return cfg;
+}
+
+workload::WorkloadSpec TinyWorkload() {
+  workload::WorkloadSpec w;
+  w.name = "tiny";
+  workload::FileTypeSpec small;
+  small.name = "small";
+  small.num_files = 400;
+  small.num_users = 6;
+  small.process_time_ms = 20;
+  small.hit_frequency_ms = 20;
+  small.rw_bytes_mean = KiB(8);
+  small.extend_bytes_mean = KiB(8);
+  small.truncate_bytes = KiB(8);
+  small.initial_bytes_mean = KiB(64);
+  small.initial_bytes_dev = KiB(16);
+  small.read_ratio = 0.55;
+  small.write_ratio = 0.15;
+  small.extend_ratio = 0.20;
+  small.delete_ratio = 0.5;
+  w.types.push_back(small);
+  return w;
+}
+
+ExperimentConfig FastObsConfig() {
+  ExperimentConfig cfg;
+  cfg.sample_interval_ms = 2'000;
+  cfg.warmup_ms = 2'000;
+  cfg.min_measure_ms = 6'000;
+  cfg.max_measure_ms = 30'000;
+  cfg.seq_min_measure_ms = 6'000;
+  cfg.seq_max_measure_ms = 60'000;
+  cfg.stable_tolerance_pp = 1.0;
+  cfg.obs.metrics = true;
+  return cfg;
+}
+
+Experiment::AllocatorFactory RestrictedBuddyFactory() {
+  return [](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
+    alloc::RestrictedBuddyConfig cfg;
+    cfg.block_sizes_du = {1, 8, 64, 1024};
+    return std::make_unique<alloc::RestrictedBuddyAllocator>(total_du, cfg);
+  };
+}
+
+std::map<std::string, double> AsMap(
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  return {metrics.begin(), metrics.end()};
+}
+
+double At(const std::map<std::string, double>& m, const std::string& key) {
+  auto it = m.find(key);
+  EXPECT_NE(it, m.end()) << "missing obs metric " << key;
+  return it == m.end() ? 0.0 : it->second;
+}
+
+TEST(ObsInvariantsTest, DiskPhaseBreakdownSumsToServiceTime) {
+  Experiment e(TinyWorkload(), RestrictedBuddyFactory(), TinyDisk(),
+               FastObsConfig());
+  auto result = e.RunApplicationTest();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->obs_metrics.empty());
+  const auto m = AsMap(result->obs_metrics);
+  const double seek = At(m, "disk.seek_ms");
+  const double rotation = At(m, "disk.rotation_ms");
+  const double transfer = At(m, "disk.transfer_ms");
+  const double busy = At(m, "disk.busy_ms");
+  ASSERT_GT(busy, 0.0);
+  // The per-phase decomposition mirrors every term the service-time
+  // accumulation adds, so the parts must reassemble the whole to
+  // floating-point rounding.
+  EXPECT_NEAR(seek + rotation + transfer, busy, 1e-6 * busy);
+  EXPECT_GT(transfer, 0.0);
+}
+
+TEST(ObsInvariantsTest, CacheHitsPlusMissesEqualsRequests) {
+  ExperimentConfig cfg = FastObsConfig();
+  cfg.fs_options.cache_bytes = MiB(2);
+  cfg.fs_options.model_metadata_io = true;
+  Experiment e(TinyWorkload(), RestrictedBuddyFactory(), TinyDisk(), cfg);
+  auto result = e.RunApplicationTest();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto m = AsMap(result->obs_metrics);
+  const double hits = At(m, "cache.hits");
+  const double misses = At(m, "cache.misses");
+  const double requests = At(m, "cache.requests");
+  ASSERT_GT(requests, 0.0);
+  // Exact: every probe is classified as exactly one of hit or miss.
+  EXPECT_EQ(hits + misses, requests);
+}
+
+TEST(ObsInvariantsTest, SnapshotsIdenticalForAnyJobCount) {
+  // The same cells (distinct seeds) through the sweep runner at jobs=1
+  // and jobs=8 must yield byte-identical metric snapshots: every value
+  // derives from simulated state, never the host clock or thread
+  // schedule.
+  auto run_cells = [](int jobs) {
+    std::vector<std::vector<std::pair<std::string, double>>> out(2);
+    std::vector<runner::RunSpec> specs;
+    for (uint64_t c = 0; c < 2; ++c) {
+      runner::RunSpec spec;
+      spec.label = "cell " + std::to_string(c);
+      spec.base_seed = c + 1;
+      spec.run = [c, &out](const runner::RunContext& ctx)
+          -> StatusOr<std::vector<std::string>> {
+        obs::ScopedRunLabel label("cell " + std::to_string(c) + " r0");
+        ExperimentConfig cfg = FastObsConfig();
+        cfg.seed = ctx.seed;
+        Experiment e(TinyWorkload(), RestrictedBuddyFactory(), TinyDisk(),
+                     cfg);
+        auto result = e.RunAllocationTest();
+        if (!result.ok()) return result.status();
+        out[c] = result->obs_metrics;
+        return std::vector<std::string>{};
+      };
+      specs.push_back(std::move(spec));
+    }
+    runner::SweepOptions options;
+    options.jobs = jobs;
+    runner::SweepRunner sweep_runner(options);
+    for (const runner::RunResult& r : sweep_runner.Run(specs)) {
+      EXPECT_TRUE(r.status.ok()) << r.label << ": " << r.status.ToString();
+    }
+    return out;
+  };
+  const auto serial = run_cells(1);
+  const auto parallel = run_cells(8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t c = 0; c < serial.size(); ++c) {
+    EXPECT_FALSE(serial[c].empty());
+    EXPECT_EQ(serial[c], parallel[c]) << "cell " << c;
+  }
+}
+
+TEST(ObsInvariantsTest, MetricsOffLeavesResultsEmpty) {
+  ExperimentConfig cfg = FastObsConfig();
+  cfg.obs.metrics = false;
+  Experiment e(TinyWorkload(), RestrictedBuddyFactory(), TinyDisk(), cfg);
+  auto result = e.RunAllocationTest();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->obs_metrics.empty());
+}
+
+TEST(ObsInvariantsTest, TracingRegistersOneRunPerExperiment) {
+  obs::TraceCollector::Global().Clear();
+  ExperimentConfig cfg = FastObsConfig();
+  cfg.obs.trace = true;
+  cfg.obs.trace_events = 1 << 14;
+  Experiment e(TinyWorkload(), RestrictedBuddyFactory(), TinyDisk(), cfg);
+  {
+    obs::ScopedRunLabel label("invariant trace r0");
+    auto result = e.RunAllocationTest();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  std::vector<obs::RunTrace> runs = obs::TraceCollector::Global().TakeRuns();
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].label, "invariant trace r0");
+  ASSERT_NE(runs[0].buffer, nullptr);
+  EXPECT_GT(runs[0].buffer->size(), 0u);
+  obs::TraceCollector::Global().Clear();
+}
+
+}  // namespace
+}  // namespace rofs::exp

@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rofs::obs {
+namespace {
+
+TEST(CounterTest, IncAndSet) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Set(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(GaugeTest, SetAddMax) {
+  Gauge g;
+  g.Set(3.5);
+  g.Add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.Max(2.0);  // Smaller: no change.
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.Max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(HistogramTest, EmptyIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, ExactMomentsApproximatePercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.sum(), 500500.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 500.5);
+  // Percentiles are bucket-interpolated, so only order and bounds are
+  // guaranteed; for a uniform 1..1000 sample they should also be in the
+  // right region.
+  const double p50 = h.Percentile(50);
+  const double p95 = h.Percentile(95);
+  const double p99 = h.Percentile(99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 1000.0);
+  EXPECT_GT(p95, 500.0);
+}
+
+TEST(HistogramTest, PercentileClampedToExactExtremes) {
+  Histogram h;
+  h.Record(5.0);
+  h.Record(5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 5.0);
+}
+
+TEST(HistogramTest, TinyAndHugeValuesStayBounded) {
+  Histogram h;
+  h.Record(1e-12);  // Below the smallest bucket boundary.
+  h.Record(1e15);   // Far up the ladder.
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-12);
+  EXPECT_DOUBLE_EQ(h.max(), 1e15);
+  EXPECT_GE(h.Percentile(50), h.min());
+  EXPECT_LE(h.Percentile(50), h.max());
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  Registry reg;
+  Counter* c1 = reg.AddCounter("x");
+  Counter* c2 = reg.AddCounter("x");
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = reg.AddGauge("y");
+  Gauge* g2 = reg.AddGauge("y");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = reg.AddHistogram("z");
+  Histogram* h2 = reg.AddHistogram("z");
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(RegistryTest, SnapshotSortedByNameNotRegistrationOrder) {
+  Registry reg;
+  reg.AddGauge("zebra")->Set(1);
+  reg.AddCounter("apple")->Inc(2);
+  reg.AddGauge("mango")->Set(3);
+  std::vector<std::pair<std::string, double>> snap;
+  reg.Snapshot(&snap);
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "apple");
+  EXPECT_EQ(snap[1].first, "mango");
+  EXPECT_EQ(snap[2].first, "zebra");
+  EXPECT_DOUBLE_EQ(snap[0].second, 2.0);
+}
+
+TEST(RegistryTest, HistogramExpandsToSevenEntries) {
+  Registry reg;
+  Histogram* h = reg.AddHistogram("lat");
+  h->Record(1.0);
+  h->Record(3.0);
+  std::vector<std::pair<std::string, double>> snap;
+  reg.Snapshot(&snap);
+  ASSERT_EQ(snap.size(), 7u);
+  EXPECT_EQ(snap[0].first, "lat.count");
+  EXPECT_EQ(snap[1].first, "lat.max");
+  EXPECT_EQ(snap[2].first, "lat.min");
+  EXPECT_EQ(snap[3].first, "lat.p50");
+  EXPECT_EQ(snap[4].first, "lat.p95");
+  EXPECT_EQ(snap[5].first, "lat.p99");
+  EXPECT_EQ(snap[6].first, "lat.sum");
+  EXPECT_DOUBLE_EQ(snap[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(snap[1].second, 3.0);
+  EXPECT_DOUBLE_EQ(snap[2].second, 1.0);
+  EXPECT_DOUBLE_EQ(snap[6].second, 4.0);
+}
+
+TEST(RegistryTest, SnapshotAppendsDeterministically) {
+  // Two registries built in different orders produce identical snapshots.
+  Registry a;
+  a.AddCounter("c")->Inc(5);
+  a.AddGauge("g")->Set(2.5);
+  Registry b;
+  b.AddGauge("g")->Set(2.5);
+  b.AddCounter("c")->Inc(5);
+  std::vector<std::pair<std::string, double>> sa, sb;
+  a.Snapshot(&sa);
+  b.Snapshot(&sb);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(RegistryDeathTest, KindMismatchDies) {
+  Registry reg;
+  reg.AddCounter("m");
+  EXPECT_DEATH(reg.AddGauge("m"), "registered twice");
+}
+
+}  // namespace
+}  // namespace rofs::obs

@@ -1,0 +1,185 @@
+#include "obs/trace_writer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_buffer.h"
+
+namespace rofs::obs {
+namespace {
+
+TraceEvent Span(Name name, Cat cat, uint8_t track, double ts, double dur,
+                double value = 0) {
+  TraceEvent e;
+  e.ts_ms = ts;
+  e.dur_ms = dur;
+  e.value = value;
+  e.name = name;
+  e.cat = cat;
+  e.phase = Phase::kComplete;
+  e.track = track;
+  return e;
+}
+
+TraceEvent Instant(Name name, Cat cat, uint8_t track, double ts,
+                   double value = 0) {
+  TraceEvent e;
+  e.ts_ms = ts;
+  e.value = value;
+  e.name = name;
+  e.cat = cat;
+  e.phase = Phase::kInstant;
+  e.track = track;
+  return e;
+}
+
+/// The small fixed trace the golden file pins down: one run with one
+/// event of each phase kind across several tracks, plus two overlapping
+/// wall-clock jobs (which must land on separate pid-0 lanes).
+std::vector<RunTrace> GoldenRuns() {
+  auto buffer = std::make_unique<TraceBuffer>(16);
+  buffer->Add(Span(Name::kOpRead, Cat::kOp, kTrackOps, 10.0, 2.5, 8192));
+  buffer->Add(Span(Name::kSeek, Cat::kDisk, kTrackDiskBase + 0, 10.5, 1.0));
+  buffer->Add(
+      Span(Name::kTransfer, Cat::kDisk, kTrackDiskBase + 0, 11.5, 0.75, 4096));
+  buffer->Add(Instant(Name::kCacheMiss, Cat::kCache, kTrackCache, 10.25));
+  buffer->Add(Instant(Name::kAllocBlock, Cat::kAlloc, kTrackAlloc, 10.5, 8));
+  TraceEvent depth;
+  depth.ts_ms = 12.0;
+  depth.value = 3;
+  depth.name = Name::kHeapDepth;
+  depth.cat = Cat::kSim;
+  depth.phase = Phase::kCounter;
+  depth.track = kTrackSim;
+  buffer->Add(depth);
+  std::vector<RunTrace> runs;
+  RunTrace run;
+  run.label = "golden cell r0";
+  run.seq = 0;
+  run.buffer = std::move(buffer);
+  runs.push_back(std::move(run));
+  return runs;
+}
+
+std::vector<WallSpan> GoldenWallSpans() {
+  return {{"golden cell r0", 0.0, 120.0}, {"golden cell r1", 40.0, 100.0}};
+}
+
+TEST(ScopedRunLabelTest, NestsAndRestores) {
+  EXPECT_EQ(ScopedRunLabel::Current(), "");
+  {
+    ScopedRunLabel outer("outer");
+    EXPECT_EQ(ScopedRunLabel::Current(), "outer");
+    {
+      ScopedRunLabel inner("inner");
+      EXPECT_EQ(ScopedRunLabel::Current(), "inner");
+    }
+    EXPECT_EQ(ScopedRunLabel::Current(), "outer");
+  }
+  EXPECT_EQ(ScopedRunLabel::Current(), "");
+}
+
+TEST(TraceCollectorTest, TakeRunsSortsByLabelRegardlessOfAddOrder) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Clear();
+  {
+    ScopedRunLabel label("b cell");
+    collector.AddRun(std::make_unique<TraceBuffer>(4));
+  }
+  {
+    ScopedRunLabel label("a cell");
+    collector.AddRun(std::make_unique<TraceBuffer>(4));
+  }
+  EXPECT_FALSE(collector.empty());
+  std::vector<RunTrace> runs = collector.TakeRuns();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].label, "a cell");
+  EXPECT_EQ(runs[1].label, "b cell");
+  EXPECT_TRUE(collector.empty());
+}
+
+TEST(TraceCollectorTest, WallSpansSortByStart) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Clear();
+  collector.AddWallSpan("late", 50.0, 10.0);
+  collector.AddWallSpan("early", 0.0, 10.0);
+  std::vector<WallSpan> spans = collector.TakeWallSpans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "early");
+  EXPECT_EQ(spans[1].name, "late");
+  collector.Clear();
+}
+
+TEST(ChromeTraceJsonTest, MatchesGolden) {
+  const std::string json = ChromeTraceJson(GoldenRuns(), GoldenWallSpans());
+  const std::string golden_path =
+      std::string(ROFS_SOURCE_DIR) + "/tests/goldens/obs_trace_small.json";
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden: " << golden_path;
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(json, contents.str())
+      << "trace-writer output drifted from the golden; if the change is "
+         "intentional, regenerate tests/goldens/obs_trace_small.json";
+}
+
+TEST(ChromeTraceJsonTest, DeterministicAcrossRenderings) {
+  EXPECT_EQ(ChromeTraceJson(GoldenRuns(), GoldenWallSpans()),
+            ChromeTraceJson(GoldenRuns(), GoldenWallSpans()));
+}
+
+TEST(ChromeTraceJsonTest, StructurallySound) {
+  const std::string json = ChromeTraceJson(GoldenRuns(), GoldenWallSpans());
+  // Chrome trace-event envelope and the four phases in play.
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  // Process metadata for the run and the wall-clock lane.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("golden cell r0"), std::string::npos);
+  // The two overlapping wall spans occupy distinct lanes.
+  EXPECT_NE(json.find("lane 0"), std::string::npos);
+  EXPECT_NE(json.find("lane 1"), std::string::npos);
+  // Categories the CI smoke greps for.
+  EXPECT_NE(json.find("\"cat\":\"op\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"disk\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"alloc\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"sim\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity; the CI smoke runs
+  // a real JSON parser).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(WriteChromeTraceTest, DrainsCollectorToFile) {
+  TraceCollector& collector = TraceCollector::Global();
+  collector.Clear();
+  {
+    ScopedRunLabel label("write test r0");
+    auto buffer = std::make_unique<TraceBuffer>(4);
+    buffer->Add(Span(Name::kOpWrite, Cat::kOp, kTrackOps, 1.0, 2.0, 512));
+    collector.AddRun(std::move(buffer));
+  }
+  const std::string path = ::testing::TempDir() + "/rofs_obs_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(path));
+  EXPECT_TRUE(collector.empty());
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("write test r0"), std::string::npos);
+  EXPECT_NE(contents.str().find("\"traceEvents\":["), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rofs::obs

@@ -7,6 +7,9 @@
 #include <new>
 
 #include "fs/buffer_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace_buffer.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 
 // Global operator new/delete replacements that count every heap
@@ -118,6 +121,74 @@ TEST(NoAllocTest, BufferCacheOperationsAllocateNothing) {
   const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
   EXPECT_EQ(after - before, 0u)
       << "buffer cache touch/insert/invalidate must not allocate";
+}
+
+TEST(NoAllocTest, MetricRecordPathsAllocateNothing) {
+  // Registration (setup time) may allocate; the record paths — counter
+  // increments, gauge folds, histogram records — must not.
+  obs::Registry reg;
+  obs::Counter* counter = reg.AddCounter("c");
+  obs::Gauge* gauge = reg.AddGauge("g");
+  obs::Histogram* histogram = reg.AddHistogram("h");
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  double v = 0.125;
+  for (int step = 0; step < 100'000; ++step) {
+    counter->Inc();
+    gauge->Add(v);
+    histogram->Record(v);
+    v = v * 1.0001 + 0.001;
+  }
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "metric record paths must not allocate";
+  EXPECT_EQ(counter->value(), 100'000u);
+  EXPECT_EQ(histogram->count(), 100'000u);
+}
+
+TEST(NoAllocTest, TracerRecordPathAllocatesNothing) {
+  // The tracer's record methods append PODs into the buffer's reserved
+  // storage; once armed and steadily recording (including after the
+  // buffer fills and starts dropping) no path may allocate.
+  obs::Registry reg;
+  obs::TraceBuffer buffer(4096);
+  double now = 0.0;
+  obs::SimTracer tracer(&buffer, &now, &reg);
+  tracer.Arm();
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int step = 0; step < 100'000; ++step) {
+    now += 0.25;
+    tracer.DiskAccess(/*disk=*/static_cast<uint32_t>(step % 8),
+                      /*arrival=*/now - 0.25, /*start=*/now - 0.125,
+                      /*seek_ms=*/0.05, /*rotate_ms=*/0.04,
+                      /*transfer_ms=*/0.03, /*bytes=*/4096);
+    tracer.CacheHit();
+    tracer.CacheMiss();
+    tracer.AllocBlock(8);
+    tracer.FreeBlock(8);
+    tracer.Op(obs::OpEvent::kRead, now - 0.25, now, 8192);
+    tracer.HeapDepth(now, static_cast<size_t>(step % 64));
+  }
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "tracer record paths must not allocate (buffer full => drop)";
+  EXPECT_EQ(buffer.size(), buffer.capacity());
+  EXPECT_GT(buffer.dropped(), 0u);
+}
+
+TEST(NoAllocTest, DisarmedTracerIsFree) {
+  obs::Registry reg;
+  obs::TraceBuffer buffer(64);
+  double now = 0.0;
+  obs::SimTracer tracer(&buffer, &now, &reg);  // Never armed.
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int step = 0; step < 100'000; ++step) {
+    now += 0.25;
+    tracer.DiskAccess(0, now - 0.25, now - 0.125, 0.05, 0.04, 0.03, 4096);
+    tracer.Op(obs::OpEvent::kWrite, now - 0.25, now, 4096);
+  }
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(buffer.size(), 0u);
 }
 
 }  // namespace

@@ -19,6 +19,15 @@
 //   rofs_sim --jsonl out.jsonl             # write one RunRecord per
 //   rofs_sim --csv out.csv                 # replicate (also: ROFS_JSONL
 //                                          # / ROFS_CSV)
+//   rofs_sim --metrics <config.ini>        # add obs.* metric columns to
+//                                          # the artifacts (also:
+//                                          # ROFS_METRICS)
+//   rofs_sim --trace-out t.json            # write a Chrome trace-event
+//                                          # JSON (Perfetto) of the
+//                                          # measured phases (also:
+//                                          # ROFS_TRACE; buffer size:
+//                                          # --trace-events N /
+//                                          # ROFS_TRACE_EVENTS)
 //
 // The enabled tests (allocation; application+sequential) are independent
 // simulations, so --jobs N > 1 runs them concurrently; the printed output
@@ -37,6 +46,8 @@
 #include <vector>
 
 #include "config/sim_config.h"
+#include "obs/options.h"
+#include "obs/trace_writer.h"
 #include "sim/event_queue.h"
 #include "exp/reporting.h"
 #include "exp/run_record.h"
@@ -58,6 +69,11 @@ struct Options {
   int replicates = 0;  // 0: ROFS_REPLICATES, else 1.
   std::string jsonl_path;
   std::string csv_path;
+  /// Observability (see bench/common.h for the same knobs): obs.metrics
+  /// from --metrics / ROFS_METRICS, obs.trace set when trace_out (from
+  /// --trace-out / ROFS_TRACE) is non-empty.
+  obs::Options obs;
+  std::string trace_out;
 };
 
 int Run(const Options& opts) {
@@ -117,10 +133,15 @@ int Run(const Options& opts) {
     spec.label = "allocation test";
     spec.base_seed = cfg->experiment.seed;
     spec.run = [cfg, tracing, &trace, replicates, &records,
-                label = spec.label](const runner::RunContext& ctx)
+                obs = opts.obs, label = spec.label](
+                   const runner::RunContext& ctx)
         -> StatusOr<std::vector<std::string>> {
+      obs::ScopedRunLabel run_label(
+          label + " r" +
+          std::to_string(ctx.index % static_cast<size_t>(replicates)));
       exp::ExperimentConfig ec = cfg->experiment;
       ec.seed = ctx.seed;
+      ec.obs = obs;
       exp::Experiment experiment(cfg->workload, cfg->allocator_factory,
                                  cfg->disk, ec);
       if (tracing && ctx.index % replicates == 0) {
@@ -150,12 +171,16 @@ int Run(const Options& opts) {
     spec.base_seed = cfg->experiment.seed;
     const bool want_stats = opts.stats;
     spec.run = [cfg, tracing, &trace, want_stats, &stats_report,
-                replicates, &records, label = spec.label](
+                replicates, &records, obs = opts.obs, label = spec.label](
                    const runner::RunContext& ctx)
         -> StatusOr<std::vector<std::string>> {
       const bool primary = ctx.index % replicates == 0;
+      obs::ScopedRunLabel run_label(
+          label + " r" +
+          std::to_string(ctx.index % static_cast<size_t>(replicates)));
       exp::ExperimentConfig ec = cfg->experiment;
       ec.seed = ctx.seed;
+      ec.obs = obs;
       exp::Experiment experiment(cfg->workload, cfg->allocator_factory,
                                  cfg->disk, ec);
       if (tracing && primary) {
@@ -259,6 +284,22 @@ int Run(const Options& opts) {
                  records.size(), opts.csv_path.c_str());
   }
 
+  if (opts.obs.trace && !opts.trace_out.empty()) {
+    double first_start = 0;
+    bool have_start = false;
+    for (const runner::RunResult& r : results) {
+      if (!have_start || r.wall_start_ms < first_start) {
+        first_start = r.wall_start_ms;
+        have_start = true;
+      }
+    }
+    for (const runner::RunResult& r : results) {
+      obs::TraceCollector::Global().AddWallSpan(
+          r.label, r.wall_start_ms - first_start, r.wall_ms);
+    }
+    obs::WriteChromeTrace(opts.trace_out);
+  }
+
   if (opts.stats && !stats_report.empty()) {
     std::printf("\nper-type operation statistics (application phase):\n%s",
                 stats_report.c_str());
@@ -288,6 +329,16 @@ int main(int argc, char** argv) {
       opts.stats = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       opts.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      opts.obs.metrics = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      opts.trace_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      opts.trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-events") == 0 && i + 1 < argc) {
+      opts.obs.trace_events = static_cast<size_t>(std::atoll(argv[++i]));
+    } else if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
+      opts.obs.trace_events = static_cast<size_t>(std::atoll(argv[i] + 15));
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       opts.jobs = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
@@ -323,9 +374,28 @@ int main(int argc, char** argv) {
       opts.csv_path = env;
     }
   }
+  if (!opts.obs.metrics) {
+    if (const char* env = std::getenv("ROFS_METRICS");
+        env != nullptr && env[0] != '\0') {
+      opts.obs.metrics = true;
+    }
+  }
+  if (opts.trace_out.empty()) {
+    if (const char* env = std::getenv("ROFS_TRACE");
+        env != nullptr && env[0] != '\0') {
+      opts.trace_out = env;
+    }
+  }
+  if (const char* env = std::getenv("ROFS_TRACE_EVENTS");
+      env != nullptr && env[0] != '\0' &&
+      opts.obs.trace_events == obs::Options{}.trace_events) {
+    opts.obs.trace_events = static_cast<size_t>(std::atoll(env));
+  }
+  opts.obs.trace = !opts.trace_out.empty();
   if (bad || opts.path.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--dump] [--stats] [--trace out.csv] "
+                 "[--metrics] [--trace-out out.json] [--trace-events N] "
                  "[--jobs N] [--replicates N] [--jsonl out.jsonl] "
                  "[--csv out.csv] <config.ini>\n",
                  argv[0]);
