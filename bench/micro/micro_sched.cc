@@ -1,0 +1,71 @@
+// Microbenchmarks of the disk scheduler queues: steady-state
+// Enqueue/PickNext churn at a fixed pending population, per policy.
+// The scheduler sits on the simulator's per-I/O hot path (one
+// Enqueue + one PickNext per disk request), so its per-request cost
+// must stay small against Disk::Access itself (~100ns, see
+// micro_disk's BM_DiskAccess).
+
+#include <benchmark/benchmark.h>
+
+#include "sched/scheduler.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace rofs {
+namespace {
+
+constexpr uint64_t kMaxCylinder = 1599;  // CDC Wren IV.
+
+sched::Request MakeRequest(uint64_t cylinder, uint64_t seq) {
+  sched::Request r;
+  r.offset_bytes = cylinder * KiB(216);
+  r.length_bytes = KiB(8);
+  r.arrival = static_cast<sim::TimeMs>(seq);
+  r.seq = seq;
+  r.cylinder = cylinder;
+  r.handle = static_cast<uint32_t>(seq & 0xff);
+  return r;
+}
+
+/// One Enqueue + one PickNext per iteration with `range(0)` requests
+/// pending, random cylinders — the per-request scheduling overhead at
+/// that queue depth.
+void BM_SchedChurn(benchmark::State& state, const char* policy_text) {
+  auto spec = sched::ParseSchedulerSpec(policy_text);
+  auto scheduler = sched::MakeScheduler(*spec, kMaxCylinder);
+  const uint64_t depth = static_cast<uint64_t>(state.range(0));
+  scheduler->Reserve(depth + 1);
+  Rng rng(7);
+  uint64_t seq = 0;
+  for (; seq < depth; ++seq) {
+    scheduler->Enqueue(MakeRequest(rng.UniformInt(0, kMaxCylinder), seq));
+  }
+  uint64_t head = 0;
+  sched::Request picked;
+  uint64_t effective_seek = 0;
+  bool was_oldest = false;
+  for (auto _ : state) {
+    scheduler->Enqueue(MakeRequest(rng.UniformInt(0, kMaxCylinder), seq++));
+    scheduler->PickNext(head, &picked, &effective_seek, &was_oldest);
+    head = picked.cylinder;
+    benchmark::DoNotOptimize(effective_seek);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_SchedChurn, fcfs, "fcfs")
+    ->Arg(4)->Arg(64)->Unit(benchmark::kNanosecond);
+BENCHMARK_CAPTURE(BM_SchedChurn, sstf, "sstf")
+    ->Arg(4)->Arg(64)->Unit(benchmark::kNanosecond);
+BENCHMARK_CAPTURE(BM_SchedChurn, scan, "scan")
+    ->Arg(4)->Arg(64)->Unit(benchmark::kNanosecond);
+BENCHMARK_CAPTURE(BM_SchedChurn, cscan, "cscan")
+    ->Arg(4)->Arg(64)->Unit(benchmark::kNanosecond);
+BENCHMARK_CAPTURE(BM_SchedChurn, look, "look")
+    ->Arg(4)->Arg(64)->Unit(benchmark::kNanosecond);
+BENCHMARK_CAPTURE(BM_SchedChurn, batch16, "batch(16)")
+    ->Arg(4)->Arg(64)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace rofs
+
+BENCHMARK_MAIN();

@@ -79,6 +79,13 @@ StatusOr<disk::DiskSystemConfig> BuildDisk(const Section* section) {
     return Status::InvalidArgument(
         "[disk] stripe_unit must be a multiple of disk_unit");
   }
+  ROFS_ASSIGN_OR_RETURN(const std::string scheduler,
+                        section->GetStringOr("scheduler", "fcfs"));
+  StatusOr<sched::SchedulerSpec> spec = sched::ParseSchedulerSpec(scheduler);
+  if (!spec.ok()) {
+    return Status::InvalidArgument("[disk] " + spec.status().message());
+  }
+  cfg.scheduler = *spec;
   return cfg;
 }
 

@@ -34,7 +34,7 @@ struct SimConfig {
 /// Sections:
 ///   [disk]      disks, cylinders, platters, track_bytes, rotation_ms,
 ///               seek_ms, seek_incremental_ms, layout, stripe_unit,
-///               disk_unit
+///               disk_unit, scheduler = fcfs|sstf|scan|cscan|look|batch(N)
 ///   [policy]    kind = buddy | restricted-buddy | extent | fixed | log
 ///               (plus kind-specific keys: block_sizes/grow_factor/
 ///               clustered; ranges/fit; block; segment; max_extent)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "obs/tracer.h"
 
@@ -10,6 +11,18 @@ namespace rofs::disk {
 
 Disk::Disk(const DiskGeometry& geometry, RotationModel rotation)
     : geometry_(geometry), rotation_model_(rotation) {}
+
+Disk::~Disk() = default;
+
+void Disk::BindQueue(sim::EventQueue* queue,
+                     const sched::SchedulerSpec& spec) {
+  assert(queue != nullptr);
+  assert(queue_ == nullptr && "BindQueue must be called once");
+  assert(accesses_ == 0 && !has_last_access_ &&
+         "BindQueue must precede traffic");
+  queue_ = queue;
+  scheduler_ = sched::MakeScheduler(spec, geometry_.cylinders - 1);
+}
 
 double Disk::TrackedLatency(sim::TimeMs now, uint64_t offset_bytes) const {
   // The platter rotates continuously: at time t the head is over the
@@ -25,59 +38,65 @@ double Disk::TrackedLatency(sim::TimeMs now, uint64_t offset_bytes) const {
   return wait * rotation;
 }
 
-sim::TimeMs Disk::Access(sim::TimeMs arrival, uint64_t offset_bytes,
-                         uint64_t length_bytes) {
+uint64_t Disk::SeekDistanceNow(uint64_t offset_bytes) const {
+  const uint64_t first_cyl = CylinderOf(offset_bytes);
+  if (has_last_access_ && offset_bytes == last_end_offset_) {
+    // Sequential continuation: at most a track-to-track reposition.
+    return first_cyl != head_cylinder_ ? 1 : 0;
+  }
+  return first_cyl > head_cylinder_ ? first_cyl - head_cylinder_
+                                    : head_cylinder_ - first_cyl;
+}
+
+Disk::ServiceTimes Disk::ComputeService(sim::TimeMs start,
+                                        uint64_t offset_bytes,
+                                        uint64_t length_bytes, bool sequential,
+                                        bool idled,
+                                        uint64_t seek_cylinders) const {
   assert(length_bytes > 0);
   assert(offset_bytes + length_bytes <= geometry_.capacity_bytes());
 
   const uint64_t first_cyl = CylinderOf(offset_bytes);
   const uint64_t last_cyl = CylinderOf(offset_bytes + length_bytes - 1);
 
-  const sim::TimeMs start = std::max(arrival, busy_until_);
-  double service = 0.0;
-  // Phase breakdown of this access. Mirrors the `service` additions
-  // below without reordering them, so the simulated completion time is
-  // bit-identical with or without the breakdown consumers attached.
-  double seek_ms = 0.0;
-  double rotate_ms = 0.0;
-  const bool sequential = has_last_access_ &&
-                          offset_bytes == last_end_offset_;
+  ServiceTimes t;
+  t.last_cylinder = last_cyl;
+  // The additions below must keep their exact order: the simulated
+  // completion time is bit-identical to the seed model only because the
+  // floating-point accumulation sequence is unchanged.
   if (sequential) {
     // Continuing the previous transfer: no positioning cost beyond a
     // track-to-track seek if the previous access ended at a cylinder edge.
-    if (first_cyl != head_cylinder_) {
-      service += geometry_.SeekTime(1);
-      seek_ms += geometry_.SeekTime(1);
-      ++seeks_;
+    if (seek_cylinders != 0) {
+      t.service += geometry_.SeekTime(1);
+      t.seek_ms += geometry_.SeekTime(1);
+      t.seeked = true;
     }
-    if (rotation_model_ == RotationModel::kTracked && start > busy_until_) {
+    if (rotation_model_ == RotationModel::kTracked && idled) {
       // The disk idled since the previous access: the platter kept
       // spinning and we must wait for the sector to come around again.
-      const double latency = TrackedLatency(start + service, offset_bytes);
-      service += latency;
-      rotate_ms += latency;
+      const double latency = TrackedLatency(start + t.service, offset_bytes);
+      t.service += latency;
+      t.rotate_ms += latency;
     }
   } else {
-    const uint64_t distance = first_cyl > head_cylinder_
-                                  ? first_cyl - head_cylinder_
-                                  : head_cylinder_ - first_cyl;
-    if (distance != 0) {
-      service += geometry_.SeekTime(distance);
-      seek_ms += geometry_.SeekTime(distance);
-      ++seeks_;
+    if (seek_cylinders != 0) {
+      t.service += geometry_.SeekTime(seek_cylinders);
+      t.seek_ms += geometry_.SeekTime(seek_cylinders);
+      t.seeked = true;
     }
     if (rotation_model_ == RotationModel::kMeanLatency) {
-      service += geometry_.AvgRotationalLatency();
-      rotate_ms += geometry_.AvgRotationalLatency();
+      t.service += geometry_.AvgRotationalLatency();
+      t.rotate_ms += geometry_.AvgRotationalLatency();
     } else {
-      const double latency = TrackedLatency(start + service, offset_bytes);
-      service += latency;
-      rotate_ms += latency;
+      const double latency = TrackedLatency(start + t.service, offset_bytes);
+      t.service += latency;
+      t.rotate_ms += latency;
     }
   }
 
-  const double transfer_ms = geometry_.TransferTime(length_bytes);
-  service += transfer_ms;
+  t.transfer_ms = geometry_.TransferTime(length_bytes);
+  t.service += t.transfer_ms;
   // Track-to-track repositioning at each cylinder boundary inside the run;
   // with tracked rotation the platter also has to realign after each
   // boundary seek.
@@ -88,32 +107,193 @@ sim::TimeMs Disk::Access(sim::TimeMs arrival, uint64_t offset_bytes,
             : geometry_.SeekTime(1) +
                   (geometry_.rotation_ms -
                    std::fmod(geometry_.SeekTime(1), geometry_.rotation_ms));
-    service += static_cast<double>(last_cyl - first_cyl) * boundary_cost;
+    t.service += static_cast<double>(last_cyl - first_cyl) * boundary_cost;
     const double crossings = static_cast<double>(last_cyl - first_cyl);
-    seek_ms += crossings * geometry_.SeekTime(1);
-    rotate_ms += crossings * (boundary_cost - geometry_.SeekTime(1));
+    t.seek_ms += crossings * geometry_.SeekTime(1);
+    t.rotate_ms += crossings * (boundary_cost - geometry_.SeekTime(1));
   }
+  return t;
+}
 
-  const sim::TimeMs completion = start + service;
-
-  busy_until_ = completion;
-  head_cylinder_ = last_cyl;
+void Disk::CommitAccess(sim::TimeMs arrival, sim::TimeMs start,
+                        uint64_t offset_bytes, uint64_t length_bytes,
+                        const ServiceTimes& t) {
+  busy_until_ = start + t.service;
+  head_cylinder_ = t.last_cylinder;
   last_end_offset_ = offset_bytes + length_bytes;
   has_last_access_ = true;
 
   bytes_transferred_ += length_bytes;
   ++accesses_;
-  busy_time_ms_ += service;
-  seek_time_ms_ += seek_ms;
-  rotation_time_ms_ += rotate_ms;
-  transfer_time_ms_ += transfer_ms;
+  if (t.seeked) ++seeks_;
+  busy_time_ms_ += t.service;
+  seek_time_ms_ += t.seek_ms;
+  rotation_time_ms_ += t.rotate_ms;
+  transfer_time_ms_ += t.transfer_ms;
   queue_wait_ms_ += start - arrival;
 
   if (tracer_ != nullptr) {
-    tracer_->DiskAccess(tracer_index_, arrival, start, seek_ms, rotate_ms,
-                        transfer_ms, length_bytes);
+    tracer_->DiskAccess(tracer_index_, arrival, start, t.seek_ms, t.rotate_ms,
+                        t.transfer_ms, length_bytes);
   }
-  return completion;
+}
+
+sim::TimeMs Disk::Access(sim::TimeMs arrival, uint64_t offset_bytes,
+                         uint64_t length_bytes) {
+  // In dispatch mode Access is only reachable through Submit under a
+  // predictable policy; other policies decide service order at the head.
+  assert(!dispatch_mode() || predictable());
+  const sim::TimeMs start = std::max(arrival, busy_until_);
+  const bool sequential = has_last_access_ && offset_bytes == last_end_offset_;
+  const ServiceTimes t =
+      ComputeService(start, offset_bytes, length_bytes, sequential,
+                     /*idled=*/start > busy_until_,
+                     SeekDistanceNow(offset_bytes));
+  CommitAccess(arrival, start, offset_bytes, length_bytes, t);
+  return start + t.service;
+}
+
+uint32_t Disk::AcquirePendingSlot() {
+  if (free_pending_ != kNoSlot) {
+    const uint32_t handle = free_pending_;
+    free_pending_ = pending_[handle].next_free;
+    return handle;
+  }
+  pending_.emplace_back();
+  return static_cast<uint32_t>(pending_.size() - 1);
+}
+
+void Disk::ReleasePendingSlot(uint32_t handle) {
+  pending_[handle].on_done = nullptr;
+  pending_[handle].next_free = free_pending_;
+  free_pending_ = handle;
+}
+
+sim::TimeMs Disk::Submit(sim::TimeMs arrival, uint64_t offset_bytes,
+                         uint64_t length_bytes, CompletionFn on_done) {
+  assert(dispatch_mode() && "Submit requires BindQueue");
+  const uint32_t handle = AcquirePendingSlot();
+  PendingIo& io = pending_[handle];
+  io.on_done = std::move(on_done);
+
+  io.request.offset_bytes = offset_bytes;
+  io.request.length_bytes = length_bytes;
+  io.request.arrival = arrival;
+  io.request.seq = next_request_seq_++;
+  io.request.cylinder = CylinderOf(offset_bytes);
+  io.request.handle = handle;
+
+  if (predictable()) {
+    // FCFS service order is submit order regardless of later arrivals, so
+    // the completion time is computable now with the passive algorithm
+    // (advancing head/busy state eagerly keeps it exact). The request
+    // still flows through the scheduler — Enqueue, then PickNext drains
+    // it synchronously, since under a predictable policy every earlier
+    // request already drained the same way. No service event is needed:
+    // busy_until_ serializes the queueing, and an idle event would shift
+    // RunUntil() clock boundaries away from the seed's. A completion
+    // event is scheduled only when a callback must fire at that instant.
+    io.seek_cylinders = SeekDistanceNow(offset_bytes);
+    io.predicted_done = Access(arrival, offset_bytes, length_bytes);
+    scheduler_->Enqueue(io.request);
+    const size_t depth = scheduler_->queue_depth();
+    sched::Request request;
+    uint64_t effective_seek = 0;
+    bool was_oldest = true;
+    const bool picked = scheduler_->PickNext(head_cylinder_, &request,
+                                             &effective_seek, &was_oldest);
+    assert(picked && request.handle == handle);
+    (void)picked;
+    ++dispatches_;
+    queue_depth_sum_ += depth;
+    if (!was_oldest) ++reorders_;
+    dispatch_seek_cylinders_.Add(static_cast<double>(io.seek_cylinders));
+    if (tracer_ != nullptr) {
+      tracer_->DiskDispatch(tracer_index_, depth, io.seek_cylinders);
+    }
+    const sim::TimeMs done_at = io.predicted_done;
+    if (io.on_done) {
+      queue_->Schedule(done_at, [this, handle] { DeliverPredicted(handle); });
+    } else {
+      ReleasePendingSlot(handle);
+    }
+    return done_at;
+  }
+  // Reordering policies only ever choose among *arrived* requests: a
+  // future arrival (metadata chains submit ahead of time) is admitted by
+  // an event at its arrival instant.
+  if (arrival > queue_->now()) {
+    queue_->Schedule(arrival, [this, handle] { Admit(handle); });
+  } else {
+    Admit(handle);
+  }
+  return arrival;
+}
+
+void Disk::Admit(uint32_t handle) {
+  scheduler_->Enqueue(pending_[handle].request);
+  TryDispatch();
+}
+
+void Disk::TryDispatch() {
+  if (in_service_) return;
+  const size_t depth = scheduler_->queue_depth();
+  sched::Request request;
+  uint64_t effective_seek = 0;
+  bool was_oldest = true;
+  if (!scheduler_->PickNext(head_cylinder_, &request, &effective_seek,
+                            &was_oldest)) {
+    return;
+  }
+  in_service_ = true;
+  ++dispatches_;
+  queue_depth_sum_ += depth;
+  if (!was_oldest) ++reorders_;
+
+  PendingIo& io = pending_[request.handle];
+  const sim::TimeMs now = queue_->now();
+  const sim::TimeMs start = std::max(request.arrival, now);
+  const bool sequential =
+      has_last_access_ && request.offset_bytes == last_end_offset_;
+  // The scheduler's effective distance folds in sweep turnaround; a
+  // sequential continuation stays a track-to-track reposition at most.
+  const uint64_t seek_cylinders =
+      sequential
+          ? (CylinderOf(request.offset_bytes) != head_cylinder_ ? 1 : 0)
+          : effective_seek;
+  io.seek_cylinders = seek_cylinders;
+  const ServiceTimes t =
+      ComputeService(start, request.offset_bytes, request.length_bytes,
+                     sequential, /*idled=*/start > busy_until_,
+                     seek_cylinders);
+  CommitAccess(request.arrival, start, request.offset_bytes,
+               request.length_bytes, t);
+  const sim::TimeMs completion = start + t.service;
+  dispatch_seek_cylinders_.Add(static_cast<double>(seek_cylinders));
+  if (tracer_ != nullptr) {
+    tracer_->DiskDispatch(tracer_index_, depth, io.seek_cylinders);
+  }
+  const uint32_t handle = request.handle;
+  queue_->Schedule(completion, [this, handle, completion] {
+    OnServiceComplete(handle, completion);
+  });
+}
+
+void Disk::DeliverPredicted(uint32_t handle) {
+  CompletionFn done = std::move(pending_[handle].on_done);
+  const sim::TimeMs completion = pending_[handle].predicted_done;
+  ReleasePendingSlot(handle);
+  if (done) done(completion);
+}
+
+void Disk::OnServiceComplete(uint32_t handle, sim::TimeMs completion) {
+  in_service_ = false;
+  CompletionFn done = std::move(pending_[handle].on_done);
+  ReleasePendingSlot(handle);
+  // Start the next service before delivering the completion: the head is
+  // free from `completion` even while upper layers react to it.
+  TryDispatch();
+  if (done) done(completion);
 }
 
 void Disk::ResetStats() {
@@ -125,6 +305,10 @@ void Disk::ResetStats() {
   rotation_time_ms_ = 0.0;
   transfer_time_ms_ = 0.0;
   queue_wait_ms_ = 0.0;
+  dispatches_ = 0;
+  reorders_ = 0;
+  queue_depth_sum_ = 0;
+  dispatch_seek_cylinders_.Reset();
 }
 
 }  // namespace rofs::disk

@@ -2,9 +2,14 @@
 #define ROFS_DISK_DISK_MODEL_H_
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "disk/disk_geometry.h"
+#include "sched/scheduler.h"
 #include "sim/event_queue.h"
+#include "util/histogram.h"
+#include "util/inline_function.h"
 
 namespace rofs::obs {
 class SimTracer;
@@ -25,33 +30,88 @@ enum class RotationModel {
   kTracked,
 };
 
-/// One disk drive modeled as a FCFS server with head-position state.
+/// One disk drive: a timing model plus head-position state, serviced
+/// through a pluggable request scheduler (sched::DiskScheduler).
 ///
 /// Service time for an access at byte `offset` of `length` bytes:
-///  * a seek of ST + d*SI when the target cylinder is d != 0 cylinders away,
+///  * a seek of ST + d*SI when the head travels d != 0 cylinders (d is the
+///    point-to-point distance under FCFS/SSTF/LOOK, and includes sweep
+///    turnaround travel under SCAN/C-SCAN),
 ///  * mean rotational latency (half a rotation) unless the access exactly
 ///    continues the previous one (offset == previous end, same cylinder),
 ///  * media transfer at full rotation speed, plus one single-track seek per
 ///    cylinder boundary crossed inside the transfer (head switches within a
 ///    cylinder are free, rotational position is assumed preserved).
 ///
-/// Rotational position is not tracked sector-by-sector; the policies under
-/// study do no rotational optimization, so mean latency is the right model
-/// (see DESIGN.md).
+/// Rotational position is not tracked sector-by-sector by default; the
+/// paper's policies do no rotational optimization, so mean latency is the
+/// right model (see DESIGN.md).
+///
+/// The drive runs in one of two modes:
+///  * Passive (no BindQueue): Access() computes each request's completion
+///    time at arrival under FCFS queueing (start = max(arrival,
+///    busy_until)). This is the seed's original model.
+///  * Dispatch-driven (after BindQueue): requests enter the scheduler's
+///    pending queue via Submit() and the next request is chosen when the
+///    head frees; completion is delivered through a sim::EventQueue
+///    callback. Under the FCFS policy service order is fully determined at
+///    submit time, so completion times are still computed eagerly with the
+///    passive algorithm — dispatch-driven FCFS reproduces the passive
+///    model exactly (see DESIGN.md §9).
 class Disk {
  public:
+  /// Completion callback for dispatch-driven requests; receives the
+  /// completion time. Sized for a pointer-plus-handle capture.
+  using CompletionFn = util::InlineFunction<void(sim::TimeMs), 24>;
+
   explicit Disk(const DiskGeometry& geometry,
                 RotationModel rotation = RotationModel::kMeanLatency);
+  ~Disk();
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+  Disk(Disk&&) = default;
+  Disk& operator=(Disk&&) = default;
 
   const DiskGeometry& geometry() const { return geometry_; }
 
-  /// Queues an access arriving at `arrival`; returns its completion time.
+  /// Switches the drive to dispatch-driven mode: requests submitted from
+  /// now on flow through a scheduler of the given policy and complete via
+  /// `queue` callbacks. Call once, before any traffic.
+  void BindQueue(sim::EventQueue* queue, const sched::SchedulerSpec& spec);
+
+  bool dispatch_mode() const { return queue_ != nullptr; }
+  /// True when service order is fully determined by arrival order (FCFS,
+  /// or passive mode), making completion times computable at submit.
+  bool predictable() const {
+    return scheduler_ == nullptr || scheduler_->predictable();
+  }
+
+  /// Queues an access arriving at `arrival`; returns its completion time
+  /// under FCFS queueing. Passive mode only — in dispatch mode use
+  /// Submit() (predictable policies route through Access internally).
   /// The caller addresses the disk by byte offset within this drive.
   sim::TimeMs Access(sim::TimeMs arrival, uint64_t offset_bytes,
                      uint64_t length_bytes);
 
+  /// Dispatch mode: submits an access to the scheduler. `on_done` (may be
+  /// empty) fires at the completion time. Returns the predicted
+  /// completion time under a predictable policy, otherwise `arrival`
+  /// (the completion is only known when the scheduler gets there).
+  sim::TimeMs Submit(sim::TimeMs arrival, uint64_t offset_bytes,
+                     uint64_t length_bytes, CompletionFn on_done);
+
   /// Earliest time a new request could begin service.
   sim::TimeMs busy_until() const { return busy_until_; }
+
+  /// Requests pending in the scheduler (excluding the one in service).
+  size_t queue_depth() const {
+    return scheduler_ == nullptr ? 0 : scheduler_->queue_depth();
+  }
+  /// Pending plus in-service requests; the dispatch-mode analogue of
+  /// comparing busy_until() for load balancing.
+  size_t pending_load() const {
+    return queue_depth() + (in_service_ ? 1 : 0);
+  }
 
   /// Statistics.
   uint64_t bytes_transferred() const { return bytes_transferred_; }
@@ -66,8 +126,26 @@ class Disk {
   double seek_time_ms() const { return seek_time_ms_; }
   double rotation_time_ms() const { return rotation_time_ms_; }
   double transfer_time_ms() const { return transfer_time_ms_; }
-  /// Total time requests spent queued behind the busy server.
+  /// Total time requests spent queued behind the busy server (passive
+  /// mode) or in the scheduler's pending queue (dispatch mode).
   double queue_wait_ms() const { return queue_wait_ms_; }
+
+  /// Scheduler statistics (dispatch mode; zero otherwise).
+  uint64_t dispatches() const { return dispatches_; }
+  /// Dispatches that did not pick the oldest pending request.
+  uint64_t reorders() const { return reorders_; }
+  /// Mean pending-queue depth observed at dispatch.
+  double mean_dispatch_queue_depth() const {
+    return dispatches_ == 0
+               ? 0.0
+               : static_cast<double>(queue_depth_sum_) /
+                     static_cast<double>(dispatches_);
+  }
+  /// Distribution of head travel (cylinders, incl. sweep turnaround) per
+  /// dispatch.
+  const Histogram& dispatch_seek_cylinders() const {
+    return dispatch_seek_cylinders_;
+  }
 
   /// Attaches an observability tracer (null detaches). `index` names this
   /// drive's trace track.
@@ -86,6 +164,28 @@ class Disk {
   void ResetStats();
 
  private:
+  /// A submitted-but-incomplete request: scheduler queues hold only PODs
+  /// (sched::Request), so the callback and per-request timing live here,
+  /// addressed by the request handle.
+  struct PendingIo {
+    sched::Request request;              // Kept for deferred admission.
+    sim::TimeMs predicted_done = 0.0;    // Predictable policies only.
+    uint64_t seek_cylinders = 0;         // Head travel, fixed at submit
+                                         // (predictable) or dispatch.
+    CompletionFn on_done;
+    uint32_t next_free = 0;
+  };
+
+  /// Per-access service-time breakdown computed by the shared cost model.
+  struct ServiceTimes {
+    double service = 0.0;
+    double seek_ms = 0.0;
+    double rotate_ms = 0.0;
+    double transfer_ms = 0.0;
+    uint64_t last_cylinder = 0;
+    bool seeked = false;
+  };
+
   uint64_t CylinderOf(uint64_t offset_bytes) const {
     return offset_bytes / geometry_.cylinder_bytes();
   }
@@ -93,6 +193,36 @@ class Disk {
   /// Angular wait (ms) until the sector at in-track byte `offset` passes
   /// under the head, given the current time (kTracked only).
   double TrackedLatency(sim::TimeMs now, uint64_t offset_bytes) const;
+
+  /// The timing model shared by the passive and dispatch paths: service
+  /// time for an access starting at `start` whose head travel is
+  /// `seek_cylinders`. `idled` reports whether the drive sat idle before
+  /// `start` (tracked rotation must re-align after idling).
+  ServiceTimes ComputeService(sim::TimeMs start, uint64_t offset_bytes,
+                              uint64_t length_bytes, bool sequential,
+                              bool idled, uint64_t seek_cylinders) const;
+
+  /// Commits an access: head/busy state, statistics, tracer record.
+  void CommitAccess(sim::TimeMs arrival, sim::TimeMs start,
+                    uint64_t offset_bytes, uint64_t length_bytes,
+                    const ServiceTimes& t);
+
+  /// Head travel the passive FCFS model would charge for an access issued
+  /// against the current head state.
+  uint64_t SeekDistanceNow(uint64_t offset_bytes) const;
+
+  uint32_t AcquirePendingSlot();
+  void ReleasePendingSlot(uint32_t handle);
+
+  /// Starts service on the scheduler's next pick if the head is free.
+  void TryDispatch();
+  void OnServiceComplete(uint32_t handle, sim::TimeMs completion);
+  /// Fires a predictable-mode completion callback at its predicted time.
+  void DeliverPredicted(uint32_t handle);
+  /// Admits the request in pending slot `handle` into the scheduler and
+  /// kicks dispatch (non-predictable policies defer admission of future
+  /// arrivals so the scheduler only ever reorders arrived requests).
+  void Admit(uint32_t handle);
 
   DiskGeometry geometry_;
   RotationModel rotation_model_;
@@ -102,6 +232,16 @@ class Disk {
   uint64_t last_end_offset_ = 0;
   bool has_last_access_ = false;
 
+  // Dispatch-driven mode.
+  sim::EventQueue* queue_ = nullptr;
+  std::unique_ptr<sched::DiskScheduler> scheduler_;
+  std::vector<PendingIo> pending_;
+  uint32_t free_pending_ = kNoSlot;
+  uint64_t next_request_seq_ = 0;
+  bool in_service_ = false;
+
+  static constexpr uint32_t kNoSlot = 0xffffffffu;
+
   uint64_t bytes_transferred_ = 0;
   uint64_t accesses_ = 0;
   uint64_t seeks_ = 0;
@@ -110,6 +250,11 @@ class Disk {
   double rotation_time_ms_ = 0.0;
   double transfer_time_ms_ = 0.0;
   double queue_wait_ms_ = 0.0;
+
+  uint64_t dispatches_ = 0;
+  uint64_t reorders_ = 0;
+  uint64_t queue_depth_sum_ = 0;
+  Histogram dispatch_seek_cylinders_;
 
   obs::SimTracer* tracer_ = nullptr;
   uint32_t tracer_index_ = 0;

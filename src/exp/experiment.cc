@@ -153,8 +153,14 @@ Experiment::Experiment(workload::WorkloadSpec workload,
 StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
     workload::OpMode mode, bool fill) {
   ROFS_RETURN_IF_ERROR(config_.Validate());
+  // The scheduler spec lives in the disk config (it is per-disk-system
+  // state); validate it here where every driver funnels through.
+  ROFS_RETURN_IF_ERROR(disk_config_.scheduler.Validate());
   auto sim = std::make_unique<Sim>();
   sim->disk = std::make_unique<disk::DiskSystem>(disk_config_);
+  // Dispatch-driven disks: every request flows through the configured
+  // per-disk scheduler and completes via an event-queue callback.
+  sim->disk->BindQueue(&sim->queue);
   sim->allocator = factory_(sim->disk->capacity_du());
   sim->fs = std::make_unique<fs::ReadOptimizedFs>(
       sim->allocator.get(), sim->disk.get(), config_.fs_options);
@@ -167,6 +173,9 @@ StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
   // fill and measurement phases clamp utilization at the upper bound M.
   options.upper_bound_util = fill ? config_.fill_upper : 2.0;
   options.seed = config_.seed;
+  // Reordering schedulers cannot report completion times at issue; the
+  // generator must account for operations in completion callbacks.
+  options.async = !sim->disk->predictable();
   sim->gen = std::make_unique<workload::OpGenerator>(
       &workload_, sim->fs.get(), &sim->queue, options);
   if (instrument_) instrument_(sim->gen.get());
@@ -315,6 +324,28 @@ void Experiment::SnapshotObs(
   reg.AddGauge("disk.seeks")->Set(static_cast<double>(seeks));
   reg.AddGauge("disk.accesses")->Set(static_cast<double>(accesses));
   reg.AddGauge("disk.bytes")->Set(static_cast<double>(bytes));
+  uint64_t dispatches = 0, reorders = 0, depth_sum = 0;
+  Histogram seek_cyl;
+  for (uint32_t i = 0; i < sim->disk->num_disks(); ++i) {
+    const disk::Disk& d = sim->disk->disk(i);
+    dispatches += d.dispatches();
+    reorders += d.reorders();
+    depth_sum += static_cast<uint64_t>(d.mean_dispatch_queue_depth() *
+                                           static_cast<double>(d.dispatches()) +
+                                       0.5);
+    seek_cyl.Merge(d.dispatch_seek_cylinders());
+  }
+  reg.AddGauge("disk.sched.dispatches")
+      ->Set(static_cast<double>(dispatches));
+  reg.AddGauge("disk.sched.reorders")->Set(static_cast<double>(reorders));
+  reg.AddGauge("disk.sched.mean_queue_depth")
+      ->Set(dispatches == 0 ? 0.0
+                            : static_cast<double>(depth_sum) /
+                                  static_cast<double>(dispatches));
+  reg.AddGauge("disk.sched.seek_cylinders.mean")
+      ->Set(seek_cyl.count() == 0 ? 0.0 : seek_cyl.Mean());
+  reg.AddGauge("disk.sched.seek_cylinders.p95")
+      ->Set(seek_cyl.count() == 0 ? 0.0 : seek_cyl.Percentile(95));
   if (const fs::BufferCache* cache = sim->fs->cache()) {
     reg.AddGauge("cache.hits")->Set(static_cast<double>(cache->hits()));
     reg.AddGauge("cache.misses")->Set(static_cast<double>(cache->misses()));

@@ -72,12 +72,13 @@ void ReadOptimizedFs::Recreate(FileId id) {
   allocator_->OnCreateFile(&f.alloc);
 }
 
-Status ReadOptimizedFs::Extend(FileId id, uint64_t bytes, sim::TimeMs arrival,
-                               sim::TimeMs* done) {
+Status ReadOptimizedFs::ExtendAlloc(FileId id, uint64_t bytes,
+                                    uint64_t* write_offset,
+                                    uint64_t* write_bytes) {
   File& f = files_[id];
   assert(f.exists);
-  arrival = MetadataRead(f, arrival);
-  *done = arrival;
+  *write_offset = 0;
+  *write_bytes = 0;
   if (bytes == 0) return Status::OK();
   const uint64_t old_logical = f.logical_bytes;
   const uint64_t new_logical = old_logical + bytes;
@@ -87,14 +88,29 @@ Status ReadOptimizedFs::Extend(FileId id, uint64_t bytes, sim::TimeMs arrival,
     status = allocator_->Extend(&f.alloc, need_du - f.alloc.allocated_du);
   }
   // Grow the logical size as far as the (possibly partial) allocation
-  // allows, then write the newly valid bytes.
+  // allows; the caller writes the newly valid bytes.
   const uint64_t grown = std::min<uint64_t>(
       new_logical, f.alloc.allocated_du * du_bytes_);
   if (grown > old_logical) {
     f.logical_bytes = grown;
     total_logical_bytes_ += grown - old_logical;
-    *done = DoIo(id, old_logical, grown - old_logical, arrival,
-                 /*is_write=*/true);
+    *write_offset = old_logical;
+    *write_bytes = grown - old_logical;
+  }
+  return status;
+}
+
+Status ReadOptimizedFs::Extend(FileId id, uint64_t bytes, sim::TimeMs arrival,
+                               sim::TimeMs* done) {
+  File& f = files_[id];
+  assert(f.exists);
+  arrival = MetadataRead(f, arrival);
+  *done = arrival;
+  uint64_t write_offset = 0;
+  uint64_t write_bytes = 0;
+  const Status status = ExtendAlloc(id, bytes, &write_offset, &write_bytes);
+  if (write_bytes > 0) {
+    *done = DoIo(id, write_offset, write_bytes, arrival, /*is_write=*/true);
   }
   return status;
 }
@@ -139,6 +155,122 @@ sim::TimeMs ReadOptimizedFs::DoIo(FileId id, uint64_t offset, uint64_t bytes,
     if (cacheable) cache_->InsertRange(r.start_du, r.n_du);
   }
   return done;
+}
+
+void ReadOptimizedFs::ReadAsync(FileId id, uint64_t offset, uint64_t bytes,
+                                sim::TimeMs arrival, DoneFn on_done) {
+  DoIoAsync(id, offset, bytes, arrival, /*is_write=*/false,
+            std::move(on_done));
+}
+
+void ReadOptimizedFs::WriteAsync(FileId id, uint64_t offset, uint64_t bytes,
+                                 sim::TimeMs arrival, DoneFn on_done) {
+  DoIoAsync(id, offset, bytes, arrival, /*is_write=*/true,
+            std::move(on_done));
+}
+
+uint32_t ReadOptimizedFs::AcquireAsyncSlot() {
+  if (free_async_ != 0xffffffffu) {
+    const uint32_t slot = free_async_;
+    free_async_ = async_ops_[slot].next_free;
+    return slot;
+  }
+  async_ops_.emplace_back();
+  return static_cast<uint32_t>(async_ops_.size() - 1);
+}
+
+void ReadOptimizedFs::ReleaseAsyncSlot(uint32_t slot) {
+  async_ops_[slot].on_done = nullptr;
+  async_ops_[slot].next_free = free_async_;
+  free_async_ = slot;
+}
+
+void ReadOptimizedFs::DoIoAsync(FileId id, uint64_t offset, uint64_t bytes,
+                                sim::TimeMs arrival, bool is_write,
+                                DoneFn on_done) {
+  File& f = files_[id];
+  assert(f.exists);
+  if (offset >= f.logical_bytes) {
+    on_done(arrival);
+    return;
+  }
+  bytes = std::min(bytes, f.logical_bytes - offset);
+  if (bytes == 0 || disk_ == nullptr || !io_enabled_) {
+    on_done(arrival);
+    return;
+  }
+  // Metadata first: the data runs issue when the descriptor read lands.
+  if (options_.model_metadata_io && !f.fd_alloc.extents.empty()) {
+    const uint64_t fd_du = f.fd_alloc.extents.front().start_du;
+    if (cache_ == nullptr || !cache_->Touch(fd_du)) {
+      const uint32_t slot = AcquireAsyncSlot();
+      AsyncOp& op = async_ops_[slot];
+      op.id = id;
+      op.offset = offset;
+      op.bytes = bytes;
+      op.is_write = is_write;
+      op.on_done = std::move(on_done);
+      const uint32_t group = disk_->OpenGroup(
+          arrival, [this, slot, arrival](sim::TimeMs md_done) {
+            if (tracer_ != nullptr) tracer_->MetadataRead(arrival, md_done);
+            FinishDataIo(slot, md_done);
+          });
+      disk_->GroupRead(group, arrival, fd_du, 1);
+      if (cache_ != nullptr) cache_->Insert(fd_du);
+      disk_->CloseGroup(group);
+      return;
+    }
+  }
+  IssueRuns(f, offset, bytes, arrival, is_write, std::move(on_done));
+}
+
+void ReadOptimizedFs::FinishDataIo(uint32_t slot, sim::TimeMs md_done) {
+  AsyncOp& op = async_ops_[slot];
+  const FileId id = op.id;
+  const uint64_t offset = op.offset;
+  uint64_t bytes = op.bytes;
+  const bool is_write = op.is_write;
+  DoneFn on_done = std::move(op.on_done);
+  ReleaseAsyncSlot(slot);
+  File& f = files_[id];
+  // Re-clip: a truncate or delete may have raced the metadata read.
+  if (!f.exists || offset >= f.logical_bytes) {
+    on_done(md_done);
+    return;
+  }
+  bytes = std::min(bytes, f.logical_bytes - offset);
+  IssueRuns(f, offset, bytes, md_done, is_write, std::move(on_done));
+}
+
+void ReadOptimizedFs::IssueRuns(File& f, uint64_t offset, uint64_t bytes,
+                                sim::TimeMs arrival, bool is_write,
+                                DoneFn on_done) {
+  run_scratch_.clear();
+  MapRange(f, offset, bytes, &run_scratch_);
+  const bool cacheable =
+      cache_ != nullptr && bytes <= options_.cache_bypass_bytes;
+  if (cacheable && !is_write) {
+    bool all_resident = true;
+    for (const Run& r : run_scratch_) {
+      if (!cache_->CoversRange(r.start_du, r.n_du)) all_resident = false;
+    }
+    if (all_resident) {
+      on_done(arrival);  // Served from memory.
+      return;
+    }
+  }
+  // As in DoIo, all runs issue at the arrival time and the operation
+  // completes when the slowest run does; the group tracks that.
+  const uint32_t group = disk_->OpenGroup(arrival, std::move(on_done));
+  for (const Run& r : run_scratch_) {
+    if (is_write) {
+      disk_->GroupWrite(group, arrival, r.start_du, r.n_du);
+    } else {
+      disk_->GroupRead(group, arrival, r.start_du, r.n_du);
+    }
+    if (cacheable) cache_->InsertRange(r.start_du, r.n_du);
+  }
+  disk_->CloseGroup(group);
 }
 
 void ReadOptimizedFs::MapRange(const File& f, uint64_t offset, uint64_t bytes,

@@ -66,6 +66,10 @@ struct File {
 /// arrival time.
 class ReadOptimizedFs {
  public:
+  /// Completion callback for the asynchronous operations; receives the
+  /// simulated completion time.
+  using DoneFn = disk::DiskSystem::DoneFn;
+
   ReadOptimizedFs(alloc::Allocator* allocator, disk::DiskSystem* disk,
                   FsOptions options = {});
 
@@ -105,10 +109,27 @@ class ReadOptimizedFs {
 
   /// Reads/writes `bytes` at `offset`, clipped to the logical size.
   /// Returns the completion time (== arrival when nothing to transfer).
+  /// These sync paths require a predictable disk (passive or FCFS).
   sim::TimeMs Read(FileId id, uint64_t offset, uint64_t bytes,
                    sim::TimeMs arrival);
   sim::TimeMs Write(FileId id, uint64_t offset, uint64_t bytes,
                     sim::TimeMs arrival);
+
+  /// Asynchronous read/write: `on_done` fires at the operation's
+  /// completion time (possibly inside this call when no disk I/O is
+  /// needed). Required when the disk runs a reordering scheduler, whose
+  /// completion times are unknowable at submit; also valid under FCFS.
+  void ReadAsync(FileId id, uint64_t offset, uint64_t bytes,
+                 sim::TimeMs arrival, DoneFn on_done);
+  void WriteAsync(FileId id, uint64_t offset, uint64_t bytes,
+                  sim::TimeMs arrival, DoneFn on_done);
+
+  /// The allocation half of Extend(), with no disk I/O: grows the file as
+  /// far as the policy allows and reports the newly valid byte range for
+  /// the caller to write (WriteAsync). Returns the allocator status
+  /// (ResourceExhausted on disk full, possibly with a partial grow).
+  Status ExtendAlloc(FileId id, uint64_t bytes, uint64_t* write_offset,
+                     uint64_t* write_bytes);
 
   /// Removes up to `bytes` from the end of the file, freeing now-unused
   /// blocks per the policy. Returns the logical bytes removed.
@@ -152,6 +173,18 @@ class ReadOptimizedFs {
     uint64_t n_du;
   };
 
+  /// An async operation waiting on its metadata read; pooled so the
+  /// steady-state async path performs no allocation (callbacks capture
+  /// {this, slot}, never the DoneFn itself).
+  struct AsyncOp {
+    FileId id = 0;
+    uint64_t offset = 0;
+    uint64_t bytes = 0;
+    bool is_write = false;
+    DoneFn on_done;
+    uint32_t next_free = 0;
+  };
+
   /// Maps a logical byte range of a file onto merged physically
   /// contiguous disk-unit runs.
   void MapRange(const File& f, uint64_t offset, uint64_t bytes,
@@ -159,6 +192,21 @@ class ReadOptimizedFs {
 
   sim::TimeMs DoIo(FileId id, uint64_t offset, uint64_t bytes,
                    sim::TimeMs arrival, bool is_write);
+
+  /// Async analogue of DoIo. Models at most ONE metadata read per
+  /// operation (the sync Extend path's descriptor re-read inside DoIo is
+  /// a quirk this path deliberately does not copy; see DESIGN.md §9).
+  void DoIoAsync(FileId id, uint64_t offset, uint64_t bytes,
+                 sim::TimeMs arrival, bool is_write, DoneFn on_done);
+  /// Issues the mapped disk runs of a clipped range as one request group.
+  void IssueRuns(File& f, uint64_t offset, uint64_t bytes,
+                 sim::TimeMs arrival, bool is_write, DoneFn on_done);
+  /// Continuation after an async metadata read: re-clips against the
+  /// current logical size (the file may have shrunk since issue) and
+  /// issues the data runs.
+  void FinishDataIo(uint32_t slot, sim::TimeMs md_done);
+  uint32_t AcquireAsyncSlot();
+  void ReleaseAsyncSlot(uint32_t slot);
 
   /// Reads the file descriptor block (metadata modeling); returns the
   /// completion time, == arrival on a cache hit or when not modeled.
@@ -178,6 +226,8 @@ class ReadOptimizedFs {
   std::vector<File> files_;
   uint64_t total_logical_bytes_ = 0;
   mutable std::vector<Run> run_scratch_;
+  std::vector<AsyncOp> async_ops_;
+  uint32_t free_async_ = 0xffffffffu;
   obs::SimTracer* tracer_ = nullptr;
 };
 

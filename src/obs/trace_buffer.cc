@@ -58,6 +58,10 @@ const char* NameString(Name name) {
       return "delete";
     case Name::kHeapDepth:
       return "heap_depth";
+    case Name::kDispatch:
+      return "dispatch";
+    case Name::kSchedQueueDepth:
+      return "sched_queue_depth";
   }
   return "?";
 }
@@ -76,6 +80,8 @@ const char* NameArgKey(Name name) {
       return "du";
     case Name::kCoalesce:
       return "merges";
+    case Name::kDispatch:
+      return "seek_cyl";
     default:
       return nullptr;
   }

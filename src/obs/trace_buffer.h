@@ -47,6 +47,11 @@ enum class Name : uint8_t {
   kOpDelete,
   // Simulation core (counter track).
   kHeapDepth,
+  // Disk scheduler (per-disk tracks): a dispatch decision (instant, head
+  // travel in cylinders as the argument) and the pending-queue depth
+  // observed at dispatch (counter).
+  kDispatch,
+  kSchedQueueDepth,
 };
 
 const char* NameString(Name name);

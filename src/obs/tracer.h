@@ -135,6 +135,26 @@ class SimTracer {
             issued, completed - issued, static_cast<double>(bytes));
   }
 
+  /// One scheduler dispatch decision: the pending-queue depth observed
+  /// when the head freed (counter on the disk's track) and the head
+  /// travel it chose, in cylinders including sweep turnaround (instant).
+  void DiskDispatch(uint32_t disk, size_t queue_depth,
+                    uint64_t seek_cylinders) {
+    if (!armed_ || buffer_ == nullptr) return;
+    const uint8_t track =
+        static_cast<uint8_t>(kTrackDiskBase + (disk & 0x7f));
+    TraceEvent e;
+    e.ts_ms = now();
+    e.value = static_cast<double>(queue_depth);
+    e.name = Name::kSchedQueueDepth;
+    e.cat = Cat::kDisk;
+    e.phase = Phase::kCounter;
+    e.track = track;
+    buffer_->Add(e);
+    AddInstant(Name::kDispatch, Cat::kDisk, track, now(),
+               static_cast<double>(seek_cylinders));
+  }
+
   /// Sampled event-heap depth (counter track).
   void HeapDepth(double t, size_t depth) {
     if (!armed_ || buffer_ == nullptr) return;

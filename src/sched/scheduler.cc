@@ -1,0 +1,418 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace rofs::sched {
+namespace {
+
+/// Grow-to-peak FIFO ring. Capacity is a power of two; Push doubles the
+/// storage only when the live population exceeds every previous peak, so
+/// steady-state Enqueue/Pop churn never allocates.
+class RequestRing {
+ public:
+  RequestRing() { Grow(16); }
+
+  void Reserve(size_t requests) {
+    size_t want = 16;
+    while (want < requests + 1) want <<= 1;
+    if (want > slots_.size()) Grow(want);
+  }
+
+  void Push(const Request& request) {
+    if (size() + 1 >= slots_.size()) Grow(slots_.size() * 2);
+    slots_[tail_] = request;
+    tail_ = (tail_ + 1) & mask_;
+  }
+
+  Request Pop() {
+    assert(!empty());
+    const Request request = slots_[head_];
+    head_ = (head_ + 1) & mask_;
+    return request;
+  }
+
+  const Request& Front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  bool empty() const { return head_ == tail_; }
+  size_t size() const { return (tail_ - head_ + slots_.size()) & mask_; }
+
+ private:
+  void Grow(size_t capacity) {
+    std::vector<Request> next(capacity);
+    size_t n = 0;
+    for (size_t i = head_; i != tail_; i = (i + 1) & mask_) {
+      next[n++] = slots_[i];
+    }
+    slots_ = std::move(next);
+    mask_ = slots_.size() - 1;
+    head_ = 0;
+    tail_ = n;
+  }
+
+  std::vector<Request> slots_;
+  size_t mask_ = 0;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+};
+
+uint64_t CylinderDistance(uint64_t a, uint64_t b) {
+  return a > b ? a - b : b - a;
+}
+
+/// Removes and returns the SSTF pick (nearest cylinder, ties by arrival
+/// sequence) from `pending` via swap-with-back. Shared by the SSTF and
+/// batch policies.
+Request TakeNearest(std::vector<Request>* pending, uint64_t head_cylinder) {
+  assert(!pending->empty());
+  size_t best = 0;
+  uint64_t best_distance =
+      CylinderDistance((*pending)[0].cylinder, head_cylinder);
+  for (size_t i = 1; i < pending->size(); ++i) {
+    const uint64_t distance =
+        CylinderDistance((*pending)[i].cylinder, head_cylinder);
+    if (distance < best_distance ||
+        (distance == best_distance &&
+         (*pending)[i].seq < (*pending)[best].seq)) {
+      best = i;
+      best_distance = distance;
+    }
+  }
+  const Request pick = (*pending)[best];
+  (*pending)[best] = pending->back();
+  pending->pop_back();
+  return pick;
+}
+
+bool IsOldest(const std::vector<Request>& pending, uint64_t seq) {
+  for (const Request& r : pending) {
+    if (r.seq < seq) return false;
+  }
+  return true;
+}
+
+class FcfsScheduler final : public DiskScheduler {
+ public:
+  Policy policy() const override { return Policy::kFcfs; }
+
+  void Enqueue(const Request& request) override { queue_.Push(request); }
+
+  bool PickNext(uint64_t head_cylinder, Request* out,
+                uint64_t* effective_seek_cylinders,
+                bool* was_oldest) override {
+    if (queue_.empty()) return false;
+    *out = queue_.Pop();
+    *effective_seek_cylinders = CylinderDistance(out->cylinder, head_cylinder);
+    *was_oldest = true;
+    return true;
+  }
+
+  size_t queue_depth() const override { return queue_.size(); }
+  void Reserve(size_t requests) override { queue_.Reserve(requests); }
+
+ private:
+  RequestRing queue_;
+};
+
+class SstfScheduler final : public DiskScheduler {
+ public:
+  Policy policy() const override { return Policy::kSstf; }
+
+  void Enqueue(const Request& request) override {
+    pending_.push_back(request);
+  }
+
+  bool PickNext(uint64_t head_cylinder, Request* out,
+                uint64_t* effective_seek_cylinders,
+                bool* was_oldest) override {
+    if (pending_.empty()) return false;
+    *out = TakeNearest(&pending_, head_cylinder);
+    *effective_seek_cylinders = CylinderDistance(out->cylinder, head_cylinder);
+    *was_oldest = IsOldest(pending_, out->seq);
+    return true;
+  }
+
+  size_t queue_depth() const override { return pending_.size(); }
+  void Reserve(size_t requests) override { pending_.reserve(requests); }
+
+ private:
+  std::vector<Request> pending_;
+};
+
+/// SCAN and LOOK share the elevator sweep; they differ only in whether a
+/// reversal travels to the disk edge first (`to_edge_`), which changes the
+/// effective seek distance charged on the turn.
+class SweepScheduler final : public DiskScheduler {
+ public:
+  SweepScheduler(Policy policy, uint64_t max_cylinder)
+      : policy_(policy),
+        to_edge_(policy == Policy::kScan),
+        max_cylinder_(max_cylinder) {}
+
+  Policy policy() const override { return policy_; }
+
+  void Enqueue(const Request& request) override {
+    pending_.push_back(request);
+  }
+
+  bool PickNext(uint64_t head_cylinder, Request* out,
+                uint64_t* effective_seek_cylinders,
+                bool* was_oldest) override {
+    if (pending_.empty()) return false;
+    size_t pick = pending_.size();
+    // Nearest request in the sweep direction (at or past the head), ties
+    // by arrival sequence.
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      const Request& r = pending_[i];
+      const bool in_direction =
+          up_ ? r.cylinder >= head_cylinder : r.cylinder <= head_cylinder;
+      if (!in_direction) continue;
+      if (pick == pending_.size() || Closer(r, pending_[pick], head_cylinder)) {
+        pick = i;
+      }
+    }
+    bool reversed = false;
+    if (pick == pending_.size()) {
+      // Sweep exhausted: reverse and pick the nearest request on the way
+      // back (which is the farthest-along request in the old direction).
+      up_ = !up_;
+      reversed = true;
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        if (pick == pending_.size() ||
+            Closer(pending_[i], pending_[pick], head_cylinder)) {
+          pick = i;
+        }
+      }
+    }
+    *out = pending_[pick];
+    pending_[pick] = pending_.back();
+    pending_.pop_back();
+    const uint64_t direct = CylinderDistance(out->cylinder, head_cylinder);
+    if (reversed && to_edge_) {
+      // SCAN runs to the edge before turning: head -> edge -> target.
+      const uint64_t to_edge = up_
+                                   ? head_cylinder  // Was sweeping down.
+                                   : max_cylinder_ - head_cylinder;
+      *effective_seek_cylinders = to_edge + (up_ ? out->cylinder
+                                                 : max_cylinder_ -
+                                                       out->cylinder);
+    } else {
+      *effective_seek_cylinders = direct;
+    }
+    *was_oldest = IsOldest(pending_, out->seq);
+    return true;
+  }
+
+  size_t queue_depth() const override { return pending_.size(); }
+  void Reserve(size_t requests) override { pending_.reserve(requests); }
+
+ private:
+  bool Closer(const Request& a, const Request& b,
+              uint64_t head_cylinder) const {
+    const uint64_t da = CylinderDistance(a.cylinder, head_cylinder);
+    const uint64_t db = CylinderDistance(b.cylinder, head_cylinder);
+    if (da != db) return da < db;
+    return a.seq < b.seq;
+  }
+
+  const Policy policy_;
+  const bool to_edge_;
+  const uint64_t max_cylinder_;
+  bool up_ = true;
+  std::vector<Request> pending_;
+};
+
+class CscanScheduler final : public DiskScheduler {
+ public:
+  explicit CscanScheduler(uint64_t max_cylinder)
+      : max_cylinder_(max_cylinder) {}
+
+  Policy policy() const override { return Policy::kCscan; }
+
+  void Enqueue(const Request& request) override {
+    pending_.push_back(request);
+  }
+
+  bool PickNext(uint64_t head_cylinder, Request* out,
+                uint64_t* effective_seek_cylinders,
+                bool* was_oldest) override {
+    if (pending_.empty()) return false;
+    // Nearest request at or past the head in the single service
+    // direction; when none remain, wrap to the lowest-cylinder request.
+    size_t pick = pending_.size();
+    for (size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].cylinder < head_cylinder) continue;
+      if (pick == pending_.size() || Before(pending_[i], pending_[pick])) {
+        pick = i;
+      }
+    }
+    bool wrapped = false;
+    if (pick == pending_.size()) {
+      wrapped = true;
+      for (size_t i = 0; i < pending_.size(); ++i) {
+        if (pick == pending_.size() || Before(pending_[i], pending_[pick])) {
+          pick = i;
+        }
+      }
+    }
+    *out = pending_[pick];
+    pending_[pick] = pending_.back();
+    pending_.pop_back();
+    if (wrapped) {
+      // Finish the sweep to the edge, full-stroke return, then seek out
+      // to the target: (max - head) + max + target.
+      *effective_seek_cylinders =
+          (max_cylinder_ - head_cylinder) + max_cylinder_ + out->cylinder;
+    } else {
+      *effective_seek_cylinders = out->cylinder - head_cylinder;
+    }
+    *was_oldest = IsOldest(pending_, out->seq);
+    return true;
+  }
+
+  size_t queue_depth() const override { return pending_.size(); }
+  void Reserve(size_t requests) override { pending_.reserve(requests); }
+
+ private:
+  static bool Before(const Request& a, const Request& b) {
+    if (a.cylinder != b.cylinder) return a.cylinder < b.cylinder;
+    return a.seq < b.seq;
+  }
+
+  const uint64_t max_cylinder_;
+  std::vector<Request> pending_;
+};
+
+class BatchScheduler final : public DiskScheduler {
+ public:
+  explicit BatchScheduler(uint32_t batch_limit) : batch_limit_(batch_limit) {
+    batch_.reserve(batch_limit_);
+  }
+
+  Policy policy() const override { return Policy::kBatch; }
+
+  void Enqueue(const Request& request) override { waiting_.Push(request); }
+
+  bool PickNext(uint64_t head_cylinder, Request* out,
+                uint64_t* effective_seek_cylinders,
+                bool* was_oldest) override {
+    if (batch_.empty()) {
+      // Seal a new batch from the oldest waiters. Later arrivals cannot
+      // join it, so no request waits behind more than one full batch.
+      while (batch_.size() < batch_limit_ && !waiting_.empty()) {
+        batch_.push_back(waiting_.Pop());
+      }
+    }
+    if (batch_.empty()) return false;
+    *out = TakeNearest(&batch_, head_cylinder);
+    *effective_seek_cylinders = CylinderDistance(out->cylinder, head_cylinder);
+    *was_oldest = IsOldest(batch_, out->seq) &&
+                  (waiting_.empty() || out->seq < waiting_.Front().seq);
+    return true;
+  }
+
+  size_t queue_depth() const override {
+    return batch_.size() + waiting_.size();
+  }
+
+  void Reserve(size_t requests) override { waiting_.Reserve(requests); }
+
+ private:
+  const uint32_t batch_limit_;
+  std::vector<Request> batch_;
+  RequestRing waiting_;
+};
+
+}  // namespace
+
+std::string PolicyToString(Policy policy) {
+  switch (policy) {
+    case Policy::kFcfs:
+      return "fcfs";
+    case Policy::kSstf:
+      return "sstf";
+    case Policy::kScan:
+      return "scan";
+    case Policy::kCscan:
+      return "cscan";
+    case Policy::kLook:
+      return "look";
+    case Policy::kBatch:
+      return "batch";
+  }
+  return "unknown";
+}
+
+std::string SchedulerSpec::Label() const {
+  if (policy == Policy::kBatch) {
+    return "batch(" + std::to_string(batch_limit) + ")";
+  }
+  return PolicyToString(policy);
+}
+
+Status SchedulerSpec::Validate() const {
+  if (policy == Policy::kBatch && batch_limit == 0) {
+    return Status::InvalidArgument(
+        "scheduler batch(N) requires a positive batch bound");
+  }
+  return Status::OK();
+}
+
+StatusOr<SchedulerSpec> ParseSchedulerSpec(const std::string& text) {
+  SchedulerSpec spec;
+  if (text == "fcfs") {
+    spec.policy = Policy::kFcfs;
+  } else if (text == "sstf") {
+    spec.policy = Policy::kSstf;
+  } else if (text == "scan") {
+    spec.policy = Policy::kScan;
+  } else if (text == "cscan") {
+    spec.policy = Policy::kCscan;
+  } else if (text == "look") {
+    spec.policy = Policy::kLook;
+  } else if (text.rfind("batch(", 0) == 0 && text.back() == ')') {
+    const std::string digits = text.substr(6, text.size() - 7);
+    if (digits.empty() ||
+        !std::all_of(digits.begin(), digits.end(),
+                     [](unsigned char c) { return std::isdigit(c); })) {
+      return Status::InvalidArgument("bad scheduler batch bound in '" + text +
+                                     "' (want batch(N) with N >= 1)");
+    }
+    spec.policy = Policy::kBatch;
+    spec.batch_limit = static_cast<uint32_t>(std::strtoul(
+        digits.c_str(), nullptr, 10));
+  } else {
+    return Status::InvalidArgument(
+        "unknown scheduler policy '" + text +
+        "' (want fcfs|sstf|scan|cscan|look|batch(N))");
+  }
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  return spec;
+}
+
+std::unique_ptr<DiskScheduler> MakeScheduler(const SchedulerSpec& spec,
+                                             uint64_t max_cylinder) {
+  switch (spec.policy) {
+    case Policy::kFcfs:
+      return std::make_unique<FcfsScheduler>();
+    case Policy::kSstf:
+      return std::make_unique<SstfScheduler>();
+    case Policy::kScan:
+    case Policy::kLook:
+      return std::make_unique<SweepScheduler>(spec.policy, max_cylinder);
+    case Policy::kCscan:
+      return std::make_unique<CscanScheduler>(max_cylinder);
+    case Policy::kBatch:
+      return std::make_unique<BatchScheduler>(spec.batch_limit);
+  }
+  return nullptr;
+}
+
+}  // namespace rofs::sched

@@ -1,0 +1,124 @@
+#ifndef ROFS_SCHED_SCHEDULER_H_
+#define ROFS_SCHED_SCHEDULER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/event_queue.h"
+#include "util/statusor.h"
+
+namespace rofs::sched {
+
+/// Per-disk request scheduling policies. The paper's model is strictly
+/// FCFS; the remaining policies are the classic seek-optimizing
+/// schedulers the paper's contiguity argument implicitly assumes away
+/// (ROADMAP item 2: at high queue depth a scheduler absorbs seeks that
+/// contiguous allocation would otherwise have avoided).
+enum class Policy : uint8_t {
+  /// Service in arrival order. The only policy whose service order is
+  /// fully determined at submit time (see DiskScheduler::predictable()).
+  kFcfs,
+  /// Shortest seek time first: nearest cylinder, ties by arrival.
+  /// Minimizes seeks but can starve far requests under sustained load.
+  kSstf,
+  /// Elevator sweep: service in cylinder order in the current direction,
+  /// travel to the disk edge before reversing.
+  kScan,
+  /// Circular SCAN: one service direction; on exhausting it, a full-
+  /// stroke return seek and the sweep restarts from the lowest request.
+  /// Evens out the response-time bias SCAN gives middle cylinders.
+  kCscan,
+  /// SCAN that reverses at the last pending request instead of the edge.
+  kLook,
+  /// Queue-depth-bounded batching: requests are grouped into FIFO
+  /// batches of at most `batch_limit`, served SSTF within a batch. New
+  /// arrivals never join the current batch, so a request waits at most
+  /// one full batch — SSTF's seek savings with bounded starvation.
+  kBatch,
+};
+
+std::string PolicyToString(Policy policy);
+
+/// Scheduler selection plus its parameters, carried by DiskSystemConfig
+/// and parsed from the `scheduler =` config key.
+struct SchedulerSpec {
+  Policy policy = Policy::kFcfs;
+  /// kBatch only: maximum requests per batch.
+  uint32_t batch_limit = 8;
+
+  /// "fcfs", "sstf", ..., "batch(8)" — the config-file syntax.
+  std::string Label() const;
+  /// Rejects parameter nonsense (a zero batch bound).
+  Status Validate() const;
+  /// True when arrival order fully determines service order, which makes
+  /// completion times computable at submit time (FCFS only).
+  bool predictable() const { return policy == Policy::kFcfs; }
+};
+
+/// Parses the config-file syntax: fcfs | sstf | scan | cscan | look |
+/// batch(N). Unknown policies and malformed parameters are rejected.
+StatusOr<SchedulerSpec> ParseSchedulerSpec(const std::string& text);
+
+/// One pending disk request as the scheduler sees it. A POD: the owning
+/// disk keeps the completion callback and any predicted timing in its own
+/// request pool, addressed by `handle`.
+struct Request {
+  uint64_t offset_bytes = 0;
+  uint64_t length_bytes = 0;
+  sim::TimeMs arrival = 0;
+  /// Admission order; the FIFO tie-breaker every policy falls back to.
+  uint64_t seq = 0;
+  /// First cylinder of the access (computed once by the disk at submit).
+  uint64_t cylinder = 0;
+  /// The owning disk's request-pool slot.
+  uint32_t handle = 0;
+};
+
+/// The pending-queue half of a dispatch-driven disk: the disk Enqueue()s
+/// requests as they arrive and asks PickNext() for the request to service
+/// each time the head frees. Implementations keep their queues in
+/// grow-to-peak storage, so steady-state Enqueue/PickNext churn performs
+/// no heap allocation (verified by perf_noalloc_test).
+class DiskScheduler {
+ public:
+  virtual ~DiskScheduler() = default;
+
+  virtual Policy policy() const = 0;
+
+  /// Admits a request into the pending queue.
+  virtual void Enqueue(const Request& request) = 0;
+
+  /// Removes and returns the next request to service given the current
+  /// head position. Returns false when the queue is empty.
+  ///
+  /// `*effective_seek_cylinders` receives the cylinder distance the head
+  /// travels to reach the request, including sweep turnaround: SCAN
+  /// charges the travel to the disk edge and back on a reversal, C-SCAN
+  /// charges edge travel plus the full-stroke return on a wrap, and the
+  /// point-to-point policies (FCFS/SSTF/LOOK/batch) charge
+  /// |head - target|. `*was_oldest` reports whether the pick had the
+  /// smallest pending sequence number (false counts as a reorder).
+  virtual bool PickNext(uint64_t head_cylinder, Request* out,
+                        uint64_t* effective_seek_cylinders,
+                        bool* was_oldest) = 0;
+
+  /// Pending requests (excluding any in service at the disk).
+  virtual size_t queue_depth() const = 0;
+
+  /// Pre-sizes queue storage so Enqueue never allocates while the
+  /// pending population stays within `requests`.
+  virtual void Reserve(size_t requests) = 0;
+
+  bool predictable() const { return policy() == Policy::kFcfs; }
+};
+
+/// Creates a scheduler. `max_cylinder` (the highest cylinder index of the
+/// owning drive) bounds the SCAN/C-SCAN sweep turnaround distances.
+std::unique_ptr<DiskScheduler> MakeScheduler(const SchedulerSpec& spec,
+                                             uint64_t max_cylinder);
+
+}  // namespace rofs::sched
+
+#endif  // ROFS_SCHED_SCHEDULER_H_

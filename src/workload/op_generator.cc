@@ -123,6 +123,11 @@ void OpGenerator::RunUserEvent(size_t type_index) {
   const sim::TimeMs now = queue_->now();
   const OpKind op = DrawOpForMode(type);
 
+  if (options_.async) {
+    RunUserEventAsync(type_index, id, op, now);
+    return;
+  }
+
   uint64_t bytes_moved = 0;
   const sim::TimeMs done = ExecuteOp(type_index, id, op, now, &bytes_moved);
   ++ops_executed_;
@@ -152,6 +157,119 @@ void OpGenerator::RunUserEvent(size_t type_index) {
   // distributed value with mean equal to process time and an event is
   // scheduled at that newly calculated time."
   const sim::TimeMs next = done + rng_.Exponential(type.process_time_ms);
+  queue_->Schedule(next, [this, type_index] { RunUserEvent(type_index); });
+}
+
+void OpGenerator::RunUserEventAsync(size_t type_index, fs::FileId id,
+                                    OpKind op, sim::TimeMs now) {
+  const FileTypeSpec& type = workload_->types[type_index];
+  const fs::File& f = fs_->file(id);
+
+  // Issue-time half: every RNG draw and synchronous side effect happens
+  // here, in exactly ExecuteOp's order, so sync and async runs issue an
+  // identical operation stream.
+  uint64_t bytes_moved = 0;
+  bool has_io = false;
+  bool is_write = false;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  switch (op) {
+    case OpKind::kRead:
+    case OpKind::kWrite: {
+      if (options_.mode == OpMode::kSequential) {
+        // "Each read or write is to an entire file."
+        size = f.logical_bytes;
+      } else if (f.logical_bytes == 0) {
+        break;  // Nothing to transfer.
+      } else if (type.access == AccessPattern::kRandom) {
+        size = type.DrawRwBytes(rng_);
+        const uint64_t slots = std::max<uint64_t>(1, f.logical_bytes / size);
+        offset = size * rng_.UniformInt(0, slots - 1);
+        offset = std::min(offset, f.logical_bytes - 1);
+      } else {
+        size = type.DrawRwBytes(rng_);
+        offset = f.cursor_bytes >= f.logical_bytes ? 0 : f.cursor_bytes;
+        fs_->mutable_file(id).cursor_bytes = offset + size;
+      }
+      if (size == 0) break;
+      bytes_moved += std::min(size, f.logical_bytes - offset);
+      has_io = true;
+      is_write = op == OpKind::kWrite;
+      break;
+    }
+    case OpKind::kExtend: {
+      if (fs_->SpaceUtilization() > options_.upper_bound_util) {
+        fs_->Truncate(id, type.truncate_bytes);
+        break;
+      }
+      has_io = PrepareExtendAsync(id, type.DrawExtendBytes(rng_), &offset,
+                                  &size, &bytes_moved);
+      is_write = true;
+      break;
+    }
+    case OpKind::kTruncate: {
+      fs_->Truncate(id, type.truncate_bytes);
+      break;
+    }
+    case OpKind::kDelete: {
+      fs_->Delete(id);
+      fs_->Recreate(id);
+      has_io = PrepareExtendAsync(id, type.DrawInitialBytes(rng_), &offset,
+                                  &size, &bytes_moved);
+      is_write = true;
+      break;
+    }
+  }
+  // The think time is drawn at issue (keeping the RNG stream in the sync
+  // path's order) and applied from the eventual completion time.
+  const double think_ms = rng_.Exponential(type.process_time_ms);
+
+  if (!has_io) {
+    OnAsyncOpDone(type_index, op, id, now, bytes_moved, think_ms, now);
+    return;
+  }
+  const uint32_t t32 = static_cast<uint32_t>(type_index);
+  auto finish = [this, t32, op, id, now, bytes_moved,
+                 think_ms](sim::TimeMs done) {
+    OnAsyncOpDone(t32, op, id, now, bytes_moved, think_ms, done);
+  };
+  if (is_write) {
+    fs_->WriteAsync(id, offset, size, now, std::move(finish));
+  } else {
+    fs_->ReadAsync(id, offset, size, now, std::move(finish));
+  }
+}
+
+bool OpGenerator::PrepareExtendAsync(fs::FileId id, uint64_t bytes,
+                                     uint64_t* offset, uint64_t* size,
+                                     uint64_t* bytes_moved) {
+  const Status status = fs_->ExtendAlloc(id, bytes, offset, size);
+  *bytes_moved += *size;  // ExtendAlloc reports the logical growth.
+  if (status.IsResourceExhausted()) {
+    ++disk_full_count_;
+    if (on_disk_full) on_disk_full();
+  }
+  return *size > 0;
+}
+
+void OpGenerator::OnAsyncOpDone(size_t type_index, OpKind op, fs::FileId id,
+                                sim::TimeMs issued, uint64_t bytes_moved,
+                                double think_ms, sim::TimeMs done) {
+  ++ops_executed_;
+  op_latency_ms_.Add(done - issued);
+  OpStats& stats = op_stats_[type_index][static_cast<size_t>(op)];
+  ++stats.count;
+  stats.bytes += bytes_moved;
+  stats.latency_ms.Add(done - issued);
+  if (on_op) {
+    on_op(OpRecord{issued, done, type_index, op, id, bytes_moved});
+  }
+  if (bytes_moved > 0 && on_bytes_moved) {
+    // We are already at the completion instant; credit directly.
+    on_bytes_moved(bytes_moved, done);
+  }
+  const sim::TimeMs next = done + think_ms;
   queue_->Schedule(next, [this, type_index] { RunUserEvent(type_index); });
 }
 

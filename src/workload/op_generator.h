@@ -54,6 +54,13 @@ struct OpGeneratorOptions {
   /// truncates (paper section 2.2, the upper bound M).
   double upper_bound_util = 1.0;
   uint64_t seed = 1;
+  /// Issue operations through the fs async API and account for them in
+  /// completion callbacks. Required when the disk runs a reordering
+  /// scheduler (completion times are unknowable at issue); the default
+  /// sync path is kept for FCFS, where it reproduces the seed simulator
+  /// byte for byte. The async path draws from the RNG in exactly the
+  /// sync path's order at issue time, so the operation streams match.
+  bool async = false;
 };
 
 /// Drives a workload against a file system inside an event queue: creates
@@ -105,11 +112,25 @@ class OpGenerator {
   /// completion time (throughput accounting).
   std::function<void(uint64_t bytes, sim::TimeMs completion)> on_bytes_moved;
 
-  /// Invoked once per executed operation, at issue time (tracing).
+  /// Invoked once per executed operation (tracing): at issue time in sync
+  /// mode, at completion in async mode. The record carries both times.
   std::function<void(const OpRecord&)> on_op;
 
  private:
   void RunUserEvent(size_t type_index);
+
+  /// Async-mode tail of RunUserEvent: performs the op's issue-time draws
+  /// and side effects in exactly ExecuteOp's order, then hands completion
+  /// accounting to OnAsyncOpDone via the fs async API.
+  void RunUserEventAsync(size_t type_index, fs::FileId id, OpKind op,
+                         sim::TimeMs now);
+  /// Allocation half of an async extend; reports the range to write.
+  /// Returns true when there are bytes to write.
+  bool PrepareExtendAsync(fs::FileId id, uint64_t bytes, uint64_t* offset,
+                          uint64_t* size, uint64_t* bytes_moved);
+  void OnAsyncOpDone(size_t type_index, OpKind op, fs::FileId id,
+                     sim::TimeMs issued, uint64_t bytes_moved,
+                     double think_ms, sim::TimeMs done);
 
   /// Executes one operation; returns its completion time and reports moved
   /// bytes through *bytes_moved.

@@ -140,6 +140,59 @@ builtin = TP
   EXPECT_DOUBLE_EQ(sim->experiment.fill_upper, 0.85);
 }
 
+TEST(SimConfigTest, SchedulerDefaultsToFcfs) {
+  auto sim = Build("[workload]\nbuiltin = TS\n");
+  ASSERT_TRUE(sim.ok());
+  EXPECT_EQ(sim->disk.scheduler.policy, sched::Policy::kFcfs);
+  EXPECT_TRUE(sim->disk.scheduler.predictable());
+}
+
+TEST(SimConfigTest, SchedulerKeyParses) {
+  auto sim = Build(R"(
+[disk]
+scheduler = sstf
+[workload]
+builtin = TP
+)");
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  EXPECT_EQ(sim->disk.scheduler.policy, sched::Policy::kSstf);
+
+  auto batch = Build(R"(
+[disk]
+scheduler = batch(4)
+[workload]
+builtin = TP
+)");
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->disk.scheduler.policy, sched::Policy::kBatch);
+  EXPECT_EQ(batch->disk.scheduler.batch_limit, 4u);
+}
+
+TEST(SimConfigTest, UnknownSchedulerRejected) {
+  auto sim = Build(R"(
+[disk]
+scheduler = elevator
+[workload]
+builtin = TP
+)");
+  ASSERT_FALSE(sim.ok());
+  EXPECT_NE(sim.status().message().find("[disk]"), std::string::npos);
+  EXPECT_NE(sim.status().message().find("unknown scheduler policy"),
+            std::string::npos);
+}
+
+TEST(SimConfigTest, ZeroBatchBoundRejected) {
+  auto sim = Build(R"(
+[disk]
+scheduler = batch(0)
+[workload]
+builtin = TP
+)");
+  ASSERT_FALSE(sim.ok());
+  EXPECT_NE(sim.status().message().find("positive batch bound"),
+            std::string::npos);
+}
+
 TEST(SimConfigTest, ShippedConfigsLoad) {
   for (const char* path : {"configs/paper_ts_rbuddy.ini",
                            "configs/custom_smallfiles_lfs.ini"}) {

@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace_buffer.h"
 #include "obs/tracer.h"
+#include "sched/scheduler.h"
 #include "sim/event_queue.h"
 
 // Global operator new/delete replacements that count every heap
@@ -173,6 +174,48 @@ TEST(NoAllocTest, TracerRecordPathAllocatesNothing) {
       << "tracer record paths must not allocate (buffer full => drop)";
   EXPECT_EQ(buffer.size(), buffer.capacity());
   EXPECT_GT(buffer.dropped(), 0u);
+}
+
+TEST(NoAllocTest, SchedulerSteadyStateAllocatesNothing) {
+  // Every policy promises grow-to-peak queue storage: once the pending
+  // population has peaked, Enqueue/PickNext churn must go quiet.
+  for (const char* policy :
+       {"fcfs", "sstf", "scan", "cscan", "look", "batch(8)"}) {
+    auto spec = sched::ParseSchedulerSpec(policy);
+    ASSERT_TRUE(spec.ok()) << policy;
+    auto scheduler = sched::MakeScheduler(*spec, 1599);
+    scheduler->Reserve(64);
+
+    sched::Request request;
+    request.length_bytes = 8192;
+    uint64_t x = 987654321;
+    uint64_t seq = 0;
+    for (int i = 0; i < 48; ++i) {
+      request.seq = seq++;
+      request.cylinder = seq * 31 % 1600;
+      scheduler->Enqueue(request);
+    }
+    uint64_t head = 0;
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int step = 0; step < 100'000; ++step) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      request.seq = seq++;
+      request.cylinder = x % 1600;
+      request.arrival = static_cast<double>(step);
+      scheduler->Enqueue(request);
+      sched::Request out;
+      uint64_t effective_seek = 0;
+      bool was_oldest = true;
+      ASSERT_TRUE(
+          scheduler->PickNext(head, &out, &effective_seek, &was_oldest));
+      head = out.cylinder;
+    }
+    const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << policy << " Enqueue/PickNext churn must not allocate";
+  }
 }
 
 TEST(NoAllocTest, DisarmedTracerIsFree) {

@@ -1,0 +1,378 @@
+#include "sched/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "disk/disk_model.h"
+#include "disk/disk_system.h"
+#include "sim/event_queue.h"
+#include "util/units.h"
+
+namespace rofs::sched {
+namespace {
+
+Request Req(uint64_t cylinder, uint64_t seq) {
+  Request r;
+  r.cylinder = cylinder;
+  r.seq = seq;
+  r.handle = static_cast<uint32_t>(seq);
+  r.offset_bytes = cylinder * kMiB;
+  r.length_bytes = 8 * kKiB;
+  return r;
+}
+
+struct Pick {
+  uint64_t cylinder;
+  uint64_t effective_seek;
+  bool was_oldest;
+};
+
+Pick PickFrom(DiskScheduler* s, uint64_t head) {
+  Request out;
+  uint64_t seek = 0;
+  bool oldest = true;
+  EXPECT_TRUE(s->PickNext(head, &out, &seek, &oldest));
+  return {out.cylinder, seek, oldest};
+}
+
+TEST(SchedulerSpecTest, ParsesEveryPolicy) {
+  const std::pair<const char*, Policy> cases[] = {
+      {"fcfs", Policy::kFcfs},   {"sstf", Policy::kSstf},
+      {"scan", Policy::kScan},   {"cscan", Policy::kCscan},
+      {"look", Policy::kLook},
+  };
+  for (const auto& [text, policy] : cases) {
+    auto spec = ParseSchedulerSpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_EQ(spec->policy, policy);
+    EXPECT_EQ(spec->Label(), text);
+  }
+  auto batch = ParseSchedulerSpec("batch(4)");
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->policy, Policy::kBatch);
+  EXPECT_EQ(batch->batch_limit, 4u);
+  EXPECT_EQ(batch->Label(), "batch(4)");
+}
+
+TEST(SchedulerSpecTest, OnlyFcfsIsPredictable) {
+  for (const char* text : {"sstf", "scan", "cscan", "look", "batch(8)"}) {
+    auto spec = ParseSchedulerSpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_FALSE(spec->predictable()) << text;
+  }
+  EXPECT_TRUE(ParseSchedulerSpec("fcfs")->predictable());
+}
+
+TEST(SchedulerSpecTest, RejectsUnknownPolicy) {
+  auto spec = ParseSchedulerSpec("elevator");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("unknown scheduler policy"),
+            std::string::npos);
+}
+
+TEST(SchedulerSpecTest, RejectsMalformedBatchBound) {
+  for (const char* text : {"batch()", "batch(x)", "batch(-1)", "batch(4"}) {
+    EXPECT_FALSE(ParseSchedulerSpec(text).ok()) << text;
+  }
+}
+
+TEST(SchedulerSpecTest, RejectsZeroBatchBound) {
+  auto spec = ParseSchedulerSpec("batch(0)");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("positive batch bound"),
+            std::string::npos);
+  SchedulerSpec zero;
+  zero.policy = Policy::kBatch;
+  zero.batch_limit = 0;
+  EXPECT_FALSE(zero.Validate().ok());
+}
+
+TEST(FcfsPolicyTest, ServesInArrivalOrderRegardlessOfPosition) {
+  auto s = MakeScheduler({}, 999);
+  s->Enqueue(Req(900, 0));
+  s->Enqueue(Req(10, 1));
+  s->Enqueue(Req(500, 2));
+  EXPECT_EQ(s->queue_depth(), 3u);
+  const Pick a = PickFrom(s.get(), 100);
+  EXPECT_EQ(a.cylinder, 900u);
+  EXPECT_EQ(a.effective_seek, 800u);
+  EXPECT_TRUE(a.was_oldest);
+  EXPECT_EQ(PickFrom(s.get(), 900).cylinder, 10u);
+  EXPECT_EQ(PickFrom(s.get(), 10).cylinder, 500u);
+  EXPECT_EQ(s->queue_depth(), 0u);
+}
+
+TEST(SstfPolicyTest, PicksNearestCylinder) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kSstf;
+  auto s = MakeScheduler(spec, 999);
+  s->Enqueue(Req(10, 0));
+  s->Enqueue(Req(300, 1));
+  s->Enqueue(Req(90, 2));
+  const Pick a = PickFrom(s.get(), 100);
+  EXPECT_EQ(a.cylinder, 90u);
+  EXPECT_EQ(a.effective_seek, 10u);
+  EXPECT_FALSE(a.was_oldest);  // Passed the seq-0 request at cylinder 10.
+  const Pick b = PickFrom(s.get(), 90);
+  EXPECT_EQ(b.cylinder, 10u);
+  EXPECT_TRUE(b.was_oldest);
+  EXPECT_EQ(PickFrom(s.get(), 10).cylinder, 300u);
+}
+
+TEST(SstfPolicyTest, BreaksDistanceTiesByArrival) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kSstf;
+  auto s = MakeScheduler(spec, 999);
+  s->Enqueue(Req(110, 7));
+  s->Enqueue(Req(90, 3));
+  // Both 10 cylinders from the head: the older request wins.
+  EXPECT_EQ(PickFrom(s.get(), 100).cylinder, 90u);
+}
+
+TEST(ScanPolicyTest, SweepsUpThenChargesEdgeTravelOnReversal) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kScan;
+  auto s = MakeScheduler(spec, 999);
+  s->Enqueue(Req(150, 0));
+  s->Enqueue(Req(120, 1));
+  s->Enqueue(Req(50, 2));
+  // Initial direction is up: nearest at-or-above the head first.
+  const Pick a = PickFrom(s.get(), 100);
+  EXPECT_EQ(a.cylinder, 120u);
+  EXPECT_EQ(a.effective_seek, 20u);
+  EXPECT_FALSE(a.was_oldest);
+  EXPECT_EQ(PickFrom(s.get(), 120).cylinder, 150u);
+  // Sweep exhausted above 150: SCAN runs to the edge (999) and back down
+  // to 50, so the turnaround costs (999-150) + (999-50) cylinders.
+  const Pick c = PickFrom(s.get(), 150);
+  EXPECT_EQ(c.cylinder, 50u);
+  EXPECT_EQ(c.effective_seek, (999u - 150u) + (999u - 50u));
+}
+
+TEST(LookPolicyTest, ReversesAtLastRequestWithDirectSeek) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kLook;
+  auto s = MakeScheduler(spec, 999);
+  s->Enqueue(Req(150, 0));
+  s->Enqueue(Req(50, 1));
+  EXPECT_EQ(PickFrom(s.get(), 100).cylinder, 150u);
+  // LOOK turns at the last pending request: no edge travel, the reversal
+  // charges only the direct head-to-target distance.
+  const Pick b = PickFrom(s.get(), 150);
+  EXPECT_EQ(b.cylinder, 50u);
+  EXPECT_EQ(b.effective_seek, 100u);
+}
+
+TEST(CscanPolicyTest, WrapsToLowestCylinderWithFullStrokeCharge) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kCscan;
+  auto s = MakeScheduler(spec, 999);
+  s->Enqueue(Req(600, 0));
+  s->Enqueue(Req(10, 1));
+  s->Enqueue(Req(20, 2));
+  const Pick a = PickFrom(s.get(), 500);
+  EXPECT_EQ(a.cylinder, 600u);
+  EXPECT_EQ(a.effective_seek, 100u);
+  // Nothing at or above 600: finish the sweep to the edge, full-stroke
+  // return, then seek out to cylinder 10.
+  const Pick b = PickFrom(s.get(), 600);
+  EXPECT_EQ(b.cylinder, 10u);
+  EXPECT_EQ(b.effective_seek, (999u - 600u) + 999u + 10u);
+  const Pick c = PickFrom(s.get(), 10);
+  EXPECT_EQ(c.cylinder, 20u);
+  EXPECT_EQ(c.effective_seek, 10u);
+}
+
+TEST(BatchPolicyTest, SealedBatchExcludesLaterArrivals) {
+  SchedulerSpec spec;
+  spec.policy = Policy::kBatch;
+  spec.batch_limit = 2;
+  auto s = MakeScheduler(spec, 999);
+  s->Enqueue(Req(100, 0));
+  s->Enqueue(Req(900, 1));
+  s->Enqueue(Req(110, 2));
+  s->Enqueue(Req(120, 3));
+  EXPECT_EQ(s->queue_depth(), 4u);
+  // First pick seals batch {seq 0, seq 1}; SSTF within it picks 100.
+  EXPECT_EQ(PickFrom(s.get(), 100).cylinder, 100u);
+  // Cylinder 110 and 120 are far closer than 900, but they arrived after
+  // the batch sealed: the far request cannot be starved past its batch.
+  EXPECT_EQ(PickFrom(s.get(), 100).cylinder, 900u);
+  const Pick c = PickFrom(s.get(), 900);
+  EXPECT_EQ(c.cylinder, 120u);
+  EXPECT_FALSE(c.was_oldest);  // Passed seq 2 inside the new batch.
+  EXPECT_EQ(PickFrom(s.get(), 120).cylinder, 110u);
+  EXPECT_EQ(s->queue_depth(), 0u);
+}
+
+// --- FCFS dispatch-vs-passive equivalence -------------------------------
+
+struct Recorded {
+  sim::TimeMs arrival;
+  uint64_t offset;
+  uint64_t length;
+};
+
+std::vector<Recorded> RecordedSequence(const disk::DiskGeometry& g) {
+  const uint64_t cyl = g.cylinder_bytes();
+  return {
+      {0.0, 0, KiB(24)},
+      {1.0, KiB(24), KiB(24)},      // Sequential continuation.
+      {1.5, cyl * 500, KiB(8)},     // Long seek while busy (queued).
+      {2.0, cyl * 10, KiB(64)},     // Backward seek, still queued.
+      {40.0, cyl * 10 + KiB(64), KiB(8)},  // Continuation after idle.
+      {41.0, cyl * 1300, MiB(1)},   // Multi-cylinder transfer.
+      {42.0, cyl * 2, KiB(8)},
+  };
+}
+
+TEST(FcfsEquivalenceTest, DispatchDiskMatchesPassiveBitForBit) {
+  const disk::DiskGeometry g = disk::CdcWrenIV();
+  disk::Disk passive(g);
+  disk::Disk dispatch(g);
+  sim::EventQueue q;
+  dispatch.BindQueue(&q, SchedulerSpec{});  // FCFS.
+
+  std::vector<sim::TimeMs> expected;
+  std::vector<sim::TimeMs> delivered;
+  for (const Recorded& r : RecordedSequence(g)) {
+    const sim::TimeMs p = passive.Access(r.arrival, r.offset, r.length);
+    const sim::TimeMs d = dispatch.Submit(
+        r.arrival, r.offset, r.length,
+        [&delivered](sim::TimeMs done) { delivered.push_back(done); });
+    EXPECT_EQ(p, d);  // Exact: same floating-point bits.
+    expected.push_back(p);
+  }
+  q.Run();
+
+  // FCFS completions are nondecreasing in submit order, so the callbacks
+  // fire in submit order with the predicted times.
+  ASSERT_EQ(delivered.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(delivered[i], expected[i]) << "request " << i;
+  }
+
+  EXPECT_EQ(dispatch.accesses(), passive.accesses());
+  EXPECT_EQ(dispatch.seeks(), passive.seeks());
+  EXPECT_EQ(dispatch.bytes_transferred(), passive.bytes_transferred());
+  EXPECT_EQ(dispatch.busy_time_ms(), passive.busy_time_ms());
+  EXPECT_EQ(dispatch.seek_time_ms(), passive.seek_time_ms());
+  EXPECT_EQ(dispatch.queue_wait_ms(), passive.queue_wait_ms());
+  EXPECT_EQ(dispatch.dispatches(), expected.size());
+  EXPECT_EQ(dispatch.reorders(), 0u);
+}
+
+TEST(FcfsEquivalenceTest, DispatchDiskSystemMatchesPassiveBitForBit) {
+  for (const disk::LayoutKind layout :
+       {disk::LayoutKind::kStriped, disk::LayoutKind::kMirrored,
+        disk::LayoutKind::kRaid5}) {
+    disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(4);
+    cfg.layout = layout;
+    disk::DiskSystem passive(cfg);
+    disk::DiskSystem dispatch(cfg);
+    sim::EventQueue q;
+    dispatch.BindQueue(&q);
+    ASSERT_TRUE(dispatch.predictable());
+
+    // Reads and writes spanning several stripe units, interleaved, with
+    // arrivals that queue behind each other and idle gaps.
+    const uint64_t n = passive.capacity_du();
+    uint64_t pos = 1;
+    for (int i = 0; i < 64; ++i) {
+      pos = (pos * 2654435761u + 11) % (n - 200);
+      const sim::TimeMs arrival = 0.7 * i;
+      const uint64_t len = 1 + (i % 50);
+      if (i % 3 == 0) {
+        EXPECT_EQ(passive.Write(arrival, pos, len),
+                  dispatch.Write(arrival, pos, len))
+            << "write " << i;
+      } else {
+        EXPECT_EQ(passive.Read(arrival, pos, len),
+                  dispatch.Read(arrival, pos, len))
+            << "read " << i;
+      }
+    }
+    q.Run();
+    for (uint32_t d = 0; d < passive.num_disks(); ++d) {
+      EXPECT_EQ(passive.disk(d).accesses(), dispatch.disk(d).accesses());
+      EXPECT_EQ(passive.disk(d).seeks(), dispatch.disk(d).seeks());
+      EXPECT_EQ(passive.disk(d).busy_time_ms(),
+                dispatch.disk(d).busy_time_ms());
+    }
+  }
+}
+
+// --- Starvation regression ----------------------------------------------
+
+// Floods a dispatch-driven disk with near-head requests while one far
+// request waits; returns the far request's position in completion order
+// and the total number of completions.
+std::pair<size_t, size_t> RunStarvationScenario(const std::string& policy) {
+  const disk::DiskGeometry g = disk::CdcWrenIV();
+  sim::EventQueue q;
+  disk::Disk d(g);
+  auto spec = ParseSchedulerSpec(policy);
+  EXPECT_TRUE(spec.ok()) << policy;
+  d.BindQueue(&q, *spec);
+
+  const uint64_t cyl = g.cylinder_bytes();
+  std::vector<int> order;
+  // A near request enters service immediately; the far request arrives
+  // while the head is busy and must compete with the near flood.
+  d.Submit(0.0, 0, KiB(8),
+           [&order](sim::TimeMs) { order.push_back(-1); });
+  d.Submit(0.1, cyl * 1200, KiB(8),
+           [&order](sim::TimeMs) { order.push_back(0); });
+  constexpr int kNear = 64;
+  for (int i = 1; i <= kNear; ++i) {
+    const double arrival = 0.5 * i;
+    const uint64_t offset = static_cast<uint64_t>(i % 4) * KiB(64);
+    q.Schedule(arrival, [&d, &order, offset, arrival, i] {
+      d.Submit(arrival, offset, KiB(8),
+               [&order, i](sim::TimeMs) { order.push_back(i); });
+    });
+  }
+  q.Run();
+  const auto it = std::find(order.begin(), order.end(), 0);
+  EXPECT_NE(it, order.end());
+  return {static_cast<size_t>(it - order.begin()), order.size()};
+}
+
+TEST(StarvationTest, SstfStarvesTheFarRequest) {
+  const auto [far_pos, total] = RunStarvationScenario("sstf");
+  ASSERT_EQ(total, 66u);
+  // Every near request passes it: the far request is served dead last.
+  EXPECT_EQ(far_pos, total - 1);
+}
+
+TEST(StarvationTest, BatchBoundsTheFarRequestsWait) {
+  const auto [far_pos, total] = RunStarvationScenario("batch(4)");
+  ASSERT_EQ(total, 66u);
+  // The far request seals into one of the first batches; later arrivals
+  // cannot join it, so it completes within two batch lengths.
+  EXPECT_LE(far_pos, 8u);
+}
+
+TEST(ReorderCountTest, SstfCountsPassedRequests) {
+  const disk::DiskGeometry g = disk::CdcWrenIV();
+  sim::EventQueue q;
+  disk::Disk d(g);
+  d.BindQueue(&q, *ParseSchedulerSpec("sstf"));
+  const uint64_t cyl = g.cylinder_bytes();
+  // While the first request is in service, a far and then a near request
+  // queue up; SSTF serves the near one first — one reorder.
+  d.Submit(0.0, 0, KiB(8), nullptr);
+  d.Submit(0.1, cyl * 900, KiB(8), nullptr);
+  d.Submit(0.2, cyl * 1, KiB(8), nullptr);
+  q.Run();
+  EXPECT_EQ(d.dispatches(), 3u);
+  EXPECT_EQ(d.reorders(), 1u);
+  EXPECT_GT(d.mean_dispatch_queue_depth(), 0.0);
+  EXPECT_EQ(d.dispatch_seek_cylinders().count(), 3u);
+}
+
+}  // namespace
+}  // namespace rofs::sched
