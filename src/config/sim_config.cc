@@ -283,6 +283,36 @@ Status BuildFs(const Section* section, fs::FsOptions* options) {
   return Status::OK();
 }
 
+Status BuildCache(const Section* section, fs::FsOptions* options) {
+  if (section == nullptr) return Status::OK();
+  ROFS_ASSIGN_OR_RETURN(
+      const std::string policy,
+      section->GetStringOr("policy", options->cache_policy.Label()));
+  StatusOr<fs::CachePolicySpec> spec = fs::ParseCachePolicySpec(policy);
+  if (!spec.ok()) {
+    return Status::InvalidArgument("[cache] " + spec.status().message());
+  }
+  options->cache_policy = *spec;
+  ROFS_ASSIGN_OR_RETURN(
+      const int64_t readahead,
+      section->GetIntOr("readahead_pages",
+                        static_cast<int64_t>(options->readahead_pages)));
+  if (readahead < 0) {
+    return Status::InvalidArgument("[cache] readahead_pages must be >= 0");
+  }
+  options->readahead_pages = static_cast<uint64_t>(readahead);
+  ROFS_ASSIGN_OR_RETURN(
+      const int64_t dirty_max,
+      section->GetIntOr("writeback_dirty_max",
+                        static_cast<int64_t>(options->writeback_dirty_max)));
+  if (dirty_max < 0) {
+    return Status::InvalidArgument(
+        "[cache] writeback_dirty_max must be >= 0");
+  }
+  options->writeback_dirty_max = static_cast<uint64_t>(dirty_max);
+  return Status::OK();
+}
+
 Status BuildTest(const Section* section, exp::ExperimentConfig* cfg,
                  TestSelection* tests) {
   if (section == nullptr) return Status::OK();
@@ -336,6 +366,8 @@ StatusOr<SimConfig> BuildSimConfig(const ConfigFile& file) {
   ROFS_RETURN_IF_ERROR(
       BuildTest(file.Find("test"), &sim.experiment, &sim.tests));
   ROFS_RETURN_IF_ERROR(BuildFs(file.Find("fs"), &sim.experiment.fs_options));
+  ROFS_RETURN_IF_ERROR(
+      BuildCache(file.Find("cache"), &sim.experiment.fs_options));
   return sim;
 }
 

@@ -78,6 +78,22 @@ Status ExperimentConfig::Validate() const {
     return Status::InvalidArgument(
         "obs.trace_events must be positive when tracing is on");
   }
+  if (fs_options.cache_bytes > 0 && fs_options.cache_page_bytes == 0) {
+    return Status::InvalidArgument(
+        "cache_page_bytes must be positive when the cache is enabled");
+  }
+  if (fs_options.readahead_pages > 0 && fs_options.cache_bytes == 0) {
+    return Status::InvalidArgument(
+        "readahead_pages requires the buffer cache ([fs] cache > 0)");
+  }
+  if (fs_options.writeback_dirty_max > 0 && fs_options.cache_bytes == 0) {
+    return Status::InvalidArgument(
+        "writeback_dirty_max requires the buffer cache ([fs] cache > 0)");
+  }
+  {
+    const Status policy = fs_options.cache_policy.Validate();
+    if (!policy.ok()) return policy;
+  }
   return Status::OK();
 }
 
@@ -275,6 +291,11 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
     if (elapsed >= max_measure) break;
   }
 
+  // Write-back mode: flush the buffered dirty pages inside the measured
+  // window so a policy cannot look cheap by deferring its writes past the
+  // end of the measurement. No-op without write-back buffering.
+  sim->gen->FlushWriteBack(sim->queue.now());
+
   PerfResult result;
   result.utilization_of_max = util;
   result.stabilized = tracker->Stabilized();
@@ -354,7 +375,23 @@ void Experiment::SnapshotObs(
     reg.AddGauge("cache.requests")
         ->Set(static_cast<double>(cache->requests()));
     reg.AddGauge("cache.hit_rate")->Set(cache->HitRate());
+    reg.AddGauge("cache.policy")
+        ->Set(static_cast<double>(cache->policy_kind()));
+    reg.AddGauge("cache.prefetch.issued")
+        ->Set(static_cast<double>(cache->prefetch_issued()));
+    reg.AddGauge("cache.prefetch.hits")
+        ->Set(static_cast<double>(cache->prefetch_hits()));
+    reg.AddGauge("cache.writeback.dirty")
+        ->Set(static_cast<double>(cache->dirty_pages()));
+    reg.AddGauge("cache.writeback.flushed")
+        ->Set(static_cast<double>(cache->flushed_pages()));
   }
+  reg.AddGauge("fs.physical_read_du")
+      ->Set(static_cast<double>(sim->fs->physical_read_du()));
+  reg.AddGauge("fs.prefetch_read_du")
+      ->Set(static_cast<double>(sim->fs->prefetch_read_du()));
+  reg.AddGauge("fs.physical_write_du")
+      ->Set(static_cast<double>(sim->fs->physical_write_du()));
   out->clear();
   reg.Snapshot(out);
 }

@@ -16,20 +16,27 @@ uint64_t NextPowerOfTwoAtLeast(uint64_t x) {
 
 }  // namespace
 
-BufferCache::BufferCache(uint64_t capacity_pages, uint64_t page_du)
-    : capacity_pages_(capacity_pages), page_du_(page_du) {
+BufferCache::BufferCache(uint64_t capacity_pages, uint64_t page_du,
+                         CachePolicySpec policy)
+    : capacity_pages_(capacity_pages),
+      page_du_(page_du),
+      policy_(MakeCachePolicy(policy, capacity_pages)) {
   assert(capacity_pages_ > 0 && page_du_ > 0);
   assert(capacity_pages_ < kNil);
   slots_.resize(capacity_pages_);
   // Load factor <= 0.5 keeps linear probe chains short.
   table_.assign(NextPowerOfTwoAtLeast(2 * capacity_pages_), kNil);
   table_mask_ = table_.size() - 1;
+  sweep_scratch_.reserve(capacity_pages_);
   // Chain every slot into the free list.
   for (uint32_t i = 0; i < capacity_pages_; ++i) {
     slots_[i].next = i + 1 < capacity_pages_ ? i + 1 : kNil;
+    slots_[i].flags = 0;
   }
   free_head_ = 0;
 }
+
+BufferCache::~BufferCache() = default;
 
 uint64_t BufferCache::Hash(uint64_t page) {
   // Fibonacci hashing: one multiply spreads the dense, sequential page
@@ -50,27 +57,6 @@ size_t BufferCache::ProbeFor(uint64_t page) const {
 
 uint32_t BufferCache::FindSlot(uint64_t page) const {
   return table_[ProbeFor(page)];
-}
-
-void BufferCache::LinkFront(uint32_t slot) {
-  slots_[slot].prev = kNil;
-  slots_[slot].next = head_;
-  if (head_ != kNil) slots_[head_].prev = slot;
-  head_ = slot;
-  if (tail_ == kNil) tail_ = slot;
-}
-
-void BufferCache::Unlink(uint32_t slot) {
-  const uint32_t prev = slots_[slot].prev;
-  const uint32_t next = slots_[slot].next;
-  if (prev != kNil) slots_[prev].next = next; else head_ = next;
-  if (next != kNil) slots_[next].prev = prev; else tail_ = prev;
-}
-
-void BufferCache::MoveToFront(uint32_t slot) {
-  if (head_ == slot) return;
-  Unlink(slot);
-  LinkFront(slot);
 }
 
 void BufferCache::EraseKey(uint64_t page) {
@@ -97,66 +83,102 @@ void BufferCache::EraseKey(uint64_t page) {
   }
 }
 
+void BufferCache::MarkDirty(uint32_t slot) {
+  if (slots_[slot].flags & kFlagDirty) return;  // Keeps its FIFO position.
+  slots_[slot].flags |= kFlagDirty;
+  slots_[slot].dirty_prev = dirty_tail_;
+  slots_[slot].dirty_next = kNil;
+  if (dirty_tail_ != kNil) {
+    slots_[dirty_tail_].dirty_next = slot;
+  } else {
+    dirty_head_ = slot;
+  }
+  dirty_tail_ = slot;
+  ++dirty_pages_;
+}
+
+void BufferCache::CleanSlot(uint32_t slot) {
+  const uint32_t prev = slots_[slot].dirty_prev;
+  const uint32_t next = slots_[slot].dirty_next;
+  if (prev != kNil) slots_[prev].dirty_next = next; else dirty_head_ = next;
+  if (next != kNil) slots_[next].dirty_prev = prev; else dirty_tail_ = prev;
+  slots_[slot].flags &= static_cast<uint8_t>(~kFlagDirty);
+  --dirty_pages_;
+}
+
 void BufferCache::ReleaseSlot(uint32_t slot) {
-  Unlink(slot);
+  policy_->OnInvalidate(slot, slots_[slot].page);
+  if (slots_[slot].flags & kFlagDirty) CleanSlot(slot);
+  slots_[slot].flags = 0;
   EraseKey(slots_[slot].page);
   slots_[slot].next = free_head_;
   free_head_ = slot;
   --size_;
 }
 
+void BufferCache::EvictOne(uint64_t incoming_page) {
+  // Evict per policy; the victim's slot is reused for the insertion, but
+  // the probe position must be recomputed — the eviction's backward shift
+  // may have moved entries. PickVictim already removed the slot from the
+  // policy's queues.
+  const uint32_t victim = policy_->PickVictim(incoming_page);
+  if (slots_[victim].flags & kFlagDirty) {
+    // Flush before the page disappears: clean the slot first so a
+    // re-entrant call from the flush callback sees consistent state.
+    const uint64_t victim_page = slots_[victim].page;
+    CleanSlot(victim);
+    ++flushed_pages_;
+    if (tracer_ != nullptr) tracer_->CacheFlush(1);
+    if (flush_fn_) flush_fn_(victim_page * page_du_, page_du_);
+  }
+  slots_[victim].flags = 0;
+  EraseKey(slots_[victim].page);
+  slots_[victim].next = free_head_;
+  free_head_ = victim;
+  --size_;
+  ++evictions_;
+  if (tracer_ != nullptr) tracer_->CacheEvict();
+}
+
 bool BufferCache::TouchPage(uint64_t page) {
   const uint32_t slot = FindSlot(page);
   if (slot == kNil) return false;
-  MoveToFront(slot);
+  policy_->OnAccess(slot);
+  NotePrefetchUse(slot);
   return true;
 }
 
-bool BufferCache::Touch(uint64_t du) {
-  ++requests_;
-  if (TouchPage(PageOf(du))) {
-    ++hits_;
-    if (tracer_ != nullptr) tracer_->CacheHit();
-    return true;
-  }
-  ++misses_;
-  if (tracer_ != nullptr) tracer_->CacheMiss();
-  return false;
-}
-
-void BufferCache::InsertPage(uint64_t page) {
+void BufferCache::InsertPage(uint64_t page, bool prefetch) {
   const size_t pos = ProbeFor(page);
   if (table_[pos] != kNil) {
-    MoveToFront(table_[pos]);
+    const uint32_t slot = table_[pos];
+    if (!prefetch) {
+      // Demand install of a resident page is a reference; a speculative
+      // one is not, so prefetch leaves the replacement order untouched.
+      policy_->OnAccess(slot);
+      NotePrefetchUse(slot);
+    }
     return;
   }
-  if (size_ >= capacity_pages_) {
-    // Evict the LRU page; its slot is reused for the insertion, but the
-    // probe position must be recomputed — the eviction's backward shift
-    // may have moved entries.
-    const uint32_t victim = tail_;
-    ReleaseSlot(victim);
-    ++evictions_;
-    if (tracer_ != nullptr) tracer_->CacheEvict();
-  }
+  if (size_ >= capacity_pages_) EvictOne(page);
   const uint32_t slot = free_head_;
   assert(slot != kNil);
   free_head_ = slots_[slot].next;
   slots_[slot].page = page;
-  LinkFront(slot);
+  slots_[slot].flags = prefetch ? kFlagPrefetched : uint8_t{0};
+  if (prefetch) ++prefetch_issued_;
+  policy_->OnInsert(slot, page);
   table_[ProbeFor(page)] = slot;
   ++size_;
 }
 
-void BufferCache::Insert(uint64_t du) { InsertPage(PageOf(du)); }
-
-bool BufferCache::CoversRange(uint64_t start_du, uint64_t n_du) {
+bool BufferCache::Access(uint64_t start_du, uint64_t n_du) {
   assert(n_du > 0);
   const uint64_t first = PageOf(start_du);
   const uint64_t last = PageOf(start_du + n_du - 1);
   // Residency probe first, reordering nothing: a miss must not perturb
-  // the LRU order (the caller re-inserts the whole range, which is what
-  // establishes recency). One hit or one miss per request — per-page
+  // the replacement order (the caller installs the whole range, which is
+  // what establishes recency). One hit or one miss per request — per-page
   // accounting would weight one 32-page request like 32 single-page ones.
   ++requests_;
   for (uint64_t p = first; p <= last; ++p) {
@@ -172,11 +194,64 @@ bool BufferCache::CoversRange(uint64_t start_du, uint64_t n_du) {
   return true;
 }
 
-void BufferCache::InsertRange(uint64_t start_du, uint64_t n_du) {
+void BufferCache::Install(uint64_t start_du, uint64_t n_du) {
   assert(n_du > 0);
   const uint64_t first = PageOf(start_du);
   const uint64_t last = PageOf(start_du + n_du - 1);
-  for (uint64_t p = first; p <= last; ++p) InsertPage(p);
+  for (uint64_t p = first; p <= last; ++p) InsertPage(p, /*prefetch=*/false);
+}
+
+bool BufferCache::IsResident(uint64_t start_du, uint64_t n_du) const {
+  assert(n_du > 0);
+  const uint64_t first = PageOf(start_du);
+  const uint64_t last = PageOf(start_du + n_du - 1);
+  for (uint64_t p = first; p <= last; ++p) {
+    if (FindSlot(p) == kNil) return false;
+  }
+  return true;
+}
+
+void BufferCache::InstallPrefetch(uint64_t start_du, uint64_t n_du) {
+  assert(n_du > 0);
+  const uint64_t first = PageOf(start_du);
+  const uint64_t last = PageOf(start_du + n_du - 1);
+  const uint64_t before = prefetch_issued_;
+  for (uint64_t p = first; p <= last; ++p) InsertPage(p, /*prefetch=*/true);
+  const uint64_t added = prefetch_issued_ - before;
+  if (added > 0 && tracer_ != nullptr) tracer_->CachePrefetch(added);
+}
+
+void BufferCache::InstallDirty(uint64_t start_du, uint64_t n_du) {
+  assert(n_du > 0);
+  const uint64_t first = PageOf(start_du);
+  const uint64_t last = PageOf(start_du + n_du - 1);
+  // Dirty each page right after its install, not after the whole range:
+  // installing a later page can evict an earlier one (range larger than
+  // the cache), and an evicted dirty page flushes — so every written page
+  // either stays buffered or reaches the disk, never silently vanishes.
+  for (uint64_t p = first; p <= last; ++p) {
+    InsertPage(p, /*prefetch=*/false);
+    MarkDirty(FindSlot(p));
+  }
+}
+
+bool BufferCache::PopOldestDirty(uint64_t* start_du, uint64_t* n_du) {
+  if (dirty_head_ == kNil) return false;
+  const uint64_t first_page = slots_[dirty_head_].page;
+  uint64_t pages = 0;
+  // Greedy run coalescing: while the next-oldest dirty page is physically
+  // adjacent, fold it into the same flush so the background write is one
+  // contiguous disk request.
+  while (dirty_head_ != kNil &&
+         slots_[dirty_head_].page == first_page + pages) {
+    CleanSlot(dirty_head_);
+    ++pages;
+  }
+  flushed_pages_ += pages;
+  if (tracer_ != nullptr) tracer_->CacheFlush(pages);
+  *start_du = first_page * page_du_;
+  *n_du = pages * page_du_;
+  return true;
 }
 
 void BufferCache::InvalidateRange(uint64_t start_du, uint64_t n_du) {
@@ -190,25 +265,30 @@ void BufferCache::InvalidateRange(uint64_t start_du, uint64_t n_du) {
     }
     return;
   }
-  // Huge range: sweep the (smaller) cache instead.
-  uint32_t slot = head_;
-  while (slot != kNil) {
-    const uint32_t next = slots_[slot].next;
-    if (slots_[slot].page >= first && slots_[slot].page <= last) {
-      ReleaseSlot(slot);
+  // Huge range: sweep the (smaller) cache instead. Collect first, then
+  // release — ReleaseSlot's backward shift rearranges table_ under an
+  // in-flight scan.
+  sweep_scratch_.clear();
+  for (const uint32_t slot : table_) {
+    if (slot != kNil && slots_[slot].page >= first &&
+        slots_[slot].page <= last) {
+      sweep_scratch_.push_back(slot);
     }
-    slot = next;
   }
+  for (const uint32_t slot : sweep_scratch_) ReleaseSlot(slot);
 }
 
 void BufferCache::Clear() {
   table_.assign(table_.size(), kNil);
   for (uint32_t i = 0; i < capacity_pages_; ++i) {
     slots_[i].next = i + 1 < capacity_pages_ ? i + 1 : kNil;
+    slots_[i].flags = 0;
   }
   free_head_ = 0;
-  head_ = tail_ = kNil;
   size_ = 0;
+  dirty_head_ = dirty_tail_ = kNil;
+  dirty_pages_ = 0;
+  policy_->Clear();
 }
 
 }  // namespace rofs::fs

@@ -3,7 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
+
+#include "fs/cache_policy.h"
 
 namespace rofs::obs {
 class SimTracer;
@@ -11,7 +16,7 @@ class SimTracer;
 
 namespace rofs::fs {
 
-/// An LRU buffer cache over the disk-unit address space, used by the file
+/// The buffer cache over the disk-unit address space, used by the file
 /// system to absorb repeated small reads (and file-descriptor reads when
 /// metadata I/O is modeled). The paper's experiments run cache-less — the
 /// cache is an extension, off by default — but the simulator supports it
@@ -21,46 +26,92 @@ namespace rofs::fs {
 /// Granularity is a fixed page of `page_du` disk units; lookups and
 /// inserts address pages by their page index (address / page_du).
 ///
-/// Layout: instead of std::list nodes plus an std::unordered_map, the
-/// cache is a flat slot vector with intrusive prev/next indices (the LRU
-/// chain) and an open-addressed page->slot index (linear probing with
-/// backward-shift deletion). Every byte is allocated in the constructor;
-/// Touch/Insert/Invalidate never allocate and never chase list nodes
-/// scattered across the heap (see DESIGN.md "Hot-path architecture").
+/// The cache splits into an engine and a policy. This class is the
+/// engine: a flat slot vector with an open-addressed page->slot index
+/// (linear probing with backward-shift deletion), hit/miss accounting,
+/// and the prefetch/dirty page state. Replacement order lives behind the
+/// CachePolicy seam (LRU — the default, byte-identical to the pre-seam
+/// cache — plus CLOCK, 2Q, ARC; see cache_policy.h). Every byte is
+/// allocated in the constructor; Access/Install/Invalidate never allocate
+/// and never chase list nodes scattered across the heap (see DESIGN.md
+/// "Hot-path architecture" and "Cache hierarchy").
 class BufferCache {
  public:
+  /// Called when a dirty page must reach the disk because its slot was
+  /// evicted: (start_du, n_du) of the page. Installed by the owning file
+  /// system when write-back buffering is on.
+  using FlushFn = std::function<void(uint64_t start_du, uint64_t n_du)>;
+
   /// `capacity_pages` > 0; `page_du` > 0.
-  BufferCache(uint64_t capacity_pages, uint64_t page_du);
+  BufferCache(uint64_t capacity_pages, uint64_t page_du,
+              CachePolicySpec policy = {});
+  ~BufferCache();
 
   uint64_t page_du() const { return page_du_; }
   uint64_t capacity_pages() const { return capacity_pages_; }
   uint64_t size_pages() const { return size_; }
 
-  /// True when the page holding disk unit range [du, du+1) is resident;
-  /// touches it (moves to the MRU position).
-  bool Touch(uint64_t du);
-
-  /// True when the page holding `du` is resident, without touching it or
-  /// counting a hit/miss.
-  bool Contains(uint64_t du) const { return FindSlot(PageOf(du)) != kNil; }
-
-  /// Inserts the page holding `du`, evicting the LRU page if full.
-  void Insert(uint64_t du);
+  /// --- The range-first lookup/install API. Hit/miss accounting lives
+  /// here and only here: one request is one hit or one miss, however many
+  /// pages it covers (per-page accounting would weight one 32-page
+  /// request like 32 single-page ones).
 
   /// True when every page covering [start_du, start_du+n_du) is resident.
-  /// n_du > 0. Hit/miss accounting is per request, not per page: the call
-  /// counts exactly one hit (all pages resident) or one miss. On a hit
-  /// every covered page is touched in ascending page order (so the last
-  /// page ends up MRU, matching InsertRange); on a miss the LRU order is
-  /// left completely untouched — the caller inserts the whole range right
-  /// afterwards, which establishes the range's recency.
-  bool CoversRange(uint64_t start_du, uint64_t n_du);
+  /// n_du > 0. On a hit every covered page is referenced in ascending
+  /// page order (so the last page ends up most recent, matching
+  /// Install); on a miss the replacement order is left completely
+  /// untouched — the caller installs the whole range right afterwards,
+  /// which establishes the range's recency.
+  bool Access(uint64_t start_du, uint64_t n_du);
 
-  /// Inserts every page covering the range.
-  void InsertRange(uint64_t start_du, uint64_t n_du);
+  /// Installs every page covering the range, evicting per policy when
+  /// full.
+  void Install(uint64_t start_du, uint64_t n_du);
+
+  /// Single-page forms, thin wrappers over the range calls.
+  bool Touch(uint64_t du) { return Access(du, 1); }
+  void Insert(uint64_t du) { Install(du, 1); }
+
+  /// True when the page holding `du` is resident, without referencing it
+  /// or counting a hit/miss.
+  bool Contains(uint64_t du) const { return FindSlot(PageOf(du)) != kNil; }
+
+  /// Range form of Contains: residency probe with no accounting and no
+  /// reordering (the readahead path uses it to skip already-resident
+  /// runs without perturbing request counts).
+  bool IsResident(uint64_t start_du, uint64_t n_du) const;
+
+  /// --- Readahead support. Prefetched pages are installed without
+  /// counting a request; the first demand reference of such a page is
+  /// attributed as a prefetch hit (page granularity, unlike the
+  /// per-request hit/miss counters).
+
+  /// Installs the range, marking newly inserted pages as prefetched.
+  /// Already-resident pages are left untouched — a speculative read is
+  /// not a reference.
+  void InstallPrefetch(uint64_t start_du, uint64_t n_du);
+
+  /// --- Write-back support. Dirty pages are tracked in a FIFO (first
+  /// dirtied, first flushed); the file system bounds the population by
+  /// draining with PopOldestDirty, and the engine flushes through
+  /// `flush_fn` when replacement evicts a dirty page. Invalidation drops
+  /// dirty pages without flushing — their disk space was freed.
+
+  /// Installs the range and marks every covered page dirty.
+  void InstallDirty(uint64_t start_du, uint64_t n_du);
+
+  /// Pops the oldest dirty run: the first-dirtied page plus any
+  /// physically consecutive pages that follow it in dirty order, cleaned
+  /// but left resident. Returns false when no page is dirty.
+  bool PopOldestDirty(uint64_t* start_du, uint64_t* n_du);
+
+  void set_flush_fn(FlushFn fn) { flush_fn_ = std::move(fn); }
 
   /// Drops any resident pages overlapping [start_du, start_du+n_du) —
   /// called when disk space is freed so a later owner never false-hits.
+  /// Clears the policy's per-access state for each dropped slot (CLOCK
+  /// reference bits, 2Q/ARC queue membership) so a recycled slot never
+  /// inherits stale recency.
   void InvalidateRange(uint64_t start_du, uint64_t n_du);
 
   void Clear();
@@ -68,25 +119,41 @@ class BufferCache {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
-  /// Lookup requests (Touch / CoversRange calls). Each request counts
-  /// exactly one hit or one miss, so hits() + misses() == requests().
+  /// Lookup requests (Access calls). Each request counts exactly one hit
+  /// or one miss, so hits() + misses() == requests().
   uint64_t requests() const { return requests_; }
   double HitRate() const {
     const uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
   }
+  /// Pages installed by InstallPrefetch (speculative fills).
+  uint64_t prefetch_issued() const { return prefetch_issued_; }
+  /// Prefetched pages that later served a demand reference.
+  uint64_t prefetch_hits() const { return prefetch_hits_; }
+  /// Currently dirty pages.
+  uint64_t dirty_pages() const { return dirty_pages_; }
+  /// Pages cleaned by PopOldestDirty or evict-time flushes.
+  uint64_t flushed_pages() const { return flushed_pages_; }
+
+  const CachePolicy& policy() const { return *policy_; }
+  CachePolicyKind policy_kind() const { return policy_->kind(); }
+  /// Queue introspection, forwarded from the policy (tests/debugging).
+  std::string DescribeQueues() const { return policy_->DescribeQueues(); }
 
   /// Attaches an observability tracer (null detaches).
   void set_tracer(obs::SimTracer* tracer) { tracer_ = tracer; }
 
  private:
   static constexpr uint32_t kNil = UINT32_MAX;
+  static constexpr uint8_t kFlagPrefetched = 1;
+  static constexpr uint8_t kFlagDirty = 2;
 
   struct Slot {
     uint64_t page;
-    uint32_t prev;  // Toward MRU; kNil at the head.
-    uint32_t next;  // Toward LRU; kNil at the tail. Free-list link when
-                    // the slot is unused.
+    uint32_t next;        // Free-list link when the slot is unused.
+    uint32_t dirty_prev;  // Dirty-FIFO links; meaningful only when dirty.
+    uint32_t dirty_next;
+    uint8_t flags;
   };
 
   uint64_t PageOf(uint64_t du) const { return du / page_du_; }
@@ -99,35 +166,54 @@ class BufferCache {
   /// Slot index of `page`, or kNil.
   uint32_t FindSlot(uint64_t page) const;
 
-  void LinkFront(uint32_t slot);
-  void Unlink(uint32_t slot);
-  void MoveToFront(uint32_t slot);
-
   /// Removes `page`'s table entry, backward-shifting the probe chain.
   void EraseKey(uint64_t page);
-  /// Removes the slot entirely: unlinks it from the LRU chain, erases its
-  /// key, and returns it to the free list.
+  /// Invalidation removal: clears policy state and dirty/prefetch flags
+  /// (dropping dirty data unflushed), erases the key, frees the slot.
   void ReleaseSlot(uint32_t slot);
+  /// Asks the policy for a victim and evicts it, flushing first when
+  /// dirty. `incoming_page` is the page about to take the slot.
+  void EvictOne(uint64_t incoming_page);
 
-  void InsertPage(uint64_t page);
+  void InsertPage(uint64_t page, bool prefetch);
   bool TouchPage(uint64_t page);
+
+  /// First demand use of a prefetched page: attribute the prefetch hit.
+  void NotePrefetchUse(uint32_t slot) {
+    if (slots_[slot].flags & kFlagPrefetched) {
+      slots_[slot].flags &= static_cast<uint8_t>(~kFlagPrefetched);
+      ++prefetch_hits_;
+    }
+  }
+
+  void MarkDirty(uint32_t slot);
+  /// Unlinks from the dirty FIFO and clears the dirty flag.
+  void CleanSlot(uint32_t slot);
 
   uint64_t capacity_pages_;
   uint64_t page_du_;
 
+  std::unique_ptr<CachePolicy> policy_;
   std::vector<Slot> slots_;     // capacity_pages_ entries, fixed.
   std::vector<uint32_t> table_; // Open-addressed page->slot; kNil = empty.
+  std::vector<uint32_t> sweep_scratch_;  // InvalidateRange's huge path.
   uint64_t table_mask_;
-  uint32_t head_ = kNil;        // MRU.
-  uint32_t tail_ = kNil;        // LRU.
   uint32_t free_head_ = kNil;   // Unused slots, chained via Slot::next.
   uint64_t size_ = 0;
+
+  uint32_t dirty_head_ = kNil;  // Oldest dirty page.
+  uint32_t dirty_tail_ = kNil;  // Most recently dirtied.
 
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t requests_ = 0;
+  uint64_t prefetch_issued_ = 0;
+  uint64_t prefetch_hits_ = 0;
+  uint64_t dirty_pages_ = 0;
+  uint64_t flushed_pages_ = 0;
 
+  FlushFn flush_fn_;
   obs::SimTracer* tracer_ = nullptr;
 };
 

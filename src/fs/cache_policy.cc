@@ -1,0 +1,568 @@
+#include "fs/cache_policy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace rofs::fs {
+namespace {
+
+constexpr uint32_t kNil = UINT32_MAX;
+
+uint64_t NextPowerOfTwoAtLeast(uint64_t x) {
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Same Fibonacci hash as the engine's page table (see buffer_cache.cc).
+uint64_t HashPage(uint64_t page) {
+  const uint64_t x = page * 0x9e3779b97f4a7c15ull;
+  return x ^ (x >> 32);
+}
+
+/// An intrusive doubly-linked list over slot indices. All storage is
+/// allocated at construction; a slot is in at most one list at a time
+/// (the owning policy guarantees it).
+class SlotList {
+ public:
+  explicit SlotList(uint64_t capacity)
+      : prev_(capacity, kNil), next_(capacity, kNil) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t head() const { return head_; }
+  uint32_t tail() const { return tail_; }
+
+  void PushFront(uint32_t slot) {
+    prev_[slot] = kNil;
+    next_[slot] = head_;
+    if (head_ != kNil) prev_[head_] = slot;
+    head_ = slot;
+    if (tail_ == kNil) tail_ = slot;
+    ++size_;
+  }
+
+  void Remove(uint32_t slot) {
+    const uint32_t prev = prev_[slot];
+    const uint32_t next = next_[slot];
+    if (prev != kNil) next_[prev] = next; else head_ = next;
+    if (next != kNil) prev_[next] = prev; else tail_ = prev;
+    --size_;
+  }
+
+  void MoveToFront(uint32_t slot) {
+    if (head_ == slot) return;
+    Remove(slot);
+    PushFront(slot);
+  }
+
+  uint32_t PopBack() {
+    assert(tail_ != kNil);
+    const uint32_t slot = tail_;
+    Remove(slot);
+    return slot;
+  }
+
+  void Clear() {
+    head_ = tail_ = kNil;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<uint32_t> prev_;
+  std::vector<uint32_t> next_;
+  uint32_t head_ = kNil;
+  uint32_t tail_ = kNil;
+  size_t size_ = 0;
+};
+
+/// A bounded list of page numbers ordered by recency of insertion, with
+/// O(1) membership: the ghost ("history") structure 2Q and ARC keep for
+/// pages already evicted. Node pool plus an open-addressed page->node
+/// index (linear probing, backward-shift deletion — the engine's table
+/// scheme). Inserting into a full list drops the oldest entry.
+class GhostList {
+ public:
+  explicit GhostList(uint64_t capacity)
+      : capacity_(std::max<uint64_t>(1, capacity)) {
+    pages_.resize(capacity_);
+    prev_.assign(capacity_, kNil);
+    next_.assign(capacity_, kNil);
+    table_.assign(NextPowerOfTwoAtLeast(2 * capacity_), kNil);
+    mask_ = table_.size() - 1;
+    Clear();
+  }
+
+  size_t size() const { return size_; }
+
+  bool Contains(uint64_t page) const { return table_[ProbeFor(page)] != kNil; }
+
+  /// Inserts `page` at the MRU end, refreshing it if already present and
+  /// dropping the oldest ghost when full.
+  void PushFront(uint64_t page) {
+    Remove(page);
+    if (size_ >= capacity_) RemoveOldest();
+    const uint32_t node = free_head_;
+    assert(node != kNil);
+    free_head_ = next_[node];
+    pages_[node] = page;
+    prev_[node] = kNil;
+    next_[node] = head_;
+    if (head_ != kNil) prev_[head_] = node;
+    head_ = node;
+    if (tail_ == kNil) tail_ = node;
+    table_[ProbeFor(page)] = node;
+    ++size_;
+  }
+
+  /// Removes `page` when present; reports whether it was.
+  bool Remove(uint64_t page) {
+    const uint32_t node = table_[ProbeFor(page)];
+    if (node == kNil) return false;
+    Release(node);
+    return true;
+  }
+
+  void RemoveOldest() {
+    assert(tail_ != kNil);
+    Release(tail_);
+  }
+
+  void Clear() {
+    table_.assign(table_.size(), kNil);
+    for (uint32_t i = 0; i < capacity_; ++i) {
+      next_[i] = i + 1 < capacity_ ? i + 1 : kNil;
+    }
+    free_head_ = 0;
+    head_ = tail_ = kNil;
+    size_ = 0;
+  }
+
+ private:
+  size_t ProbeFor(uint64_t page) const {
+    size_t i = HashPage(page) & mask_;
+    while (table_[i] != kNil && pages_[table_[i]] != page) {
+      i = (i + 1) & mask_;
+    }
+    return i;
+  }
+
+  void EraseKey(uint64_t page) {
+    size_t i = ProbeFor(page);
+    assert(table_[i] != kNil);
+    table_[i] = kNil;
+    size_t j = i;
+    for (;;) {
+      j = (j + 1) & mask_;
+      const uint32_t node = table_[j];
+      if (node == kNil) break;
+      const size_t ideal = HashPage(pages_[node]) & mask_;
+      const size_t dist_hole = (j - i) & mask_;
+      const size_t dist_ideal = (j - ideal) & mask_;
+      if (dist_ideal >= dist_hole) {
+        table_[i] = node;
+        table_[j] = kNil;
+        i = j;
+      }
+    }
+  }
+
+  void Release(uint32_t node) {
+    const uint32_t prev = prev_[node];
+    const uint32_t next = next_[node];
+    if (prev != kNil) next_[prev] = next; else head_ = next;
+    if (next != kNil) prev_[next] = prev; else tail_ = prev;
+    EraseKey(pages_[node]);
+    next_[node] = free_head_;
+    free_head_ = node;
+    --size_;
+  }
+
+  uint64_t capacity_;
+  std::vector<uint64_t> pages_;
+  std::vector<uint32_t> prev_;
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> table_;
+  size_t mask_ = 0;
+  uint32_t head_ = kNil;
+  uint32_t tail_ = kNil;
+  uint32_t free_head_ = kNil;
+  size_t size_ = 0;
+};
+
+/// The seed policy: one intrusive list, MRU at the head. Must reproduce
+/// the pre-seam cache exactly — OnAccess is the old MoveToFront (with its
+/// already-at-head early-out), PickVictim the old tail eviction.
+class LruPolicy final : public CachePolicy {
+ public:
+  explicit LruPolicy(uint64_t capacity) : list_(capacity) {}
+
+  CachePolicyKind kind() const override { return CachePolicyKind::kLru; }
+
+  void OnInsert(uint32_t slot, uint64_t /*page*/) override {
+    list_.PushFront(slot);
+  }
+
+  void OnAccess(uint32_t slot) override { list_.MoveToFront(slot); }
+
+  uint32_t PickVictim(uint64_t /*incoming_page*/) override {
+    return list_.PopBack();
+  }
+
+  void OnInvalidate(uint32_t slot, uint64_t /*page*/) override {
+    list_.Remove(slot);
+  }
+
+  void Clear() override { list_.Clear(); }
+
+  std::string DescribeQueues() const override {
+    return "lru:" + std::to_string(list_.size());
+  }
+
+ private:
+  SlotList list_;
+};
+
+/// CLOCK (second chance): resident slots form a circular list; the hand
+/// sweeps it clearing reference bits until it finds a clear one. Accesses
+/// only set a bit — no list surgery on the hit path.
+class ClockPolicy final : public CachePolicy {
+ public:
+  explicit ClockPolicy(uint64_t capacity)
+      : prev_(capacity, kNil), next_(capacity, kNil), ref_(capacity, 0) {}
+
+  CachePolicyKind kind() const override { return CachePolicyKind::kClock; }
+
+  void OnInsert(uint32_t slot, uint64_t /*page*/) override {
+    ref_[slot] = 0;
+    if (hand_ == kNil) {
+      prev_[slot] = next_[slot] = slot;
+      hand_ = slot;
+    } else {
+      // Insert immediately behind the hand: the new page is examined last
+      // in the current sweep, giving it one full revolution of grace.
+      const uint32_t back = prev_[hand_];
+      next_[back] = slot;
+      prev_[slot] = back;
+      next_[slot] = hand_;
+      prev_[hand_] = slot;
+    }
+    ++size_;
+  }
+
+  void OnAccess(uint32_t slot) override { ref_[slot] = 1; }
+
+  uint32_t PickVictim(uint64_t /*incoming_page*/) override {
+    assert(hand_ != kNil);
+    while (ref_[hand_] != 0) {
+      ref_[hand_] = 0;
+      hand_ = next_[hand_];
+    }
+    const uint32_t victim = hand_;
+    hand_ = next_[victim];
+    Unlink(victim);
+    return victim;
+  }
+
+  void OnInvalidate(uint32_t slot, uint64_t /*page*/) override {
+    // Clearing the reference bit here is the whole point: the engine will
+    // recycle this slot for an unrelated page, which must not start life
+    // with a second chance it never earned.
+    ref_[slot] = 0;
+    if (hand_ == slot) hand_ = next_[slot];
+    Unlink(slot);
+  }
+
+  void Clear() override {
+    std::fill(ref_.begin(), ref_.end(), uint8_t{0});
+    hand_ = kNil;
+    size_ = 0;
+  }
+
+  std::string DescribeQueues() const override {
+    size_t referenced = 0;
+    if (hand_ != kNil) {
+      uint32_t slot = hand_;
+      do {
+        referenced += ref_[slot];
+        slot = next_[slot];
+      } while (slot != hand_);
+    }
+    return "clock:" + std::to_string(size_) +
+           " ref:" + std::to_string(referenced);
+  }
+
+ private:
+  void Unlink(uint32_t slot) {
+    if (next_[slot] == slot) {
+      hand_ = kNil;
+    } else {
+      next_[prev_[slot]] = next_[slot];
+      prev_[next_[slot]] = prev_[slot];
+    }
+    --size_;
+  }
+
+  std::vector<uint32_t> prev_;
+  std::vector<uint32_t> next_;
+  std::vector<uint8_t> ref_;
+  uint32_t hand_ = kNil;
+  size_t size_ = 0;
+};
+
+/// 2Q (Johnson & Shasha, VLDB '94), full version: new pages enter the
+/// FIFO admission queue A1in; pages evicted from A1in leave a ghost in
+/// A1out; only a re-reference while ghosted earns promotion into the main
+/// LRU Am. Accesses inside A1in deliberately do not reorder — that is the
+/// scan resistance. Kin = capacity/4, Kout = capacity/2 (the paper's
+/// tuning).
+class TwoQPolicy final : public CachePolicy {
+ public:
+  explicit TwoQPolicy(uint64_t capacity)
+      : a1in_(capacity), am_(capacity),
+        a1out_(std::max<uint64_t>(1, capacity / 2)),
+        kin_(std::max<uint64_t>(1, capacity / 4)),
+        where_(capacity, kInA1in), page_of_(capacity, 0) {}
+
+  CachePolicyKind kind() const override { return CachePolicyKind::k2Q; }
+
+  void OnInsert(uint32_t slot, uint64_t page) override {
+    page_of_[slot] = page;
+    if (a1out_.Remove(page)) {
+      // Referenced again after aging out of A1in: hot, goes to Am.
+      where_[slot] = kInAm;
+      am_.PushFront(slot);
+    } else {
+      where_[slot] = kInA1in;
+      a1in_.PushFront(slot);
+    }
+  }
+
+  void OnAccess(uint32_t slot) override {
+    if (where_[slot] == kInAm) am_.MoveToFront(slot);
+  }
+
+  uint32_t PickVictim(uint64_t /*incoming_page*/) override {
+    if (!a1in_.empty() && (a1in_.size() > kin_ || am_.empty())) {
+      const uint32_t victim = a1in_.PopBack();
+      a1out_.PushFront(page_of_[victim]);
+      return victim;
+    }
+    // Am evictions leave no ghost: the page had its chance to prove
+    // itself hot and lost it.
+    return am_.PopBack();
+  }
+
+  void OnInvalidate(uint32_t slot, uint64_t page) override {
+    if (where_[slot] == kInAm) {
+      am_.Remove(slot);
+    } else {
+      a1in_.Remove(slot);
+    }
+    // A resident page has no ghost, but the address may be recycled for a
+    // new owner — make sure no stale history survives.
+    a1out_.Remove(page);
+  }
+
+  void Clear() override {
+    a1in_.Clear();
+    am_.Clear();
+    a1out_.Clear();
+  }
+
+  std::string DescribeQueues() const override {
+    return "a1in:" + std::to_string(a1in_.size()) +
+           " am:" + std::to_string(am_.size()) +
+           " a1out:" + std::to_string(a1out_.size());
+  }
+
+ private:
+  static constexpr uint8_t kInA1in = 0;
+  static constexpr uint8_t kInAm = 1;
+
+  SlotList a1in_;
+  SlotList am_;
+  GhostList a1out_;
+  const uint64_t kin_;
+  std::vector<uint8_t> where_;
+  std::vector<uint64_t> page_of_;
+};
+
+/// ARC-style adaptive replacement (Megiddo & Modha, FAST '03): resident
+/// pages live in a recency list T1 or a frequency list T2; ghosts of
+/// recently evicted pages live in B1/B2. A hit in B1 says "recency is
+/// being under-served" and grows the adaptive target p for |T1|; a hit in
+/// B2 shrinks it. REPLACE evicts from whichever list exceeds its target.
+class ArcPolicy final : public CachePolicy {
+ public:
+  explicit ArcPolicy(uint64_t capacity)
+      : c_(capacity), t1_(capacity), t2_(capacity), b1_(capacity),
+        b2_(capacity), where_(capacity, kInT1), page_of_(capacity, 0) {}
+
+  CachePolicyKind kind() const override { return CachePolicyKind::kArc; }
+
+  void OnInsert(uint32_t slot, uint64_t page) override {
+    page_of_[slot] = page;
+    if (b1_.Contains(page)) {
+      // Ghost hit in the recency history: grow the recency target.
+      const uint64_t delta =
+          b1_.size() >= b2_.size() ? 1 : b2_.size() / b1_.size();
+      p_ = std::min(c_, p_ + delta);
+      b1_.Remove(page);
+      where_[slot] = kInT2;
+      t2_.PushFront(slot);
+      return;
+    }
+    if (b2_.Contains(page)) {
+      const uint64_t delta =
+          b2_.size() >= b1_.size() ? 1 : b1_.size() / b2_.size();
+      p_ = p_ > delta ? p_ - delta : 0;
+      b2_.Remove(page);
+      where_[slot] = kInT2;
+      t2_.PushFront(slot);
+      return;
+    }
+    // Brand-new page: bound the directory (|T1|+|B1| <= c, total <= 2c)
+    // before admitting it to T1.
+    if (t1_.size() + b1_.size() >= c_ && b1_.size() > 0) {
+      b1_.RemoveOldest();
+    } else if (t1_.size() + t2_.size() + b1_.size() + b2_.size() >= 2 * c_ &&
+               b2_.size() > 0) {
+      b2_.RemoveOldest();
+    }
+    where_[slot] = kInT1;
+    t1_.PushFront(slot);
+  }
+
+  void OnAccess(uint32_t slot) override {
+    if (where_[slot] == kInT1) {
+      t1_.Remove(slot);
+      where_[slot] = kInT2;
+      t2_.PushFront(slot);
+    } else {
+      t2_.MoveToFront(slot);
+    }
+  }
+
+  uint32_t PickVictim(uint64_t incoming_page) override {
+    // REPLACE(p): T1 gives up a page when it exceeds its target — or
+    // exactly meets it while the incoming page is frequency history (a B2
+    // ghost), which signals T2 deserves the room.
+    const bool from_t1 =
+        !t1_.empty() &&
+        (t1_.size() > p_ ||
+         (t1_.size() == p_ && b2_.Contains(incoming_page)) || t2_.empty());
+    if (from_t1) {
+      const uint32_t victim = t1_.PopBack();
+      b1_.PushFront(page_of_[victim]);
+      return victim;
+    }
+    const uint32_t victim = t2_.PopBack();
+    b2_.PushFront(page_of_[victim]);
+    return victim;
+  }
+
+  void OnInvalidate(uint32_t slot, uint64_t page) override {
+    if (where_[slot] == kInT1) {
+      t1_.Remove(slot);
+    } else {
+      t2_.Remove(slot);
+    }
+    // The disk space was freed; its access history must not leak to the
+    // address's next owner (see OnInvalidate contract).
+    b1_.Remove(page);
+    b2_.Remove(page);
+  }
+
+  void Clear() override {
+    t1_.Clear();
+    t2_.Clear();
+    b1_.Clear();
+    b2_.Clear();
+    p_ = 0;
+  }
+
+  std::string DescribeQueues() const override {
+    return "t1:" + std::to_string(t1_.size()) +
+           " t2:" + std::to_string(t2_.size()) +
+           " b1:" + std::to_string(b1_.size()) +
+           " b2:" + std::to_string(b2_.size()) + " p:" + std::to_string(p_);
+  }
+
+ private:
+  static constexpr uint8_t kInT1 = 0;
+  static constexpr uint8_t kInT2 = 1;
+
+  const uint64_t c_;
+  SlotList t1_;
+  SlotList t2_;
+  GhostList b1_;
+  GhostList b2_;
+  uint64_t p_ = 0;  // Adaptive target for |T1|, in pages.
+  std::vector<uint8_t> where_;
+  std::vector<uint64_t> page_of_;
+};
+
+}  // namespace
+
+std::string CachePolicyKindToString(CachePolicyKind kind) {
+  switch (kind) {
+    case CachePolicyKind::kLru:
+      return "lru";
+    case CachePolicyKind::kClock:
+      return "clock";
+    case CachePolicyKind::k2Q:
+      return "2q";
+    case CachePolicyKind::kArc:
+      return "arc";
+  }
+  return "unknown";
+}
+
+std::string CachePolicySpec::Label() const {
+  return CachePolicyKindToString(kind);
+}
+
+Status CachePolicySpec::Validate() const {
+  // No parameters yet; the clause exists so the config layer validates
+  // specs the same way it validates SchedulerSpec.
+  return Status::OK();
+}
+
+StatusOr<CachePolicySpec> ParseCachePolicySpec(const std::string& text) {
+  CachePolicySpec spec;
+  if (text == "lru") {
+    spec.kind = CachePolicyKind::kLru;
+  } else if (text == "clock") {
+    spec.kind = CachePolicyKind::kClock;
+  } else if (text == "2q") {
+    spec.kind = CachePolicyKind::k2Q;
+  } else if (text == "arc") {
+    spec.kind = CachePolicyKind::kArc;
+  } else {
+    return Status::InvalidArgument("unknown cache policy '" + text +
+                                   "' (want lru|clock|2q|arc)");
+  }
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  return spec;
+}
+
+std::unique_ptr<CachePolicy> MakeCachePolicy(const CachePolicySpec& spec,
+                                             uint64_t capacity_pages) {
+  assert(capacity_pages > 0 && capacity_pages < kNil);
+  switch (spec.kind) {
+    case CachePolicyKind::kLru:
+      return std::make_unique<LruPolicy>(capacity_pages);
+    case CachePolicyKind::kClock:
+      return std::make_unique<ClockPolicy>(capacity_pages);
+    case CachePolicyKind::k2Q:
+      return std::make_unique<TwoQPolicy>(capacity_pages);
+    case CachePolicyKind::kArc:
+      return std::make_unique<ArcPolicy>(capacity_pages);
+  }
+  return nullptr;
+}
+
+}  // namespace rofs::fs

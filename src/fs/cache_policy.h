@@ -1,0 +1,103 @@
+#ifndef ROFS_FS_CACHE_POLICY_H_
+#define ROFS_FS_CACHE_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/statusor.h"
+
+namespace rofs::fs {
+
+/// Buffer-cache replacement policies. The paper evaluates every
+/// allocation policy under one fixed LRU cache; making replacement
+/// pluggable (ROADMAP item 4) lets the buffer-pressure study ask how much
+/// of the headline numbers depend on that silent assumption. The seam has
+/// the same shape as sched::DiskScheduler: a spec parsed from a config
+/// key, an interface over pre-allocated storage, and a factory.
+enum class CachePolicyKind : uint8_t {
+  /// Least recently used — the seed behavior, and the default. The LRU
+  /// implementation reproduces the pre-seam cache byte for byte.
+  kLru,
+  /// CLOCK (second chance): a reference bit per resident page and a
+  /// sweeping hand; an access sets the bit instead of moving a node, so
+  /// hits are O(1) stores with no list surgery.
+  kClock,
+  /// 2Q (Johnson & Shasha): a FIFO admission queue (A1in), a ghost queue
+  /// of recently evicted page numbers (A1out), and a main LRU (Am). Only
+  /// pages re-referenced after leaving A1in are promoted to Am, so one
+  /// sequential scan cannot flush the hot set.
+  k2Q,
+  /// ARC-style adaptive (Megiddo & Modha): recency (T1) and frequency
+  /// (T2) lists with ghost lists (B1/B2) steering an adaptive target size
+  /// for T1. Self-tunes between LRU-like and LFU-like behavior.
+  kArc,
+};
+
+std::string CachePolicyKindToString(CachePolicyKind kind);
+
+/// Policy selection, carried by fs::FsOptions and parsed from the
+/// `[cache] policy =` config key (same style as `[disk] scheduler =`).
+struct CachePolicySpec {
+  CachePolicyKind kind = CachePolicyKind::kLru;
+
+  /// "lru", "clock", "2q", "arc" — the config-file syntax.
+  std::string Label() const;
+  Status Validate() const;
+};
+
+/// Parses the config-file syntax: lru | clock | 2q | arc. Unknown
+/// policies are rejected.
+StatusOr<CachePolicySpec> ParseCachePolicySpec(const std::string& text);
+
+/// The replacement-decision half of the buffer cache. The cache engine
+/// (BufferCache) owns residency: the flat slot vector, the open-addressed
+/// page table, hit/miss accounting, and dirty/prefetch state. The policy
+/// owns recency: which resident slot to evict next. The engine addresses
+/// pages by slot index, so policies keep their queues in flat arrays
+/// sized at construction — steady-state OnAccess/OnInsert/PickVictim
+/// churn performs no heap allocation (verified by perf_noalloc_test).
+///
+/// Contract, in the engine's call order:
+///  - OnInsert(slot, page): `page` was just installed into `slot`
+///    (a miss fill). The slot is not currently in any policy queue.
+///  - OnAccess(slot): a resident slot was referenced again.
+///  - PickVictim(incoming_page): the cache is full; return the slot to
+///    evict and remove it from the policy's queues (recording a ghost
+///    entry when the policy keeps them). `incoming_page` is the page
+///    about to be installed — adaptive policies use it to direct the
+///    replacement; others ignore it.
+///  - OnInvalidate(slot, page): the slot's page was dropped because its
+///    disk space was freed (not a replacement). The policy must forget
+///    every trace of per-access state — reference bits, queue
+///    membership — so a recycled slot never inherits stale recency.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  virtual CachePolicyKind kind() const = 0;
+
+  virtual void OnInsert(uint32_t slot, uint64_t page) = 0;
+  virtual void OnAccess(uint32_t slot) = 0;
+  virtual uint32_t PickVictim(uint64_t incoming_page) = 0;
+  virtual void OnInvalidate(uint32_t slot, uint64_t page) = 0;
+
+  /// Forgets everything (resident queues and ghosts).
+  virtual void Clear() = 0;
+
+  /// Queue introspection for tests and debugging: per-queue populations
+  /// in a fixed format, e.g. "lru:5", "clock:5 ref:2",
+  /// "a1in:3 am:2 a1out:4", "t1:3 t2:2 b1:1 b2:0 p:2". Not a hot path —
+  /// may allocate.
+  virtual std::string DescribeQueues() const = 0;
+};
+
+/// Creates a policy for a cache of `capacity_pages` slots. All queue
+/// storage (including ghost lists) is allocated here, up front.
+std::unique_ptr<CachePolicy> MakeCachePolicy(const CachePolicySpec& spec,
+                                             uint64_t capacity_pages);
+
+}  // namespace rofs::fs
+
+#endif  // ROFS_FS_CACHE_POLICY_H_

@@ -23,7 +23,15 @@ ReadOptimizedFs::ReadOptimizedFs(alloc::Allocator* allocator,
         std::max<uint64_t>(1, options_.cache_page_bytes / du_bytes_);
     const uint64_t pages = std::max<uint64_t>(
         1, options_.cache_bytes / (page_du * du_bytes_));
-    cache_ = std::make_unique<BufferCache>(pages, page_du);
+    cache_ = std::make_unique<BufferCache>(pages, page_du,
+                                           options_.cache_policy);
+    if (options_.writeback_dirty_max > 0) {
+      // Replacement of a dirty page forces it out through this callback,
+      // stamped with the in-flight operation's arrival time.
+      cache_->set_flush_fn([this](uint64_t start_du, uint64_t n_du) {
+        BackgroundWrite(start_du, n_du);
+      });
+    }
   }
 }
 
@@ -35,6 +43,7 @@ sim::TimeMs ReadOptimizedFs::MetadataRead(File& f, sim::TimeMs arrival) {
   const uint64_t fd_du = f.fd_alloc.extents.front().start_du;
   if (cache_ != nullptr && cache_->Touch(fd_du)) return arrival;
   const sim::TimeMs done = disk_->Read(arrival, fd_du, 1);
+  ++physical_read_du_;
   if (cache_ != nullptr) cache_->Insert(fd_du);
   if (tracer_ != nullptr) tracer_->MetadataRead(arrival, done);
   return done;
@@ -68,6 +77,8 @@ void ReadOptimizedFs::Recreate(FileId id) {
   f.exists = true;
   f.logical_bytes = 0;
   f.cursor_bytes = 0;
+  f.ra_expected_bytes = 0;
+  f.ra_streak = 0;
   f.alloc.range_index = -1;
   allocator_->OnCreateFile(&f.alloc);
 }
@@ -133,6 +144,7 @@ sim::TimeMs ReadOptimizedFs::DoIo(FileId id, uint64_t offset, uint64_t bytes,
   bytes = std::min(bytes, f.logical_bytes - offset);
   if (bytes == 0 || disk_ == nullptr || !io_enabled_) return arrival;
   arrival = MetadataRead(f, arrival);
+  flush_now_ms_ = arrival;
   run_scratch_.clear();
   MapRange(f, offset, bytes, &run_scratch_);
   const bool cacheable =
@@ -140,9 +152,19 @@ sim::TimeMs ReadOptimizedFs::DoIo(FileId id, uint64_t offset, uint64_t bytes,
   if (cacheable && !is_write) {
     bool all_resident = true;
     for (const Run& r : run_scratch_) {
-      if (!cache_->CoversRange(r.start_du, r.n_du)) all_resident = false;
+      if (!cache_->Access(r.start_du, r.n_du)) all_resident = false;
     }
-    if (all_resident) return arrival;  // Served from memory.
+    if (all_resident) {
+      MaybeReadahead(f, offset, bytes, arrival, cacheable);
+      return arrival;  // Served from memory.
+    }
+  }
+  if (is_write && cacheable && options_.writeback_dirty_max > 0) {
+    // Write-behind: buffer the whole write as dirty pages and complete
+    // immediately; the oldest dirty runs flush in the background once the
+    // dirty population exceeds the bound.
+    BufferWrite(arrival);
+    return arrival;
   }
   // All runs are issued at the arrival time: the paper's designs use read
   // ahead and write behind, so transfers to distinct disks pipeline while
@@ -151,10 +173,84 @@ sim::TimeMs ReadOptimizedFs::DoIo(FileId id, uint64_t offset, uint64_t bytes,
   for (const Run& r : run_scratch_) {
     const sim::TimeMs t = is_write ? disk_->Write(arrival, r.start_du, r.n_du)
                                    : disk_->Read(arrival, r.start_du, r.n_du);
+    if (is_write) physical_write_du_ += r.n_du;
+    else physical_read_du_ += r.n_du;
     done = std::max(done, t);
-    if (cacheable) cache_->InsertRange(r.start_du, r.n_du);
+    if (cacheable) cache_->Install(r.start_du, r.n_du);
+  }
+  if (cacheable && !is_write) {
+    MaybeReadahead(f, offset, bytes, arrival, cacheable);
   }
   return done;
+}
+
+void ReadOptimizedFs::BufferWrite(sim::TimeMs arrival) {
+  flush_now_ms_ = arrival;
+  for (const Run& r : run_scratch_) cache_->InstallDirty(r.start_du, r.n_du);
+  uint64_t start_du = 0;
+  uint64_t n_du = 0;
+  while (cache_->dirty_pages() > options_.writeback_dirty_max &&
+         cache_->PopOldestDirty(&start_du, &n_du)) {
+    BackgroundWrite(start_du, n_du);
+  }
+}
+
+void ReadOptimizedFs::BackgroundWrite(uint64_t start_du, uint64_t n_du) {
+  physical_write_du_ += n_du;
+  if (disk_ == nullptr || !io_enabled_) return;
+  if (disk_->predictable()) {
+    (void)disk_->Write(flush_now_ms_, start_du, n_du);
+    return;
+  }
+  // Reordering scheduler: the flush rides the async path; nothing waits
+  // on its completion.
+  const uint32_t group = disk_->OpenGroup(flush_now_ms_, [](sim::TimeMs) {});
+  disk_->GroupWrite(group, flush_now_ms_, start_du, n_du);
+  disk_->CloseGroup(group);
+}
+
+void ReadOptimizedFs::FlushAll(sim::TimeMs now) {
+  if (cache_ == nullptr) return;
+  flush_now_ms_ = now;
+  uint64_t start_du = 0;
+  uint64_t n_du = 0;
+  while (cache_->PopOldestDirty(&start_du, &n_du)) {
+    BackgroundWrite(start_du, n_du);
+  }
+}
+
+void ReadOptimizedFs::MaybeReadahead(File& f, uint64_t offset, uint64_t bytes,
+                                     sim::TimeMs arrival, bool cacheable) {
+  if (options_.readahead_pages == 0 || cache_ == nullptr) return;
+  // Sequential detector: this read either continues where the last one
+  // ended or restarts the streak.
+  f.ra_streak = offset == f.ra_expected_bytes ? f.ra_streak + 1 : 1;
+  f.ra_expected_bytes = offset + bytes;
+  // Prefetch only once the pattern is established (second consecutive
+  // sequential read) and only for cache-sized reads.
+  if (f.ra_streak < 2 || !cacheable) return;
+  const uint64_t start = offset + bytes;
+  if (start >= f.logical_bytes) return;
+  const uint64_t window =
+      options_.readahead_pages * cache_->page_du() * du_bytes_;
+  const uint64_t n = std::min(window, f.logical_bytes - start);
+  prefetch_scratch_.clear();
+  MapRange(f, start, n, &prefetch_scratch_);
+  for (const Run& r : prefetch_scratch_) {
+    // Run-level residency probe, not counted as a cache request:
+    // readahead is the cache talking to itself.
+    if (cache_->IsResident(r.start_du, r.n_du)) continue;
+    physical_read_du_ += r.n_du;
+    prefetch_read_du_ += r.n_du;
+    if (disk_->predictable()) {
+      (void)disk_->Read(arrival, r.start_du, r.n_du);
+    } else {
+      const uint32_t group = disk_->OpenGroup(arrival, [](sim::TimeMs) {});
+      disk_->GroupRead(group, arrival, r.start_du, r.n_du);
+      disk_->CloseGroup(group);
+    }
+    cache_->InstallPrefetch(r.start_du, r.n_du);
+  }
 }
 
 void ReadOptimizedFs::ReadAsync(FileId id, uint64_t offset, uint64_t bytes,
@@ -216,6 +312,8 @@ void ReadOptimizedFs::DoIoAsync(FileId id, uint64_t offset, uint64_t bytes,
             FinishDataIo(slot, md_done);
           });
       disk_->GroupRead(group, arrival, fd_du, 1);
+      ++physical_read_du_;
+      flush_now_ms_ = arrival;
       if (cache_ != nullptr) cache_->Insert(fd_du);
       disk_->CloseGroup(group);
       return;
@@ -245,6 +343,7 @@ void ReadOptimizedFs::FinishDataIo(uint32_t slot, sim::TimeMs md_done) {
 void ReadOptimizedFs::IssueRuns(File& f, uint64_t offset, uint64_t bytes,
                                 sim::TimeMs arrival, bool is_write,
                                 DoneFn on_done) {
+  flush_now_ms_ = arrival;
   run_scratch_.clear();
   MapRange(f, offset, bytes, &run_scratch_);
   const bool cacheable =
@@ -252,12 +351,18 @@ void ReadOptimizedFs::IssueRuns(File& f, uint64_t offset, uint64_t bytes,
   if (cacheable && !is_write) {
     bool all_resident = true;
     for (const Run& r : run_scratch_) {
-      if (!cache_->CoversRange(r.start_du, r.n_du)) all_resident = false;
+      if (!cache_->Access(r.start_du, r.n_du)) all_resident = false;
     }
     if (all_resident) {
+      MaybeReadahead(f, offset, bytes, arrival, cacheable);
       on_done(arrival);  // Served from memory.
       return;
     }
+  }
+  if (is_write && cacheable && options_.writeback_dirty_max > 0) {
+    BufferWrite(arrival);
+    on_done(arrival);  // Buffered: the write completes immediately.
+    return;
   }
   // As in DoIo, all runs issue at the arrival time and the operation
   // completes when the slowest run does; the group tracks that.
@@ -265,10 +370,15 @@ void ReadOptimizedFs::IssueRuns(File& f, uint64_t offset, uint64_t bytes,
   for (const Run& r : run_scratch_) {
     if (is_write) {
       disk_->GroupWrite(group, arrival, r.start_du, r.n_du);
+      physical_write_du_ += r.n_du;
     } else {
       disk_->GroupRead(group, arrival, r.start_du, r.n_du);
+      physical_read_du_ += r.n_du;
     }
-    if (cacheable) cache_->InsertRange(r.start_du, r.n_du);
+    if (cacheable) cache_->Install(r.start_du, r.n_du);
+  }
+  if (cacheable && !is_write) {
+    MaybeReadahead(f, offset, bytes, arrival, cacheable);
   }
   disk_->CloseGroup(group);
 }

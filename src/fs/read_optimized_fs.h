@@ -30,6 +30,18 @@ struct FsOptions {
   /// Reads/writes larger than this bypass the cache so large sequential
   /// scans do not flush it.
   uint64_t cache_bypass_bytes = 256 * kKiB;
+  /// Cache replacement policy (`[cache] policy =`); LRU, the paper's
+  /// silent assumption, is the default.
+  CachePolicySpec cache_policy;
+  /// Sequential readahead depth in cache pages; 0 disables. Once a file
+  /// sees its second consecutive sequential read, each further sequential
+  /// read prefetches up to this many pages past the requested range.
+  uint64_t readahead_pages = 0;
+  /// Write-back buffering: cacheable writes are buffered as dirty pages
+  /// and complete immediately; when more than this many pages are dirty,
+  /// the oldest flush to disk in the background. 0 keeps the paper's
+  /// write-through behavior.
+  uint64_t writeback_dirty_max = 0;
   /// Model metadata I/O: each operation first reads the file's descriptor
   /// block (one disk unit, allocated at create time) unless it is cached.
   /// Gives teeth to the paper's goal of "minimizing the bandwidth
@@ -49,6 +61,10 @@ struct File {
   /// Descriptor block (one disk unit) when metadata I/O is modeled; the
   /// descriptor survives delete/recreate of the slot.
   alloc::FileAllocState fd_alloc;
+  /// Readahead detector: where the next read would start if the access
+  /// pattern is sequential, and how many reads in a row matched.
+  uint64_t ra_expected_bytes = 0;
+  uint32_t ra_streak = 0;
 };
 
 /// The read-optimized file system facade: the paper's file-level
@@ -155,6 +171,23 @@ class ReadOptimizedFs {
   const BufferCache* cache() const { return cache_.get(); }
   const FsOptions& options() const { return options_; }
 
+  /// Flushes every buffered dirty page to disk at `now` (write-back mode
+  /// only; a no-op otherwise). The workload driver calls this when its
+  /// run ends so buffered writes land inside the measured window.
+  void FlushAll(sim::TimeMs now);
+
+  /// --- Physical I/O accounting (disk units actually transferred, as
+  /// opposed to the logical bytes the workload asked for). What the fig8
+  /// buffer-pressure sweep compares across cache policies.
+
+  /// Disk units read from the disk system, including metadata descriptor
+  /// reads and readahead.
+  uint64_t physical_read_du() const { return physical_read_du_; }
+  /// The readahead share of physical_read_du().
+  uint64_t prefetch_read_du() const { return prefetch_read_du_; }
+  /// Disk units written, including background write-back flushes.
+  uint64_t physical_write_du() const { return physical_write_du_; }
+
   /// Attaches an observability tracer (null detaches) to this layer and
   /// the buffer cache it owns. The caller wires the allocator, disk
   /// system, and event queue separately — the fs does not own those.
@@ -212,6 +245,23 @@ class ReadOptimizedFs {
   /// completion time, == arrival on a cache hit or when not modeled.
   sim::TimeMs MetadataRead(File& f, sim::TimeMs arrival);
 
+  /// Feeds the sequential detector with a read of [offset, offset+bytes)
+  /// and, on an established sequential streak, prefetches the next
+  /// `readahead_pages` pages of the file that are not already resident.
+  /// `cacheable` gates the prefetch itself (bypass-sized scans never
+  /// prefetch) but the detector always updates.
+  void MaybeReadahead(File& f, uint64_t offset, uint64_t bytes,
+                      sim::TimeMs arrival, bool cacheable);
+
+  /// Buffers a cacheable write's runs as dirty pages, then flushes the
+  /// oldest dirty runs until at most `writeback_dirty_max` remain.
+  void BufferWrite(sim::TimeMs arrival);
+
+  /// Issues one background (completion-ignored) physical write — the
+  /// write-back flush path, also used when eviction forces a dirty page
+  /// out through the cache's flush callback.
+  void BackgroundWrite(uint64_t start_du, uint64_t n_du);
+
   /// Drops cached pages for extents removed by a truncate (diff of the
   /// extent list before/after).
   void InvalidateRemovedTail(const std::vector<alloc::Extent>& before,
@@ -226,8 +276,17 @@ class ReadOptimizedFs {
   std::vector<File> files_;
   uint64_t total_logical_bytes_ = 0;
   mutable std::vector<Run> run_scratch_;
+  /// Separate from run_scratch_: readahead runs while the demand runs are
+  /// still being iterated.
+  std::vector<Run> prefetch_scratch_;
   std::vector<AsyncOp> async_ops_;
   uint32_t free_async_ = 0xffffffffu;
+  uint64_t physical_read_du_ = 0;
+  uint64_t prefetch_read_du_ = 0;
+  uint64_t physical_write_du_ = 0;
+  /// The arrival time of the operation currently executing; the time the
+  /// cache's eviction-flush callback stamps on its background write.
+  sim::TimeMs flush_now_ms_ = 0;
   obs::SimTracer* tracer_ = nullptr;
 };
 

@@ -62,6 +62,10 @@ const char* NameString(Name name) {
       return "dispatch";
     case Name::kSchedQueueDepth:
       return "sched_queue_depth";
+    case Name::kCachePrefetch:
+      return "prefetch";
+    case Name::kCacheFlush:
+      return "flush";
   }
   return "?";
 }
@@ -82,6 +86,9 @@ const char* NameArgKey(Name name) {
       return "merges";
     case Name::kDispatch:
       return "seek_cyl";
+    case Name::kCachePrefetch:
+    case Name::kCacheFlush:
+      return "pages";
     default:
       return nullptr;
   }

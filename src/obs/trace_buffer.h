@@ -52,6 +52,11 @@ enum class Name : uint8_t {
   // observed at dispatch (counter).
   kDispatch,
   kSchedQueueDepth,
+  // Buffer cache, continued (instants; appended to keep the wire values
+  // of everything above stable): a readahead install and a write-back
+  // flush, each carrying the page count.
+  kCachePrefetch,
+  kCacheFlush,
 };
 
 const char* NameString(Name name);

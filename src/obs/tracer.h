@@ -88,6 +88,20 @@ class SimTracer {
       AddInstant(Name::kCacheEvict, Cat::kCache, kTrackCache, now(), 0);
     }
   }
+  /// A readahead install of `pages` cache pages.
+  void CachePrefetch(uint64_t pages) {
+    if (armed_ && buffer_ != nullptr) {
+      AddInstant(Name::kCachePrefetch, Cat::kCache, kTrackCache, now(),
+                 static_cast<double>(pages));
+    }
+  }
+  /// A write-back flush of `pages` dirty pages toward the disk.
+  void CacheFlush(uint64_t pages) {
+    if (armed_ && buffer_ != nullptr) {
+      AddInstant(Name::kCacheFlush, Cat::kCache, kTrackCache, now(),
+                 static_cast<double>(pages));
+    }
+  }
 
   void AllocBlock(uint64_t length_du) {
     if (armed_ && buffer_ != nullptr) {

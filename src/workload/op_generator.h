@@ -95,6 +95,12 @@ class OpGenerator {
     return op_stats_[type_index][static_cast<size_t>(op)];
   }
 
+  /// Flushes the file system's buffered write-back pages at `now` — the
+  /// driver calls this when its measured run ends so deferred writes land
+  /// inside the window rather than silently vanishing with the run. A
+  /// no-op unless write-back buffering is enabled.
+  void FlushWriteBack(sim::TimeMs now) { fs_->FlushAll(now); }
+
   /// Formatted per-type, per-op table (count, bytes, latency mean/p99).
   std::string StatsReport() const;
 

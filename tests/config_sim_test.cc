@@ -193,6 +193,76 @@ builtin = TP
             std::string::npos);
 }
 
+TEST(SimConfigTest, CacheSectionDefaults) {
+  auto sim = Build("[workload]\nbuiltin = SC\n");
+  ASSERT_TRUE(sim.ok()) << sim.status().ToString();
+  EXPECT_EQ(sim->experiment.fs_options.cache_policy.kind,
+            fs::CachePolicyKind::kLru);
+  EXPECT_EQ(sim->experiment.fs_options.readahead_pages, 0u);
+  EXPECT_EQ(sim->experiment.fs_options.writeback_dirty_max, 0u);
+}
+
+TEST(SimConfigTest, CacheSectionParses) {
+  for (const char* policy : {"lru", "clock", "2q", "arc"}) {
+    const std::string text = std::string(R"(
+[fs]
+cache = 4M
+[cache]
+policy = )") + policy + R"(
+readahead_pages = 8
+writeback_dirty_max = 64
+[workload]
+builtin = TS
+)";
+    auto sim = Build(text);
+    ASSERT_TRUE(sim.ok()) << policy << ": " << sim.status().ToString();
+    EXPECT_EQ(sim->experiment.fs_options.cache_policy.Label(), policy);
+    EXPECT_EQ(sim->experiment.fs_options.readahead_pages, 8u);
+    EXPECT_EQ(sim->experiment.fs_options.writeback_dirty_max, 64u);
+  }
+}
+
+TEST(SimConfigTest, UnknownCachePolicyRejected) {
+  auto sim = Build(R"(
+[fs]
+cache = 4M
+[cache]
+policy = mru
+[workload]
+builtin = TS
+)");
+  ASSERT_FALSE(sim.ok());
+  EXPECT_NE(sim.status().message().find("[cache] unknown cache policy"),
+            std::string::npos);
+}
+
+TEST(SimConfigTest, NegativeCacheKnobsRejected) {
+  for (const char* key : {"readahead_pages", "writeback_dirty_max"}) {
+    const std::string text = std::string("[fs]\ncache = 4M\n[cache]\n") +
+                             key + " = -1\n[workload]\nbuiltin = TS\n";
+    auto sim = Build(text);
+    ASSERT_FALSE(sim.ok()) << key;
+    EXPECT_NE(sim.status().message().find("must be >= 0"), std::string::npos)
+        << key;
+  }
+}
+
+TEST(SimConfigTest, CacheKnobsRequireTheCache) {
+  // The config builds (the keys parse fine); the experiment's validation
+  // rejects the combination at Run() time.
+  for (const char* key : {"readahead_pages", "writeback_dirty_max"}) {
+    const std::string text = std::string("[fs]\ncache = 0\n[cache]\n") + key +
+                             " = 4\n[workload]\nbuiltin = TS\n";
+    auto sim = Build(text);
+    ASSERT_TRUE(sim.ok()) << key << ": " << sim.status().ToString();
+    const Status invalid = sim->experiment.Validate();
+    ASSERT_FALSE(invalid.ok()) << key;
+    EXPECT_NE(invalid.message().find("requires the buffer cache"),
+              std::string::npos)
+        << key;
+  }
+}
+
 TEST(SimConfigTest, ShippedConfigsLoad) {
   for (const char* path : {"configs/paper_ts_rbuddy.ini",
                            "configs/custom_smallfiles_lfs.ini"}) {

@@ -34,7 +34,7 @@ class RefLru {
 
   void Insert(uint64_t du) { InsertPage(du / page_du_); }
 
-  bool CoversRange(uint64_t start_du, uint64_t n_du) {
+  bool Access(uint64_t start_du, uint64_t n_du) {
     const uint64_t first = start_du / page_du_;
     const uint64_t last = (start_du + n_du - 1) / page_du_;
     for (uint64_t p = first; p <= last; ++p) {
@@ -48,7 +48,7 @@ class RefLru {
     return true;
   }
 
-  void InsertRange(uint64_t start_du, uint64_t n_du) {
+  void Install(uint64_t start_du, uint64_t n_du) {
     const uint64_t first = start_du / page_du_;
     const uint64_t last = (start_du + n_du - 1) / page_du_;
     for (uint64_t p = first; p <= last; ++p) InsertPage(p);
@@ -129,12 +129,12 @@ TEST(BufferCacheEquivalenceTest, ReplayedTraceMatchesListMapReference) {
       ref.Insert(du);
     } else if (op < 85) {
       const uint64_t n = 1 + rng.UniformInt(0, 4 * kPageDu);
-      ASSERT_EQ(cache.CoversRange(du, n), ref.CoversRange(du, n))
+      ASSERT_EQ(cache.Access(du, n), ref.Access(du, n))
           << "step " << step;
     } else if (op < 95) {
       const uint64_t n = 1 + rng.UniformInt(0, 4 * kPageDu);
-      cache.InsertRange(du, n);
-      ref.InsertRange(du, n);
+      cache.Install(du, n);
+      ref.Install(du, n);
     } else if (op < 99) {
       const uint64_t n = 1 + rng.UniformInt(0, 8 * kPageDu);
       cache.InvalidateRange(du, n);

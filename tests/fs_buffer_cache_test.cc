@@ -39,15 +39,15 @@ TEST(BufferCacheTest, LruEviction) {
 
 TEST(BufferCacheTest, RangeOperations) {
   BufferCache cache(16, 8);
-  EXPECT_FALSE(cache.CoversRange(0, 64));
-  cache.InsertRange(0, 64);  // Pages 0..7.
-  EXPECT_TRUE(cache.CoversRange(0, 64));
-  EXPECT_TRUE(cache.CoversRange(5, 20));
-  EXPECT_FALSE(cache.CoversRange(60, 10));  // Page 8 not resident.
+  EXPECT_FALSE(cache.Access(0, 64));
+  cache.Install(0, 64);  // Pages 0..7.
+  EXPECT_TRUE(cache.Access(0, 64));
+  EXPECT_TRUE(cache.Access(5, 20));
+  EXPECT_FALSE(cache.Access(60, 10));  // Page 8 not resident.
   cache.InvalidateRange(16, 8);  // Page 2.
-  EXPECT_FALSE(cache.CoversRange(16, 1));
-  EXPECT_TRUE(cache.CoversRange(0, 16));
-  EXPECT_TRUE(cache.CoversRange(24, 40));
+  EXPECT_FALSE(cache.Access(16, 1));
+  EXPECT_TRUE(cache.Access(0, 16));
+  EXPECT_TRUE(cache.Access(24, 40));
 }
 
 TEST(BufferCacheTest, HugeInvalidationSweepsCache) {

@@ -1,0 +1,291 @@
+#include "fs/cache_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fs/buffer_cache.h"
+#include "util/random.h"
+
+namespace rofs::fs {
+namespace {
+
+// --- Spec parsing (mirrors sched_policy_test.cc's SchedulerSpecTest).
+
+TEST(CachePolicySpecTest, ParsesEveryPolicy) {
+  const std::pair<const char*, CachePolicyKind> cases[] = {
+      {"lru", CachePolicyKind::kLru},
+      {"clock", CachePolicyKind::kClock},
+      {"2q", CachePolicyKind::k2Q},
+      {"arc", CachePolicyKind::kArc},
+  };
+  for (const auto& [text, kind] : cases) {
+    auto spec = ParseCachePolicySpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    EXPECT_EQ(spec->kind, kind);
+    EXPECT_EQ(spec->Label(), text);
+  }
+}
+
+TEST(CachePolicySpecTest, RejectsUnknownPolicy) {
+  auto spec = ParseCachePolicySpec("mru");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("unknown cache policy"),
+            std::string::npos);
+}
+
+TEST(CachePolicySpecTest, DefaultIsLru) {
+  CachePolicySpec spec;
+  EXPECT_EQ(spec.kind, CachePolicyKind::kLru);
+  EXPECT_EQ(spec.Label(), "lru");
+  BufferCache cache(4, 1);
+  EXPECT_EQ(cache.policy_kind(), CachePolicyKind::kLru);
+}
+
+// --- CLOCK.
+
+BufferCache MakeCache(const char* policy, uint64_t pages, uint64_t page_du) {
+  auto spec = ParseCachePolicySpec(policy);
+  EXPECT_TRUE(spec.ok());
+  return BufferCache(pages, page_du, *spec);
+}
+
+TEST(ClockPolicyTest, ReferencedPageGetsSecondChance) {
+  BufferCache cache = MakeCache("clock", 2, 1);
+  cache.Insert(0);
+  cache.Insert(1);
+  EXPECT_TRUE(cache.Touch(0));  // ref(0) = 1.
+  cache.Insert(2);              // Sweep clears ref(0), evicts 1.
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(ClockPolicyTest, DescribeQueuesCountsReferencedPages) {
+  BufferCache cache = MakeCache("clock", 4, 1);
+  cache.Insert(0);
+  cache.Insert(1);
+  cache.Insert(2);
+  cache.Touch(0);
+  cache.Touch(2);
+  EXPECT_EQ(cache.DescribeQueues(), "clock:3 ref:2");
+}
+
+// The satellite regression: invalidating a page must clear its reference
+// bit, so the unrelated page that recycles the slot does not inherit a
+// second chance it never earned.
+TEST(ClockPolicyTest, InvalidateClearsReferenceBitOfRecycledSlot) {
+  BufferCache cache = MakeCache("clock", 2, 1);
+  cache.Insert(0);
+  cache.Insert(1);
+  cache.Touch(0);
+  cache.Touch(1);  // Both referenced.
+  cache.InvalidateRange(1, 1);
+  cache.Insert(2);  // Recycles page 1's slot; must start with ref = 0.
+  cache.Insert(3);  // Sweep: clears ref(0), finds 2 unreferenced.
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(2))
+      << "recycled slot inherited a stale reference bit";
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+// --- 2Q.
+
+TEST(TwoQPolicyTest, GhostHitPromotesToAm) {
+  // Capacity 4: Kin = 1, A1out holds 2 ghosts.
+  BufferCache cache = MakeCache("2q", 4, 1);
+  for (uint64_t p = 0; p < 4; ++p) cache.Insert(p);
+  cache.Insert(4);   // Evicts 0 from A1in; ghost {0}.
+  EXPECT_TRUE(cache.Touch(1));  // A1in hit: deliberately no reorder.
+  cache.Insert(5);   // Evicts 1 (still A1in tail); ghost {1, 0}.
+  EXPECT_FALSE(cache.Contains(1));
+  cache.Insert(1);   // Ghost hit: 1 comes back straight into Am.
+  EXPECT_EQ(cache.DescribeQueues(), "a1in:3 am:1 a1out:1");
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST(TwoQPolicyTest, AmSurvivesSequentialScan) {
+  BufferCache cache = MakeCache("2q", 4, 1);
+  for (uint64_t p = 0; p < 4; ++p) cache.Insert(p);
+  cache.Insert(4);  // Ghost {0}.
+  cache.Insert(0);  // Promote 0 to Am (evicts 1 on the way).
+  ASSERT_TRUE(cache.Contains(0));
+  // A long one-shot scan churns only the admission queue; the hot page
+  // in Am is never threatened.
+  for (uint64_t p = 100; p < 140; ++p) cache.Insert(p);
+  EXPECT_TRUE(cache.Contains(0))
+      << "sequential scan flushed Am — no scan resistance";
+  EXPECT_TRUE(cache.Touch(0));
+}
+
+TEST(TwoQPolicyTest, InvalidatePurgesQueueMembershipAndGhost) {
+  BufferCache cache = MakeCache("2q", 4, 1);
+  for (uint64_t p = 0; p < 4; ++p) cache.Insert(p);
+  cache.Insert(4);  // Ghost {0}.
+  cache.Insert(0);  // 0 in Am now.
+  cache.InvalidateRange(0, 1);
+  EXPECT_FALSE(cache.Contains(0));
+  // Re-inserting the same address must be a cold start (A1in), not an
+  // Am promotion from stale history.
+  cache.Insert(0);
+  EXPECT_NE(cache.DescribeQueues().find("am:0"), std::string::npos)
+      << cache.DescribeQueues();
+  // Churn the admission queue: 0 must age out like any cold page.
+  for (uint64_t p = 200; p < 208; ++p) cache.Insert(p);
+  EXPECT_FALSE(cache.Contains(0))
+      << "invalidated page kept stale Am membership: "
+      << cache.DescribeQueues();
+}
+
+// --- ARC.
+
+TEST(ArcPolicyTest, ReaccessMovesT1ToT2) {
+  BufferCache cache = MakeCache("arc", 4, 1);
+  for (uint64_t p = 0; p < 4; ++p) cache.Insert(p);
+  EXPECT_EQ(cache.DescribeQueues(), "t1:4 t2:0 b1:0 b2:0 p:0");
+  cache.Touch(3);
+  EXPECT_EQ(cache.DescribeQueues(), "t1:3 t2:1 b1:0 b2:0 p:0");
+}
+
+TEST(ArcPolicyTest, GhostHitGrowsRecencyTargetAndPromotes) {
+  BufferCache cache = MakeCache("arc", 4, 1);
+  for (uint64_t p = 0; p < 4; ++p) cache.Insert(p);
+  cache.Touch(3);    // t1:[2,1,0] t2:[3].
+  cache.Insert(4);   // Evicts 0 (T1 tail) into B1.
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(3));
+  cache.Insert(0);   // B1 ghost hit: p grows, 0 resurrects into T2.
+  EXPECT_EQ(cache.DescribeQueues(), "t1:2 t2:2 b1:1 b2:0 p:1");
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(ArcPolicyTest, InvalidatePurgesResidencyAndGhosts) {
+  BufferCache cache = MakeCache("arc", 4, 1);
+  for (uint64_t p = 0; p < 4; ++p) cache.Insert(p);
+  cache.Touch(2);  // 2 in T2.
+  cache.InvalidateRange(2, 1);
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_EQ(cache.DescribeQueues(), "t1:3 t2:0 b1:0 b2:0 p:0");
+  // The address comes back cold: T1, no ghost-driven promotion.
+  cache.Insert(2);
+  EXPECT_EQ(cache.DescribeQueues(), "t1:4 t2:0 b1:0 b2:0 p:0");
+}
+
+// --- Cross-policy invariants.
+
+TEST(CachePolicyInvariantTest, HitsPlusMissesEqualsRequestsUnderChurn) {
+  for (const char* policy : {"lru", "clock", "2q", "arc"}) {
+    auto spec = ParseCachePolicySpec(policy);
+    ASSERT_TRUE(spec.ok());
+    BufferCache cache(64, 8, *spec);
+    Rng rng(42);
+    constexpr uint64_t kSpanDu = 64 * 8 * 3;
+    for (int step = 0; step < 20'000; ++step) {
+      const uint64_t du = rng.UniformInt(0, kSpanDu - 1);
+      switch (rng.UniformInt(0, 4)) {
+        case 0:
+          cache.Access(du, 1 + rng.UniformInt(0, 31));
+          break;
+        case 1:
+          cache.Install(du, 1 + rng.UniformInt(0, 31));
+          break;
+        case 2:
+          cache.InstallPrefetch(du, 1 + rng.UniformInt(0, 31));
+          break;
+        case 3:
+          cache.Touch(du);
+          break;
+        default:
+          cache.InvalidateRange(du, 1 + rng.UniformInt(0, 63));
+          break;
+      }
+      ASSERT_LE(cache.size_pages(), cache.capacity_pages());
+    }
+    EXPECT_EQ(cache.hits() + cache.misses(), cache.requests()) << policy;
+    EXPECT_GT(cache.requests(), 0u) << policy;
+    // Residency after an install, for every policy.
+    cache.Install(0, 8);
+    EXPECT_TRUE(cache.Contains(0)) << policy;
+  }
+}
+
+TEST(CachePolicyInvariantTest, PrefetchInstallsAreNotRequests) {
+  for (const char* policy : {"lru", "clock", "2q", "arc"}) {
+    auto spec = ParseCachePolicySpec(policy);
+    ASSERT_TRUE(spec.ok());
+    BufferCache cache(8, 1, *spec);
+    cache.InstallPrefetch(0, 4);
+    EXPECT_EQ(cache.requests(), 0u) << policy;
+    EXPECT_EQ(cache.prefetch_issued(), 4u) << policy;
+    EXPECT_EQ(cache.prefetch_hits(), 0u) << policy;
+    // First demand use attributes the prefetch, once per page.
+    EXPECT_TRUE(cache.Access(0, 2));
+    EXPECT_EQ(cache.prefetch_hits(), 2u) << policy;
+    EXPECT_TRUE(cache.Access(0, 2));
+    EXPECT_EQ(cache.prefetch_hits(), 2u) << policy;
+    EXPECT_EQ(cache.hits(), 2u) << policy;
+  }
+}
+
+// --- Write-back engine mechanics (policy-independent, run under LRU).
+
+TEST(WriteBackTest, PopOldestDirtyCoalescesAdjacentPages) {
+  BufferCache cache(8, 2);  // page_du = 2.
+  cache.InstallDirty(6, 2);   // Page 3.
+  cache.InstallDirty(8, 2);   // Page 4 — physically follows page 3.
+  cache.InstallDirty(0, 2);   // Page 0.
+  EXPECT_EQ(cache.dirty_pages(), 3u);
+  uint64_t start = 0;
+  uint64_t n = 0;
+  ASSERT_TRUE(cache.PopOldestDirty(&start, &n));
+  EXPECT_EQ(start, 6u);  // Pages 3+4 coalesce into one run.
+  EXPECT_EQ(n, 4u);
+  ASSERT_TRUE(cache.PopOldestDirty(&start, &n));
+  EXPECT_EQ(start, 0u);
+  EXPECT_EQ(n, 2u);
+  EXPECT_FALSE(cache.PopOldestDirty(&start, &n));
+  EXPECT_EQ(cache.dirty_pages(), 0u);
+  EXPECT_EQ(cache.flushed_pages(), 3u);
+  // The pages stay resident, just clean.
+  EXPECT_TRUE(cache.Contains(6));
+  EXPECT_TRUE(cache.Contains(0));
+}
+
+TEST(WriteBackTest, EvictingDirtyPageFlushesThroughCallback) {
+  BufferCache cache(2, 1);
+  std::vector<std::pair<uint64_t, uint64_t>> flushes;
+  cache.set_flush_fn([&flushes](uint64_t start_du, uint64_t n_du) {
+    flushes.emplace_back(start_du, n_du);
+  });
+  cache.InstallDirty(0, 1);
+  cache.InstallDirty(1, 1);
+  cache.Insert(2);  // Evicts dirty page 0.
+  ASSERT_EQ(flushes.size(), 1u);
+  EXPECT_EQ(flushes[0], (std::pair<uint64_t, uint64_t>{0, 1}));
+  EXPECT_EQ(cache.flushed_pages(), 1u);
+  EXPECT_EQ(cache.dirty_pages(), 1u);
+}
+
+TEST(WriteBackTest, InvalidateDropsDirtyWithoutFlushing) {
+  BufferCache cache(4, 1);
+  std::vector<std::pair<uint64_t, uint64_t>> flushes;
+  cache.set_flush_fn([&flushes](uint64_t start_du, uint64_t n_du) {
+    flushes.emplace_back(start_du, n_du);
+  });
+  cache.InstallDirty(5, 1);
+  EXPECT_EQ(cache.dirty_pages(), 1u);
+  cache.InvalidateRange(5, 1);  // Freed space: the data just vanishes.
+  EXPECT_EQ(cache.dirty_pages(), 0u);
+  EXPECT_TRUE(flushes.empty());
+  EXPECT_EQ(cache.flushed_pages(), 0u);
+  uint64_t start = 0;
+  uint64_t n = 0;
+  EXPECT_FALSE(cache.PopOldestDirty(&start, &n));
+}
+
+}  // namespace
+}  // namespace rofs::fs

@@ -12,6 +12,7 @@
 
 #include "alloc/restricted_buddy.h"
 #include "exp/experiment.h"
+#include "fs/cache_policy.h"
 #include "obs/trace_writer.h"
 #include "runner/sweep_runner.h"
 #include "util/units.h"
@@ -102,19 +103,53 @@ TEST(ObsInvariantsTest, DiskPhaseBreakdownSumsToServiceTime) {
 }
 
 TEST(ObsInvariantsTest, CacheHitsPlusMissesEqualsRequests) {
+  // The accounting invariant must hold for every replacement policy: the
+  // classification happens once, in the engine, before the policy is
+  // consulted.
+  for (const char* policy : {"lru", "clock", "2q", "arc"}) {
+    auto spec = fs::ParseCachePolicySpec(policy);
+    ASSERT_TRUE(spec.ok()) << policy;
+    ExperimentConfig cfg = FastObsConfig();
+    cfg.fs_options.cache_bytes = MiB(2);
+    cfg.fs_options.model_metadata_io = true;
+    cfg.fs_options.cache_policy = *spec;
+    Experiment e(TinyWorkload(), RestrictedBuddyFactory(), TinyDisk(), cfg);
+    auto result = e.RunApplicationTest();
+    ASSERT_TRUE(result.ok()) << policy << ": " << result.status().ToString();
+    const auto m = AsMap(result->obs_metrics);
+    const double hits = At(m, "cache.hits");
+    const double misses = At(m, "cache.misses");
+    const double requests = At(m, "cache.requests");
+    ASSERT_GT(requests, 0.0) << policy;
+    // Exact: every probe is classified as exactly one of hit or miss.
+    EXPECT_EQ(hits + misses, requests) << policy;
+    EXPECT_EQ(At(m, "cache.policy"),
+              static_cast<double>(static_cast<uint8_t>(spec->kind)))
+        << policy;
+  }
+}
+
+TEST(ObsInvariantsTest, ReadaheadAndWriteBackAccountingIsConsistent) {
   ExperimentConfig cfg = FastObsConfig();
   cfg.fs_options.cache_bytes = MiB(2);
-  cfg.fs_options.model_metadata_io = true;
+  cfg.fs_options.readahead_pages = 4;
+  cfg.fs_options.writeback_dirty_max = 32;
   Experiment e(TinyWorkload(), RestrictedBuddyFactory(), TinyDisk(), cfg);
   auto result = e.RunApplicationTest();
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   const auto m = AsMap(result->obs_metrics);
-  const double hits = At(m, "cache.hits");
-  const double misses = At(m, "cache.misses");
-  const double requests = At(m, "cache.requests");
-  ASSERT_GT(requests, 0.0);
-  // Exact: every probe is classified as exactly one of hit or miss.
-  EXPECT_EQ(hits + misses, requests);
+  // Prefetch hits only exist for pages that were actually prefetched.
+  EXPECT_LE(At(m, "cache.prefetch.hits"), At(m, "cache.prefetch.issued"));
+  EXPECT_GT(At(m, "cache.prefetch.issued"), 0.0);
+  // The measured window flushes its tail, so nothing stays buffered and
+  // every dirty page that left the cache was written out.
+  EXPECT_EQ(At(m, "cache.writeback.dirty"), 0.0);
+  EXPECT_GT(At(m, "cache.writeback.flushed"), 0.0);
+  // Physical reads split into demand and speculative; speculation is a
+  // subset of the total.
+  EXPECT_LE(At(m, "fs.prefetch_read_du"), At(m, "fs.physical_read_du"));
+  EXPECT_GT(At(m, "fs.physical_read_du"), 0.0);
+  EXPECT_GT(At(m, "fs.physical_write_du"), 0.0);
 }
 
 TEST(ObsInvariantsTest, SnapshotsIdenticalForAnyJobCount) {

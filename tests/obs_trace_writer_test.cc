@@ -1,6 +1,7 @@
 #include "obs/trace_writer.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -49,7 +50,9 @@ std::vector<RunTrace> GoldenRuns() {
   buffer->Add(
       Span(Name::kTransfer, Cat::kDisk, kTrackDiskBase + 0, 11.5, 0.75, 4096));
   buffer->Add(Instant(Name::kCacheMiss, Cat::kCache, kTrackCache, 10.25));
+  buffer->Add(Instant(Name::kCachePrefetch, Cat::kCache, kTrackCache, 10.3, 4));
   buffer->Add(Instant(Name::kAllocBlock, Cat::kAlloc, kTrackAlloc, 10.5, 8));
+  buffer->Add(Instant(Name::kCacheFlush, Cat::kCache, kTrackCache, 11.25, 2));
   TraceEvent depth;
   depth.ts_ms = 12.0;
   depth.value = 3;
@@ -120,6 +123,11 @@ TEST(ChromeTraceJsonTest, MatchesGolden) {
   const std::string json = ChromeTraceJson(GoldenRuns(), GoldenWallSpans());
   const std::string golden_path =
       std::string(ROFS_SOURCE_DIR) + "/tests/goldens/obs_trace_small.json";
+  if (std::getenv("ROFS_REGEN_GOLDENS") != nullptr) {
+    std::ofstream out(golden_path);
+    out << json;
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
   std::ifstream in(golden_path);
   ASSERT_TRUE(in.good()) << "missing golden: " << golden_path;
   std::stringstream contents;
@@ -149,6 +157,9 @@ TEST(ChromeTraceJsonTest, StructurallySound) {
   // The two overlapping wall spans occupy distinct lanes.
   EXPECT_NE(json.find("lane 0"), std::string::npos);
   EXPECT_NE(json.find("lane 1"), std::string::npos);
+  // The new cache-hierarchy instants render with their page counts.
+  EXPECT_NE(json.find("\"name\":\"prefetch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"flush\""), std::string::npos);
   // Categories the CI smoke greps for.
   EXPECT_NE(json.find("\"cat\":\"op\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"disk\""), std::string::npos);

@@ -96,32 +96,53 @@ TEST(NoAllocTest, CallbacksLargerThanReserveStillDoNotReallocate) {
 }
 
 TEST(NoAllocTest, BufferCacheOperationsAllocateNothing) {
-  fs::BufferCache cache(128, 8);
-  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
-  uint64_t x = 123456789;
-  for (int step = 0; step < 100'000; ++step) {
-    x ^= x << 13;
-    x ^= x >> 7;
-    x ^= x << 17;
-    const uint64_t du = x % (128 * 8 * 4);
-    switch (step % 4) {
-      case 0:
-        cache.Touch(du);
-        break;
-      case 1:
-        cache.Insert(du);
-        break;
-      case 2:
-        cache.CoversRange(du, 1 + (x % 32));
-        break;
-      default:
-        cache.InvalidateRange(du, 1 + (x % 16));
-        break;
+  // Every replacement policy promises construction-time storage
+  // (including 2Q/ARC ghost lists): steady-state access/install/
+  // invalidate/prefetch/dirty churn must be allocation-free for all four.
+  for (const char* policy : {"lru", "clock", "2q", "arc"}) {
+    auto spec = fs::ParseCachePolicySpec(policy);
+    ASSERT_TRUE(spec.ok()) << policy;
+    fs::BufferCache cache(128, 8, *spec);
+    uint64_t flushed = 0;
+    cache.set_flush_fn(
+        [&flushed](uint64_t, uint64_t n_du) { flushed += n_du; });
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    uint64_t x = 123456789;
+    for (int step = 0; step < 100'000; ++step) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      const uint64_t du = x % (128 * 8 * 4);
+      switch (step % 6) {
+        case 0:
+          cache.Touch(du);
+          break;
+        case 1:
+          cache.Insert(du);
+          break;
+        case 2:
+          cache.Access(du, 1 + (x % 32));
+          break;
+        case 3:
+          cache.InstallPrefetch(du, 1 + (x % 32));
+          break;
+        case 4: {
+          cache.InstallDirty(du, 1 + (x % 32));
+          uint64_t s = 0;
+          uint64_t n = 0;
+          while (cache.dirty_pages() > 16 && cache.PopOldestDirty(&s, &n)) {
+          }
+          break;
+        }
+        default:
+          cache.InvalidateRange(du, 1 + (x % 16));
+          break;
+      }
     }
+    const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << policy << " cache churn must not allocate";
   }
-  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
-  EXPECT_EQ(after - before, 0u)
-      << "buffer cache touch/insert/invalidate must not allocate";
 }
 
 TEST(NoAllocTest, MetricRecordPathsAllocateNothing) {
