@@ -88,6 +88,20 @@ exp::ExperimentConfig BenchExperimentConfig() {
     cfg.stable_tolerance_pp = 1.0;
   }
   cfg.obs = g_bench_obs;
+  // Intra-run engine knobs shared by every driver: ROFS_SIM_THREADS=N
+  // shards the event loop per drive (output byte-identical for any
+  // N >= 1, and identical to the classic engine on FCFS configs — see
+  // DESIGN.md §11), ROFS_SIM_WHEEL=1 keeps idle users in the timer
+  // wheel. Environment-driven so the 12 figure drivers pick them up
+  // without per-driver flag plumbing.
+  if (const char* threads = std::getenv("ROFS_SIM_THREADS");
+      threads != nullptr && threads[0] != '\0') {
+    cfg.engine.threads = std::atoi(threads);
+  }
+  if (const char* wheel = std::getenv("ROFS_SIM_WHEEL");
+      wheel != nullptr && wheel[0] != '\0') {
+    cfg.engine.timer_wheel = wheel[0] != '0';
+  }
   return cfg;
 }
 

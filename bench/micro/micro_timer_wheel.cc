@@ -1,0 +1,115 @@
+// Microbenchmark of the hierarchical timer wheel (DESIGN.md §11.5)
+// against the event heap it replaces for user think-time expiry: a
+// steady population of N idle timers, each firing and immediately
+// re-arming with a fresh think delay — the op generator's inner loop.
+// The heap pays O(log N) sift work and a 48-byte callback slot per
+// reschedule; the wheel pays O(1) bucketing on one 32-byte pooled node,
+// so the gap widens exactly where ISSUE 8 needs it (10^5-10^6 users).
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.h"
+#include "sim/timer_wheel.h"
+#include "util/random.h"
+
+namespace rofs {
+namespace {
+
+constexpr size_t kDelays = 16384;
+
+/// Pre-drawn think delays shared by both variants, so the measurement
+/// compares the structures, not the RNG. The mean delay scales with the
+/// population (0.5 ms per user, at least 100 ms): a million concurrent
+/// users are only realistic when almost all of them are idle for
+/// minutes, and that ratio — not the raw count — sets the timers-per-
+/// tick density the wheel buckets by.
+std::vector<double> ThinkDelays(size_t users) {
+  const double mean = std::max(100.0, 0.5 * static_cast<double>(users));
+  Rng rng(42);
+  std::vector<double> v(kDelays);
+  for (double& d : v) d = mean * (0.5 + rng.NextDouble());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Heap mode: every idle user is one event-queue entry whose callback
+// re-arms itself (what the op generator does without the wheel).
+// ---------------------------------------------------------------------------
+
+struct ThinkPayload {
+  sim::EventQueue* queue;
+  const std::vector<double>* delays;
+  uint64_t* fired;
+  uint64_t user;
+  void operator()() const {
+    ++*fired;
+    queue->Schedule(queue->now() + (*delays)[(user + *fired) % kDelays],
+                    ThinkPayload{queue, delays, fired, user});
+  }
+};
+
+void BM_ThinkChurn_EventHeap(benchmark::State& state) {
+  const size_t kUsers = static_cast<size_t>(state.range(0));
+  const std::vector<double> delays = ThinkDelays(kUsers);
+  sim::EventQueue queue;
+  queue.Reserve(kUsers + 1);
+  uint64_t fired = 0;
+  for (size_t u = 0; u < kUsers; ++u) {
+    queue.Schedule(delays[u % kDelays],
+                   ThinkPayload{&queue, &delays, &fired, u});
+  }
+  for (auto _ : state) {
+    queue.RunNext();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThinkChurn_EventHeap)
+    ->RangeMultiplier(32)
+    ->Range(1024, 1 << 20)
+    ->Unit(benchmark::kNanosecond);
+
+// ---------------------------------------------------------------------------
+// Wheel mode: the same churn through TimerWheel::Schedule/PopDue, with
+// the pump clock following next_deadline() exactly as the op generator's
+// wheel pump does.
+// ---------------------------------------------------------------------------
+
+void BM_ThinkChurn_TimerWheel(benchmark::State& state) {
+  const size_t kUsers = static_cast<size_t>(state.range(0));
+  const std::vector<double> delays = ThinkDelays(kUsers);
+  sim::TimerWheel wheel(/*tick_ms=*/1.0);
+  wheel.Reserve(kUsers);
+  for (size_t u = 0; u < kUsers; ++u) {
+    wheel.Schedule(delays[u % kDelays], u);
+  }
+  std::vector<sim::TimerEntry> due;
+  size_t cursor = 0;
+  uint64_t fired = 0;
+  double now = 0.0;
+  for (auto _ : state) {
+    if (cursor == due.size()) {
+      due.clear();
+      cursor = 0;
+      now = wheel.next_deadline();
+      wheel.PopDue(now, &due);
+    }
+    const sim::TimerEntry& e = due[cursor++];
+    ++fired;
+    wheel.Schedule(now + delays[(e.payload + fired) % kDelays], e.payload);
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThinkChurn_TimerWheel)
+    ->RangeMultiplier(32)
+    ->Range(1024, 1 << 20)
+    ->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace rofs
+
+BENCHMARK_MAIN();

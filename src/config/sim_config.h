@@ -41,6 +41,9 @@ struct SimConfig {
 ///   [test]      run = alloc,app,seq | all; seed, sample_interval,
 ///               tolerance_pp, warmup, min_measure, max_measure,
 ///               fill_lower, fill_upper
+///   [sim]       threads = 0..N (0 = classic serial engine; >= 1 shards
+///               disk events per drive, byte-identical output for every
+///               value >= 1); user_timer = heap|wheel; wheel_tick
 ///   [workload]  builtin = TS | TP | SC   (optional shortcut)
 ///   [filetype NAME]  every Table 2 parameter (files, users,
 ///               process_time, hit_frequency, rw_bytes, rw_dev,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "sim/sharded_engine.h"
 #include "util/table.h"
 
 namespace rofs::disk {
@@ -43,6 +44,17 @@ void DiskSystem::BindQueue(sim::EventQueue* queue) {
   assert(queue_ == nullptr && "BindQueue must be called once");
   queue_ = queue;
   for (Disk& d : disks_) d.BindQueue(queue, config_.scheduler);
+}
+
+void DiskSystem::BindSharded(sim::ShardedEngine* engine) {
+  assert(engine != nullptr);
+  assert(queue_ == nullptr && "bind once, BindQueue xor BindSharded");
+  engine_ = engine;
+  queue_ = engine->central();
+  for (uint32_t i = 0; i < disks_.size(); ++i) {
+    disks_[i].BindQueue(engine->shard_queue(i % engine->num_shards()),
+                        config_.scheduler);
+  }
 }
 
 uint32_t DiskSystem::PickMirrorTarget(const DiskAccess& a) const {
@@ -146,10 +158,22 @@ void DiskSystem::SubmitGroup(uint32_t group, sim::TimeMs arrival,
     if (a.alt_disk >= 0 && !a.is_write) {
       target = PickMirrorTarget(a);
     }
-    disks_[target].Submit(arrival, a.offset_du * du, a.length_du * du,
-                          [this, group](sim::TimeMs done) {
-                            OnGroupAccessDone(group, done);
-                          });
+    if (engine_ != nullptr) {
+      // The completion fires in the drive's shard; the group bookkeeping
+      // (and the FS continuation it may trigger) touches shared state, so
+      // it crosses back to the central domain as a buffered effect.
+      disks_[target].Submit(arrival, a.offset_du * du, a.length_du * du,
+                            [this, group](sim::TimeMs done) {
+                              engine_->EmitEffect(done, [this, group, done] {
+                                OnGroupAccessDone(group, done);
+                              });
+                            });
+    } else {
+      disks_[target].Submit(arrival, a.offset_du * du, a.length_du * du,
+                            [this, group](sim::TimeMs done) {
+                              OnGroupAccessDone(group, done);
+                            });
+    }
   }
 }
 

@@ -1,14 +1,42 @@
 #include "exp/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "exp/throughput_tracker.h"
 #include "obs/trace_writer.h"
+#include "runner/thread_pool.h"
 
 namespace rofs::exp {
 
 namespace {
+
+/// Oversubscription guard: `--jobs N` already runs N simulations in
+/// parallel, so each run's shard gang is capped at hardware_concurrency
+/// / jobs. Purely an execution decision — the simulation output is
+/// byte-identical for any worker count — so the cap never perturbs
+/// results, only keeps N x M runnable threads off a smaller machine.
+int EffectiveEngineThreads(int requested) {
+  if (requested <= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return requested;
+  const int jobs = runner::ActiveJobs();
+  int cap = static_cast<int>(hw) / (jobs < 1 ? 1 : jobs);
+  if (cap < 1) cap = 1;
+  if (requested <= cap) return requested;
+  static std::once_flag warned;
+  std::call_once(warned, [&] {
+    std::fprintf(stderr,
+                 "[sim] warning: threads = %d with %d runner jobs would "
+                 "oversubscribe %u hardware threads; capping each run's "
+                 "workers at %d\n",
+                 requested, jobs, hw, cap);
+  });
+  return cap;
+}
 
 /// Shared metric names for the counters every allocation policy exposes.
 void AllocatorStatsToRecord(const alloc::AllocatorStats& s, RunRecord* r) {
@@ -94,6 +122,12 @@ Status ExperimentConfig::Validate() const {
     const Status policy = fs_options.cache_policy.Validate();
     if (!policy.ok()) return policy;
   }
+  if (engine.threads < 0) {
+    return Status::InvalidArgument("sim threads must be >= 0");
+  }
+  if (!(engine.wheel_tick_ms > 0.0)) {
+    return Status::InvalidArgument("sim wheel_tick must be positive");
+  }
   return Status::OK();
 }
 
@@ -106,6 +140,9 @@ RunRecord AllocationResult::ToRecord() const {
   r.Set("extents_per_file", avg_extents_per_file);
   r.Set("ops", static_cast<double>(ops_executed));
   r.Set("simulated_ms", simulated_ms);
+  r.Set("sim.users.peak", static_cast<double>(users_peak));
+  r.Set("sim.events.peak", static_cast<double>(events_peak));
+  r.Set("sim.wheel.peak", static_cast<double>(wheel_peak));
   AllocatorStatsToRecord(alloc_stats, &r);
   for (const auto& [name, value] : obs_metrics) r.Set("obs." + name, value);
   return r;
@@ -121,6 +158,9 @@ AllocationResult AllocationResult::FromRecord(const RunRecord& record) {
   a.avg_extents_per_file = record.Get("extents_per_file");
   a.ops_executed = static_cast<uint64_t>(record.Get("ops"));
   a.simulated_ms = record.Get("simulated_ms");
+  a.users_peak = static_cast<uint64_t>(record.Get("sim.users.peak"));
+  a.events_peak = static_cast<uint64_t>(record.Get("sim.events.peak"));
+  a.wheel_peak = static_cast<uint64_t>(record.Get("sim.wheel.peak"));
   a.alloc_stats = AllocatorStatsFromRecord(record);
   return a;
 }
@@ -137,6 +177,9 @@ RunRecord PerfResult::ToRecord() const {
   r.Set("extents_per_file", avg_extents_per_file);
   r.Set("internal_frag", internal_fragmentation);
   r.Set("mean_op_latency_ms", mean_op_latency_ms);
+  r.Set("sim.users.peak", static_cast<double>(users_peak));
+  r.Set("sim.events.peak", static_cast<double>(events_peak));
+  r.Set("sim.wheel.peak", static_cast<double>(wheel_peak));
   AllocatorStatsToRecord(alloc_stats, &r);
   for (const auto& [name, value] : obs_metrics) r.Set("obs." + name, value);
   return r;
@@ -155,6 +198,9 @@ PerfResult PerfResult::FromRecord(const RunRecord& record) {
   p.avg_extents_per_file = record.Get("extents_per_file");
   p.internal_fragmentation = record.Get("internal_frag");
   p.mean_op_latency_ms = record.Get("mean_op_latency_ms");
+  p.users_peak = static_cast<uint64_t>(record.Get("sim.users.peak"));
+  p.events_peak = static_cast<uint64_t>(record.Get("sim.events.peak"));
+  p.wheel_peak = static_cast<uint64_t>(record.Get("sim.wheel.peak"));
   p.alloc_stats = AllocatorStatsFromRecord(record);
   return p;
 }
@@ -174,9 +220,19 @@ StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
   ROFS_RETURN_IF_ERROR(disk_config_.scheduler.Validate());
   auto sim = std::make_unique<Sim>();
   sim->disk = std::make_unique<disk::DiskSystem>(disk_config_);
-  // Dispatch-driven disks: every request flows through the configured
-  // per-disk scheduler and completes via an event-queue callback.
-  sim->disk->BindQueue(&sim->queue);
+  if (config_.engine.threads >= 1) {
+    // Sharded engine: one shard (local event queue) per drive, workers
+    // capped by the oversubscription guard. The cap changes only which
+    // thread runs a shard window, never the simulation's output.
+    sim->engine = std::make_unique<sim::ShardedEngine>(
+        &sim->queue, static_cast<uint32_t>(disk_config_.disks.size()),
+        EffectiveEngineThreads(config_.engine.threads));
+    sim->disk->BindSharded(sim->engine.get());
+  } else {
+    // Dispatch-driven disks: every request flows through the configured
+    // per-disk scheduler and completes via an event-queue callback.
+    sim->disk->BindQueue(&sim->queue);
+  }
   sim->allocator = factory_(sim->disk->capacity_du());
   sim->fs = std::make_unique<fs::ReadOptimizedFs>(
       sim->allocator.get(), sim->disk.get(), config_.fs_options);
@@ -192,6 +248,8 @@ StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
   // Reordering schedulers cannot report completion times at issue; the
   // generator must account for operations in completion callbacks.
   options.async = !sim->disk->predictable();
+  options.timer_wheel = config_.engine.timer_wheel;
+  options.wheel_tick_ms = config_.engine.wheel_tick_ms;
   sim->gen = std::make_unique<workload::OpGenerator>(
       &workload_, sim->fs.get(), &sim->queue, options);
   if (instrument_) instrument_(sim->gen.get());
@@ -201,7 +259,19 @@ StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
         std::make_unique<obs::Session>(config_.obs, sim->queue.now_ptr());
     obs::SimTracer* tracer = sim->obs->tracer();
     sim->queue.set_tracer(tracer);
-    sim->disk->set_tracer(tracer);
+    if (sim->engine != nullptr) {
+      // Sharded runs record disk events through per-shard lanes —
+      // isolated registries/buffers behind that shard's clock — so
+      // worker threads never touch shared recording state. Snapshots
+      // merge the lanes by name, which is order-independent.
+      for (uint32_t i = 0; i < sim->disk->num_disks(); ++i) {
+        sim::EventQueue* shard =
+            sim->engine->shard_queue(i % sim->engine->num_shards());
+        sim->disk->set_disk_tracer(i, sim->obs->AddLane(shard->now_ptr()));
+      }
+    } else {
+      sim->disk->set_tracer(tracer);
+    }
     sim->allocator->set_tracer(tracer);
     sim->fs->set_tracer(tracer);
     // Chain onto whatever sink instrument_ installed (e.g. an OpTrace),
@@ -234,7 +304,7 @@ StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
     double best_util = -1.0;
     int stalled = 0;
     while (sim->fs->SpaceUtilization() < config_.fill_lower) {
-      sim->queue.RunUntil(sim->queue.now() + chunk);
+      RunSim(sim.get(), sim->queue.now() + chunk);
       const double util = sim->fs->SpaceUtilization();
       if (util - best_util < 5e-4) {
         // A policy whose external fragmentation keeps it from ever
@@ -248,6 +318,26 @@ StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
     }
   }
   return sim;
+}
+
+uint64_t Experiment::RunSim(Sim* sim, sim::TimeMs until) {
+  return sim->engine != nullptr ? sim->engine->RunUntil(until)
+                                : sim->queue.RunUntil(until);
+}
+
+void Experiment::FillCapacity(Sim* sim, uint64_t* users_peak,
+                              uint64_t* events_peak,
+                              uint64_t* wheel_peak) const {
+  uint64_t users = 0;
+  for (const workload::FileTypeSpec& t : workload_.types) {
+    users += t.num_users;
+  }
+  *users_peak = users;
+  *events_peak = sim->engine != nullptr
+                     ? sim->engine->total_max_heap_depth()
+                     : sim->queue.max_heap_depth();
+  const sim::TimerWheel* wheel = sim->gen->wheel();
+  *wheel_peak = wheel != nullptr ? wheel->peak_size() : 0;
 }
 
 PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
@@ -272,19 +362,19 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   };
 
   // Warm up the disk queues in the measured mode, then measure.
-  sim->queue.RunUntil(sim->queue.now() + config_.warmup_ms);
+  RunSim(sim, sim->queue.now() + config_.warmup_ms);
   const uint64_t disk_full_before = sim->gen->disk_full_count();
   sim->gen->ResetStats();
   // Recording starts with the measurement window (stays armed across the
   // sequential half of a performance pair).
-  if (sim->obs != nullptr) sim->obs->tracer()->Arm();
+  if (sim->obs != nullptr) sim->obs->ArmAll();
   tracker->Start(sim->queue.now());
   const sim::TimeMs start = sim->queue.now();
 
   double util = 0.0;
   while (true) {
     const sim::TimeMs t = tracker->NextSampleTime();
-    sim->queue.RunUntil(t);
+    RunSim(sim, t);
     util = tracker->Sample(t);
     const double elapsed = t - start;
     if (elapsed >= min_measure && tracker->Stabilized()) break;
@@ -307,6 +397,8 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   result.internal_fragmentation = sim->fs->InternalFragmentation();
   result.mean_op_latency_ms = sim->gen->op_latency_ms().Mean();
   result.alloc_stats = sim->allocator->stats();
+  FillCapacity(sim, &result.users_peak, &result.events_peak,
+               &result.wheel_peak);
   SnapshotObs(sim, &result.obs_metrics);
   if (stats_sink_ != nullptr && mode == workload::OpMode::kApplication) {
     *stats_sink_ = sim->gen->StatsReport();
@@ -322,10 +414,25 @@ void Experiment::SnapshotObs(
   // End-of-run gauges folded from the components' own counters. Every
   // value derives from simulation state, never wall clock, so snapshots
   // are identical however many runner jobs executed the sweep.
-  reg.AddGauge("sim.events_dispatched")
-      ->Set(static_cast<double>(sim->queue.dispatched()));
-  reg.AddGauge("sim.max_heap_depth")
-      ->Set(static_cast<double>(sim->queue.max_heap_depth()));
+  if (sim->engine != nullptr) {
+    reg.AddGauge("sim.events_dispatched")
+        ->Set(static_cast<double>(sim->engine->total_dispatched()));
+    reg.AddGauge("sim.max_heap_depth")
+        ->Set(static_cast<double>(sim->engine->total_max_heap_depth()));
+    reg.AddGauge("sim.engine.windows")
+        ->Set(static_cast<double>(sim->engine->windows()));
+    reg.AddGauge("sim.engine.effects")
+        ->Set(static_cast<double>(sim->engine->effects_committed()));
+  } else {
+    reg.AddGauge("sim.events_dispatched")
+        ->Set(static_cast<double>(sim->queue.dispatched()));
+    reg.AddGauge("sim.max_heap_depth")
+        ->Set(static_cast<double>(sim->queue.max_heap_depth()));
+  }
+  if (const sim::TimerWheel* wheel = sim->gen->wheel()) {
+    reg.AddGauge("sim.wheel.peak")
+        ->Set(static_cast<double>(wheel->peak_size()));
+  }
   double seek_ms = 0, rotation_ms = 0, transfer_ms = 0, busy_ms = 0;
   uint64_t seeks = 0, accesses = 0, bytes = 0;
   for (uint32_t i = 0; i < sim->disk->num_disks(); ++i) {
@@ -393,11 +500,14 @@ void Experiment::SnapshotObs(
   reg.AddGauge("fs.physical_write_du")
       ->Set(static_cast<double>(sim->fs->physical_write_du()));
   out->clear();
-  reg.Snapshot(out);
+  // Merges the per-shard lanes (sharded runs) with the main registry;
+  // identical to reg.Snapshot(out) when there are none.
+  sim->obs->Snapshot(out);
 }
 
 void Experiment::FinishObs(Sim* sim) {
   if (sim->obs == nullptr || sim->obs->buffer() == nullptr) return;
+  sim->obs->FoldLaneTraces();
   obs::TraceCollector::Global().AddRun(sim->obs->TakeBuffer());
 }
 
@@ -410,15 +520,15 @@ StatusOr<AllocationResult> Experiment::RunAllocationTest() {
   // reaches the failure point; see DESIGN.md. Policies that can pack the
   // disk almost perfectly (tiny extents) are declared full at the
   // utilization cap instead — their external fragmentation is ~zero.
-  if (sim->obs != nullptr) sim->obs->tracer()->Arm();
+  if (sim->obs != nullptr) sim->obs->ArmAll();
   if (!sim->gen->hit_disk_full()) {
     sim->gen->set_mode(workload::OpMode::kFill);
     sim->gen->on_disk_full = [&sim] { sim->queue.Stop(); };
     while (!sim->gen->hit_disk_full() &&
            sim->fs->SpaceUtilization() < config_.alloc_full_utilization &&
            sim->gen->ops_executed() < config_.max_alloc_test_ops) {
-      sim->queue.RunUntil(sim->queue.now() +
-                          10 * config_.sample_interval_ms);
+      RunSim(sim.get(),
+             sim->queue.now() + 10 * config_.sample_interval_ms);
       if (sim->queue.stopped()) break;
     }
   }
@@ -430,6 +540,8 @@ StatusOr<AllocationResult> Experiment::RunAllocationTest() {
   result.ops_executed = sim->gen->ops_executed();
   result.simulated_ms = sim->queue.now();
   result.alloc_stats = sim->allocator->stats();
+  FillCapacity(sim.get(), &result.users_peak, &result.events_peak,
+               &result.wheel_peak);
   SnapshotObs(sim.get(), &result.obs_metrics);
   FinishObs(sim.get());
   return result;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/options.h"
@@ -232,13 +233,43 @@ class Session {
   /// Null unless tracing.
   TraceBuffer* buffer() { return buffer_.get(); }
   /// Moves the trace buffer out (for registration with the collector).
+  /// FoldLaneTraces() first, or lane events are lost.
   std::unique_ptr<TraceBuffer> TakeBuffer() { return std::move(buffer_); }
 
+  /// Adds an isolated recording lane — its own registry (and trace
+  /// buffer, when tracing) behind a tracer reading `now`. A sharded run
+  /// gives each shard one lane so its drives record without touching
+  /// another thread's state; `now` is that shard's queue clock. Lanes
+  /// must be added before traffic and live for the whole run.
+  SimTracer* AddLane(const double* now);
+
+  /// Arms / disarms the main tracer and every lane together.
+  void ArmAll();
+  void DisarmAll();
+
+  /// Appends a name-sorted snapshot of the session's metrics — the main
+  /// registry merged with every lane's — without disturbing any of them,
+  /// so repeated snapshots (a performance pair measures twice) see the
+  /// same accumulation a single shared registry would.
+  void Snapshot(std::vector<std::pair<std::string, double>>* out) const;
+
+  /// Appends every lane's trace events to the main buffer, lane-major
+  /// (each lane's stream is itself deterministic). Call exactly once,
+  /// before TakeBuffer.
+  void FoldLaneTraces();
+
  private:
+  struct Lane {
+    std::unique_ptr<Registry> registry;
+    std::unique_ptr<TraceBuffer> buffer;  // Null unless tracing.
+    std::unique_ptr<SimTracer> tracer;
+  };
+
   Options options_;
   Registry registry_;
   std::unique_ptr<TraceBuffer> buffer_;
   SimTracer tracer_;
+  std::vector<Lane> lanes_;
 };
 
 }  // namespace rofs::obs

@@ -1,0 +1,173 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "runner/thread_pool.h"
+
+namespace rofs::sim {
+
+namespace {
+
+constexpr TimeMs kInf = std::numeric_limits<TimeMs>::infinity();
+
+/// Shard windows smaller than this run inline on the coordinator: the
+/// handoff + wakeup cost of the gang dwarfs a handful of events. The
+/// threshold reads only queue state, so the inline/parallel choice — and
+/// therefore the execution, though never the output — is reproducible.
+constexpr uint64_t kParallelThresholdEvents = 64;
+
+/// Shard context of the executing thread: the shard whose events are
+/// being dispatched, or -1 (coordinator / central domain).
+thread_local int tls_shard = -1;
+
+}  // namespace
+
+int ShardedEngine::CurrentShard() { return tls_shard; }
+
+ShardedEngine::ShardedEngine(EventQueue* central, uint32_t num_shards,
+                             int threads)
+    : central_(central), threads_(threads) {
+  assert(central != nullptr);
+  assert(num_shards > 0);
+  shards_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_[s]->queue.set_schedule_observer(&ShardedEngine::OnShardSchedule,
+                                            this);
+  }
+  if (threads_ > 1) {
+    pool_ = std::make_unique<runner::ThreadPool>(threads_);
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::OnShardSchedule(void* ctx, TimeMs when) {
+  // Shard-context schedules are a shard extending its own future; only a
+  // central event creating new disk work must shrink the central bound.
+  if (tls_shard >= 0) return;
+  auto* engine = static_cast<ShardedEngine*>(ctx);
+  if (when < engine->central_bound_) engine->central_bound_ = when;
+}
+
+TimeMs ShardedEngine::MinShardNextTime() const {
+  TimeMs min_next = kInf;
+  for (const auto& shard : shards_) {
+    min_next = std::min(min_next, shard->queue.next_time());
+  }
+  return min_next;
+}
+
+uint64_t ShardedEngine::RunShardPhase(TimeMs tc, TimeMs until) {
+  ready_.clear();
+  uint64_t pending = 0;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    const TimeMs t = shards_[s]->queue.next_time();
+    if (t < tc && t <= until) {
+      ready_.push_back(s);
+      pending += shards_[s]->queue.size();
+    }
+  }
+  if (ready_.empty()) return 0;
+  ++windows_;
+
+  uint64_t dispatched = 0;
+  if (pool_ == nullptr || ready_.size() < 2 ||
+      pending < kParallelThresholdEvents) {
+    // Inline: shards in index order on the coordinator. Effects still
+    // buffer (tls_shard is set), so the commit order matches the
+    // parallel path exactly.
+    for (const uint32_t s : ready_) {
+      tls_shard = static_cast<int>(s);
+      dispatched += shards_[s]->queue.RunBelow(tc, until);
+      tls_shard = -1;
+    }
+    return dispatched;
+  }
+
+  ++parallel_windows_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_workers_ = static_cast<int>(ready_.size());
+  }
+  for (const uint32_t s : ready_) {
+    pool_->Submit([this, s, tc, until] {
+      tls_shard = static_cast<int>(s);
+      shards_[s]->phase_dispatched = shards_[s]->queue.RunBelow(tc, until);
+      tls_shard = -1;
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_workers_ == 0) cv_.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_workers_ == 0; });
+  }
+  for (const uint32_t s : ready_) {
+    dispatched += shards_[s]->phase_dispatched;
+  }
+  return dispatched;
+}
+
+void ShardedEngine::CommitEffects() {
+  commit_order_.clear();
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    const auto& effects = shards_[s]->effects;
+    for (uint32_t i = 0; i < effects.size(); ++i) {
+      commit_order_.push_back(EffectRef{effects[i].when, s, i});
+    }
+  }
+  if (commit_order_.empty()) return;
+  // Stable sort on time alone: ties keep the shard-major emission order,
+  // yielding the (time, shard, index) total order. The central queue's
+  // FIFO sequence numbers then preserve it among equal-time events.
+  std::stable_sort(commit_order_.begin(), commit_order_.end(),
+                   [](const EffectRef& a, const EffectRef& b) {
+                     return a.when < b.when;
+                   });
+  for (const EffectRef& ref : commit_order_) {
+    central_->Schedule(ref.when,
+                       std::move(shards_[ref.shard]->effects[ref.index].fn));
+  }
+  effects_committed_ += commit_order_.size();
+  for (const auto& shard : shards_) shard->effects.clear();
+}
+
+uint64_t ShardedEngine::RunUntil(TimeMs until) {
+  uint64_t total = 0;
+  for (;;) {
+    // Central phase: never overtake the earliest pending shard event.
+    // The bound is lowered mid-phase by the Schedule observer whenever a
+    // central event submits earlier disk work.
+    central_bound_ = std::min(until, MinShardNextTime());
+    total += central_->RunUntilBound(&central_bound_);
+    if (central_->stopped()) break;
+
+    // Shard phase: strictly below the next central event (central wins
+    // ties), inclusively bounded by `until`.
+    const TimeMs tc = central_->next_time();
+    const uint64_t n = RunShardPhase(tc, until);
+    if (n == 0) break;  // Neither domain has eligible work left.
+    total += n;
+    CommitEffects();
+  }
+  return total;
+}
+
+uint64_t ShardedEngine::Run() { return RunUntil(kInf); }
+
+uint64_t ShardedEngine::total_dispatched() const {
+  uint64_t total = central_->dispatched();
+  for (const auto& shard : shards_) total += shard->queue.dispatched();
+  return total;
+}
+
+size_t ShardedEngine::total_max_heap_depth() const {
+  size_t total = central_->max_heap_depth();
+  for (const auto& shard : shards_) total += shard->queue.max_heap_depth();
+  return total;
+}
+
+}  // namespace rofs::sim

@@ -1,0 +1,166 @@
+#ifndef ROFS_SIM_SHARDED_ENGINE_H_
+#define ROFS_SIM_SHARDED_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace rofs::runner {
+class ThreadPool;
+}
+
+namespace rofs::sim {
+
+/// Conservative time-window engine: one serial central event domain plus
+/// per-shard (per-disk) event queues that run in parallel inside safe
+/// horizons.
+///
+/// Domains and ownership: the central queue carries everything that
+/// touches shared state — user streams, FS/cache/allocator work, metric
+/// crediting. Each shard queue carries exactly one disk's internal events
+/// (admission, service completion), so a shard's events touch only that
+/// disk's state and may run on a worker thread.
+///
+/// The round algorithm (see DESIGN.md §11):
+///   1. Central phase: dispatch central events while their time is <= the
+///      minimum pending shard event time (and <= `until`). The bound is
+///      re-read every dispatch and *lowered* by a Schedule observer on the
+///      shard queues, so a central event that submits new disk work can
+///      never be overtaken by it: the central domain stops exactly at the
+///      earliest pending shard event. Central wins ties (<=), giving one
+///      deterministic total order.
+///   2. Shard phase: every shard runs its local events with
+///      time < central.next_time() and <= until — in parallel on the
+///      worker gang when the window is worth it, inline in shard order
+///      otherwise. Cross-shard effects emitted during the phase
+///      (EmitEffect) are buffered per shard.
+///   3. Commit: the barrier is waited, then buffered effects are merged
+///      into the central queue in (time, shard, per-shard emission order)
+///      — a total order independent of worker count and interleaving.
+///
+/// Why output is byte-identical for any `threads` value: round boundaries
+/// depend only on queue contents, shards are deterministic serial
+/// programs over disjoint state, and the commit order is a pure function
+/// of the effects' (time, shard, index) keys. The worker count changes
+/// only which OS thread runs a shard, never what it computes.
+class ShardedEngine {
+ public:
+  /// `central` must outlive the engine. `threads` <= 1 runs every shard
+  /// phase inline on the calling thread (no pool, still sharded).
+  ShardedEngine(EventQueue* central, uint32_t num_shards, int threads);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  EventQueue* central() { return central_; }
+  EventQueue* shard_queue(uint32_t s) { return &shards_[s]->queue; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+  int threads() const { return threads_; }
+
+  /// Commits a cross-shard effect. From shard context (a shard event
+  /// executing, on any thread) the effect is buffered and merged at the
+  /// next commit point; from central/coordinator context it is scheduled
+  /// directly on the central queue. `when` must be >= the emitting
+  /// event's time.
+  template <typename F>
+  void EmitEffect(TimeMs when, F&& fn) {
+    const int shard = CurrentShard();
+    if (shard < 0) {
+      central_->Schedule(when, std::forward<F>(fn));
+      ++effects_committed_;
+    } else {
+      shards_[shard]->effects.emplace_back(when,
+                                           EventQueue::Callback(
+                                               std::forward<F>(fn)));
+    }
+  }
+
+  /// Drives both domains until every pending event is past `until`
+  /// (inclusive, like EventQueue::RunUntil) or the central queue stops.
+  /// Returns the number of events dispatched across all domains.
+  uint64_t RunUntil(TimeMs until);
+  uint64_t Run();
+
+  /// Mirrors the central queue's stop flag (Stop() on the central queue —
+  /// e.g. from a disk-full callback — aborts the engine's round loop).
+  bool stopped() const { return central_->stopped(); }
+
+  /// Deterministic counters (identical for any `threads` value).
+  uint64_t windows() const { return windows_; }
+  uint64_t effects_committed() const { return effects_committed_; }
+  uint64_t total_dispatched() const;
+  /// Sum of the central and per-shard peak heap depths: the engine's
+  /// peak live event population (each term is that domain's own peak).
+  size_t total_max_heap_depth() const;
+
+  /// Shard phases that actually ran on the worker gang. Depends on the
+  /// thread count — never fold into deterministic output.
+  uint64_t parallel_windows() const { return parallel_windows_; }
+
+  /// Shard index of the calling context, or -1 outside a shard phase.
+  /// Exposed for DiskSystem's effect wrapping and for tests.
+  static int CurrentShard();
+
+ private:
+  struct Effect {
+    Effect(TimeMs w, EventQueue::Callback f) : when(w), fn(std::move(f)) {}
+    TimeMs when;
+    EventQueue::Callback fn;
+  };
+
+  /// Cache-line isolation: a shard's queue and effect buffer are written
+  /// by its worker while neighbours run concurrently.
+  struct alignas(64) Shard {
+    EventQueue queue;
+    std::vector<Effect> effects;
+    uint64_t phase_dispatched = 0;
+  };
+
+  struct EffectRef {
+    TimeMs when;
+    uint32_t shard;
+    uint32_t index;
+  };
+
+  static void OnShardSchedule(void* ctx, TimeMs when);
+
+  TimeMs MinShardNextTime() const;
+  /// Runs every shard's events below (tc, until]; returns events
+  /// dispatched (0 means no shard had eligible work).
+  uint64_t RunShardPhase(TimeMs tc, TimeMs until);
+  /// Merges buffered effects into the central queue in
+  /// (time, shard, emission index) order.
+  void CommitEffects();
+
+  EventQueue* central_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int threads_;
+  std::unique_ptr<runner::ThreadPool> pool_;
+
+  // Countdown barrier for the worker gang.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int pending_workers_ = 0;
+
+  // Central-phase bound; lowered by the shard-queue Schedule observer
+  // when a central event creates earlier shard work. Only touched from
+  // the coordinator thread (the observer ignores shard-context calls).
+  TimeMs central_bound_ = 0.0;
+
+  std::vector<uint32_t> ready_;        // Shards eligible this phase.
+  std::vector<EffectRef> commit_order_;
+
+  uint64_t windows_ = 0;
+  uint64_t parallel_windows_ = 0;
+  uint64_t effects_committed_ = 0;
+};
+
+}  // namespace rofs::sim
+
+#endif  // ROFS_SIM_SHARDED_ENGINE_H_

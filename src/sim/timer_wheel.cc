@@ -1,0 +1,206 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+
+namespace rofs::sim {
+
+namespace {
+
+constexpr TimeMs kInf = std::numeric_limits<TimeMs>::infinity();
+
+}  // namespace
+
+TimerWheel::TimerWheel(TimeMs tick_ms)
+    : tick_ms_(tick_ms), inv_tick_(1.0 / tick_ms) {
+  assert(tick_ms > 0.0);
+  for (int level = 0; level < kLevels; ++level) {
+    for (uint32_t s = 0; s < kSlots; ++s) slots_[level][s] = kNil;
+  }
+}
+
+void TimerWheel::Reserve(size_t timers) {
+  nodes_.reserve(timers);
+  scratch_.reserve(timers);
+}
+
+int32_t TimerWheel::AcquireNode() {
+  if (free_head_ != kNil) {
+    const int32_t idx = free_head_;
+    free_head_ = nodes_[idx].next;
+    return idx;
+  }
+  nodes_.emplace_back();
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+void TimerWheel::ReleaseNode(int32_t idx) {
+  nodes_[idx].next = free_head_;
+  free_head_ = idx;
+}
+
+void TimerWheel::InsertNode(int32_t idx, uint64_t tick) {
+  assert(tick >= cur_tick_);
+  for (int level = 0; level < kLevels; ++level) {
+    const int window_shift = (level + 1) * kSlotBits;
+    if ((tick >> window_shift) == (cur_tick_ >> window_shift)) {
+      const uint32_t s =
+          static_cast<uint32_t>(tick >> (level * kSlotBits)) & (kSlots - 1);
+      nodes_[idx].next = slots_[level][s];
+      slots_[level][s] = idx;
+      occ_[level] |= uint64_t{1} << s;
+      return;
+    }
+  }
+  nodes_[idx].next = overflow_head_;
+  overflow_head_ = idx;
+}
+
+uint64_t TimerWheel::Schedule(TimeMs deadline, uint64_t payload) {
+  const int32_t idx = AcquireNode();
+  const uint64_t seq = next_seq_++;
+  Node& n = nodes_[idx];
+  n.deadline = deadline;
+  n.seq = seq;
+  n.payload = payload;
+  uint64_t tick = TickOf(deadline);
+  // Floating-point division may round the tick up across an integer
+  // boundary; a too-late bucket would delay the pop past the deadline, so
+  // correct it here (a too-early bucket only costs a filtered re-scan).
+  if (tick > 0 && static_cast<TimeMs>(tick) * tick_ms_ > deadline) --tick;
+  if (tick < cur_tick_) tick = cur_tick_;
+  InsertNode(idx, tick);
+  if (++size_ > peak_size_) peak_size_ = size_;
+  return seq;
+}
+
+void TimerWheel::CascadeSlot(int level, uint32_t slot) {
+  int32_t n = slots_[level][slot];
+  if (n == kNil) return;
+  slots_[level][slot] = kNil;
+  occ_[level] &= ~(uint64_t{1} << slot);
+  while (n != kNil) {
+    const int32_t next = nodes_[n].next;
+    uint64_t tick = TickOf(nodes_[n].deadline);
+    if (tick > 0 && static_cast<TimeMs>(tick) * tick_ms_ > nodes_[n].deadline) {
+      --tick;
+    }
+    InsertNode(n, std::max(tick, cur_tick_));
+    n = next;
+  }
+}
+
+void TimerWheel::CascadeOverflow() {
+  int32_t n = overflow_head_;
+  overflow_head_ = kNil;
+  while (n != kNil) {
+    const int32_t next = nodes_[n].next;
+    uint64_t tick = TickOf(nodes_[n].deadline);
+    if (tick > 0 && static_cast<TimeMs>(tick) * tick_ms_ > nodes_[n].deadline) {
+      --tick;
+    }
+    InsertNode(n, std::max(tick, cur_tick_));
+    n = next;
+  }
+}
+
+void TimerWheel::Cascade() {
+  // cur_tick_ just reached a multiple of kSlots. Refill from the coarsest
+  // crossed boundary downward so nodes trickle into their exact
+  // lower-level slots before those are scanned.
+  if ((cur_tick_ & ((uint64_t{1} << (kLevels * kSlotBits)) - 1)) == 0) {
+    CascadeOverflow();
+  }
+  for (int level = kLevels - 1; level >= 1; --level) {
+    if ((cur_tick_ & ((uint64_t{1} << (level * kSlotBits)) - 1)) != 0) continue;
+    CascadeSlot(level,
+                static_cast<uint32_t>(cur_tick_ >> (level * kSlotBits)) &
+                    (kSlots - 1));
+  }
+}
+
+void TimerWheel::FilterLevel0Slot(uint32_t s, TimeMs now,
+                                  uint64_t retain_tick) {
+  int32_t n = slots_[0][s];
+  slots_[0][s] = kNil;
+  occ_[0] &= ~(uint64_t{1} << s);
+  while (n != kNil) {
+    const int32_t next = nodes_[n].next;
+    if (nodes_[n].deadline <= now) {
+      scratch_.push_back(
+          TimerEntry{nodes_[n].deadline, nodes_[n].seq, nodes_[n].payload});
+      ReleaseNode(n);
+      --size_;
+    } else {
+      uint64_t tick = TickOf(nodes_[n].deadline);
+      if (tick > 0 &&
+          static_cast<TimeMs>(tick) * tick_ms_ > nodes_[n].deadline) {
+        --tick;
+      }
+      InsertNode(n, std::max(tick, retain_tick));
+    }
+    n = next;
+  }
+}
+
+void TimerWheel::PopDue(TimeMs now, std::vector<TimerEntry>* out) {
+  if (size_ == 0) return;
+  // Over-scan one tick past now's bucket: with the floor correction every
+  // node's bucket is at most its true tick, so every due node lives at a
+  // tick <= end.
+  uint64_t end = TickOf(now) + 1;
+  if (end < cur_tick_) end = cur_tick_;
+  scratch_.clear();
+  while (true) {
+    const uint64_t base = cur_tick_ & ~uint64_t{kSlots - 1};
+    const uint64_t window_last = base + (kSlots - 1);
+    const uint64_t last = std::min(end, window_last);
+    uint64_t m = occ_[0] & (~uint64_t{0} << (cur_tick_ - base));
+    const uint32_t hi = static_cast<uint32_t>(last - base);
+    if (hi < kSlots - 1) m &= (uint64_t{1} << (hi + 1)) - 1;
+    while (m != 0) {
+      const uint32_t s = static_cast<uint32_t>(std::countr_zero(m));
+      m &= m - 1;
+      FilterLevel0Slot(s, now, end);
+    }
+    if (end <= window_last) {
+      cur_tick_ = end;
+      break;
+    }
+    cur_tick_ = base + kSlots;
+    Cascade();
+  }
+  // One sort over the whole batch: slots only bucket approximately, but
+  // the emitted order is the exact (deadline, seq) total order.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const TimerEntry& a, const TimerEntry& b) {
+              return a.deadline != b.deadline ? a.deadline < b.deadline
+                                              : a.seq < b.seq;
+            });
+  out->insert(out->end(), scratch_.begin(), scratch_.end());
+}
+
+TimeMs TimerWheel::next_deadline() const {
+  if (size_ == 0) return kInf;
+  for (int level = 0; level < kLevels; ++level) {
+    const uint32_t off =
+        static_cast<uint32_t>(cur_tick_ >> (level * kSlotBits)) & (kSlots - 1);
+    const uint64_t m = occ_[level] & (~uint64_t{0} << off);
+    if (m == 0) continue;
+    const uint32_t s = static_cast<uint32_t>(std::countr_zero(m));
+    TimeMs best = kInf;
+    for (int32_t n = slots_[level][s]; n != kNil; n = nodes_[n].next) {
+      best = std::min(best, nodes_[n].deadline);
+    }
+    return best;
+  }
+  TimeMs best = kInf;
+  for (int32_t n = overflow_head_; n != kNil; n = nodes_[n].next) {
+    best = std::min(best, nodes_[n].deadline);
+  }
+  return best;
+}
+
+}  // namespace rofs::sim

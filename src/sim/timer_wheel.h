@@ -1,0 +1,118 @@
+#ifndef ROFS_SIM_TIMER_WHEEL_H_
+#define ROFS_SIM_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace rofs::sim {
+
+/// One expired timer, as reported by TimerWheel::PopDue.
+struct TimerEntry {
+  TimeMs deadline;
+  uint64_t seq;      // Schedule order; the FIFO tie-breaker at equal deadlines.
+  uint64_t payload;  // Caller cookie (the workload layer stores a user id).
+};
+
+/// A hierarchical timer wheel for think-time expiry at million-user scale.
+///
+/// The event heap charges every idle user one 16-byte heap entry plus a
+/// 48-byte callback slot and O(log n) sift work per reschedule. The wheel
+/// replaces that with one 32-byte pooled node per idle user, bucketed by
+/// deadline tick into kLevels levels of 64 slots (level L slots span
+/// 64^L ticks), with O(1) insertion and per-slot occupancy bitmaps so
+/// expiry scans skip empty regions in one tzcnt.
+///
+/// Exactness contract (what makes wheel mode byte-comparable to heap
+/// mode): PopDue(now) returns exactly the entries with deadline <= now,
+/// sorted by (deadline, seq), and next_deadline() is the exact minimum
+/// pending deadline — ticks only bucket storage, never round firing
+/// times. Bucketing uses floating-point division, so a node may land one
+/// tick away from its mathematical bucket; PopDue therefore over-scans
+/// one tick and re-checks every popped node's deadline, reinserting the
+/// not-yet-due ones, and sorts the whole due batch at the end.
+///
+/// Nodes live in a pooled free list; steady-state churn allocates nothing
+/// once the population peaks.
+class TimerWheel {
+ public:
+  explicit TimerWheel(TimeMs tick_ms = 1.0);
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Pre-sizes the node pool so Schedule() never allocates while the
+  /// pending population stays within `timers`.
+  void Reserve(size_t timers);
+
+  /// Arms a timer. Deadlines in the past are allowed (they pop on the
+  /// next PopDue). Returns the entry's sequence number.
+  uint64_t Schedule(TimeMs deadline, uint64_t payload);
+
+  /// Exact earliest pending deadline, or +infinity when empty.
+  TimeMs next_deadline() const;
+
+  /// Appends every entry with deadline <= now to `out`, sorted by
+  /// (deadline, seq) within this call, and removes them from the wheel.
+  void PopDue(TimeMs now, std::vector<TimerEntry>* out);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Largest pending population seen over the wheel's lifetime.
+  size_t peak_size() const { return peak_size_; }
+  TimeMs tick_ms() const { return tick_ms_; }
+
+ private:
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 6;
+  static constexpr uint32_t kSlots = 1u << kSlotBits;  // 64
+  static constexpr int32_t kNil = -1;
+
+  struct Node {
+    TimeMs deadline;
+    uint64_t seq;
+    uint64_t payload;
+    int32_t next;
+  };
+
+  uint64_t TickOf(TimeMs t) const {
+    return t <= 0.0 ? 0 : static_cast<uint64_t>(t * inv_tick_);
+  }
+
+  int32_t AcquireNode();
+  void ReleaseNode(int32_t idx);
+
+  /// Buckets node `idx` (deadline tick `tick`, >= cur_tick_) into the
+  /// finest level whose current window contains it, or overflow.
+  void InsertNode(int32_t idx, uint64_t tick);
+
+  /// Re-buckets every node of a level's slot (or the overflow list) after
+  /// cur_tick_ advanced into its window.
+  void CascadeSlot(int level, uint32_t slot);
+  void CascadeOverflow();
+  /// Refills lower levels after cur_tick_ reached a multiple of 64.
+  void Cascade();
+
+  /// Detaches slot (0, s); due nodes go to scratch_, not-yet-due nodes are
+  /// reinserted at tick >= `retain_tick`.
+  void FilterLevel0Slot(uint32_t s, TimeMs now, uint64_t retain_tick);
+
+  TimeMs tick_ms_;
+  double inv_tick_;
+  std::vector<Node> nodes_;
+  int32_t free_head_ = kNil;
+  int32_t slots_[kLevels][kSlots];
+  uint64_t occ_[kLevels] = {0, 0, 0, 0};
+  int32_t overflow_head_ = kNil;
+  uint64_t cur_tick_ = 0;  // Every tick below this has been scanned.
+  uint64_t next_seq_ = 0;
+  size_t size_ = 0;
+  size_t peak_size_ = 0;
+  std::vector<TimerEntry> scratch_;  // Due batch under construction.
+};
+
+}  // namespace rofs::sim
+
+#endif  // ROFS_SIM_TIMER_WHEEL_H_

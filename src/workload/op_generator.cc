@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "util/table.h"
 #include "util/units.h"
@@ -12,10 +13,14 @@ OpGenerator::OpGenerator(const WorkloadSpec* workload,
                          fs::ReadOptimizedFs* fs, sim::EventQueue* queue,
                          OpGeneratorOptions options)
     : workload_(workload), fs_(fs), queue_(queue), options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      pump_time_(std::numeric_limits<sim::TimeMs>::infinity()) {
   assert(workload_ != nullptr && fs_ != nullptr && queue_ != nullptr);
   files_by_type_.resize(workload_->types.size());
   op_stats_.resize(workload_->types.size());
+  if (options_.timer_wheel) {
+    wheel_ = std::make_unique<sim::TimerWheel>(options_.wheel_tick_ms);
+  }
 }
 
 void OpGenerator::ResetStats() {
@@ -84,14 +89,60 @@ Status OpGenerator::CreateInitialFiles() {
 }
 
 void OpGenerator::ScheduleUserStreams() {
+  if (wheel_ != nullptr) {
+    users_.Build(*workload_);
+    wheel_->Reserve(users_.num_users());
+    due_.reserve(64);
+  }
+  // Both modes draw the start times in the identical (type, user) order.
   for (size_t t = 0; t < workload_->types.size(); ++t) {
     const FileTypeSpec& type = workload_->types[t];
     const double spread =
         static_cast<double>(type.num_users) * type.hit_frequency_ms;
     for (uint32_t u = 0; u < type.num_users; ++u) {
       const sim::TimeMs start = queue_->now() + rng_.Uniform(0.0, spread);
-      queue_->Schedule(start, [this, t] { RunUserEvent(t); });
+      if (wheel_ != nullptr) {
+        wheel_->Schedule(start, users_.first_uid(t) + u);
+      } else {
+        queue_->Schedule(start, [this, t] { RunUserEvent(t, kNoUser); });
+      }
     }
+  }
+  if (wheel_ != nullptr) ArmPump();
+}
+
+void OpGenerator::ArmPump() {
+  const sim::TimeMs deadline = wheel_->next_deadline();
+  if (deadline < pump_time_) {
+    pump_time_ = deadline;
+    queue_->Schedule(deadline, [this] { PumpWheel(); });
+  }
+}
+
+void OpGenerator::PumpWheel() {
+  // This pump was the earliest outstanding one. Later (superseded) pumps
+  // may still be in flight; forgetting them only means ArmPump may arm a
+  // duplicate, which pops nothing — never a missed deadline.
+  pump_time_ = std::numeric_limits<sim::TimeMs>::infinity();
+  due_.clear();
+  wheel_->PopDue(queue_->now(), &due_);
+  for (const sim::TimerEntry& e : due_) {
+    const uint32_t uid = static_cast<uint32_t>(e.payload);
+    users_.RecordOp(uid);
+    RunUserEvent(users_.type_of(uid), uid);
+  }
+  if (!wheel_->empty()) ArmPump();
+}
+
+void OpGenerator::ScheduleNext(size_t type_index, uint32_t uid,
+                               sim::TimeMs next) {
+  if (wheel_ != nullptr) {
+    wheel_->Schedule(next, uid);
+    ArmPump();
+  } else {
+    queue_->Schedule(next, [this, type_index] {
+      RunUserEvent(type_index, kNoUser);
+    });
   }
 }
 
@@ -116,7 +167,7 @@ OpKind OpGenerator::DrawOpForMode(const FileTypeSpec& type) {
   return OpKind::kRead;
 }
 
-void OpGenerator::RunUserEvent(size_t type_index) {
+void OpGenerator::RunUserEvent(size_t type_index, uint32_t uid) {
   const FileTypeSpec& type = workload_->types[type_index];
   const auto& ids = files_by_type_[type_index];
   const fs::FileId id = ids[rng_.UniformInt(0, ids.size() - 1)];
@@ -124,7 +175,7 @@ void OpGenerator::RunUserEvent(size_t type_index) {
   const OpKind op = DrawOpForMode(type);
 
   if (options_.async) {
-    RunUserEventAsync(type_index, id, op, now);
+    RunUserEventAsync(type_index, uid, id, op, now);
     return;
   }
 
@@ -157,11 +208,12 @@ void OpGenerator::RunUserEvent(size_t type_index) {
   // distributed value with mean equal to process time and an event is
   // scheduled at that newly calculated time."
   const sim::TimeMs next = done + rng_.Exponential(type.process_time_ms);
-  queue_->Schedule(next, [this, type_index] { RunUserEvent(type_index); });
+  ScheduleNext(type_index, uid, next);
 }
 
-void OpGenerator::RunUserEventAsync(size_t type_index, fs::FileId id,
-                                    OpKind op, sim::TimeMs now) {
+void OpGenerator::RunUserEventAsync(size_t type_index, uint32_t uid,
+                                    fs::FileId id, OpKind op,
+                                    sim::TimeMs now) {
   const FileTypeSpec& type = workload_->types[type_index];
   const fs::File& f = fs_->file(id);
 
@@ -226,13 +278,17 @@ void OpGenerator::RunUserEventAsync(size_t type_index, fs::FileId id,
   const double think_ms = rng_.Exponential(type.process_time_ms);
 
   if (!has_io) {
-    OnAsyncOpDone(type_index, op, id, now, bytes_moved, think_ms, now);
+    OnAsyncOpDone(type_index, uid, op, id, now, bytes_moved, think_ms, now);
     return;
   }
-  const uint32_t t32 = static_cast<uint32_t>(type_index);
-  auto finish = [this, t32, op, id, now, bytes_moved,
+  // The op kind (3 bits) shares a word with the type index so the capture
+  // fits the DoneFn inline buffer exactly (48 bytes, no allocation).
+  const uint32_t op_t = (static_cast<uint32_t>(type_index) << 3) |
+                        static_cast<uint32_t>(op);
+  auto finish = [this, op_t, uid, id, now, bytes_moved,
                  think_ms](sim::TimeMs done) {
-    OnAsyncOpDone(t32, op, id, now, bytes_moved, think_ms, done);
+    OnAsyncOpDone(op_t >> 3, uid, static_cast<OpKind>(op_t & 7u), id, now,
+                  bytes_moved, think_ms, done);
   };
   if (is_write) {
     fs_->WriteAsync(id, offset, size, now, std::move(finish));
@@ -253,9 +309,10 @@ bool OpGenerator::PrepareExtendAsync(fs::FileId id, uint64_t bytes,
   return *size > 0;
 }
 
-void OpGenerator::OnAsyncOpDone(size_t type_index, OpKind op, fs::FileId id,
-                                sim::TimeMs issued, uint64_t bytes_moved,
-                                double think_ms, sim::TimeMs done) {
+void OpGenerator::OnAsyncOpDone(size_t type_index, uint32_t uid, OpKind op,
+                                fs::FileId id, sim::TimeMs issued,
+                                uint64_t bytes_moved, double think_ms,
+                                sim::TimeMs done) {
   ++ops_executed_;
   op_latency_ms_.Add(done - issued);
   OpStats& stats = op_stats_[type_index][static_cast<size_t>(op)];
@@ -270,7 +327,7 @@ void OpGenerator::OnAsyncOpDone(size_t type_index, OpKind op, fs::FileId id,
     on_bytes_moved(bytes_moved, done);
   }
   const sim::TimeMs next = done + think_ms;
-  queue_->Schedule(next, [this, type_index] { RunUserEvent(type_index); });
+  ScheduleNext(type_index, uid, next);
 }
 
 sim::TimeMs OpGenerator::DoExtend(const FileTypeSpec& type, fs::FileId id,

@@ -4,14 +4,17 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fs/read_optimized_fs.h"
 #include "sim/event_queue.h"
+#include "sim/timer_wheel.h"
 #include "util/histogram.h"
 #include "util/random.h"
 #include "workload/file_type.h"
+#include "workload/user_table.h"
 
 namespace rofs::workload {
 
@@ -61,6 +64,15 @@ struct OpGeneratorOptions {
   /// byte for byte. The async path draws from the RNG in exactly the
   /// sync path's order at issue time, so the operation streams match.
   bool async = false;
+  /// Keep idle users in a hierarchical timer wheel (one 32-byte pooled
+  /// node each) instead of the event heap (a 16-byte heap entry plus a
+  /// 48-byte callback slot each): the memory-lean path for 10^5-10^6
+  /// user configs. Think-time expiries fire at their exact deadlines in
+  /// (deadline, FIFO) order through a pump event, so the operation
+  /// stream matches heap mode (see DESIGN.md §11).
+  bool timer_wheel = false;
+  /// Wheel tick granularity; buckets storage only, never firing times.
+  double wheel_tick_ms = 1.0;
 };
 
 /// Drives a workload against a file system inside an event queue: creates
@@ -110,6 +122,11 @@ class OpGenerator {
     return files_by_type_[t];
   }
 
+  /// The think-time wheel (null in heap mode) and the per-user table
+  /// (empty in heap mode), for capacity metrics and tests.
+  const sim::TimerWheel* wheel() const { return wheel_.get(); }
+  const UserTable& users() const { return users_; }
+
   /// Invoked on the first allocation failure of each operation (allocation
   /// tests use this to stop the simulation).
   std::function<void()> on_disk_full;
@@ -123,19 +140,31 @@ class OpGenerator {
   std::function<void(const OpRecord&)> on_op;
 
  private:
-  void RunUserEvent(size_t type_index);
+  /// Sentinel uid for heap mode, where users carry no identity.
+  static constexpr uint32_t kNoUser = 0xffffffffu;
+
+  void RunUserEvent(size_t type_index, uint32_t uid);
+
+  /// Schedules the user's next event at `next`: a heap event in heap
+  /// mode, a wheel entry (plus pump re-arm) in wheel mode.
+  void ScheduleNext(size_t type_index, uint32_t uid, sim::TimeMs next);
+  /// Ensures a pump event is outstanding at or before the wheel's
+  /// earliest deadline.
+  void ArmPump();
+  /// Pump: fires every wheel entry due at now, in (deadline, FIFO) order.
+  void PumpWheel();
 
   /// Async-mode tail of RunUserEvent: performs the op's issue-time draws
   /// and side effects in exactly ExecuteOp's order, then hands completion
   /// accounting to OnAsyncOpDone via the fs async API.
-  void RunUserEventAsync(size_t type_index, fs::FileId id, OpKind op,
-                         sim::TimeMs now);
+  void RunUserEventAsync(size_t type_index, uint32_t uid, fs::FileId id,
+                         OpKind op, sim::TimeMs now);
   /// Allocation half of an async extend; reports the range to write.
   /// Returns true when there are bytes to write.
   bool PrepareExtendAsync(fs::FileId id, uint64_t bytes, uint64_t* offset,
                           uint64_t* size, uint64_t* bytes_moved);
-  void OnAsyncOpDone(size_t type_index, OpKind op, fs::FileId id,
-                     sim::TimeMs issued, uint64_t bytes_moved,
+  void OnAsyncOpDone(size_t type_index, uint32_t uid, OpKind op,
+                     fs::FileId id, sim::TimeMs issued, uint64_t bytes_moved,
                      double think_ms, sim::TimeMs done);
 
   /// Executes one operation; returns its completion time and reports moved
@@ -160,6 +189,12 @@ class OpGenerator {
   Histogram op_latency_ms_;
   // op_stats_[type][op kind].
   std::vector<std::array<OpStats, 5>> op_stats_;
+
+  // Wheel mode (options_.timer_wheel) only.
+  std::unique_ptr<sim::TimerWheel> wheel_;
+  UserTable users_;
+  sim::TimeMs pump_time_ = 0.0;  // Earliest outstanding pump; +inf if none.
+  std::vector<sim::TimerEntry> due_;  // PumpWheel scratch.
 };
 
 }  // namespace rofs::workload

@@ -1,0 +1,25 @@
+#include "workload/user_table.h"
+
+#include <cassert>
+
+namespace rofs::workload {
+
+void UserTable::Build(const WorkloadSpec& spec) {
+  assert(spec.types.size() <= 255 && "type index must fit a uint8 column");
+  type_.clear();
+  ops_.clear();
+  first_uid_.clear();
+  uint64_t total = 0;
+  for (const FileTypeSpec& type : spec.types) total += type.num_users;
+  assert(total <= UINT32_MAX);
+  type_.reserve(total);
+  first_uid_.reserve(spec.types.size());
+  for (size_t t = 0; t < spec.types.size(); ++t) {
+    first_uid_.push_back(static_cast<uint32_t>(type_.size()));
+    type_.insert(type_.end(), spec.types[t].num_users,
+                 static_cast<uint8_t>(t));
+  }
+  ops_.assign(type_.size(), 0);
+}
+
+}  // namespace rofs::workload

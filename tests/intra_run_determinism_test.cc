@@ -1,0 +1,181 @@
+// End-to-end determinism of the intra-run sharded engine (DESIGN.md
+// §11): for any worker count >= 1 a full Experiment must produce
+// byte-identical records, the FCFS degenerate case must match the
+// classic engine exactly, and timer-wheel user scheduling must be
+// byte-equivalent to event-heap user scheduling.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "alloc/extent_allocator.h"
+#include "exp/experiment.h"
+#include "sched/scheduler.h"
+#include "util/units.h"
+
+namespace rofs::exp {
+namespace {
+
+disk::DiskSystemConfig SmallArray(const char* scheduler) {
+  disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(4);
+  for (auto& g : cfg.disks) g.cylinders = 200;
+  auto spec = sched::ParseSchedulerSpec(scheduler);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  cfg.scheduler = *spec;
+  return cfg;
+}
+
+workload::WorkloadSpec MixedWorkload() {
+  workload::WorkloadSpec w;
+  w.name = "mixed";
+  workload::FileTypeSpec small;
+  small.name = "small";
+  small.num_files = 300;
+  small.num_users = 8;
+  small.process_time_ms = 20;
+  small.hit_frequency_ms = 20;
+  small.rw_bytes_mean = KiB(8);
+  small.extend_bytes_mean = KiB(8);
+  small.truncate_bytes = KiB(8);
+  small.initial_bytes_mean = KiB(64);
+  small.initial_bytes_dev = KiB(16);
+  small.read_ratio = 0.55;
+  small.write_ratio = 0.15;
+  small.extend_ratio = 0.20;
+  small.delete_ratio = 0.5;
+  w.types.push_back(small);
+  workload::FileTypeSpec big;
+  big.name = "big";
+  big.num_files = 8;
+  big.num_users = 6;
+  big.process_time_ms = 40;
+  big.hit_frequency_ms = 40;
+  big.rw_bytes_mean = KiB(128);
+  big.extend_bytes_mean = KiB(256);
+  big.truncate_bytes = KiB(256);
+  big.initial_bytes_mean = MiB(6);
+  big.initial_bytes_dev = MiB(1);
+  big.alloc_size_bytes = KiB(512);
+  big.read_ratio = 0.60;
+  big.write_ratio = 0.25;
+  big.extend_ratio = 0.10;
+  w.types.push_back(big);
+  return w;
+}
+
+ExperimentConfig FastConfig(int threads, bool wheel = false) {
+  ExperimentConfig cfg;
+  cfg.sample_interval_ms = 2'000;
+  cfg.warmup_ms = 2'000;
+  cfg.min_measure_ms = 6'000;
+  cfg.max_measure_ms = 30'000;
+  cfg.seq_min_measure_ms = 6'000;
+  cfg.seq_max_measure_ms = 60'000;
+  cfg.stable_tolerance_pp = 1.0;
+  cfg.engine.threads = threads;
+  cfg.engine.timer_wheel = wheel;
+  return cfg;
+}
+
+Experiment::AllocatorFactory ExtentFactory() {
+  return [](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
+    alloc::ExtentAllocatorConfig cfg;
+    cfg.range_means_du = {8, 64, 512};
+    return std::make_unique<alloc::ExtentAllocator>(total_du, cfg);
+  };
+}
+
+/// Serialized application + sequential records for one engine setting.
+std::string RunPair(const char* scheduler, int threads, bool wheel = false) {
+  Experiment experiment(MixedWorkload(), ExtentFactory(),
+                        SmallArray(scheduler), FastConfig(threads, wheel));
+  auto pair = experiment.RunPerformancePair();
+  EXPECT_TRUE(pair.ok()) << pair.status().ToString();
+  if (!pair.ok()) return "";
+  return pair->application.ToRecord().ToJson() + "\n" +
+         pair->sequential.ToRecord().ToJson();
+}
+
+TEST(IntraRunDeterminismTest, ShardedRecordsIdenticalAcrossThreadCounts) {
+  // C-SCAN reorders aggressively, so every completion crosses domains as
+  // a buffered effect — the hardest case for the commit order.
+  const std::string t1 = RunPair("cscan", 1);
+  const std::string t2 = RunPair("cscan", 2);
+  const std::string t8 = RunPair("cscan", 8);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t8);
+}
+
+TEST(IntraRunDeterminismTest, FcfsShardedMatchesClassicEngine) {
+  // Under FCFS completion times are computed at submit and no shard
+  // events exist, so the sharded engine degenerates to the classic
+  // serial engine byte for byte.
+  const std::string classic = RunPair("fcfs", 0);
+  const std::string sharded = RunPair("fcfs", 2);
+  ASSERT_FALSE(classic.empty());
+  EXPECT_EQ(classic, sharded);
+}
+
+TEST(IntraRunDeterminismTest, TimerWheelMatchesEventHeap) {
+  // Wheel mode only re-routes user think-time expiry through the timer
+  // wheel; firing times and order are exact, so the whole run is
+  // byte-identical — except the two capacity metrics that describe the
+  // storage itself: wheel occupancy is zero in heap mode by definition,
+  // and the event heap's peak population shrinks when idle users leave
+  // it for the wheel.
+  for (const char* scheduler : {"fcfs", "cscan"}) {
+    Experiment heap(MixedWorkload(), ExtentFactory(), SmallArray(scheduler),
+                    FastConfig(/*threads=*/scheduler[0] == 'f' ? 0 : 1,
+                               /*wheel=*/false));
+    Experiment wheel(MixedWorkload(), ExtentFactory(), SmallArray(scheduler),
+                     FastConfig(/*threads=*/scheduler[0] == 'f' ? 0 : 1,
+                                /*wheel=*/true));
+    auto heap_pair = heap.RunPerformancePair();
+    auto wheel_pair = wheel.RunPerformancePair();
+    ASSERT_TRUE(heap_pair.ok()) << heap_pair.status().ToString();
+    ASSERT_TRUE(wheel_pair.ok()) << wheel_pair.status().ToString();
+
+    RunRecord h = heap_pair->application.ToRecord();
+    RunRecord w = wheel_pair->application.ToRecord();
+    EXPECT_EQ(h.Get("sim.wheel.peak"), 0.0);
+    EXPECT_GT(w.Get("sim.wheel.peak"), 0.0);
+    // The heap-mode event population can only be larger (idle users sit
+    // in the queue instead of the wheel); whether it IS larger depends
+    // on whether user events or disk events dominate the peak.
+    EXPECT_GE(h.Get("sim.events.peak"), w.Get("sim.events.peak"));
+    for (const char* key : {"sim.wheel.peak", "sim.events.peak"}) {
+      h.metrics.erase(key);
+      w.metrics.erase(key);
+    }
+    EXPECT_EQ(h.ToJson(), w.ToJson()) << "scheduler=" << scheduler;
+  }
+}
+
+TEST(IntraRunDeterminismTest, CapacityMetricsAreRecorded) {
+  Experiment experiment(MixedWorkload(), ExtentFactory(), SmallArray("cscan"),
+                        FastConfig(/*threads=*/2, /*wheel=*/true));
+  auto perf = experiment.RunApplicationTest();
+  ASSERT_TRUE(perf.ok()) << perf.status().ToString();
+
+  // 8 + 6 users across the two file types.
+  EXPECT_EQ(perf->users_peak, 14u);
+  EXPECT_GT(perf->events_peak, 0u);
+  EXPECT_GT(perf->wheel_peak, 0u);
+  EXPECT_LE(perf->wheel_peak, 14u);
+
+  const RunRecord record = perf->ToRecord();
+  EXPECT_EQ(record.Get("sim.users.peak"), 14.0);
+  EXPECT_GT(record.Get("sim.events.peak"), 0.0);
+  EXPECT_GT(record.Get("sim.wheel.peak"), 0.0);
+
+  // FromRecord round-trips the capacity metrics.
+  const PerfResult back = PerfResult::FromRecord(record);
+  EXPECT_EQ(back.users_peak, perf->users_peak);
+  EXPECT_EQ(back.events_peak, perf->events_peak);
+  EXPECT_EQ(back.wheel_peak, perf->wheel_peak);
+}
+
+}  // namespace
+}  // namespace rofs::exp

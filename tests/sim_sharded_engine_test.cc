@@ -1,0 +1,235 @@
+#include "sim/sharded_engine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace rofs::sim {
+namespace {
+
+/// One observed dispatch/commit, for order assertions.
+struct Step {
+  TimeMs time;
+  std::string tag;
+  bool operator==(const Step& other) const {
+    return time == other.time && tag == other.tag;
+  }
+};
+
+std::string Render(const std::vector<Step>& steps) {
+  std::string out;
+  for (const Step& s : steps) {
+    out += std::to_string(s.time) + ":" + s.tag + " ";
+  }
+  return out;
+}
+
+TEST(ShardedEngineTest, CommitsEffectsInTimeShardEmissionOrder) {
+  // Three shards each emit effects out of time order within one shard
+  // phase; the central queue must receive them sorted by (time, shard,
+  // per-shard emission index).
+  EventQueue central;
+  ShardedEngine engine(&central, /*num_shards=*/3, /*threads=*/1);
+  auto* log = new std::vector<Step>();
+
+  for (uint32_t s = 0; s < 3; ++s) {
+    engine.shard_queue(s)->Schedule(1.0, [&engine, log, s] {
+      // Emission order within a shard: later time first, so commit
+      // order must NOT be emission order.
+      engine.EmitEffect(20.0, [log, s] { log->push_back({20.0, "s" + std::to_string(s) + "a"}); });
+      engine.EmitEffect(10.0, [log, s] { log->push_back({10.0, "s" + std::to_string(s) + "b"}); });
+      engine.EmitEffect(10.0, [log, s] { log->push_back({10.0, "s" + std::to_string(s) + "c"}); });
+    });
+  }
+  engine.Run();
+
+  // At time 10: shards 0,1,2, and within a shard emission order (b then
+  // c). At time 20: shards 0,1,2.
+  const std::vector<Step> expected = {
+      {10.0, "s0b"}, {10.0, "s0c"}, {10.0, "s1b"}, {10.0, "s1c"},
+      {10.0, "s2b"}, {10.0, "s2c"}, {20.0, "s0a"}, {20.0, "s1a"},
+      {20.0, "s2a"},
+  };
+  EXPECT_EQ(*log, expected) << Render(*log);
+  EXPECT_EQ(engine.effects_committed(), 9u);
+  delete log;
+}
+
+TEST(ShardedEngineTest, CentralContextEffectSchedulesDirectly) {
+  EventQueue central;
+  ShardedEngine engine(&central, /*num_shards=*/2, /*threads=*/1);
+  EXPECT_EQ(ShardedEngine::CurrentShard(), -1);
+
+  bool ran = false;
+  engine.EmitEffect(5.0, [&ran] { ran = true; });
+  EXPECT_EQ(central.size(), 1u);  // Scheduled, not buffered.
+  engine.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(ShardedEngineTest, EffectsRunInCentralContext) {
+  EventQueue central;
+  ShardedEngine engine(&central, /*num_shards=*/2, /*threads=*/1);
+  int shard_seen = -2;
+  int effect_seen = -2;
+
+  engine.shard_queue(1)->Schedule(1.0, [&engine, &shard_seen, &effect_seen] {
+    shard_seen = ShardedEngine::CurrentShard();
+    engine.EmitEffect(2.0, [&effect_seen] {
+      effect_seen = ShardedEngine::CurrentShard();
+    });
+  });
+  engine.Run();
+  EXPECT_EQ(shard_seen, 1);
+  EXPECT_EQ(effect_seen, -1);
+}
+
+TEST(ShardedEngineTest, CentralWinsTiesAndIsNeverOvertaken) {
+  // A central event at t=5 submits shard work at the same t=5. The shard
+  // event must run after the submitting central event (central wins the
+  // tie), and its effect lands back centrally, still at t=5, after any
+  // remaining central t=5 events that existed at round start.
+  EventQueue central;
+  ShardedEngine engine(&central, /*num_shards=*/2, /*threads=*/1);
+  auto* log = new std::vector<Step>();
+
+  central.Schedule(5.0, [&engine, log] {
+    log->push_back({5.0, "central-submit"});
+    engine.shard_queue(0)->Schedule(5.0, [&engine, log] {
+      log->push_back({5.0, "shard-service"});
+      engine.EmitEffect(5.0, [log] { log->push_back({5.0, "completion"}); });
+    });
+  });
+  central.Schedule(5.0, [log] { log->push_back({5.0, "central-second"}); });
+  engine.Run();
+
+  const std::vector<Step> expected = {
+      {5.0, "central-submit"},
+      {5.0, "central-second"},
+      {5.0, "shard-service"},
+      {5.0, "completion"},
+  };
+  EXPECT_EQ(*log, expected) << Render(*log);
+  delete log;
+}
+
+TEST(ShardedEngineTest, CentralHorizonStopsAtEarliestShardEvent) {
+  // A shard event pending at t=10 must run before a central event at
+  // t=11, even though the central queue was populated first.
+  EventQueue central;
+  ShardedEngine engine(&central, /*num_shards=*/1, /*threads=*/1);
+  auto* log = new std::vector<Step>();
+
+  central.Schedule(11.0, [log] { log->push_back({11.0, "central"}); });
+  engine.shard_queue(0)->Schedule(10.0, [&engine, log] {
+    log->push_back({10.0, "shard"});
+    engine.EmitEffect(10.5, [log] { log->push_back({10.5, "effect"}); });
+  });
+  engine.Run();
+
+  const std::vector<Step> expected = {
+      {10.0, "shard"}, {10.5, "effect"}, {11.0, "central"}};
+  EXPECT_EQ(*log, expected) << Render(*log);
+  delete log;
+}
+
+TEST(ShardedEngineTest, StopAbortsTheRoundLoop) {
+  EventQueue central;
+  ShardedEngine engine(&central, /*num_shards=*/1, /*threads=*/1);
+  bool later_ran = false;
+
+  central.Schedule(1.0, [&central] { central.Stop(); });
+  central.Schedule(2.0, [&later_ran] { later_ran = true; });
+  engine.Run();
+
+  EXPECT_TRUE(engine.stopped());
+  EXPECT_FALSE(later_ran);
+}
+
+TEST(ShardedEngineTest, RunUntilIsInclusiveLikeEventQueue) {
+  EventQueue central;
+  ShardedEngine engine(&central, /*num_shards=*/1, /*threads=*/1);
+  int ran = 0;
+  engine.shard_queue(0)->Schedule(10.0, [&ran] { ++ran; });
+  central.Schedule(10.0, [&ran] { ++ran; });
+  central.Schedule(10.5, [&ran] { ++ran; });
+
+  EXPECT_EQ(engine.RunUntil(10.0), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(engine.RunUntil(10.5), 1u);
+  EXPECT_EQ(ran, 3);
+}
+
+/// A deterministic synthetic cascade: `drivers` central streams each
+/// submit batches of shard work (big enough to cross the engine's
+/// parallel threshold), every shard event emits a completion effect, and
+/// completions re-submit until a fixed op budget is spent. Per-shard
+/// dispatch logs are shard-local (no cross-thread writes); the returned
+/// transcript concatenates the central log and every shard log.
+std::string RunSyntheticCascade(uint32_t shards, int threads) {
+  EventQueue central;
+  ShardedEngine engine(&central, shards, threads);
+  std::vector<std::vector<Step>> shard_logs(shards);
+  std::vector<Step> central_log;
+  uint64_t lcg = 12345;
+  auto next_rand = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(lcg >> 33);
+  };
+
+  int budget = 40;
+  std::function<void(TimeMs)> submit_wave = [&](TimeMs when) {
+    central.Schedule(when, [&, when] {
+      central_log.push_back({central.now(), "wave"});
+      if (--budget < 0) return;
+      // 3 batches per shard so a wave holds shards * 3 * 8 events — past
+      // the 64-event parallel threshold at 4+ shards.
+      for (uint32_t s = 0; s < engine.num_shards(); ++s) {
+        for (int b = 0; b < 3; ++b) {
+          const TimeMs at = when + 0.25 + (next_rand() % 100) * 0.01;
+          for (int e = 0; e < 8; ++e) {
+            engine.shard_queue(s)->Schedule(
+                at + e * 0.001,
+                [&engine, &shard_logs, s, cl = &central_log, cq = &central] {
+                  auto* q = engine.shard_queue(s);
+                  shard_logs[s].push_back({q->now(), "svc"});
+                  engine.EmitEffect(q->now() + 0.5, [cl, cq] {
+                    cl->push_back({cq->now(), "done"});
+                  });
+                });
+          }
+        }
+      }
+      submit_wave(when + 1.0 + (next_rand() % 50) * 0.01);
+    });
+  };
+  submit_wave(1.0);
+  engine.Run();
+
+  std::string out = Render(central_log);
+  for (uint32_t s = 0; s < shards; ++s) {
+    out += "| shard" + std::to_string(s) + " " + Render(shard_logs[s]);
+  }
+  out += "| windows=" + std::to_string(engine.windows());
+  out += " effects=" + std::to_string(engine.effects_committed());
+  out += " dispatched=" + std::to_string(engine.total_dispatched());
+  out += " depth=" + std::to_string(engine.total_max_heap_depth());
+  return out;
+}
+
+TEST(ShardedEngineTest, TranscriptIdenticalForAnyThreadCount) {
+  const std::string t1 = RunSyntheticCascade(4, 1);
+  const std::string t2 = RunSyntheticCascade(4, 2);
+  const std::string t4 = RunSyntheticCascade(4, 4);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1, t4);
+  EXPECT_NE(t1.find("svc"), std::string::npos);
+  EXPECT_NE(t1.find("done"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rofs::sim

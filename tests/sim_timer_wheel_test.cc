@@ -1,0 +1,176 @@
+#include "sim/timer_wheel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace rofs::sim {
+namespace {
+
+std::vector<uint64_t> PopPayloads(TimerWheel* wheel, TimeMs now) {
+  std::vector<TimerEntry> due;
+  wheel->PopDue(now, &due);
+  std::vector<uint64_t> payloads;
+  for (const TimerEntry& e : due) payloads.push_back(e.payload);
+  return payloads;
+}
+
+TEST(TimerWheelTest, PopsInDeadlineThenScheduleOrder) {
+  TimerWheel wheel(1.0);
+  wheel.Schedule(30.0, 1);
+  wheel.Schedule(10.0, 2);
+  wheel.Schedule(20.0, 3);
+  wheel.Schedule(10.0, 4);  // Ties with payload 2; scheduled later.
+
+  EXPECT_EQ(PopPayloads(&wheel, 100.0), (std::vector<uint64_t>{2, 4, 3, 1}));
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, PopDueBoundaryIsInclusiveAndExact) {
+  TimerWheel wheel(1.0);
+  wheel.Schedule(5.0, 1);
+  wheel.Schedule(5.0 + 1e-9, 2);
+
+  EXPECT_EQ(PopPayloads(&wheel, 5.0), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(wheel.size(), 1u);
+  EXPECT_EQ(PopPayloads(&wheel, 5.0 + 1e-9), (std::vector<uint64_t>{2}));
+}
+
+TEST(TimerWheelTest, PartialTickRetainsNotYetDueEntries) {
+  // Both entries land in the same level-0 tick; a pop in the middle of
+  // the tick must return only the earlier one (ticks bucket storage,
+  // never firing times).
+  TimerWheel wheel(1.0);
+  wheel.Schedule(5.2, 1);
+  wheel.Schedule(5.8, 2);
+
+  EXPECT_EQ(PopPayloads(&wheel, 5.5), (std::vector<uint64_t>{1}));
+  EXPECT_DOUBLE_EQ(wheel.next_deadline(), 5.8);
+  EXPECT_EQ(PopPayloads(&wheel, 5.8), (std::vector<uint64_t>{2}));
+}
+
+TEST(TimerWheelTest, NextDeadlineIsExactMinimum) {
+  TimerWheel wheel(1.0);
+  EXPECT_EQ(wheel.next_deadline(), std::numeric_limits<TimeMs>::infinity());
+  wheel.Schedule(123.456, 1);
+  wheel.Schedule(77.001, 2);
+  EXPECT_DOUBLE_EQ(wheel.next_deadline(), 77.001);
+  (void)PopPayloads(&wheel, 77.001);
+  EXPECT_DOUBLE_EQ(wheel.next_deadline(), 123.456);
+}
+
+TEST(TimerWheelTest, PastDeadlinePopsOnNextCall) {
+  TimerWheel wheel(1.0);
+  (void)PopPayloads(&wheel, 50.0);  // Advance the wheel's scanned region.
+  wheel.Schedule(10.0, 7);          // Already past.
+  EXPECT_EQ(PopPayloads(&wheel, 50.0), (std::vector<uint64_t>{7}));
+}
+
+TEST(TimerWheelTest, CascadesAcrossLevelsAndOverflow) {
+  // One entry per level window (tick = 1 ms, level L spans 64^(L+1)
+  // ticks), plus one past the whole hierarchy (64^4 ticks) that must
+  // park in overflow and still fire exactly.
+  TimerWheel wheel(1.0);
+  const std::vector<TimeMs> deadlines = {
+      30.0, 3'000.0, 200'000.0, 9'000'000.0, 20'000'000.0};
+  for (size_t i = 0; i < deadlines.size(); ++i) {
+    wheel.Schedule(deadlines[i], i);
+  }
+  for (size_t i = 0; i < deadlines.size(); ++i) {
+    EXPECT_DOUBLE_EQ(wheel.next_deadline(), deadlines[i]);
+    EXPECT_EQ(PopPayloads(&wheel, deadlines[i]), (std::vector<uint64_t>{i}));
+  }
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, PeakSizeTracksMaximumPopulation) {
+  TimerWheel wheel(1.0);
+  for (int i = 0; i < 100; ++i) wheel.Schedule(10.0 + i, i);
+  EXPECT_EQ(wheel.peak_size(), 100u);
+  (void)PopPayloads(&wheel, 60.0);
+  wheel.Schedule(1000.0, 999);
+  EXPECT_EQ(wheel.peak_size(), 100u);  // Never shrinks.
+}
+
+TEST(TimerWheelTest, FractionalTickGranularity) {
+  // A coarse tick (100 ms) still fires at exact deadlines.
+  TimerWheel wheel(100.0);
+  wheel.Schedule(250.0, 1);
+  wheel.Schedule(201.0, 2);
+  wheel.Schedule(299.0, 3);
+  EXPECT_EQ(PopPayloads(&wheel, 249.0), (std::vector<uint64_t>{2}));
+  EXPECT_EQ(PopPayloads(&wheel, 299.0), (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(TimerWheelTest, RandomizedEquivalenceWithSortedReference) {
+  // 5000 timers with random deadlines (duplicates included), popped at
+  // random monotone times: the wheel must return exactly what a sorted
+  // (deadline, seq) reference returns at every step.
+  TimerWheel wheel(1.0);
+  Rng rng(1234);
+  struct Ref {
+    TimeMs deadline;
+    uint64_t seq;
+    uint64_t payload;
+  };
+  std::vector<Ref> reference;
+  uint64_t seq = 0;
+  TimeMs now = 0.0;
+  uint64_t next_payload = 0;
+
+  auto schedule = [&](TimeMs deadline) {
+    wheel.Schedule(deadline, next_payload);
+    reference.push_back(Ref{std::max(deadline, 0.0), seq++, next_payload});
+    ++next_payload;
+  };
+  for (int i = 0; i < 5000; ++i) {
+    // Mixed horizons: mostly near, some far (exercises cascade), a few
+    // duplicates of round values (exercises FIFO ties).
+    const double r = rng.NextDouble();
+    if (r < 0.7) {
+      schedule(now + rng.NextDouble() * 500.0);
+    } else if (r < 0.9) {
+      schedule(now + rng.NextDouble() * 100'000.0);
+    } else {
+      schedule(now + std::floor(rng.NextDouble() * 10.0));
+    }
+  }
+
+  while (!wheel.empty()) {
+    now += rng.NextDouble() * 200.0;
+    std::vector<TimerEntry> due;
+    wheel.PopDue(now, &due);
+
+    std::vector<Ref> expected;
+    for (const Ref& ref : reference) {
+      if (ref.deadline <= now) expected.push_back(ref);
+    }
+    std::erase_if(reference, [&](const Ref& ref) {
+      return ref.deadline <= now;
+    });
+    std::sort(expected.begin(), expected.end(), [](const Ref& a, const Ref& b) {
+      return a.deadline != b.deadline ? a.deadline < b.deadline
+                                      : a.seq < b.seq;
+    });
+
+    ASSERT_EQ(due.size(), expected.size()) << "at now=" << now;
+    for (size_t i = 0; i < due.size(); ++i) {
+      EXPECT_DOUBLE_EQ(due[i].deadline, expected[i].deadline);
+      EXPECT_EQ(due[i].payload, expected[i].payload);
+    }
+    // Occasionally re-arm a popped timer, as the op generator does.
+    for (size_t i = 0; i < due.size(); i += 4) {
+      schedule(now + rng.NextDouble() * 300.0);
+    }
+    if (next_payload > 20'000) break;  // Bound re-arm growth.
+  }
+}
+
+}  // namespace
+}  // namespace rofs::sim

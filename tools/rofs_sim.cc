@@ -12,6 +12,11 @@
 //                                          # operation trace as CSV
 //   rofs_sim --jobs N <config.ini>         # run independent tests on N
 //                                          # threads (also: ROFS_JOBS)
+//   rofs_sim --sim-threads N <config.ini>  # override the config's [sim]
+//                                          # threads: intra-run sharded
+//                                          # engine (0 = classic serial;
+//                                          # output byte-identical for
+//                                          # any N >= 1)
 //   rofs_sim --replicates N <config.ini>   # run every test N times on
 //                                          # independent seed streams and
 //                                          # report mean +- 95% CI (also:
@@ -67,6 +72,7 @@ struct Options {
   std::string trace_path;
   int jobs = 0;        // 0: ROFS_JOBS, else hardware threads.
   int replicates = 0;  // 0: ROFS_REPLICATES, else 1.
+  int sim_threads = -1;  // -1: keep the config's [sim] threads.
   std::string jsonl_path;
   std::string csv_path;
   /// Observability (see bench/common.h for the same knobs): obs.metrics
@@ -83,6 +89,9 @@ int Run(const Options& opts) {
   if (!sim.ok()) {
     std::fprintf(stderr, "rofs_sim: %s\n", sim.status().ToString().c_str());
     return 1;
+  }
+  if (opts.sim_threads >= 0) {
+    sim->experiment.engine.threads = opts.sim_threads;
   }
 
   disk::DiskSystem probe(sim->disk);
@@ -343,6 +352,10 @@ int main(int argc, char** argv) {
       opts.jobs = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
       opts.jobs = std::atoi(argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--sim-threads") == 0 && i + 1 < argc) {
+      opts.sim_threads = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--sim-threads=", 14) == 0) {
+      opts.sim_threads = std::atoi(argv[i] + 14);
     } else if (std::strcmp(argv[i], "--replicates") == 0 && i + 1 < argc) {
       opts.replicates = std::atoi(argv[++i]);
     } else if (std::strncmp(argv[i], "--replicates=", 13) == 0) {
@@ -396,8 +409,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--dump] [--stats] [--trace out.csv] "
                  "[--metrics] [--trace-out out.json] [--trace-events N] "
-                 "[--jobs N] [--replicates N] [--jsonl out.jsonl] "
-                 "[--csv out.csv] <config.ini>\n",
+                 "[--jobs N] [--sim-threads N] [--replicates N] "
+                 "[--jsonl out.jsonl] [--csv out.csv] <config.ini>\n",
                  argv[0]);
     return 2;
   }
