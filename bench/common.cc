@@ -156,6 +156,10 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--trace-events=", 15) == 0) {
       options.obs.trace_events =
           static_cast<size_t>(std::atoll(argv[i] + 15));
+    } else if (std::strcmp(argv[i], "--window-ms") == 0 && i + 1 < argc) {
+      options.obs.window_ms = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--window-ms=", 12) == 0) {
+      options.obs.window_ms = std::atof(argv[i] + 12);
     } else if (std::strcmp(argv[i], "--progress") == 0) {
       options.progress = true;
     }
@@ -188,6 +192,12 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       env != nullptr && env[0] != '\0' &&
       options.obs.trace_events == obs::Options{}.trace_events) {
     options.obs.trace_events = static_cast<size_t>(std::atoll(env));
+  }
+  if (options.obs.window_ms <= 0) {
+    if (const char* env = std::getenv("ROFS_WINDOW_MS");
+        env != nullptr && env[0] != '\0') {
+      options.obs.window_ms = std::atof(env);
+    }
   }
   options.obs.trace = !options.trace_path.empty();
   if (!options.progress) {
@@ -372,6 +382,11 @@ std::vector<std::vector<std::string>> Sweep::Run() {
                "write " + options_.csv_path);
     std::fprintf(stderr, "sweep: wrote %zu records -> %s\n",
                  records_.size(), options_.csv_path.c_str());
+    // Windowed time-series companion (long format, one row per window);
+    // written only when some record carries a series (--window-ms).
+    const std::string series_path = options_.csv_path + ".series.csv";
+    DieOnError(exp::WriteSeriesCsv(series_path, records_),
+               "write " + series_path);
   }
 
   if (options_.obs.trace && !options_.trace_path.empty()) {

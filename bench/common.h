@@ -80,8 +80,10 @@ struct BenchOptions {
   /// to the JSONL/CSV artifacts; `--trace-out PATH` / ROFS_TRACE enables
   /// sim-time tracing and writes a merged Chrome trace-event JSON
   /// (Perfetto-loadable) after the sweep; `--trace-events N` /
-  /// ROFS_TRACE_EVENTS caps the per-run trace buffer. Neither flag
-  /// changes stdout or the artifact rows that exist without them.
+  /// ROFS_TRACE_EVENTS caps the per-run trace buffer; `--window-ms N` /
+  /// ROFS_WINDOW_MS samples windowed time-series into the JSONL records
+  /// and a "<csv>.series.csv" companion. No flag changes stdout or the
+  /// artifact rows that exist without them.
   obs::Options obs;
   std::string trace_path;
   /// `--progress` / ROFS_PROGRESS: a throttled (~1/s) heartbeat on stderr

@@ -382,6 +382,16 @@ Status BuildSimEngine(const Section* section, exp::SimEngineOptions* eng) {
   return Status::OK();
 }
 
+Status BuildObs(const Section* section, obs::Options* obs) {
+  if (section == nullptr) return Status::OK();
+  ROFS_ASSIGN_OR_RETURN(obs->window_ms,
+                        section->GetDurationMsOr("window_ms", obs->window_ms));
+  if (obs->window_ms < 0.0) {
+    return Status::InvalidArgument("[obs] window_ms must be non-negative");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<SimConfig> BuildSimConfig(const ConfigFile& file) {
@@ -399,6 +409,7 @@ StatusOr<SimConfig> BuildSimConfig(const ConfigFile& file) {
       BuildCache(file.Find("cache"), &sim.experiment.fs_options));
   ROFS_RETURN_IF_ERROR(
       BuildSimEngine(file.Find("sim"), &sim.experiment.engine));
+  ROFS_RETURN_IF_ERROR(BuildObs(file.Find("obs"), &sim.experiment.obs));
   return sim;
 }
 

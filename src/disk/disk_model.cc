@@ -131,6 +131,9 @@ void Disk::CommitAccess(sim::TimeMs arrival, sim::TimeMs start,
   rotation_time_ms_ += t.rotate_ms;
   transfer_time_ms_ += t.transfer_ms;
   queue_wait_ms_ += start - arrival;
+  last_phases_ =
+      obs::AccessPhases{start - arrival, t.seek_ms, t.rotate_ms,
+                        t.transfer_ms};
 
   if (tracer_ != nullptr) {
     tracer_->DiskAccess(tracer_index_, arrival, start, t.seek_ms, t.rotate_ms,
@@ -195,6 +198,7 @@ sim::TimeMs Disk::Submit(sim::TimeMs arrival, uint64_t offset_bytes,
     // event is scheduled only when a callback must fire at that instant.
     io.seek_cylinders = SeekDistanceNow(offset_bytes);
     io.predicted_done = Access(arrival, offset_bytes, length_bytes);
+    io.phases = last_phases_;
     scheduler_->Enqueue(io.request);
     const size_t depth = scheduler_->queue_depth();
     sched::Request request;
@@ -268,6 +272,7 @@ void Disk::TryDispatch() {
                      seek_cylinders);
   CommitAccess(request.arrival, start, request.offset_bytes,
                request.length_bytes, t);
+  io.phases = last_phases_;
   const sim::TimeMs completion = start + t.service;
   dispatch_seek_cylinders_.Add(static_cast<double>(seek_cylinders));
   if (tracer_ != nullptr) {
@@ -282,18 +287,20 @@ void Disk::TryDispatch() {
 void Disk::DeliverPredicted(uint32_t handle) {
   CompletionFn done = std::move(pending_[handle].on_done);
   const sim::TimeMs completion = pending_[handle].predicted_done;
+  const obs::AccessPhases phases = pending_[handle].phases;
   ReleasePendingSlot(handle);
-  if (done) done(completion);
+  if (done) done(completion, phases);
 }
 
 void Disk::OnServiceComplete(uint32_t handle, sim::TimeMs completion) {
   in_service_ = false;
   CompletionFn done = std::move(pending_[handle].on_done);
+  const obs::AccessPhases phases = pending_[handle].phases;
   ReleasePendingSlot(handle);
   // Start the next service before delivering the completion: the head is
   // free from `completion` even while upper layers react to it.
   TryDispatch();
-  if (done) done(completion);
+  if (done) done(completion, phases);
 }
 
 void Disk::ResetStats() {

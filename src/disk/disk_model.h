@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "disk/disk_geometry.h"
+#include "obs/latency.h"
 #include "sched/scheduler.h"
 #include "sim/event_queue.h"
 #include "util/histogram.h"
@@ -61,8 +62,11 @@ enum class RotationModel {
 class Disk {
  public:
   /// Completion callback for dispatch-driven requests; receives the
-  /// completion time. Sized for a pointer-plus-handle capture.
-  using CompletionFn = util::InlineFunction<void(sim::TimeMs), 24>;
+  /// completion time and the access's service-phase breakdown (queue
+  /// wait, seek, rotation, transfer) for latency attribution. Sized for
+  /// a pointer-plus-handle capture.
+  using CompletionFn =
+      util::InlineFunction<void(sim::TimeMs, const obs::AccessPhases&), 24>;
 
   explicit Disk(const DiskGeometry& geometry,
                 RotationModel rotation = RotationModel::kMeanLatency);
@@ -130,6 +134,12 @@ class Disk {
   /// mode) or in the scheduler's pending queue (dispatch mode).
   double queue_wait_ms() const { return queue_wait_ms_; }
 
+  /// Phase breakdown of the most recently committed access, exactly as
+  /// charged to the cumulative counters. Valid immediately after a
+  /// synchronous Access()/predictable Submit() returns; deferred
+  /// completions receive their own copy through CompletionFn instead.
+  const obs::AccessPhases& last_phases() const { return last_phases_; }
+
   /// Scheduler statistics (dispatch mode; zero otherwise).
   uint64_t dispatches() const { return dispatches_; }
   /// Dispatches that did not pick the oldest pending request.
@@ -172,6 +182,8 @@ class Disk {
     sim::TimeMs predicted_done = 0.0;    // Predictable policies only.
     uint64_t seek_cylinders = 0;         // Head travel, fixed at submit
                                          // (predictable) or dispatch.
+    obs::AccessPhases phases;            // Service breakdown, fixed when
+                                         // the access commits.
     CompletionFn on_done;
     uint32_t next_free = 0;
   };
@@ -250,6 +262,7 @@ class Disk {
   double rotation_time_ms_ = 0.0;
   double transfer_time_ms_ = 0.0;
   double queue_wait_ms_ = 0.0;
+  obs::AccessPhases last_phases_;
 
   uint64_t dispatches_ = 0;
   uint64_t reorders_ = 0;

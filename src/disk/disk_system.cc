@@ -109,6 +109,11 @@ sim::TimeMs DiskSystem::Submit(sim::TimeMs arrival,
                                     a.length_du * du, nullptr)
             : disks_[target].Access(arrival, a.offset_du * du,
                                     a.length_du * du);
+    // The synchronous path commits each access inline, so the drive's
+    // last_phases() breakdown belongs to exactly this access.
+    if (attr_ != nullptr) {
+      attr_->OnAccess(attr_->target(), disks_[target].last_phases());
+    }
     completion = std::max(completion, done);
   }
   return completion;
@@ -129,6 +134,7 @@ uint32_t DiskSystem::OpenGroup(sim::TimeMs arrival, DoneFn on_done) {
   g.max_done = arrival;
   g.outstanding = 0;
   g.open = true;
+  g.target = attr_ != nullptr ? attr_->target() : obs::OpAttribution::Target{};
   return group;
 }
 
@@ -161,18 +167,24 @@ void DiskSystem::SubmitGroup(uint32_t group, sim::TimeMs arrival,
     if (engine_ != nullptr) {
       // The completion fires in the drive's shard; the group bookkeeping
       // (and the FS continuation it may trigger) touches shared state, so
-      // it crosses back to the central domain as a buffered effect.
-      disks_[target].Submit(arrival, a.offset_du * du, a.length_du * du,
-                            [this, group](sim::TimeMs done) {
-                              engine_->EmitEffect(done, [this, group, done] {
-                                OnGroupAccessDone(group, done);
-                              });
-                            });
+      // it crosses back to the central domain as a buffered effect. The
+      // effect capture is exactly the event callback's inline budget
+      // (this + group + the 4-double phase breakdown = 48 bytes), so
+      // `done` is recovered from the central clock: effects commit at
+      // their emission time, never clamped (DESIGN.md §11).
+      disks_[target].Submit(
+          arrival, a.offset_du * du, a.length_du * du,
+          [this, group](sim::TimeMs done, const obs::AccessPhases& p) {
+            engine_->EmitEffect(done, [this, group, p] {
+              OnGroupAccessDone(group, queue_->now(), p);
+            });
+          });
     } else {
-      disks_[target].Submit(arrival, a.offset_du * du, a.length_du * du,
-                            [this, group](sim::TimeMs done) {
-                              OnGroupAccessDone(group, done);
-                            });
+      disks_[target].Submit(
+          arrival, a.offset_du * du, a.length_du * du,
+          [this, group](sim::TimeMs done, const obs::AccessPhases& p) {
+            OnGroupAccessDone(group, done, p);
+          });
     }
   }
 }
@@ -184,8 +196,10 @@ void DiskSystem::CloseGroup(uint32_t group) {
   if (g.outstanding == 0) FinishGroup(group);
 }
 
-void DiskSystem::OnGroupAccessDone(uint32_t group, sim::TimeMs done) {
+void DiskSystem::OnGroupAccessDone(uint32_t group, sim::TimeMs done,
+                                   const obs::AccessPhases& phases) {
   Group& g = groups_[group];
+  if (attr_ != nullptr) attr_->OnAccess(g.target, phases);
   g.max_done = std::max(g.max_done, done);
   assert(g.outstanding > 0);
   if (--g.outstanding == 0 && !g.open) FinishGroup(group);
@@ -194,11 +208,15 @@ void DiskSystem::OnGroupAccessDone(uint32_t group, sim::TimeMs done) {
 void DiskSystem::FinishGroup(uint32_t group) {
   DoneFn done = std::move(groups_[group].on_done);
   const sim::TimeMs max_done = groups_[group].max_done;
+  const obs::OpAttribution::Target target = groups_[group].target;
   groups_[group].on_done = nullptr;
   groups_[group].next_free = free_group_;
   free_group_ = group;
   // The continuation may open new groups (reusing this slot) — invoke
-  // after the slot is back on the free list.
+  // after the slot is back on the free list. The op's completion callback
+  // has no room to carry a ledger index, so the finishing target is
+  // published for it to recover (OpAttribution::TakeActive).
+  if (attr_ != nullptr) attr_->SetFinishing(target);
   if (done) done(max_done);
 }
 

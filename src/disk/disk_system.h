@@ -9,6 +9,7 @@
 #include "disk/disk_geometry.h"
 #include "disk/disk_model.h"
 #include "disk/layout.h"
+#include "obs/latency.h"
 #include "sched/scheduler.h"
 #include "sim/event_queue.h"
 #include "util/inline_function.h"
@@ -156,6 +157,12 @@ class DiskSystem {
     disks_[i].set_tracer(tracer, i);
   }
 
+  /// Attaches per-op latency attribution (null detaches). Synchronous
+  /// submissions charge each access to the attribution's current target;
+  /// groups capture the target at OpenGroup and charge deferred
+  /// completions to it on the central thread.
+  void set_attribution(obs::OpAttribution* attr) { attr_ = attr; }
+
   void ResetStats();
 
   std::string DescribeConfig() const;
@@ -167,6 +174,8 @@ class DiskSystem {
     uint32_t outstanding = 0;
     bool open = false;
     uint32_t next_free = 0;
+    /// Latency-attribution target captured at OpenGroup.
+    obs::OpAttribution::Target target;
   };
 
   sim::TimeMs Submit(sim::TimeMs arrival,
@@ -174,7 +183,8 @@ class DiskSystem {
   /// Routes the group's per-disk accesses through the drive schedulers.
   void SubmitGroup(uint32_t group, sim::TimeMs arrival,
                    const std::vector<DiskAccess>& accesses);
-  void OnGroupAccessDone(uint32_t group, sim::TimeMs done);
+  void OnGroupAccessDone(uint32_t group, sim::TimeMs done,
+                         const obs::AccessPhases& phases);
   void FinishGroup(uint32_t group);
   /// The drive that should serve a mirrored read: less busy replica by
   /// predicted busy time (predictable modes) or pending load (reordering
@@ -192,6 +202,7 @@ class DiskSystem {
   uint32_t free_group_ = kNoGroup;
   uint64_t logical_bytes_read_ = 0;
   uint64_t logical_bytes_written_ = 0;
+  obs::OpAttribution* attr_ = nullptr;
   // Reused scratch buffer to avoid per-request allocation.
   mutable std::vector<DiskAccess> scratch_;
 };

@@ -9,8 +9,101 @@
 #include "exp/throughput_tracker.h"
 #include "obs/trace_writer.h"
 #include "runner/thread_pool.h"
+#include "stats/steady.h"
 
 namespace rofs::exp {
+
+/// Samples cumulative component counters every `window_ms` of simulated
+/// time through a self-rescheduling central event and appends the
+/// per-window deltas to a WindowSeries. Every sampled value is simulation
+/// state read on the central thread at a deterministic event time, so the
+/// series is byte-identical across --jobs and --sim-threads counts.
+/// The epoch invalidates ticks left in the heap by an earlier
+/// measurement (a performance pair measures twice on one queue).
+struct WindowRecorder {
+  WindowRecorder(sim::EventQueue* q, workload::OpGenerator* g,
+                 fs::ReadOptimizedFs* f, disk::DiskSystem* d,
+                 obs::SimTracer* t, double window)
+      : queue(q), gen(g), fs(f), disk(d), tracer(t), window_ms(window) {
+    for (const char* name :
+         {"ops", "lat_count", "lat_sum_ms", "read_du", "write_du",
+          "disk_busy_ms", "disk_accesses", "disk_queue_wait_ms",
+          "cache_hits", "cache_misses"}) {
+      series.AddColumn(name);
+    }
+  }
+
+  void CaptureRaw(std::vector<double>* out) const {
+    out->clear();
+    out->push_back(static_cast<double>(gen->ops_executed()));
+    out->push_back(static_cast<double>(tracer->op_latency_ms()->count()));
+    out->push_back(tracer->op_latency_ms()->sum());
+    out->push_back(static_cast<double>(fs->physical_read_du()));
+    out->push_back(static_cast<double>(fs->physical_write_du()));
+    double busy_ms = 0.0;
+    double queue_wait_ms = 0.0;
+    uint64_t accesses = 0;
+    // Fixed per-disk order keeps the floating-point sums deterministic.
+    for (uint32_t i = 0; i < disk->num_disks(); ++i) {
+      const disk::Disk& d = disk->disk(i);
+      busy_ms += d.busy_time_ms();
+      queue_wait_ms += d.queue_wait_ms();
+      accesses += d.accesses();
+    }
+    out->push_back(busy_ms);
+    out->push_back(static_cast<double>(accesses));
+    out->push_back(queue_wait_ms);
+    const fs::BufferCache* cache = fs->cache();
+    out->push_back(
+        cache != nullptr ? static_cast<double>(cache->hits()) : 0.0);
+    out->push_back(
+        cache != nullptr ? static_cast<double>(cache->misses()) : 0.0);
+  }
+
+  void Start(sim::TimeMs now, size_t expected_rows) {
+    ++epoch;
+    active = true;
+    series.ClearRows();
+    series.Reserve(expected_rows);
+    CaptureRaw(&prev);
+    delta.reserve(prev.size());
+    queue->Schedule(now + window_ms, [this, e = epoch] { Tick(e); });
+  }
+
+  void Tick(uint64_t tick_epoch) {
+    if (!active || tick_epoch != epoch) return;
+    CaptureRaw(&raw);
+    delta.clear();
+    for (size_t i = 0; i < raw.size(); ++i) {
+      delta.push_back(raw[i] - prev[i]);
+    }
+    std::swap(prev, raw);
+    series.Append(queue->now(), delta.data());
+    queue->Schedule(queue->now() + window_ms, [this, e = epoch] { Tick(e); });
+  }
+
+  /// Any tick still in the heap becomes a no-op.
+  void Stop() {
+    active = false;
+    ++epoch;
+  }
+
+  sim::EventQueue* queue;
+  workload::OpGenerator* gen;
+  fs::ReadOptimizedFs* fs;
+  disk::DiskSystem* disk;
+  obs::SimTracer* tracer;
+  double window_ms;
+  uint64_t epoch = 0;
+  bool active = false;
+  obs::WindowSeries series;
+  std::vector<double> prev;
+  std::vector<double> raw;
+  std::vector<double> delta;
+};
+
+Experiment::Sim::Sim() = default;
+Experiment::Sim::~Sim() = default;
 
 namespace {
 
@@ -106,6 +199,9 @@ Status ExperimentConfig::Validate() const {
     return Status::InvalidArgument(
         "obs.trace_events must be positive when tracing is on");
   }
+  if (obs.window_ms < 0.0) {
+    return Status::InvalidArgument("obs.window_ms must be non-negative");
+  }
   if (fs_options.cache_bytes > 0 && fs_options.cache_page_bytes == 0) {
     return Status::InvalidArgument(
         "cache_page_bytes must be positive when the cache is enabled");
@@ -182,6 +278,7 @@ RunRecord PerfResult::ToRecord() const {
   r.Set("sim.wheel.peak", static_cast<double>(wheel_peak));
   AllocatorStatsToRecord(alloc_stats, &r);
   for (const auto& [name, value] : obs_metrics) r.Set("obs." + name, value);
+  r.series = series;
   return r;
 }
 
@@ -274,6 +371,14 @@ StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
     }
     sim->allocator->set_tracer(tracer);
     sim->fs->set_tracer(tracer);
+    // Per-op latency attribution: the generator opens/folds the ledgers;
+    // the fs retargets around metadata, flush, and readahead I/O; the
+    // disk system charges each access. All of it runs on the central
+    // thread (sync issue stacks and effect-commit completions).
+    obs::OpAttribution* attr = sim->obs->attribution();
+    sim->disk->set_attribution(attr);
+    sim->fs->set_attribution(attr);
+    sim->gen->set_attribution(attr);
     // Chain onto whatever sink instrument_ installed (e.g. an OpTrace),
     // after it ran, so both observers see every executed op. The tracer
     // stays disarmed until a test's interesting phase begins.
@@ -370,6 +475,18 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   if (sim->obs != nullptr) sim->obs->ArmAll();
   tracker->Start(sim->queue.now());
   const sim::TimeMs start = sim->queue.now();
+  WindowRecorder* windows = nullptr;
+  if (sim->obs != nullptr && config_.obs.window_ms > 0) {
+    if (sim->window == nullptr) {
+      sim->window = std::make_unique<WindowRecorder>(
+          &sim->queue, sim->gen.get(), sim->fs.get(), sim->disk.get(),
+          sim->obs->tracer(), config_.obs.window_ms);
+    }
+    windows = sim->window.get();
+    windows->Start(start, static_cast<size_t>(
+                              max_measure / config_.obs.window_ms) +
+                              2);
+  }
 
   double util = 0.0;
   while (true) {
@@ -387,6 +504,22 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   sim->gen->FlushWriteBack(sim->queue.now());
 
   PerfResult result;
+  if (windows != nullptr) {
+    windows->Stop();
+    result.series = windows->series;
+    // Steady-state onset: the first window whose ops-per-window block
+    // mean is statistically indistinguishable (overlapping Student-t
+    // CIs) from the following block; -1 when the series never settles.
+    const std::vector<double>* ops = windows->series.Find("ops");
+    const int steady =
+        ops != nullptr
+            ? stats::DetectSteadyWindow(
+                  *ops, stats::SteadyBlockLength(ops->size()))
+            : -1;
+    sim->obs->registry()
+        .AddGauge("steady.window")
+        ->Set(static_cast<double>(steady));
+  }
   result.utilization_of_max = util;
   result.stabilized = tracker->Stabilized();
   result.measured_ms = sim->queue.now() - start;
@@ -499,6 +632,10 @@ void Experiment::SnapshotObs(
       ->Set(static_cast<double>(sim->fs->prefetch_read_du()));
   reg.AddGauge("fs.physical_write_du")
       ->Set(static_cast<double>(sim->fs->physical_write_du()));
+  if (sim->obs->options().trace) {
+    reg.AddGauge("trace.dropped_spans")
+        ->Set(static_cast<double>(sim->obs->DroppedSpans()));
+  }
   out->clear();
   // Merges the per-shard lanes (sharded runs) with the main registry;
   // identical to reg.Snapshot(out) when there are none.

@@ -21,6 +21,10 @@
 
 namespace rofs::exp {
 
+/// Live state of one measurement's windowed time-series capture (defined
+/// in experiment.cc; present in a Sim only when obs.window_ms > 0).
+struct WindowRecorder;
+
 /// Intra-run parallel engine and per-user state compaction (DESIGN.md
 /// §11). Defaults reproduce every earlier release byte for byte.
 struct SimEngineOptions {
@@ -150,9 +154,13 @@ struct PerfResult {
   /// Metric-registry snapshot when the run had --metrics on; empty
   /// otherwise. Name-sorted.
   std::vector<std::pair<std::string, double>> obs_metrics;
+  /// Windowed time-series over the measurement phase when obs.window_ms
+  /// was set; empty otherwise. Carried into the RunRecord by ToRecord.
+  obs::WindowSeries series;
 
   /// Flat RunRecord view ("throughput_of_max", "measured_ms", ...,
-  /// "alloc.splits"); FromRecord inverts it. See AllocationResult.
+  /// "alloc.splits"); FromRecord inverts it (the series rides along
+  /// verbatim). See AllocationResult.
   RunRecord ToRecord() const;
   static PerfResult FromRecord(const RunRecord& record);
 };
@@ -203,6 +211,9 @@ class Experiment {
   /// disk, fs, gen) are destroyed before the obs session, and the queue
   /// — whose clock the session reads — outlives everything.
   struct Sim {
+    Sim();
+    ~Sim();  // Out of line: WindowRecorder is complete in experiment.cc.
+
     sim::EventQueue queue;
     /// Present only when config.engine.threads >= 1. Declared right
     /// after the queue (its central domain) so everything that binds
@@ -213,6 +224,10 @@ class Experiment {
     std::unique_ptr<disk::DiskSystem> disk;
     std::unique_ptr<fs::ReadOptimizedFs> fs;
     std::unique_ptr<workload::OpGenerator> gen;
+    /// Windowed-metrics capture; created by the first Measure that needs
+    /// it (self-rescheduling tick events keep a pointer to it, so it
+    /// lives with the Sim, not the measurement).
+    std::unique_ptr<WindowRecorder> window;
   };
 
   /// Creates the disk/allocator/fs/generator and the initial files, and

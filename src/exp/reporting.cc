@@ -69,6 +69,13 @@ Status WriteCsv(const std::string& path,
   return WriteTextFile(path, RecordsToCsv(records));
 }
 
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<RunRecord>& records) {
+  const std::string csv = SeriesToCsv(records);
+  if (csv.empty()) return Status::OK();
+  return WriteTextFile(path, csv);
+}
+
 std::string SummaryTable(const std::map<std::string, stats::Summary>& m) {
   Table table({"Metric", "Mean", "±CI", "Min", "Max"});
   for (const auto& [name, s] : m) {

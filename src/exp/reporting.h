@@ -39,6 +39,11 @@ Status WriteJsonl(const std::string& path,
 Status WriteCsv(const std::string& path,
                 const std::vector<RunRecord>& records);
 
+/// Writes the long-format windowed-series CSV (SeriesToCsv). No-op —
+/// no file is created — when no record carries a series.
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<RunRecord>& records);
+
 /// Renders per-metric replication summaries as an aligned table (metric,
 /// mean, the ± confidence half-width, min, max).
 std::string SummaryTable(const std::map<std::string, stats::Summary>& m);

@@ -71,6 +71,12 @@ void RunRecord::MergeMetrics(const RunRecord& other,
   for (const auto& [key, value] : other.tags) {
     tags.emplace(key, value);  // Existing keys win.
   }
+  // A composed cell adopts the first series it sees, with its columns
+  // carrying the same prefix as the metrics they accompany.
+  if (series.empty() && !other.series.empty()) {
+    series = other.series;
+    if (!prefix.empty()) series.PrefixColumns(prefix);
+  }
 }
 
 std::string RunRecord::ToJson() const {
@@ -100,7 +106,28 @@ std::string RunRecord::ToJson() const {
     out.push_back(':');
     out += DoubleToString(value);
   }
-  out += "}}";
+  out += "}";
+  if (!series.empty()) {
+    out += ",\"series\":{\"t_ms\":[";
+    for (size_t i = 0; i < series.rows(); ++i) {
+      if (i > 0) out.push_back(',');
+      out += DoubleToString(series.times()[i]);
+    }
+    out += "],\"cols\":{";
+    for (size_t c = 0; c < series.num_columns(); ++c) {
+      if (c > 0) out.push_back(',');
+      AppendJsonEscaped(&out, series.column_name(c));
+      out += ":[";
+      const std::vector<double>& col = series.column(c);
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += DoubleToString(col[i]);
+      }
+      out.push_back(']');
+    }
+    out += "}}";
+  }
+  out += "}";
   return out;
 }
 
@@ -147,6 +174,39 @@ std::string RecordsToCsv(const std::vector<RunRecord>& records) {
       if (it != r.metrics.end()) out += DoubleToString(it->second);
     }
     out.push_back('\n');
+  }
+  return out;
+}
+
+std::string SeriesToCsv(const std::vector<RunRecord>& records) {
+  std::set<std::string> columns;
+  for (const RunRecord& r : records) {
+    for (size_t c = 0; c < r.series.num_columns(); ++c) {
+      columns.insert(r.series.column_name(c));
+    }
+  }
+  if (columns.empty()) return "";
+  std::string out = "experiment,cell,replicate,seed,t_ms";
+  for (const std::string& name : columns) {
+    out.push_back(',');
+    AppendCsvEscaped(&out, name);
+  }
+  out.push_back('\n');
+  for (const RunRecord& r : records) {
+    for (size_t i = 0; i < r.series.rows(); ++i) {
+      AppendCsvEscaped(&out, r.experiment);
+      out.push_back(',');
+      AppendCsvEscaped(&out, r.cell);
+      out += ',' + std::to_string(r.replicate);
+      out += ',' + std::to_string(r.seed);
+      out += ',' + DoubleToString(r.series.times()[i]);
+      for (const std::string& name : columns) {
+        out.push_back(',');
+        const std::vector<double>* col = r.series.Find(name);
+        if (col != nullptr) out += DoubleToString((*col)[i]);
+      }
+      out.push_back('\n');
+    }
   }
   return out;
 }

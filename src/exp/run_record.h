@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.h"
+
 namespace rofs::exp {
 
 /// The machine-readable result of one simulation run: a flat
@@ -30,6 +32,11 @@ struct RunRecord {
 
   std::map<std::string, std::string> tags;
   std::map<std::string, double> metrics;
+  /// Windowed time-series sampled over the run's measurement phase; empty
+  /// unless `[obs] window_ms` / `--window-ms` was set. Serialized as a
+  /// trailing "series" object only when non-empty, so records without one
+  /// are byte-identical to the earlier schema.
+  obs::WindowSeries series;
 
   void Set(const std::string& name, double value) { metrics[name] = value; }
   /// The metric's value, or `fallback` when absent.
@@ -56,8 +63,14 @@ std::string RecordsToJsonl(const std::vector<RunRecord>& records);
 
 /// CSV with a fixed identity prefix (experiment, cell, replicate, seed),
 /// then the sorted union of tag keys (prefixed "tag."), then the sorted
-/// union of metric keys. Absent cells are empty.
+/// union of metric keys. Absent cells are empty. Series are not included
+/// (see SeriesToCsv).
 std::string RecordsToCsv(const std::vector<RunRecord>& records);
+
+/// Long-format CSV of every record's windowed series: one row per
+/// (record, window), identity prefix then t_ms then the sorted union of
+/// column names. Empty string when no record carries a series.
+std::string SeriesToCsv(const std::vector<RunRecord>& records);
 
 }  // namespace rofs::exp
 

@@ -86,4 +86,41 @@ Status OpTrace::WriteCsv(const std::string& path,
                     : Status::Internal("short write to '" + path + "'");
 }
 
+std::string OpTrace::ToJsonl(const workload::WorkloadSpec& workload) const {
+  std::string out;
+  out.reserve(records_.size() * 96);
+  auto append = [&](const workload::OpRecord& r) {
+    out += FormatString(
+        "{\"issued_ms\":%.3f,\"completed_ms\":%.3f,\"latency_ms\":%.3f,"
+        "\"type\":\"%s\",\"op\":\"%s\",\"file\":%llu,\"bytes\":%llu}\n",
+        r.issued, r.completed, r.completed - r.issued,
+        r.type_index < workload.types.size()
+            ? workload.types[r.type_index].name.c_str()
+            : "?",
+        workload::OpKindToString(r.op).c_str(),
+        static_cast<unsigned long long>(r.file),
+        static_cast<unsigned long long>(r.bytes));
+  };
+  // Oldest first (same order as ToCsv, without mutating the ring).
+  if (wrapped_) {
+    for (size_t i = head_; i < records_.size(); ++i) append(records_[i]);
+    for (size_t i = 0; i < head_; ++i) append(records_[i]);
+  } else {
+    for (const auto& r : records_) append(r);
+  }
+  out += FormatString("{\"records\":%llu,\"dropped\":%llu}\n",
+                      static_cast<unsigned long long>(records_.size()),
+                      static_cast<unsigned long long>(dropped()));
+  return out;
+}
+
+Status OpTrace::WriteJsonl(const std::string& path,
+                           const workload::WorkloadSpec& workload) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for write");
+  out << ToJsonl(workload);
+  return out.good() ? Status::OK()
+                    : Status::Internal("short write to '" + path + "'");
+}
+
 }  // namespace rofs::exp

@@ -42,6 +42,18 @@ class OpTrace {
   Status WriteCsv(const std::string& path,
                   const workload::WorkloadSpec& workload) const;
 
+  /// JSONL: one object per record, oldest-first —
+  /// {"issued_ms":..,"completed_ms":..,"latency_ms":..,"type":"..",
+  ///  "op":"..","file":N,"bytes":N}
+  /// — then a final summary line {"records":M,"dropped":N} that always
+  /// reports the ring's eviction accounting (N == 0 when nothing was
+  /// lost), so consumers can detect truncation without counting lines.
+  std::string ToJsonl(const workload::WorkloadSpec& workload) const;
+
+  /// Writes ToJsonl() to a file.
+  Status WriteJsonl(const std::string& path,
+                    const workload::WorkloadSpec& workload) const;
+
  private:
   size_t capacity_;
   size_t head_ = 0;  // Index of the oldest record once wrapped.

@@ -8,6 +8,42 @@
 
 namespace rofs::fs {
 
+namespace {
+
+/// Retargets latency attribution for a scope (a no-op when attribution is
+/// detached). The fs uses it to charge metadata reads to the op's cache
+/// slot, flushes to the flush histogram, and readahead to nothing.
+class ScopedAttrTarget {
+ public:
+  ScopedAttrTarget(obs::OpAttribution* attr, obs::OpAttribution::Target t)
+      : attr_(attr) {
+    if (attr_ != nullptr) {
+      saved_ = attr_->target();
+      attr_->set_target(t);
+    }
+  }
+  ~ScopedAttrTarget() {
+    if (attr_ != nullptr) attr_->set_target(saved_);
+  }
+  ScopedAttrTarget(const ScopedAttrTarget&) = delete;
+  ScopedAttrTarget& operator=(const ScopedAttrTarget&) = delete;
+
+ private:
+  obs::OpAttribution* attr_;
+  obs::OpAttribution::Target saved_;
+};
+
+/// The current target with its mode switched (kNoLedger stays untargeted).
+obs::OpAttribution::Target WithMode(obs::OpAttribution* attr,
+                                    obs::OpAttribution::Mode mode) {
+  obs::OpAttribution::Target t;
+  if (attr != nullptr) t.ledger = attr->target().ledger;
+  t.mode = mode;
+  return t;
+}
+
+}  // namespace
+
 ReadOptimizedFs::ReadOptimizedFs(alloc::Allocator* allocator,
                                  disk::DiskSystem* disk, FsOptions options)
     : allocator_(allocator), disk_(disk),
@@ -42,6 +78,10 @@ sim::TimeMs ReadOptimizedFs::MetadataRead(File& f, sim::TimeMs arrival) {
   if (f.fd_alloc.extents.empty()) return arrival;  // No descriptor block.
   const uint64_t fd_du = f.fd_alloc.extents.front().start_du;
   if (cache_ != nullptr && cache_->Touch(fd_du)) return arrival;
+  // The descriptor read charges the op's metadata/cache slot, not the
+  // data phases.
+  const ScopedAttrTarget scope(
+      attr_, WithMode(attr_, obs::OpAttribution::Mode::kOpCache));
   const sim::TimeMs done = disk_->Read(arrival, fd_du, 1);
   ++physical_read_du_;
   if (cache_ != nullptr) cache_->Insert(fd_du);
@@ -198,6 +238,11 @@ void ReadOptimizedFs::BufferWrite(sim::TimeMs arrival) {
 void ReadOptimizedFs::BackgroundWrite(uint64_t start_du, uint64_t n_du) {
   physical_write_du_ += n_du;
   if (disk_ == nullptr || !io_enabled_) return;
+  // Flush traffic is not part of any op's latency; it feeds the flush
+  // histogram instead.
+  const ScopedAttrTarget scope(
+      attr_, obs::OpAttribution::Target{obs::OpAttribution::kNoLedger,
+                                        obs::OpAttribution::Mode::kFlush});
   if (disk_->predictable()) {
     (void)disk_->Write(flush_now_ms_, start_du, n_du);
     return;
@@ -234,6 +279,8 @@ void ReadOptimizedFs::MaybeReadahead(File& f, uint64_t offset, uint64_t bytes,
   const uint64_t window =
       options_.readahead_pages * cache_->page_du() * du_bytes_;
   const uint64_t n = std::min(window, f.logical_bytes - start);
+  // Readahead is speculative background traffic — untracked.
+  const ScopedAttrTarget scope(attr_, obs::OpAttribution::Target{});
   prefetch_scratch_.clear();
   MapRange(f, start, n, &prefetch_scratch_);
   for (const Run& r : prefetch_scratch_) {
@@ -306,6 +353,12 @@ void ReadOptimizedFs::DoIoAsync(FileId id, uint64_t offset, uint64_t bytes,
       op.bytes = bytes;
       op.is_write = is_write;
       op.on_done = std::move(on_done);
+      // The continuation callback has no room to carry the op's target, so
+      // the slot saves it; the descriptor read itself charges the op's
+      // metadata/cache slot (the group captures the target at OpenGroup).
+      if (attr_ != nullptr) op.attr_target = attr_->target();
+      const ScopedAttrTarget scope(
+          attr_, WithMode(attr_, obs::OpAttribution::Mode::kOpCache));
       const uint32_t group = disk_->OpenGroup(
           arrival, [this, slot, arrival](sim::TimeMs md_done) {
             if (tracer_ != nullptr) tracer_->MetadataRead(arrival, md_done);
@@ -329,6 +382,10 @@ void ReadOptimizedFs::FinishDataIo(uint32_t slot, sim::TimeMs md_done) {
   uint64_t bytes = op.bytes;
   const bool is_write = op.is_write;
   DoneFn on_done = std::move(op.on_done);
+  // Restore the op's attribution target for the data runs (and for the
+  // completion callback's fold); runs in event context, so the saved
+  // target around this scope is the empty one.
+  const ScopedAttrTarget scope(attr_, op.attr_target);
   ReleaseAsyncSlot(slot);
   File& f = files_[id];
   // Re-clip: a truncate or delete may have raced the metadata read.

@@ -193,6 +193,12 @@ class ReadOptimizedFs {
   /// system, and event queue separately — the fs does not own those.
   void set_tracer(obs::SimTracer* tracer);
 
+  /// Attaches per-op latency attribution (null detaches). The fs retargets
+  /// it around its internal I/O: metadata descriptor reads charge the
+  /// op's cache slot, write-back flushes charge the flush histogram, and
+  /// readahead is untracked.
+  void set_attribution(obs::OpAttribution* attr) { attr_ = attr; }
+
   uint64_t total_logical_bytes() const { return total_logical_bytes_; }
   uint64_t total_allocated_bytes() const {
     return allocator_->used_du() * du_bytes_;
@@ -216,6 +222,10 @@ class ReadOptimizedFs {
     bool is_write = false;
     DoneFn on_done;
     uint32_t next_free = 0;
+    /// The op's attribution target, restored around the data runs once
+    /// the metadata read lands (the continuation callbacks have no room
+    /// to carry it).
+    obs::OpAttribution::Target attr_target;
   };
 
   /// Maps a logical byte range of a file onto merged physically
@@ -288,6 +298,7 @@ class ReadOptimizedFs {
   /// cache's eviction-flush callback stamps on its background write.
   sim::TimeMs flush_now_ms_ = 0;
   obs::SimTracer* tracer_ = nullptr;
+  obs::OpAttribution* attr_ = nullptr;
 };
 
 }  // namespace rofs::fs

@@ -1,0 +1,89 @@
+#include "obs/latency.h"
+
+#include "obs/metrics.h"
+
+namespace rofs::obs {
+
+OpAttribution::OpAttribution(Registry* registry) {
+  phase_[0] = registry->AddHistogram("lat.cache");
+  phase_[1] = registry->AddHistogram("lat.queue");
+  phase_[2] = registry->AddHistogram("lat.seek");
+  phase_[3] = registry->AddHistogram("lat.rotation");
+  phase_[4] = registry->AddHistogram("lat.transfer");
+  phase_[kSlots] = registry->AddHistogram("lat.other");
+  think_ = registry->AddHistogram("lat.think");
+  flush_ = registry->AddHistogram("lat.flush");
+}
+
+uint32_t OpAttribution::BeginOp() {
+  uint32_t index;
+  if (free_head_ != kNoLedger) {
+    index = free_head_;
+    free_head_ = pool_[index].next_free;
+  } else {
+    index = static_cast<uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Ledger& led = pool_[index];
+  for (double& s : led.slot) s = 0.0;
+  led.next_free = kNoLedger;
+  ++live_;
+  current_ = Target{index, Mode::kOp};
+  return index;
+}
+
+void OpAttribution::OnAccess(Target t, const AccessPhases& p) {
+  switch (t.mode) {
+    case Mode::kNone:
+      return;
+    case Mode::kFlush:
+      if (armed_) flush_->Record(p.total_ms());
+      return;
+    case Mode::kOp:
+      if (t.ledger == kNoLedger) return;
+      {
+        Ledger& led = pool_[t.ledger];
+        led.slot[1] += p.queue_wait_ms;
+        led.slot[2] += p.seek_ms;
+        led.slot[3] += p.rotation_ms;
+        led.slot[4] += p.transfer_ms;
+      }
+      return;
+    case Mode::kOpCache:
+      if (t.ledger == kNoLedger) return;
+      pool_[t.ledger].slot[0] += p.total_ms();
+      return;
+  }
+}
+
+void OpAttribution::RecordThink(double think_ms) {
+  if (armed_) think_->Record(think_ms);
+}
+
+void OpAttribution::FoldOp(uint32_t ledger, double latency_ms) {
+  if (ledger == kNoLedger) return;
+  Ledger& led = pool_[ledger];
+  if (armed_) {
+    double raw = 0.0;
+    for (const double s : led.slot) raw += s;
+    if (raw > 0.0) {
+      // Time not spent in a disk phase is "other" (cache hits, event
+      // scheduling). Parallel accesses can overlap in time, so the raw
+      // sum may exceed the measured latency; scaling down keeps the six
+      // phases an exact partition of it.
+      const double scale = raw > latency_ms ? latency_ms / raw : 1.0;
+      for (int i = 0; i < kSlots; ++i) phase_[i]->Record(led.slot[i] * scale);
+      phase_[kSlots]->Record(raw > latency_ms ? 0.0 : latency_ms - raw);
+    } else {
+      for (int i = 0; i < kSlots; ++i) phase_[i]->Record(0.0);
+      phase_[kSlots]->Record(latency_ms);
+    }
+  }
+  led.next_free = free_head_;
+  free_head_ = ledger;
+  --live_;
+  if (current_.ledger == ledger) current_ = Target{};
+  if (finishing_.ledger == ledger) finishing_ = Target{};
+}
+
+}  // namespace rofs::obs

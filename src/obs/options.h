@@ -19,8 +19,13 @@ struct Options {
   /// Trace event capacity per run; events beyond it are dropped and
   /// counted (`--trace-events N` / ROFS_TRACE_EVENTS).
   size_t trace_events = 1 << 16;
+  /// When > 0, sample windowed time-series metrics every `window_ms` of
+  /// simulated time during the measurement phase and attach the series to
+  /// the RunRecord (`--window-ms N` / ROFS_WINDOW_MS, or `[obs]
+  /// window_ms` in a config file).
+  double window_ms = 0.0;
 
-  bool enabled() const { return metrics || trace; }
+  bool enabled() const { return metrics || trace || window_ms > 0; }
 };
 
 }  // namespace rofs::obs

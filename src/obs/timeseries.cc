@@ -1,0 +1,16 @@
+#include "obs/timeseries.h"
+
+namespace rofs::obs {
+
+const std::vector<double>* WindowSeries::Find(const std::string& name) const {
+  for (size_t c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return &cols_[c];
+  }
+  return nullptr;
+}
+
+void WindowSeries::PrefixColumns(const std::string& prefix) {
+  for (std::string& n : names_) n = prefix + n;
+}
+
+}  // namespace rofs::obs

@@ -1,0 +1,72 @@
+#ifndef ROFS_OBS_TIMESERIES_H_
+#define ROFS_OBS_TIMESERIES_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rofs::obs {
+
+/// Columnar per-window metric series of one run: a time axis (simulated
+/// window-end times) plus named value columns, one row appended per
+/// `[obs] window_ms` tick. Columns are declared and the row capacity
+/// reserved at setup; Append() is then allocation-free, so windowed
+/// capture never perturbs the simulation's steady-state allocation
+/// behavior. The container itself is deterministic by construction — it
+/// stores exactly what the (deterministic) capture code hands it.
+class WindowSeries {
+ public:
+  /// Setup: declares the next column. All columns must be declared before
+  /// the first Append().
+  void AddColumn(std::string name) { names_.push_back(std::move(name)); }
+
+  /// Setup: reserves storage for `rows` appends per column.
+  void Reserve(size_t rows) {
+    t_ms_.reserve(rows);
+    cols_.resize(names_.size());
+    for (auto& c : cols_) c.reserve(rows);
+  }
+
+  /// Appends one row; `values` must hold num_columns() entries.
+  void Append(double t_ms, const double* values) {
+    t_ms_.push_back(t_ms);
+    for (size_t c = 0; c < cols_.size(); ++c) {
+      cols_[c].push_back(values[c]);
+    }
+  }
+
+  bool empty() const { return t_ms_.empty(); }
+  size_t rows() const { return t_ms_.size(); }
+  size_t num_columns() const { return names_.size(); }
+  const std::string& column_name(size_t c) const { return names_[c]; }
+  const std::vector<double>& column(size_t c) const { return cols_[c]; }
+  /// Column by name, or nullptr.
+  const std::vector<double>* Find(const std::string& name) const;
+  const std::vector<double>& times() const { return t_ms_; }
+
+  void clear() {
+    t_ms_.clear();
+    names_.clear();
+    cols_.clear();
+  }
+
+  /// Clears the rows but keeps the declared columns (a recorder reuses
+  /// its schema across the measurements of a performance pair).
+  void ClearRows() {
+    t_ms_.clear();
+    for (auto& c : cols_) c.clear();
+  }
+
+  /// Prefixes every column name (RunRecord merge of an app./seq. half).
+  void PrefixColumns(const std::string& prefix);
+
+ private:
+  std::vector<double> t_ms_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> cols_;
+};
+
+}  // namespace rofs::obs
+
+#endif  // ROFS_OBS_TIMESERIES_H_

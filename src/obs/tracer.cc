@@ -14,7 +14,8 @@ Session::Session(const Options& options, const double* sim_now)
       buffer_(options.trace
                   ? std::make_unique<TraceBuffer>(options.trace_events)
                   : nullptr),
-      tracer_(buffer_.get(), sim_now, &registry_) {}
+      tracer_(buffer_.get(), sim_now, &registry_),
+      attribution_(&registry_) {}
 
 SimTracer* Session::AddLane(const double* now) {
   Lane lane;
@@ -30,11 +31,13 @@ SimTracer* Session::AddLane(const double* now) {
 
 void Session::ArmAll() {
   tracer_.Arm();
+  attribution_.set_armed(true);
   for (Lane& lane : lanes_) lane.tracer->Arm();
 }
 
 void Session::DisarmAll() {
   tracer_.Disarm();
+  attribution_.set_armed(false);
   for (Lane& lane : lanes_) lane.tracer->Disarm();
 }
 
@@ -48,6 +51,14 @@ void Session::Snapshot(
   merged.MergeFrom(registry_);
   for (const Lane& lane : lanes_) merged.MergeFrom(*lane.registry);
   merged.Snapshot(out);
+}
+
+uint64_t Session::DroppedSpans() const {
+  uint64_t dropped = buffer_ != nullptr ? buffer_->dropped() : 0;
+  for (const Lane& lane : lanes_) {
+    if (lane.buffer != nullptr) dropped += lane.buffer->dropped();
+  }
+  return dropped;
 }
 
 void Session::FoldLaneTraces() {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/options.h"
 #include "obs/trace_buffer.h"
@@ -228,6 +229,9 @@ class Session {
 
   const Options& options() const { return options_; }
   SimTracer* tracer() { return &tracer_; }
+  /// Per-op latency attribution, registered against the main registry;
+  /// armed and disarmed with the tracers.
+  OpAttribution* attribution() { return &attribution_; }
   Registry& registry() { return registry_; }
   const Registry& registry() const { return registry_; }
   /// Null unless tracing.
@@ -258,6 +262,10 @@ class Session {
   /// before TakeBuffer.
   void FoldLaneTraces();
 
+  /// Trace events dropped by capacity so far, across the main buffer and
+  /// every lane. Zero when not tracing.
+  uint64_t DroppedSpans() const;
+
  private:
   struct Lane {
     std::unique_ptr<Registry> registry;
@@ -269,6 +277,7 @@ class Session {
   Registry registry_;
   std::unique_ptr<TraceBuffer> buffer_;
   SimTracer tracer_;
+  OpAttribution attribution_;
   std::vector<Lane> lanes_;
 };
 

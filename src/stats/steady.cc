@@ -1,0 +1,54 @@
+#include "stats/steady.h"
+
+#include <cmath>
+
+#include "stats/student_t.h"
+#include "stats/welford.h"
+
+namespace rofs::stats {
+namespace {
+
+struct Block {
+  double mean = 0.0;
+  double half_width = 0.0;
+};
+
+Block Summarize(const double* v, size_t k, double critical) {
+  Welford w;
+  for (size_t i = 0; i < k; ++i) w.Add(v[i]);
+  Block b;
+  b.mean = w.mean();
+  b.half_width = critical * w.stddev() / std::sqrt(static_cast<double>(k));
+  return b;
+}
+
+}  // namespace
+
+int DetectSteadyWindow(const double* values, size_t n, size_t k,
+                       double confidence) {
+  if (k < 2 || n < 2 * k) return -1;
+  const double critical =
+      StudentTCriticalValue(static_cast<int>(k) - 1, confidence);
+  for (size_t i = 0; i + 2 * k <= n; ++i) {
+    const Block a = Summarize(values + i, k, critical);
+    const Block b = Summarize(values + i + k, k, critical);
+    if (std::fabs(a.mean - b.mean) <= a.half_width + b.half_width) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int DetectSteadyWindow(const std::vector<double>& values, size_t k,
+                       double confidence) {
+  return DetectSteadyWindow(values.data(), values.size(), k, confidence);
+}
+
+size_t SteadyBlockLength(size_t rows) {
+  const size_t k = rows / 4;
+  if (k < 2) return 2;
+  if (k > 8) return 8;
+  return k;
+}
+
+}  // namespace rofs::stats

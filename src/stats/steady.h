@@ -1,0 +1,32 @@
+#ifndef ROFS_STATS_STEADY_H_
+#define ROFS_STATS_STEADY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rofs::stats {
+
+/// Steady-state onset detection over a per-window metric series (e.g.
+/// operations completed per window): the series is considered steady from
+/// index `i` on when the means of the two adjacent blocks [i, i + k) and
+/// [i + k, i + 2k) have overlapping two-sided Student-t confidence
+/// intervals — the sliding-window CI-overlap rule. Returns the first such
+/// `i`, or -1 when the series never settles or is shorter than 2k.
+/// Requires k >= 2 (a variance estimate needs two samples). The result is
+/// a pure function of the input, so it is deterministic across thread and
+/// job counts whenever the series itself is.
+int DetectSteadyWindow(const double* values, size_t n, size_t k,
+                       double confidence);
+
+int DetectSteadyWindow(const std::vector<double>& values, size_t k,
+                       double confidence = 0.95);
+
+/// The block length DetectSteadyWindow is given when the caller does not
+/// choose one: a quarter of the series, clamped to [2, 8]. Small enough
+/// that short CI smokes still produce a verdict, large enough that the
+/// CI halves have some power.
+size_t SteadyBlockLength(size_t rows);
+
+}  // namespace rofs::stats
+
+#endif  // ROFS_STATS_STEADY_H_

@@ -180,7 +180,13 @@ void OpGenerator::RunUserEvent(size_t type_index, uint32_t uid) {
   }
 
   uint64_t bytes_moved = 0;
+  const uint32_t ledger =
+      attr_ != nullptr ? attr_->BeginOp() : obs::OpAttribution::kNoLedger;
   const sim::TimeMs done = ExecuteOp(type_index, id, op, now, &bytes_moved);
+  if (attr_ != nullptr) {
+    attr_->ClearTarget();
+    attr_->FoldOp(ledger, done - now);
+  }
   ++ops_executed_;
   op_latency_ms_.Add(done - now);
   OpStats& stats = op_stats_[type_index][static_cast<size_t>(op)];
@@ -208,6 +214,7 @@ void OpGenerator::RunUserEvent(size_t type_index, uint32_t uid) {
   // distributed value with mean equal to process time and an event is
   // scheduled at that newly calculated time."
   const sim::TimeMs next = done + rng_.Exponential(type.process_time_ms);
+  if (attr_ != nullptr) attr_->RecordThink(next - done);
   ScheduleNext(type_index, uid, next);
 }
 
@@ -216,6 +223,10 @@ void OpGenerator::RunUserEventAsync(size_t type_index, uint32_t uid,
                                     sim::TimeMs now) {
   const FileTypeSpec& type = workload_->types[type_index];
   const fs::File& f = fs_->file(id);
+  // The completion callback has no room to carry the ledger index; it is
+  // recovered at completion via the attribution's finishing handshake
+  // (OpAttribution::TakeActive in OnAsyncOpDone).
+  if (attr_ != nullptr) attr_->BeginOp();
 
   // Issue-time half: every RNG draw and synchronous side effect happens
   // here, in exactly ExecuteOp's order, so sync and async runs issue an
@@ -295,6 +306,9 @@ void OpGenerator::RunUserEventAsync(size_t type_index, uint32_t uid,
   } else {
     fs_->ReadAsync(id, offset, size, now, std::move(finish));
   }
+  // The op's issue stack has unwound; a still-deferred completion finds
+  // its ledger through the finishing handshake, not the current target.
+  if (attr_ != nullptr) attr_->ClearTarget();
 }
 
 bool OpGenerator::PrepareExtendAsync(fs::FileId id, uint64_t bytes,
@@ -313,6 +327,11 @@ void OpGenerator::OnAsyncOpDone(size_t type_index, uint32_t uid, OpKind op,
                                 fs::FileId id, sim::TimeMs issued,
                                 uint64_t bytes_moved, double think_ms,
                                 sim::TimeMs done) {
+  if (attr_ != nullptr) {
+    const obs::OpAttribution::Target t = attr_->TakeActive();
+    attr_->FoldOp(t.ledger, done - issued);
+    attr_->RecordThink(think_ms);
+  }
   ++ops_executed_;
   op_latency_ms_.Add(done - issued);
   OpStats& stats = op_stats_[type_index][static_cast<size_t>(op)];

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "fs/read_optimized_fs.h"
+#include "obs/latency.h"
 #include "sim/event_queue.h"
 #include "sim/timer_wheel.h"
 #include "util/histogram.h"
@@ -107,6 +108,12 @@ class OpGenerator {
     return op_stats_[type_index][static_cast<size_t>(op)];
   }
 
+  /// Attaches per-op latency attribution (null detaches): the generator
+  /// opens a ledger per op at issue and folds it against the measured
+  /// latency at completion. Attach to the fs and disk system as well so
+  /// their I/O charges the right phases.
+  void set_attribution(obs::OpAttribution* attr) { attr_ = attr; }
+
   /// Flushes the file system's buffered write-back pages at `now` — the
   /// driver calls this when its measured run ends so deferred writes land
   /// inside the window rather than silently vanishing with the run. A
@@ -182,6 +189,7 @@ class OpGenerator {
   fs::ReadOptimizedFs* fs_;
   sim::EventQueue* queue_;
   OpGeneratorOptions options_;
+  obs::OpAttribution* attr_ = nullptr;
   Rng rng_;
   std::vector<std::vector<fs::FileId>> files_by_type_;
   uint64_t ops_executed_ = 0;

@@ -1,0 +1,233 @@
+#include "obs/latency.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc/restricted_buddy.h"
+#include "exp/experiment.h"
+#include "obs/metrics.h"
+#include "util/units.h"
+
+namespace rofs::obs {
+namespace {
+
+std::map<std::string, double> Snapshot(const Registry& registry) {
+  std::vector<std::pair<std::string, double>> flat;
+  registry.Snapshot(&flat);
+  return std::map<std::string, double>(flat.begin(), flat.end());
+}
+
+TEST(OpAttributionTest, PhasesPartitionMeasuredLatency) {
+  Registry registry;
+  OpAttribution attr(&registry);
+  attr.set_armed(true);
+
+  const uint32_t ledger = attr.BeginOp();
+  ASSERT_NE(ledger, OpAttribution::kNoLedger);
+  EXPECT_EQ(attr.target().ledger, ledger);
+  EXPECT_EQ(attr.target().mode, OpAttribution::Mode::kOp);
+
+  AccessPhases p;
+  p.queue_wait_ms = 2.0;
+  p.seek_ms = 1.0;
+  p.rotation_ms = 0.5;
+  p.transfer_ms = 0.25;
+  attr.OnAccess(attr.target(), p);
+  attr.ClearTarget();
+  // Raw phase sum 3.75 == measured latency: recorded verbatim, and the
+  // op spent 1.25 ms outside the disks ("other").
+  attr.FoldOp(ledger, 5.0);
+  EXPECT_EQ(attr.live_ledgers(), 0u);
+
+  const auto m = Snapshot(registry);
+  EXPECT_DOUBLE_EQ(m.at("lat.queue.sum"), 2.0);
+  EXPECT_DOUBLE_EQ(m.at("lat.seek.sum"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("lat.rotation.sum"), 0.5);
+  EXPECT_DOUBLE_EQ(m.at("lat.transfer.sum"), 0.25);
+  EXPECT_DOUBLE_EQ(m.at("lat.cache.sum"), 0.0);
+  EXPECT_DOUBLE_EQ(m.at("lat.other.sum"), 1.25);
+  EXPECT_EQ(m.at("lat.queue.count"), 1.0);
+}
+
+TEST(OpAttributionTest, OverlappingAccessesScaleToLatency) {
+  Registry registry;
+  OpAttribution attr(&registry);
+  attr.set_armed(true);
+
+  const uint32_t ledger = attr.BeginOp();
+  // Two parallel accesses, 4 ms of raw service each, but the op only
+  // took 4 ms wall-clock: the fold scales every slot by 1/2.
+  AccessPhases p;
+  p.queue_wait_ms = 1.0;
+  p.seek_ms = 1.0;
+  p.rotation_ms = 1.0;
+  p.transfer_ms = 1.0;
+  attr.OnAccess(attr.target(), p);
+  attr.OnAccess(attr.target(), p);
+  attr.ClearTarget();
+  attr.FoldOp(ledger, 4.0);
+
+  const auto m = Snapshot(registry);
+  EXPECT_DOUBLE_EQ(m.at("lat.queue.sum"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("lat.seek.sum"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("lat.rotation.sum"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("lat.transfer.sum"), 1.0);
+  EXPECT_DOUBLE_EQ(m.at("lat.other.sum"), 0.0);
+  const double partition = m.at("lat.cache.sum") + m.at("lat.queue.sum") +
+                           m.at("lat.seek.sum") + m.at("lat.rotation.sum") +
+                           m.at("lat.transfer.sum") + m.at("lat.other.sum");
+  EXPECT_DOUBLE_EQ(partition, 4.0);
+}
+
+TEST(OpAttributionTest, CacheModeChargesTotalToCacheSlot) {
+  Registry registry;
+  OpAttribution attr(&registry);
+  attr.set_armed(true);
+
+  const uint32_t ledger = attr.BeginOp();
+  OpAttribution::Target cache = attr.target();
+  cache.mode = OpAttribution::Mode::kOpCache;
+  AccessPhases p;
+  p.queue_wait_ms = 0.5;
+  p.seek_ms = 1.5;
+  attr.OnAccess(cache, p);
+  attr.ClearTarget();
+  attr.FoldOp(ledger, 3.0);
+
+  const auto m = Snapshot(registry);
+  EXPECT_DOUBLE_EQ(m.at("lat.cache.sum"), 2.0);
+  EXPECT_DOUBLE_EQ(m.at("lat.queue.sum"), 0.0);
+  EXPECT_DOUBLE_EQ(m.at("lat.other.sum"), 1.0);
+}
+
+TEST(OpAttributionTest, FlushAndUntrackedModes) {
+  Registry registry;
+  OpAttribution attr(&registry);
+  attr.set_armed(true);
+
+  AccessPhases p;
+  p.transfer_ms = 2.5;
+  attr.OnAccess({OpAttribution::kNoLedger, OpAttribution::Mode::kFlush}, p);
+  attr.OnAccess({OpAttribution::kNoLedger, OpAttribution::Mode::kNone}, p);
+
+  const auto m = Snapshot(registry);
+  EXPECT_DOUBLE_EQ(m.at("lat.flush.sum"), 2.5);
+  EXPECT_EQ(m.at("lat.flush.count"), 1.0);
+  EXPECT_EQ(m.at("lat.transfer.count"), 0.0);
+}
+
+TEST(OpAttributionTest, TakeActivePrefersCurrentAndClearsFinishing) {
+  Registry registry;
+  OpAttribution attr(&registry);
+
+  const uint32_t a = attr.BeginOp();
+  attr.ClearTarget();
+  attr.SetFinishing({a, OpAttribution::Mode::kOp});
+  const OpAttribution::Target t = attr.TakeActive();
+  EXPECT_EQ(t.ledger, a);
+  // A second take sees nothing: finishing is consumed.
+  EXPECT_EQ(attr.TakeActive().ledger, OpAttribution::kNoLedger);
+
+  // With a current target set, it wins over a stale finishing one.
+  const uint32_t b = attr.BeginOp();
+  attr.SetFinishing({a, OpAttribution::Mode::kOpCache});
+  EXPECT_EQ(attr.TakeActive().ledger, b);
+  attr.ClearTarget();
+  attr.FoldOp(a, 1.0);
+  attr.FoldOp(b, 1.0);
+  EXPECT_EQ(attr.live_ledgers(), 0u);
+}
+
+TEST(OpAttributionTest, LedgerPoolReusesFreedSlots) {
+  Registry registry;
+  OpAttribution attr(&registry);
+
+  const uint32_t a = attr.BeginOp();
+  attr.ClearTarget();
+  const uint32_t b = attr.BeginOp();
+  attr.ClearTarget();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(attr.live_ledgers(), 2u);
+  attr.FoldOp(a, 1.0);
+  const uint32_t c = attr.BeginOp();
+  attr.ClearTarget();
+  EXPECT_EQ(c, a);  // Free list reuse, no growth.
+  attr.FoldOp(b, 1.0);
+  attr.FoldOp(c, 1.0);
+  EXPECT_EQ(attr.live_ledgers(), 0u);
+}
+
+// End to end: with --metrics on, the six obs.lat.* phase sums partition
+// the total measured op latency (op.latency_ms.sum) up to rounding.
+TEST(OpAttributionTest, EndToEndPhaseSumsMatchMeasuredLatency) {
+  disk::DiskSystemConfig disk = disk::DiskSystemConfig::Array(2);
+  for (auto& g : disk.disks) g.cylinders = 200;
+
+  workload::WorkloadSpec w;
+  w.name = "tiny";
+  workload::FileTypeSpec t;
+  t.name = "small";
+  t.num_files = 200;
+  t.num_users = 6;
+  t.process_time_ms = 20;
+  t.hit_frequency_ms = 20;
+  t.rw_bytes_mean = KiB(8);
+  t.extend_bytes_mean = KiB(8);
+  t.truncate_bytes = KiB(8);
+  t.initial_bytes_mean = KiB(64);
+  t.initial_bytes_dev = KiB(16);
+  t.read_ratio = 0.6;
+  t.write_ratio = 0.2;
+  t.extend_ratio = 0.15;
+  t.delete_ratio = 0.5;
+  w.types.push_back(t);
+
+  exp::ExperimentConfig cfg;
+  cfg.sample_interval_ms = 2'000;
+  cfg.warmup_ms = 2'000;
+  cfg.min_measure_ms = 6'000;
+  cfg.max_measure_ms = 20'000;
+  cfg.stable_tolerance_pp = 1.0;
+  cfg.obs.metrics = true;
+
+  exp::Experiment e(
+      w,
+      [](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
+        alloc::RestrictedBuddyConfig rb;
+        rb.block_sizes_du = {1, 8, 64, 1024};
+        return std::make_unique<alloc::RestrictedBuddyAllocator>(total_du,
+                                                                 rb);
+      },
+      disk, cfg);
+  auto result = e.RunApplicationTest();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  std::map<std::string, double> m(result->obs_metrics.begin(),
+                                  result->obs_metrics.end());
+  ASSERT_TRUE(m.count("lat.queue.count"));
+  const double folded_ops = m.at("lat.queue.count");
+  const double measured_ops = m.at("op.latency_ms.count");
+  EXPECT_EQ(folded_ops, measured_ops);
+  EXPECT_GT(folded_ops, 0.0);
+
+  const double partition = m.at("lat.cache.sum") + m.at("lat.queue.sum") +
+                           m.at("lat.seek.sum") + m.at("lat.rotation.sum") +
+                           m.at("lat.transfer.sum") + m.at("lat.other.sum");
+  const double measured = m.at("op.latency_ms.sum");
+  EXPECT_NEAR(partition, measured, 1e-6 * std::max(1.0, measured));
+  // The disks did real work during measurement, so the mechanical phases
+  // are non-trivial, and no phase exceeds the total.
+  EXPECT_GT(m.at("lat.seek.sum") + m.at("lat.rotation.sum") +
+                m.at("lat.transfer.sum"),
+            0.0);
+  EXPECT_LE(m.at("lat.queue.sum"), measured + 1e-9);
+}
+
+}  // namespace
+}  // namespace rofs::obs

@@ -7,7 +7,9 @@
 #include <new>
 
 #include "fs/buffer_cache.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace_buffer.h"
 #include "obs/tracer.h"
 #include "sched/scheduler.h"
@@ -237,6 +239,55 @@ TEST(NoAllocTest, SchedulerSteadyStateAllocatesNothing) {
     EXPECT_EQ(after - before, 0u)
         << policy << " Enqueue/PickNext churn must not allocate";
   }
+}
+
+TEST(NoAllocTest, AttributionSteadyStateAllocatesNothing) {
+  // The ledger pool grows to the peak number of in-flight ops; once at
+  // peak, the BeginOp/OnAccess/FoldOp cycle and the windowed-series
+  // appends within the reserved row budget must not allocate.
+  obs::Registry reg;
+  obs::OpAttribution attr(&reg);
+  attr.set_armed(true);
+
+  obs::AccessPhases phases;
+  phases.queue_wait_ms = 0.5;
+  phases.seek_ms = 1.0;
+  phases.rotation_ms = 0.25;
+  phases.transfer_ms = 0.125;
+
+  // Grow the pool to an 8-deep peak, then release.
+  uint32_t ledgers[8];
+  for (uint32_t& l : ledgers) {
+    l = attr.BeginOp();
+    attr.ClearTarget();
+  }
+  for (uint32_t l : ledgers) attr.FoldOp(l, 2.0);
+
+  obs::WindowSeries series;
+  series.AddColumn("ops");
+  series.AddColumn("lat_sum_ms");
+  series.Reserve(100'000);
+
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int step = 0; step < 100'000; ++step) {
+    const uint32_t a = attr.BeginOp();
+    attr.OnAccess(attr.target(), phases);
+    const uint32_t b = attr.BeginOp();  // Two in flight, below peak.
+    attr.OnAccess({b, obs::OpAttribution::Mode::kOpCache}, phases);
+    attr.ClearTarget();
+    attr.SetFinishing({a, obs::OpAttribution::Mode::kOp});
+    attr.FoldOp(attr.TakeActive().ledger, 3.0);
+    attr.FoldOp(b, 2.5);
+    attr.RecordThink(20.0);
+    const double row[] = {static_cast<double>(step), 3.0};
+    series.Append(static_cast<double>(step), row);
+  }
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "attribution ledger churn and reserved series appends must not "
+         "allocate";
+  EXPECT_EQ(attr.live_ledgers(), 0u);
+  EXPECT_EQ(series.rows(), 100'000u);
 }
 
 TEST(NoAllocTest, DisarmedTracerIsFree) {

@@ -242,7 +242,9 @@ TEST(FcfsEquivalenceTest, DispatchDiskMatchesPassiveBitForBit) {
     const sim::TimeMs p = passive.Access(r.arrival, r.offset, r.length);
     const sim::TimeMs d = dispatch.Submit(
         r.arrival, r.offset, r.length,
-        [&delivered](sim::TimeMs done) { delivered.push_back(done); });
+        [&delivered](sim::TimeMs done, const obs::AccessPhases&) {
+          delivered.push_back(done);
+        });
     EXPECT_EQ(p, d);  // Exact: same floating-point bits.
     expected.push_back(p);
   }
@@ -323,16 +325,22 @@ std::pair<size_t, size_t> RunStarvationScenario(const std::string& policy) {
   // A near request enters service immediately; the far request arrives
   // while the head is busy and must compete with the near flood.
   d.Submit(0.0, 0, KiB(8),
-           [&order](sim::TimeMs) { order.push_back(-1); });
+           [&order](sim::TimeMs, const obs::AccessPhases&) {
+             order.push_back(-1);
+           });
   d.Submit(0.1, cyl * 1200, KiB(8),
-           [&order](sim::TimeMs) { order.push_back(0); });
+           [&order](sim::TimeMs, const obs::AccessPhases&) {
+             order.push_back(0);
+           });
   constexpr int kNear = 64;
   for (int i = 1; i <= kNear; ++i) {
     const double arrival = 0.5 * i;
     const uint64_t offset = static_cast<uint64_t>(i % 4) * KiB(64);
     q.Schedule(arrival, [&d, &order, offset, arrival, i] {
       d.Submit(arrival, offset, KiB(8),
-               [&order, i](sim::TimeMs) { order.push_back(i); });
+               [&order, i](sim::TimeMs, const obs::AccessPhases&) {
+                 order.push_back(i);
+               });
     });
   }
   q.Run();

@@ -1,0 +1,250 @@
+// bench_diff — the CI perf-regression gate.
+//
+// Compares two Google Benchmark JSON files (the BENCH_*.json artifacts
+// the bench-smoke CI job uploads) and exits non-zero when any benchmark
+// regressed significantly:
+//
+//   bench_diff base.json new.json
+//   bench_diff --metric real_time ...    # cpu_time (default) | real_time
+//   bench_diff --confidence 0.99 ...     # Welch t-test confidence (0.95)
+//   bench_diff --min-ratio 1.05 ...      # ignore smaller slowdowns
+//   bench_diff --threshold 1.25 ...      # single-sample fallback ratio
+//
+// With repetition samples on both sides (run_type "iteration"; aggregate
+// rows are skipped) a benchmark regresses when new/base exceeds
+// --min-ratio AND a one-sided Welch t-test rejects "no slowdown" at the
+// configured confidence — the same Student-t machinery (src/stats/) the
+// simulator uses for replicate confidence intervals. With a single
+// sample on either side there is no variance estimate, so the gate falls
+// back to the plain --threshold ratio.
+//
+// Output is sorted by benchmark name and prints one verdict per name, so
+// CI logs diff cleanly across runs.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/student_t.h"
+
+namespace {
+
+/// Raw JSON value following "key": inside `text` starting at `from`
+/// (first occurrence); empty when absent. String values keep quotes.
+std::string RawField(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = text.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  while (pos < text.size() &&
+         (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n')) {
+    ++pos;
+  }
+  if (pos >= text.size()) return "";
+  if (text[pos] == '"') {
+    size_t end = pos + 1;
+    while (end < text.size() && text[end] != '"') {
+      if (text[end] == '\\') ++end;
+      ++end;
+    }
+    return text.substr(pos + 1, end - pos - 1);
+  }
+  size_t end = pos;
+  while (end < text.size() && text[end] != ',' && text[end] != '}' &&
+         text[end] != '\n') {
+    ++end;
+  }
+  return text.substr(pos, end - pos);
+}
+
+/// Per-benchmark samples of the compared metric, keyed by name.
+using Samples = std::map<std::string, std::vector<double>>;
+
+/// Parses the "benchmarks" array of a Google Benchmark JSON file:
+/// brace-matched objects (string-aware), aggregate rows skipped.
+bool ParseBenchJson(const std::string& path, const std::string& metric,
+                    Samples* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  size_t pos = text.find("\"benchmarks\"");
+  if (pos == std::string::npos) return false;
+  pos = text.find('[', pos);
+  if (pos == std::string::npos) return false;
+  while (true) {
+    size_t open = text.find_first_of("{]", pos);
+    if (open == std::string::npos || text[open] == ']') break;
+    // Match the object's closing brace, skipping string contents.
+    size_t end = open;
+    int depth = 0;
+    bool in_string = false;
+    for (; end < text.size(); ++end) {
+      const char c = text[end];
+      if (in_string) {
+        if (c == '\\') ++end;
+        else if (c == '"') in_string = false;
+        continue;
+      }
+      if (c == '"') in_string = true;
+      if (c == '{') ++depth;
+      if (c == '}' && --depth == 0) break;
+    }
+    if (end >= text.size()) break;
+    const std::string obj = text.substr(open, end + 1 - open);
+    pos = end + 1;
+
+    const std::string run_type = RawField(obj, "run_type");
+    if (run_type == "aggregate") continue;
+    const std::string name = RawField(obj, "name");
+    const std::string value = RawField(obj, metric);
+    if (name.empty() || value.empty()) continue;
+    (*out)[name].push_back(std::atof(value.c_str()));
+  }
+  return true;
+}
+
+struct Moments {
+  double mean = 0;
+  double var = 0;  // Sample variance (n - 1).
+  size_t n = 0;
+};
+
+Moments MomentsOf(const std::vector<double>& v) {
+  Moments m;
+  m.n = v.size();
+  for (double x : v) m.mean += x;
+  m.mean /= static_cast<double>(m.n);
+  if (m.n >= 2) {
+    for (double x : v) m.var += (x - m.mean) * (x - m.mean);
+    m.var /= static_cast<double>(m.n - 1);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path, new_path;
+  std::string metric = "cpu_time";
+  double confidence = 0.95;
+  double min_ratio = 1.05;
+  double threshold = 1.25;
+  bool bad = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc) {
+      metric = argv[++i];
+    } else if (std::strncmp(argv[i], "--metric=", 9) == 0) {
+      metric = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--confidence") == 0 && i + 1 < argc) {
+      confidence = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--confidence=", 13) == 0) {
+      confidence = std::atof(argv[i] + 13);
+    } else if (std::strcmp(argv[i], "--min-ratio") == 0 && i + 1 < argc) {
+      min_ratio = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--min-ratio=", 12) == 0) {
+      min_ratio = std::atof(argv[i] + 12);
+    } else if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::atof(argv[i] + 12);
+    } else if (argv[i][0] != '-' && base_path.empty()) {
+      base_path = argv[i];
+    } else if (argv[i][0] != '-' && new_path.empty()) {
+      new_path = argv[i];
+    } else {
+      bad = true;
+    }
+  }
+  if (bad || new_path.empty() || confidence <= 0 || confidence >= 1) {
+    std::fprintf(stderr,
+                 "usage: %s [--metric cpu_time|real_time] "
+                 "[--confidence C] [--min-ratio R] [--threshold R] "
+                 "base.json new.json\n",
+                 argv[0]);
+    return 2;
+  }
+
+  Samples base, fresh;
+  if (!ParseBenchJson(base_path, metric, &base)) {
+    std::fprintf(stderr, "bench_diff: cannot parse %s\n", base_path.c_str());
+    return 2;
+  }
+  if (!ParseBenchJson(new_path, metric, &fresh)) {
+    std::fprintf(stderr, "bench_diff: cannot parse %s\n", new_path.c_str());
+    return 2;
+  }
+
+  std::printf("bench_diff: %s vs %s (%s, confidence %.2f, min-ratio %.2f, "
+              "single-sample threshold %.2f)\n",
+              base_path.c_str(), new_path.c_str(), metric.c_str(), confidence,
+              min_ratio, threshold);
+  int regressions = 0;
+  int compared = 0;
+  for (const auto& [name, new_samples] : fresh) {
+    const auto it = base.find(name);
+    if (it == base.end()) {
+      std::printf("  NEW        %-40s (no baseline)\n", name.c_str());
+      continue;
+    }
+    ++compared;
+    const Moments b = MomentsOf(it->second);
+    const Moments m = MomentsOf(new_samples);
+    const double ratio = b.mean > 0 ? m.mean / b.mean : 1.0;
+    bool regressed;
+    std::string detail;
+    char buf[160];
+    if (b.n >= 2 && m.n >= 2) {
+      // One-sided Welch t-test for "new is slower than base".
+      const double se2 = b.var / static_cast<double>(b.n) +
+                         m.var / static_cast<double>(m.n);
+      double p_slower = m.mean > b.mean ? 1.0 : 0.0;  // se == 0 degenerate
+      if (se2 > 0) {
+        const double t = (m.mean - b.mean) / std::sqrt(se2);
+        const double vb = b.var / static_cast<double>(b.n);
+        const double vm = m.var / static_cast<double>(m.n);
+        const double dof_num = (vb + vm) * (vb + vm);
+        const double dof_den =
+            vb * vb / static_cast<double>(b.n - 1) +
+            vm * vm / static_cast<double>(m.n - 1);
+        const int dof =
+            dof_den > 0 ? std::max(1, static_cast<int>(dof_num / dof_den))
+                        : static_cast<int>(b.n + m.n - 2);
+        p_slower = rofs::stats::StudentTCdf(t, dof);
+      }
+      regressed = ratio > min_ratio && p_slower > confidence;
+      std::snprintf(buf, sizeof(buf),
+                    "%.3fx (%.1f -> %.1f, n=%zu/%zu, P[slower]=%.3f)", ratio,
+                    b.mean, m.mean, b.n, m.n, p_slower);
+      detail = buf;
+    } else {
+      regressed = ratio > threshold;
+      std::snprintf(buf, sizeof(buf),
+                    "%.3fx (%.1f -> %.1f, n=%zu/%zu, ratio gate)", ratio,
+                    b.mean, m.mean, b.n, m.n);
+      detail = buf;
+    }
+    const char* verdict = regressed          ? "REGRESSION"
+                          : ratio < 1.0 / min_ratio ? "improved"
+                                                    : "ok";
+    std::printf("  %-10s %-40s %s\n", verdict, name.c_str(), detail.c_str());
+    if (regressed) ++regressions;
+  }
+  for (const auto& [name, samples] : base) {
+    if (fresh.find(name) == fresh.end()) {
+      std::printf("  MISSING    %-40s (present in baseline only)\n",
+                  name.c_str());
+    }
+  }
+  std::printf("bench_diff: %d compared, %d regression%s\n", compared,
+              regressions, regressions == 1 ? "" : "s");
+  return regressions > 0 ? 1 : 0;
+}

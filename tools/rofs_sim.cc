@@ -33,6 +33,14 @@
 //                                          # ROFS_TRACE; buffer size:
 //                                          # --trace-events N /
 //                                          # ROFS_TRACE_EVENTS)
+//   rofs_sim --trace-jsonl t.jsonl         # dump the operation trace as
+//                                          # JSONL with a trailing
+//                                          # dropped-records summary line
+//   rofs_sim --window-ms N                 # sample windowed time-series
+//                                          # into the JSONL records and a
+//                                          # <csv>.series.csv companion
+//                                          # (also: ROFS_WINDOW_MS;
+//                                          # overrides [obs] window_ms)
 //
 // The enabled tests (allocation; application+sequential) are independent
 // simulations, so --jobs N > 1 runs them concurrently; the printed output
@@ -80,6 +88,9 @@ struct Options {
   /// --trace-out / ROFS_TRACE) is non-empty.
   obs::Options obs;
   std::string trace_out;
+  /// Operation-trace JSONL destination (--trace-jsonl); like --trace, it
+  /// records replicate 0's operation stream and forces --jobs 1.
+  std::string trace_jsonl_path;
 };
 
 int Run(const Options& opts) {
@@ -92,6 +103,12 @@ int Run(const Options& opts) {
   }
   if (opts.sim_threads >= 0) {
     sim->experiment.engine.threads = opts.sim_threads;
+  }
+  // CLI observability knobs override the config file's [obs] section; a
+  // window_ms only present in the config still takes effect.
+  obs::Options obs_opts = opts.obs;
+  if (obs_opts.window_ms <= 0) {
+    obs_opts.window_ms = sim->experiment.obs.window_ms;
   }
 
   disk::DiskSystem probe(sim->disk);
@@ -117,15 +134,16 @@ int Run(const Options& opts) {
   sweep_options.jobs = runner::SweepRunner::ResolveJobs(opts.jobs);
   const int replicates =
       runner::SweepRunner::ResolveReplicates(opts.replicates);
-  if (!opts.trace_path.empty() && sweep_options.jobs > 1) {
+  const bool tracing =
+      !opts.trace_path.empty() || !opts.trace_jsonl_path.empty();
+  if (tracing && sweep_options.jobs > 1) {
     std::fprintf(stderr,
-                 "rofs_sim: --trace records every test's operation "
-                 "stream in order; forcing --jobs 1\n");
+                 "rofs_sim: --trace/--trace-jsonl record every test's "
+                 "operation stream in order; forcing --jobs 1\n");
     sweep_options.jobs = 1;
   }
 
   exp::OpTrace trace;
-  const bool tracing = !opts.trace_path.empty();
   std::string stats_report;
   const config::SimConfig* cfg = &*sim;
 
@@ -142,7 +160,7 @@ int Run(const Options& opts) {
     spec.label = "allocation test";
     spec.base_seed = cfg->experiment.seed;
     spec.run = [cfg, tracing, &trace, replicates, &records,
-                obs = opts.obs, label = spec.label](
+                obs = obs_opts, label = spec.label](
                    const runner::RunContext& ctx)
         -> StatusOr<std::vector<std::string>> {
       obs::ScopedRunLabel run_label(
@@ -180,7 +198,7 @@ int Run(const Options& opts) {
     spec.base_seed = cfg->experiment.seed;
     const bool want_stats = opts.stats;
     spec.run = [cfg, tracing, &trace, want_stats, &stats_report,
-                replicates, &records, obs = opts.obs, label = spec.label](
+                replicates, &records, obs = obs_opts, label = spec.label](
                    const runner::RunContext& ctx)
         -> StatusOr<std::vector<std::string>> {
       const bool primary = ctx.index % replicates == 0;
@@ -291,6 +309,13 @@ int Run(const Options& opts) {
     }
     std::fprintf(stderr, "rofs_sim: wrote %zu records -> %s\n",
                  records.size(), opts.csv_path.c_str());
+    // Windowed-series companion; written only when a record carries one.
+    const std::string series_path = opts.csv_path + ".series.csv";
+    const Status ss = exp::WriteSeriesCsv(series_path, records);
+    if (!ss.ok()) {
+      std::fprintf(stderr, "csv: %s\n", ss.ToString().c_str());
+      return 1;
+    }
   }
 
   if (opts.obs.trace && !opts.trace_out.empty()) {
@@ -322,6 +347,15 @@ int Run(const Options& opts) {
                   opts.trace_path.c_str());
     }
   }
+  if (!opts.trace_jsonl_path.empty()) {
+    const Status ws = trace.WriteJsonl(opts.trace_jsonl_path, sim->workload);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "trace: %s\n", ws.ToString().c_str());
+    } else {
+      std::printf("trace:             %zu ops -> %s\n", trace.size(),
+                  opts.trace_jsonl_path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -338,6 +372,14 @@ int main(int argc, char** argv) {
       opts.stats = true;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       opts.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-jsonl") == 0 && i + 1 < argc) {
+      opts.trace_jsonl_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace-jsonl=", 14) == 0) {
+      opts.trace_jsonl_path = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--window-ms") == 0 && i + 1 < argc) {
+      opts.obs.window_ms = std::atof(argv[++i]);
+    } else if (std::strncmp(argv[i], "--window-ms=", 12) == 0) {
+      opts.obs.window_ms = std::atof(argv[i] + 12);
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       opts.obs.metrics = true;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
@@ -404,13 +446,21 @@ int main(int argc, char** argv) {
       opts.obs.trace_events == obs::Options{}.trace_events) {
     opts.obs.trace_events = static_cast<size_t>(std::atoll(env));
   }
+  if (opts.obs.window_ms <= 0) {
+    if (const char* env = std::getenv("ROFS_WINDOW_MS");
+        env != nullptr && env[0] != '\0') {
+      opts.obs.window_ms = std::atof(env);
+    }
+  }
   opts.obs.trace = !opts.trace_out.empty();
   if (bad || opts.path.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--dump] [--stats] [--trace out.csv] "
-                 "[--metrics] [--trace-out out.json] [--trace-events N] "
-                 "[--jobs N] [--sim-threads N] [--replicates N] "
-                 "[--jsonl out.jsonl] [--csv out.csv] <config.ini>\n",
+                 "[--trace-jsonl out.jsonl] [--metrics] "
+                 "[--trace-out out.json] [--trace-events N] "
+                 "[--window-ms N] [--jobs N] [--sim-threads N] "
+                 "[--replicates N] [--jsonl out.jsonl] [--csv out.csv] "
+                 "<config.ini>\n",
                  argv[0]);
     return 2;
   }

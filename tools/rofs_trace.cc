@@ -1,0 +1,321 @@
+// rofs_trace — offline analyzer for the Chrome trace-event JSON the
+// simulator's --trace-out export writes (obs/trace_writer.cc).
+//
+// Reads one trace file and prints, in a fixed, diff-friendly format:
+//   - the process/thread layout declared by the metadata events,
+//   - per-phase breakdown tables: spans grouped by (process, category,
+//     name) with count / total / mean / max duration,
+//   - per-thread utilization: busy time as a fraction of the thread's
+//     active interval,
+//   - counter time series (e.g. queue depth) bucketed over the trace's
+//     time range,
+//   - the top-K slowest spans.
+//
+// Usage:
+//   rofs_trace trace.json
+//   rofs_trace --top N trace.json       # slowest-span list length (10)
+//   rofs_trace --buckets N trace.json   # counter series buckets (8)
+//
+// The output depends only on the trace bytes — rows are sorted by
+// process id, category, and name, and all numbers use fixed precision —
+// so it is directly comparable across runs and usable as a golden.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// One parsed trace event; only the fields the exporter emits.
+struct Event {
+  std::string name;
+  std::string cat;
+  char ph = 0;       // M, X, i, C
+  int pid = 0;
+  int tid = 0;
+  double ts = 0;     // microseconds (trace convention)
+  double dur = 0;    // microseconds; X spans only
+  double value = 0;  // C counters: args.value
+  std::string arg_name;  // M metadata: args.name
+};
+
+/// Extracts the raw JSON value following "key": within `line`, or an
+/// empty string when absent. Values are terminated by ',' '}' at the top
+/// nesting level; string values keep their quotes.
+std::string RawField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  if (pos >= line.size()) return "";
+  if (line[pos] == '"') {
+    size_t end = pos + 1;
+    while (end < line.size() && line[end] != '"') {
+      if (line[end] == '\\') ++end;
+      ++end;
+    }
+    return line.substr(pos, end + 1 - pos);
+  }
+  size_t end = pos;
+  int depth = 0;
+  while (end < line.size()) {
+    const char c = line[end];
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (depth == 0) break;
+      --depth;
+    }
+    if (c == ',' && depth == 0) break;
+    ++end;
+  }
+  return line.substr(pos, end - pos);
+}
+
+std::string Unquote(const std::string& raw) {
+  if (raw.size() < 2 || raw.front() != '"') return raw;
+  std::string out;
+  out.reserve(raw.size() - 2);
+  for (size_t i = 1; i + 1 < raw.size(); ++i) {
+    if (raw[i] == '\\' && i + 2 < raw.size()) ++i;
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+double NumField(const std::string& line, const std::string& key) {
+  const std::string raw = RawField(line, key);
+  return raw.empty() ? 0.0 : std::atof(raw.c_str());
+}
+
+/// Parses the exporter's one-event-per-line trace body. Unknown lines
+/// (the header/footer brackets) are skipped.
+bool ParseTrace(const std::string& path, std::vector<Event>* events) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    const std::string line = content.substr(start, end - start);
+    start = end + 1;
+    const std::string ph = Unquote(RawField(line, "ph"));
+    if (ph.size() != 1) continue;
+    Event e;
+    e.ph = ph[0];
+    e.name = Unquote(RawField(line, "name"));
+    e.cat = Unquote(RawField(line, "cat"));
+    e.pid = static_cast<int>(NumField(line, "pid"));
+    e.tid = static_cast<int>(NumField(line, "tid"));
+    e.ts = NumField(line, "ts");
+    e.dur = NumField(line, "dur");
+    const std::string args = RawField(line, "args");
+    if (!args.empty()) {
+      e.value = NumField(args, "value");
+      e.arg_name = Unquote(RawField(args, "name"));
+    }
+    events->push_back(std::move(e));
+  }
+  return true;
+}
+
+std::string Label(const std::map<int, std::string>& names, int id,
+                  const char* kind) {
+  const auto it = names.find(id);
+  char buf[64];
+  if (it != names.end()) return it->second;
+  std::snprintf(buf, sizeof(buf), "%s %d", kind, id);
+  return buf;
+}
+
+struct SpanStats {
+  uint64_t count = 0;
+  double total_us = 0;
+  double max_us = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int top_k = 10;
+  int buckets = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_k = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
+      top_k = std::atoi(argv[i] + 6);
+    } else if (std::strcmp(argv[i], "--buckets") == 0 && i + 1 < argc) {
+      buckets = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--buckets=", 10) == 0) {
+      buckets = std::atoi(argv[i] + 10);
+    } else if (path.empty() && argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      path.clear();
+      break;
+    }
+  }
+  if (path.empty() || top_k < 0 || buckets < 1) {
+    std::fprintf(stderr, "usage: %s [--top N] [--buckets N] trace.json\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<Event> events;
+  if (!ParseTrace(path, &events)) {
+    std::fprintf(stderr, "rofs_trace: cannot read %s\n", path.c_str());
+    return 1;
+  }
+
+  // Metadata: process and thread display names.
+  std::map<int, std::string> process_names;
+  std::map<std::pair<int, int>, std::string> thread_names;
+  uint64_t spans = 0, instants = 0, counters = 0;
+  for (const Event& e : events) {
+    if (e.ph == 'M' && e.name == "process_name") {
+      process_names[e.pid] = e.arg_name;
+    } else if (e.ph == 'M' && e.name == "thread_name") {
+      thread_names[{e.pid, e.tid}] = e.arg_name;
+    } else if (e.ph == 'X') {
+      ++spans;
+    } else if (e.ph == 'i') {
+      ++instants;
+    } else if (e.ph == 'C') {
+      ++counters;
+    }
+  }
+  std::printf("trace: %s\n", path.c_str());
+  std::printf(
+      "events: %zu (%llu spans, %llu instants, %llu counter samples, "
+      "%zu processes)\n\n",
+      events.size(), static_cast<unsigned long long>(spans),
+      static_cast<unsigned long long>(instants),
+      static_cast<unsigned long long>(counters), process_names.size());
+
+  // Per-phase breakdown: spans grouped by (pid, cat, name).
+  std::map<std::pair<int, std::pair<std::string, std::string>>, SpanStats>
+      phases;
+  for (const Event& e : events) {
+    if (e.ph != 'X') continue;
+    SpanStats& s = phases[{e.pid, {e.cat, e.name}}];
+    ++s.count;
+    s.total_us += e.dur;
+    s.max_us = std::max(s.max_us, e.dur);
+  }
+  std::printf("== span breakdown by phase ==\n");
+  std::printf("%-24s %-10s %-14s %8s %12s %10s %10s\n", "process", "cat",
+              "name", "count", "total_ms", "mean_ms", "max_ms");
+  for (const auto& [key, s] : phases) {
+    std::printf("%-24s %-10s %-14s %8llu %12.3f %10.3f %10.3f\n",
+                Label(process_names, key.first, "pid").c_str(),
+                key.second.first.c_str(), key.second.second.c_str(),
+                static_cast<unsigned long long>(s.count), s.total_us / 1000.0,
+                s.total_us / 1000.0 / static_cast<double>(s.count),
+                s.max_us / 1000.0);
+  }
+
+  // Per-thread utilization: busy span time over the thread's active
+  // interval (first span start to last span end).
+  struct ThreadLoad {
+    double busy_us = 0;
+    double first_us = 0;
+    double last_us = 0;
+    bool any = false;
+  };
+  std::map<std::pair<int, int>, ThreadLoad> loads;
+  for (const Event& e : events) {
+    if (e.ph != 'X') continue;
+    ThreadLoad& t = loads[{e.pid, e.tid}];
+    t.busy_us += e.dur;
+    if (!t.any || e.ts < t.first_us) t.first_us = e.ts;
+    if (!t.any || e.ts + e.dur > t.last_us) t.last_us = e.ts + e.dur;
+    t.any = true;
+  }
+  std::printf("\n== thread utilization ==\n");
+  std::printf("%-24s %-14s %12s %12s %8s\n", "process", "thread", "busy_ms",
+              "span_ms", "util");
+  for (const auto& [key, t] : loads) {
+    const double span_us = t.last_us - t.first_us;
+    const auto tn = thread_names.find(key);
+    char tid_buf[32];
+    std::snprintf(tid_buf, sizeof(tid_buf), "tid %d", key.second);
+    std::printf("%-24s %-14s %12.3f %12.3f %7.1f%%\n",
+                Label(process_names, key.first, "pid").c_str(),
+                tn != thread_names.end() ? tn->second.c_str() : tid_buf,
+                t.busy_us / 1000.0, span_us / 1000.0,
+                span_us > 0 ? 100.0 * t.busy_us / span_us : 0.0);
+  }
+
+  // Counter time series (queue depth and friends), bucketed over each
+  // counter's own time range; empty buckets repeat the last seen value
+  // the way a step function would render.
+  std::map<std::pair<int, std::string>, std::vector<const Event*>> series;
+  for (const Event& e : events) {
+    if (e.ph == 'C') series[{e.pid, e.name}].push_back(&e);
+  }
+  std::printf("\n== counter series (%d buckets, bucket means) ==\n", buckets);
+  for (auto& [key, samples] : series) {
+    std::stable_sort(samples.begin(), samples.end(),
+                     [](const Event* a, const Event* b) {
+                       return a->ts < b->ts;
+                     });
+    const double t0 = samples.front()->ts;
+    const double t1 = samples.back()->ts;
+    const double width = (t1 - t0) / buckets;
+    std::printf("%s / %s: %zu samples, t=[%.3f, %.3f] ms\n",
+                Label(process_names, key.first, "pid").c_str(),
+                key.second.c_str(), samples.size(), t0 / 1000.0, t1 / 1000.0);
+    std::printf("  ");
+    double last = samples.front()->value;
+    size_t next = 0;
+    for (int b = 0; b < buckets; ++b) {
+      const double end = b + 1 == buckets ? t1 + 1 : t0 + width * (b + 1);
+      double sum = 0;
+      uint64_t n = 0;
+      while (next < samples.size() && samples[next]->ts < end) {
+        sum += samples[next]->value;
+        last = samples[next]->value;
+        ++n;
+        ++next;
+      }
+      std::printf("%s%.2f", b > 0 ? " " : "",
+                  n > 0 ? sum / static_cast<double>(n) : last);
+    }
+    std::printf("\n");
+  }
+
+  // Top-K slowest spans; ties broken by (ts, pid, tid, name) so the
+  // order is a pure function of the trace.
+  std::vector<const Event*> slow;
+  for (const Event& e : events) {
+    if (e.ph == 'X') slow.push_back(&e);
+  }
+  std::stable_sort(slow.begin(), slow.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->dur != b->dur) return a->dur > b->dur;
+                     if (a->ts != b->ts) return a->ts < b->ts;
+                     if (a->pid != b->pid) return a->pid < b->pid;
+                     if (a->tid != b->tid) return a->tid < b->tid;
+                     return a->name < b->name;
+                   });
+  if (slow.size() > static_cast<size_t>(top_k)) slow.resize(top_k);
+  std::printf("\n== top %d slowest spans ==\n", top_k);
+  std::printf("%-24s %-10s %-14s %12s %12s\n", "process", "cat", "name",
+              "ts_ms", "dur_ms");
+  for (const Event* e : slow) {
+    std::printf("%-24s %-10s %-14s %12.3f %12.3f\n",
+                Label(process_names, e->pid, "pid").c_str(), e->cat.c_str(),
+                e->name.c_str(), e->ts / 1000.0, e->dur / 1000.0);
+  }
+  return 0;
+}
