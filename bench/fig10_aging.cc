@@ -1,0 +1,179 @@
+// Figure 10 (extension, ROADMAP item 3): the long-horizon aging study.
+// The paper measures every policy on a freshly initialized disk; this
+// driver asks how much of that ranking survives age. Each cell ages one
+// allocation policy with create/delete churn (AgingDriver: half the ops
+// delete and recreate a file at a fresh size, the other half steer
+// utilization toward a fixed target), probing whole-file sequential read
+// bandwidth between rounds. The curve of probe bandwidth vs churn age is
+// the figure; the table reports its endpoints — initial and steady
+// bandwidth (fraction of the disk system's sequential maximum), the
+// retained fraction, the round where the curve entered its steady window
+// (stats::DetectSteadyWindow), and the final extents-per-file.
+//
+// The study runs on a passive (queue-free) file system — churn with I/O
+// disabled, probes at a monotonic clock — so its output is byte-identical
+// for any --jobs setting by construction.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "alloc/fixed_block_allocator.h"
+#include "alloc/log_structured_allocator.h"
+#include "bench/common.h"
+#include "exp/reporting.h"
+#include "fs/read_optimized_fs.h"
+#include "util/table.h"
+#include "util/units.h"
+#include "workload/aging.h"
+
+using namespace rofs;
+
+namespace {
+
+/// A small-file churn mix (fig8's shape): enough files that the free map
+/// sees real delete/recreate pressure, small enough that forty rounds of
+/// churn run quickly. Initial population ~37 MB on an ~86 MB disk pair,
+/// so the target utilization of 0.5 is reached from below.
+workload::WorkloadSpec AgingWorkload() {
+  workload::WorkloadSpec w;
+  w.name = "aging";
+  workload::FileTypeSpec files;
+  files.name = "files";
+  files.num_files = 600;
+  files.num_users = 1;
+  files.rw_bytes_mean = KiB(8);
+  files.extend_bytes_mean = KiB(8);
+  files.truncate_bytes = KiB(8);
+  files.initial_bytes_mean = KiB(64);
+  files.initial_bytes_dev = KiB(16);
+  w.types.push_back(files);
+  return w;
+}
+
+/// Two drives, fixed across policies (~86 MB).
+disk::DiskSystemConfig AgingDisk() {
+  disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(2);
+  for (auto& g : cfg.disks) g.cylinders = 200;
+  return cfg;
+}
+
+struct Policy {
+  const char* name;
+  exp::Experiment::AllocatorFactory factory;
+};
+
+std::vector<Policy> Policies() {
+  std::vector<Policy> policies;
+  policies.push_back({"fixed-4K", [](uint64_t total_du) {
+                        return std::unique_ptr<alloc::Allocator>(
+                            std::make_unique<alloc::FixedBlockAllocator>(
+                                total_du, /*block_du=*/4));
+                      }});
+  policies.push_back(
+      {"rbuddy", bench::RestrictedBuddyFactory(4, 1, /*clustered=*/false)});
+  policies.push_back({"extent",
+                      bench::ExtentFactory(workload::WorkloadKind::kTimeSharing,
+                                           3, alloc::FitPolicy::kFirstFit)});
+  policies.push_back({"log", [](uint64_t total_du) {
+                        alloc::LogStructuredConfig cfg;
+                        return std::unique_ptr<alloc::Allocator>(
+                            std::make_unique<alloc::LogStructuredAllocator>(
+                                total_du, cfg));
+                      }});
+  return policies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::PrintBanner("Figure 10: Read Bandwidth vs Churn Age (extension)",
+                   "extension (no paper figure)", AgingDisk());
+
+  // ROFS_FIG10_SMOKE=1 shrinks to two policies over a short horizon —
+  // the cells CI pins with a golden and the jobs-determinism cmp.
+  // ROFS_FAST shortens the horizon without dropping policies.
+  const bool smoke = std::getenv("ROFS_FIG10_SMOKE") != nullptr;
+  const bool fast = smoke || std::getenv("ROFS_FAST") != nullptr;
+  workload::AgingOptions options;
+  options.target_util = 0.5;
+  options.rounds = fast ? 8 : 40;
+  options.ops_per_round = fast ? 400 : 2000;
+  options.probe_files = fast ? 16 : 32;
+
+  std::vector<Policy> policies = Policies();
+  if (smoke) policies.resize(2);
+
+  bench::Sweep sweep(argc, argv);
+  for (const Policy& policy : policies) {
+    sweep.Add(
+        FormatString("fig10 %s", policy.name),
+        [&policy, options](const runner::RunContext& ctx)
+            -> StatusOr<exp::RunRecord> {
+          disk::DiskSystem disk(AgingDisk());
+          std::unique_ptr<alloc::Allocator> allocator =
+              policy.factory(disk.capacity_du());
+          fs::ReadOptimizedFs fs(allocator.get(), &disk);
+          workload::AgingOptions opts = options;
+          opts.seed = ctx.seed;
+          const workload::WorkloadSpec workload = AgingWorkload();
+          workload::AgingDriver driver(&workload, &fs, opts);
+          ROFS_RETURN_IF_ERROR(driver.CreateInitialFiles());
+          for (int r = 0; r < opts.rounds; ++r) driver.RunRound();
+          const std::vector<workload::AgingRound>& rounds = driver.rounds();
+          const workload::AgingRound& first = rounds.front();
+          const workload::AgingRound& last = rounds.back();
+          const int steady = driver.DetectSteadyRound();
+          // Steady bandwidth averages the detected window (falls back to
+          // the final round while the curve is still drifting).
+          double steady_bw = last.read_bw_frac;
+          if (steady >= 0) {
+            double sum = 0.0;
+            for (size_t r = static_cast<size_t>(steady); r < rounds.size();
+                 ++r) {
+              sum += rounds[r].read_bw_frac;
+            }
+            steady_bw = sum / static_cast<double>(rounds.size() -
+                                                  static_cast<size_t>(steady));
+          }
+          exp::RunRecord record;
+          record.Set("fig10.read_bw_initial", first.read_bw_frac);
+          record.Set("fig10.read_bw_steady", steady_bw);
+          record.Set("fig10.retained",
+                     first.read_bw_frac > 0.0
+                         ? steady_bw / first.read_bw_frac
+                         : 0.0);
+          record.Set("fig10.steady_round", static_cast<double>(steady));
+          record.Set("fig10.extents_per_file", last.extents_per_file);
+          record.Set("fig10.internal_frag", last.internal_frag);
+          record.Set("fig10.util_final", last.utilization);
+          record.Set("fig10.churn_ops",
+                     static_cast<double>(driver.churn_ops()));
+          return record;
+        },
+        [](const bench::CellStats& cs) {
+          return std::vector<std::string>{
+              cs.Pct("fig10.read_bw_initial"),
+              cs.Pct("fig10.read_bw_steady"),
+              cs.Pct("fig10.retained"),
+              cs.Fixed("fig10.steady_round", 0),
+              cs.Fixed("fig10.extents_per_file", 1)};
+        });
+  }
+
+  const auto rows = sweep.Run();
+  Table table({"Policy", "Initial bw", "Steady bw", "Retained", "Steady@",
+               "Ext/file"});
+  for (size_t i = 0; i < policies.size(); ++i) {
+    table.AddRow({policies[i].name, rows[i][0], rows[i][1], rows[i][2],
+                  rows[i][3], rows[i][4]});
+  }
+  std::printf(
+      "Figure 10: sequential read bandwidth (%% of max) after churn aging "
+      "(%d rounds x %llu ops, util target %.2f)\n%s\n",
+      options.rounds,
+      static_cast<unsigned long long>(options.ops_per_round),
+      options.target_util, table.ToString().c_str());
+  return 0;
+}

@@ -11,7 +11,9 @@
 // distance the cache must span — grows linearly with the population:
 // p1 fits in the cache, p4 is ~3x it. The access axis contrasts the
 // sequential-burst pattern (cursor reads — readahead territory) with
-// uniform random 8K I/O (pure recency stress). The headline metric is
+// uniform random 8K I/O (pure recency stress) and Zipf(0.99)-skewed
+// random picks (a hot head worth pinning — where scan-resistant
+// policies separate from plain LRU). The headline metric is
 // *physical blocks read per 1000 operations* — disk units actually
 // fetched, demand plus readahead, normalized by work done so cells
 // with different stabilization windows stay comparable. Readahead (4
@@ -20,6 +22,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
@@ -32,13 +35,28 @@ using namespace rofs;
 
 namespace {
 
+/// One point on the access-pattern axis: the sequential-burst cursor
+/// pattern, uniform random 8K I/O, or Zipf-skewed random picks (theta
+/// concentrates ops on a hot head of the population, so a
+/// recency/frequency-aware policy can hold the head resident even when
+/// the full population exceeds the cache).
+struct AccessSpec {
+  const char* label;
+  const char* title;
+  bool random;
+  double zipf_theta;
+};
+
 /// A small-file churn mix in the shape of the paper's time-sharing
 /// workload. `pressure` multiplies the file population: ops pick files
-/// uniformly, so the population sets the reuse distance a fixed cache
-/// must span (~150 files * ~40K touched per pick = ~6 MB at p1).
-workload::WorkloadSpec CacheWorkload(bool random_access, uint32_t pressure) {
+/// uniformly (or Zipf-skewed), so the population sets the reuse
+/// distance a fixed cache must span (~150 files * ~40K touched per
+/// pick = ~6 MB at p1).
+workload::WorkloadSpec CacheWorkload(const AccessSpec& access,
+                                     uint32_t pressure) {
   workload::WorkloadSpec w;
-  w.name = random_access ? "cache-rand" : "cache-seq";
+  w.name = std::string("cache-") + access.label;
+  w.zipf_theta = access.zipf_theta;
   workload::FileTypeSpec files;
   files.name = "files";
   files.num_files = 150 * pressure;
@@ -54,7 +72,7 @@ workload::WorkloadSpec CacheWorkload(bool random_access, uint32_t pressure) {
   files.write_ratio = 0.15;
   files.extend_ratio = 0.20;
   files.delete_ratio = 0.5;
-  files.access = random_access ? workload::AccessPattern::kRandom
+  files.access = access.random ? workload::AccessPattern::kRandom
                                : workload::AccessPattern::kSequentialBurst;
   w.types.push_back(files);
   return w;
@@ -85,17 +103,20 @@ int main(int argc, char** argv) {
             : std::vector<const char*>{"lru", "clock", "2q", "arc"};
   const std::vector<uint32_t> kPressures =
       smoke ? std::vector<uint32_t>{2} : std::vector<uint32_t>{1, 2, 4};
-  const std::vector<bool> kRandomAccess =
-      smoke ? std::vector<bool>{false} : std::vector<bool>{false, true};
+  const std::vector<AccessSpec> kAccess =
+      smoke ? std::vector<AccessSpec>{{"seq", "sequential-burst", false, 0.0}}
+            : std::vector<AccessSpec>{
+                  {"seq", "sequential-burst", false, 0.0},
+                  {"rand", "uniform random", true, 0.0},
+                  {"zipf", "Zipf(0.99) random", true, 0.99}};
 
   bench::Sweep sweep(argc, argv);
-  for (const bool random_access : kRandomAccess) {
+  for (const AccessSpec& access : kAccess) {
     for (const char* policy : kPolicies) {
       for (const uint32_t pressure : kPressures) {
         sweep.Add(
-            FormatString("fig8 %s %s p%u",
-                         random_access ? "rand" : "seq", policy, pressure),
-            [random_access, policy,
+            FormatString("fig8 %s %s p%u", access.label, policy, pressure),
+            [access, policy,
              pressure](const runner::RunContext& ctx)
                 -> StatusOr<exp::RunRecord> {
               exp::ExperimentConfig config = bench::BenchExperimentConfig();
@@ -109,7 +130,7 @@ int main(int argc, char** argv) {
               config.fs_options.readahead_pages = 4;
               config.fs_options.writeback_dirty_max = 64;
               exp::Experiment experiment(
-                  CacheWorkload(random_access, pressure),
+                  CacheWorkload(access, pressure),
                   bench::RestrictedBuddyFactory(4, 1, false),
                   CacheDisk(), config);
               auto perf = experiment.RunApplicationTest();
@@ -141,7 +162,7 @@ int main(int argc, char** argv) {
 
   const auto rows = sweep.Run();
   size_t next_row = 0;
-  for (const bool random_access : kRandomAccess) {
+  for (const AccessSpec& access : kAccess) {
     std::vector<std::string> headers = {"Policy"};
     for (const uint32_t pressure : kPressures) {
       headers.push_back(FormatString("p%u rd-du/kop", pressure));
@@ -160,8 +181,7 @@ int main(int argc, char** argv) {
     std::printf(
         "Figure 8: physical blocks read per 1000 ops, %s access "
         "(8 MB cache, readahead 4, write-back 64)\n%s\n",
-        random_access ? "uniform random" : "sequential-burst",
-        table.ToString().c_str());
+        access.title, table.ToString().c_str());
   }
   return 0;
 }

@@ -242,27 +242,49 @@ StatusOr<workload::FileTypeSpec> BuildFileType(const Section& s) {
 }
 
 StatusOr<workload::WorkloadSpec> BuildWorkload(const ConfigFile& file) {
-  if (const Section* w = file.Find("workload");
-      w != nullptr && w->Has("builtin")) {
-    ROFS_ASSIGN_OR_RETURN(const std::string name, w->GetString("builtin"));
-    if (name == "TS" || name == "ts") return workload::MakeTimeSharing();
-    if (name == "TP" || name == "tp") {
-      return workload::MakeTransactionProcessing();
-    }
-    if (name == "SC" || name == "sc") return workload::MakeSuperComputer();
-    return Status::InvalidArgument("[workload] unknown builtin '" + name +
-                                   "'");
-  }
+  const Section* w = file.Find("workload");
   workload::WorkloadSpec spec;
-  spec.name = "custom";
-  for (const Section* s : file.FindAll("filetype")) {
-    ROFS_ASSIGN_OR_RETURN(workload::FileTypeSpec t, BuildFileType(*s));
-    spec.types.push_back(std::move(t));
+  if (w != nullptr && w->Has("builtin")) {
+    ROFS_ASSIGN_OR_RETURN(const std::string name, w->GetString("builtin"));
+    if (name == "TS" || name == "ts") {
+      spec = workload::MakeTimeSharing();
+    } else if (name == "TP" || name == "tp") {
+      spec = workload::MakeTransactionProcessing();
+    } else if (name == "SC" || name == "sc") {
+      spec = workload::MakeSuperComputer();
+    } else {
+      return Status::InvalidArgument("[workload] unknown builtin '" + name +
+                                     "'");
+    }
+  } else {
+    spec.name = "custom";
+    for (const Section* s : file.FindAll("filetype")) {
+      ROFS_ASSIGN_OR_RETURN(workload::FileTypeSpec t, BuildFileType(*s));
+      spec.types.push_back(std::move(t));
+    }
+    if (spec.types.empty()) {
+      return Status::InvalidArgument(
+          "config defines no [filetype ...] sections and no [workload] "
+          "builtin");
+    }
   }
-  if (spec.types.empty()) {
-    return Status::InvalidArgument(
-        "config defines no [filetype ...] sections and no [workload] "
-        "builtin");
+  if (w != nullptr) {
+    // Arrival model and file-pick skew apply on top of either source;
+    // the defaults reproduce the closed-loop uniform-pick behavior.
+    ROFS_ASSIGN_OR_RETURN(const std::string arrivals,
+                          w->GetStringOr("arrivals", "closed"));
+    StatusOr<workload::ArrivalSpec> arrival_spec =
+        workload::ParseArrivalSpec(arrivals);
+    if (!arrival_spec.ok()) {
+      return Status::InvalidArgument("[workload] " +
+                                     arrival_spec.status().message());
+    }
+    spec.arrivals = *arrival_spec;
+    ROFS_ASSIGN_OR_RETURN(spec.zipf_theta,
+                          w->GetDoubleOr("zipf_theta", spec.zipf_theta));
+    if (spec.zipf_theta < 0.0) {
+      return Status::InvalidArgument("[workload] zipf_theta must be >= 0");
+    }
   }
   return spec;
 }
@@ -345,12 +367,42 @@ Status BuildTest(const Section* section, exp::ExperimentConfig* cfg,
     tests->allocation = run.find("alloc") != std::string::npos;
     tests->application = run.find("app") != std::string::npos;
     tests->sequential = run.find("seq") != std::string::npos;
-    if (!tests->allocation && !tests->application && !tests->sequential) {
+    tests->aging = run.find("aging") != std::string::npos;
+    if (!tests->allocation && !tests->application && !tests->sequential &&
+        !tests->aging) {
       return Status::InvalidArgument("[test] run selects no tests: '" + run +
                                      "'");
     }
   }
   return Status::OK();
+}
+
+Status BuildAging(const Section* section, uint64_t test_seed,
+                  workload::AgingOptions* aging) {
+  aging->seed = test_seed;
+  if (section == nullptr) return Status::OK();
+  ROFS_ASSIGN_OR_RETURN(
+      const int64_t seed,
+      section->GetIntOr("seed", static_cast<int64_t>(aging->seed)));
+  aging->seed = static_cast<uint64_t>(seed);
+  ROFS_ASSIGN_OR_RETURN(
+      aging->target_util,
+      section->GetDoubleOr("target_util", aging->target_util));
+  ROFS_ASSIGN_OR_RETURN(
+      const int64_t ops,
+      section->GetIntOr("ops_per_round",
+                        static_cast<int64_t>(aging->ops_per_round)));
+  aging->ops_per_round = static_cast<uint64_t>(ops);
+  ROFS_ASSIGN_OR_RETURN(
+      const int64_t rounds,
+      section->GetIntOr("rounds", static_cast<int64_t>(aging->rounds)));
+  aging->rounds = static_cast<int>(rounds);
+  ROFS_ASSIGN_OR_RETURN(
+      const int64_t probe,
+      section->GetIntOr("probe_files",
+                        static_cast<int64_t>(aging->probe_files)));
+  aging->probe_files = static_cast<uint32_t>(probe);
+  return aging->Validate();
 }
 
 Status BuildSimEngine(const Section* section, exp::SimEngineOptions* eng) {
@@ -404,6 +456,8 @@ StatusOr<SimConfig> BuildSimConfig(const ConfigFile& file) {
   ROFS_ASSIGN_OR_RETURN(sim.workload, BuildWorkload(file));
   ROFS_RETURN_IF_ERROR(
       BuildTest(file.Find("test"), &sim.experiment, &sim.tests));
+  ROFS_RETURN_IF_ERROR(
+      BuildAging(file.Find("aging"), sim.experiment.seed, &sim.aging));
   ROFS_RETURN_IF_ERROR(BuildFs(file.Find("fs"), &sim.experiment.fs_options));
   ROFS_RETURN_IF_ERROR(
       BuildCache(file.Find("cache"), &sim.experiment.fs_options));

@@ -6,6 +6,7 @@
 #include "config/config_parser.h"
 #include "disk/disk_system.h"
 #include "exp/experiment.h"
+#include "workload/aging.h"
 #include "workload/file_type.h"
 
 namespace rofs::config {
@@ -15,6 +16,9 @@ struct TestSelection {
   bool allocation = true;
   bool application = true;
   bool sequential = true;
+  /// The long-horizon aging study (`run = aging`); off by default — it is
+  /// a separate, much longer experiment than the paper's three tests.
+  bool aging = false;
 };
 
 /// A fully materialized simulation described by a config file: the disk
@@ -27,6 +31,8 @@ struct SimConfig {
   workload::WorkloadSpec workload;
   exp::ExperimentConfig experiment;
   TestSelection tests;
+  /// Parameters of the aging study (`[aging]`); used when tests.aging.
+  workload::AgingOptions aging;
 };
 
 /// Builds a SimConfig from a parsed config file.
@@ -38,13 +44,20 @@ struct SimConfig {
 ///   [policy]    kind = buddy | restricted-buddy | extent | fixed | log
 ///               (plus kind-specific keys: block_sizes/grow_factor/
 ///               clustered; ranges/fit; block; segment; max_extent)
-///   [test]      run = alloc,app,seq | all; seed, sample_interval,
+///   [test]      run = alloc,app,seq,aging | all ("all" means the
+///               paper's three tests; aging must be asked for by name);
+///               seed, sample_interval,
 ///               tolerance_pp, warmup, min_measure, max_measure,
 ///               fill_lower, fill_upper
 ///   [sim]       threads = 0..N (0 = classic serial engine; >= 1 shards
 ///               disk events per drive, byte-identical output for every
 ///               value >= 1); user_timer = heap|wheel; wheel_tick
-///   [workload]  builtin = TS | TP | SC   (optional shortcut)
+///   [workload]  builtin = TS | TP | SC   (optional shortcut);
+///               arrivals = closed | poisson(RATE) |
+///               mmpp(RATE[,BURST,ON,OFF]) | pareto(RATE[,ALPHA])
+///               (RATE in ops/s); zipf_theta = 0..  (0 = uniform picks)
+///   [aging]     seed (defaults to the test seed), target_util,
+///               ops_per_round, rounds, probe_files
 ///   [filetype NAME]  every Table 2 parameter (files, users,
 ///               process_time, hit_frequency, rw_bytes, rw_dev,
 ///               alloc_size, extend_bytes, extend_dev, truncate_bytes,

@@ -273,6 +273,11 @@ RunRecord PerfResult::ToRecord() const {
   r.Set("extents_per_file", avg_extents_per_file);
   r.Set("internal_frag", internal_fragmentation);
   r.Set("mean_op_latency_ms", mean_op_latency_ms);
+  if (open_loop) {
+    r.Set("open.offered_ops", static_cast<double>(offered_ops));
+    r.Set("open.completed_ops", static_cast<double>(completed_ops));
+    r.Set("open.pending_peak", static_cast<double>(pending_peak));
+  }
   r.Set("sim.users.peak", static_cast<double>(users_peak));
   r.Set("sim.events.peak", static_cast<double>(events_peak));
   r.Set("sim.wheel.peak", static_cast<double>(wheel_peak));
@@ -295,6 +300,10 @@ PerfResult PerfResult::FromRecord(const RunRecord& record) {
   p.avg_extents_per_file = record.Get("extents_per_file");
   p.internal_fragmentation = record.Get("internal_frag");
   p.mean_op_latency_ms = record.Get("mean_op_latency_ms");
+  p.open_loop = record.Has("open.offered_ops");
+  p.offered_ops = static_cast<uint64_t>(record.Get("open.offered_ops"));
+  p.completed_ops = static_cast<uint64_t>(record.Get("open.completed_ops"));
+  p.pending_peak = static_cast<uint64_t>(record.Get("open.pending_peak"));
   p.users_peak = static_cast<uint64_t>(record.Get("sim.users.peak"));
   p.events_peak = static_cast<uint64_t>(record.Get("sim.events.peak"));
   p.wheel_peak = static_cast<uint64_t>(record.Get("sim.wheel.peak"));
@@ -313,8 +322,13 @@ StatusOr<std::unique_ptr<Experiment::Sim>> Experiment::Setup(
     workload::OpMode mode, bool fill) {
   ROFS_RETURN_IF_ERROR(config_.Validate());
   // The scheduler spec lives in the disk config (it is per-disk-system
-  // state); validate it here where every driver funnels through.
+  // state); validate it here where every driver funnels through. Same for
+  // the workload's arrival model and file-pick skew.
   ROFS_RETURN_IF_ERROR(disk_config_.scheduler.Validate());
+  ROFS_RETURN_IF_ERROR(workload_.arrivals.Validate());
+  if (workload_.zipf_theta < 0.0) {
+    return Status::InvalidArgument("workload zipf_theta must be >= 0");
+  }
   auto sim = std::make_unique<Sim>();
   sim->disk = std::make_unique<disk::DiskSystem>(disk_config_);
   if (config_.engine.threads >= 1) {
@@ -449,6 +463,13 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   sim->gen->set_mode(mode);
   sim->gen->set_upper_bound_util(config_.fill_upper);
   sim->fs->set_io_enabled(true);
+  // Open-loop workloads switch to arrival-time injection here — after the
+  // closed-loop fill aged the layout — so the disk queues feel the offered
+  // load through warm-up and measurement. Idempotent across the sequential
+  // half of a performance pair.
+  if (workload_.arrivals.open()) {
+    sim->gen->StartOpenLoop(workload_.arrivals);
+  }
 
   const bool sequential = mode == workload::OpMode::kSequential;
   const double min_measure =
@@ -469,6 +490,8 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   // Warm up the disk queues in the measured mode, then measure.
   RunSim(sim, sim->queue.now() + config_.warmup_ms);
   const uint64_t disk_full_before = sim->gen->disk_full_count();
+  const uint64_t offered_before = sim->gen->open_offered();
+  const uint64_t completed_before = sim->gen->open_completed();
   sim->gen->ResetStats();
   // Recording starts with the measurement window (stays armed across the
   // sequential half of a performance pair).
@@ -529,6 +552,12 @@ PerfResult Experiment::Measure(Sim* sim, workload::OpMode mode) {
   result.avg_extents_per_file = sim->fs->AverageExtentsPerFile();
   result.internal_fragmentation = sim->fs->InternalFragmentation();
   result.mean_op_latency_ms = sim->gen->op_latency_ms().Mean();
+  if (sim->gen->open_loop()) {
+    result.open_loop = true;
+    result.offered_ops = sim->gen->open_offered() - offered_before;
+    result.completed_ops = sim->gen->open_completed() - completed_before;
+    result.pending_peak = sim->gen->open_pending_peak();
+  }
   result.alloc_stats = sim->allocator->stats();
   FillCapacity(sim, &result.users_peak, &result.events_peak,
                &result.wheel_peak);

@@ -145,6 +145,16 @@ struct PerfResult {
   double internal_fragmentation = 0;
   /// Mean operation latency during measurement (ms).
   double mean_op_latency_ms = 0;
+  /// Open-loop arrivals only (workload arrivals != closed): operations
+  /// offered (injected) and completed during the measured window, and the
+  /// peak pending-op queue depth since arrivals started. Offered minus
+  /// completed is the backlog an overloaded system accumulated. The
+  /// "open.*" record keys exist only for open-loop runs, so closed-loop
+  /// records (and their goldens) are byte-identical to earlier releases.
+  bool open_loop = false;
+  uint64_t offered_ops = 0;
+  uint64_t completed_ops = 0;
+  uint64_t pending_peak = 0;
   /// Allocation-policy counters since the simulation was constructed.
   alloc::AllocatorStats alloc_stats;
   /// Deterministic capacity metrics; see AllocationResult.

@@ -1,0 +1,66 @@
+#include "stats/chi_squared.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rofs::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 300;
+constexpr double kEpsilon = 1e-14;
+
+/// Series expansion of P(a, x): gamma*(a, x) = x^-a e^x sum x^n / (a)_n.
+double LowerGammaSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued fraction for the upper tail Q(a, x) (modified Lentz).
+double UpperGammaContinuedFraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedLowerGamma(double a, double x) {
+  assert(a > 0.0 && x >= 0.0);
+  if (x <= 0.0) return 0.0;
+  // The series converges fast below the mean, the continued fraction
+  // above it; the split at a + 1 keeps both well-conditioned.
+  if (x < a + 1.0) return LowerGammaSeries(a, x);
+  return 1.0 - UpperGammaContinuedFraction(a, x);
+}
+
+double ChiSquaredCdf(double x, int dof) {
+  assert(dof >= 1);
+  if (x <= 0.0) return 0.0;
+  return RegularizedLowerGamma(0.5 * static_cast<double>(dof), 0.5 * x);
+}
+
+}  // namespace rofs::stats

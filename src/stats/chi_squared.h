@@ -1,0 +1,22 @@
+#ifndef ROFS_STATS_CHI_SQUARED_H_
+#define ROFS_STATS_CHI_SQUARED_H_
+
+namespace rofs::stats {
+
+/// P(X <= x) for a chi-squared distribution with `dof` degrees of freedom
+/// (dof >= 1, x >= 0), evaluated through the regularized lower incomplete
+/// gamma function P(dof / 2, x / 2). The goodness-of-fit gate of the
+/// arrival-process tests: a fixed-seed sample passes when the chi-squared
+/// statistic's upper tail probability 1 - ChiSquaredCdf(stat, dof) stays
+/// above the rejection level.
+double ChiSquaredCdf(double x, int dof);
+
+/// Regularized lower incomplete gamma function P(a, x) for a > 0, x >= 0
+/// (series expansion for x < a + 1, continued fraction otherwise — the
+/// same split student_t.cc uses for the incomplete beta). Exposed for
+/// tests.
+double RegularizedLowerGamma(double a, double x);
+
+}  // namespace rofs::stats
+
+#endif  // ROFS_STATS_CHI_SQUARED_H_

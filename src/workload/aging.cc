@@ -1,0 +1,184 @@
+#include "workload/aging.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/steady.h"
+
+namespace rofs::workload {
+
+Status AgingOptions::Validate() const {
+  if (seed == 0) {
+    return Status::InvalidArgument("[aging] seed must be non-zero");
+  }
+  if (!(target_util > 0.0 && target_util < 1.0)) {
+    return Status::InvalidArgument("[aging] target_util must be in (0, 1)");
+  }
+  if (ops_per_round == 0) {
+    return Status::InvalidArgument("[aging] ops_per_round must be positive");
+  }
+  if (rounds < 1) {
+    return Status::InvalidArgument("[aging] rounds must be >= 1");
+  }
+  if (probe_files == 0) {
+    return Status::InvalidArgument("[aging] probe_files must be positive");
+  }
+  return Status::OK();
+}
+
+AgingDriver::AgingDriver(const WorkloadSpec* workload,
+                         fs::ReadOptimizedFs* fs, AgingOptions options)
+    : workload_(workload), fs_(fs), options_(options), rng_(options.seed) {
+  assert(workload_ != nullptr && fs_ != nullptr);
+  assert(fs_->disk() != nullptr);
+  files_by_type_.resize(workload_->types.size());
+  type_file_cum_.reserve(workload_->types.size());
+  for (const FileTypeSpec& t : workload_->types) {
+    total_files_ += t.num_files;
+    type_file_cum_.push_back(total_files_);
+  }
+  rounds_.reserve(static_cast<size_t>(options_.rounds));
+  read_bw_.reserve(static_cast<size_t>(options_.rounds));
+}
+
+Status AgingDriver::CreateInitialFiles() {
+  fs_->set_io_enabled(false);
+  // Same interleaving as OpGenerator::CreateInitialFiles: register every
+  // file, then allocate in a shuffled order so types mingle on disk.
+  struct Pending {
+    size_t type;
+    fs::FileId id;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(total_files_);
+  for (size_t t = 0; t < workload_->types.size(); ++t) {
+    const FileTypeSpec& type = workload_->types[t];
+    files_by_type_[t].reserve(type.num_files);
+    for (uint32_t i = 0; i < type.num_files; ++i) {
+      const fs::FileId id = fs_->Create(type.alloc_size_bytes);
+      files_by_type_[t].push_back(id);
+      pending.push_back(Pending{t, id});
+    }
+  }
+  for (size_t i = pending.size(); i > 1; --i) {
+    std::swap(pending[i - 1], pending[rng_.UniformInt(0, i - 1)]);
+  }
+  for (const Pending& p : pending) {
+    const FileTypeSpec& type = workload_->types[p.type];
+    const uint64_t size = type.DrawInitialBytes(rng_);
+    sim::TimeMs done = 0;
+    const Status status = fs_->Extend(p.id, size, /*arrival=*/0.0, &done);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+AgingDriver::ChurnOp AgingDriver::DrawChurnOp() {
+  ChurnOp op;
+  // Type weighted by file population, file uniform within the type.
+  op.type_index = 0;
+  if (workload_->types.size() > 1) {
+    const uint64_t f = rng_.UniformInt(0, total_files_ - 1);
+    while (type_file_cum_[op.type_index] <= f) ++op.type_index;
+  }
+  const FileTypeSpec& type = workload_->types[op.type_index];
+  op.file_index =
+      static_cast<uint32_t>(rng_.UniformInt(0, type.num_files - 1));
+  // Half the churn is delete/recreate (the fragmenting half); the other
+  // half steers utilization toward the target. Recreate sizes carry an
+  // adaptive gain nudged 10% toward the target per recreate (an integral
+  // controller): without it, recreates keep resetting files to their
+  // initial size and utilization never leaves its starting point no
+  // matter how many extend/truncate nudges run between them, and a
+  // memoryless target/util scale only reaches the geometric mean of the
+  // two.
+  const double util = fs_->SpaceUtilization();
+  const bool grow = util < options_.target_util;
+  if (rng_.Bernoulli(0.5)) {
+    op.kind = ChurnOp::Kind::kRecreate;
+    recreate_gain_ = std::clamp(
+        recreate_gain_ * (grow ? 1.1 : 1.0 / 1.1), 1.0 / 16.0, 16.0);
+    op.bytes = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(type.DrawInitialBytes(rng_)) *
+               recreate_gain_));
+  } else if (grow) {
+    op.kind = ChurnOp::Kind::kExtend;
+    op.bytes = type.DrawExtendBytes(rng_);
+  } else {
+    op.kind = ChurnOp::Kind::kTruncate;
+    op.bytes = type.truncate_bytes;
+  }
+  return op;
+}
+
+void AgingDriver::Execute(const ChurnOp& op) {
+  const fs::FileId id = files_by_type_[op.type_index][op.file_index];
+  sim::TimeMs done = 0;
+  switch (op.kind) {
+    case ChurnOp::Kind::kRecreate:
+      fs_->Delete(id);
+      fs_->Recreate(id);
+      (void)fs_->Extend(id, op.bytes, /*arrival=*/0.0, &done);
+      break;
+    case ChurnOp::Kind::kExtend:
+      (void)fs_->Extend(id, op.bytes, /*arrival=*/0.0, &done);
+      break;
+    case ChurnOp::Kind::kTruncate:
+      fs_->Truncate(id, op.bytes);
+      break;
+  }
+  ++churn_ops_;
+}
+
+AgingRound AgingDriver::RunRound() {
+  fs_->set_io_enabled(false);
+  for (uint64_t i = 0; i < options_.ops_per_round; ++i) {
+    Execute(DrawChurnOp());
+  }
+
+  // Probe: whole-file sequential reads over a deterministic stride of the
+  // population, I/O enabled, each issued at the previous completion.
+  fs_->set_io_enabled(true);
+  const uint64_t stride =
+      std::max<uint64_t>(1, total_files_ / options_.probe_files);
+  uint64_t probe_bytes = 0;
+  double probe_ms = 0.0;
+  for (uint64_t n = 0; n < total_files_; n += stride) {
+    // Map the flat index onto (type, file).
+    size_t t = 0;
+    while (type_file_cum_[t] <= n) ++t;
+    const uint64_t base = t == 0 ? 0 : type_file_cum_[t - 1];
+    const fs::FileId id = files_by_type_[t][n - base];
+    const uint64_t logical = fs_->file(id).logical_bytes;
+    if (!fs_->file(id).exists || logical == 0) continue;
+    const sim::TimeMs done =
+        fs_->Read(id, /*offset=*/0, logical, probe_clock_ms_);
+    probe_ms += done - probe_clock_ms_;
+    probe_bytes += logical;
+    probe_clock_ms_ = done;
+  }
+  fs_->set_io_enabled(false);
+
+  AgingRound round;
+  round.round = static_cast<int>(rounds_.size());
+  round.utilization = fs_->SpaceUtilization();
+  const double max_bw = fs_->disk()->MaxSequentialBandwidthBytesPerMs();
+  round.read_bw_frac =
+      probe_ms > 0.0 && max_bw > 0.0
+          ? (static_cast<double>(probe_bytes) / probe_ms) / max_bw
+          : 0.0;
+  round.extents_per_file = fs_->AverageExtentsPerFile();
+  round.internal_frag = fs_->InternalFragmentation();
+  round.failed_allocs = fs_->allocator().stats().failed_allocs;
+  rounds_.push_back(round);
+  read_bw_.push_back(round.read_bw_frac);
+  return round;
+}
+
+int AgingDriver::DetectSteadyRound() const {
+  return stats::DetectSteadyWindow(
+      read_bw_, stats::SteadyBlockLength(read_bw_.size()));
+}
+
+}  // namespace rofs::workload

@@ -1,0 +1,119 @@
+#ifndef ROFS_WORKLOAD_AGING_H_
+#define ROFS_WORKLOAD_AGING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fs/read_optimized_fs.h"
+#include "util/random.h"
+#include "util/statusor.h"
+#include "workload/file_type.h"
+
+namespace rofs::workload {
+
+/// Parameters of a long-horizon aging study (`[aging]` config section).
+struct AgingOptions {
+  uint64_t seed = 1;
+  /// The churn holds space utilization near this fraction: below it the
+  /// mix biases toward growth, above it toward shrinking, so the
+  /// free-space map ages under delete/recreate pressure at a steady
+  /// occupancy instead of marching to disk-full.
+  double target_util = 0.50;
+  /// Churn operations between successive read-bandwidth probes.
+  uint64_t ops_per_round = 2000;
+  /// Probe rounds; one point of the decay curve per round.
+  int rounds = 40;
+  /// Files probed per round (whole-file sequential reads, deterministic
+  /// stride across the population).
+  uint32_t probe_files = 32;
+
+  Status Validate() const;
+};
+
+/// One point of the decay curve.
+struct AgingRound {
+  int round = 0;
+  double utilization = 0;
+  /// Probe read throughput as a fraction of the disk system's maximum
+  /// sequential bandwidth — the figure-10 y-axis.
+  double read_bw_frac = 0;
+  double extents_per_file = 0;
+  double internal_frag = 0;
+  /// Cumulative allocator failures since the driver was constructed.
+  uint64_t failed_allocs = 0;
+};
+
+/// Ages an allocator's free-space map to steady-state fragmentation with
+/// create/delete churn, probing read bandwidth between rounds — the
+/// Sears & van Ingen experiment on this simulator's policies. Runs
+/// against a passive (queue-free) file system: churn executes with I/O
+/// disabled, probes with I/O enabled at a monotonically advancing clock,
+/// so the study needs no event queue and is trivially byte-identical for
+/// any `--jobs` or `[sim] threads` setting.
+class AgingDriver {
+ public:
+  /// The decision half of one churn step, drawn before execution. A
+  /// recreate deletes the file and rewrites it at a freshly drawn size
+  /// (the delete/recreate churn that fragments free space); extend and
+  /// truncate push utilization toward the target from below and above.
+  struct ChurnOp {
+    enum class Kind { kRecreate, kExtend, kTruncate };
+    Kind kind = Kind::kRecreate;
+    size_t type_index = 0;
+    uint32_t file_index = 0;
+    uint64_t bytes = 0;
+  };
+
+  AgingDriver(const WorkloadSpec* workload, fs::ReadOptimizedFs* fs,
+              AgingOptions options);
+
+  /// Creates the workload's file population (interleaved random order,
+  /// like OpGenerator) with I/O disabled. Returns the first allocation
+  /// failure, if any.
+  Status CreateInitialFiles();
+
+  /// Draws the next churn decision without touching the file system —
+  /// pure RNG + spec arithmetic, no allocation (the perf_noalloc gate
+  /// loops this path).
+  ChurnOp DrawChurnOp();
+
+  /// Executes one drawn churn op.
+  void Execute(const ChurnOp& op);
+
+  /// ops_per_round churn steps followed by a read-bandwidth probe;
+  /// appends and returns the new curve point.
+  AgingRound RunRound();
+
+  const std::vector<AgingRound>& rounds() const { return rounds_; }
+  /// The read_bw_frac series, one value per completed round.
+  const std::vector<double>& read_bw_series() const { return read_bw_; }
+
+  /// First round of the steady window per stats::DetectSteadyWindow over
+  /// the read-bandwidth series; -1 when the curve never settles.
+  int DetectSteadyRound() const;
+
+  uint64_t churn_ops() const { return churn_ops_; }
+
+ private:
+  const WorkloadSpec* workload_;
+  fs::ReadOptimizedFs* fs_;
+  AgingOptions options_;
+  Rng rng_;
+  std::vector<std::vector<fs::FileId>> files_by_type_;
+  /// Cumulative file counts per type, for weighted type picks.
+  std::vector<uint64_t> type_file_cum_;
+  uint64_t total_files_ = 0;
+  uint64_t churn_ops_ = 0;
+  /// Adaptive multiplier on recreate sizes (integral controller toward
+  /// target_util); see DrawChurnOp.
+  double recreate_gain_ = 1.0;
+  /// Monotonic probe clock (simulated ms); each probe read issues at the
+  /// previous probe's completion so probes never queue behind each other.
+  double probe_clock_ms_ = 0.0;
+  std::vector<AgingRound> rounds_;
+  std::vector<double> read_bw_;
+};
+
+}  // namespace rofs::workload
+
+#endif  // ROFS_WORKLOAD_AGING_H_

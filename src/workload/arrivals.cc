@@ -1,0 +1,210 @@
+#include "workload/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/table.h"
+
+namespace rofs::workload {
+
+namespace {
+
+std::string TrimWs(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Splits "name(a, b, ...)" into the name and numeric arguments.
+Status SplitCall(const std::string& text, std::string* name,
+                 std::vector<double>* args) {
+  const size_t open = text.find('(');
+  if (open == std::string::npos) {
+    *name = TrimWs(text);
+    return Status::OK();
+  }
+  if (text.back() != ')') {
+    return Status::InvalidArgument("expected ')' in '" + text + "'");
+  }
+  *name = TrimWs(text.substr(0, open));
+  std::string body = text.substr(open + 1, text.size() - open - 2);
+  size_t start = 0;
+  while (start <= body.size()) {
+    size_t comma = body.find(',', start);
+    if (comma == std::string::npos) comma = body.size();
+    const std::string field = TrimWs(body.substr(start, comma - start));
+    if (field.empty()) {
+      return Status::InvalidArgument("empty argument in '" + text + "'");
+    }
+    char* end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    if (end != field.c_str() + field.size()) {
+      return Status::InvalidArgument("bad number '" + field + "' in '" +
+                                     text + "'");
+    }
+    args->push_back(v);
+    start = comma + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ArrivalSpec::Label() const {
+  switch (kind) {
+    case ArrivalKind::kClosed:
+      return "closed";
+    case ArrivalKind::kPoisson:
+      return FormatString("poisson(%g)", rate_per_s);
+    case ArrivalKind::kMmpp:
+      return FormatString("mmpp(%g,%g,%g,%g)", rate_per_s, burst_ratio,
+                          on_ms, off_ms);
+    case ArrivalKind::kPareto:
+      return FormatString("pareto(%g,%g)", rate_per_s, alpha);
+  }
+  return "closed";
+}
+
+Status ArrivalSpec::Validate() const {
+  if (kind == ArrivalKind::kClosed) return Status::OK();
+  if (!(rate_per_s > 0.0)) {
+    return Status::InvalidArgument(
+        "arrivals: open processes need a positive rate (ops/s)");
+  }
+  if (kind == ArrivalKind::kMmpp) {
+    if (!(burst_ratio > 1.0)) {
+      return Status::InvalidArgument(
+          "arrivals: mmpp burst ratio must be > 1");
+    }
+    if (!(on_ms > 0.0) || !(off_ms > 0.0)) {
+      return Status::InvalidArgument(
+          "arrivals: mmpp on/off durations must be positive");
+    }
+  }
+  if (kind == ArrivalKind::kPareto && !(alpha > 1.0)) {
+    return Status::InvalidArgument(
+        "arrivals: pareto alpha must be > 1 (finite mean gap)");
+  }
+  return Status::OK();
+}
+
+StatusOr<ArrivalSpec> ParseArrivalSpec(const std::string& text) {
+  std::string name;
+  std::vector<double> args;
+  ROFS_RETURN_IF_ERROR(SplitCall(TrimWs(text), &name, &args));
+  ArrivalSpec spec;
+  if (name == "closed") {
+    if (!args.empty()) {
+      return Status::InvalidArgument("arrivals: closed takes no arguments");
+    }
+    return spec;
+  }
+  if (name == "poisson") {
+    spec.kind = ArrivalKind::kPoisson;
+    if (args.size() != 1) {
+      return Status::InvalidArgument("arrivals: expected poisson(RATE)");
+    }
+    spec.rate_per_s = args[0];
+  } else if (name == "mmpp") {
+    spec.kind = ArrivalKind::kMmpp;
+    if (args.size() != 1 && args.size() != 4) {
+      return Status::InvalidArgument(
+          "arrivals: expected mmpp(RATE) or "
+          "mmpp(RATE, BURST_RATIO, ON_MS, OFF_MS)");
+    }
+    spec.rate_per_s = args[0];
+    if (args.size() == 4) {
+      spec.burst_ratio = args[1];
+      spec.on_ms = args[2];
+      spec.off_ms = args[3];
+    }
+  } else if (name == "pareto") {
+    spec.kind = ArrivalKind::kPareto;
+    if (args.size() != 1 && args.size() != 2) {
+      return Status::InvalidArgument(
+          "arrivals: expected pareto(RATE) or pareto(RATE, ALPHA)");
+    }
+    spec.rate_per_s = args[0];
+    if (args.size() == 2) spec.alpha = args[1];
+  } else {
+    return Status::InvalidArgument(
+        "arrivals: unknown process '" + name +
+        "' (closed|poisson|mmpp|pareto)");
+  }
+  ROFS_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec) : spec_(spec) {
+  mean_gap_ms_ = spec_.rate_per_s > 0.0 ? 1000.0 / spec_.rate_per_s : 0.0;
+  if (spec_.kind == ArrivalKind::kMmpp) {
+    // Split the long-run rate across the two states: with duty cycle
+    // d = on / (on + off) and rate_on = burst_ratio * rate_off,
+    //   rate = d * rate_on + (1 - d) * rate_off.
+    const double duty = spec_.on_ms / (spec_.on_ms + spec_.off_ms);
+    const double rate_per_ms = spec_.rate_per_s / 1000.0;
+    rate_off_per_ms_ =
+        rate_per_ms / (duty * spec_.burst_ratio + (1.0 - duty));
+    rate_on_per_ms_ = spec_.burst_ratio * rate_off_per_ms_;
+  } else if (spec_.kind == ArrivalKind::kPareto) {
+    pareto_scale_ms_ = mean_gap_ms_ * (spec_.alpha - 1.0) / spec_.alpha;
+  }
+}
+
+double ArrivalProcess::NextGapMs(Rng& rng) {
+  switch (spec_.kind) {
+    case ArrivalKind::kClosed:
+      return 0.0;  // Closed specs never construct a process.
+    case ArrivalKind::kPoisson:
+      return rng.Exponential(mean_gap_ms_);
+    case ArrivalKind::kMmpp: {
+      // Exponential thinning across state boundaries: draw an arrival in
+      // the current state; if it lands past the state's remaining life,
+      // consume that life, flip states, and redraw (memoryless).
+      if (!state_primed_) {
+        state_primed_ = true;
+        state_left_ms_ = rng.Exponential(spec_.off_ms);
+      }
+      double gap = 0.0;
+      while (true) {
+        const double rate = on_ ? rate_on_per_ms_ : rate_off_per_ms_;
+        const double candidate = rng.Exponential(1.0 / rate);
+        if (candidate <= state_left_ms_) {
+          state_left_ms_ -= candidate;
+          return gap + candidate;
+        }
+        gap += state_left_ms_;
+        on_ = !on_;
+        state_left_ms_ = rng.Exponential(on_ ? spec_.on_ms : spec_.off_ms);
+      }
+    }
+    case ArrivalKind::kPareto: {
+      // Inverse CDF with u in (0, 1]; x_m * u^(-1/alpha).
+      const double u = 1.0 - rng.NextDouble();
+      return pareto_scale_ms_ * std::pow(u, -1.0 / spec_.alpha);
+    }
+  }
+  return 0.0;
+}
+
+ZipfPicker::ZipfPicker(size_t n, double theta) : theta_(theta) {
+  cdf_.reserve(n);
+  double sum = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_.push_back(sum);
+  }
+  for (double& c : cdf_) c /= sum;
+  if (!cdf_.empty()) cdf_.back() = 1.0;
+}
+
+size_t ZipfPicker::Next(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace rofs::workload

@@ -1,0 +1,113 @@
+#ifndef ROFS_WORKLOAD_ARRIVALS_H_
+#define ROFS_WORKLOAD_ARRIVALS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+#include "util/statusor.h"
+
+namespace rofs::workload {
+
+/// How operations arrive at the file system.
+enum class ArrivalKind {
+  /// The paper's model: each user issues its next request one think time
+  /// after the previous completion, so load self-throttles and measured
+  /// throughput can never exceed what the system delivers.
+  kClosed,
+  /// Open-loop Poisson arrivals at a fixed offered rate: memoryless gaps,
+  /// index of dispersion 1. The M/G/1-ish baseline for overload studies.
+  kPoisson,
+  /// Bursty on/off arrivals (a 2-state Markov-modulated Poisson process):
+  /// exponentially distributed ON bursts at `burst_ratio` times the OFF
+  /// rate, with the two rates normalized so the long-run offered rate
+  /// matches `rate_per_s`.
+  kMmpp,
+  /// Heavy-tailed arrivals: Pareto-distributed gaps with tail exponent
+  /// `alpha` scaled to the target mean rate. For 1 < alpha < 2 the gap
+  /// variance is infinite and aggregated counts are self-similar.
+  kPareto,
+};
+
+/// Parsed `[workload] arrivals =` value: the process kind plus its
+/// parameters. The default (`closed`) reproduces the paper's closed-loop
+/// behavior byte for byte — no open-loop machinery is constructed at all.
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kClosed;
+  /// Long-run offered rate for the open kinds, in operations per second.
+  double rate_per_s = 0.0;
+  /// MMPP: ON-state rate divided by OFF-state rate (> 1).
+  double burst_ratio = 10.0;
+  /// MMPP: mean ON burst / OFF gap durations (exponential).
+  double on_ms = 500.0;
+  double off_ms = 4500.0;
+  /// Pareto: tail exponent; must exceed 1 so the mean gap exists.
+  double alpha = 1.5;
+
+  bool open() const { return kind != ArrivalKind::kClosed; }
+  /// Canonical spelling: "closed", "poisson(200)", ...
+  std::string Label() const;
+  Status Validate() const;
+};
+
+/// Parses an arrivals spec string:
+///   closed
+///   poisson(RATE)
+///   mmpp(RATE, BURST_RATIO, ON_MS, OFF_MS)
+///   pareto(RATE, ALPHA)
+/// RATE is ops/second; durations are milliseconds.
+StatusOr<ArrivalSpec> ParseArrivalSpec(const std::string& text);
+
+/// Samples successive interarrival gaps (ms) for an open ArrivalSpec.
+/// Deterministic given the Rng stream; performs no allocation after
+/// construction (the perf_noalloc gate covers the sampling loop).
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalSpec& spec);
+
+  /// The gap from the previous arrival to the next one, in ms.
+  double NextGapMs(Rng& rng);
+
+  const ArrivalSpec& spec() const { return spec_; }
+
+ private:
+  ArrivalSpec spec_;
+  /// Poisson: the mean gap. MMPP/Pareto: derived parameters below.
+  double mean_gap_ms_ = 0.0;
+  // MMPP state: per-ms rates of the two states and the remaining time in
+  // the current one. Starts OFF with a fresh exponential residue, which is
+  // exact for the stationary chain (exponential residuals are memoryless).
+  double rate_on_per_ms_ = 0.0;
+  double rate_off_per_ms_ = 0.0;
+  bool on_ = false;
+  double state_left_ms_ = 0.0;
+  bool state_primed_ = false;
+  // Pareto scale x_m with E[gap] = x_m * alpha / (alpha - 1).
+  double pareto_scale_ms_ = 0.0;
+};
+
+/// Zipf(theta) rank picker over n items: item k (0-based rank) is drawn
+/// with probability proportional to 1 / (k + 1)^theta. theta = 0 is
+/// uniform; theta ~ 1 is the classic web/file-popularity skew. Draws cost
+/// one uniform deviate plus a binary search of the precomputed CDF, with
+/// no allocation per draw.
+class ZipfPicker {
+ public:
+  ZipfPicker() = default;
+  ZipfPicker(size_t n, double theta);
+
+  /// A rank in [0, n).
+  size_t Next(Rng& rng) const;
+
+  size_t size() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_ = 0.0;
+  std::vector<double> cdf_;
+};
+
+}  // namespace rofs::workload
+
+#endif  // ROFS_WORKLOAD_ARRIVALS_H_

@@ -107,6 +107,10 @@ Status WorkloadSpec::Validate() const {
   for (const FileTypeSpec& t : types) {
     ROFS_RETURN_IF_ERROR(t.Validate());
   }
+  ROFS_RETURN_IF_ERROR(arrivals.Validate());
+  if (zipf_theta < 0.0) {
+    return Status::InvalidArgument(name + ": zipf_theta must be >= 0");
+  }
   return Status::OK();
 }
 

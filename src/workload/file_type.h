@@ -7,6 +7,7 @@
 
 #include "util/random.h"
 #include "util/status.h"
+#include "workload/arrivals.h"
 
 namespace rofs::workload {
 
@@ -104,6 +105,14 @@ struct FileTypeSpec {
 struct WorkloadSpec {
   std::string name;
   std::vector<FileTypeSpec> types;
+
+  /// Arrival model for the performance tests (`[workload] arrivals =`).
+  /// The default, closed, is the paper's think-time loop and leaves every
+  /// RNG draw exactly where the seed simulator put it.
+  ArrivalSpec arrivals;
+  /// Zipf file-popularity skew for file picks (`[workload] zipf_theta =`);
+  /// 0 keeps the uniform pick (and its RNG stream) untouched.
+  double zipf_theta = 0.0;
 
   Status Validate() const;
 

@@ -21,6 +21,12 @@ OpGenerator::OpGenerator(const WorkloadSpec* workload,
   if (options_.timer_wheel) {
     wheel_ = std::make_unique<sim::TimerWheel>(options_.wheel_tick_ms);
   }
+  if (workload_->zipf_theta > 0.0) {
+    zipf_.reserve(workload_->types.size());
+    for (const FileTypeSpec& t : workload_->types) {
+      zipf_.emplace_back(t.num_files, workload_->zipf_theta);
+    }
+  }
 }
 
 void OpGenerator::ResetStats() {
@@ -168,9 +174,14 @@ OpKind OpGenerator::DrawOpForMode(const FileTypeSpec& type) {
 }
 
 void OpGenerator::RunUserEvent(size_t type_index, uint32_t uid) {
+  // Once open-loop injection starts, think-time events still in flight
+  // from the closed streams fire here and die without executing.
+  if (arrivals_ != nullptr && uid != kOpenLoop) return;
   const FileTypeSpec& type = workload_->types[type_index];
   const auto& ids = files_by_type_[type_index];
-  const fs::FileId id = ids[rng_.UniformInt(0, ids.size() - 1)];
+  const fs::FileId id = zipf_.empty()
+                            ? ids[rng_.UniformInt(0, ids.size() - 1)]
+                            : ids[zipf_[type_index].Next(rng_)];
   const sim::TimeMs now = queue_->now();
   const OpKind op = DrawOpForMode(type);
 
@@ -210,12 +221,62 @@ void OpGenerator::RunUserEvent(size_t type_index, uint32_t uid) {
     }
   }
 
+  if (uid == kOpenLoop) {
+    // No rescheduling: the arrival chain drives injection. Completion is
+    // accounted when the op's simulated completion time is reached.
+    if (done > now) {
+      queue_->Schedule(done, [this] { OnOpenOpComplete(); });
+    } else {
+      OnOpenOpComplete();
+    }
+    return;
+  }
+
   // "The operation completion time is added to an exponentially
   // distributed value with mean equal to process time and an event is
   // scheduled at that newly calculated time."
   const sim::TimeMs next = done + rng_.Exponential(type.process_time_ms);
   if (attr_ != nullptr) attr_->RecordThink(next - done);
   ScheduleNext(type_index, uid, next);
+}
+
+void OpGenerator::StartOpenLoop(const ArrivalSpec& spec) {
+  if (arrivals_ != nullptr) return;
+  assert(spec.open());
+  arrivals_ = std::make_unique<ArrivalProcess>(spec);
+  type_user_cum_.clear();
+  type_user_cum_.reserve(workload_->types.size());
+  total_users_ = 0;
+  for (const FileTypeSpec& t : workload_->types) {
+    total_users_ += t.num_users;
+    type_user_cum_.push_back(total_users_);
+  }
+  ScheduleNextArrival();
+}
+
+void OpGenerator::ScheduleNextArrival() {
+  const sim::TimeMs t = queue_->now() + arrivals_->NextGapMs(rng_);
+  queue_->Schedule(t, [this] { RunArrival(); });
+}
+
+void OpGenerator::RunArrival() {
+  ++open_offered_;
+  ++open_pending_;
+  open_pending_peak_ = std::max(open_pending_peak_, open_pending_);
+  // Pick the type with probability proportional to its user population,
+  // so a multi-type workload keeps the closed mix's per-type share.
+  size_t t = 0;
+  if (workload_->types.size() > 1) {
+    const uint64_t u = rng_.UniformInt(0, total_users_ - 1);
+    while (type_user_cum_[t] <= u) ++t;
+  }
+  RunUserEvent(t, kOpenLoop);
+  ScheduleNextArrival();
+}
+
+void OpGenerator::OnOpenOpComplete() {
+  ++open_completed_;
+  --open_pending_;
 }
 
 void OpGenerator::RunUserEventAsync(size_t type_index, uint32_t uid,
@@ -285,8 +346,10 @@ void OpGenerator::RunUserEventAsync(size_t type_index, uint32_t uid,
     }
   }
   // The think time is drawn at issue (keeping the RNG stream in the sync
-  // path's order) and applied from the eventual completion time.
-  const double think_ms = rng_.Exponential(type.process_time_ms);
+  // path's order) and applied from the eventual completion time. Open-loop
+  // arrivals have no think time — the sync path skips the draw too.
+  const double think_ms =
+      uid == kOpenLoop ? 0.0 : rng_.Exponential(type.process_time_ms);
 
   if (!has_io) {
     OnAsyncOpDone(type_index, uid, op, id, now, bytes_moved, think_ms, now);
@@ -330,7 +393,7 @@ void OpGenerator::OnAsyncOpDone(size_t type_index, uint32_t uid, OpKind op,
   if (attr_ != nullptr) {
     const obs::OpAttribution::Target t = attr_->TakeActive();
     attr_->FoldOp(t.ledger, done - issued);
-    attr_->RecordThink(think_ms);
+    if (uid != kOpenLoop) attr_->RecordThink(think_ms);
   }
   ++ops_executed_;
   op_latency_ms_.Add(done - issued);
@@ -344,6 +407,10 @@ void OpGenerator::OnAsyncOpDone(size_t type_index, uint32_t uid, OpKind op,
   if (bytes_moved > 0 && on_bytes_moved) {
     // We are already at the completion instant; credit directly.
     on_bytes_moved(bytes_moved, done);
+  }
+  if (uid == kOpenLoop) {
+    OnOpenOpComplete();
+    return;
   }
   const sim::TimeMs next = done + think_ms;
   ScheduleNext(type_index, uid, next);

@@ -134,6 +134,24 @@ class OpGenerator {
   const sim::TimerWheel* wheel() const { return wheel_.get(); }
   const UserTable& users() const { return users_; }
 
+  /// Switches the generator to open-loop injection: operations arrive at
+  /// times drawn from `spec` regardless of earlier completions, so load
+  /// past saturation queues up instead of self-throttling. The closed
+  /// user streams stop (their in-flight think-time events become no-ops);
+  /// each arrival picks a type weighted by its user population and then
+  /// draws the op exactly like a closed-loop event. Idempotent: a second
+  /// call (e.g. the sequential half of a performance pair) keeps the
+  /// already-running arrival chain.
+  void StartOpenLoop(const ArrivalSpec& spec);
+  bool open_loop() const { return arrivals_ != nullptr; }
+
+  /// Open-loop accounting: arrivals injected, operations whose completion
+  /// has been reached, and the peak number in flight (the pending-op
+  /// queue depth). All zero in closed-loop mode.
+  uint64_t open_offered() const { return open_offered_; }
+  uint64_t open_completed() const { return open_completed_; }
+  uint64_t open_pending_peak() const { return open_pending_peak_; }
+
   /// Invoked on the first allocation failure of each operation (allocation
   /// tests use this to stop the simulation).
   std::function<void()> on_disk_full;
@@ -149,8 +167,16 @@ class OpGenerator {
  private:
   /// Sentinel uid for heap mode, where users carry no identity.
   static constexpr uint32_t kNoUser = 0xffffffffu;
+  /// Sentinel uid for open-loop arrivals: the event executes one op but
+  /// never reschedules a user stream.
+  static constexpr uint32_t kOpenLoop = 0xfffffffeu;
 
   void RunUserEvent(size_t type_index, uint32_t uid);
+  /// Injects one open-loop arrival and schedules the next.
+  void RunArrival();
+  void ScheduleNextArrival();
+  /// Completion-side accounting for an open-loop op.
+  void OnOpenOpComplete();
 
   /// Schedules the user's next event at `next`: a heap event in heap
   /// mode, a wheel entry (plus pump re-arm) in wheel mode.
@@ -197,6 +223,20 @@ class OpGenerator {
   Histogram op_latency_ms_;
   // op_stats_[type][op kind].
   std::vector<std::array<OpStats, 5>> op_stats_;
+
+  // Open-loop mode (StartOpenLoop) only.
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  /// Cumulative user counts per type: arrivals pick a type with
+  /// probability proportional to its user population.
+  std::vector<uint64_t> type_user_cum_;
+  uint64_t total_users_ = 0;
+  uint64_t open_offered_ = 0;
+  uint64_t open_completed_ = 0;
+  uint64_t open_pending_ = 0;
+  uint64_t open_pending_peak_ = 0;
+
+  // Zipf file picks (workload zipf_theta > 0) only; one picker per type.
+  std::vector<ZipfPicker> zipf_;
 
   // Wheel mode (options_.timer_wheel) only.
   std::unique_ptr<sim::TimerWheel> wheel_;

@@ -49,47 +49,85 @@ StatusOr<std::vector<TraceOp>> TraceReplayer::Parse(const std::string& text) {
   std::stringstream stream(text);
   std::string raw;
   int line_no = 0;
+  // Set when the first line is the header rofs_sim --trace emits
+  // (exp::OpTrace::ToCsv); the emitted columns then map onto TraceOps,
+  // closing the trace loop: a recorded run replays through the same
+  // parser as hand-written traces.
+  bool optrace_mode = false;
+  bool saw_line = false;
   while (std::getline(stream, raw)) {
     ++line_no;
     const size_t hash = raw.find('#');
     const std::string line =
         Trim(hash == std::string::npos ? raw : raw.substr(0, hash));
     if (line.empty()) continue;
+    if (!saw_line) {
+      saw_line = true;
+      if (line == "issued_ms,completed_ms,latency_ms,type,op,file,bytes") {
+        optrace_mode = true;
+        continue;
+      }
+      if (line == "time_ms,op,file,bytes" ||
+          line == "time_ms,op,file,bytes,offset") {
+        continue;  // Optional header on the native format.
+      }
+    }
     std::vector<std::string> fields;
     std::stringstream fs_stream(line);
     std::string field;
     while (std::getline(fs_stream, field, ',')) {
       fields.push_back(Trim(field));
     }
-    if (fields.size() < 4 || fields.size() > 5) {
+    if (optrace_mode ? fields.size() != 7
+                     : (fields.size() < 4 || fields.size() > 5)) {
       return Status::InvalidArgument(FormatString(
-          "trace line %d: expected time,op,file,bytes[,offset]", line_no));
+          optrace_mode
+              ? "trace line %d: expected the 7 OpTrace columns"
+              : "trace line %d: expected time,op,file,bytes[,offset]",
+          line_no));
     }
+    // OpTrace columns: issued,completed,latency,type,op,file,bytes —
+    // issue time, op, file and bytes land on the native fields; the
+    // completion/latency/type columns describe the recorded run, not the
+    // replayed one, and are dropped.
+    const std::string& op_field = optrace_mode ? fields[4] : fields[1];
+    const std::string& file_field = optrace_mode ? fields[5] : fields[2];
+    const std::string& bytes_field = optrace_mode ? fields[6] : fields[3];
     TraceOp op;
     if (!ParseDouble(fields[0], &op.time_ms) || op.time_ms < 0) {
       return Status::InvalidArgument(
           FormatString("trace line %d: bad time '%s'", line_no,
                        fields[0].c_str()));
     }
-    op.op = fields[1];
+    op.op = op_field;
     if (!KnownOp(op.op)) {
       return Status::InvalidArgument(FormatString(
           "trace line %d: unknown op '%s'", line_no, op.op.c_str()));
     }
-    op.file_key = fields[2];
+    op.file_key = file_field;
     if (op.file_key.empty()) {
       return Status::InvalidArgument(
           FormatString("trace line %d: empty file key", line_no));
     }
-    if (!ParseU64(fields[3], &op.bytes)) {
+    if (!ParseU64(bytes_field, &op.bytes)) {
       return Status::InvalidArgument(
           FormatString("trace line %d: bad byte count '%s'", line_no,
-                       fields[3].c_str()));
+                       bytes_field.c_str()));
     }
-    if (fields.size() == 5 && !ParseU64(fields[4], &op.offset)) {
+    if (!optrace_mode && fields.size() == 5 &&
+        !ParseU64(fields[4], &op.offset)) {
       return Status::InvalidArgument(
           FormatString("trace line %d: bad offset '%s'", line_no,
                        fields[4].c_str()));
+    }
+    if (optrace_mode && op.op == "delete" && op.bytes > 0) {
+      // The generator's delete is delete + recreate + write-in-full (the
+      // paper's churn), and its OpTrace row carries the recreate size.
+      // Split it so replay reproduces the recorded byte volume.
+      TraceOp del = op;
+      del.bytes = 0;
+      ops.push_back(std::move(del));
+      op.op = "create";
     }
     ops.push_back(std::move(op));
   }

@@ -6,7 +6,10 @@
 #include <cstdlib>
 #include <new>
 
+#include "alloc/fixed_block_allocator.h"
+#include "disk/disk_system.h"
 #include "fs/buffer_cache.h"
+#include "fs/read_optimized_fs.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
 #include "obs/timeseries.h"
@@ -14,6 +17,10 @@
 #include "obs/tracer.h"
 #include "sched/scheduler.h"
 #include "sim/event_queue.h"
+#include "util/random.h"
+#include "workload/aging.h"
+#include "workload/arrivals.h"
+#include "workload/file_type.h"
 
 // Global operator new/delete replacements that count every heap
 // allocation in the test binary. The hot-path structures promise zero
@@ -288,6 +295,77 @@ TEST(NoAllocTest, AttributionSteadyStateAllocatesNothing) {
          "allocate";
   EXPECT_EQ(attr.live_ledgers(), 0u);
   EXPECT_EQ(series.rows(), 100'000u);
+}
+
+TEST(NoAllocTest, ArrivalSamplingAllocatesNothing) {
+  // Open-loop injection samples one gap per arrival and (with a Zipf
+  // workload) one rank per op — both on the per-event hot path. Spec
+  // parsing and CDF precomputation happen at setup; the sampling loops
+  // must go quiet for every process kind.
+  const char* kSpecs[] = {"poisson(200)", "mmpp(200, 10, 500, 4500)",
+                          "pareto(200, 1.5)"};
+  for (const char* text : kSpecs) {
+    auto spec = workload::ParseArrivalSpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    workload::ArrivalProcess process(*spec);
+    Rng rng(42);
+    double sum = 0.0;
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int step = 0; step < 100'000; ++step) {
+      sum += process.NextGapMs(rng);
+    }
+    const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << text << " gap sampling must not allocate";
+    EXPECT_GT(sum, 0.0);
+  }
+
+  workload::ZipfPicker picker(1000, 0.99);
+  Rng rng(43);
+  size_t acc = 0;
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int step = 0; step < 100'000; ++step) {
+    acc += picker.Next(rng);
+  }
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "Zipf draws must not allocate";
+  EXPECT_GT(acc, 0u);
+}
+
+TEST(NoAllocTest, AgingChurnDrawAllocatesNothing) {
+  // The churn decision runs ops_per_round times between probes — pure
+  // RNG plus spec arithmetic by contract (workload/aging.h). Setup (file
+  // population, allocator maps) may allocate; the draw loop may not.
+  workload::WorkloadSpec w;
+  w.name = "noalloc-aging";
+  workload::FileTypeSpec files;
+  files.name = "files";
+  files.num_files = 64;
+  files.initial_bytes_mean = 16 * 1024;
+  files.extend_bytes_mean = 8 * 1024;
+  files.truncate_bytes = 8 * 1024;
+  w.types.push_back(files);
+
+  disk::DiskSystemConfig disk_config = disk::DiskSystemConfig::Array(2);
+  for (auto& g : disk_config.disks) g.cylinders = 60;
+  disk::DiskSystem disk(disk_config);
+  alloc::FixedBlockAllocator allocator(disk.capacity_du(), /*block_du=*/4);
+  fs::ReadOptimizedFs fs(&allocator, &disk);
+
+  workload::AgingOptions options;
+  options.seed = 7;
+  workload::AgingDriver driver(&w, &fs, options);
+  ASSERT_TRUE(driver.CreateInitialFiles().ok());
+
+  uint64_t bytes = 0;
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int step = 0; step < 100'000; ++step) {
+    bytes += driver.DrawChurnOp().bytes;
+  }
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "churn decision draws must not allocate";
+  EXPECT_GT(bytes, 0u);
 }
 
 TEST(NoAllocTest, DisarmedTracerIsFree) {

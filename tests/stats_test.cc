@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "stats/chi_squared.h"
 #include "stats/student_t.h"
 #include "stats/welford.h"
 
@@ -112,6 +113,38 @@ TEST(MetricSet, AggregatesAcrossReplicates) {
   EXPECT_EQ(summaries.at("a").count, 2u);
   EXPECT_DOUBLE_EQ(summaries.at("b").mean, 10.0);
   EXPECT_EQ(summaries.at("b").ci_half_width, 0.0);  // Zero variance.
+}
+
+TEST(ChiSquared, MatchesClosedFormsAndTables) {
+  // dof = 2 is exponential: cdf(x) = 1 - exp(-x/2).
+  EXPECT_NEAR(ChiSquaredCdf(2.0, 2), 1.0 - std::exp(-1.0), 1e-12);
+  // dof = 1 is a squared standard normal: cdf(1) = erf(1/sqrt(2)).
+  EXPECT_NEAR(ChiSquaredCdf(1.0, 1), 0.6826894921370859, 1e-12);
+  // Classic table 95th percentiles.
+  EXPECT_NEAR(ChiSquaredCdf(3.841, 1), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquaredCdf(11.070, 5), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquaredCdf(30.144, 19), 0.95, 1e-3);
+  // Edges and monotonicity.
+  EXPECT_DOUBLE_EQ(ChiSquaredCdf(0.0, 4), 0.0);
+  double prev = 0.0;
+  for (double x = 0.5; x < 40.0; x += 0.5) {
+    const double cdf = ChiSquaredCdf(x, 7);
+    EXPECT_GE(cdf, prev);
+    prev = cdf;
+  }
+  EXPECT_GT(ChiSquaredCdf(100.0, 7), 0.999999);
+}
+
+TEST(ChiSquared, RegularizedLowerGammaSpansTheSeriesSplit) {
+  // The implementation switches from series to continued fraction at
+  // x = a + 1; the function must be continuous across the seam.
+  const double a = 9.5;
+  const double below = RegularizedLowerGamma(a, a + 1.0 - 1e-9);
+  const double above = RegularizedLowerGamma(a, a + 1.0 + 1e-9);
+  EXPECT_NEAR(below, above, 1e-8);
+  EXPECT_DOUBLE_EQ(RegularizedLowerGamma(3.0, 0.0), 0.0);
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(RegularizedLowerGamma(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
 }
 
 }  // namespace

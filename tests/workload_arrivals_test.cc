@@ -1,0 +1,334 @@
+// Statistical property tests for the open-loop arrival processes and the
+// Zipf file picker (workload/arrivals.h). Every test runs a fixed seed,
+// so the sampled statistics are deterministic: the tolerances are gates
+// on the implementation, not flaky confidence intervals. Alongside the
+// moment checks, a chi-squared goodness-of-fit gate (stats::ChiSquaredCdf)
+// bins the Poisson gaps into equal-probability exponential quantiles and
+// rejects at the 1% level — the shape test a mean/CV check can't do.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/chi_squared.h"
+#include "util/random.h"
+#include "workload/arrivals.h"
+
+namespace rofs::workload {
+namespace {
+
+std::vector<double> SampleGaps(const ArrivalSpec& spec, size_t n,
+                               uint64_t seed) {
+  ArrivalProcess process(spec);
+  Rng rng(seed);
+  std::vector<double> gaps;
+  gaps.reserve(n);
+  for (size_t i = 0; i < n; ++i) gaps.push_back(process.NextGapMs(rng));
+  return gaps;
+}
+
+double Mean(const std::vector<double>& xs) {
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  const double mean = Mean(xs);
+  double sum = 0;
+  for (double x : xs) sum += (x - mean) * (x - mean);
+  return sum / static_cast<double>(xs.size() - 1);
+}
+
+/// Index of dispersion of counts: bin the arrival stream into fixed
+/// windows and return var/mean of the per-window counts. 1 for Poisson,
+/// > 1 for bursty processes.
+double CountDispersion(const std::vector<double>& gaps, double window_ms) {
+  std::vector<double> counts;
+  double t = 0.0;
+  double window_end = window_ms;
+  double count = 0;
+  for (double gap : gaps) {
+    t += gap;
+    while (t >= window_end) {
+      counts.push_back(count);
+      count = 0;
+      window_end += window_ms;
+    }
+    count += 1;
+  }
+  const double mean = Mean(counts);
+  return mean > 0 ? Variance(counts) / mean : 0.0;
+}
+
+// ---------------------------------------------------------------------
+// Spec parsing and validation.
+
+TEST(ArrivalSpecTest, ParsesEveryKind) {
+  auto closed = ParseArrivalSpec("closed");
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed->kind, ArrivalKind::kClosed);
+  EXPECT_FALSE(closed->open());
+
+  auto poisson = ParseArrivalSpec("poisson(200)");
+  ASSERT_TRUE(poisson.ok());
+  EXPECT_EQ(poisson->kind, ArrivalKind::kPoisson);
+  EXPECT_DOUBLE_EQ(poisson->rate_per_s, 200.0);
+  EXPECT_TRUE(poisson->open());
+
+  auto mmpp = ParseArrivalSpec("mmpp(100, 5, 200, 800)");
+  ASSERT_TRUE(mmpp.ok());
+  EXPECT_EQ(mmpp->kind, ArrivalKind::kMmpp);
+  EXPECT_DOUBLE_EQ(mmpp->rate_per_s, 100.0);
+  EXPECT_DOUBLE_EQ(mmpp->burst_ratio, 5.0);
+  EXPECT_DOUBLE_EQ(mmpp->on_ms, 200.0);
+  EXPECT_DOUBLE_EQ(mmpp->off_ms, 800.0);
+
+  auto pareto = ParseArrivalSpec("pareto(50, 1.4)");
+  ASSERT_TRUE(pareto.ok());
+  EXPECT_EQ(pareto->kind, ArrivalKind::kPareto);
+  EXPECT_DOUBLE_EQ(pareto->rate_per_s, 50.0);
+  EXPECT_DOUBLE_EQ(pareto->alpha, 1.4);
+}
+
+TEST(ArrivalSpecTest, RejectsBadSpecs) {
+  EXPECT_FALSE(ParseArrivalSpec("warp(9)").ok());
+  EXPECT_FALSE(ParseArrivalSpec("poisson").ok());
+  EXPECT_FALSE(ParseArrivalSpec("poisson(0)").ok());
+  EXPECT_FALSE(ParseArrivalSpec("poisson(-5)").ok());
+  // Pareto needs alpha > 1 for the mean gap to exist.
+  EXPECT_FALSE(ParseArrivalSpec("pareto(50, 1.0)").ok());
+  EXPECT_FALSE(ParseArrivalSpec("mmpp(100, 0.5)").ok());
+}
+
+TEST(ArrivalSpecTest, LabelRoundTrips) {
+  for (const char* text :
+       {"closed", "poisson(200)", "mmpp(100, 5, 200, 800)",
+        "pareto(50, 1.4)"}) {
+    auto spec = ParseArrivalSpec(text);
+    ASSERT_TRUE(spec.ok()) << text;
+    auto again = ParseArrivalSpec(spec->Label());
+    ASSERT_TRUE(again.ok()) << spec->Label();
+    EXPECT_EQ(again->kind, spec->kind);
+    EXPECT_DOUBLE_EQ(again->rate_per_s, spec->rate_per_s);
+    EXPECT_DOUBLE_EQ(again->alpha, spec->alpha);
+    EXPECT_DOUBLE_EQ(again->burst_ratio, spec->burst_ratio);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Poisson: memoryless gaps at the target rate.
+
+TEST(PoissonArrivalTest, MeanMatchesTargetRate) {
+  auto spec = ParseArrivalSpec("poisson(100)");  // mean gap 10 ms
+  ASSERT_TRUE(spec.ok());
+  const std::vector<double> gaps = SampleGaps(*spec, 200000, 42);
+  EXPECT_NEAR(Mean(gaps), 10.0, 0.1);
+  // Exponential gaps: CV = 1.
+  const double cv = std::sqrt(Variance(gaps)) / Mean(gaps);
+  EXPECT_NEAR(cv, 1.0, 0.02);
+}
+
+TEST(PoissonArrivalTest, CountDispersionIsOne) {
+  auto spec = ParseArrivalSpec("poisson(100)");
+  ASSERT_TRUE(spec.ok());
+  const std::vector<double> gaps = SampleGaps(*spec, 200000, 7);
+  // Poisson counts: var == mean in any window size.
+  EXPECT_NEAR(CountDispersion(gaps, 1000.0), 1.0, 0.15);
+}
+
+TEST(PoissonArrivalTest, ChiSquaredGoodnessOfFit) {
+  auto spec = ParseArrivalSpec("poisson(100)");
+  ASSERT_TRUE(spec.ok());
+  const std::vector<double> gaps = SampleGaps(*spec, 100000, 11);
+  // 20 equal-probability bins of Exp(mean = 10 ms): edges at the
+  // quantiles -mean * ln(1 - k/20).
+  constexpr int kBins = 20;
+  const double mean = 10.0;
+  std::vector<double> edges;
+  for (int k = 1; k < kBins; ++k) {
+    edges.push_back(-mean *
+                    std::log(1.0 - static_cast<double>(k) / kBins));
+  }
+  std::vector<double> observed(kBins, 0.0);
+  for (double gap : gaps) {
+    const size_t bin = static_cast<size_t>(
+        std::upper_bound(edges.begin(), edges.end(), gap) - edges.begin());
+    observed[bin] += 1.0;
+  }
+  const double expected =
+      static_cast<double>(gaps.size()) / static_cast<double>(kBins);
+  double stat = 0.0;
+  for (double o : observed) {
+    stat += (o - expected) * (o - expected) / expected;
+  }
+  // Upper-tail probability of the chi-squared statistic with 19 degrees
+  // of freedom; reject the exponential shape at the 1% level.
+  const double p_value = 1.0 - stats::ChiSquaredCdf(stat, kBins - 1);
+  EXPECT_GT(p_value, 0.01) << "chi-squared stat " << stat;
+}
+
+// ---------------------------------------------------------------------
+// MMPP: same long-run rate, bursty counts.
+
+TEST(MmppArrivalTest, LongRunRateMatchesTarget) {
+  auto spec = ParseArrivalSpec("mmpp(100, 10, 500, 4500)");
+  ASSERT_TRUE(spec.ok());
+  const std::vector<double> gaps = SampleGaps(*spec, 300000, 42);
+  // Long-run rate (ops/ms): arrivals / elapsed. The ON/OFF normalization
+  // must land the average on the target regardless of burst shape.
+  double elapsed = 0;
+  for (double g : gaps) elapsed += g;
+  const double rate_per_s = static_cast<double>(gaps.size()) / elapsed * 1000;
+  EXPECT_NEAR(rate_per_s, 100.0, 3.0);
+}
+
+TEST(MmppArrivalTest, CountsAreOverdispersed) {
+  auto spec = ParseArrivalSpec("mmpp(100, 10, 500, 4500)");
+  ASSERT_TRUE(spec.ok());
+  const std::vector<double> gaps = SampleGaps(*spec, 300000, 7);
+  // Burstiness shows up as overdispersion relative to Poisson's 1; with
+  // a 10x ON/OFF rate ratio the window counts are far from Poisson.
+  EXPECT_GT(CountDispersion(gaps, 1000.0), 3.0);
+}
+
+TEST(MmppArrivalTest, BurstRatioShowsInStateRates) {
+  // The gap mix is bimodal: short gaps inside ON bursts, long gaps in
+  // OFF stretches. The mean of the longest half over the mean of the
+  // shortest half is a fixed constant for exponential gaps; the 10x
+  // burst ratio must widen it well past the Poisson baseline at the
+  // same rate and seed.
+  const auto half_ratio = [](const std::vector<double>& gaps) {
+    std::vector<double> sorted = gaps;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t half = sorted.size() / 2;
+    const double low = Mean({sorted.begin(), sorted.begin() + half});
+    const double high = Mean({sorted.begin() + half, sorted.end()});
+    return high / low;
+  };
+  auto mmpp = ParseArrivalSpec("mmpp(100, 10, 500, 4500)");
+  auto poisson = ParseArrivalSpec("poisson(100)");
+  ASSERT_TRUE(mmpp.ok() && poisson.ok());
+  const double mmpp_ratio = half_ratio(SampleGaps(*mmpp, 300000, 13));
+  const double poisson_ratio = half_ratio(SampleGaps(*poisson, 300000, 13));
+  EXPECT_GT(mmpp_ratio, 2.0 * poisson_ratio);
+}
+
+// ---------------------------------------------------------------------
+// Pareto: heavy tail with the configured exponent.
+
+TEST(ParetoArrivalTest, MeanMatchesTargetRate) {
+  auto spec = ParseArrivalSpec("pareto(100, 1.5)");
+  ASSERT_TRUE(spec.ok());
+  const std::vector<double> gaps = SampleGaps(*spec, 400000, 42);
+  // alpha = 1.5 has infinite variance, so the sample mean converges
+  // slowly; the tolerance is correspondingly loose.
+  EXPECT_NEAR(Mean(gaps), 10.0, 1.0);
+}
+
+TEST(ParetoArrivalTest, HillEstimatorRecoversTailExponent) {
+  auto spec = ParseArrivalSpec("pareto(100, 1.5)");
+  ASSERT_TRUE(spec.ok());
+  std::vector<double> gaps = SampleGaps(*spec, 400000, 7);
+  std::sort(gaps.begin(), gaps.end(), std::greater<double>());
+  // Hill estimator over the top k order statistics:
+  // alpha_hat = k / sum log(x_i / x_k).
+  const size_t k = 2000;
+  double sum_log = 0;
+  for (size_t i = 0; i < k; ++i) sum_log += std::log(gaps[i] / gaps[k]);
+  const double alpha_hat = static_cast<double>(k) / sum_log;
+  EXPECT_NEAR(alpha_hat, 1.5, 0.1);
+}
+
+TEST(ParetoArrivalTest, GapsAreBoundedBelowByScale) {
+  auto spec = ParseArrivalSpec("pareto(100, 1.5)");
+  ASSERT_TRUE(spec.ok());
+  const std::vector<double> gaps = SampleGaps(*spec, 100000, 3);
+  // Pareto support is [x_m, inf) with x_m = mean * (alpha-1)/alpha.
+  const double x_m = 10.0 * (1.5 - 1.0) / 1.5;
+  for (double g : gaps) ASSERT_GE(g, x_m * 0.999);
+}
+
+// ---------------------------------------------------------------------
+// Zipf picker.
+
+TEST(ZipfPickerTest, ThetaZeroIsUniform) {
+  ZipfPicker picker(50, 0.0);
+  Rng rng(42);
+  constexpr int kDraws = 100000;
+  std::vector<double> observed(50, 0.0);
+  for (int i = 0; i < kDraws; ++i) {
+    const size_t rank = picker.Next(rng);
+    ASSERT_LT(rank, 50u);
+    observed[rank] += 1.0;
+  }
+  // Chi-squared GOF against the uniform distribution, 49 dof.
+  const double expected = kDraws / 50.0;
+  double stat = 0;
+  for (double o : observed) {
+    stat += (o - expected) * (o - expected) / expected;
+  }
+  EXPECT_GT(1.0 - stats::ChiSquaredCdf(stat, 49), 0.01);
+}
+
+TEST(ZipfPickerTest, RankFrequencySlopeMatchesTheta) {
+  const double theta = 1.0;
+  ZipfPicker picker(1000, theta);
+  Rng rng(7);
+  constexpr int kDraws = 2000000;
+  std::vector<double> counts(1000, 0.0);
+  for (int i = 0; i < kDraws; ++i) counts[picker.Next(rng)] += 1.0;
+  // Least-squares slope of log(freq) vs log(rank+1) over the well-sampled
+  // head; Zipf's law predicts -theta.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const size_t head = 100;
+  for (size_t r = 0; r < head; ++r) {
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(counts[r] / kDraws);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(head);
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  EXPECT_NEAR(slope, -theta, 0.05);
+}
+
+TEST(ZipfPickerTest, HigherThetaConcentratesMass) {
+  Rng rng(11);
+  constexpr int kDraws = 50000;
+  double top10_mild = 0, top10_steep = 0;
+  {
+    ZipfPicker picker(500, 0.5);
+    for (int i = 0; i < kDraws; ++i) {
+      if (picker.Next(rng) < 10) top10_mild += 1;
+    }
+  }
+  {
+    ZipfPicker picker(500, 1.2);
+    for (int i = 0; i < kDraws; ++i) {
+      if (picker.Next(rng) < 10) top10_steep += 1;
+    }
+  }
+  EXPECT_GT(top10_steep, 2.0 * top10_mild);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: the sampling is a pure function of (spec, seed).
+
+TEST(ArrivalProcessTest, SameSeedSameStream) {
+  for (const char* text :
+       {"poisson(100)", "mmpp(100, 10, 500, 4500)", "pareto(100, 1.5)"}) {
+    auto spec = ParseArrivalSpec(text);
+    ASSERT_TRUE(spec.ok());
+    const std::vector<double> a = SampleGaps(*spec, 1000, 99);
+    const std::vector<double> b = SampleGaps(*spec, 1000, 99);
+    EXPECT_EQ(a, b) << text;
+  }
+}
+
+}  // namespace
+}  // namespace rofs::workload

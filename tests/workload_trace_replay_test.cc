@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "alloc/extent_allocator.h"
 #include "alloc/fixed_block_allocator.h"
 #include "alloc/restricted_buddy.h"
 #include "disk/disk_system.h"
+#include "exp/experiment.h"
+#include "exp/trace.h"
 #include "util/table.h"
 #include "util/units.h"
 
@@ -28,6 +32,70 @@ TEST(TraceParseTest, ParsesWellFormedTrace) {
   EXPECT_EQ((*ops)[1].op, "read");
   EXPECT_EQ((*ops)[1].offset, 0u);
   EXPECT_EQ((*ops)[3].offset, UINT64_MAX);  // Sequential cursor.
+}
+
+TEST(TraceParseTest, AcceptsCrlfAndTrailingComments) {
+  // Windows line endings and trailing comments after the fields must not
+  // leak into the parsed values.
+  auto ops = TraceReplayer::Parse(
+      "0,create,db,1024\r\n"
+      "5,read,db,512,0   # warm the cache\r\n"
+      "9,write,db,256\n");
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 3u);
+  EXPECT_EQ((*ops)[0].bytes, 1024u);
+  EXPECT_EQ((*ops)[1].op, "read");
+  EXPECT_EQ((*ops)[1].offset, 0u);
+  EXPECT_EQ((*ops)[2].bytes, 256u);
+}
+
+TEST(TraceParseTest, SkipsNativeHeaderRow) {
+  auto ops = TraceReplayer::Parse(
+      "time_ms,op,file,bytes\n"
+      "0,create,db,1024\n");
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  EXPECT_EQ(ops->size(), 1u);
+}
+
+TEST(TraceParseTest, AutoDetectsOpTraceColumns) {
+  // The header rofs_sim --trace emits switches the parser to the OpTrace
+  // column layout: issue time, op, file, and bytes land on the native
+  // fields; completion/latency/type describe the recorded run and drop.
+  auto ops = TraceReplayer::Parse(
+      "issued_ms,completed_ms,latency_ms,type,op,file,bytes\n"
+      "0.000,4.500,4.500,files,read,7,8192\r\n"
+      "1.250,9.000,7.750,files,write,3,4096\n"
+      "# dropped=0\n");
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 2u);
+  EXPECT_DOUBLE_EQ((*ops)[0].time_ms, 0.0);
+  EXPECT_EQ((*ops)[0].op, "read");
+  EXPECT_EQ((*ops)[0].file_key, "7");
+  EXPECT_EQ((*ops)[0].bytes, 8192u);
+  EXPECT_EQ((*ops)[0].offset, UINT64_MAX);  // Sequential cursor.
+  EXPECT_EQ((*ops)[1].op, "write");
+  EXPECT_EQ((*ops)[1].bytes, 4096u);
+  // Wrong column count in OpTrace mode is an error, not a fallback.
+  EXPECT_FALSE(TraceReplayer::Parse(
+                   "issued_ms,completed_ms,latency_ms,type,op,file,bytes\n"
+                   "0,read,db,8\n")
+                   .ok());
+}
+
+TEST(TraceParseTest, OpTraceDeleteSplitsIntoDeleteAndRecreate) {
+  // The generator's delete is delete + recreate + write-in-full; its
+  // OpTrace row carries the recreate size, so replay splits it to
+  // reproduce the recorded byte volume.
+  auto ops = TraceReplayer::Parse(
+      "issued_ms,completed_ms,latency_ms,type,op,file,bytes\n"
+      "2.000,3.000,1.000,files,delete,5,8192\n");
+  ASSERT_TRUE(ops.ok()) << ops.status().ToString();
+  ASSERT_EQ(ops->size(), 2u);
+  EXPECT_EQ((*ops)[0].op, "delete");
+  EXPECT_EQ((*ops)[0].bytes, 0u);
+  EXPECT_EQ((*ops)[1].op, "create");
+  EXPECT_EQ((*ops)[1].bytes, 8192u);
+  EXPECT_DOUBLE_EQ((*ops)[1].time_ms, 2.0);
 }
 
 TEST(TraceParseTest, RejectsMalformedLines) {
@@ -163,6 +231,108 @@ TEST_F(TraceReplayTest, PoliciesDifferOnTheSameTrace) {
   const double fixed_read = read_time_after_replay(&fixed);
   const double rbuddy_read = read_time_after_replay(&rbuddy);
   EXPECT_GT(fixed_read, 2.0 * rbuddy_read);
+}
+
+// Closes the trace loop: run an instrumented experiment, emit its
+// OpTrace CSV, feed that CSV back through TraceReplayer onto an
+// identically configured fresh file system, and check the replayed byte
+// volume against the recorded one. The workload is chosen so replay is
+// exact: whole-file 8K reads/writes on files whose sizes stay 8K
+// multiples (initial 8K, extends of 8K, dev 0), so every sequential-
+// cursor read lands on a full 8K window and moved bytes equal recorded
+// bytes row for row.
+TEST(TraceRoundTripTest, ReplayReproducesRecordedVolume) {
+  WorkloadSpec workload;
+  workload.name = "roundtrip";
+  FileTypeSpec files;
+  files.name = "files";
+  files.num_files = 40;
+  files.num_users = 4;
+  files.process_time_ms = 20;
+  files.hit_frequency_ms = 20;
+  files.rw_bytes_mean = KiB(8);
+  files.extend_bytes_mean = KiB(8);
+  files.truncate_bytes = KiB(8);
+  files.initial_bytes_mean = KiB(8);
+  files.read_ratio = 0.5;
+  files.write_ratio = 0.3;
+  files.extend_ratio = 0.2;
+  files.access = AccessPattern::kRandom;
+  workload.types.push_back(files);
+
+  const auto disk_config = [] {
+    disk::DiskSystemConfig cfg = disk::DiskSystemConfig::Array(2);
+    for (auto& g : cfg.disks) g.cylinders = 60;
+    return cfg;
+  };
+  const alloc::RestrictedBuddyConfig alloc_config{};
+
+  exp::ExperimentConfig config;
+  config.seed = 11;
+  config.fill_lower = 0.30;
+  config.fill_upper = 0.50;
+  config.warmup_ms = 500;
+  config.min_measure_ms = 1000;
+  config.max_measure_ms = 4000;
+  config.sample_interval_ms = 500;
+
+  exp::OpTrace trace;
+  exp::Experiment experiment(
+      workload,
+      [&](uint64_t total_du) -> std::unique_ptr<alloc::Allocator> {
+        return std::make_unique<alloc::RestrictedBuddyAllocator>(
+            total_du, alloc_config);
+      },
+      disk_config(), config);
+  experiment.set_instrument(
+      [&trace](OpGenerator* gen) { trace.Attach(gen); });
+  auto perf = experiment.RunApplicationTest();
+  ASSERT_TRUE(perf.ok()) << perf.status().ToString();
+  ASSERT_EQ(perf->disk_full_events, 0u);
+  ASSERT_EQ(trace.dropped(), 0u);
+  ASSERT_GT(trace.size(), 100u);
+
+  // Recorded ground truth, straight from the CSV the tool would write.
+  const std::string csv = trace.ToCsv(workload);
+  auto parsed = TraceReplayer::Parse(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_GE(parsed->size(), trace.size());  // Delete rows split in two.
+  uint64_t recorded_read = 0, recorded_written = 0;
+  for (const TraceOp& op : *parsed) {
+    if (op.op == "read") recorded_read += op.bytes;
+    if (op.op == "write" || op.op == "extend" || op.op == "create") {
+      recorded_written += op.bytes;
+    }
+  }
+
+  // The trace records user operations only; the initial file population
+  // is the simulation's starting image, so the replay prepends it (the
+  // experiment creates files 0..N-1 at the initial size before any
+  // traced op runs).
+  std::string prelude;
+  for (uint32_t f = 0; f < files.num_files; ++f) {
+    prelude += FormatString("0,create,%u,%llu\n", f,
+                            static_cast<unsigned long long>(KiB(8)));
+  }
+  auto prelude_ops = TraceReplayer::Parse(prelude);
+  ASSERT_TRUE(prelude_ops.ok());
+  std::vector<TraceOp> replay_ops = std::move(*prelude_ops);
+  replay_ops.insert(replay_ops.end(), parsed->begin(), parsed->end());
+
+  disk::DiskSystem disk(disk_config());
+  alloc::RestrictedBuddyAllocator allocator(disk.capacity_du(),
+                                            alloc_config);
+  fs::ReadOptimizedFs fs(&allocator, &disk);
+  TraceReplayer replayer(std::move(replay_ops), &fs);
+  sim::EventQueue queue;
+  const TraceReplayStats stats = replayer.ReplayOpenLoop(&queue);
+
+  EXPECT_EQ(stats.ops, parsed->size() + files.num_files);
+  EXPECT_EQ(stats.bytes_read, recorded_read);
+  EXPECT_EQ(stats.bytes_written,
+            recorded_written + files.num_files * KiB(8));
+  EXPECT_EQ(stats.failed_allocations, 0u);
+  EXPECT_EQ(replayer.file_bindings().size(), files.num_files);
 }
 
 }  // namespace

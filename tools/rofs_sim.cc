@@ -42,7 +42,8 @@
 //                                          # (also: ROFS_WINDOW_MS;
 //                                          # overrides [obs] window_ms)
 //
-// The enabled tests (allocation; application+sequential) are independent
+// The enabled tests (allocation; application+sequential; the aging study
+// when [test] run includes "aging") are independent
 // simulations, so --jobs N > 1 runs them concurrently; the printed output
 // is byte-identical for any job count. --trace forces serial execution
 // (the trace spans every test's operation stream, in order). With
@@ -55,10 +56,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "alloc/allocator.h"
 #include "config/sim_config.h"
+#include "fs/read_optimized_fs.h"
+#include "workload/aging.h"
 #include "obs/options.h"
 #include "obs/trace_writer.h"
 #include "sim/event_queue.h"
@@ -241,6 +246,78 @@ int Run(const Options& opts) {
       record.MergeMetrics(result->ToRecord(), "seq.");
       return std::vector<std::string>{"sequential test:   " +
                                       exp::Summarize(*result)};
+    };
+    group_labels.push_back(spec.label);
+    specs.push_back(std::move(spec));
+  }
+  if (cfg->tests.aging) {
+    runner::RunSpec spec;
+    spec.label = "aging study";
+    spec.base_seed = cfg->aging.seed;
+    spec.run = [cfg, replicates, &records, label = spec.label](
+                   const runner::RunContext& ctx)
+        -> StatusOr<std::vector<std::string>> {
+      obs::ScopedRunLabel run_label(
+          label + " r" +
+          std::to_string(ctx.index % static_cast<size_t>(replicates)));
+      // The aging study runs against a passive (queue-free) file system:
+      // churn with I/O disabled, probes at a monotonic clock. No event
+      // queue, so its output is byte-identical for any --jobs or
+      // --sim-threads setting by construction.
+      disk::DiskSystem disk(cfg->disk);
+      std::unique_ptr<alloc::Allocator> allocator =
+          cfg->allocator_factory(disk.capacity_du());
+      fs::ReadOptimizedFs fs(allocator.get(), &disk,
+                             cfg->experiment.fs_options);
+      workload::AgingOptions options = cfg->aging;
+      options.seed = ctx.seed;
+      workload::AgingDriver driver(&cfg->workload, &fs, options);
+      ROFS_RETURN_IF_ERROR(driver.CreateInitialFiles());
+      std::vector<std::string> lines;
+      lines.push_back(FormatString(
+          "aging study:       %d rounds x %llu ops, probing %u files",
+          options.rounds,
+          static_cast<unsigned long long>(options.ops_per_round),
+          options.probe_files));
+      for (int r = 0; r < options.rounds; ++r) {
+        const workload::AgingRound round = driver.RunRound();
+        lines.push_back(FormatString(
+            "  round %3d: util=%.3f read_bw=%.4f extents/file=%.2f "
+            "int_frag=%.3f failed=%llu",
+            round.round, round.utilization, round.read_bw_frac,
+            round.extents_per_file, round.internal_frag,
+            static_cast<unsigned long long>(round.failed_allocs)));
+      }
+      const std::vector<workload::AgingRound>& rounds = driver.rounds();
+      const workload::AgingRound& first = rounds.front();
+      const workload::AgingRound& last = rounds.back();
+      const int steady = driver.DetectSteadyRound();
+      const double retained = first.read_bw_frac > 0.0
+                                  ? last.read_bw_frac / first.read_bw_frac
+                                  : 0.0;
+      lines.push_back(FormatString(
+          "aging steady:      %s, read_bw %.4f -> %.4f (%.1f%% retained)",
+          steady >= 0 ? FormatString("round %d", steady).c_str()
+                      : "not reached",
+          first.read_bw_frac, last.read_bw_frac, retained * 100.0));
+      exp::RunRecord& record = records[ctx.index];
+      record.experiment = "rofs_sim";
+      record.cell = label;
+      record.replicate = static_cast<int>(ctx.index % replicates);
+      record.seed = ctx.seed;
+      exp::RunRecord m;
+      m.Set("rounds", static_cast<double>(rounds.size()));
+      m.Set("churn_ops", static_cast<double>(driver.churn_ops()));
+      m.Set("steady_round", static_cast<double>(steady));
+      m.Set("read_bw_initial", first.read_bw_frac);
+      m.Set("read_bw_final", last.read_bw_frac);
+      m.Set("read_bw_retained", retained);
+      m.Set("util_final", last.utilization);
+      m.Set("extents_per_file_final", last.extents_per_file);
+      m.Set("internal_frag_final", last.internal_frag);
+      m.Set("failed_allocs", static_cast<double>(last.failed_allocs));
+      record.MergeMetrics(m, "aging.");
+      return lines;
     };
     group_labels.push_back(spec.label);
     specs.push_back(std::move(spec));
